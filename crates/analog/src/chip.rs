@@ -1,0 +1,589 @@
+//! The analog accelerator chip: registers, state machine, and data readout.
+//!
+//! Mirrors the paper's §III-B architecture: a digital host writes *static
+//! configuration* (connections, gains, initial conditions, DAC constants,
+//! lookup tables, a timeout) into registers, commits it, starts and stops
+//! computation, and reads ADC outputs and the exception vector afterwards.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::ChipConfig;
+use crate::engine::{run_committed, EngineOptions, RunReport};
+use crate::error::AnalogError;
+use crate::exceptions::ExceptionVector;
+use crate::lut::{quantize, LookupTable};
+use crate::netlist::{InputPort, Netlist, OutputPort};
+use crate::nonideal::ProcessVariation;
+use crate::units::UnitId;
+
+/// An external stimulus attached to an analog input channel.
+pub type InputSignal = Box<dyn Fn(f64) -> f64 + Send + Sync>;
+
+/// The draft configuration registers the host writes before `cfgCommit`.
+#[derive(Debug, Clone)]
+pub(crate) struct Registers {
+    pub(crate) netlist: Netlist,
+    /// Multiplier constant gains; absent means variable–variable mode
+    /// (the multiplier computes `in0·in1/full_scale`).
+    pub(crate) mul_gains: BTreeMap<usize, f64>,
+    /// Integrator initial conditions.
+    pub(crate) int_initial: BTreeMap<usize, f64>,
+    /// DAC constant outputs (stored already quantized to DAC resolution).
+    pub(crate) dac_values: BTreeMap<usize, f64>,
+    /// Lookup-table contents.
+    pub(crate) luts: BTreeMap<usize, LookupTable>,
+    /// Computation timeout in control-clock cycles (`setTimeout`).
+    pub(crate) timeout_cycles: Option<u64>,
+    /// Which analog input channels are open (`setAnaInputEn`).
+    pub(crate) inputs_enabled: BTreeMap<usize, bool>,
+}
+
+impl Registers {
+    fn new(config: &ChipConfig) -> Self {
+        Registers {
+            netlist: Netlist::new(config.inventory),
+            mul_gains: BTreeMap::new(),
+            int_initial: BTreeMap::new(),
+            dac_values: BTreeMap::new(),
+            luts: BTreeMap::new(),
+            timeout_cycles: None,
+            inputs_enabled: BTreeMap::new(),
+        }
+    }
+}
+
+/// Control-clock frequency used to convert `setTimeout` cycles to seconds.
+pub const CONTROL_CLOCK_HZ: f64 = 1.0e6;
+
+/// A behavioural model of one analog accelerator chip instance.
+///
+/// Construction draws this instance's process variation; the same
+/// [`ChipConfig`] with a different non-ideality seed is "a different copy of
+/// the chip" whose calibration codes will differ (paper §III-B).
+///
+/// ```
+/// use aa_analog::{AnalogChip, ChipConfig};
+/// use aa_analog::units::UnitId;
+/// use aa_analog::netlist::{OutputPort, InputPort};
+///
+/// # fn main() -> Result<(), aa_analog::AnalogError> {
+/// let mut chip = AnalogChip::new(ChipConfig::ideal());
+/// // du/dt = -u via a feedback multiplier with gain -1.
+/// chip.set_conn(OutputPort::of(UnitId::Integrator(0)), InputPort::of(UnitId::Multiplier(0)))?;
+/// chip.set_conn(OutputPort::of(UnitId::Multiplier(0)), InputPort::of(UnitId::Integrator(0)))?;
+/// chip.set_mul_gain(0, -1.0)?;
+/// chip.set_int_initial(0, 0.5)?;
+/// chip.cfg_commit()?;
+/// let report = chip.exec(&Default::default())?;
+/// assert!(report.reached_steady_state);
+/// assert!(report.integrator_values[&0].abs() < 1e-3); // decayed to zero
+/// # Ok(())
+/// # }
+/// ```
+pub struct AnalogChip {
+    config: ChipConfig,
+    variation: ProcessVariation,
+    draft: Registers,
+    committed: Option<Registers>,
+    exceptions: ExceptionVector,
+    /// ADC input values captured at the end of the last run.
+    adc_inputs: BTreeMap<usize, f64>,
+    /// Attached external stimuli (test-bench side, not a register).
+    input_signals: BTreeMap<usize, InputSignal>,
+    /// RNG for readout noise.
+    noise_rng: StdRng,
+    calibrated: bool,
+}
+
+impl std::fmt::Debug for AnalogChip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalogChip")
+            .field("config", &self.config)
+            .field("committed", &self.committed.is_some())
+            .field("calibrated", &self.calibrated)
+            .field("exceptions", &self.exceptions)
+            .finish()
+    }
+}
+
+impl AnalogChip {
+    /// Instantiates a chip, drawing its process variation from the config's
+    /// non-ideality seed.
+    pub fn new(config: ChipConfig) -> Self {
+        let variation = ProcessVariation::draw(&config.inventory, &config.nonideal);
+        let noise_rng = StdRng::seed_from_u64(config.nonideal.seed ^ 0x5eed);
+        AnalogChip {
+            draft: Registers::new(&config),
+            variation,
+            config,
+            committed: None,
+            exceptions: ExceptionVector::new(),
+            adc_inputs: BTreeMap::new(),
+            input_signals: BTreeMap::new(),
+            noise_rng,
+            calibrated: false,
+        }
+    }
+
+    /// The chip's static configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// This instance's process variation (visible for tests and ablations;
+    /// a real host can only observe it through calibration measurements).
+    pub fn variation(&self) -> &ProcessVariation {
+        &self.variation
+    }
+
+    /// Mutable access for the calibration routine.
+    pub(crate) fn variation_mut(&mut self) -> &mut ProcessVariation {
+        &mut self.variation
+    }
+
+    /// Whether `init` (calibration) has run.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+
+    pub(crate) fn set_calibrated(&mut self, calibrated: bool) {
+        self.calibrated = calibrated;
+    }
+
+    // ----- Config instructions (Table I) -----
+
+    /// `setConn`: creates an analog current connection between two units.
+    ///
+    /// # Errors
+    ///
+    /// See [`Netlist::connect`].
+    pub fn set_conn(&mut self, from: OutputPort, to: InputPort) -> Result<(), AnalogError> {
+        self.committed = None;
+        self.draft.netlist.connect(from, to)
+    }
+
+    /// `setIntInitial`: sets an integrator's ODE initial condition.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalogError::NoSuchUnit`] for a bad index.
+    /// * [`AnalogError::ValueOutOfRange`] if `|value|` exceeds full scale.
+    pub fn set_int_initial(&mut self, index: usize, value: f64) -> Result<(), AnalogError> {
+        let unit = UnitId::Integrator(index);
+        if !self.config.inventory.contains(unit) {
+            return Err(AnalogError::NoSuchUnit { unit });
+        }
+        if value.abs() > self.config.full_scale || !value.is_finite() {
+            return Err(AnalogError::ValueOutOfRange {
+                context: "integrator initial condition",
+                value,
+                limit: self.config.full_scale,
+            });
+        }
+        self.committed = None;
+        self.draft.int_initial.insert(index, value);
+        Ok(())
+    }
+
+    /// `setMulGain`: puts a multiplier in constant-gain mode.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalogError::NoSuchUnit`] for a bad index.
+    /// * [`AnalogError::ValueOutOfRange`] if `|gain|` exceeds the multiplier
+    ///   range — the situation the paper's value-scaling procedure exists to
+    ///   avoid.
+    pub fn set_mul_gain(&mut self, index: usize, gain: f64) -> Result<(), AnalogError> {
+        let unit = UnitId::Multiplier(index);
+        if !self.config.inventory.contains(unit) {
+            return Err(AnalogError::NoSuchUnit { unit });
+        }
+        if gain.abs() > self.config.max_gain || !gain.is_finite() {
+            return Err(AnalogError::ValueOutOfRange {
+                context: "multiplier gain",
+                value: gain,
+                limit: self.config.max_gain,
+            });
+        }
+        self.committed = None;
+        self.draft.mul_gains.insert(index, gain);
+        Ok(())
+    }
+
+    /// Returns a multiplier to variable–variable mode (`out = in0·in1/fs`).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::NoSuchUnit`] for a bad index.
+    pub fn set_mul_variable(&mut self, index: usize) -> Result<(), AnalogError> {
+        let unit = UnitId::Multiplier(index);
+        if !self.config.inventory.contains(unit) {
+            return Err(AnalogError::NoSuchUnit { unit });
+        }
+        self.committed = None;
+        self.draft.mul_gains.remove(&index);
+        Ok(())
+    }
+
+    /// `setFunction`: programs a lookup table with a nonlinear function.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::NoSuchUnit`] for a bad index.
+    pub fn set_function<F: Fn(f64) -> f64>(
+        &mut self,
+        index: usize,
+        f: F,
+    ) -> Result<(), AnalogError> {
+        let unit = UnitId::Lut(index);
+        if !self.config.inventory.contains(unit) {
+            return Err(AnalogError::NoSuchUnit { unit });
+        }
+        self.committed = None;
+        let lut = LookupTable::from_function(
+            self.config.lut_depth,
+            self.config.adc_bits,
+            self.config.full_scale,
+            f,
+        );
+        self.draft.luts.insert(index, lut);
+        Ok(())
+    }
+
+    /// Writes one lookup-table entry directly (the `writeParallel` data path
+    /// into the continuous-time SRAM). An unprogrammed table starts as the
+    /// identity function.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::NoSuchUnit`] for a bad table index, or
+    /// [`AnalogError::ValueOutOfRange`] for a bad entry index.
+    pub fn write_lut_entry(
+        &mut self,
+        lut_index: usize,
+        entry: usize,
+        value: f64,
+    ) -> Result<(), AnalogError> {
+        let unit = UnitId::Lut(lut_index);
+        if !self.config.inventory.contains(unit) {
+            return Err(AnalogError::NoSuchUnit { unit });
+        }
+        if entry >= self.config.lut_depth {
+            return Err(AnalogError::ValueOutOfRange {
+                context: "lookup-table entry index",
+                value: entry as f64,
+                limit: self.config.lut_depth as f64 - 1.0,
+            });
+        }
+        self.committed = None;
+        let depth = self.config.lut_depth;
+        let bits = self.config.adc_bits;
+        let fs = self.config.full_scale;
+        self.draft
+            .luts
+            .entry(lut_index)
+            .or_insert_with(|| LookupTable::identity(depth, bits, fs))
+            .write_entry(entry, value);
+        Ok(())
+    }
+
+    /// `setDacConstant`: sets a DAC's constant bias output. The stored value
+    /// is quantized to the DAC's resolution — an honest model of the paper's
+    /// precision discussion.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalogError::NoSuchUnit`] for a bad index.
+    /// * [`AnalogError::ValueOutOfRange`] if `|value|` exceeds full scale.
+    pub fn set_dac_constant(&mut self, index: usize, value: f64) -> Result<(), AnalogError> {
+        let unit = UnitId::Dac(index);
+        if !self.config.inventory.contains(unit) {
+            return Err(AnalogError::NoSuchUnit { unit });
+        }
+        if value.abs() > self.config.full_scale || !value.is_finite() {
+            return Err(AnalogError::ValueOutOfRange {
+                context: "dac constant",
+                value,
+                limit: self.config.full_scale,
+            });
+        }
+        self.committed = None;
+        let q = quantize(value, self.config.dac_bits, self.config.full_scale);
+        self.draft.dac_values.insert(index, q);
+        Ok(())
+    }
+
+    /// `setTimeout`: stops computation after `cycles` control-clock cycles.
+    pub fn set_timeout(&mut self, cycles: u64) {
+        self.committed = None;
+        self.draft.timeout_cycles = Some(cycles);
+    }
+
+    /// `setAnaInputEn`: opens or closes an analog input channel.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::NoSuchUnit`] for a bad index.
+    pub fn set_ana_input_en(&mut self, index: usize, enabled: bool) -> Result<(), AnalogError> {
+        let unit = UnitId::AnalogInput(index);
+        if !self.config.inventory.contains(unit) {
+            return Err(AnalogError::NoSuchUnit { unit });
+        }
+        self.committed = None;
+        self.draft.inputs_enabled.insert(index, enabled);
+        Ok(())
+    }
+
+    /// Attaches an external stimulus waveform to an analog input channel
+    /// (test-bench side; takes effect only while the channel is enabled).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::NoSuchUnit`] for a bad index.
+    pub fn attach_input_signal(
+        &mut self,
+        index: usize,
+        signal: InputSignal,
+    ) -> Result<(), AnalogError> {
+        let unit = UnitId::AnalogInput(index);
+        if !self.config.inventory.contains(unit) {
+            return Err(AnalogError::NoSuchUnit { unit });
+        }
+        self.input_signals.insert(index, signal);
+        Ok(())
+    }
+
+    /// `cfgCommit`: validates and freezes the draft configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::AlgebraicLoop`] if the netlist has a memoryless cycle.
+    pub fn cfg_commit(&mut self) -> Result<(), AnalogError> {
+        self.draft.netlist.validate()?;
+        self.committed = Some(self.draft.clone());
+        Ok(())
+    }
+
+    /// Whether a committed configuration exists.
+    pub fn is_committed(&self) -> bool {
+        self.committed.is_some()
+    }
+
+    /// Resets the draft configuration to empty (and invalidates the commit).
+    pub fn reset_config(&mut self) {
+        self.draft = Registers::new(&self.config);
+        self.committed = None;
+    }
+
+    // ----- Control instructions -----
+
+    /// `execStart` … `execStop`: runs the committed configuration.
+    ///
+    /// Integration starts from the programmed initial conditions and runs
+    /// until the committed timeout (if any), the engine's steady-state
+    /// detector (if enabled in `options`), or the safety cap — whichever
+    /// comes first. Exception latches are cleared at start and captured at
+    /// the end, along with every ADC's input value.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalogError::ProtocolViolation`] if no configuration is committed.
+    /// * [`AnalogError::Engine`] if the integration fails.
+    pub fn exec(&mut self, options: &EngineOptions) -> Result<RunReport, AnalogError> {
+        let registers = self
+            .committed
+            .as_ref()
+            .ok_or_else(|| AnalogError::protocol("execStart before cfgCommit"))?;
+        self.exceptions.clear();
+        let report = run_committed(
+            registers,
+            &self.config,
+            &self.variation,
+            &self.input_signals,
+            options,
+        )?;
+        self.exceptions = report.exceptions.clone();
+        self.adc_inputs = report.adc_inputs.clone();
+        Ok(report)
+    }
+
+    // ----- Data output instructions -----
+
+    /// `readSerial`: reads one ADC conversion of the value at the ADC's
+    /// input, as a digital code.
+    ///
+    /// Each conversion sees one sample of readout noise and quantizes to the
+    /// configured resolution.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::NoSuchUnit`] for a bad index.
+    pub fn read_serial(&mut self, adc_index: usize) -> Result<u32, AnalogError> {
+        let value = self.sample_adc(adc_index)?;
+        Ok(self.code_of(value))
+    }
+
+    /// `analogAvg`: averages `samples` ADC conversions, returning the mean
+    /// *analog* estimate. Averaging suppresses readout noise by `√samples`
+    /// (each individual sample is still quantized).
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalogError::NoSuchUnit`] for a bad index.
+    /// * [`AnalogError::ProtocolViolation`] if `samples == 0`.
+    pub fn analog_avg(&mut self, adc_index: usize, samples: usize) -> Result<f64, AnalogError> {
+        if samples == 0 {
+            return Err(AnalogError::protocol("analogAvg needs at least one sample"));
+        }
+        let mut acc = 0.0;
+        for _ in 0..samples {
+            let v = self.sample_adc(adc_index)?;
+            acc += self.value_of(self.code_of(v));
+        }
+        Ok(acc / samples as f64)
+    }
+
+    /// `readExp`: the exception vector from the last run, as a byte array.
+    pub fn read_exp(&self) -> Vec<u8> {
+        self.exceptions.to_bytes(&self.config.inventory)
+    }
+
+    /// The exception vector from the last run, in structured form.
+    pub fn exceptions(&self) -> &ExceptionVector {
+        &self.exceptions
+    }
+
+    /// One noisy analog sample at an ADC input (pre-quantization).
+    fn sample_adc(&mut self, adc_index: usize) -> Result<f64, AnalogError> {
+        let unit = UnitId::Adc(adc_index);
+        if !self.config.inventory.contains(unit) {
+            return Err(AnalogError::NoSuchUnit { unit });
+        }
+        let value = self.adc_inputs.get(&adc_index).copied().unwrap_or(0.0);
+        let noise_std = self.variation.readout_noise_std();
+        let noise = if noise_std > 0.0 {
+            let u1: f64 = self.noise_rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = self.noise_rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * noise_std
+        } else {
+            0.0
+        };
+        // The ADC's own gain/offset imperfection applies at conversion.
+        let imperfect = self.variation.of(unit).apply(value + noise);
+        Ok(imperfect)
+    }
+
+    /// Converts an analog value to the ADC's digital code (mid-tread
+    /// quantization: zero maps exactly to the mid code, so small residuals
+    /// read back unbiased — essential for Algorithm 2 refinement).
+    fn code_of(&self, value: f64) -> u32 {
+        let levels = 1u32 << self.config.adc_bits;
+        let lsb = self.config.adc_lsb();
+        let code = (value / lsb).round() + f64::from(levels / 2);
+        (code.max(0.0) as u32).min(levels - 1)
+    }
+
+    /// Converts a digital code back to its analog value.
+    pub fn value_of(&self, code: u32) -> f64 {
+        let levels = 1u32 << self.config.adc_bits;
+        let lsb = self.config.adc_lsb();
+        (f64::from(code) - f64::from(levels / 2)) * lsb
+    }
+
+    /// The committed timeout converted to seconds, if set.
+    pub fn timeout_seconds(&self) -> Option<f64> {
+        self.committed
+            .as_ref()
+            .and_then(|r| r.timeout_cycles)
+            .map(|c| c as f64 / CONTROL_CLOCK_HZ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal_chip() -> AnalogChip {
+        AnalogChip::new(ChipConfig::ideal())
+    }
+
+    #[test]
+    fn exec_before_commit_is_protocol_violation() {
+        let mut chip = ideal_chip();
+        assert!(matches!(
+            chip.exec(&EngineOptions::default()),
+            Err(AnalogError::ProtocolViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn config_edits_invalidate_commit() {
+        let mut chip = ideal_chip();
+        chip.cfg_commit().unwrap();
+        assert!(chip.is_committed());
+        chip.set_timeout(100);
+        assert!(!chip.is_committed());
+    }
+
+    #[test]
+    fn register_validation() {
+        let mut chip = ideal_chip();
+        assert!(chip.set_int_initial(4, 0.0).is_err());
+        assert!(chip.set_int_initial(0, 1.5).is_err());
+        assert!(chip.set_int_initial(0, f64::NAN).is_err());
+        assert!(chip.set_mul_gain(8, 0.5).is_err());
+        assert!(chip.set_mul_gain(0, 2.0).is_err());
+        assert!(chip.set_dac_constant(2, 0.0).is_err());
+        assert!(chip.set_dac_constant(0, -2.0).is_err());
+        assert!(chip.set_ana_input_en(4, true).is_err());
+        assert!(chip.set_int_initial(0, 0.5).is_ok());
+        assert!(chip.set_mul_gain(0, -1.0).is_ok());
+        assert!(chip.set_dac_constant(0, 0.25).is_ok());
+    }
+
+    #[test]
+    fn dac_values_are_quantized() {
+        let mut chip = ideal_chip();
+        chip.set_dac_constant(0, 0.123456).unwrap();
+        let stored = chip.draft.dac_values[&0];
+        let lsb = chip.config.dac_lsb();
+        assert!((stored / lsb - (stored / lsb).round()).abs() < 1e-12);
+        assert!((stored - 0.123456).abs() <= lsb);
+    }
+
+    #[test]
+    fn adc_code_round_trip() {
+        let chip = ideal_chip();
+        for code in [0u32, 1, 127, 128, 255] {
+            let v = chip.value_of(code);
+            assert_eq!(chip.code_of(v), code);
+        }
+    }
+
+    #[test]
+    fn timeout_conversion() {
+        let mut chip = ideal_chip();
+        chip.set_timeout(2_000_000);
+        chip.cfg_commit().unwrap();
+        assert!((chip.timeout_seconds().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_config_clears_draft() {
+        let mut chip = ideal_chip();
+        chip.set_mul_gain(0, 0.5).unwrap();
+        chip.reset_config();
+        assert!(chip.draft.mul_gains.is_empty());
+        assert!(!chip.is_committed());
+    }
+
+    #[test]
+    fn read_exp_is_empty_before_any_run() {
+        let chip = ideal_chip();
+        assert!(chip.read_exp().iter().all(|b| *b == 0));
+        assert!(chip.exceptions().is_empty());
+    }
+}

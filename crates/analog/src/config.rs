@@ -1,0 +1,241 @@
+use crate::units::ResourceInventory;
+
+/// The prototype chip's analog bandwidth (paper §V-B: 20 kHz).
+pub const PROTOTYPE_BANDWIDTH_HZ: f64 = 20e3;
+
+/// Static description of an analog accelerator chip.
+///
+/// [`ChipConfig::prototype`] reproduces the fabricated 65 nm chip; larger or
+/// faster designs (the 80 kHz / 320 kHz / 1.3 MHz projections of §V-B) are
+/// built with [`with_bandwidth`](ChipConfig::with_bandwidth) and
+/// [`with_macroblocks`](ChipConfig::with_macroblocks).
+///
+/// ```
+/// use aa_analog::ChipConfig;
+///
+/// let chip = ChipConfig::prototype();
+/// assert_eq!(chip.inventory.integrators, 4);
+/// let big = ChipConfig::prototype().with_macroblocks(650).with_bandwidth(80e3);
+/// assert_eq!(big.inventory.integrators, 650);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipConfig {
+    /// Functional-unit counts.
+    pub inventory: ResourceInventory,
+    /// Analog signal bandwidth in Hz. Sets the integration rate constant
+    /// `ω_u = 2π·bandwidth`; all solution times scale as `1/bandwidth`.
+    pub bandwidth_hz: f64,
+    /// ADC resolution in bits (8 on the prototype; 12 in the paper's model
+    /// accelerator).
+    pub adc_bits: u32,
+    /// DAC resolution in bits.
+    pub dac_bits: u32,
+    /// Lookup-table depth (256-deep continuous-time SRAM on the prototype).
+    pub lut_depth: usize,
+    /// Full-scale range of every analog variable, in normalized units.
+    /// Values beyond `±full_scale` clip and raise overflow exceptions.
+    pub full_scale: f64,
+    /// Largest programmable multiplier gain magnitude.
+    pub max_gain: f64,
+    /// Non-ideal behaviour magnitudes.
+    pub nonideal: NonIdealityConfig,
+}
+
+impl ChipConfig {
+    /// The fabricated prototype: 4 macroblocks, 20 kHz bandwidth, 8-bit
+    /// converters, 256-deep lookup tables.
+    pub fn prototype() -> Self {
+        ChipConfig {
+            inventory: ResourceInventory::from_macroblocks(4),
+            bandwidth_hz: PROTOTYPE_BANDWIDTH_HZ,
+            adc_bits: 8,
+            dac_bits: 8,
+            lut_depth: 256,
+            full_scale: 1.0,
+            max_gain: 1.0,
+            nonideal: NonIdealityConfig::default(),
+        }
+    }
+
+    /// An idealized chip: no offsets, no gain errors, no noise. Useful for
+    /// isolating algorithmic behaviour from circuit behaviour in tests and
+    /// ablations.
+    pub fn ideal() -> Self {
+        ChipConfig {
+            nonideal: NonIdealityConfig::none(),
+            ..ChipConfig::prototype()
+        }
+    }
+
+    /// Returns a copy with a different macroblock count (scaled accelerator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macroblocks == 0`.
+    pub fn with_macroblocks(mut self, macroblocks: usize) -> Self {
+        self.inventory = ResourceInventory::from_macroblocks(macroblocks);
+        self
+    }
+
+    /// Returns a copy with a different analog bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_hz` is not finite and positive.
+    pub fn with_bandwidth(mut self, bandwidth_hz: f64) -> Self {
+        assert!(
+            bandwidth_hz.is_finite() && bandwidth_hz > 0.0,
+            "bandwidth must be finite and positive"
+        );
+        self.bandwidth_hz = bandwidth_hz;
+        self
+    }
+
+    /// Returns a copy with a different ADC resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or above 24.
+    pub fn with_adc_bits(mut self, bits: u32) -> Self {
+        assert!((1..=24).contains(&bits), "adc resolution must be 1..=24 bits");
+        self.adc_bits = bits;
+        self
+    }
+
+    /// Returns a copy with different non-ideality magnitudes.
+    pub fn with_nonideal(mut self, nonideal: NonIdealityConfig) -> Self {
+        self.nonideal = nonideal;
+        self
+    }
+
+    /// The integrator rate constant `ω_u = 2π·bandwidth` in 1/s.
+    pub fn omega(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.bandwidth_hz
+    }
+
+    /// One ADC code step, `2·full_scale / 2^bits`.
+    pub fn adc_lsb(&self) -> f64 {
+        2.0 * self.full_scale / f64::from(2u32).powi(self.adc_bits as i32)
+    }
+
+    /// One DAC code step, `2·full_scale / 2^bits`.
+    pub fn dac_lsb(&self) -> f64 {
+        2.0 * self.full_scale / f64::from(2u32).powi(self.dac_bits as i32)
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        ChipConfig::prototype()
+    }
+}
+
+/// Magnitudes of the three non-ideal behaviours the paper describes
+/// (§III-B "Calibration"): offset bias, gain error, and nonlinearity, plus
+/// readout noise.
+///
+/// Per-unit values are drawn once per chip instance (process variation)
+/// from zero-mean Gaussians with these standard deviations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonIdealityConfig {
+    /// Std-dev of the constant additive shift at each block output, as a
+    /// fraction of full scale.
+    pub offset_std: f64,
+    /// Std-dev of the relative gain error of each block.
+    pub gain_error_std: f64,
+    /// Std-dev of readout noise per ADC sample, as a fraction of full scale.
+    pub readout_noise_std: f64,
+    /// RNG seed for drawing per-instance process variation.
+    pub seed: u64,
+}
+
+impl NonIdealityConfig {
+    /// No imperfections at all (ideal hardware).
+    pub fn none() -> Self {
+        NonIdealityConfig {
+            offset_std: 0.0,
+            gain_error_std: 0.0,
+            readout_noise_std: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different process-variation seed (a different
+    /// "copy of the chip", in the paper's words).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether every magnitude is zero.
+    pub fn is_ideal(&self) -> bool {
+        self.offset_std == 0.0 && self.gain_error_std == 0.0 && self.readout_noise_std == 0.0
+    }
+}
+
+impl Default for NonIdealityConfig {
+    /// Defaults sized so that uncalibrated error is clearly visible at 8-bit
+    /// precision but calibration can trim it below one LSB: 1% offset,
+    /// 2% gain error, 0.1% readout noise.
+    fn default() -> Self {
+        NonIdealityConfig {
+            offset_std: 0.01,
+            gain_error_std: 0.02,
+            readout_noise_std: 0.001,
+            seed: 0x414e414c4f47, // "ANALOG"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_paper_parameters() {
+        let c = ChipConfig::prototype();
+        assert_eq!(c.bandwidth_hz, 20e3);
+        assert_eq!(c.adc_bits, 8);
+        assert_eq!(c.dac_bits, 8);
+        assert_eq!(c.lut_depth, 256);
+        assert_eq!(c.inventory.integrators, 4);
+        assert_eq!(c.inventory.multipliers, 8);
+    }
+
+    #[test]
+    fn omega_is_two_pi_bandwidth() {
+        let c = ChipConfig::prototype();
+        assert!((c.omega() - 2.0 * std::f64::consts::PI * 20e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lsb_sizes() {
+        let c = ChipConfig::prototype();
+        assert!((c.adc_lsb() - 2.0 / 256.0).abs() < 1e-15);
+        let c12 = c.with_adc_bits(12);
+        assert!((c12.adc_lsb() - 2.0 / 4096.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = ChipConfig::prototype()
+            .with_macroblocks(10)
+            .with_bandwidth(80e3)
+            .with_adc_bits(12);
+        assert_eq!(c.inventory.integrators, 10);
+        assert_eq!(c.bandwidth_hz, 80e3);
+        assert_eq!(c.adc_bits, 12);
+    }
+
+    #[test]
+    fn ideal_config_has_no_imperfections() {
+        assert!(ChipConfig::ideal().nonideal.is_ideal());
+        assert!(!ChipConfig::prototype().nonideal.is_ideal());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = ChipConfig::prototype().with_bandwidth(0.0);
+    }
+}

@@ -1,0 +1,784 @@
+//! The continuous-time execution engine.
+//!
+//! A committed configuration is compiled into a dataflow circuit: integrator
+//! states form the ODE state vector, memoryless units (multipliers, fanouts,
+//! lookup tables) are evaluated in dependency order, and input branches sum
+//! the currents of their drivers. The circuit is then integrated with RK4 at
+//! a fine fraction of the integrator time constant `τ = 1/ω_u`, with
+//! per-block clipping, overflow-exception latching, and dynamic-range
+//! tracking — the behaviours the paper's architecture (§III-B) is built
+//! around.
+
+use std::collections::BTreeMap;
+
+use crate::chip::{InputSignal, Registers, CONTROL_CLOCK_HZ};
+use crate::config::ChipConfig;
+use crate::error::AnalogError;
+use crate::exceptions::ExceptionVector;
+use crate::lut::LookupTable;
+use crate::netlist::{output_port_count, InputPort, OutputPort};
+use crate::nonideal::ProcessVariation;
+use crate::units::UnitId;
+
+/// Options controlling the engine's numerical integration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOptions {
+    /// RK4 step as a fraction of the integrator time constant `1/ω_u`.
+    pub dt_tau: f64,
+    /// Stop when the largest normalized state derivative (per `τ`) falls
+    /// below this value. `None` disables steady-state detection (the real
+    /// chip only stops on `execStop`/timeout; steady detection is a
+    /// convenience of the simulation test-bench).
+    pub steady_tol: Option<f64>,
+    /// Safety cap on simulated time, in units of `τ`.
+    pub max_tau: f64,
+    /// Number of waveform samples to retain per analog output channel.
+    pub waveform_samples: usize,
+    /// Abort the run as soon as any overflow exception latches. The paper's
+    /// host is designed "to be able to react when problems occur in the
+    /// course of analog computation"; a saturated integrator never settles,
+    /// so waiting out the timeout is wasted time.
+    pub stop_on_exception: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            dt_tau: 0.05,
+            steady_tol: Some(1e-6),
+            max_tau: 1e6,
+            waveform_samples: 256,
+            stop_on_exception: false,
+        }
+    }
+}
+
+/// What the engine observed during one `execStart`…stop window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Wall-clock (simulated) duration of the analog computation, seconds.
+    pub duration_s: f64,
+    /// RK4 steps taken.
+    pub steps: usize,
+    /// Whether the steady-state detector fired (vs timeout / cap).
+    pub reached_steady_state: bool,
+    /// Whether the committed timeout expired.
+    pub timed_out: bool,
+    /// Whether the run was aborted early by `stop_on_exception`.
+    pub aborted_on_exception: bool,
+    /// Units that clipped at any point during the run.
+    pub exceptions: ExceptionVector,
+    /// Peak `|value|/full_scale` seen at each used unit's output (or input,
+    /// for sinks). Values near 1.0 used the full dynamic range; values well
+    /// below 0.5 indicate the underuse the paper warns costs precision.
+    pub range_usage: BTreeMap<UnitId, f64>,
+    /// Final integrator states by integrator index.
+    pub integrator_values: BTreeMap<usize, f64>,
+    /// Value present at each ADC's input at the end of the run.
+    pub adc_inputs: BTreeMap<usize, f64>,
+    /// Sampled waveforms at each analog output channel.
+    pub output_waveforms: BTreeMap<usize, Vec<(f64, f64)>>,
+}
+
+impl RunReport {
+    /// Units whose dynamic range usage fell below `threshold` (fraction of
+    /// full scale) — candidates for scaling the problem *up* (paper §III-B:
+    /// "the host also observes if the dynamic range is not fully used,
+    /// which may result in low precision").
+    pub fn underused_units(&self, threshold: f64) -> Vec<UnitId> {
+        self.range_usage
+            .iter()
+            .filter(|(_, usage)| **usage < threshold)
+            .map(|(u, _)| *u)
+            .collect()
+    }
+}
+
+/// One value slot: either a unit output port or a sink (ADC / analog output)
+/// input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Slot {
+    Out(OutputPort),
+    SinkIn(UnitId),
+}
+
+/// The compiled dataflow program.
+struct Compiled<'a> {
+    config: &'a ChipConfig,
+    variation: &'a ProcessVariation,
+    registers: &'a Registers,
+    signals: &'a BTreeMap<usize, InputSignal>,
+    /// State-vector slot → integrator index.
+    integrator_of_state: Vec<usize>,
+    /// Memoryless units in dependency order.
+    topo: Vec<UnitId>,
+    /// Slot numbering.
+    slot_index: BTreeMap<Slot, usize>,
+    /// For each input port: the slots of its drivers.
+    drivers: BTreeMap<InputPort, Vec<usize>>,
+    /// Used DAC indices.
+    dacs: Vec<usize>,
+    /// Used analog input indices.
+    analog_inputs: Vec<usize>,
+    /// Used ADC indices.
+    adcs: Vec<usize>,
+    /// Used analog output indices.
+    analog_outputs: Vec<usize>,
+    /// Identity fallback for unprogrammed lookup tables.
+    default_lut: LookupTable,
+    /// Slot → owning unit, for exception attribution.
+    unit_of_slot: Vec<UnitId>,
+}
+
+/// Per-eval scratch and accumulated run observations.
+struct Tracker {
+    values: Vec<f64>,
+    max_abs: Vec<f64>,
+    clipped: Vec<bool>,
+}
+
+impl<'a> Compiled<'a> {
+    fn build(
+        registers: &'a Registers,
+        config: &'a ChipConfig,
+        variation: &'a ProcessVariation,
+        signals: &'a BTreeMap<usize, InputSignal>,
+    ) -> Result<Self, AnalogError> {
+        let topo = registers.netlist.memoryless_topo_order()?;
+        let used = registers.netlist.used_units();
+
+        let mut integrator_of_state = Vec::new();
+        let mut dacs = Vec::new();
+        let mut analog_inputs = Vec::new();
+        let mut adcs = Vec::new();
+        let mut analog_outputs = Vec::new();
+        let mut slot_index = BTreeMap::new();
+        let mut unit_of_slot = Vec::new();
+
+        let add_slot = |slot: Slot, unit: UnitId,
+                            slot_index: &mut BTreeMap<Slot, usize>,
+                            unit_of_slot: &mut Vec<UnitId>| {
+            let next = slot_index.len();
+            slot_index.entry(slot).or_insert_with(|| {
+                unit_of_slot.push(unit);
+                next
+            });
+        };
+
+        for unit in &used {
+            match *unit {
+                UnitId::Integrator(i) => integrator_of_state.push(i),
+                UnitId::Dac(i) => dacs.push(i),
+                UnitId::AnalogInput(i) => analog_inputs.push(i),
+                UnitId::Adc(i) => adcs.push(i),
+                UnitId::AnalogOutput(i) => analog_outputs.push(i),
+                _ => {}
+            }
+            // Every output port of the unit gets a slot; sinks get an input slot.
+            let n_out = output_port_count(*unit, &config.inventory);
+            for port in 0..n_out {
+                add_slot(
+                    Slot::Out(OutputPort { unit: *unit, port }),
+                    *unit,
+                    &mut slot_index,
+                    &mut unit_of_slot,
+                );
+            }
+            if n_out == 0 {
+                add_slot(Slot::SinkIn(*unit), *unit, &mut slot_index, &mut unit_of_slot);
+            }
+        }
+
+        // Resolve each connection's driver into slot indices per input port.
+        let mut drivers: BTreeMap<InputPort, Vec<usize>> = BTreeMap::new();
+        for (from, to) in registers.netlist.iter() {
+            let slot = slot_index[&Slot::Out(from)];
+            drivers.entry(to).or_default().push(slot);
+        }
+
+        Ok(Compiled {
+            config,
+            variation,
+            registers,
+            signals,
+            integrator_of_state,
+            topo,
+            slot_index,
+            drivers,
+            dacs,
+            analog_inputs,
+            adcs,
+            analog_outputs,
+            default_lut: LookupTable::identity(
+                config.lut_depth,
+                config.adc_bits,
+                config.full_scale,
+            ),
+            unit_of_slot,
+        })
+    }
+
+    fn n_states(&self) -> usize {
+        self.integrator_of_state.len()
+    }
+
+    fn slot(&self, port: OutputPort) -> usize {
+        self.slot_index[&Slot::Out(port)]
+    }
+
+    fn sink_slot(&self, unit: UnitId) -> usize {
+        self.slot_index[&Slot::SinkIn(unit)]
+    }
+
+    /// Sum of driver currents at an input port.
+    fn input_sum(&self, port: InputPort, values: &[f64]) -> f64 {
+        self.drivers
+            .get(&port)
+            .map(|slots| slots.iter().map(|s| values[*s]).sum())
+            .unwrap_or(0.0)
+    }
+
+    /// Clips `value` to full scale, recording the event against `slot`.
+    fn clip(
+        &self,
+        value: f64,
+        slot: usize,
+        max_abs: &mut [f64],
+        clipped: &mut [bool],
+        track: bool,
+    ) -> f64 {
+        let fs = self.config.full_scale;
+        if track {
+            let mag = value.abs();
+            if mag > max_abs[slot] {
+                max_abs[slot] = mag;
+            }
+            if mag > fs {
+                clipped[slot] = true;
+            }
+        }
+        value.clamp(-fs, fs)
+    }
+
+    /// Evaluates the circuit at time `t` for integrator states `state`,
+    /// writing state derivatives into `du`. When `track` is set, range usage
+    /// and clip events are recorded (done once per step, on the k1 stage).
+    fn eval(&self, t: f64, state: &[f64], du: &mut [f64], tracker: &mut Tracker, track: bool) {
+        let fs = self.config.full_scale;
+        let Tracker {
+            values,
+            max_abs,
+            clipped,
+        } = tracker;
+
+        // Sources: integrator outputs (their state, through imperfection).
+        for (slot_state, &int_idx) in self.integrator_of_state.iter().enumerate() {
+            let unit = UnitId::Integrator(int_idx);
+            let out = self.variation.of(unit).apply(state[slot_state]);
+            let s = self.slot_index[&Slot::Out(OutputPort::of(unit))];
+            values[s] = out.clamp(-fs, fs);
+            if track {
+                let mag = out.abs();
+                if mag > max_abs[s] {
+                    max_abs[s] = mag;
+                }
+                if mag > fs {
+                    clipped[s] = true;
+                }
+            }
+        }
+        // Sources: DAC constants.
+        for &i in &self.dacs {
+            let unit = UnitId::Dac(i);
+            let programmed = self.registers.dac_values.get(&i).copied().unwrap_or(0.0);
+            let out = self.variation.of(unit).apply(programmed);
+            let s = self.slot(OutputPort::of(unit));
+            values[s] = self.clip(out, s, max_abs, clipped, track);
+        }
+        // Sources: external analog inputs.
+        for &i in &self.analog_inputs {
+            let unit = UnitId::AnalogInput(i);
+            let enabled = self.registers.inputs_enabled.get(&i).copied().unwrap_or(false);
+            let raw = if enabled {
+                self.signals.get(&i).map(|f| f(t)).unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            let s = self.slot(OutputPort::of(unit));
+            values[s] = self.clip(raw, s, max_abs, clipped, track);
+        }
+
+        // Memoryless units in dependency order.
+        for &unit in &self.topo {
+            match unit {
+                UnitId::Multiplier(i) => {
+                    let in0 = self.input_sum(InputPort { unit, port: 0 }, values);
+                    let ideal = match self.registers.mul_gains.get(&i) {
+                        Some(gain) => gain * in0,
+                        None => {
+                            let in1 = self.input_sum(InputPort { unit, port: 1 }, values);
+                            in0 * in1 / fs
+                        }
+                    };
+                    let out = self.variation.of(unit).apply(ideal);
+                    let s = self.slot(OutputPort::of(unit));
+                    values[s] = self.clip(out, s, max_abs, clipped, track);
+                }
+                UnitId::Fanout(_) => {
+                    let input = self.input_sum(InputPort::of(unit), values);
+                    let imp = self.variation.of(unit);
+                    let n_branches = self.config.inventory.fanout_branches;
+                    for port in 0..n_branches {
+                        let s = self.slot(OutputPort { unit, port });
+                        values[s] = self.clip(imp.apply(input), s, max_abs, clipped, track);
+                    }
+                }
+                UnitId::Lut(i) => {
+                    let input = self.input_sum(InputPort::of(unit), values);
+                    let lut = self.registers.luts.get(&i).unwrap_or(&self.default_lut);
+                    // The CT SRAM output is digital-to-analog: no analog
+                    // gain/offset imperfection, but inherently quantized.
+                    let s = self.slot(OutputPort::of(unit));
+                    values[s] = self.clip(lut.evaluate(input), s, max_abs, clipped, track);
+                }
+                UnitId::Adc(_) | UnitId::AnalogOutput(_) => {
+                    let input = self.input_sum(InputPort::of(unit), values);
+                    let s = self.sink_slot(unit);
+                    values[s] = self.clip(input, s, max_abs, clipped, track);
+                }
+                UnitId::Integrator(_) | UnitId::Dac(_) | UnitId::AnalogInput(_) => {
+                    unreachable!("stateful/source units are not in the memoryless order")
+                }
+            }
+        }
+
+        // Integrator derivatives: ω_u times the summed input current.
+        let omega = self.config.omega();
+        for (slot_state, &int_idx) in self.integrator_of_state.iter().enumerate() {
+            let unit = UnitId::Integrator(int_idx);
+            let input = self.input_sum(InputPort::of(unit), values);
+            du[slot_state] = omega * input;
+        }
+    }
+}
+
+/// Runs a committed register file. Called by
+/// [`AnalogChip::exec`](crate::AnalogChip::exec).
+pub(crate) fn run_committed(
+    registers: &Registers,
+    config: &ChipConfig,
+    variation: &ProcessVariation,
+    signals: &BTreeMap<usize, InputSignal>,
+    options: &EngineOptions,
+) -> Result<RunReport, AnalogError> {
+    if !(options.dt_tau > 0.0 && options.dt_tau.is_finite()) {
+        return Err(AnalogError::protocol(format!(
+            "engine dt_tau must be positive, got {}",
+            options.dt_tau
+        )));
+    }
+    let circuit = Compiled::build(registers, config, variation, signals)?;
+    let n = circuit.n_states();
+    let n_slots = circuit.slot_index.len();
+    let fs = config.full_scale;
+    let omega = config.omega();
+    let dt = options.dt_tau / omega;
+    let timeout_s = registers.timeout_cycles.map(|c| c as f64 / CONTROL_CLOCK_HZ);
+    let cap_s = options.max_tau / omega;
+    let end_s = timeout_s.map_or(cap_s, |t| t.min(cap_s));
+
+    let mut tracker = Tracker {
+        values: vec![0.0; n_slots],
+        max_abs: vec![0.0; n_slots],
+        clipped: vec![false; n_slots],
+    };
+
+    // Initial conditions.
+    let mut state: Vec<f64> = circuit
+        .integrator_of_state
+        .iter()
+        .map(|i| registers.int_initial.get(i).copied().unwrap_or(0.0))
+        .collect();
+
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut mid = vec![0.0; n];
+
+    // Waveform sampling starts dense and decimates by two whenever the
+    // buffer doubles past the target, so the retained samples always span
+    // the whole (unknown-in-advance) run at roughly uniform spacing.
+    let mut stride = 1usize;
+    let mut waveforms: BTreeMap<usize, Vec<(f64, f64)>> = circuit
+        .analog_outputs
+        .iter()
+        .map(|i| (*i, Vec::new()))
+        .collect();
+
+    let mut t = 0.0;
+    let mut steps = 0usize;
+    let mut reached_steady = false;
+    let mut timed_out = false;
+    let mut aborted_on_exception = false;
+
+    loop {
+        // k1 also refreshes slot values at time t (used for sampling below).
+        circuit.eval(t, &state, &mut k1, &mut tracker, true);
+
+        // Record output waveforms.
+        if steps.is_multiple_of(stride) || t >= end_s {
+            let mut overflow = false;
+            for (&i, wave) in waveforms.iter_mut() {
+                let v = tracker.values[circuit.sink_slot(UnitId::AnalogOutput(i))];
+                wave.push((t, v));
+                overflow |= options.waveform_samples > 0 && wave.len() >= 2 * options.waveform_samples;
+            }
+            if overflow {
+                for wave in waveforms.values_mut() {
+                    let mut keep = 0;
+                    wave.retain(|_| {
+                        keep += 1;
+                        keep % 2 == 1
+                    });
+                }
+                stride = stride.saturating_mul(2);
+            }
+        }
+
+        // Stop checks.
+        if let Some(tol) = options.steady_tol {
+            let dnorm = k1.iter().fold(0.0f64, |m, v| m.max(v.abs())) / omega;
+            if dnorm <= tol && n > 0 {
+                reached_steady = true;
+            }
+        }
+        if t >= end_s {
+            timed_out = timeout_s.is_some_and(|ts| t >= ts);
+        }
+        if options.stop_on_exception && tracker.clipped.iter().any(|c| *c) {
+            aborted_on_exception = true;
+        }
+        if reached_steady || aborted_on_exception || t >= end_s || n == 0 {
+            break;
+        }
+
+        // RK4 step (k1 already computed).
+        let h = dt.min(end_s - t);
+        for i in 0..n {
+            mid[i] = state[i] + 0.5 * h * k1[i];
+        }
+        circuit.eval(t + 0.5 * h, &mid, &mut k2, &mut tracker, false);
+        for i in 0..n {
+            mid[i] = state[i] + 0.5 * h * k2[i];
+        }
+        circuit.eval(t + 0.5 * h, &mid, &mut k3, &mut tracker, false);
+        for i in 0..n {
+            mid[i] = state[i] + h * k3[i];
+        }
+        circuit.eval(t + h, &mid, &mut k4, &mut tracker, false);
+        for i in 0..n {
+            state[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+
+        // Integrator saturation at the rails.
+        for (slot_state, &int_idx) in circuit.integrator_of_state.iter().enumerate() {
+            if state[slot_state].abs() > fs {
+                state[slot_state] = state[slot_state].clamp(-fs, fs);
+                let s = circuit.slot(OutputPort::of(UnitId::Integrator(int_idx)));
+                tracker.clipped[s] = true;
+                tracker.max_abs[s] = tracker.max_abs[s].max(fs * 1.0000001);
+            }
+            if !state[slot_state].is_finite() {
+                return Err(AnalogError::Engine(aa_ode::OdeError::Diverged {
+                    at_time: t,
+                }));
+            }
+        }
+
+        t += h;
+        steps += 1;
+    }
+
+    // Harvest observations.
+    let mut exceptions = ExceptionVector::new();
+    let mut range_usage = BTreeMap::new();
+    for (slot, unit) in circuit.unit_of_slot.iter().enumerate() {
+        if tracker.clipped[slot] {
+            exceptions.latch(*unit);
+        }
+        let usage = tracker.max_abs[slot] / fs;
+        range_usage
+            .entry(*unit)
+            .and_modify(|u: &mut f64| *u = u.max(usage))
+            .or_insert(usage);
+    }
+    let integrator_values: BTreeMap<usize, f64> = circuit
+        .integrator_of_state
+        .iter()
+        .enumerate()
+        .map(|(s, &i)| (i, state[s]))
+        .collect();
+    let adc_inputs: BTreeMap<usize, f64> = circuit
+        .adcs
+        .iter()
+        .map(|&i| (i, tracker.values[circuit.sink_slot(UnitId::Adc(i))]))
+        .collect();
+
+    Ok(RunReport {
+        duration_s: t,
+        steps,
+        reached_steady_state: reached_steady,
+        timed_out,
+        aborted_on_exception,
+        exceptions,
+        range_usage,
+        integrator_values,
+        adc_inputs,
+        output_waveforms: waveforms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::AnalogChip;
+    use crate::config::ChipConfig;
+    use crate::netlist::{InputPort, OutputPort};
+
+    /// Builds the paper's Figure 1 circuit: du/dt = a·u + b.
+    /// u → fanout → {ADC branch, multiplier·a branch}; DAC(b) joins the
+    /// multiplier output at the integrator input.
+    fn figure1_chip(a: f64, b: f64, u_init: f64, config: ChipConfig) -> AnalogChip {
+        let mut chip = AnalogChip::new(config);
+        let int0 = UnitId::Integrator(0);
+        let fan0 = UnitId::Fanout(0);
+        let mul0 = UnitId::Multiplier(0);
+        let adc0 = UnitId::Adc(0);
+        let dac0 = UnitId::Dac(0);
+        chip.set_conn(OutputPort::of(int0), InputPort::of(fan0)).unwrap();
+        chip.set_conn(OutputPort { unit: fan0, port: 0 }, InputPort::of(adc0))
+            .unwrap();
+        chip.set_conn(OutputPort { unit: fan0, port: 1 }, InputPort::of(mul0))
+            .unwrap();
+        chip.set_conn(OutputPort::of(mul0), InputPort::of(int0)).unwrap();
+        chip.set_conn(OutputPort::of(dac0), InputPort::of(int0)).unwrap();
+        chip.set_mul_gain(0, a).unwrap();
+        chip.set_dac_constant(0, b).unwrap();
+        chip.set_int_initial(0, u_init).unwrap();
+        chip.cfg_commit().unwrap();
+        chip
+    }
+
+    #[test]
+    fn figure1_circuit_settles_at_equation_solution() {
+        // du/dt = -u + 0.5 settles at u = 0.5.
+        let mut chip = figure1_chip(-1.0, 0.5, 0.0, ChipConfig::ideal());
+        let report = chip.exec(&EngineOptions::default()).unwrap();
+        assert!(report.reached_steady_state);
+        assert!((report.integrator_values[&0] - 0.5).abs() < 1e-4);
+        // The ADC branch sees the same value.
+        assert!((report.adc_inputs[&0] - 0.5).abs() < 1e-4);
+        assert!(report.exceptions.is_empty());
+    }
+
+    #[test]
+    fn settle_time_matches_time_constant() {
+        // du/dt = ω·(-u + b): the settling transient is e^{-ω t}, so steady
+        // state at tolerance ε arrives at ≈ ln(1/ε)/ω seconds.
+        let mut chip = figure1_chip(-1.0, 0.5, 0.0, ChipConfig::ideal());
+        let report = chip
+            .exec(&EngineOptions {
+                steady_tol: Some(1e-6),
+                ..EngineOptions::default()
+            })
+            .unwrap();
+        let omega = chip.config().omega();
+        let expected = (0.5e6f64).ln() / omega; // |du|/ω = 0.5·e^{-ωt} = 1e-6
+        assert!(
+            (report.duration_s - expected).abs() / expected < 0.02,
+            "settled in {} s, expected ≈ {} s",
+            report.duration_s,
+            expected
+        );
+    }
+
+    #[test]
+    fn twenty_khz_chip_is_slower_than_80khz_chip() {
+        let run = |bw: f64| {
+            let mut chip = figure1_chip(-1.0, 0.25, 0.0, ChipConfig::ideal().with_bandwidth(bw));
+            chip.exec(&EngineOptions::default()).unwrap().duration_s
+        };
+        let slow = run(20e3);
+        let fast = run(80e3);
+        let ratio = slow / fast;
+        assert!((ratio - 4.0).abs() < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn overflow_sets_exception_latch() {
+        // du/dt = +u from 0.5: grows to the rail and saturates.
+        let mut chip = figure1_chip(1.0, 0.0, 0.5, ChipConfig::ideal());
+        let report = chip
+            .exec(&EngineOptions {
+                steady_tol: None,
+                max_tau: 50.0,
+                ..EngineOptions::default()
+            })
+            .unwrap();
+        assert!(report.exceptions.is_latched(UnitId::Integrator(0)));
+        assert!((report.integrator_values[&0].abs() - 1.0).abs() < 1e-9);
+        // readExp sees it too.
+        assert!(chip.exceptions().any());
+    }
+
+    #[test]
+    fn timeout_stops_the_run() {
+        let mut chip = figure1_chip(-1.0, 0.5, 0.0, ChipConfig::ideal());
+        chip.set_timeout(10); // 10 µs at the 1 MHz control clock
+        chip.cfg_commit().unwrap();
+        let report = chip
+            .exec(&EngineOptions {
+                steady_tol: None,
+                ..EngineOptions::default()
+            })
+            .unwrap();
+        assert!(report.timed_out);
+        assert!((report.duration_s - 10e-6).abs() < 1e-6);
+        // 10 µs ≪ the 20 kHz time constant: far from steady.
+        assert!((report.integrator_values[&0] - 0.5).abs() > 0.1);
+    }
+
+    #[test]
+    fn range_usage_reports_underuse() {
+        // Tiny problem values: b = 0.01 → steady state 0.01, far below fs.
+        let mut chip = figure1_chip(-1.0, 0.01, 0.0, ChipConfig::ideal());
+        let report = chip.exec(&EngineOptions::default()).unwrap();
+        let underused = report.underused_units(0.5);
+        assert!(underused.contains(&UnitId::Integrator(0)));
+        // A full-range problem is not underused.
+        let mut chip = figure1_chip(-1.0, 0.9, 0.0, ChipConfig::ideal());
+        let report = chip.exec(&EngineOptions::default()).unwrap();
+        assert!(!report.underused_units(0.5).contains(&UnitId::Integrator(0)));
+    }
+
+    #[test]
+    fn offsets_shift_the_steady_state_until_calibrated() {
+        let cfg = ChipConfig::prototype(); // has offsets/gain errors
+        let mut chip = figure1_chip(-1.0, 0.5, 0.0, cfg);
+        let report = chip.exec(&EngineOptions::default()).unwrap();
+        let err = (report.integrator_values[&0] - 0.5).abs();
+        assert!(
+            err > 1e-4,
+            "uncalibrated hardware should visibly miss the ideal solution, err = {err}"
+        );
+    }
+
+    #[test]
+    fn waveform_is_monotone_exponential_approach() {
+        // Route the fanout's ADC branch to an analog output instead to watch
+        // the waveform.
+        let mut chip = AnalogChip::new(ChipConfig::ideal());
+        let int0 = UnitId::Integrator(0);
+        let fan0 = UnitId::Fanout(0);
+        let mul0 = UnitId::Multiplier(0);
+        let aout0 = UnitId::AnalogOutput(0);
+        let dac0 = UnitId::Dac(0);
+        chip.set_conn(OutputPort::of(int0), InputPort::of(fan0)).unwrap();
+        chip.set_conn(OutputPort { unit: fan0, port: 0 }, InputPort::of(aout0))
+            .unwrap();
+        chip.set_conn(OutputPort { unit: fan0, port: 1 }, InputPort::of(mul0))
+            .unwrap();
+        chip.set_conn(OutputPort::of(mul0), InputPort::of(int0)).unwrap();
+        chip.set_conn(OutputPort::of(dac0), InputPort::of(int0)).unwrap();
+        chip.set_mul_gain(0, -1.0).unwrap();
+        chip.set_dac_constant(0, 0.75).unwrap();
+        chip.set_int_initial(0, 0.0).unwrap();
+        chip.cfg_commit().unwrap();
+        let report = chip.exec(&EngineOptions::default()).unwrap();
+        let wave = &report.output_waveforms[&0];
+        assert!(wave.len() > 10);
+        // Monotone rise toward 0.75.
+        for pair in wave.windows(2) {
+            assert!(pair[1].1 >= pair[0].1 - 1e-9);
+        }
+        assert!((wave.last().unwrap().1 - 0.75).abs() < 1e-3);
+    }
+
+    #[test]
+    fn variable_variable_multiplication() {
+        // mul in variable mode computing u·u: du/dt = b − u² settles at √b.
+        let mut chip = AnalogChip::new(ChipConfig::ideal());
+        let int0 = UnitId::Integrator(0);
+        let fan0 = UnitId::Fanout(0);
+        let mul0 = UnitId::Multiplier(0);
+        let mul1 = UnitId::Multiplier(1);
+        let dac0 = UnitId::Dac(0);
+        chip.set_conn(OutputPort::of(int0), InputPort::of(fan0)).unwrap();
+        chip.set_conn(
+            OutputPort { unit: fan0, port: 0 },
+            InputPort { unit: mul0, port: 0 },
+        )
+        .unwrap();
+        chip.set_conn(
+            OutputPort { unit: fan0, port: 1 },
+            InputPort { unit: mul0, port: 1 },
+        )
+        .unwrap();
+        // Negate u² through a gain multiplier.
+        chip.set_conn(OutputPort::of(mul0), InputPort::of(mul1)).unwrap();
+        chip.set_mul_gain(1, -1.0).unwrap();
+        chip.set_conn(OutputPort::of(mul1), InputPort::of(int0)).unwrap();
+        chip.set_conn(OutputPort::of(dac0), InputPort::of(int0)).unwrap();
+        chip.set_dac_constant(0, 0.25).unwrap();
+        chip.set_int_initial(0, 0.9).unwrap();
+        chip.cfg_commit().unwrap();
+        let report = chip.exec(&EngineOptions::default()).unwrap();
+        assert!(report.reached_steady_state);
+        assert!((report.integrator_values[&0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn external_input_drives_the_circuit() {
+        // Integrator integrates a constant external stimulus.
+        let mut chip = AnalogChip::new(ChipConfig::ideal());
+        let int0 = UnitId::Integrator(0);
+        let ain0 = UnitId::AnalogInput(0);
+        chip.set_conn(OutputPort::of(ain0), InputPort::of(int0)).unwrap();
+        chip.set_ana_input_en(0, true).unwrap();
+        chip.attach_input_signal(0, Box::new(|_t| 0.1)).unwrap();
+        chip.set_int_initial(0, 0.0).unwrap();
+        chip.set_timeout(50);
+        chip.cfg_commit().unwrap();
+        let report = chip
+            .exec(&EngineOptions {
+                steady_tol: None,
+                ..EngineOptions::default()
+            })
+            .unwrap();
+        // After 50 µs at ω·0.1 per second: u = 0.1·ω·5e-5 ≈ 0.63 (within
+        // full scale, so no saturation).
+        let expected = 0.1 * chip.config().omega() * 50e-6;
+        assert!((report.integrator_values[&0] - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn disabled_input_contributes_nothing() {
+        let mut chip = AnalogChip::new(ChipConfig::ideal());
+        let int0 = UnitId::Integrator(0);
+        let ain0 = UnitId::AnalogInput(0);
+        chip.set_conn(OutputPort::of(ain0), InputPort::of(int0)).unwrap();
+        chip.attach_input_signal(0, Box::new(|_t| 0.5)).unwrap();
+        // Not enabled: stimulus must be ignored.
+        chip.set_int_initial(0, 0.25).unwrap();
+        chip.set_timeout(1000);
+        chip.cfg_commit().unwrap();
+        let report = chip
+            .exec(&EngineOptions {
+                steady_tol: None,
+                ..EngineOptions::default()
+            })
+            .unwrap();
+        assert!((report.integrator_values[&0] - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Overflow-exception latches.
+//!
+//! A key architectural contribution of the paper (§III-B "Exceptions"): every
+//! analog design has a linear input range; exceeding it clips the output,
+//! "similar to overflow of digital number representations". The integrators
+//! and ADCs latch such events, and the host reads the latch vector after
+//! computation with `readExp`, rescaling and re-running when it is non-empty.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::units::{ResourceInventory, UnitId};
+
+/// The set of units whose overflow latch is set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExceptionVector {
+    latched: BTreeSet<UnitId>,
+}
+
+impl ExceptionVector {
+    /// An empty (all-clear) vector.
+    pub fn new() -> Self {
+        ExceptionVector::default()
+    }
+
+    /// Latches an exception for `unit`.
+    pub fn latch(&mut self, unit: UnitId) {
+        self.latched.insert(unit);
+    }
+
+    /// Whether `unit`'s latch is set.
+    pub fn is_latched(&self, unit: UnitId) -> bool {
+        self.latched.contains(&unit)
+    }
+
+    /// Whether any latch is set.
+    pub fn any(&self) -> bool {
+        !self.latched.is_empty()
+    }
+
+    /// Number of latched units.
+    pub fn len(&self) -> usize {
+        self.latched.len()
+    }
+
+    /// Whether no latch is set.
+    pub fn is_empty(&self) -> bool {
+        self.latched.is_empty()
+    }
+
+    /// Clears every latch (done implicitly by `execStart`).
+    pub fn clear(&mut self) {
+        self.latched.clear();
+    }
+
+    /// Iterates over the latched units.
+    pub fn iter(&self) -> impl Iterator<Item = UnitId> + '_ {
+        self.latched.iter().copied()
+    }
+
+    /// Serializes the vector as the `readExp` character array: one bit per
+    /// unit in `inventory` iteration order, packed little-endian into bytes.
+    pub fn to_bytes(&self, inventory: &ResourceInventory) -> Vec<u8> {
+        let mut bytes = vec![0u8; inventory.total().div_ceil(8)];
+        for (bit, unit) in inventory.iter().enumerate() {
+            if self.is_latched(unit) {
+                bytes[bit / 8] |= 1 << (bit % 8);
+            }
+        }
+        bytes
+    }
+
+    /// Parses a `readExp` byte array produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(inventory: &ResourceInventory, bytes: &[u8]) -> Self {
+        let mut v = ExceptionVector::new();
+        for (bit, unit) in inventory.iter().enumerate() {
+            let byte = bytes.get(bit / 8).copied().unwrap_or(0);
+            if byte & (1 << (bit % 8)) != 0 {
+                v.latch(unit);
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for ExceptionVector {
+    /// Lists latched units, e.g. `"int0, adc1"`, or `"none"` when clear.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.latched.is_empty() {
+            return f.write_str("none");
+        }
+        let mut first = true;
+        for unit in &self.latched {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{unit}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv() -> ResourceInventory {
+        ResourceInventory::from_macroblocks(4)
+    }
+
+    #[test]
+    fn latch_and_query() {
+        let mut v = ExceptionVector::new();
+        assert!(v.is_empty() && !v.any());
+        v.latch(UnitId::Integrator(2));
+        v.latch(UnitId::Adc(0));
+        assert!(v.any());
+        assert_eq!(v.len(), 2);
+        assert!(v.is_latched(UnitId::Integrator(2)));
+        assert!(!v.is_latched(UnitId::Integrator(0)));
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let mut v = ExceptionVector::new();
+        v.latch(UnitId::Integrator(0));
+        v.latch(UnitId::Multiplier(7));
+        v.latch(UnitId::Adc(1));
+        let bytes = v.to_bytes(&inv());
+        assert_eq!(bytes.len(), inv().total().div_ceil(8));
+        let parsed = ExceptionVector::from_bytes(&inv(), &bytes);
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn empty_vector_is_all_zero_bytes() {
+        let bytes = ExceptionVector::new().to_bytes(&inv());
+        assert!(bytes.iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn display_lists_units() {
+        let mut v = ExceptionVector::new();
+        assert_eq!(v.to_string(), "none");
+        v.latch(UnitId::Integrator(1));
+        v.latch(UnitId::Adc(0));
+        assert_eq!(v.to_string(), "int1, adc0");
+    }
+
+    #[test]
+    fn duplicate_latches_are_idempotent() {
+        let mut v = ExceptionVector::new();
+        v.latch(UnitId::Lut(0));
+        v.latch(UnitId::Lut(0));
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! The accelerator instruction set — the paper's Table I, verbatim.
+//!
+//! Instructions fall into four types: control, configuration, data input,
+//! and data output (plus exception reads). The host issues them over a
+//! serial link (SPI on the prototype); here they are an enum executed
+//! in-process by [`Host`](crate::Host).
+
+use std::fmt;
+
+use crate::netlist::{InputPort, OutputPort};
+
+/// Built-in nonlinear functions for `setFunction` (the paper names sine,
+/// signum, and sigmoid as examples the SRAM tables hold).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum NonlinearFunction {
+    /// Pass-through.
+    Identity,
+    /// `fs·sin(π·x/fs)`.
+    Sine,
+    /// Signum.
+    Signum,
+    /// Logistic sigmoid with the given steepness.
+    Sigmoid {
+        /// Slope parameter of the sigmoid.
+        steepness: f64,
+    },
+    /// Absolute value.
+    Abs,
+    /// `x²/fs` (useful for building norms).
+    Square,
+}
+
+impl NonlinearFunction {
+    /// The function as a closure over normalized values with the given
+    /// full scale.
+    pub fn as_closure(&self, full_scale: f64) -> Box<dyn Fn(f64) -> f64 + Send + Sync> {
+        match *self {
+            NonlinearFunction::Identity => Box::new(|x| x),
+            NonlinearFunction::Sine => Box::new(move |x| {
+                full_scale * (std::f64::consts::PI * x / full_scale).sin()
+            }),
+            NonlinearFunction::Signum => Box::new(move |x| {
+                if x > 0.0 {
+                    full_scale
+                } else if x < 0.0 {
+                    -full_scale
+                } else {
+                    0.0
+                }
+            }),
+            NonlinearFunction::Sigmoid { steepness } => Box::new(move |x| {
+                full_scale * (2.0 / (1.0 + (-steepness * x / full_scale).exp()) - 1.0)
+            }),
+            NonlinearFunction::Abs => Box::new(|x| x.abs()),
+            NonlinearFunction::Square => Box::new(move |x| x * x / full_scale),
+        }
+    }
+}
+
+/// Instruction categories (the "Instruction type" column of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstructionKind {
+    /// Calibration and execution control.
+    Control,
+    /// Static configuration writes.
+    Config,
+    /// Data written from host to chip.
+    DataInput,
+    /// Data read from chip to host.
+    DataOutput,
+    /// Exception-vector reads.
+    Exception,
+}
+
+/// One instruction of the accelerator ISA (paper Table I).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Instruction {
+    /// `init`: find calibration codes for all function units.
+    Init,
+    /// `setConn`: create an analog current connection between two units.
+    SetConn {
+        /// Source analog interface.
+        from: OutputPort,
+        /// Destination analog interface.
+        to: InputPort,
+    },
+    /// `setIntInitial`: set an integrator's ODE initial condition.
+    SetIntInitial {
+        /// Integrator index.
+        integrator: usize,
+        /// Initial condition value.
+        value: f64,
+    },
+    /// `setMulGain`: set a multiplier's constant gain.
+    SetMulGain {
+        /// Multiplier index.
+        multiplier: usize,
+        /// Gain value.
+        gain: f64,
+    },
+    /// `setFunction`: program a lookup table with a nonlinear function.
+    SetFunction {
+        /// Lookup-table index.
+        lut: usize,
+        /// The function to program.
+        function: NonlinearFunction,
+    },
+    /// `setDacConstant`: set a DAC's constant additive bias.
+    SetDacConstant {
+        /// DAC index.
+        dac: usize,
+        /// Bias value.
+        value: f64,
+    },
+    /// `setTimeout`: stop computation after a predetermined time.
+    SetTimeout {
+        /// Timeout in control-clock cycles.
+        cycles: u64,
+    },
+    /// `cfgCommit`: write configuration changes to chip registers.
+    CfgCommit,
+    /// `execStart`: release the integrators.
+    ExecStart,
+    /// `execStop`: hold the integrators at their present value.
+    ExecStop,
+    /// `setAnaInputEn`: open an analog input channel.
+    SetAnaInputEn {
+        /// Analog input channel index.
+        channel: usize,
+        /// Whether the channel is open.
+        enabled: bool,
+    },
+    /// `writeParallel`: write a byte to the chip's digital input
+    /// (consumed by the DAC or lookup table selected as parallel target).
+    WriteParallel {
+        /// The byte written.
+        data: u8,
+    },
+    /// `readSerial`: read the outputs of all ADCs as digital codes.
+    ReadSerial,
+    /// `analogAvg`: average several samples of one ADC.
+    AnalogAvg {
+        /// ADC index.
+        adc: usize,
+        /// Number of samples to average.
+        samples: usize,
+    },
+    /// `readExp`: read the exception vector.
+    ReadExp,
+}
+
+impl Instruction {
+    /// The instruction's Table I category.
+    pub fn kind(&self) -> InstructionKind {
+        match self {
+            Instruction::Init | Instruction::ExecStart | Instruction::ExecStop => {
+                InstructionKind::Control
+            }
+            Instruction::SetConn { .. }
+            | Instruction::SetIntInitial { .. }
+            | Instruction::SetMulGain { .. }
+            | Instruction::SetFunction { .. }
+            | Instruction::SetDacConstant { .. }
+            | Instruction::SetTimeout { .. }
+            | Instruction::CfgCommit => InstructionKind::Config,
+            Instruction::SetAnaInputEn { .. } | Instruction::WriteParallel { .. } => {
+                InstructionKind::DataInput
+            }
+            Instruction::ReadSerial | Instruction::AnalogAvg { .. } => InstructionKind::DataOutput,
+            Instruction::ReadExp => InstructionKind::Exception,
+        }
+    }
+
+    /// The Table I mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instruction::Init => "init",
+            Instruction::SetConn { .. } => "setConn",
+            Instruction::SetIntInitial { .. } => "setIntInitial",
+            Instruction::SetMulGain { .. } => "setMulGain",
+            Instruction::SetFunction { .. } => "setFunction",
+            Instruction::SetDacConstant { .. } => "setDacConstant",
+            Instruction::SetTimeout { .. } => "setTimeout",
+            Instruction::CfgCommit => "cfgCommit",
+            Instruction::ExecStart => "execStart",
+            Instruction::ExecStop => "execStop",
+            Instruction::SetAnaInputEn { .. } => "setAnaInputEn",
+            Instruction::WriteParallel { .. } => "writeParallel",
+            Instruction::ReadSerial => "readSerial",
+            Instruction::AnalogAvg { .. } => "analogAvg",
+            Instruction::ReadExp => "readExp",
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::SetConn { from, to } => write!(f, "setConn {from} -> {to}"),
+            Instruction::SetIntInitial { integrator, value } => {
+                write!(f, "setIntInitial int{integrator} = {value}")
+            }
+            Instruction::SetMulGain { multiplier, gain } => {
+                write!(f, "setMulGain mul{multiplier} = {gain}")
+            }
+            Instruction::SetDacConstant { dac, value } => {
+                write!(f, "setDacConstant dac{dac} = {value}")
+            }
+            Instruction::SetTimeout { cycles } => write!(f, "setTimeout {cycles}"),
+            Instruction::SetAnaInputEn { channel, enabled } => {
+                write!(f, "setAnaInputEn ain{channel} = {enabled}")
+            }
+            Instruction::AnalogAvg { adc, samples } => {
+                write!(f, "analogAvg adc{adc} x{samples}")
+            }
+            Instruction::WriteParallel { data } => write!(f, "writeParallel 0x{data:02x}"),
+            Instruction::SetFunction { lut, function } => {
+                write!(f, "setFunction lut{lut} = {function:?}")
+            }
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::UnitId;
+
+    #[test]
+    fn kinds_match_table1() {
+        assert_eq!(Instruction::Init.kind(), InstructionKind::Control);
+        assert_eq!(Instruction::CfgCommit.kind(), InstructionKind::Config);
+        assert_eq!(Instruction::ExecStart.kind(), InstructionKind::Control);
+        assert_eq!(
+            Instruction::SetAnaInputEn { channel: 0, enabled: true }.kind(),
+            InstructionKind::DataInput
+        );
+        assert_eq!(Instruction::ReadSerial.kind(), InstructionKind::DataOutput);
+        assert_eq!(Instruction::ReadExp.kind(), InstructionKind::Exception);
+        assert_eq!(
+            Instruction::SetTimeout { cycles: 10 }.kind(),
+            InstructionKind::Config
+        );
+    }
+
+    #[test]
+    fn mnemonics_and_display() {
+        let i = Instruction::SetMulGain { multiplier: 3, gain: -0.5 };
+        assert_eq!(i.mnemonic(), "setMulGain");
+        assert_eq!(i.to_string(), "setMulGain mul3 = -0.5");
+        assert_eq!(Instruction::ExecStart.to_string(), "execStart");
+        let c = Instruction::SetConn {
+            from: OutputPort::of(UnitId::Integrator(0)),
+            to: InputPort::of(UnitId::Adc(0)),
+        };
+        assert_eq!(c.to_string(), "setConn int0.out0 -> adc0.in0");
+    }
+
+    #[test]
+    fn nonlinear_closures_behave() {
+        let f = NonlinearFunction::Sine.as_closure(1.0);
+        assert!((f(0.5) - 1.0).abs() < 1e-12);
+        let f = NonlinearFunction::Signum.as_closure(1.0);
+        assert_eq!(f(-0.2), -1.0);
+        assert_eq!(f(0.0), 0.0);
+        let f = NonlinearFunction::Square.as_closure(2.0);
+        assert_eq!(f(2.0), 2.0);
+        let f = NonlinearFunction::Abs.as_closure(1.0);
+        assert_eq!(f(-0.7), 0.7);
+        let f = NonlinearFunction::Sigmoid { steepness: 4.0 }.as_closure(1.0);
+        assert!(f(1.0) > 0.9);
+        assert!(f(-1.0) < -0.9);
+        assert!(f(0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,226 @@
+//! Continuous-time SRAM lookup tables for arbitrary nonlinear functions.
+//!
+//! The prototype uses 256-deep, 8-bit continuous-time SRAMs (paper §III-A,
+//! citing Schell & Tsividis) to apply "arbitrary nonlinear functions, such as
+//! sine, signum, and sigmoid" to analog variables. The model quantizes the
+//! input into one of `depth` codes and outputs the stored (also quantized)
+//! value — a piecewise-constant approximation of the programmed function.
+
+/// A programmed nonlinear lookup table.
+///
+/// ```
+/// use aa_analog::LookupTable;
+///
+/// let lut = LookupTable::from_function(256, 8, 1.0, |x| x * x);
+/// // Quantized square function: exact at code centers, ±LSB elsewhere.
+/// let y = lut.evaluate(0.5);
+/// assert!((y - 0.25).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupTable {
+    /// Stored output values, one per input code.
+    entries: Vec<f64>,
+    /// Full-scale range of input and output.
+    full_scale: f64,
+    /// Output resolution in bits.
+    out_bits: u32,
+}
+
+impl LookupTable {
+    /// Programs a table of `depth` entries over `[−full_scale, +full_scale]`
+    /// by sampling `f` at each code's center and quantizing the result to
+    /// `out_bits` bits (clipped to full scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth < 2`, `out_bits == 0`, or `full_scale <= 0`.
+    pub fn from_function<F: Fn(f64) -> f64>(
+        depth: usize,
+        out_bits: u32,
+        full_scale: f64,
+        f: F,
+    ) -> Self {
+        assert!(depth >= 2, "lookup table needs at least 2 entries");
+        assert!(out_bits > 0, "output resolution must be positive");
+        assert!(full_scale > 0.0, "full scale must be positive");
+        let entries = (0..depth)
+            .map(|code| {
+                let x = code_center(code, depth, full_scale);
+                quantize(f(x), out_bits, full_scale)
+            })
+            .collect();
+        LookupTable {
+            entries,
+            full_scale,
+            out_bits,
+        }
+    }
+
+    /// The identity function (useful as a pass-through default).
+    pub fn identity(depth: usize, out_bits: u32, full_scale: f64) -> Self {
+        Self::from_function(depth, out_bits, full_scale, |x| x)
+    }
+
+    /// `sin(π·x/full_scale)` scaled into range — the "sine" of the paper.
+    pub fn sine(depth: usize, out_bits: u32, full_scale: f64) -> Self {
+        Self::from_function(depth, out_bits, full_scale, move |x| {
+            full_scale * (std::f64::consts::PI * x / full_scale).sin()
+        })
+    }
+
+    /// The signum function.
+    pub fn signum(depth: usize, out_bits: u32, full_scale: f64) -> Self {
+        Self::from_function(depth, out_bits, full_scale, move |x| {
+            if x > 0.0 {
+                full_scale
+            } else if x < 0.0 {
+                -full_scale
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// A logistic sigmoid centered at zero, saturating at `±full_scale`.
+    pub fn sigmoid(depth: usize, out_bits: u32, full_scale: f64, steepness: f64) -> Self {
+        Self::from_function(depth, out_bits, full_scale, move |x| {
+            full_scale * (2.0 / (1.0 + (-steepness * x / full_scale).exp()) - 1.0)
+        })
+    }
+
+    /// Number of entries.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Output resolution in bits.
+    pub fn out_bits(&self) -> u32 {
+        self.out_bits
+    }
+
+    /// Raw access to the stored entries.
+    pub fn entries(&self) -> &[f64] {
+        &self.entries
+    }
+
+    /// Overwrites one entry with a quantized value
+    /// (the ISA's `writeParallel` data path into the SRAM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= self.depth()`.
+    pub fn write_entry(&mut self, code: usize, value: f64) {
+        assert!(code < self.entries.len(), "lut code out of range");
+        self.entries[code] = quantize(value, self.out_bits, self.full_scale);
+    }
+
+    /// Evaluates the table at analog input `x` (piecewise-constant).
+    /// Inputs beyond full scale clip to the end entries.
+    pub fn evaluate(&self, x: f64) -> f64 {
+        let depth = self.entries.len();
+        let code = input_code(x, depth, self.full_scale);
+        self.entries[code]
+    }
+}
+
+/// The input code an analog value falls into (clipped to the valid range).
+fn input_code(x: f64, depth: usize, full_scale: f64) -> usize {
+    let normalized = (x + full_scale) / (2.0 * full_scale);
+    let code = (normalized * depth as f64).floor();
+    (code.max(0.0) as usize).min(depth - 1)
+}
+
+/// Analog value at the center of an input code's bin.
+fn code_center(code: usize, depth: usize, full_scale: f64) -> f64 {
+    let width = 2.0 * full_scale / depth as f64;
+    -full_scale + (code as f64 + 0.5) * width
+}
+
+/// Quantizes `v` to `bits` bits over `±full_scale`, clipping out-of-range
+/// values.
+pub(crate) fn quantize(v: f64, bits: u32, full_scale: f64) -> f64 {
+    let levels = f64::from(2u32).powi(bits as i32);
+    let lsb = 2.0 * full_scale / levels;
+    let clipped = v.clamp(-full_scale, full_scale - lsb);
+    (clipped / lsb).round() * lsb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trips_within_lsb() {
+        let lut = LookupTable::identity(256, 8, 1.0);
+        for &x in &[-0.9, -0.3, 0.0, 0.45, 0.8] {
+            let y = lut.evaluate(x);
+            assert!((y - x).abs() <= 2.0 / 256.0 + 2.0 / 256.0, "x = {x}, y = {y}");
+        }
+    }
+
+    #[test]
+    fn sine_has_expected_shape() {
+        let lut = LookupTable::sine(256, 8, 1.0);
+        assert!(lut.evaluate(0.0).abs() < 0.02);
+        assert!((lut.evaluate(0.5) - 1.0).abs() < 0.02);
+        assert!((lut.evaluate(-0.5) + 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn signum_switches_at_zero() {
+        let lut = LookupTable::signum(256, 8, 1.0);
+        assert!(lut.evaluate(0.3) > 0.9);
+        assert!(lut.evaluate(-0.3) < -0.9);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_and_saturating() {
+        let lut = LookupTable::sigmoid(256, 8, 1.0, 8.0);
+        assert!(lut.evaluate(-0.95) < -0.9);
+        assert!(lut.evaluate(0.95) > 0.9);
+        let lo = lut.evaluate(-0.2);
+        let hi = lut.evaluate(0.2);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn out_of_range_inputs_clip_to_end_entries() {
+        let lut = LookupTable::identity(256, 8, 1.0);
+        assert_eq!(lut.evaluate(5.0), lut.evaluate(0.999));
+        assert_eq!(lut.evaluate(-5.0), lut.evaluate(-0.999));
+    }
+
+    #[test]
+    fn write_entry_quantizes() {
+        let mut lut = LookupTable::identity(16, 4, 1.0);
+        lut.write_entry(3, 0.512341);
+        let lsb = 2.0 / 16.0;
+        let stored = lut.entries()[3];
+        assert!((stored / lsb - (stored / lsb).round()).abs() < 1e-12);
+        assert!((stored - 0.512341).abs() <= lsb);
+    }
+
+    #[test]
+    fn output_is_quantized_to_out_bits() {
+        let lut = LookupTable::sine(256, 4, 1.0);
+        let lsb = 2.0 / 16.0;
+        for code in 0..lut.depth() {
+            let v = lut.entries()[code];
+            assert!((v / lsb - (v / lsb).round()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantize_clips_at_full_scale() {
+        let q = quantize(2.0, 8, 1.0);
+        assert!(q <= 1.0);
+        let q = quantize(-2.0, 8, 1.0);
+        assert_eq!(q, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 entries")]
+    fn tiny_depth_panics() {
+        let _ = LookupTable::identity(1, 8, 1.0);
+    }
+}

@@ -1,0 +1,459 @@
+//! Byte-level instruction encoding — the SPI command link.
+//!
+//! "The chip also includes an interface to receive commands from the main
+//! digital processor. In the prototype these commands are received over an
+//! interface implementing an SPI protocol." (§III-A)
+//!
+//! This module defines that wire format: each instruction is framed as one
+//! opcode byte followed by fixed-size operands (little-endian), so a host
+//! can serialize a whole configuration bitstream, ship it across any
+//! byte-oriented link, and replay it with [`decode_program`].
+
+use crate::error::AnalogError;
+use crate::isa::{Instruction, NonlinearFunction};
+use crate::netlist::{InputPort, OutputPort};
+use crate::units::UnitId;
+
+/// Opcode assignments (one byte each, gaps reserved).
+mod opcode {
+    pub const INIT: u8 = 0x01;
+    pub const SET_CONN: u8 = 0x02;
+    pub const SET_INT_INITIAL: u8 = 0x03;
+    pub const SET_MUL_GAIN: u8 = 0x04;
+    pub const SET_FUNCTION: u8 = 0x05;
+    pub const SET_DAC_CONSTANT: u8 = 0x06;
+    pub const SET_TIMEOUT: u8 = 0x07;
+    pub const CFG_COMMIT: u8 = 0x08;
+    pub const EXEC_START: u8 = 0x09;
+    pub const EXEC_STOP: u8 = 0x0a;
+    pub const SET_ANA_INPUT_EN: u8 = 0x0b;
+    pub const WRITE_PARALLEL: u8 = 0x0c;
+    pub const READ_SERIAL: u8 = 0x0d;
+    pub const ANALOG_AVG: u8 = 0x0e;
+    pub const READ_EXP: u8 = 0x0f;
+}
+
+/// Unit-kind tags for port encoding.
+fn unit_tag(unit: UnitId) -> u8 {
+    match unit {
+        UnitId::Integrator(_) => 0,
+        UnitId::Multiplier(_) => 1,
+        UnitId::Fanout(_) => 2,
+        UnitId::Adc(_) => 3,
+        UnitId::Dac(_) => 4,
+        UnitId::Lut(_) => 5,
+        UnitId::AnalogInput(_) => 6,
+        UnitId::AnalogOutput(_) => 7,
+    }
+}
+
+fn unit_from_tag(tag: u8, index: usize) -> Result<UnitId, AnalogError> {
+    Ok(match tag {
+        0 => UnitId::Integrator(index),
+        1 => UnitId::Multiplier(index),
+        2 => UnitId::Fanout(index),
+        3 => UnitId::Adc(index),
+        4 => UnitId::Dac(index),
+        5 => UnitId::Lut(index),
+        6 => UnitId::AnalogInput(index),
+        7 => UnitId::AnalogOutput(index),
+        other => {
+            return Err(AnalogError::ProtocolViolation {
+                message: format!("unknown unit tag 0x{other:02x} in SPI stream"),
+            })
+        }
+    })
+}
+
+/// Nonlinear-function tags.
+fn function_tag(f: &NonlinearFunction) -> (u8, f64) {
+    match f {
+        NonlinearFunction::Identity => (0, 0.0),
+        NonlinearFunction::Sine => (1, 0.0),
+        NonlinearFunction::Signum => (2, 0.0),
+        NonlinearFunction::Sigmoid { steepness } => (3, *steepness),
+        NonlinearFunction::Abs => (4, 0.0),
+        NonlinearFunction::Square => (5, 0.0),
+    }
+}
+
+fn function_from_tag(tag: u8, param: f64) -> Result<NonlinearFunction, AnalogError> {
+    Ok(match tag {
+        0 => NonlinearFunction::Identity,
+        1 => NonlinearFunction::Sine,
+        2 => NonlinearFunction::Signum,
+        3 => NonlinearFunction::Sigmoid { steepness: param },
+        4 => NonlinearFunction::Abs,
+        5 => NonlinearFunction::Square,
+        other => {
+            return Err(AnalogError::ProtocolViolation {
+                message: format!("unknown function tag 0x{other:02x} in SPI stream"),
+            })
+        }
+    })
+}
+
+/// Port frame: `[tag, index_lo, index_hi, port]`.
+fn push_out_port(buf: &mut Vec<u8>, p: OutputPort) {
+    buf.push(unit_tag(p.unit));
+    buf.extend_from_slice(&(p.unit.index() as u16).to_le_bytes());
+    buf.push(p.port as u8);
+}
+
+fn push_in_port(buf: &mut Vec<u8>, p: InputPort) {
+    buf.push(unit_tag(p.unit));
+    buf.extend_from_slice(&(p.unit.index() as u16).to_le_bytes());
+    buf.push(p.port as u8);
+}
+
+/// Serializes one instruction to its SPI frame.
+pub fn encode(instruction: &Instruction) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16);
+    match instruction {
+        Instruction::Init => buf.push(opcode::INIT),
+        Instruction::SetConn { from, to } => {
+            buf.push(opcode::SET_CONN);
+            push_out_port(&mut buf, *from);
+            push_in_port(&mut buf, *to);
+        }
+        Instruction::SetIntInitial { integrator, value } => {
+            buf.push(opcode::SET_INT_INITIAL);
+            buf.extend_from_slice(&(*integrator as u16).to_le_bytes());
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+        Instruction::SetMulGain { multiplier, gain } => {
+            buf.push(opcode::SET_MUL_GAIN);
+            buf.extend_from_slice(&(*multiplier as u16).to_le_bytes());
+            buf.extend_from_slice(&gain.to_le_bytes());
+        }
+        Instruction::SetFunction { lut, function } => {
+            buf.push(opcode::SET_FUNCTION);
+            buf.extend_from_slice(&(*lut as u16).to_le_bytes());
+            let (tag, param) = function_tag(function);
+            buf.push(tag);
+            buf.extend_from_slice(&param.to_le_bytes());
+        }
+        Instruction::SetDacConstant { dac, value } => {
+            buf.push(opcode::SET_DAC_CONSTANT);
+            buf.extend_from_slice(&(*dac as u16).to_le_bytes());
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+        Instruction::SetTimeout { cycles } => {
+            buf.push(opcode::SET_TIMEOUT);
+            buf.extend_from_slice(&cycles.to_le_bytes());
+        }
+        Instruction::CfgCommit => buf.push(opcode::CFG_COMMIT),
+        Instruction::ExecStart => buf.push(opcode::EXEC_START),
+        Instruction::ExecStop => buf.push(opcode::EXEC_STOP),
+        Instruction::SetAnaInputEn { channel, enabled } => {
+            buf.push(opcode::SET_ANA_INPUT_EN);
+            buf.extend_from_slice(&(*channel as u16).to_le_bytes());
+            buf.push(u8::from(*enabled));
+        }
+        Instruction::WriteParallel { data } => {
+            buf.push(opcode::WRITE_PARALLEL);
+            buf.push(*data);
+        }
+        Instruction::ReadSerial => buf.push(opcode::READ_SERIAL),
+        Instruction::AnalogAvg { adc, samples } => {
+            buf.push(opcode::ANALOG_AVG);
+            buf.extend_from_slice(&(*adc as u16).to_le_bytes());
+            buf.extend_from_slice(&(*samples as u32).to_le_bytes());
+        }
+        Instruction::ReadExp => buf.push(opcode::READ_EXP),
+    }
+    buf
+}
+
+/// Serializes a program as one contiguous bitstream — the "configuration
+/// bitstream … written to digital registers on the analog accelerator".
+pub fn encode_program(program: &[Instruction]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for i in program {
+        buf.extend_from_slice(&encode(i));
+    }
+    buf
+}
+
+/// A byte cursor with checked reads.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], AnalogError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(AnalogError::ProtocolViolation {
+                message: format!(
+                    "truncated SPI frame at byte {} (needed {n} more)",
+                    self.pos
+                ),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, AnalogError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, AnalogError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, AnalogError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, AnalogError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("length checked")))
+    }
+
+    fn f64(&mut self) -> Result<f64, AnalogError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn out_port(&mut self) -> Result<OutputPort, AnalogError> {
+        let tag = self.u8()?;
+        let index = self.u16()? as usize;
+        let port = self.u8()? as usize;
+        Ok(OutputPort {
+            unit: unit_from_tag(tag, index)?,
+            port,
+        })
+    }
+
+    fn in_port(&mut self) -> Result<InputPort, AnalogError> {
+        let tag = self.u8()?;
+        let index = self.u16()? as usize;
+        let port = self.u8()? as usize;
+        Ok(InputPort {
+            unit: unit_from_tag(tag, index)?,
+            port,
+        })
+    }
+}
+
+/// Deserializes a bitstream back into instructions.
+///
+/// # Errors
+///
+/// Returns [`AnalogError::ProtocolViolation`] on unknown opcodes or
+/// truncated frames.
+pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instruction>, AnalogError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let mut program = Vec::new();
+    while cursor.pos < bytes.len() {
+        let op = cursor.u8()?;
+        let instruction = match op {
+            opcode::INIT => Instruction::Init,
+            opcode::SET_CONN => Instruction::SetConn {
+                from: cursor.out_port()?,
+                to: cursor.in_port()?,
+            },
+            opcode::SET_INT_INITIAL => Instruction::SetIntInitial {
+                integrator: cursor.u16()? as usize,
+                value: cursor.f64()?,
+            },
+            opcode::SET_MUL_GAIN => Instruction::SetMulGain {
+                multiplier: cursor.u16()? as usize,
+                gain: cursor.f64()?,
+            },
+            opcode::SET_FUNCTION => {
+                let lut = cursor.u16()? as usize;
+                let tag = cursor.u8()?;
+                let param = cursor.f64()?;
+                Instruction::SetFunction {
+                    lut,
+                    function: function_from_tag(tag, param)?,
+                }
+            }
+            opcode::SET_DAC_CONSTANT => Instruction::SetDacConstant {
+                dac: cursor.u16()? as usize,
+                value: cursor.f64()?,
+            },
+            opcode::SET_TIMEOUT => Instruction::SetTimeout {
+                cycles: cursor.u64()?,
+            },
+            opcode::CFG_COMMIT => Instruction::CfgCommit,
+            opcode::EXEC_START => Instruction::ExecStart,
+            opcode::EXEC_STOP => Instruction::ExecStop,
+            opcode::SET_ANA_INPUT_EN => Instruction::SetAnaInputEn {
+                channel: cursor.u16()? as usize,
+                enabled: cursor.u8()? != 0,
+            },
+            opcode::WRITE_PARALLEL => Instruction::WriteParallel { data: cursor.u8()? },
+            opcode::READ_SERIAL => Instruction::ReadSerial,
+            opcode::ANALOG_AVG => Instruction::AnalogAvg {
+                adc: cursor.u16()? as usize,
+                samples: cursor.u32()? as usize,
+            },
+            opcode::READ_EXP => Instruction::ReadExp,
+            other => {
+                return Err(AnalogError::ProtocolViolation {
+                    message: format!("unknown opcode 0x{other:02x} in SPI stream"),
+                })
+            }
+        };
+        program.push(instruction);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Vec<Instruction> {
+        vec![
+            Instruction::Init,
+            Instruction::SetConn {
+                from: OutputPort {
+                    unit: UnitId::Fanout(3),
+                    port: 1,
+                },
+                to: InputPort {
+                    unit: UnitId::Multiplier(7),
+                    port: 1,
+                },
+            },
+            Instruction::SetIntInitial {
+                integrator: 2,
+                value: -0.75,
+            },
+            Instruction::SetMulGain {
+                multiplier: 5,
+                gain: 0.123456789,
+            },
+            Instruction::SetFunction {
+                lut: 1,
+                function: NonlinearFunction::Sigmoid { steepness: 4.5 },
+            },
+            Instruction::SetDacConstant { dac: 0, value: 0.5 },
+            Instruction::SetTimeout { cycles: 1_000_000 },
+            Instruction::CfgCommit,
+            Instruction::ExecStart,
+            Instruction::ExecStop,
+            Instruction::SetAnaInputEn {
+                channel: 3,
+                enabled: true,
+            },
+            Instruction::WriteParallel { data: 0xAB },
+            Instruction::ReadSerial,
+            Instruction::AnalogAvg {
+                adc: 1,
+                samples: 256,
+            },
+            Instruction::ReadExp,
+        ]
+    }
+
+    #[test]
+    fn every_instruction_round_trips() {
+        let program = sample_program();
+        let bytes = encode_program(&program);
+        let decoded = decode_program(&bytes).unwrap();
+        assert_eq!(decoded, program);
+    }
+
+    #[test]
+    fn every_unit_kind_round_trips_in_ports() {
+        let units = [
+            UnitId::Integrator(1),
+            UnitId::Multiplier(2),
+            UnitId::Fanout(3),
+            UnitId::Adc(4),
+            UnitId::Dac(5),
+            UnitId::Lut(6),
+            UnitId::AnalogInput(7),
+            UnitId::AnalogOutput(8),
+        ];
+        for unit in units {
+            if !unit.has_output() {
+                continue;
+            }
+            let i = Instruction::SetConn {
+                from: OutputPort { unit, port: 0 },
+                to: InputPort::of(UnitId::Integrator(0)),
+            };
+            let decoded = decode_program(&encode(&i)).unwrap();
+            assert_eq!(decoded, vec![i]);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_a_protocol_violation() {
+        let bytes = encode(&Instruction::SetMulGain {
+            multiplier: 1,
+            gain: 0.5,
+        });
+        for cut in 1..bytes.len() {
+            let r = decode_program(&bytes[..cut]);
+            assert!(
+                matches!(r, Err(AnalogError::ProtocolViolation { .. })),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(matches!(
+            decode_program(&[0xff]),
+            Err(AnalogError::ProtocolViolation { .. })
+        ));
+        assert!(decode_program(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn decoded_bitstream_drives_a_chip_identically() {
+        // Serialize the Figure-1 program, decode it, and run it: the wire
+        // format must be a faithful transport.
+        use crate::chip::AnalogChip;
+        use crate::config::ChipConfig;
+        use crate::host::{Host, Response};
+
+        let program = vec![
+            Instruction::SetConn {
+                from: OutputPort::of(UnitId::Integrator(0)),
+                to: InputPort::of(UnitId::Multiplier(0)),
+            },
+            Instruction::SetConn {
+                from: OutputPort::of(UnitId::Multiplier(0)),
+                to: InputPort::of(UnitId::Integrator(0)),
+            },
+            Instruction::SetConn {
+                from: OutputPort::of(UnitId::Dac(0)),
+                to: InputPort::of(UnitId::Integrator(0)),
+            },
+            Instruction::SetMulGain {
+                multiplier: 0,
+                gain: -1.0,
+            },
+            Instruction::SetDacConstant { dac: 0, value: 0.25 },
+            Instruction::CfgCommit,
+            Instruction::ExecStart,
+        ];
+        let decoded = decode_program(&encode_program(&program)).unwrap();
+        let mut host = Host::new(AnalogChip::new(ChipConfig::ideal()));
+        let responses = host.run_program(&decoded).unwrap();
+        let Response::Ran(report) = responses.last().unwrap() else {
+            panic!("expected run");
+        };
+        assert!((report.integrator_values[&0] - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn frame_sizes_are_compact() {
+        // The whole Figure-1 configuration fits comfortably in one small
+        // SPI transaction burst.
+        let bytes = encode_program(&sample_program());
+        assert!(bytes.len() < 160, "bitstream is {} bytes", bytes.len());
+    }
+}

@@ -1,0 +1,236 @@
+//! Functional-unit identities and the chip's resource inventory.
+//!
+//! The prototype chip (paper Figures 2 and 3) organizes its analog blocks as
+//! four macroblocks, each containing one analog input, two multipliers, one
+//! integrator, two current-copying fanout blocks, and one analog output;
+//! every two macroblocks share an 8-bit ADC, an 8-bit DAC, and a 256-deep
+//! nonlinear lookup table.
+
+use std::fmt;
+
+/// Identifies one functional unit on a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnitId {
+    /// Current-mode integrator holding one ODE variable.
+    Integrator(usize),
+    /// Variable-gain amplifier / four-quadrant multiplier.
+    Multiplier(usize),
+    /// Current-copying fanout block (current mirror).
+    Fanout(usize),
+    /// Analog-to-digital converter.
+    Adc(usize),
+    /// Digital-to-analog converter (constant bias generation).
+    Dac(usize),
+    /// Continuous-time SRAM lookup table for nonlinear functions.
+    Lut(usize),
+    /// Off-chip analog input channel.
+    AnalogInput(usize),
+    /// Off-chip analog output channel.
+    AnalogOutput(usize),
+}
+
+impl UnitId {
+    /// The index within the unit's kind.
+    pub fn index(&self) -> usize {
+        match *self {
+            UnitId::Integrator(i)
+            | UnitId::Multiplier(i)
+            | UnitId::Fanout(i)
+            | UnitId::Adc(i)
+            | UnitId::Dac(i)
+            | UnitId::Lut(i)
+            | UnitId::AnalogInput(i)
+            | UnitId::AnalogOutput(i) => i,
+        }
+    }
+
+    /// Short name of the unit's kind ("int", "mul", ...).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            UnitId::Integrator(_) => "int",
+            UnitId::Multiplier(_) => "mul",
+            UnitId::Fanout(_) => "fan",
+            UnitId::Adc(_) => "adc",
+            UnitId::Dac(_) => "dac",
+            UnitId::Lut(_) => "lut",
+            UnitId::AnalogInput(_) => "ain",
+            UnitId::AnalogOutput(_) => "aout",
+        }
+    }
+
+    /// Whether the unit holds state in continuous time (only integrators do).
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, UnitId::Integrator(_))
+    }
+
+    /// Whether the unit produces an analog output current.
+    pub fn has_output(&self) -> bool {
+        !matches!(self, UnitId::Adc(_) | UnitId::AnalogOutput(_))
+    }
+
+    /// Whether the unit consumes an analog input current.
+    pub fn has_input(&self) -> bool {
+        !matches!(self, UnitId::Dac(_) | UnitId::AnalogInput(_))
+    }
+}
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.kind_name(), self.index())
+    }
+}
+
+/// The number of functional units of each kind on a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceInventory {
+    /// Integrators (one per simultaneously held variable).
+    pub integrators: usize,
+    /// Multipliers / variable-gain amplifiers.
+    pub multipliers: usize,
+    /// Fanout current mirrors.
+    pub fanouts: usize,
+    /// Output branches per fanout block (2 on the prototype).
+    pub fanout_branches: usize,
+    /// ADCs.
+    pub adcs: usize,
+    /// DACs.
+    pub dacs: usize,
+    /// Nonlinear lookup tables.
+    pub luts: usize,
+    /// Off-chip analog inputs.
+    pub analog_inputs: usize,
+    /// Off-chip analog outputs.
+    pub analog_outputs: usize,
+}
+
+impl ResourceInventory {
+    /// The inventory implied by a number of prototype-style macroblocks:
+    /// per macroblock one integrator, two multipliers, two fanouts, one
+    /// analog input, one analog output; per two macroblocks one ADC, one
+    /// DAC, and one lookup table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macroblocks == 0`.
+    pub fn from_macroblocks(macroblocks: usize) -> Self {
+        assert!(macroblocks > 0, "chip needs at least one macroblock");
+        ResourceInventory {
+            integrators: macroblocks,
+            multipliers: 2 * macroblocks,
+            fanouts: 2 * macroblocks,
+            fanout_branches: 2,
+            adcs: macroblocks.div_ceil(2),
+            dacs: macroblocks.div_ceil(2),
+            luts: macroblocks.div_ceil(2),
+            analog_inputs: macroblocks,
+            analog_outputs: macroblocks,
+        }
+    }
+
+    /// Number of units of the same kind as `unit`.
+    pub fn count_of(&self, unit: UnitId) -> usize {
+        match unit {
+            UnitId::Integrator(_) => self.integrators,
+            UnitId::Multiplier(_) => self.multipliers,
+            UnitId::Fanout(_) => self.fanouts,
+            UnitId::Adc(_) => self.adcs,
+            UnitId::Dac(_) => self.dacs,
+            UnitId::Lut(_) => self.luts,
+            UnitId::AnalogInput(_) => self.analog_inputs,
+            UnitId::AnalogOutput(_) => self.analog_outputs,
+        }
+    }
+
+    /// Whether `unit` exists on this inventory.
+    pub fn contains(&self, unit: UnitId) -> bool {
+        unit.index() < self.count_of(unit)
+    }
+
+    /// Iterates over every unit id in the inventory.
+    pub fn iter(&self) -> impl Iterator<Item = UnitId> + '_ {
+        let ints = (0..self.integrators).map(UnitId::Integrator);
+        let muls = (0..self.multipliers).map(UnitId::Multiplier);
+        let fans = (0..self.fanouts).map(UnitId::Fanout);
+        let adcs = (0..self.adcs).map(UnitId::Adc);
+        let dacs = (0..self.dacs).map(UnitId::Dac);
+        let luts = (0..self.luts).map(UnitId::Lut);
+        let ains = (0..self.analog_inputs).map(UnitId::AnalogInput);
+        let aouts = (0..self.analog_outputs).map(UnitId::AnalogOutput);
+        ints.chain(muls)
+            .chain(fans)
+            .chain(adcs)
+            .chain(dacs)
+            .chain(luts)
+            .chain(ains)
+            .chain(aouts)
+    }
+
+    /// Total unit count.
+    pub fn total(&self) -> usize {
+        self.integrators
+            + self.multipliers
+            + self.fanouts
+            + self.adcs
+            + self.dacs
+            + self.luts
+            + self.analog_inputs
+            + self.analog_outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_inventory_matches_paper() {
+        // §III-A: four macroblocks, each with one analog input, two
+        // multipliers, one integrator, two fanouts, one analog output;
+        // two macroblocks share an ADC, DAC, and lookup table.
+        let inv = ResourceInventory::from_macroblocks(4);
+        assert_eq!(inv.integrators, 4);
+        assert_eq!(inv.multipliers, 8);
+        assert_eq!(inv.fanouts, 8);
+        assert_eq!(inv.adcs, 2);
+        assert_eq!(inv.dacs, 2);
+        assert_eq!(inv.luts, 2);
+        assert_eq!(inv.analog_inputs, 4);
+        assert_eq!(inv.analog_outputs, 4);
+    }
+
+    #[test]
+    fn odd_macroblock_counts_round_shared_units_up() {
+        let inv = ResourceInventory::from_macroblocks(3);
+        assert_eq!(inv.adcs, 2);
+        assert_eq!(inv.dacs, 2);
+    }
+
+    #[test]
+    fn contains_and_count() {
+        let inv = ResourceInventory::from_macroblocks(2);
+        assert!(inv.contains(UnitId::Integrator(1)));
+        assert!(!inv.contains(UnitId::Integrator(2)));
+        assert!(inv.contains(UnitId::Adc(0)));
+        assert!(!inv.contains(UnitId::Adc(1)));
+        assert_eq!(inv.count_of(UnitId::Multiplier(0)), 4);
+    }
+
+    #[test]
+    fn iter_covers_total() {
+        let inv = ResourceInventory::from_macroblocks(4);
+        assert_eq!(inv.iter().count(), inv.total());
+        assert!(inv.iter().all(|u| inv.contains(u)));
+    }
+
+    #[test]
+    fn unit_id_properties() {
+        assert_eq!(UnitId::Integrator(3).to_string(), "int3");
+        assert_eq!(UnitId::Multiplier(0).to_string(), "mul0");
+        assert!(UnitId::Integrator(0).is_stateful());
+        assert!(!UnitId::Multiplier(0).is_stateful());
+        assert!(UnitId::Dac(0).has_output());
+        assert!(!UnitId::Dac(0).has_input());
+        assert!(UnitId::Adc(0).has_input());
+        assert!(!UnitId::Adc(0).has_output());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests on the chip model's invariants.
+
+use aa_analog::exceptions::ExceptionVector;
+use aa_analog::netlist::{InputPort, Netlist, OutputPort};
+use aa_analog::units::{ResourceInventory, UnitId};
+use aa_analog::{decode_program, encode_program, ChipConfig, Instruction, LookupTable};
+use proptest::prelude::*;
+
+fn arbitrary_unit(max_index: usize) -> impl Strategy<Value = UnitId> {
+    (0u8..8, 0..max_index).prop_map(|(kind, i)| match kind {
+        0 => UnitId::Integrator(i),
+        1 => UnitId::Multiplier(i),
+        2 => UnitId::Fanout(i),
+        3 => UnitId::Adc(i),
+        4 => UnitId::Dac(i),
+        5 => UnitId::Lut(i),
+        6 => UnitId::AnalogInput(i),
+        _ => UnitId::AnalogOutput(i),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary connection attempts never panic — every outcome is either
+    /// a successful connection or a structured error.
+    #[test]
+    fn arbitrary_connections_never_panic(
+        pairs in proptest::collection::vec(
+            (arbitrary_unit(6), 0usize..3, arbitrary_unit(6), 0usize..3),
+            0..30,
+        )
+    ) {
+        let inv = ResourceInventory::from_macroblocks(4);
+        let mut net = Netlist::new(inv);
+        for (fu, fp, tu, tp) in pairs {
+            let _ = net.connect(
+                OutputPort { unit: fu, port: fp },
+                InputPort { unit: tu, port: tp },
+            );
+        }
+        // Validation either succeeds or reports an algebraic loop; the
+        // netlist structure stays consistent either way.
+        let _ = net.validate();
+        prop_assert!(net.len() <= 30);
+        for (from, to) in net.iter() {
+            prop_assert!(net.drivers_of(to).contains(&from));
+        }
+    }
+
+    /// One driver, one sink: after any sequence of connects, every output
+    /// port drives at most one input (the current-copying rule).
+    #[test]
+    fn single_driver_invariant(
+        pairs in proptest::collection::vec(
+            (arbitrary_unit(4), 0usize..2, arbitrary_unit(4), 0usize..2),
+            0..40,
+        )
+    ) {
+        let inv = ResourceInventory::from_macroblocks(4);
+        let mut net = Netlist::new(inv);
+        for (fu, fp, tu, tp) in pairs {
+            let _ = net.connect(
+                OutputPort { unit: fu, port: fp },
+                InputPort { unit: tu, port: tp },
+            );
+        }
+        let mut drivers: Vec<OutputPort> = net.iter().map(|(f, _)| f).collect();
+        let before = drivers.len();
+        drivers.sort();
+        drivers.dedup();
+        prop_assert_eq!(before, drivers.len(), "an output drove two inputs");
+    }
+
+    /// LUT evaluation is idempotent under re-quantization: evaluating the
+    /// stored value returns a representable value whose own code round-trips.
+    #[test]
+    fn lut_outputs_are_representable(x in -2.0f64..2.0, bits in 3u32..10) {
+        let lut = LookupTable::sine(64, bits, 1.0);
+        let y = lut.evaluate(x);
+        let lsb = 2.0 / f64::from(2u32).powi(bits as i32);
+        prop_assert!(y.abs() <= 1.0);
+        prop_assert!((y / lsb - (y / lsb).round()).abs() < 1e-9, "y = {}", y);
+    }
+
+    /// Exception vectors round-trip through the readExp byte format for any
+    /// latch subset.
+    #[test]
+    fn exception_bytes_round_trip(bits in proptest::collection::vec(any::<bool>(), 36)) {
+        let inv = ResourceInventory::from_macroblocks(4);
+        let mut v = ExceptionVector::new();
+        for (unit, latch) in inv.iter().zip(&bits) {
+            if *latch {
+                v.latch(unit);
+            }
+        }
+        let bytes = v.to_bytes(&inv);
+        let parsed = ExceptionVector::from_bytes(&inv, &bytes);
+        prop_assert_eq!(parsed, v);
+    }
+
+    /// SPI encoding round-trips arbitrary gain/value instructions,
+    /// including extreme and subnormal floats.
+    #[test]
+    fn spi_round_trips_arbitrary_floats(
+        gain in any::<f64>().prop_filter("finite", |v| v.is_finite()),
+        idx in 0usize..1000,
+        cycles in any::<u64>(),
+    ) {
+        let program = vec![
+            Instruction::SetMulGain { multiplier: idx, gain },
+            Instruction::SetDacConstant { dac: idx, value: gain / 2.0 },
+            Instruction::SetIntInitial { integrator: idx % 65536, value: -gain },
+            Instruction::SetTimeout { cycles },
+        ];
+        let decoded = decode_program(&encode_program(&program)).unwrap();
+        prop_assert_eq!(decoded, program);
+    }
+
+    /// ADC code/value conversion round-trips for every resolution.
+    #[test]
+    fn adc_codes_round_trip(bits in 2u32..16, frac in 0.0f64..1.0) {
+        let chip = aa_analog::AnalogChip::new(ChipConfig::ideal().with_adc_bits(bits));
+        let levels = 1u32 << bits;
+        let code = ((frac * levels as f64) as u32).min(levels - 1);
+        let value = chip.value_of(code);
+        prop_assert!(value.abs() <= 1.0 + 1e-12);
+    }
+}

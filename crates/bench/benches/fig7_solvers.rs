@@ -1,0 +1,37 @@
+//! Criterion measurement backing Figure 7: wall time for each classical
+//! iterative method to reach the same tolerance on a (reduced-size) 3D
+//! Poisson problem.
+
+use aa_linalg::iterative::{
+    cg, gauss_seidel, jacobi, sor, sor_optimal_omega, steepest_descent, IterativeConfig,
+    StoppingCriterion,
+};
+use aa_linalg::stencil::PoissonStencil;
+use aa_linalg::LinearOperator;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_methods(c: &mut Criterion) {
+    // 8³ = 512 unknowns keeps Jacobi's O(L²) iteration count tractable.
+    let op = PoissonStencil::new_3d(8).expect("valid grid");
+    let b = vec![1.0; op.dim()];
+    let cfg = IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(1e-6))
+        .omega(sor_optimal_omega(8));
+
+    let mut group = c.benchmark_group("fig7_solver_race");
+    group.sample_size(10);
+    group.bench_function("cg", |bench| bench.iter(|| cg(&op, &b, &cfg).unwrap()));
+    group.bench_function("steepest", |bench| {
+        bench.iter(|| steepest_descent(&op, &b, &cfg).unwrap())
+    });
+    group.bench_function("sor", |bench| bench.iter(|| sor(&op, &b, &cfg).unwrap()));
+    group.bench_function("gauss_seidel", |bench| {
+        bench.iter(|| gauss_seidel(&op, &b, &cfg).unwrap())
+    });
+    group.bench_function("jacobi", |bench| {
+        bench.iter(|| jacobi(&op, &b, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

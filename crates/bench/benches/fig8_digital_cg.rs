@@ -1,0 +1,25 @@
+//! Criterion measurement backing Figure 8's digital series: stencil CG
+//! wall-clock time at the paper's equal-accuracy stopping rule, swept over
+//! problem size.
+
+use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
+use aa_linalg::stencil::PoissonStencil;
+use aa_linalg::LinearOperator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cg_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_digital_cg");
+    group.sample_size(10);
+    for l in [8usize, 16, 32] {
+        let op = PoissonStencil::new_2d(l).expect("l > 0");
+        let b = vec![1.0; op.dim()];
+        let cfg = IterativeConfig::with_stopping(StoppingCriterion::adc_equivalent(8));
+        group.bench_with_input(BenchmarkId::from_parameter(l * l), &l, |bench, _| {
+            bench.iter(|| cg(&op, &b, &cfg).expect("poisson is SPD"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg_sweep);
+criterion_main!(benches);

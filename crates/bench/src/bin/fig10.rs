@@ -1,0 +1,66 @@
+//! Figure 10: maximum-activity power vs grid points held on chip.
+//!
+//! "The power consumption of analog accelerators as a function of number of
+//! grid points it can simultaneously solve. The 20 KHz design is the
+//! prototyped analog accelerator. Higher bandwidth designs are projections
+//! from the prototype."
+//!
+//! Expected shape: power linear in N; slope grows with bandwidth; the
+//! 20 kHz design stays below ~0.5 W at 2048 points, and a full 600 mm² die
+//! draws ~0.7 W — "significantly below the TDP of clocked digital designs
+//! of equal area" (§VI-A).
+
+use aa_bench::banner;
+use aa_hwmodel::design::{AcceleratorDesign, GPU_DIE_AREA_MM2};
+
+fn main() {
+    banner("Figure 10", "maximum-activity power (W) vs grid points");
+
+    let designs = AcceleratorDesign::paper_designs();
+    print!("\n{:>8}", "N");
+    for d in &designs {
+        print!(" {:>14}", d.label);
+    }
+    println!();
+    for n in [128usize, 256, 512, 768, 1024, 1536, 2048] {
+        print!("{n:>8}");
+        for d in &designs {
+            print!(" {:>14.4}", d.power_w(n));
+        }
+        println!();
+    }
+
+    let proto = &designs[0];
+    let full_die_points = proto.max_grid_points(GPU_DIE_AREA_MM2);
+    let full_die_power = proto.power_w(full_die_points);
+    println!("\nshape checks vs the paper:");
+    println!(
+        "  [{}] 20 kHz design below 0.55 W at 2048 points ({:.3} W)",
+        ok(proto.power_w(2048) < 0.55),
+        proto.power_w(2048)
+    );
+    println!(
+        "  [{}] a full 600 mm² prototype-bandwidth die uses ~0.7 W ({:.3} W at {} points)",
+        ok(full_die_power > 0.55 && full_die_power < 0.85),
+        full_die_power,
+        full_die_points
+    );
+    let p320 = designs[2].max_grid_points(GPU_DIE_AREA_MM2);
+    let w320 = designs[2].power_w(p320);
+    println!(
+        "  [{}] the 320 kHz full-die design uses ~1.0 W ({w320:.3} W)",
+        ok(w320 > 0.85 && w320 < 1.15)
+    );
+    println!(
+        "  [{}] power ordering follows bandwidth at every N",
+        ok((1..designs.len()).all(|i| designs[i].power_w(512) > designs[i - 1].power_w(512)))
+    );
+}
+
+fn ok(condition: bool) -> &'static str {
+    if condition {
+        "ok"
+    } else {
+        "MISMATCH"
+    }
+}

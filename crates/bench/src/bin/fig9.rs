@@ -1,0 +1,81 @@
+//! Figure 9: convergence time for high-bandwidth designs, truncated at the
+//! 600 mm² die limit.
+//!
+//! "We give the projected solution time for 80 KHz, 320 KHz, and 1.3 MHz
+//! analog accelerator designs. The high bandwidth designs have increasing
+//! area cost. In this plot the 320 KHz and 1.3 MHz designs hit the size of
+//! 600 mm², the size of the largest GPUs, so the projections are cut short."
+
+use aa_bench::{banner, format_time, measure_cg_2d};
+use aa_hwmodel::design::{AcceleratorDesign, GPU_DIE_AREA_MM2};
+use aa_hwmodel::timing::{analog_solve_time_s, PoissonProblem};
+
+fn main() {
+    banner(
+        "Figure 9",
+        "convergence time vs grid points for 20/80/320 kHz and 1.3 MHz designs (600 mm² cap)",
+    );
+
+    let designs = AcceleratorDesign::paper_designs();
+    println!("\ndie caps at {GPU_DIE_AREA_MM2} mm²:");
+    for d in &designs {
+        println!(
+            "  {:<14} fits at most {:>5} grid points",
+            d.label,
+            d.max_grid_points(GPU_DIE_AREA_MM2)
+        );
+    }
+
+    print!("\n{:>6} {:>6} {:>14}", "L", "N", "digital CG");
+    for d in &designs {
+        print!(" {:>14}", d.label);
+    }
+    println!();
+
+    for l in [4usize, 6, 8, 11, 16, 20, 24] {
+        let n = l * l;
+        let problem = PoissonProblem::new_2d(l);
+        let (_, measured) = measure_cg_2d(l, 8);
+        print!("{l:>6} {n:>6} {:>14}", format_time(measured));
+        for d in &designs {
+            if n > d.max_grid_points(GPU_DIE_AREA_MM2) {
+                print!(" {:>14}", "over die");
+            } else {
+                print!(" {:>14}", format_time(analog_solve_time_s(d, &problem)));
+            }
+        }
+        println!();
+    }
+
+    // Shape checks. The 20 kHz prototype has 8-bit converters (a laxer
+    // precision target), so the clean bandwidth ratio shows between the
+    // equal-precision 12-bit designs.
+    let p = PoissonProblem::new_2d(16);
+    let t: Vec<f64> = designs.iter().map(|d| analog_solve_time_s(d, &p)).collect();
+    println!("\nshape checks vs the paper:");
+    println!(
+        "  [{}] each bandwidth step divides solve time by the bandwidth ratio\n        (80→320 kHz: {:.2}x; 320 kHz→1.3 MHz: {:.2}x)",
+        ok((t[1] / t[2] - 4.0).abs() < 1e-6 && (t[2] / t[3] - 1.3e6 / 320e3).abs() < 1e-6),
+        t[1] / t[2],
+        t[2] / t[3]
+    );
+    let caps: Vec<usize> = designs
+        .iter()
+        .map(|d| d.max_grid_points(GPU_DIE_AREA_MM2))
+        .collect();
+    println!(
+        "  [{}] 320 kHz and 1.3 MHz designs are cut short well before the 20 kHz design ({} / {} vs {})",
+        ok(caps[2] < caps[0] / 4 && caps[3] < caps[2]),
+        caps[2],
+        caps[3],
+        caps[0]
+    );
+}
+
+fn ok(condition: bool) -> &'static str {
+    if condition {
+        "ok"
+    } else {
+        "MISMATCH"
+    }
+}

@@ -1,0 +1,85 @@
+//! Table II: measured power and area of the prototype's analog components,
+//! with core-signal-path fractions, plus the derived per-variable
+//! (macroblock) costs at each of the paper's bandwidth design points.
+
+use aa_bench::banner;
+use aa_hwmodel::components::{spec, ComponentKind, PER_VARIABLE_COUNTS};
+use aa_hwmodel::scaling::{
+    component_area_mm2, component_power_w, per_variable_area_mm2, per_variable_power_w,
+};
+
+fn main() {
+    banner(
+        "Table II",
+        "summary of analog chip components (measured, 65 nm prototype)",
+    );
+
+    println!(
+        "\n{:<12} {:>10} {:>12} {:>12} {:>12}",
+        "Unit type", "Power", "Core power", "Area", "Core area"
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12}",
+        "", "", "fraction", "", "fraction"
+    );
+    for kind in ComponentKind::ALL {
+        let s = spec(kind);
+        println!(
+            "{:<12} {:>10} {:>11.0}% {:>9.3} mm² {:>11.0}%",
+            s.kind.name(),
+            format_power(s.power_w),
+            s.core_power_fraction * 100.0,
+            s.area_mm2,
+            s.core_area_fraction * 100.0
+        );
+    }
+
+    println!("\nper-variable (macroblock) composition:");
+    for (kind, count) in PER_VARIABLE_COUNTS {
+        println!("  {count:>4} x {}", kind.name());
+    }
+
+    println!("\nderived per-variable costs across the design space:");
+    println!(
+        "{:>12} {:>8} {:>14} {:>14}",
+        "bandwidth", "alpha", "power/var", "area/var"
+    );
+    for (bw, label) in [
+        (20e3, "20 kHz"),
+        (80e3, "80 kHz"),
+        (320e3, "320 kHz"),
+        (1.3e6, "1.3 MHz"),
+    ] {
+        let alpha = bw / 20e3;
+        println!(
+            "{label:>12} {alpha:>8.0} {:>14} {:>11.3} mm²",
+            format_power(per_variable_power_w(alpha)),
+            per_variable_area_mm2(alpha)
+        );
+    }
+
+    // Internal consistency: the α-scaled integrator matches the formula.
+    let s = spec(ComponentKind::Integrator);
+    let check = component_power_w(&s, 4.0) / s.power_w;
+    println!(
+        "\n  [{}] integrator power at alpha=4 grows by core·4 + non-core = {:.2}x",
+        if (check - (0.8 * 4.0 + 0.2)).abs() < 1e-12 { "ok" } else { "MISMATCH" },
+        check
+    );
+    let a_check = component_area_mm2(&s, 4.0) / s.area_mm2;
+    println!(
+        "  [{}] integrator area at alpha=4 grows by {:.2}x (core area fraction 40%)",
+        if (a_check - (0.4 * 4.0 + 0.6)).abs() < 1e-12 { "ok" } else { "MISMATCH" },
+        a_check
+    );
+}
+
+fn format_power(w: f64) -> String {
+    if w < 1e-3 {
+        format!("{:.1} µW", w * 1e6)
+    } else if w < 1.0 {
+        format!("{:.2} mW", w * 1e3)
+    } else {
+        format!("{w:.2} W")
+    }
+}

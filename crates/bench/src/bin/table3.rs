@@ -1,0 +1,119 @@
+//! Table III: time, area, and energy scaling trends for analog acceleration
+//! and conjugate gradients, across 1D/2D/3D connectivity.
+//!
+//! Paper's table (N = variables, L = increments per dimension):
+//!
+//! | Dim | Analog HW | Analog time | Analog energy | CG steps | CG time/step | CG time & energy |
+//! |-----|-----------|-------------|---------------|----------|--------------|------------------|
+//! | 1D  | N = L     | N           | N²            | N        | N            | N²               |
+//! | 2D  | N = L²    | N           | N²            | N^0.5    | N            | N^1.5            |
+//! | 3D  | N = L³    | N           | N²            | weak     | N            | N                |
+//!
+//! This binary *measures* the exponents: analog time from the settle-time
+//! model (validated against the circuit simulator elsewhere), CG steps from
+//! actual solver runs, and fits log-log slopes against N.
+
+use aa_bench::{banner, deterministic_rhs, log_log_slope};
+use aa_hwmodel::design::AcceleratorDesign;
+use aa_hwmodel::timing::{analog_solve_time_s, PoissonProblem};
+use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
+use aa_linalg::stencil::PoissonStencil;
+use aa_linalg::LinearOperator;
+
+fn main() {
+    banner(
+        "Table III",
+        "scaling exponents vs N for analog acceleration and conjugate gradients",
+    );
+
+    let design = AcceleratorDesign::projected_80khz();
+    println!(
+        "\n{:<4} {:>14} {:>14} {:>14} {:>12} {:>16}",
+        "dim", "analog time", "analog energy", "CG steps", "CG work", "paper expects"
+    );
+
+    for (dim, sides, expect) in [
+        (1usize, vec![16usize, 32, 64, 128], "t∝N, steps∝N, work∝N²"),
+        (2, vec![8, 12, 16, 24, 32], "t∝N, steps∝N^.5, work∝N^1.5"),
+        (3, vec![5, 7, 9, 11], "t∝N, steps weak, work≈N"),
+    ] {
+        let mut t_analog = Vec::new();
+        let mut e_analog = Vec::new();
+        let mut steps_cg = Vec::new();
+        let mut work_cg = Vec::new();
+        for &l in &sides {
+            let problem = PoissonProblem {
+                points_per_side: l,
+                dimensionality: dim,
+            };
+            let n = problem.grid_points() as f64;
+            let t = analog_solve_time_s(&design, &problem);
+            t_analog.push((n, t));
+            e_analog.push((n, design.power_w(problem.grid_points()) * t));
+
+            let op = PoissonStencil::new(l, dim).expect("valid grid");
+            let b = deterministic_rhs(op.dim(), 7 + dim as u64);
+            let report = cg(
+                &op,
+                &b,
+                &IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(1e-8)),
+            )
+            .expect("poisson is SPD");
+            steps_cg.push((n, report.iterations as f64));
+            work_cg.push((n, (report.iterations as f64) * n));
+        }
+        println!(
+            "{:<4} {:>14} {:>14} {:>14} {:>12} {:>16}",
+            format!("{dim}D"),
+            format!("N^{:.2}", log_log_slope(&t_analog)),
+            format!("N^{:.2}", log_log_slope(&e_analog)),
+            format!("N^{:.2}", log_log_slope(&steps_cg)),
+            format!("N^{:.2}", log_log_slope(&work_cg)),
+            expect
+        );
+    }
+
+    println!("\nshape checks vs the paper:");
+    let t_slope = |dim: usize, sides: &[usize]| {
+        let pts: Vec<(f64, f64)> = sides
+            .iter()
+            .map(|&l| {
+                let p = PoissonProblem {
+                    points_per_side: l,
+                    dimensionality: dim,
+                };
+                (
+                    p.grid_points() as f64,
+                    analog_solve_time_s(&design, &p),
+                )
+            })
+            .collect();
+        log_log_slope(&pts)
+    };
+    let s1 = t_slope(1, &[16, 32, 64, 128]);
+    let s2 = t_slope(2, &[8, 16, 32]);
+    let s3 = t_slope(3, &[5, 7, 9, 11]);
+    println!(
+        "  [{}] analog time ∝ N in 2D (fitted N^{s2:.2})",
+        ok((s2 - 1.0).abs() < 0.15)
+    );
+    println!(
+        "  [{}] analog time grows with a steeper exponent in 1D (N^{s1:.2}, paper: N²... per-L: L²)",
+        ok(s1 > 1.5)
+    );
+    println!(
+        "  [{}] analog time grows with a shallower exponent in 3D (N^{s3:.2}, ∝ L² = N^(2/3))",
+        ok(s3 < 0.9)
+    );
+    println!(
+        "\n  note: the paper's table states analog conv. time 'N' for every dimension by\n  measuring time in units that absorb the per-dimension value-scaling; in raw\n  N the settle time goes as L² (the scaled λ_min), i.e. N² in 1D, N in 2D,\n  N^(2/3) in 3D — the 2D case (the paper's focus) matches exactly."
+    );
+}
+
+fn ok(condition: bool) -> &'static str {
+    if condition {
+        "ok"
+    } else {
+        "MISMATCH"
+    }
+}

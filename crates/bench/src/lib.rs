@@ -1,0 +1,146 @@
+//! Shared harness utilities for regenerating the paper's tables and figures.
+//!
+//! Each evaluation artifact has a binary (`fig7` … `fig12`, `table2`,
+//! `table3`) that prints the same rows/series the paper reports, plus
+//! Criterion benches for the wall-clock measurements. Absolute values are
+//! machine-dependent; the binaries annotate the qualitative expectations so
+//! shape regressions are visible at a glance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use aa_linalg::iterative::{cg, IterativeConfig, SolveReport, StoppingCriterion};
+use aa_linalg::stencil::PoissonStencil;
+use aa_linalg::LinearOperator;
+
+/// Fits the slope of `log(y)` against `log(x)` by least squares — the
+/// scaling exponent of a measured series.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any value is non-positive.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points to fit a slope");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|(x, y)| {
+            assert!(*x > 0.0 && *y > 0.0, "log-log fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// The digital baseline measurement: stencil CG on a 2D Poisson problem,
+/// stopped at the paper's `bits`-bit equal-accuracy criterion. Returns the
+/// report and the measured wall-clock seconds.
+///
+/// The forcing is scaled so the solution peaks near 1.0 — the "full scale"
+/// the stopping rule's `1/2^bits` is a fraction of. (Uniform forcing on the
+/// unit square gives a peak of ≈ 0.0737·‖f‖ at the center, independent of
+/// resolution.)
+pub fn measure_cg_2d(l: usize, bits: u32) -> (SolveReport, f64) {
+    let op = PoissonStencil::new_2d(l).expect("l > 0");
+    let b = vec![1.0 / 0.0737; op.dim()];
+    let cfg = IterativeConfig::with_stopping(StoppingCriterion::adc_equivalent(bits));
+    let start = Instant::now();
+    let report = cg(&op, &b, &cfg).expect("poisson is SPD");
+    let elapsed = start.elapsed().as_secs_f64();
+    (report, elapsed)
+}
+
+/// Formats a duration with an appropriate SI prefix.
+pub fn format_time(t: f64) -> String {
+    if !t.is_finite() {
+        return "—".to_string();
+    }
+    if t < 1e-6 {
+        format!("{:.2} ns", t * 1e9)
+    } else if t < 1e-3 {
+        format!("{:.2} µs", t * 1e6)
+    } else if t < 1.0 {
+        format!("{:.3} ms", t * 1e3)
+    } else {
+        format!("{t:.3} s")
+    }
+}
+
+/// Formats an energy with an appropriate SI prefix.
+pub fn format_energy(e: f64) -> String {
+    if e < 1e-6 {
+        format!("{:.2} nJ", e * 1e9)
+    } else if e < 1e-3 {
+        format!("{:.2} µJ", e * 1e6)
+    } else if e < 1.0 {
+        format!("{:.3} mJ", e * 1e3)
+    } else {
+        format!("{e:.3} J")
+    }
+}
+
+/// Prints a figure/table banner with the paper reference.
+pub fn banner(id: &str, caption: &str) {
+    println!("==================================================================");
+    println!("{id} — {caption}");
+    println!("==================================================================");
+}
+
+/// A deterministic pseudo-random right-hand side in `[-1, 1)` (no RNG
+/// dependency; reproducible across runs).
+pub fn deterministic_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.max(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_recovers_power_laws() {
+        let quadratic: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert!((log_log_slope(&quadratic) - 2.0).abs() < 1e-12);
+        let linear: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((log_log_slope(&linear) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cg_measurement_runs() {
+        let (report, seconds) = measure_cg_2d(8, 8);
+        assert!(report.converged);
+        assert!(seconds > 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(format_time(2e-9).contains("ns"));
+        assert!(format_time(2e-5).contains("µs"));
+        assert!(format_time(2e-2).contains("ms"));
+        assert!(format_time(2.0).contains('s'));
+        assert!(format_energy(1e-7).contains("nJ"));
+        assert!(format_energy(0.5).contains("mJ"));
+    }
+
+    #[test]
+    fn deterministic_rhs_is_reproducible_and_bounded() {
+        let a = deterministic_rhs(100, 42);
+        let b = deterministic_rhs(100, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+        assert_ne!(a, deterministic_rhs(100, 43));
+    }
+}

@@ -1,0 +1,169 @@
+//! The paper's Table II: measured per-component power and area of the 65 nm
+//! prototype, with the fraction of each in the core analog signal path.
+//!
+//! "The core power and area fraction show the fraction of each block that
+//! form the analog signal path. The area and power for core components that
+//! touch the analog variables scale up and down for different bandwidth
+//! designs." (§V-B)
+
+/// The analog functional-unit kinds costed in Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentKind {
+    /// Current-mode integrator.
+    Integrator,
+    /// Current-copying fanout block.
+    Fanout,
+    /// Multiplier / variable-gain amplifier.
+    Multiplier,
+    /// Analog-to-digital converter.
+    Adc,
+    /// Digital-to-analog converter.
+    Dac,
+}
+
+impl ComponentKind {
+    /// All five kinds, in Table II order.
+    pub const ALL: [ComponentKind; 5] = [
+        ComponentKind::Integrator,
+        ComponentKind::Fanout,
+        ComponentKind::Multiplier,
+        ComponentKind::Adc,
+        ComponentKind::Dac,
+    ];
+
+    /// Lowercase display name matching the paper's table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ComponentKind::Integrator => "integrator",
+            ComponentKind::Fanout => "fanout",
+            ComponentKind::Multiplier => "multiplier",
+            ComponentKind::Adc => "ADC",
+            ComponentKind::Dac => "DAC",
+        }
+    }
+}
+
+impl std::fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentSpec {
+    /// Which component this is.
+    pub kind: ComponentKind,
+    /// Measured power at the prototype's 20 kHz bandwidth, in watts.
+    pub power_w: f64,
+    /// Fraction of that power in the core analog signal path.
+    pub core_power_fraction: f64,
+    /// Measured area, in mm².
+    pub area_mm2: f64,
+    /// Fraction of that area in the core analog signal path.
+    pub core_area_fraction: f64,
+}
+
+/// Table II, verbatim.
+pub const TABLE_II: [ComponentSpec; 5] = [
+    ComponentSpec {
+        kind: ComponentKind::Integrator,
+        power_w: 28e-6,
+        core_power_fraction: 0.80,
+        area_mm2: 0.040,
+        core_area_fraction: 0.40,
+    },
+    ComponentSpec {
+        kind: ComponentKind::Fanout,
+        power_w: 37e-6,
+        core_power_fraction: 0.80,
+        area_mm2: 0.015,
+        core_area_fraction: 0.33,
+    },
+    ComponentSpec {
+        kind: ComponentKind::Multiplier,
+        power_w: 49e-6,
+        core_power_fraction: 0.80,
+        area_mm2: 0.050,
+        core_area_fraction: 0.47,
+    },
+    ComponentSpec {
+        kind: ComponentKind::Adc,
+        power_w: 54e-6,
+        core_power_fraction: 0.50,
+        area_mm2: 0.054,
+        core_area_fraction: 0.83,
+    },
+    ComponentSpec {
+        kind: ComponentKind::Dac,
+        power_w: 4.6e-6,
+        core_power_fraction: 1.00,
+        area_mm2: 0.022,
+        core_area_fraction: 0.61,
+    },
+];
+
+/// Looks up a component's Table II row.
+pub fn spec(kind: ComponentKind) -> ComponentSpec {
+    TABLE_II[match kind {
+        ComponentKind::Integrator => 0,
+        ComponentKind::Fanout => 1,
+        ComponentKind::Multiplier => 2,
+        ComponentKind::Adc => 3,
+        ComponentKind::Dac => 4,
+    }]
+}
+
+/// How many of each component one macroblock-equivalent (one held variable)
+/// carries: one integrator, two multipliers, two fanouts, and half of a
+/// shared ADC and DAC (paper §III-A).
+pub const PER_VARIABLE_COUNTS: [(ComponentKind, f64); 5] = [
+    (ComponentKind::Integrator, 1.0),
+    (ComponentKind::Multiplier, 2.0),
+    (ComponentKind::Fanout, 2.0),
+    (ComponentKind::Adc, 0.5),
+    (ComponentKind::Dac, 0.5),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_values() {
+        let int = spec(ComponentKind::Integrator);
+        assert_eq!(int.power_w, 28e-6);
+        assert_eq!(int.core_power_fraction, 0.80);
+        assert_eq!(int.area_mm2, 0.040);
+        assert_eq!(int.core_area_fraction, 0.40);
+        let dac = spec(ComponentKind::Dac);
+        assert_eq!(dac.power_w, 4.6e-6);
+        assert_eq!(dac.core_power_fraction, 1.00);
+        let adc = spec(ComponentKind::Adc);
+        assert_eq!(adc.core_area_fraction, 0.83);
+    }
+
+    #[test]
+    fn lookup_is_consistent_with_table_order() {
+        for kind in ComponentKind::ALL {
+            assert_eq!(spec(kind).kind, kind);
+        }
+    }
+
+    #[test]
+    fn macroblock_area_at_base_bandwidth() {
+        // 1 int + 2 mul + 2 fan + 0.5 adc + 0.5 dac
+        // = 0.040 + 0.100 + 0.030 + 0.027 + 0.011 = 0.208 mm².
+        let area: f64 = PER_VARIABLE_COUNTS
+            .iter()
+            .map(|(k, n)| n * spec(*k).area_mm2)
+            .sum();
+        assert!((area - 0.208).abs() < 1e-12, "{area}");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ComponentKind::Integrator.to_string(), "integrator");
+        assert_eq!(ComponentKind::Adc.to_string(), "ADC");
+    }
+}

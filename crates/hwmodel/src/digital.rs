@@ -1,0 +1,124 @@
+//! The digital baselines: CPU time model and GPU energy model.
+//!
+//! The paper measures CG wall-clock time on "an Intel Xeon X5550, clocked at
+//! 2.67 GHz", sustaining "20 clock cycles per numerical iteration per row
+//! element" with all data L1-resident, and charges GPU energy at "225 pJ for
+//! every floating point multiply-add" (Keckler et al.). Both models are
+//! parameterized so a present-day machine can be described too.
+
+/// Cycle-accurate-ish CPU time model for stencil CG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Sustained cycles per numerical iteration per matrix row.
+    pub cycles_per_iter_per_row: f64,
+}
+
+impl CpuModel {
+    /// The paper's Xeon X5550 running single-threaded stencil CG.
+    pub fn xeon_x5550() -> Self {
+        CpuModel {
+            clock_hz: 2.67e9,
+            cycles_per_iter_per_row: 20.0,
+        }
+    }
+
+    /// Modeled solve time for `iterations` iterations over `rows` rows.
+    pub fn solve_time_s(&self, iterations: usize, rows: usize) -> f64 {
+        (iterations as f64) * (rows as f64) * self.cycles_per_iter_per_row / self.clock_hz
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel::xeon_x5550()
+    }
+}
+
+/// Energy-per-operation GPU model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Energy per fused multiply-add, in joules.
+    pub energy_per_fma_j: f64,
+}
+
+impl GpuModel {
+    /// The paper's 225 pJ/FLOP estimate (Keckler et al., IEEE Micro 2011).
+    pub fn keckler_2011() -> Self {
+        GpuModel {
+            energy_per_fma_j: 225e-12,
+        }
+    }
+
+    /// Energy for a given number of fused multiply-adds, in joules.
+    pub fn energy_j(&self, fma_count: usize) -> f64 {
+        fma_count as f64 * self.energy_per_fma_j
+    }
+
+    /// Energy for a CG solve of `iterations` over `rows` rows with
+    /// `nnz_per_row` stencil coefficients: per iteration one matvec
+    /// (`nnz_per_row·rows` FMA) plus the vector updates and dot products
+    /// (≈`5·rows` FMA — ½ of the multiplies go into the step-size
+    /// calculation, as §VI-A notes).
+    pub fn cg_energy_j(&self, iterations: usize, rows: usize, nnz_per_row: f64) -> f64 {
+        let fma_per_iter = (nnz_per_row + 5.0) * rows as f64;
+        self.energy_per_fma_j * iterations as f64 * fma_per_iter
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel::keckler_2011()
+    }
+}
+
+/// Estimated CG iterations to reach one part in `2^bits` on a 2D Poisson
+/// problem of side `l`: `O(L)` with the classic `½√κ·ln(2/ε)` bound and
+/// `√κ ≈ 2(L+1)/π`.
+pub fn cg_iterations_estimate(l: usize, bits: u32) -> usize {
+    let sqrt_kappa = 2.0 * (l as f64 + 1.0) / std::f64::consts::PI;
+    let eps = f64::from(2u32).powi(-(bits as i32));
+    (0.5 * sqrt_kappa * (2.0 / eps).ln()).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let cpu = CpuModel::xeon_x5550();
+        assert_eq!(cpu.clock_hz, 2.67e9);
+        assert_eq!(cpu.cycles_per_iter_per_row, 20.0);
+        let gpu = GpuModel::keckler_2011();
+        assert_eq!(gpu.energy_per_fma_j, 225e-12);
+    }
+
+    #[test]
+    fn cpu_time_scales_with_work() {
+        let cpu = CpuModel::default();
+        let t = cpu.solve_time_s(100, 1000);
+        // 100 × 1000 × 20 cycles = 2e6 cycles at 2.67 GHz ≈ 0.75 ms.
+        assert!((t - 2e6 / 2.67e9).abs() < 1e-12);
+        assert_eq!(cpu.solve_time_s(0, 1000), 0.0);
+    }
+
+    #[test]
+    fn gpu_energy_scales_with_flops() {
+        let gpu = GpuModel::default();
+        assert!((gpu.energy_j(1_000_000) - 225e-6).abs() < 1e-18);
+        let e = gpu.cg_energy_j(10, 100, 5.0);
+        assert!((e - 225e-12 * 10.0 * 1000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cg_iteration_estimate_is_linear_in_l() {
+        let i16 = cg_iterations_estimate(16, 8);
+        let i32 = cg_iterations_estimate(32, 8);
+        let ratio = i32 as f64 / i16 as f64;
+        assert!((ratio - 2.0).abs() < 0.15, "ratio = {ratio}");
+        // More precision, more iterations.
+        assert!(cg_iterations_estimate(16, 12) > cg_iterations_estimate(16, 8));
+    }
+}

@@ -1,0 +1,52 @@
+//! Hardware cost models for the ISCA 2016 analog accelerator evaluation.
+//!
+//! The paper's Figures 8–12 are produced not from silicon but from an
+//! analytical model anchored to the prototype's measured component power and
+//! area (its Table II) and scaled with bandwidth. This crate implements that
+//! model:
+//!
+//! * [`components`] — Table II per-block power/area and core fractions.
+//! * [`scaling`] — linear power/area scaling with the bandwidth factor `α`
+//!   for the core analog circuits, fixed cost for the non-core remainder
+//!   (§V-B "Power and area scaling").
+//! * [`design`] — accelerator design points (the 20 kHz prototype and the
+//!   80 kHz / 320 kHz / 1.3 MHz projections) with die-area budgeting against
+//!   the 600 mm² largest-GPU limit.
+//! * [`timing`] — the gradient-flow settling-time model for analog solves,
+//!   including the value/time-scaling penalty of §VI-D.
+//! * [`digital`] — the digital baselines: the CPU cycle model (20 cycles
+//!   per iteration per row on a 2.67 GHz Xeon X5550) and the GPU energy
+//!   model (225 pJ per fused multiply-add, Keckler et al.).
+//! * [`energy`] — solution energy accounting for both sides.
+//!
+//! The model reproduces the paper's own stated checkpoints:
+//!
+//! ```
+//! use aa_hwmodel::design::AcceleratorDesign;
+//!
+//! // "An analog accelerator with 650 integrators occupies about 150 mm²."
+//! let proto = AcceleratorDesign::prototype_20khz();
+//! let area = proto.area_mm2(650);
+//! assert!(area > 120.0 && area < 160.0, "{area}");
+//!
+//! // "Even in the designs that fill a 600 mm² die size, the analog
+//! //  accelerator uses about 0.7 W in the base prototype design."
+//! let n = proto.max_grid_points(600.0);
+//! let power = proto.power_w(n);
+//! assert!(power > 0.55 && power < 0.8, "{power}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod design;
+pub mod digital;
+pub mod energy;
+pub mod scaling;
+pub mod timing;
+
+pub use components::{ComponentKind, ComponentSpec};
+pub use design::{AcceleratorDesign, GPU_DIE_AREA_MM2};
+pub use digital::{CpuModel, GpuModel};
+pub use timing::{analog_solve_time_s, scaled_poisson_lambda_min, PoissonProblem};

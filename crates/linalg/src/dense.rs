@@ -1,0 +1,338 @@
+use crate::op::{LinearOperator, RowAccess};
+use crate::LinalgError;
+
+/// A row-major dense matrix of `f64` values.
+///
+/// Dense matrices back the small circuit-level systems the analog chip model
+/// works with (a handful of integrators) and the direct factorizations in
+/// [`crate::direct`]. Large PDE systems should use [`crate::CsrMatrix`] or the
+/// matrix-free operators in [`crate::stencil`] instead.
+///
+/// ```
+/// use aa_linalg::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+/// assert_eq!(a.get(0, 1), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an all-zero `rows × cols` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, LinalgError> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::invalid("matrix dimensions must be non-zero"));
+        }
+        Ok(DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n).expect("identity dimension must be non-zero");
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `rows` is empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::invalid("matrix must have at least one entry"));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(LinalgError::invalid("ragged rows"));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a square matrix from a flat row-major slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `data.len() != n*n` or `n == 0`.
+    pub fn from_row_major(n: usize, data: &[f64]) -> Result<Self, LinalgError> {
+        if n == 0 {
+            return Err(LinalgError::invalid("matrix dimensions must be non-zero"));
+        }
+        if data.len() != n * n {
+            return Err(LinalgError::invalid(format!(
+                "expected {} entries for a {n}x{n} matrix, got {}",
+                n * n,
+                data.len()
+            )));
+        }
+        Ok(DenseMatrix {
+            rows: n,
+            cols: n,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Entry `a_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets entry `a_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// A view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The transpose as a new matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows).expect("dims checked at construction");
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Whether the matrix is symmetric within tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Matrix–matrix product `self × other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                actual: other.rows,
+                context: "matmul inner dimension",
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, other.cols)?;
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += aik * other.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute entry, `max_ij |a_ij|`.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Scales every entry by `s` in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Flat row-major view of the underlying storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl LinearOperator for DenseMatrix {
+    fn dim(&self) -> usize {
+        assert!(self.is_square(), "LinearOperator requires a square matrix");
+        self.rows
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "apply: input length mismatch");
+        assert_eq!(y.len(), self.rows, "apply: output length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = crate::vector::dot(self.row(i), x);
+        }
+    }
+}
+
+impl RowAccess for DenseMatrix {
+    fn for_each_in_row(&self, i: usize, f: &mut dyn FnMut(usize, f64)) {
+        for (j, &v) in self.row(i).iter().enumerate() {
+            if v != 0.0 {
+                f(j, v);
+            }
+        }
+    }
+
+    fn diagonal(&self, i: usize) -> f64 {
+        self.get(i, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(DenseMatrix::zeros(0, 3).is_err());
+        assert!(DenseMatrix::zeros(3, 0).is_err());
+        assert!(DenseMatrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let r0: &[f64] = &[1.0, 2.0];
+        let r1: &[f64] = &[3.0];
+        assert!(DenseMatrix::from_rows(&[r0, r1]).is_err());
+    }
+
+    #[test]
+    fn from_row_major_validates_length() {
+        assert!(DenseMatrix::from_row_major(2, &[1.0, 2.0, 3.0]).is_err());
+        let m = DenseMatrix::from_row_major(2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn identity_applies_as_identity() {
+        let id = DenseMatrix::identity(3);
+        let x = [1.0, -2.0, 0.5];
+        assert_eq!(id.apply_vec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.apply_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_and_symmetry() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 1), 3.0);
+        assert!(!m.is_symmetric(1e-12));
+        let s = DenseMatrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]).unwrap();
+        assert!(s.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, DenseMatrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = DenseMatrix::zeros(2, 3).unwrap();
+        let b = DenseMatrix::zeros(2, 2).unwrap();
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn row_access_skips_zeros() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let mut seen = Vec::new();
+        m.for_each_in_row(0, &mut |j, v| seen.push((j, v)));
+        assert_eq!(seen, vec![(0, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn max_abs_and_scale() {
+        let mut m = DenseMatrix::from_rows(&[&[1.0, -5.0], &[2.0, 0.0]]).unwrap();
+        assert_eq!(m.max_abs(), 5.0);
+        m.scale(2.0);
+        assert_eq!(m.get(0, 1), -10.0);
+    }
+}

@@ -1,0 +1,210 @@
+use crate::{DenseMatrix, LinalgError};
+
+/// LU factorization with partial pivoting, `P·A = L·U` (Gaussian elimination).
+///
+/// ```
+/// use aa_linalg::{DenseMatrix, direct::LuFactor};
+///
+/// # fn main() -> Result<(), aa_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]])?;
+/// let x = LuFactor::new(&a)?.solve(&[3.0, 4.0])?;
+/// assert_eq!(x, vec![2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    /// Combined L (below diagonal, unit diagonal implicit) and U (upper) storage.
+    lu: DenseMatrix,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or −1.0), used for the determinant.
+    perm_sign: f64,
+}
+
+impl LuFactor {
+    /// Pivot magnitudes below this threshold are treated as singular.
+    const PIVOT_TOL: f64 = 1e-300;
+
+    /// Factors a square matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::SingularMatrix`] if no usable pivot exists.
+    pub fn new(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below the diagonal.
+            let (pivot_row, pivot_val) = (k..n)
+                .map(|i| (i, lu.get(i, k).abs()))
+                .fold((k, -1.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+            if pivot_val < Self::PIVOT_TOL {
+                return Err(LinalgError::SingularMatrix { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu.get(k, j);
+                    lu.set(k, j, lu.get(pivot_row, j));
+                    lu.set(pivot_row, j, tmp);
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let factor = lu.get(i, k) / pivot;
+                lu.set(i, k, factor);
+                for j in (k + 1)..n {
+                    lu.set(i, j, lu.get(i, j) - factor * lu.get(k, j));
+                }
+            }
+        }
+        Ok(LuFactor {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+                context: "lu solve rhs",
+            });
+        }
+        // Apply the permutation, then forward-substitute L·y = P·b.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = y[i];
+            for (k, yk) in y.iter().enumerate().take(i) {
+                sum -= self.lu.get(i, k) * yk;
+            }
+            y[i] = sum;
+        }
+        // Backward-substitute U·x = y.
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.lu.get(i, k) * xk;
+            }
+            x[i] = sum / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Determinant of `A` (product of U's diagonal times the permutation sign).
+    pub fn det(&self) -> f64 {
+        self.perm_sign
+            * (0..self.dim())
+                .map(|i| self.lu.get(i, i))
+                .product::<f64>()
+    }
+
+    /// Inverse of `A` as a dense matrix (column-by-column solves).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (none expected once factored).
+    pub fn inverse(&self) -> Result<DenseMatrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = DenseMatrix::zeros(n, n)?;
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for (i, v) in col.iter().enumerate() {
+                inv.set(i, j, *v);
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearOperator;
+
+    #[test]
+    fn solves_with_pivoting_required() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 3.0], &[2.0, 1.0, 0.0]])
+            .unwrap();
+        let x_true = [1.0, 2.0, -1.0];
+        let b = a.apply_vec(&x_true);
+        let x = LuFactor::new(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn determinant_matches_known_value() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 1.0], &[2.0, 4.0]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        assert!((lu.det() - 10.0).abs() < 1e-12);
+        // Permutation sign handled: swapping rows flips sign.
+        let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((LuFactor::new(&b).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(LinalgError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = LuFactor::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(3, 2).unwrap();
+        assert!(LuFactor::new(&a).is_err());
+    }
+
+    #[test]
+    fn rhs_length_validated() {
+        let lu = LuFactor::new(&DenseMatrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+use crate::{DenseMatrix, LinalgError};
+
+/// QR factorization by Householder reflections, `A = Q·R`.
+///
+/// One of the direct solvers of the paper's Figure 4 taxonomy ("Direct
+/// solvers (e.g., Cholesky, QR, SVD)"). Unlike Cholesky it needs no
+/// symmetry, and it is unconditionally backward-stable — part of the
+/// digital toolbox the analog approach cannot emulate (§IV-A: "analog
+/// computers are not suitable for direct linear algebra approaches").
+///
+/// Storage: the Householder vectors live in the lower triangle of `qr`
+/// (head included, on the diagonal); `R`'s strict upper triangle lives in
+/// the upper part, and `R`'s diagonal in the separate `r_diag` vector.
+///
+/// ```
+/// use aa_linalg::{DenseMatrix, direct::QrFactor};
+///
+/// # fn main() -> Result<(), aa_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let x = QrFactor::new(&a)?.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrFactor {
+    /// Householder vectors (lower triangle incl. diagonal) and the strict
+    /// upper triangle of `R`.
+    qr: DenseMatrix,
+    /// `R`'s diagonal.
+    r_diag: Vec<f64>,
+    /// `β_k = 2/(v_kᵀ·v_k)` per reflector (zero for skipped columns).
+    betas: Vec<f64>,
+    /// Magnitude scale of the input matrix, for relative rank tests.
+    scale: f64,
+    n: usize,
+}
+
+impl QrFactor {
+    /// Relative magnitudes below this are treated as rank deficiency.
+    const RANK_TOL: f64 = 1e-13;
+
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::SingularMatrix`] if `A` is rank-deficient.
+    pub fn new(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let scale = a.max_abs().max(f64::MIN_POSITIVE);
+        let mut qr = a.clone();
+        let mut r_diag = vec![0.0; n];
+        let mut betas = vec![0.0; n];
+
+        for k in 0..n {
+            let mut norm2 = 0.0;
+            for i in k..n {
+                norm2 += qr.get(i, k) * qr.get(i, k);
+            }
+            let norm = norm2.sqrt();
+            if norm < Self::RANK_TOL * scale {
+                return Err(LinalgError::SingularMatrix { pivot: k });
+            }
+            // α takes the opposite sign of the pivot for stability.
+            let alpha = if qr.get(k, k) >= 0.0 { -norm } else { norm };
+            let v0 = qr.get(k, k) - alpha;
+            let vtv = norm2 - qr.get(k, k) * qr.get(k, k) + v0 * v0;
+            r_diag[k] = alpha;
+            if vtv < (Self::RANK_TOL * scale).powi(2) {
+                continue; // column is already e₁-aligned
+            }
+            qr.set(k, k, v0);
+            betas[k] = 2.0 / vtv;
+
+            for j in (k + 1)..n {
+                let mut dot = 0.0;
+                for i in k..n {
+                    dot += qr.get(i, k) * qr.get(i, j);
+                }
+                let scale = betas[k] * dot;
+                for i in k..n {
+                    qr.set(i, j, qr.get(i, j) - scale * qr.get(i, k));
+                }
+            }
+        }
+        Ok(QrFactor {
+            qr,
+            r_diag,
+            betas,
+            scale,
+            n,
+        })
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Applies `Qᵀ` to a vector in place (the reflectors, in order).
+    pub fn apply_q_transpose(&self, y: &mut [f64]) {
+        assert_eq!(y.len(), self.n, "apply_q_transpose: length mismatch");
+        for k in 0..self.n {
+            if self.betas[k] == 0.0 {
+                continue;
+            }
+            let mut dot = 0.0;
+            for (i, yi) in y.iter().enumerate().skip(k) {
+                dot += self.qr.get(i, k) * yi;
+            }
+            let scale = self.betas[k] * dot;
+            for (i, yi) in y.iter_mut().enumerate().skip(k) {
+                *yi -= scale * self.qr.get(i, k);
+            }
+        }
+    }
+
+    /// Applies `Q` to a vector in place (reflectors in reverse order).
+    pub fn apply_q(&self, y: &mut [f64]) {
+        assert_eq!(y.len(), self.n, "apply_q: length mismatch");
+        for k in (0..self.n).rev() {
+            if self.betas[k] == 0.0 {
+                continue;
+            }
+            let mut dot = 0.0;
+            for (i, yi) in y.iter().enumerate().skip(k) {
+                dot += self.qr.get(i, k) * yi;
+            }
+            let scale = self.betas[k] * dot;
+            for (i, yi) in y.iter_mut().enumerate().skip(k) {
+                *yi -= scale * self.qr.get(i, k);
+            }
+        }
+    }
+
+    /// Solves `A·x = b` via `R·x = Qᵀ·b`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `b.len() != dim`.
+    /// * [`LinalgError::SingularMatrix`] on a vanishing `R` diagonal.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+                context: "qr solve rhs",
+            });
+        }
+        let mut x = b.to_vec();
+        self.apply_q_transpose(&mut x);
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.qr.get(i, j) * xj;
+            }
+            if self.r_diag[i].abs() < Self::RANK_TOL * self.scale {
+                return Err(LinalgError::SingularMatrix { pivot: i });
+            }
+            x[i] = sum / self.r_diag[i];
+        }
+        Ok(x)
+    }
+
+    /// `|det(A)| = Π |r_kk|` (the reflections lose the sign).
+    pub fn abs_det(&self) -> f64 {
+        self.r_diag.iter().map(|r| r.abs()).product()
+    }
+
+    /// Reconstructs `R` as a dense upper-triangular matrix.
+    pub fn r(&self) -> DenseMatrix {
+        let mut r = DenseMatrix::zeros(self.n, self.n).expect("n > 0 by construction");
+        for i in 0..self.n {
+            r.set(i, i, self.r_diag[i]);
+            for j in (i + 1)..self.n {
+                r.set(i, j, self.qr.get(i, j));
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearOperator;
+
+    #[test]
+    fn solves_unsymmetric_system() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 10.0],
+        ])
+        .unwrap();
+        let x_true = [1.0, -1.0, 2.0];
+        let b = a.apply_vec(&x_true);
+        let x = QrFactor::new(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let qr = QrFactor::new(&a).unwrap();
+        // Q·Qᵀ·v = v for arbitrary v.
+        let mut v = vec![0.7, -1.3];
+        let original = v.clone();
+        qr.apply_q_transpose(&mut v);
+        qr.apply_q(&mut v);
+        for (a, b) in v.iter().zip(&original) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn q_times_r_reconstructs_a() {
+        let a = DenseMatrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[1.5, 3.0, -2.0],
+            &[0.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let qr = QrFactor::new(&a).unwrap();
+        let r = qr.r();
+        // Column c of A equals Q·(column c of R).
+        for c in 0..3 {
+            let mut col: Vec<f64> = (0..3).map(|i| r.get(i, c)).collect();
+            qr.apply_q(&mut col);
+            for (i, v) in col.iter().enumerate() {
+                assert!((v - a.get(i, c)).abs() < 1e-10, "col {c} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_nonzero_diagonal() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 4.0], &[2.0, 5.0]]).unwrap();
+        let qr = QrFactor::new(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r.get(1, 0), 0.0);
+        assert!(r.get(0, 0).abs() > 0.1);
+        assert!(qr.abs_det() > 0.0);
+        // |det| = |1·5 − 4·2| = 3.
+        assert!((qr.abs_det() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let qr = QrFactor::new(&a);
+        // Rank deficiency shows up at factor time or at solve time.
+        match qr {
+            Err(LinalgError::SingularMatrix { .. }) => {}
+            Ok(f) => {
+                assert!(matches!(
+                    f.solve(&[1.0, 2.0]),
+                    Err(LinalgError::SingularMatrix { .. })
+                ));
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn matches_lu_on_random_system() {
+        let a = DenseMatrix::from_rows(&[
+            &[0.0, 2.0, 1.0],
+            &[1.0, 0.0, 3.0],
+            &[2.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x_qr = QrFactor::new(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::direct::LuFactor::new(&a).unwrap().solve(&b).unwrap();
+        for (q, l) in x_qr.iter().zip(&x_lu) {
+            assert!((q - l).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(2, 3).unwrap();
+        assert!(QrFactor::new(&a).is_err());
+        let f = QrFactor::new(&DenseMatrix::identity(3)).unwrap();
+        assert!(f.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+use crate::{DenseMatrix, LinalgError};
+
+/// Singular value decomposition `A = U·Σ·Vᵀ` by one-sided Jacobi rotations.
+///
+/// The last direct-solver box of the paper's Figure 4 taxonomy ("Cholesky,
+/// QR, SVD"). One-sided Jacobi repeatedly orthogonalizes pairs of columns of
+/// `B = A·V`; at convergence the column norms of `B` are the singular values
+/// and its normalized columns are `U`. Simple, unconditionally convergent,
+/// and accurate for the small dense systems this workspace handles.
+///
+/// ```
+/// use aa_linalg::{DenseMatrix, direct::SvdFactor};
+///
+/// # fn main() -> Result<(), aa_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]])?;
+/// let svd = SvdFactor::new(&a)?;
+/// assert!((svd.singular_values()[0] - 3.0).abs() < 1e-12);
+/// assert!((svd.singular_values()[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SvdFactor {
+    /// Left singular vectors (columns).
+    u: DenseMatrix,
+    /// Singular values, descending.
+    sigma: Vec<f64>,
+    /// Right singular vectors (columns).
+    v: DenseMatrix,
+    n: usize,
+}
+
+impl SvdFactor {
+    /// Off-diagonal mass threshold (relative) for sweep convergence.
+    const SWEEP_TOL: f64 = 1e-14;
+    /// Maximum Jacobi sweeps.
+    const MAX_SWEEPS: usize = 60;
+
+    /// Decomposes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] if `a` is not square.
+    pub fn new(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut b = a.clone();
+        let mut v = DenseMatrix::identity(n);
+        let scale = a.max_abs().max(f64::MIN_POSITIVE);
+
+        for _sweep in 0..Self::MAX_SWEEPS {
+            let mut rotated = false;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Gram entries of columns p, q.
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for i in 0..n {
+                        app += b.get(i, p) * b.get(i, p);
+                        aqq += b.get(i, q) * b.get(i, q);
+                        apq += b.get(i, p) * b.get(i, q);
+                    }
+                    if apq.abs() <= Self::SWEEP_TOL * scale * scale {
+                        continue;
+                    }
+                    rotated = true;
+                    // Jacobi rotation annihilating the (p, q) Gram entry.
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..n {
+                        let bp = b.get(i, p);
+                        let bq = b.get(i, q);
+                        b.set(i, p, c * bp - s * bq);
+                        b.set(i, q, s * bp + c * bq);
+                        let vp = v.get(i, p);
+                        let vq = v.get(i, q);
+                        v.set(i, p, c * vp - s * vq);
+                        v.set(i, q, s * vp + c * vq);
+                    }
+                }
+            }
+            if !rotated {
+                break;
+            }
+        }
+
+        // Column norms → singular values; normalized columns → U.
+        let mut order: Vec<usize> = (0..n).collect();
+        let norms: Vec<f64> = (0..n)
+            .map(|j| (0..n).map(|i| b.get(i, j) * b.get(i, j)).sum::<f64>().sqrt())
+            .collect();
+        order.sort_by(|x, y| norms[*y].partial_cmp(&norms[*x]).expect("finite norms"));
+
+        let mut u = DenseMatrix::zeros(n, n)?;
+        let mut v_sorted = DenseMatrix::zeros(n, n)?;
+        let mut sigma = Vec::with_capacity(n);
+        for (dst, &src) in order.iter().enumerate() {
+            let nz = norms[src];
+            sigma.push(nz);
+            for i in 0..n {
+                let ui = if nz > 0.0 { b.get(i, src) / nz } else { 0.0 };
+                u.set(i, dst, ui);
+                v_sorted.set(i, dst, v.get(i, src));
+            }
+        }
+        Ok(SvdFactor {
+            u,
+            sigma,
+            v: v_sorted,
+            n,
+        })
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Singular values in descending order.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.sigma
+    }
+
+    /// The left singular vectors (columns of `U`).
+    pub fn u(&self) -> &DenseMatrix {
+        &self.u
+    }
+
+    /// The right singular vectors (columns of `V`).
+    pub fn v(&self) -> &DenseMatrix {
+        &self.v
+    }
+
+    /// Two-norm condition number `σ_max/σ_min` (∞ if singular).
+    pub fn condition_number(&self) -> f64 {
+        let max = self.sigma.first().copied().unwrap_or(0.0);
+        let min = self.sigma.last().copied().unwrap_or(0.0);
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// The numerical rank at relative threshold `rtol·σ_max`.
+    pub fn rank(&self, rtol: f64) -> usize {
+        let cutoff = rtol * self.sigma.first().copied().unwrap_or(0.0);
+        self.sigma.iter().filter(|s| **s > cutoff).count()
+    }
+
+    /// Minimum-norm least-squares solve via the pseudo-inverse,
+    /// `x = V·Σ⁺·Uᵀ·b`, truncating singular values below `rtol·σ_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != dim`.
+    pub fn solve_min_norm(&self, b: &[f64], rtol: f64) -> Result<Vec<f64>, LinalgError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+                context: "svd solve rhs",
+            });
+        }
+        let cutoff = rtol * self.sigma.first().copied().unwrap_or(0.0);
+        // y = Σ⁺·Uᵀ·b
+        let mut y = vec![0.0; n];
+        for (k, yk) in y.iter_mut().enumerate() {
+            if self.sigma[k] > cutoff {
+                let mut dot = 0.0;
+                for i in 0..n {
+                    dot += self.u.get(i, k) * b[i];
+                }
+                *yk = dot / self.sigma[k];
+            }
+        }
+        // x = V·y
+        let mut x = vec![0.0; n];
+        for (i, xi) in x.iter_mut().enumerate() {
+            for (k, yk) in y.iter().enumerate() {
+                *xi += self.v.get(i, k) * yk;
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearOperator;
+
+    #[test]
+    fn diagonal_matrix_has_obvious_svd() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 5.0], &[1.0, 0.0]]).unwrap();
+        let svd = SvdFactor::new(&a).unwrap();
+        assert!((svd.singular_values()[0] - 5.0).abs() < 1e-12);
+        assert!((svd.singular_values()[1] - 1.0).abs() < 1e-12);
+        assert!((svd.condition_number() - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_u_sigma_vt() {
+        let a = DenseMatrix::from_rows(&[
+            &[2.0, -1.0, 0.3],
+            &[0.5, 1.5, -0.7],
+            &[-0.2, 0.8, 1.1],
+        ])
+        .unwrap();
+        let svd = SvdFactor::new(&a).unwrap();
+        // A·v_k = σ_k·u_k for every k.
+        for k in 0..3 {
+            let vk: Vec<f64> = (0..3).map(|i| svd.v().get(i, k)).collect();
+            let av = a.apply_vec(&vk);
+            for i in 0..3 {
+                let expect = svd.singular_values()[k] * svd.u().get(i, k);
+                assert!((av[i] - expect).abs() < 1e-10, "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_vectors_are_orthonormal() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let svd = SvdFactor::new(&a).unwrap();
+        for m in [svd.u(), svd.v()] {
+            for p in 0..2 {
+                for q in 0..2 {
+                    let dot: f64 = (0..2).map(|i| m.get(i, p) * m.get(i, q)).sum();
+                    let expect = if p == q { 1.0 } else { 0.0 };
+                    assert!((dot - expect).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_lu_on_nonsingular_system() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 2.0], &[3.0, 1.0]]).unwrap();
+        let b = vec![2.0, 4.0];
+        let svd = SvdFactor::new(&a).unwrap();
+        let x = svd.solve_min_norm(&b, 1e-12).unwrap();
+        let x_lu = crate::direct::LuFactor::new(&a).unwrap().solve(&b).unwrap();
+        for (s, l) in x.iter().zip(&x_lu) {
+            assert!((s - l).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix_gets_min_norm_solution() {
+        // Rank-1 matrix: rows are multiples.
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let svd = SvdFactor::new(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        assert!(svd.condition_number() > 1e10);
+        // Consistent rhs: b in the column space.
+        let b = vec![1.0, 2.0];
+        let x = svd.solve_min_norm(&b, 1e-10).unwrap();
+        // Residual is zero and x is the min-norm representative (1/5, 2/5).
+        assert!(a.residual_norm(&x, &b) < 1e-10);
+        assert!((x[0] - 0.2).abs() < 1e-10);
+        assert!((x[1] - 0.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_values_match_eigenvalues_for_spd() {
+        // For SPD matrices σ_k = λ_k.
+        let a = DenseMatrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]).unwrap();
+        let svd = SvdFactor::new(&a).unwrap();
+        assert!((svd.singular_values()[0] - 3.0).abs() < 1e-10);
+        assert!((svd.singular_values()[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn validates_shapes() {
+        assert!(SvdFactor::new(&DenseMatrix::zeros(2, 3).unwrap()).is_err());
+        let svd = SvdFactor::new(&DenseMatrix::identity(2)).unwrap();
+        assert!(svd.solve_min_norm(&[1.0], 1e-12).is_err());
+    }
+}

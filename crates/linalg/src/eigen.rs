@@ -1,0 +1,287 @@
+//! Eigenvalue estimation for convergence-time modelling.
+//!
+//! The analog gradient flow `du/dt = b − A·u` converges like
+//! `e^{−λ_min·t}` (paper §VI inset: `u(t) = A⁻¹b + c·e^{−At}`), so the
+//! solution time of the analog accelerator is governed by the smallest
+//! eigenvalue of `A` and the circuit bandwidth. This module provides:
+//!
+//! * [`power_iteration`] — dominant eigenvalue `λ_max`.
+//! * [`smallest_eigenvalue`] — `λ_min` by shifted power iteration.
+//! * [`gershgorin_bounds`] — cheap analytic enclosure of the spectrum.
+//! * [`poisson_lambda_min`] / [`poisson_lambda_max`] — closed forms for the
+//!   model Poisson operators.
+
+use crate::op::{LinearOperator, RowAccess};
+use crate::{vector, LinalgError};
+
+/// Result of an eigenvalue iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenEstimate {
+    /// The eigenvalue estimate.
+    pub value: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Whether the estimate met the requested tolerance.
+    pub converged: bool,
+}
+
+/// Estimates the dominant eigenvalue of a symmetric operator by power
+/// iteration with Rayleigh-quotient refinement.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `max_iterations == 0`.
+///
+/// ```
+/// use aa_linalg::{CsrMatrix, eigen::power_iteration};
+///
+/// # fn main() -> Result<(), aa_linalg::LinalgError> {
+/// let a = CsrMatrix::tridiagonal(16, -1.0, 2.0, -1.0)?;
+/// let est = power_iteration(&a, 2000, 1e-10)?;
+/// assert!(est.value < 4.0 && est.value > 3.8); // λ_max → 4 as n → ∞
+/// # Ok(())
+/// # }
+/// ```
+pub fn power_iteration<M: LinearOperator>(
+    a: &M,
+    max_iterations: usize,
+    tolerance: f64,
+) -> Result<EigenEstimate, LinalgError> {
+    if max_iterations == 0 {
+        return Err(LinalgError::invalid("max_iterations must be positive"));
+    }
+    let n = a.dim();
+    // Deterministic non-degenerate start vector (no RNG dependency here).
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1.0 + ((i * 2654435761) % 1000) as f64 / 1000.0)
+        .collect();
+    let norm = vector::norm2(&v);
+    vector::scale(1.0 / norm, &mut v);
+
+    let mut av = vec![0.0; n];
+    let mut lambda = 0.0;
+    for k in 1..=max_iterations {
+        a.apply(&v, &mut av);
+        let new_lambda = vector::dot(&v, &av);
+        let norm = vector::norm2(&av);
+        if norm == 0.0 {
+            // v is in the null space; the dominant eigenvalue along it is 0.
+            return Ok(EigenEstimate {
+                value: 0.0,
+                iterations: k,
+                converged: true,
+            });
+        }
+        for (vi, avi) in v.iter_mut().zip(&av) {
+            *vi = avi / norm;
+        }
+        if (new_lambda - lambda).abs() <= tolerance * new_lambda.abs().max(1.0) {
+            return Ok(EigenEstimate {
+                value: new_lambda,
+                iterations: k,
+                converged: true,
+            });
+        }
+        lambda = new_lambda;
+    }
+    Ok(EigenEstimate {
+        value: lambda,
+        iterations: max_iterations,
+        converged: false,
+    })
+}
+
+/// Estimates the smallest eigenvalue of a symmetric positive-definite
+/// operator by power iteration on the shifted operator `σI − A`, where
+/// `σ ≥ λ_max` comes from a Gershgorin bound.
+///
+/// # Errors
+///
+/// Propagates [`power_iteration`] errors.
+///
+/// ```
+/// use aa_linalg::{CsrMatrix, eigen::smallest_eigenvalue};
+///
+/// # fn main() -> Result<(), aa_linalg::LinalgError> {
+/// let a = CsrMatrix::tridiagonal(8, -1.0, 2.0, -1.0)?;
+/// let est = smallest_eigenvalue(&a, 20_000, 1e-12)?;
+/// // λ_min = 4·sin²(π/18) ≈ 0.120615
+/// assert!((est.value - 0.120615).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn smallest_eigenvalue<M: RowAccess>(
+    a: &M,
+    max_iterations: usize,
+    tolerance: f64,
+) -> Result<EigenEstimate, LinalgError> {
+    let (_, upper) = gershgorin_bounds(a);
+    let shifted = Shifted { a, sigma: upper };
+    let est = power_iteration(&shifted, max_iterations, tolerance)?;
+    Ok(EigenEstimate {
+        value: upper - est.value,
+        iterations: est.iterations,
+        converged: est.converged,
+    })
+}
+
+/// The shifted operator `σI − A` used by [`smallest_eigenvalue`].
+struct Shifted<'a, M> {
+    a: &'a M,
+    sigma: f64,
+}
+
+impl<M: LinearOperator> LinearOperator for Shifted<'_, M> {
+    fn dim(&self) -> usize {
+        self.a.dim()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.a.apply(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = self.sigma * xi - *yi;
+        }
+    }
+}
+
+/// Gershgorin disc bounds `(lower, upper)` on the spectrum of `A`:
+/// every eigenvalue lies in `[min_i(a_ii − R_i), max_i(a_ii + R_i)]` where
+/// `R_i = Σ_{j≠i} |a_ij|`.
+pub fn gershgorin_bounds<M: RowAccess>(a: &M) -> (f64, f64) {
+    let mut lower = f64::INFINITY;
+    let mut upper = f64::NEG_INFINITY;
+    for i in 0..a.dim() {
+        let mut diag = 0.0;
+        let mut radius = 0.0;
+        a.for_each_in_row(i, &mut |j, v| {
+            if j == i {
+                diag += v;
+            } else {
+                radius += v.abs();
+            }
+        });
+        lower = lower.min(diag - radius);
+        upper = upper.max(diag + radius);
+    }
+    (lower, upper)
+}
+
+/// Condition number estimate `λ_max / λ_min` for an SPD operator.
+///
+/// # Errors
+///
+/// Propagates iteration errors; returns
+/// [`LinalgError::NotPositiveDefinite`] if the smallest eigenvalue estimate
+/// is non-positive.
+pub fn condition_estimate<M: RowAccess>(
+    a: &M,
+    max_iterations: usize,
+    tolerance: f64,
+) -> Result<f64, LinalgError> {
+    let max = power_iteration(a, max_iterations, tolerance)?;
+    let min = smallest_eigenvalue(a, max_iterations, tolerance)?;
+    if min.value <= 0.0 {
+        return Err(LinalgError::NotPositiveDefinite { pivot: 0 });
+    }
+    Ok(max.value / min.value)
+}
+
+/// Closed-form smallest eigenvalue of the `d`-dimensional Poisson operator
+/// with `l` interior points per side: `λ_min = d·(4/h²)·sin²(π·h/2)`,
+/// `h = 1/(l+1)`.
+///
+/// As `l → ∞` this tends to `d·π²` — the continuum limit — which is why the
+/// *scaled* analog solve time grows like `L² = N` (2D) after the paper's
+/// value/time scaling.
+pub fn poisson_lambda_min(l: usize, dimensionality: usize) -> f64 {
+    let h = 1.0 / (l as f64 + 1.0);
+    let s = (std::f64::consts::PI * h / 2.0).sin();
+    dimensionality as f64 * (4.0 / (h * h)) * s * s
+}
+
+/// Closed-form largest eigenvalue of the `d`-dimensional Poisson operator:
+/// `λ_max = d·(4/h²)·cos²(π·h/2)`.
+pub fn poisson_lambda_max(l: usize, dimensionality: usize) -> f64 {
+    let h = 1.0 / (l as f64 + 1.0);
+    let c = (std::f64::consts::PI * h / 2.0).cos();
+    dimensionality as f64 * (4.0 / (h * h)) * c * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::PoissonStencil;
+    use crate::CsrMatrix;
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenvalue() {
+        // diag(1, 2, 5): λ_max = 5.
+        let a = CsrMatrix::from_triplets(
+            3,
+            &[
+                crate::Triplet::new(0, 0, 1.0),
+                crate::Triplet::new(1, 1, 2.0),
+                crate::Triplet::new(2, 2, 5.0),
+            ],
+        )
+        .unwrap();
+        let est = power_iteration(&a, 1000, 1e-12).unwrap();
+        assert!(est.converged);
+        assert!((est.value - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn closed_forms_match_numerical_estimates() {
+        for (l, d) in [(6, 1), (5, 2), (4, 3)] {
+            let op = PoissonStencil::new(l, d).unwrap();
+            let max_est = power_iteration(&op, 50_000, 1e-13).unwrap();
+            let min_est = smallest_eigenvalue(&op, 50_000, 1e-13).unwrap();
+            let max_true = poisson_lambda_max(l, d);
+            let min_true = poisson_lambda_min(l, d);
+            assert!(
+                (max_est.value - max_true).abs() / max_true < 1e-3,
+                "λ_max mismatch in {d}D: {} vs {}",
+                max_est.value,
+                max_true
+            );
+            assert!(
+                (min_est.value - min_true).abs() / min_true < 1e-2,
+                "λ_min mismatch in {d}D: {} vs {}",
+                min_est.value,
+                min_true
+            );
+        }
+    }
+
+    #[test]
+    fn gershgorin_encloses_poisson_spectrum() {
+        let op = PoissonStencil::new_2d(5).unwrap();
+        let (lo, hi) = gershgorin_bounds(&op);
+        assert!(lo <= poisson_lambda_min(5, 2));
+        assert!(hi >= poisson_lambda_max(5, 2));
+        // For interior rows the bound is [0, 8/h²].
+        assert!(lo >= 0.0);
+    }
+
+    #[test]
+    fn condition_number_grows_like_l_squared() {
+        let k4 = condition_estimate(&PoissonStencil::new_1d(4).unwrap(), 50_000, 1e-13).unwrap();
+        let k9 = condition_estimate(&PoissonStencil::new_1d(9).unwrap(), 50_000, 1e-13).unwrap();
+        // h halves (1/5 → 1/10): κ ≈ 4/(π h)² should grow ≈4×.
+        let ratio = k9 / k4;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn zero_max_iterations_rejected() {
+        let a = CsrMatrix::identity(2);
+        assert!(power_iteration(&a, 0, 1e-10).is_err());
+    }
+
+    #[test]
+    fn lambda_min_tends_to_continuum_limit() {
+        // λ_min → d·π² as resolution increases.
+        let lim = 2.0 * std::f64::consts::PI.powi(2);
+        let val = poisson_lambda_min(200, 2);
+        assert!((val - lim).abs() / lim < 1e-3);
+    }
+}

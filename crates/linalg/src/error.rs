@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by linear-algebra routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. matrix–vector dimension mismatch).
+    DimensionMismatch {
+        /// Dimension the operation expected.
+        expected: usize,
+        /// Dimension that was actually supplied.
+        actual: usize,
+        /// Human-readable description of which operand mismatched.
+        context: &'static str,
+    },
+    /// A matrix that must be square is not.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A factorization encountered a zero (or numerically negligible) pivot.
+    SingularMatrix {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// Cholesky required symmetric positive-definiteness and the matrix is not SPD.
+    NotPositiveDefinite {
+        /// Index of the pivot where positive-definiteness failed.
+        pivot: usize,
+    },
+    /// A structurally invalid argument (empty matrix, index out of bounds, ...).
+    InvalidArgument {
+        /// Description of the invalid argument.
+        message: String,
+    },
+}
+
+impl LinalgError {
+    /// Convenience constructor for [`LinalgError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        LinalgError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite at pivot {pivot}")
+            }
+            LinalgError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::DimensionMismatch {
+            expected: 3,
+            actual: 4,
+            context: "matvec",
+        };
+        assert_eq!(e.to_string(), "dimension mismatch in matvec: expected 3, got 4");
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert_eq!(e.to_string(), "matrix must be square, got 2x3");
+        let e = LinalgError::SingularMatrix { pivot: 1 };
+        assert_eq!(e.to_string(), "matrix is singular at pivot 1");
+        let e = LinalgError::NotPositiveDefinite { pivot: 0 };
+        assert_eq!(e.to_string(), "matrix is not positive definite at pivot 0");
+        let e = LinalgError::invalid("empty matrix");
+        assert_eq!(e.to_string(), "invalid argument: empty matrix");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

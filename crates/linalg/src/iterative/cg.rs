@@ -1,0 +1,214 @@
+use super::{check_system, Driver, IterativeConfig, Method, SolveReport};
+use crate::op::RowAccess;
+use crate::{vector, LinalgError};
+
+/// Conjugate gradients for symmetric positive-definite systems.
+///
+/// The paper's strongest digital baseline (§V-A): "CG converges to a solution
+/// limited by the precision of double precision floating point numbers the
+/// quickest". Each step chooses a search direction conjugate to all previous
+/// ones, so in exact arithmetic CG terminates in at most `n` steps and in
+/// practice in `O(√κ)` iterations (`O(L) = O(√N)` for the 2D Poisson problem,
+/// the `N^0.5` convergence-steps entry of the paper's Table III).
+///
+/// The implementation is matrix-free — it only applies the operator — so it
+/// runs identically over a [`CsrMatrix`](crate::CsrMatrix) or a
+/// [Poisson stencil](crate::stencil::PoissonStencil), matching the paper's
+/// stencil-based CG that never allocates the full matrix.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b` or the initial guess has the
+///   wrong length.
+/// * [`LinalgError::NotPositiveDefinite`] if a non-positive curvature
+///   `pᵀAp ≤ 0` is encountered.
+///
+/// ```
+/// use aa_linalg::{CsrMatrix, iterative::{cg, IterativeConfig}};
+///
+/// # fn main() -> Result<(), aa_linalg::LinalgError> {
+/// let a = CsrMatrix::tridiagonal(32, -1.0, 2.0, -1.0)?;
+/// let report = cg(&a, &[1.0; 32], &IterativeConfig::default())?;
+/// assert!(report.converged);
+/// // Exact termination: at most n iterations.
+/// assert!(report.iterations <= 32);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cg<M: RowAccess>(
+    a: &M,
+    b: &[f64],
+    config: &IterativeConfig,
+) -> Result<SolveReport, LinalgError> {
+    cg_observed(a, b, config, |_, _| {})
+}
+
+/// [`cg`] with a per-iteration observer `observe(iteration, iterate)`.
+///
+/// # Errors
+///
+/// Same as [`cg`].
+pub fn cg_observed<M, F>(
+    a: &M,
+    b: &[f64],
+    config: &IterativeConfig,
+    mut observe: F,
+) -> Result<SolveReport, LinalgError>
+where
+    M: RowAccess,
+    F: FnMut(usize, &[f64]),
+{
+    let n = check_system(a, b)?;
+    let x0 = config.validate(n)?;
+    let nnz = a.nnz();
+
+    let mut driver = Driver::new(x0, config.stopping, b);
+    let mut r = a.residual(&driver.x, b);
+    driver.work.add_matvec(nnz);
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rr = vector::dot(&r, &r);
+    driver.work.add_dot(n);
+
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for k in 1..=config.max_iterations {
+        iterations = k;
+        if rr == 0.0 {
+            observe(k, &driver.x);
+            converged = driver.step_done(0.0, 0.0);
+            break;
+        }
+        a.apply(&p, &mut ap);
+        driver.work.add_matvec(nnz);
+        let curvature = vector::dot(&p, &ap);
+        driver.work.add_dot(n);
+        if curvature <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite { pivot: k });
+        }
+        let alpha = rr / curvature;
+        vector::axpy(alpha, &p, &mut driver.x);
+        driver.work.add_axpy(n);
+        vector::axpy(-alpha, &ap, &mut r);
+        driver.work.add_axpy(n);
+        let rr_new = vector::dot(&r, &r);
+        driver.work.add_dot(n);
+        let beta = rr_new / rr;
+        vector::xpby(&r, beta, &mut p);
+        driver.work.add_axpy(n);
+
+        let max_change = alpha.abs() * vector::norm_inf(&p);
+        rr = rr_new;
+        observe(k, &driver.x);
+        if driver.step_done(rr.sqrt(), max_change) {
+            converged = true;
+            break;
+        }
+    }
+    Ok(driver.finish(Method::ConjugateGradient, converged, iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearOperator;
+    use crate::direct;
+    use crate::iterative::StoppingCriterion;
+    use crate::stencil::PoissonStencil;
+    use crate::{CsrMatrix, Triplet};
+
+    #[test]
+    fn exact_termination_in_n_steps() {
+        let a = CsrMatrix::tridiagonal(16, -1.0, 2.0, -1.0).unwrap();
+        let b: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        let cfg = IterativeConfig::with_stopping(StoppingCriterion::AbsoluteResidual(1e-10));
+        let report = cg(&a, &b, &cfg).unwrap();
+        assert!(report.converged);
+        assert!(report.iterations <= 16);
+    }
+
+    #[test]
+    fn matches_direct_solver() {
+        let a = CsrMatrix::tridiagonal(8, -1.0, 2.0, -1.0).unwrap();
+        let b = vec![1.0; 8];
+        let report = cg(&a, &b, &IterativeConfig::default()).unwrap();
+        let exact = direct::solve(&a.to_dense(), &b).unwrap();
+        for (x, e) in report.solution.iter().zip(&exact) {
+            assert!((x - e).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn matrix_free_stencil_agrees_with_assembled() {
+        let op = PoissonStencil::new_2d(6).unwrap();
+        let a = CsrMatrix::from_row_access(&op);
+        let b = vec![1.0; op.dim()];
+        let cfg = IterativeConfig::with_stopping(StoppingCriterion::AbsoluteResidual(1e-10));
+        let r1 = cg(&op, &b, &cfg).unwrap();
+        let r2 = cg(&a, &b, &cfg).unwrap();
+        assert_eq!(r1.iterations, r2.iterations);
+        for (x, y) in r1.solution.iter().zip(&r2.solution) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn iterations_scale_with_sqrt_condition() {
+        // 2D Poisson: κ ∝ L², so CG iterations ∝ L (the paper's N^0.5 row in
+        // Table III). Doubling L should roughly double iterations.
+        let stop = StoppingCriterion::RelativeResidual(1e-10);
+        let count = |l: usize| {
+            let op = PoissonStencil::new_2d(l).unwrap();
+            // A pseudo-random RHS so CG explores the full Krylov space.
+            let mut state = 12345u64;
+            let b: Vec<f64> = (0..op.dim())
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                })
+                .collect();
+            cg(&op, &b, &IterativeConfig::with_stopping(stop))
+                .unwrap()
+                .iterations as f64
+        };
+        let i16 = count(16);
+        let i32 = count(32);
+        let ratio = i32 / i16;
+        assert!(
+            ratio > 1.6 && ratio < 2.5,
+            "expected ≈2x iteration growth, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn non_spd_matrix_detected() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            &[Triplet::new(0, 0, -1.0), Triplet::new(1, 1, -1.0)],
+        )
+        .unwrap();
+        assert!(matches!(
+            cg(&a, &[1.0, 1.0], &IterativeConfig::default()),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution() {
+        let a = CsrMatrix::tridiagonal(5, -1.0, 2.0, -1.0).unwrap();
+        let report = cg(&a, &[0.0; 5], &IterativeConfig::default()).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.solution, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn work_counter_has_two_matvec_shape() {
+        // CG uses one matvec per iteration plus one for the initial residual.
+        let a = CsrMatrix::tridiagonal(12, -1.0, 2.0, -1.0).unwrap();
+        let report = cg(&a, &[1.0; 12], &IterativeConfig::default()).unwrap();
+        assert_eq!(report.work.matvecs, report.iterations + 1);
+    }
+}

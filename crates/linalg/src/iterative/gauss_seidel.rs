@@ -1,0 +1,143 @@
+use super::jacobi::{invert_diagonal, residual_norm};
+use super::{check_system, Driver, IterativeConfig, Method, SolveReport};
+use crate::op::RowAccess;
+use crate::LinalgError;
+
+/// Gauss–Seidel iteration (successive displacement).
+///
+/// Like [Jacobi](super::jacobi) but each element update immediately uses the
+/// freshly computed values of earlier elements in the same sweep:
+/// `x_i ← (b_i − Σ_{j<i} a_ij·x_j^{new} − Σ_{j>i} a_ij·x_j^{old}) / a_ii`.
+/// On the Poisson systems of the paper it converges roughly twice as fast as
+/// Jacobi (Figure 7).
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b` or the initial guess has the
+///   wrong length.
+/// * [`LinalgError::SingularMatrix`] if a diagonal entry is zero.
+///
+/// ```
+/// use aa_linalg::{CsrMatrix, iterative::{gauss_seidel, IterativeConfig}};
+///
+/// # fn main() -> Result<(), aa_linalg::LinalgError> {
+/// let a = CsrMatrix::tridiagonal(6, -1.0, 2.0, -1.0)?;
+/// let report = gauss_seidel(&a, &[1.0; 6], &IterativeConfig::default())?;
+/// assert!(report.converged);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gauss_seidel<M: RowAccess>(
+    a: &M,
+    b: &[f64],
+    config: &IterativeConfig,
+) -> Result<SolveReport, LinalgError> {
+    gauss_seidel_observed(a, b, config, |_, _| {})
+}
+
+/// [`gauss_seidel`] with a per-iteration observer `observe(iteration, iterate)`.
+///
+/// # Errors
+///
+/// Same as [`gauss_seidel`].
+pub fn gauss_seidel_observed<M, F>(
+    a: &M,
+    b: &[f64],
+    config: &IterativeConfig,
+    mut observe: F,
+) -> Result<SolveReport, LinalgError>
+where
+    M: RowAccess,
+    F: FnMut(usize, &[f64]),
+{
+    let n = check_system(a, b)?;
+    let x0 = config.validate(n)?;
+    let inv_diag = invert_diagonal(a)?;
+    let nnz = a.nnz();
+
+    let mut driver = Driver::new(x0, config.stopping, b);
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for k in 1..=config.max_iterations {
+        iterations = k;
+        let mut max_change: f64 = 0.0;
+        for i in 0..n {
+            let mut acc = b[i];
+            a.for_each_in_row(i, &mut |j, v| {
+                if j != i {
+                    acc -= v * driver.x[j];
+                }
+            });
+            let new = acc * inv_diag[i];
+            max_change = max_change.max((new - driver.x[i]).abs());
+            driver.x[i] = new;
+        }
+        driver.work.add_matvec(nnz);
+
+        let res = residual_norm(a, &driver.x, b, &mut driver.work);
+        observe(k, &driver.x);
+        if driver.step_done(res, max_change) {
+            converged = true;
+            break;
+        }
+    }
+    Ok(driver.finish(Method::GaussSeidel, converged, iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::{jacobi, StoppingCriterion};
+    use crate::{CsrMatrix, LinearOperator, Triplet};
+
+    #[test]
+    fn converges_on_poisson_system() {
+        let a = CsrMatrix::tridiagonal(12, -1.0, 2.0, -1.0).unwrap();
+        let b = vec![1.0; 12];
+        let report = gauss_seidel(&a, &b, &IterativeConfig::default()).unwrap();
+        assert!(report.converged);
+        assert!(a.residual_norm(&report.solution, &b) < 1e-8);
+    }
+
+    #[test]
+    fn faster_than_jacobi_on_poisson() {
+        // The classical result (and Figure 7's ordering): GS ≈ 2× Jacobi rate.
+        let a = CsrMatrix::tridiagonal(20, -1.0, 2.0, -1.0).unwrap();
+        let b = vec![1.0; 20];
+        let cfg = IterativeConfig::with_stopping(StoppingCriterion::AbsoluteResidual(1e-8));
+        let gs = gauss_seidel(&a, &b, &cfg).unwrap();
+        let jac = jacobi(&a, &b, &cfg).unwrap();
+        assert!(gs.converged && jac.converged);
+        assert!(gs.iterations < jac.iterations);
+        // The asymptotic factor is ≈2; allow slack for finite tolerance.
+        assert!(jac.iterations as f64 / gs.iterations as f64 > 1.5);
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let a =
+            CsrMatrix::from_triplets(1, &[Triplet::new(0, 0, 0.0)]).unwrap();
+        assert!(gauss_seidel(&a, &[1.0], &IterativeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn observer_and_history_lengths_agree() {
+        let a = CsrMatrix::tridiagonal(5, -1.0, 3.0, -1.0).unwrap();
+        let mut seen = 0;
+        let report =
+            gauss_seidel_observed(&a, &[1.0; 5], &IterativeConfig::default(), |_, _| seen += 1)
+                .unwrap();
+        assert_eq!(seen, report.iterations);
+        assert_eq!(report.residual_history.len(), report.iterations);
+    }
+
+    #[test]
+    fn rhs_length_validated() {
+        let a = CsrMatrix::identity(3);
+        assert!(matches!(
+            gauss_seidel(&a, &[1.0], &IterativeConfig::default()),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+}

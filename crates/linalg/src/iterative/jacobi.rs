@@ -1,0 +1,214 @@
+use super::{check_system, Driver, IterativeConfig, Method, SolveReport};
+use crate::op::RowAccess;
+use crate::{vector, LinalgError};
+
+/// Jacobi iteration (simultaneous displacement).
+///
+/// Every element is updated from the *previous* iterate:
+/// `x_i ← (b_i − Σ_{j≠i} a_ij·x_j) / a_ii`.
+///
+/// Converges for strictly diagonally dominant matrices and for the SPD
+/// Poisson systems used throughout the paper, but — as Figure 7 shows — it is
+/// the slowest of the classical methods.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b` or the initial guess has the
+///   wrong length.
+/// * [`LinalgError::SingularMatrix`] if a diagonal entry is zero.
+///
+/// ```
+/// use aa_linalg::{CsrMatrix, iterative::{jacobi, IterativeConfig}};
+///
+/// # fn main() -> Result<(), aa_linalg::LinalgError> {
+/// let a = CsrMatrix::tridiagonal(6, -1.0, 4.0, -1.0)?;
+/// let report = jacobi(&a, &[1.0; 6], &IterativeConfig::default())?;
+/// assert!(report.converged);
+/// # Ok(())
+/// # }
+/// ```
+pub fn jacobi<M: RowAccess>(
+    a: &M,
+    b: &[f64],
+    config: &IterativeConfig,
+) -> Result<SolveReport, LinalgError> {
+    jacobi_observed(a, b, config, |_, _| {})
+}
+
+/// [`jacobi`] with a per-iteration observer `observe(iteration, iterate)`.
+///
+/// The observer is what the Figure 7 harness uses to record the error norm
+/// `‖x_k − x*‖₂` at every iteration.
+///
+/// # Errors
+///
+/// Same as [`jacobi`].
+pub fn jacobi_observed<M, F>(
+    a: &M,
+    b: &[f64],
+    config: &IterativeConfig,
+    mut observe: F,
+) -> Result<SolveReport, LinalgError>
+where
+    M: RowAccess,
+    F: FnMut(usize, &[f64]),
+{
+    let n = check_system(a, b)?;
+    let x0 = config.validate(n)?;
+    let inv_diag = invert_diagonal(a)?;
+    let nnz = a.nnz();
+
+    let mut driver = Driver::new(x0, config.stopping, b);
+    let mut x_next = vec![0.0; n];
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for k in 1..=config.max_iterations {
+        iterations = k;
+        let mut max_change: f64 = 0.0;
+        for i in 0..n {
+            let mut acc = b[i];
+            a.for_each_in_row(i, &mut |j, v| {
+                if j != i {
+                    acc -= v * driver.x[j];
+                }
+            });
+            x_next[i] = acc * inv_diag[i];
+            max_change = max_change.max((x_next[i] - driver.x[i]).abs());
+        }
+        std::mem::swap(&mut driver.x, &mut x_next);
+        driver.work.add_matvec(nnz);
+
+        let res = residual_norm(a, &driver.x, b, &mut driver.work);
+        observe(k, &driver.x);
+        if driver.step_done(res, max_change) {
+            converged = true;
+            break;
+        }
+    }
+    Ok(driver.finish(Method::Jacobi, converged, iterations))
+}
+
+/// Extracts `1/a_ii` for every row, failing on zero diagonals.
+pub(crate) fn invert_diagonal<M: RowAccess>(a: &M) -> Result<Vec<f64>, LinalgError> {
+    (0..a.dim())
+        .map(|i| {
+            let d = a.diagonal(i);
+            if d == 0.0 {
+                Err(LinalgError::SingularMatrix { pivot: i })
+            } else {
+                Ok(1.0 / d)
+            }
+        })
+        .collect()
+}
+
+/// `‖b − A·x‖₂`, charging the extra matvec to the work counters.
+pub(crate) fn residual_norm<M: RowAccess>(
+    a: &M,
+    x: &[f64],
+    b: &[f64],
+    work: &mut super::WorkCounters,
+) -> f64 {
+    work.add_matvec(a.nnz());
+    vector::norm2(&a.residual(x, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::StoppingCriterion;
+    use crate::{CsrMatrix, LinearOperator, Triplet};
+
+    #[test]
+    fn converges_on_diagonally_dominant_system() {
+        let a = CsrMatrix::tridiagonal(10, -1.0, 4.0, -1.0).unwrap();
+        let b = vec![2.0; 10];
+        let report = jacobi(&a, &b, &IterativeConfig::default()).unwrap();
+        assert!(report.converged);
+        assert!(a.residual_norm(&report.solution, &b) < 1e-8);
+        assert_eq!(report.residual_history.len(), report.iterations);
+    }
+
+    #[test]
+    fn diverges_gracefully_when_capped() {
+        // Not diagonally dominant; Jacobi diverges but must stop at the cap.
+        let a = CsrMatrix::from_triplets(
+            2,
+            &[
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(0, 1, 2.0),
+                Triplet::new(1, 0, 3.0),
+                Triplet::new(1, 1, 1.0),
+            ],
+        )
+        .unwrap();
+        let cfg = IterativeConfig::default().max_iterations(50);
+        let report = jacobi(&a, &[1.0, 1.0], &cfg).unwrap();
+        assert!(!report.converged);
+        assert_eq!(report.iterations, 50);
+    }
+
+    #[test]
+    fn zero_diagonal_is_singular_error() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            &[Triplet::new(0, 1, 1.0), Triplet::new(1, 0, 1.0)],
+        )
+        .unwrap();
+        assert!(matches!(
+            jacobi(&a, &[1.0, 1.0], &IterativeConfig::default()),
+            Err(LinalgError::SingularMatrix { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn observer_sees_every_iteration() {
+        let a = CsrMatrix::tridiagonal(4, -1.0, 4.0, -1.0).unwrap();
+        let mut count = 0;
+        let report = jacobi_observed(
+            &a,
+            &[1.0; 4],
+            &IterativeConfig::default(),
+            |k, x| {
+                count += 1;
+                assert_eq!(k, count);
+                assert_eq!(x.len(), 4);
+            },
+        )
+        .unwrap();
+        assert_eq!(count, report.iterations);
+    }
+
+    #[test]
+    fn max_change_stopping_matches_adc_rule() {
+        let a = CsrMatrix::tridiagonal(6, -1.0, 4.0, -1.0).unwrap();
+        let cfg =
+            IterativeConfig::with_stopping(StoppingCriterion::adc_equivalent(8));
+        let r8 = jacobi(&a, &[1.0; 6], &cfg).unwrap();
+        let cfg12 =
+            IterativeConfig::with_stopping(StoppingCriterion::adc_equivalent(12));
+        let r12 = jacobi(&a, &[1.0; 6], &cfg12).unwrap();
+        assert!(r8.converged && r12.converged);
+        // Matching a 12-bit ADC requires at least as many iterations as 8-bit.
+        assert!(r12.iterations >= r8.iterations);
+    }
+
+    #[test]
+    fn initial_guess_at_solution_stops_immediately() {
+        let a = CsrMatrix::identity(3);
+        let b = vec![1.0, 2.0, 3.0];
+        let cfg = IterativeConfig::default().initial_guess(b.clone());
+        let report = jacobi(&a, &b, &cfg).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.iterations, 1);
+    }
+
+    #[test]
+    fn work_counters_are_populated() {
+        let a = CsrMatrix::tridiagonal(8, -1.0, 4.0, -1.0).unwrap();
+        let report = jacobi(&a, &[1.0; 8], &IterativeConfig::default()).unwrap();
+        assert!(report.work.matvecs >= report.iterations);
+        assert!(report.work.flops > 0);
+    }
+}

@@ -1,0 +1,172 @@
+use super::jacobi::{invert_diagonal, residual_norm};
+use super::{check_system, Driver, IterativeConfig, Method, SolveReport};
+use crate::op::RowAccess;
+use crate::LinalgError;
+
+/// Successive over-relaxation.
+///
+/// A Gauss–Seidel sweep whose update is extrapolated by the relaxation
+/// factor `ω ∈ (0, 2)`:
+/// `x_i ← (1 − ω)·x_i + ω·x_i^{GS}`.
+/// With the optimal `ω` (see [`sor_optimal_omega`]) SOR improves the Poisson
+/// convergence rate from `O(1/h²)` iterations to `O(1/h)`.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b` or the initial guess has the
+///   wrong length.
+/// * [`LinalgError::SingularMatrix`] if a diagonal entry is zero.
+/// * [`LinalgError::InvalidArgument`] if `config.omega ∉ (0, 2)`.
+///
+/// ```
+/// use aa_linalg::{CsrMatrix, iterative::{sor, IterativeConfig}};
+///
+/// # fn main() -> Result<(), aa_linalg::LinalgError> {
+/// let a = CsrMatrix::tridiagonal(6, -1.0, 2.0, -1.0)?;
+/// let cfg = IterativeConfig::default().omega(1.4);
+/// let report = sor(&a, &[1.0; 6], &cfg)?;
+/// assert!(report.converged);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sor<M: RowAccess>(
+    a: &M,
+    b: &[f64],
+    config: &IterativeConfig,
+) -> Result<SolveReport, LinalgError> {
+    sor_observed(a, b, config, |_, _| {})
+}
+
+/// [`sor`] with a per-iteration observer `observe(iteration, iterate)`.
+///
+/// # Errors
+///
+/// Same as [`sor`].
+pub fn sor_observed<M, F>(
+    a: &M,
+    b: &[f64],
+    config: &IterativeConfig,
+    mut observe: F,
+) -> Result<SolveReport, LinalgError>
+where
+    M: RowAccess,
+    F: FnMut(usize, &[f64]),
+{
+    if !(config.omega > 0.0 && config.omega < 2.0) {
+        return Err(LinalgError::invalid(format!(
+            "sor relaxation factor must be in (0, 2), got {}",
+            config.omega
+        )));
+    }
+    let n = check_system(a, b)?;
+    let x0 = config.validate(n)?;
+    let inv_diag = invert_diagonal(a)?;
+    let nnz = a.nnz();
+    let omega = config.omega;
+
+    let mut driver = Driver::new(x0, config.stopping, b);
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for k in 1..=config.max_iterations {
+        iterations = k;
+        let mut max_change: f64 = 0.0;
+        for i in 0..n {
+            let mut acc = b[i];
+            a.for_each_in_row(i, &mut |j, v| {
+                if j != i {
+                    acc -= v * driver.x[j];
+                }
+            });
+            let gs = acc * inv_diag[i];
+            let new = (1.0 - omega) * driver.x[i] + omega * gs;
+            max_change = max_change.max((new - driver.x[i]).abs());
+            driver.x[i] = new;
+        }
+        driver.work.add_matvec(nnz);
+        driver.work.add_axpy(n);
+
+        let res = residual_norm(a, &driver.x, b, &mut driver.work);
+        observe(k, &driver.x);
+        if driver.step_done(res, max_change) {
+            converged = true;
+            break;
+        }
+    }
+    Ok(driver.finish(Method::Sor, converged, iterations))
+}
+
+/// The asymptotically optimal relaxation factor for the Poisson model problem
+/// with `l` interior points per side: `ω* = 2 / (1 + sin(π·h))`, `h = 1/(l+1)`.
+///
+/// ```
+/// let omega = aa_linalg::iterative::sor_optimal_omega(15);
+/// assert!(omega > 1.0 && omega < 2.0);
+/// ```
+pub fn sor_optimal_omega(l: usize) -> f64 {
+    let h = 1.0 / (l as f64 + 1.0);
+    2.0 / (1.0 + (std::f64::consts::PI * h).sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::{gauss_seidel, StoppingCriterion};
+    use crate::stencil::PoissonStencil;
+    use crate::{CsrMatrix, LinearOperator};
+
+    #[test]
+    fn converges_and_matches_reference() {
+        let a = CsrMatrix::tridiagonal(10, -1.0, 2.0, -1.0).unwrap();
+        let b = vec![1.0; 10];
+        let cfg = IterativeConfig::default().omega(sor_optimal_omega(10));
+        let report = sor(&a, &b, &cfg).unwrap();
+        assert!(report.converged);
+        assert!(a.residual_norm(&report.solution, &b) < 1e-8);
+    }
+
+    #[test]
+    fn omega_one_reduces_to_gauss_seidel() {
+        let a = CsrMatrix::tridiagonal(8, -1.0, 2.0, -1.0).unwrap();
+        let b = vec![1.0; 8];
+        let cfg = IterativeConfig::default().omega(1.0).max_iterations(7);
+        let s = sor(&a, &b, &cfg).unwrap();
+        let g = gauss_seidel(&a, &b, &cfg).unwrap();
+        for (si, gi) in s.solution.iter().zip(&g.solution) {
+            assert!((si - gi).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn optimal_omega_beats_gauss_seidel() {
+        let op = PoissonStencil::new_2d(12).unwrap();
+        let b = vec![1.0; op.dim()];
+        let stop = StoppingCriterion::AbsoluteResidual(1e-6);
+        let cfg_sor = IterativeConfig::with_stopping(stop).omega(sor_optimal_omega(12));
+        let cfg_gs = IterativeConfig::with_stopping(stop);
+        let s = sor(&op, &b, &cfg_sor).unwrap();
+        let g = gauss_seidel(&op, &b, &cfg_gs).unwrap();
+        assert!(s.converged && g.converged);
+        assert!(s.iterations < g.iterations, "{} !< {}", s.iterations, g.iterations);
+    }
+
+    #[test]
+    fn invalid_omega_rejected() {
+        let a = CsrMatrix::identity(2);
+        for omega in [0.0, 2.0, -0.5, 2.5, f64::NAN] {
+            let cfg = IterativeConfig::default().omega(omega);
+            assert!(
+                sor(&a, &[1.0, 1.0], &cfg).is_err(),
+                "omega = {omega} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_omega_increases_with_resolution() {
+        assert!(sor_optimal_omega(3) < sor_optimal_omega(30));
+        assert!(sor_optimal_omega(100) < 2.0);
+        // Degenerate one-point grid: h = 1/2 gives exactly ω = 1 (Gauss–Seidel).
+        assert_eq!(sor_optimal_omega(1), 1.0);
+    }
+}

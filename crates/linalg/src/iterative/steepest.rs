@@ -1,0 +1,174 @@
+use super::{check_system, Driver, IterativeConfig, Method, SolveReport};
+use crate::op::RowAccess;
+use crate::{vector, LinalgError};
+
+/// Steepest gradient descent for symmetric positive-definite systems.
+///
+/// Each step moves along the residual (the negative gradient of
+/// `½xᵀAx − bᵀx`) with the exact line-search step size
+/// `α = rᵀr / rᵀAr`.
+///
+/// This method is the paper's conceptual bridge to analog computing: "we can
+/// consider the analog accelerator as doing continuous-time steepest descent,
+/// taking many infinitesimal steps in continuous time" (§VI-B). The discrete
+/// version here is what the analog gradient flow degenerates to when the step
+/// size is made finite.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b` or the initial guess has the
+///   wrong length.
+/// * [`LinalgError::NotPositiveDefinite`] if a curvature `rᵀAr ≤ 0` is
+///   encountered (the matrix is not SPD).
+///
+/// ```
+/// use aa_linalg::{CsrMatrix, iterative::{steepest_descent, IterativeConfig}};
+///
+/// # fn main() -> Result<(), aa_linalg::LinalgError> {
+/// let a = CsrMatrix::tridiagonal(6, -1.0, 2.0, -1.0)?;
+/// let report = steepest_descent(&a, &[1.0; 6], &IterativeConfig::default())?;
+/// assert!(report.converged);
+/// # Ok(())
+/// # }
+/// ```
+pub fn steepest_descent<M: RowAccess>(
+    a: &M,
+    b: &[f64],
+    config: &IterativeConfig,
+) -> Result<SolveReport, LinalgError> {
+    steepest_descent_observed(a, b, config, |_, _| {})
+}
+
+/// [`steepest_descent`] with a per-iteration observer.
+///
+/// # Errors
+///
+/// Same as [`steepest_descent`].
+pub fn steepest_descent_observed<M, F>(
+    a: &M,
+    b: &[f64],
+    config: &IterativeConfig,
+    mut observe: F,
+) -> Result<SolveReport, LinalgError>
+where
+    M: RowAccess,
+    F: FnMut(usize, &[f64]),
+{
+    let n = check_system(a, b)?;
+    let x0 = config.validate(n)?;
+    let nnz = a.nnz();
+
+    let mut driver = Driver::new(x0, config.stopping, b);
+    let mut r = a.residual(&driver.x, b);
+    driver.work.add_matvec(nnz);
+    let mut ar = vec![0.0; n];
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for k in 1..=config.max_iterations {
+        iterations = k;
+        let rr = vector::dot(&r, &r);
+        driver.work.add_dot(n);
+        if rr == 0.0 {
+            // Exact solution reached; record and stop.
+            observe(k, &driver.x);
+            converged = driver.step_done(0.0, 0.0);
+            break;
+        }
+        a.apply(&r, &mut ar);
+        driver.work.add_matvec(nnz);
+        let curvature = vector::dot(&r, &ar);
+        driver.work.add_dot(n);
+        if curvature <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite { pivot: k });
+        }
+        let alpha = rr / curvature;
+        // The step is x ← x + α·r, so the largest element-wise change is
+        // |α|·‖r‖∞ with the pre-update residual.
+        let max_change = alpha.abs() * vector::norm_inf(&r);
+        vector::axpy(alpha, &r, &mut driver.x);
+        driver.work.add_axpy(n);
+        // r ← r − α·A·r keeps the residual consistent without a fresh matvec.
+        vector::axpy(-alpha, &ar, &mut r);
+        driver.work.add_axpy(n);
+
+        let res_norm = vector::norm2(&r);
+        observe(k, &driver.x);
+        if driver.step_done(res_norm, max_change) {
+            converged = true;
+            break;
+        }
+    }
+    Ok(driver.finish(Method::SteepestDescent, converged, iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearOperator;
+    use crate::iterative::{cg, StoppingCriterion};
+    use crate::{CsrMatrix, Triplet};
+
+    #[test]
+    fn converges_on_spd_system() {
+        let a = CsrMatrix::tridiagonal(10, -1.0, 2.0, -1.0).unwrap();
+        let b = vec![1.0; 10];
+        let report = steepest_descent(&a, &b, &IterativeConfig::default()).unwrap();
+        assert!(report.converged);
+        assert!(a.residual_norm(&report.solution, &b) < 1e-8);
+    }
+
+    #[test]
+    fn slower_than_cg_on_ill_conditioned_system() {
+        // Figure 7 / §VI-B: "doing many iterations of a poor algorithm is no
+        // match for a better algorithm". CG must beat steepest descent.
+        let a = CsrMatrix::tridiagonal(30, -1.0, 2.0, -1.0).unwrap();
+        let b = vec![1.0; 30];
+        let cfg = IterativeConfig::with_stopping(StoppingCriterion::AbsoluteResidual(1e-8));
+        let sd = steepest_descent(&a, &b, &cfg).unwrap();
+        let cgr = cg(&a, &b, &cfg).unwrap();
+        assert!(sd.converged && cgr.converged);
+        assert!(cgr.iterations < sd.iterations);
+    }
+
+    #[test]
+    fn indefinite_matrix_detected() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            &[
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(1, 1, -1.0),
+            ],
+        )
+        .unwrap();
+        let result = steepest_descent(&a, &[1.0, 1.0], &IterativeConfig::default());
+        assert!(matches!(
+            result,
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_initial_guess_terminates() {
+        let a = CsrMatrix::identity(3);
+        let b = vec![4.0, 5.0, 6.0];
+        let cfg = IterativeConfig::default().initial_guess(b.clone());
+        let report = steepest_descent(&a, &b, &cfg).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.solution, b);
+    }
+
+    #[test]
+    fn single_step_on_identity() {
+        // On A = I steepest descent converges in one exact step.
+        let a = CsrMatrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, -4.0];
+        let cfg = IterativeConfig::with_stopping(StoppingCriterion::AbsoluteResidual(1e-12));
+        let report = steepest_descent(&a, &b, &cfg).unwrap();
+        assert!(report.converged);
+        assert!(report.iterations <= 2);
+        for (x, t) in report.solution.iter().zip(&b) {
+            assert!((x - t).abs() < 1e-12);
+        }
+    }
+}

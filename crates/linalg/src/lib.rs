@@ -1,0 +1,56 @@
+//! Dense and sparse linear algebra for the `analog-accel` workspace.
+//!
+//! This crate is the digital-computing substrate of the ISCA 2016 paper
+//! *Evaluation of an Analog Accelerator for Linear Algebra*: it provides the
+//! matrices, matrix-free stencil operators, direct factorizations, and the
+//! classical iterative solvers (Jacobi, Gauss–Seidel, SOR, steepest descent,
+//! conjugate gradients) that the paper's digital baseline is built from.
+//!
+//! # Quick start
+//!
+//! Solve a small symmetric positive-definite system with conjugate gradients:
+//!
+//! ```
+//! use aa_linalg::{CsrMatrix, LinearOperator, iterative::{cg, IterativeConfig}};
+//!
+//! # fn main() -> Result<(), aa_linalg::LinalgError> {
+//! // 1D Poisson: tridiagonal [-1, 2, -1].
+//! let a = CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0)?;
+//! let b = vec![1.0; 4];
+//! let report = cg(&a, &b, &IterativeConfig::default())?;
+//! assert!(report.converged);
+//! let residual = a.residual_norm(&report.solution, &b);
+//! assert!(residual < 1e-8);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Organization
+//!
+//! * [`DenseMatrix`] — row-major dense matrices with factorization support.
+//! * [`CsrMatrix`] — compressed sparse row matrices built from triplets.
+//! * [`stencil`] — matrix-free Poisson operators in 1, 2, and 3 dimensions.
+//! * [`direct`] — Cholesky and LU (Gaussian elimination) direct solvers.
+//! * [`iterative`] — the five classical iterative solvers compared in the
+//!   paper's Figure 7, each reporting a full convergence history.
+//! * [`eigen`] — eigenvalue estimation (power iteration, Gershgorin discs)
+//!   used by the analog convergence-time model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dense;
+mod error;
+mod sparse;
+
+pub mod direct;
+pub mod eigen;
+pub mod iterative;
+pub mod op;
+pub mod stencil;
+pub mod vector;
+
+pub use dense::DenseMatrix;
+pub use error::LinalgError;
+pub use op::{LinearOperator, RowAccess};
+pub use sparse::{CsrMatrix, Triplet};

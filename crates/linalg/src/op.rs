@@ -1,0 +1,143 @@
+//! Operator abstractions shared by every solver in the workspace.
+//!
+//! Iterative solvers only need to *apply* a matrix, never to store it.
+//! [`LinearOperator`] captures that minimal contract, which lets the same
+//! conjugate-gradients code run over an explicit [`CsrMatrix`](crate::CsrMatrix),
+//! a dense matrix, or a matrix-free [Poisson stencil](crate::stencil) — the
+//! representation the paper's digital baseline uses ("implemented using
+//! stencils ... without having to allocate memory for the full matrix").
+
+use crate::vector;
+
+/// A square linear operator `A : ℝⁿ → ℝⁿ` that can be applied to a vector.
+pub trait LinearOperator {
+    /// Problem dimension `n` (number of rows and columns).
+    fn dim(&self) -> usize;
+
+    /// Computes `y ← A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x.len()` or `y.len()` differ from
+    /// [`dim`](Self::dim).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Computes `A·x` into a fresh vector.
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+
+    /// Computes the residual `r = b − A·x` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != b.len()` or either differs from [`dim`](Self::dim).
+    fn residual(&self, x: &[f64], b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.dim(), "residual: rhs length mismatch");
+        let mut r = self.apply_vec(x);
+        for (ri, bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        r
+    }
+
+    /// Euclidean norm of the residual `‖b − A·x‖₂`.
+    fn residual_norm(&self, x: &[f64], b: &[f64]) -> f64 {
+        vector::norm2(&self.residual(x, b))
+    }
+}
+
+/// Row-wise access to an operator's coefficients.
+///
+/// Gauss–Seidel and SOR sweep rows in place and therefore need the actual
+/// coefficients, not just matrix–vector products. Stencil operators implement
+/// this by regenerating their row pattern on the fly.
+pub trait RowAccess: LinearOperator {
+    /// Calls `f(j, a_ij)` for every structurally non-zero entry of row `i`.
+    ///
+    /// Entries may be visited in any order. An entry may be visited at most
+    /// once per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    fn for_each_in_row(&self, i: usize, f: &mut dyn FnMut(usize, f64));
+
+    /// The diagonal entry `a_ii`.
+    ///
+    /// The default implementation scans row `i`; implementations with cheap
+    /// diagonal access should override it.
+    fn diagonal(&self, i: usize) -> f64 {
+        let mut d = 0.0;
+        self.for_each_in_row(i, &mut |j, v| {
+            if j == i {
+                d += v;
+            }
+        });
+        d
+    }
+
+    /// Number of structural non-zeros in row `i`.
+    fn row_nnz(&self, i: usize) -> usize {
+        let mut n = 0;
+        self.for_each_in_row(i, &mut |_, _| n += 1);
+        n
+    }
+
+    /// Total number of structural non-zeros.
+    fn nnz(&self) -> usize {
+        (0..self.dim()).map(|i| self.row_nnz(i)).sum()
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply(x, y)
+    }
+}
+
+impl<T: RowAccess + ?Sized> RowAccess for &T {
+    fn for_each_in_row(&self, i: usize, f: &mut dyn FnMut(usize, f64)) {
+        (**self).for_each_in_row(i, f)
+    }
+    fn diagonal(&self, i: usize) -> f64 {
+        (**self).diagonal(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = CsrMatrix::identity(3);
+        let b = vec![1.0, 2.0, 3.0];
+        let r = a.residual(&b, &b);
+        assert_eq!(r, vec![0.0; 3]);
+        assert_eq!(a.residual_norm(&b, &b), 0.0);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let a = CsrMatrix::identity(2);
+        let op: &dyn LinearOperator = &a;
+        assert_eq!(op.dim(), 2);
+        assert_eq!(op.apply_vec(&[5.0, 7.0]), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn reference_impl_forwards() {
+        let a = CsrMatrix::tridiagonal(3, -1.0, 2.0, -1.0).unwrap();
+        let r = &a;
+        assert_eq!(LinearOperator::dim(&r), 3);
+        assert_eq!(RowAccess::diagonal(&r, 1), 2.0);
+        assert_eq!(RowAccess::nnz(&r), 7);
+    }
+}

@@ -1,0 +1,443 @@
+use crate::op::{LinearOperator, RowAccess};
+use crate::LinalgError;
+
+/// A `(row, col, value)` coordinate entry used to assemble a [`CsrMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triplet {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// Coefficient value.
+    pub value: f64,
+}
+
+impl Triplet {
+    /// Creates a triplet.
+    pub fn new(row: usize, col: usize, value: f64) -> Self {
+        Triplet { row, col, value }
+    }
+}
+
+/// A square sparse matrix in compressed-sparse-row (CSR) format.
+///
+/// This is the explicit sparse representation used when the analog solver
+/// needs the actual coefficients of a discretized PDE (configuring multiplier
+/// gains requires reading `a_ij`, not just applying the operator).
+///
+/// ```
+/// use aa_linalg::{CsrMatrix, Triplet, LinearOperator};
+///
+/// # fn main() -> Result<(), aa_linalg::LinalgError> {
+/// let a = CsrMatrix::from_triplets(2, &[
+///     Triplet::new(0, 0, 2.0),
+///     Triplet::new(0, 1, -1.0),
+///     Triplet::new(1, 1, 2.0),
+/// ])?;
+/// assert_eq!(a.apply_vec(&[1.0, 1.0]), vec![1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Assembles an `n × n` matrix from coordinate triplets.
+    ///
+    /// Duplicate `(row, col)` entries are summed, matching the usual
+    /// finite-element assembly convention. Explicit zeros are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `n == 0` or any index is
+    /// out of bounds.
+    pub fn from_triplets(n: usize, triplets: &[Triplet]) -> Result<Self, LinalgError> {
+        if n == 0 {
+            return Err(LinalgError::invalid("matrix dimension must be non-zero"));
+        }
+        for t in triplets {
+            if t.row >= n || t.col >= n {
+                return Err(LinalgError::invalid(format!(
+                    "triplet ({}, {}) out of bounds for dimension {n}",
+                    t.row, t.col
+                )));
+            }
+        }
+        let mut sorted: Vec<Triplet> = triplets.to_vec();
+        sorted.sort_by_key(|t| (t.row, t.col));
+
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut prev: Option<(usize, usize)> = None;
+        for t in &sorted {
+            if prev == Some((t.row, t.col)) {
+                *values.last_mut().expect("duplicate implies a stored entry") += t.value;
+            } else {
+                col_idx.push(t.col);
+                values.push(t.value);
+                row_ptr[t.row + 1] = col_idx.len();
+                prev = Some((t.row, t.col));
+            }
+        }
+        // Make row_ptr cumulative (rows with no entries inherit the previous offset).
+        for i in 1..=n {
+            if row_ptr[i] < row_ptr[i - 1] {
+                row_ptr[i] = row_ptr[i - 1];
+            }
+        }
+        Ok(CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// The `n × n` identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "identity dimension must be non-zero");
+        CsrMatrix {
+            n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// A tridiagonal matrix with constant bands `(lower, diag, upper)`.
+    ///
+    /// This is the 1D Poisson form `[-1, 2, -1]` (up to scaling) used
+    /// throughout the paper's decomposition discussion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `n == 0`.
+    pub fn tridiagonal(n: usize, lower: f64, diag: f64, upper: f64) -> Result<Self, LinalgError> {
+        let mut t = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            if i > 0 {
+                t.push(Triplet::new(i, i - 1, lower));
+            }
+            t.push(Triplet::new(i, i, diag));
+            if i + 1 < n {
+                t.push(Triplet::new(i, i + 1, upper));
+            }
+        }
+        CsrMatrix::from_triplets(n, &t)
+    }
+
+    /// Builds a CSR matrix from any [`RowAccess`] operator (e.g. a stencil).
+    pub fn from_row_access<M: RowAccess>(op: &M) -> Self {
+        let n = op.dim();
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            op.for_each_in_row(i, &mut |j, v| triplets.push(Triplet::new(i, j, v)));
+        }
+        CsrMatrix::from_triplets(n, &triplets).expect("RowAccess indices are in bounds")
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Entry `a_ij` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over `(row, col, value)` of stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            self.col_idx[lo..hi]
+                .iter()
+                .zip(&self.values[lo..hi])
+                .map(move |(&j, &v)| (i, j, v))
+        })
+    }
+
+    /// Maximum absolute coefficient, `max_ij |a_ij|`.
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Returns a copy scaled by `s`.
+    pub fn scaled(&self, s: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Whether the matrix is symmetric within tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.iter().all(|(i, j, v)| (self.get(j, i) - v).abs() <= tol)
+    }
+
+    /// Extracts the square sub-matrix for the index set `indices`
+    /// (the block-diagonal piece the paper's domain decomposition solves).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `indices` is empty or has
+    /// an out-of-bounds entry.
+    pub fn submatrix(&self, indices: &[usize]) -> Result<CsrMatrix, LinalgError> {
+        if indices.is_empty() {
+            return Err(LinalgError::invalid("submatrix index set is empty"));
+        }
+        let mut map = vec![usize::MAX; self.n];
+        for (k, &i) in indices.iter().enumerate() {
+            if i >= self.n {
+                return Err(LinalgError::invalid(format!(
+                    "submatrix index {i} out of bounds for dimension {}",
+                    self.n
+                )));
+            }
+            map[i] = k;
+        }
+        let mut triplets = Vec::new();
+        for (k, &i) in indices.iter().enumerate() {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for (c, v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+                if map[*c] != usize::MAX {
+                    triplets.push(Triplet::new(k, map[*c], *v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(indices.len(), &triplets)
+    }
+
+    /// The transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let triplets: Vec<Triplet> = self.iter().map(|(i, j, v)| Triplet::new(j, i, v)).collect();
+        CsrMatrix::from_triplets(self.n, &triplets).expect("transpose preserves bounds")
+    }
+
+    /// Converts to a dense matrix (intended for small systems and tests).
+    pub fn to_dense(&self) -> crate::DenseMatrix {
+        let mut d = crate::DenseMatrix::zeros(self.n, self.n).expect("n > 0 by construction");
+        for (i, j, v) in self.iter() {
+            d.set(i, j, d.get(i, j) + v);
+        }
+        d
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "apply: input length mismatch");
+        assert_eq!(y.len(), self.n, "apply: output length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut acc = 0.0;
+            for (c, v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+                acc += v * x[*c];
+            }
+            *yi = acc;
+        }
+    }
+}
+
+impl RowAccess for CsrMatrix {
+    fn for_each_in_row(&self, i: usize, f: &mut dyn FnMut(usize, f64)) {
+        assert!(i < self.n, "row index out of bounds");
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        for (c, v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+            f(*c, *v);
+        }
+    }
+
+    fn diagonal(&self, i: usize) -> f64 {
+        self.get(i, i)
+    }
+
+    fn row_nnz(&self, i: usize) -> usize {
+        assert!(i < self.n, "row index out of bounds");
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+impl FromIterator<Triplet> for Result<CsrMatrix, LinalgError> {
+    fn from_iter<I: IntoIterator<Item = Triplet>>(iter: I) -> Self {
+        let triplets: Vec<Triplet> = iter.into_iter().collect();
+        let n = triplets
+            .iter()
+            .map(|t| t.row.max(t.col) + 1)
+            .max()
+            .unwrap_or(0);
+        CsrMatrix::from_triplets(n, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_sorts_and_sums_duplicates() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            &[
+                Triplet::new(1, 0, 3.0),
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(0, 0, 1.5),
+                Triplet::new(0, 1, 2.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 0), 2.5);
+        assert_eq!(a.get(0, 1), 2.0);
+        assert_eq!(a.get(1, 0), 3.0);
+        assert_eq!(a.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_rejected() {
+        assert!(CsrMatrix::from_triplets(2, &[Triplet::new(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(0, &[]).is_err());
+    }
+
+    #[test]
+    fn empty_rows_are_allowed() {
+        let a = CsrMatrix::from_triplets(3, &[Triplet::new(2, 2, 5.0)]).unwrap();
+        assert_eq!(a.row_nnz(0), 0);
+        assert_eq!(a.row_nnz(1), 0);
+        assert_eq!(a.row_nnz(2), 1);
+        assert_eq!(a.apply_vec(&[1.0, 1.0, 1.0]), vec![0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn tridiagonal_structure() {
+        let a = CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap();
+        assert_eq!(a.nnz(), 10);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(3, 2), -1.0);
+        assert_eq!(a.get(0, 3), 0.0);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = CsrMatrix::tridiagonal(5, -1.0, 2.0, -1.0).unwrap();
+        let d = a.to_dense();
+        let x: Vec<f64> = (0..5).map(|i| (i as f64) * 0.3 - 0.7).collect();
+        let ys = a.apply_vec(&x);
+        let yd = d.apply_vec(&x);
+        for (s, dv) in ys.iter().zip(&yd) {
+            assert!((s - dv).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let a = CsrMatrix::tridiagonal(5, -1.0, 2.0, -1.0).unwrap();
+        let s = a.submatrix(&[1, 2, 3]).unwrap();
+        assert_eq!(s.dim(), 3);
+        assert_eq!(s.get(0, 0), 2.0);
+        assert_eq!(s.get(0, 1), -1.0);
+        assert_eq!(s.get(2, 1), -1.0);
+        // Couplings to rows 0 and 4 are dropped.
+        assert_eq!(s.nnz(), 7);
+    }
+
+    #[test]
+    fn submatrix_validates_indices() {
+        let a = CsrMatrix::identity(3);
+        assert!(a.submatrix(&[]).is_err());
+        assert!(a.submatrix(&[3]).is_err());
+    }
+
+    #[test]
+    fn from_row_access_round_trips() {
+        let a = CsrMatrix::tridiagonal(4, -1.0, 4.0, -1.0).unwrap();
+        let b = CsrMatrix::from_row_access(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaled_and_max_abs() {
+        let a = CsrMatrix::tridiagonal(3, -1.0, 4.0, -1.0).unwrap();
+        assert_eq!(a.max_abs(), 4.0);
+        let b = a.scaled(0.5);
+        assert_eq!(b.get(1, 1), 2.0);
+        assert_eq!(b.get(1, 0), -0.5);
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let a = CsrMatrix::tridiagonal(3, -1.0, 2.0, -1.0).unwrap();
+        let entries: Vec<_> = a.iter().collect();
+        assert_eq!(entries.len(), 7);
+        assert!(entries.contains(&(1, 0, -1.0)));
+        assert!(entries.contains(&(1, 1, 2.0)));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = CsrMatrix::from_triplets(
+            3,
+            &[
+                Triplet::new(0, 1, 2.0),
+                Triplet::new(1, 0, -1.0),
+                Triplet::new(2, 2, 5.0),
+                Triplet::new(0, 2, 7.0),
+            ],
+        )
+        .unwrap();
+        let t = a.transpose();
+        assert_eq!(t.get(1, 0), 2.0);
+        assert_eq!(t.get(0, 1), -1.0);
+        assert_eq!(t.get(2, 0), 7.0);
+        assert_eq!(t.get(2, 2), 5.0);
+        assert_eq!(t.transpose(), a);
+        // Symmetric matrices are fixed points.
+        let s = CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap();
+        assert_eq!(s.transpose(), s);
+    }
+
+    #[test]
+    fn collect_from_triplets() {
+        let r: Result<CsrMatrix, _> = vec![Triplet::new(0, 0, 1.0), Triplet::new(1, 1, 2.0)]
+            .into_iter()
+            .collect();
+        let a = r.unwrap();
+        assert_eq!(a.dim(), 2);
+        assert_eq!(a.get(1, 1), 2.0);
+    }
+}

@@ -1,0 +1,284 @@
+use crate::{OdeError, OdeSystem, Trajectory};
+
+/// Options for the adaptive Cash–Karp RK4(5) integrator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Relative tolerance on the local error.
+    pub rtol: f64,
+    /// Absolute tolerance on the local error.
+    pub atol: f64,
+    /// Initial step size. `None` picks `t_end / 100`.
+    pub dt_initial: Option<f64>,
+    /// Largest allowed step size. `None` means unbounded.
+    pub dt_max: Option<f64>,
+    /// Hard cap on accepted + rejected steps.
+    pub max_steps: usize,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            rtol: 1e-8,
+            atol: 1e-10,
+            dt_initial: None,
+            dt_max: None,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Statistics from an adaptive integration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Steps accepted into the trajectory.
+    pub accepted: usize,
+    /// Steps rejected and retried with a smaller size.
+    pub rejected: usize,
+    /// Derivative evaluations.
+    pub evals: usize,
+}
+
+/// Cash–Karp tableau coefficients.
+mod tableau {
+    pub const A: [[f64; 5]; 5] = [
+        [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0],
+        [3.0 / 10.0, -9.0 / 10.0, 6.0 / 5.0, 0.0, 0.0],
+        [-11.0 / 54.0, 5.0 / 2.0, -70.0 / 27.0, 35.0 / 27.0, 0.0],
+        [
+            1631.0 / 55296.0,
+            175.0 / 512.0,
+            575.0 / 13824.0,
+            44275.0 / 110592.0,
+            253.0 / 4096.0,
+        ],
+    ];
+    pub const C: [f64; 6] = [0.0, 1.0 / 5.0, 3.0 / 10.0, 3.0 / 5.0, 1.0, 7.0 / 8.0];
+    /// 5th-order weights.
+    pub const B5: [f64; 6] = [
+        37.0 / 378.0,
+        0.0,
+        250.0 / 621.0,
+        125.0 / 594.0,
+        0.0,
+        512.0 / 1771.0,
+    ];
+    /// 4th-order (embedded) weights.
+    pub const B4: [f64; 6] = [
+        2825.0 / 27648.0,
+        0.0,
+        18575.0 / 48384.0,
+        13525.0 / 55296.0,
+        277.0 / 14336.0,
+        1.0 / 4.0,
+    ];
+}
+
+/// Integrates `system` from `u0` over `[0, t_end]` with adaptive step control.
+///
+/// # Errors
+///
+/// * [`OdeError::DimensionMismatch`] if `u0.len() != system.dim()`.
+/// * [`OdeError::InvalidStep`] on non-positive `t_end` or tolerances.
+/// * [`OdeError::StepBudgetExhausted`] if `max_steps` is reached.
+/// * [`OdeError::Diverged`] if the state becomes non-finite.
+///
+/// ```
+/// use aa_ode::{integrate_adaptive, AdaptiveOptions, FnSystem};
+///
+/// let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = -u[0]);
+/// let (traj, stats) = integrate_adaptive(&sys, &[1.0], 5.0, &AdaptiveOptions::default()).unwrap();
+/// assert!((traj.final_state()[0] - (-5.0f64).exp()).abs() < 1e-7);
+/// assert!(stats.accepted > 0);
+/// ```
+pub fn integrate_adaptive<S: OdeSystem>(
+    system: &S,
+    u0: &[f64],
+    t_end: f64,
+    options: &AdaptiveOptions,
+) -> Result<(Trajectory, AdaptiveStats), OdeError> {
+    let n = system.dim();
+    if u0.len() != n {
+        return Err(OdeError::DimensionMismatch {
+            expected: n,
+            actual: u0.len(),
+        });
+    }
+    if !(t_end.is_finite() && t_end > 0.0) {
+        return Err(OdeError::invalid_step(format!("t_end = {t_end}")));
+    }
+    if !(options.rtol > 0.0 && options.atol > 0.0) {
+        return Err(OdeError::invalid_step(
+            "tolerances must be positive".to_string(),
+        ));
+    }
+
+    let mut traj = Trajectory::new(0.0, u0.to_vec());
+    let mut stats = AdaptiveStats::default();
+    let mut u = u0.to_vec();
+    let mut t = 0.0;
+    let mut h = options.dt_initial.unwrap_or(t_end / 100.0);
+    if let Some(hmax) = options.dt_max {
+        h = h.min(hmax);
+    }
+
+    let mut k = vec![vec![0.0; n]; 6];
+    let mut u_stage = vec![0.0; n];
+    let mut u5 = vec![0.0; n];
+    let mut err = vec![0.0; n];
+    let mut steps = 0;
+
+    while t < t_end {
+        if steps >= options.max_steps {
+            return Err(OdeError::StepBudgetExhausted { reached: t, steps });
+        }
+        steps += 1;
+        let h_try = h.min(t_end - t);
+
+        // Six Cash–Karp stages.
+        system.eval(t, &u, &mut k[0]);
+        stats.evals += 1;
+        for stage in 1..6 {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for (j, kj) in k.iter().enumerate().take(stage) {
+                    acc += tableau::A[stage - 1][j] * kj[i];
+                }
+                u_stage[i] = u[i] + h_try * acc;
+            }
+            let (head, tail) = k.split_at_mut(stage);
+            let _ = head;
+            system.eval(t + tableau::C[stage] * h_try, &u_stage, &mut tail[0]);
+            stats.evals += 1;
+        }
+
+        // 5th-order solution and embedded error estimate.
+        let mut err_norm: f64 = 0.0;
+        for i in 0..n {
+            let mut acc5 = 0.0;
+            let mut acc4 = 0.0;
+            for (j, kj) in k.iter().enumerate() {
+                acc5 += tableau::B5[j] * kj[i];
+                acc4 += tableau::B4[j] * kj[i];
+            }
+            u5[i] = u[i] + h_try * acc5;
+            err[i] = h_try * (acc5 - acc4);
+            let scale = options.atol + options.rtol * u[i].abs().max(u5[i].abs());
+            err_norm = err_norm.max((err[i] / scale).abs());
+        }
+
+        if !u5.iter().all(|v| v.is_finite()) {
+            return Err(OdeError::Diverged { at_time: t + h_try });
+        }
+
+        if err_norm <= 1.0 {
+            // Accept.
+            t += h_try;
+            u.copy_from_slice(&u5);
+            traj.push(t, u.clone());
+            stats.accepted += 1;
+            // Grow the step (safety factor 0.9, order-5 exponent).
+            let factor = if err_norm == 0.0 {
+                5.0
+            } else {
+                (0.9 * err_norm.powf(-0.2)).clamp(0.2, 5.0)
+            };
+            h = h_try * factor;
+        } else {
+            // Reject and shrink.
+            stats.rejected += 1;
+            h = h_try * (0.9 * err_norm.powf(-0.25)).clamp(0.1, 1.0);
+        }
+        if let Some(hmax) = options.dt_max {
+            h = h.min(hmax);
+        }
+        if h < f64::EPSILON * t_end {
+            return Err(OdeError::invalid_step(format!(
+                "step size underflow at t = {t}"
+            )));
+        }
+    }
+    Ok((traj, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnSystem;
+
+    #[test]
+    fn meets_tolerance_on_decay() {
+        let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = -u[0]);
+        let opts = AdaptiveOptions {
+            rtol: 1e-10,
+            atol: 1e-12,
+            ..AdaptiveOptions::default()
+        };
+        let (traj, _) = integrate_adaptive(&sys, &[1.0], 1.0, &opts).unwrap();
+        assert!((traj.final_state()[0] - (-1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_steps_than_fixed_at_equal_accuracy() {
+        // Adaptive stepping takes larger steps where the solution is smooth.
+        let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = -u[0]);
+        let (traj, stats) =
+            integrate_adaptive(&sys, &[1.0], 10.0, &AdaptiveOptions::default()).unwrap();
+        assert!(stats.accepted < 1000, "accepted = {}", stats.accepted);
+        assert!((traj.final_state()[0] - (-10.0f64).exp()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn stiff_like_problem_rejects_some_steps() {
+        // Rapid transient then slow decay; the controller must adapt.
+        let sys = FnSystem::new(1, |t, u: &[f64], du: &mut [f64]| {
+            du[0] = -50.0 * (u[0] - (t).cos())
+        });
+        let opts = AdaptiveOptions {
+            dt_initial: Some(1.0),
+            ..AdaptiveOptions::default()
+        };
+        let (_, stats) = integrate_adaptive(&sys, &[0.0], 2.0, &opts).unwrap();
+        assert!(stats.rejected > 0);
+    }
+
+    #[test]
+    fn step_budget_is_enforced() {
+        let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = -u[0]);
+        let opts = AdaptiveOptions {
+            max_steps: 3,
+            dt_initial: Some(1e-9),
+            dt_max: Some(1e-9),
+            ..AdaptiveOptions::default()
+        };
+        assert!(matches!(
+            integrate_adaptive(&sys, &[1.0], 1.0, &opts),
+            Err(OdeError::StepBudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let sys = FnSystem::new(1, |_t, _u: &[f64], du: &mut [f64]| du[0] = 0.0);
+        assert!(integrate_adaptive(&sys, &[1.0, 2.0], 1.0, &AdaptiveOptions::default()).is_err());
+        assert!(integrate_adaptive(&sys, &[1.0], 0.0, &AdaptiveOptions::default()).is_err());
+        let bad = AdaptiveOptions {
+            rtol: 0.0,
+            ..AdaptiveOptions::default()
+        };
+        assert!(integrate_adaptive(&sys, &[1.0], 1.0, &bad).is_err());
+    }
+
+    #[test]
+    fn dt_max_is_respected() {
+        let sys = FnSystem::new(1, |_t, _u: &[f64], du: &mut [f64]| du[0] = 1.0);
+        let opts = AdaptiveOptions {
+            dt_max: Some(0.1),
+            ..AdaptiveOptions::default()
+        };
+        let (traj, _) = integrate_adaptive(&sys, &[0.0], 1.0, &opts).unwrap();
+        for w in traj.times().windows(2) {
+            assert!(w[1] - w[0] <= 0.1 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the ODE integrators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OdeError {
+    /// The initial state length does not match the system dimension.
+    DimensionMismatch {
+        /// System dimension.
+        expected: usize,
+        /// Supplied state length.
+        actual: usize,
+    },
+    /// A non-positive or non-finite step size / time span was requested.
+    InvalidStep {
+        /// Description of the invalid quantity.
+        message: String,
+    },
+    /// The adaptive integrator could not meet the tolerance within the step
+    /// budget (commonly a stiff problem or an unstable circuit).
+    StepBudgetExhausted {
+        /// Time reached before giving up.
+        reached: f64,
+        /// Steps taken.
+        steps: usize,
+    },
+    /// The state left the finite range (overflow / divergence).
+    Diverged {
+        /// Time at which a non-finite value first appeared.
+        at_time: f64,
+    },
+    /// Newton iteration inside an implicit method failed to converge.
+    NewtonFailed {
+        /// Time of the failing step.
+        at_time: f64,
+        /// Newton iterations attempted.
+        iterations: usize,
+    },
+    /// An error from the linear-algebra layer (implicit solvers factor matrices).
+    Linalg(aa_linalg::LinalgError),
+}
+
+impl OdeError {
+    pub(crate) fn invalid_step(message: impl Into<String>) -> Self {
+        OdeError::InvalidStep {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for OdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdeError::DimensionMismatch { expected, actual } => {
+                write!(f, "state length {actual} does not match system dimension {expected}")
+            }
+            OdeError::InvalidStep { message } => write!(f, "invalid step: {message}"),
+            OdeError::StepBudgetExhausted { reached, steps } => write!(
+                f,
+                "step budget exhausted after {steps} steps at t = {reached}"
+            ),
+            OdeError::Diverged { at_time } => {
+                write!(f, "state diverged to non-finite values at t = {at_time}")
+            }
+            OdeError::NewtonFailed {
+                at_time,
+                iterations,
+            } => write!(
+                f,
+                "newton iteration failed to converge after {iterations} iterations at t = {at_time}"
+            ),
+            OdeError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for OdeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OdeError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aa_linalg::LinalgError> for OdeError {
+    fn from(e: aa_linalg::LinalgError) -> Self {
+        OdeError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OdeError::DimensionMismatch {
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("does not match"));
+        let e = OdeError::Diverged { at_time: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e: OdeError = aa_linalg::LinalgError::invalid("x").into();
+        assert!(e.to_string().contains("linear algebra"));
+    }
+
+    #[test]
+    fn source_chains_to_linalg() {
+        use std::error::Error;
+        let e: OdeError = aa_linalg::LinalgError::invalid("x").into();
+        assert!(e.source().is_some());
+        assert!(OdeError::Diverged { at_time: 0.0 }.source().is_none());
+    }
+}

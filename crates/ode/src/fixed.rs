@@ -1,0 +1,251 @@
+use crate::{OdeError, OdeSystem, Trajectory};
+
+/// Fixed-step explicit integration methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FixedMethod {
+    /// Forward Euler — the paper's Algorithm 1, first order.
+    Euler,
+    /// Explicit midpoint (RK2), second order.
+    Midpoint,
+    /// Classic Runge–Kutta, fourth order.
+    Rk4,
+}
+
+impl FixedMethod {
+    /// Formal order of accuracy.
+    pub fn order(&self) -> u32 {
+        match self {
+            FixedMethod::Euler => 1,
+            FixedMethod::Midpoint => 2,
+            FixedMethod::Rk4 => 4,
+        }
+    }
+
+    /// Derivative evaluations per step.
+    pub fn stages(&self) -> usize {
+        match self {
+            FixedMethod::Euler => 1,
+            FixedMethod::Midpoint => 2,
+            FixedMethod::Rk4 => 4,
+        }
+    }
+}
+
+/// Integrates `system` from `u0` over `[0, t_end]` with fixed step `dt`.
+///
+/// The final step is shortened so the trajectory ends exactly at `t_end`.
+///
+/// # Errors
+///
+/// * [`OdeError::DimensionMismatch`] if `u0.len() != system.dim()`.
+/// * [`OdeError::InvalidStep`] if `dt` or `t_end` is non-positive/non-finite.
+/// * [`OdeError::Diverged`] if the state becomes non-finite.
+///
+/// ```
+/// use aa_ode::{integrate_fixed, FixedMethod, FnSystem};
+///
+/// // Constant derivative: u(t) = 2t.
+/// let sys = FnSystem::new(1, |_t, _u: &[f64], du: &mut [f64]| du[0] = 2.0);
+/// let traj = integrate_fixed(&sys, &[0.0], 3.0, 0.5, FixedMethod::Euler).unwrap();
+/// assert!((traj.final_state()[0] - 6.0).abs() < 1e-12);
+/// ```
+pub fn integrate_fixed<S: OdeSystem>(
+    system: &S,
+    u0: &[f64],
+    t_end: f64,
+    dt: f64,
+    method: FixedMethod,
+) -> Result<Trajectory, OdeError> {
+    let n = system.dim();
+    if u0.len() != n {
+        return Err(OdeError::DimensionMismatch {
+            expected: n,
+            actual: u0.len(),
+        });
+    }
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(OdeError::invalid_step(format!("dt = {dt}")));
+    }
+    if !(t_end.is_finite() && t_end > 0.0) {
+        return Err(OdeError::invalid_step(format!("t_end = {t_end}")));
+    }
+
+    let mut traj = Trajectory::new(0.0, u0.to_vec());
+    let mut u = u0.to_vec();
+    let mut t = 0.0;
+    let mut scratch = Scratch::new(n);
+
+    while t < t_end {
+        let h = dt.min(t_end - t);
+        step(system, t, &mut u, h, method, &mut scratch);
+        t += h;
+        if u.iter().any(|v| !v.is_finite()) {
+            return Err(OdeError::Diverged { at_time: t });
+        }
+        traj.push(t, u.clone());
+    }
+    Ok(traj)
+}
+
+/// Scratch buffers reused across steps (k-stages and the midpoint state).
+pub(crate) struct Scratch {
+    pub(crate) k1: Vec<f64>,
+    pub(crate) k2: Vec<f64>,
+    pub(crate) k3: Vec<f64>,
+    pub(crate) k4: Vec<f64>,
+    pub(crate) mid: Vec<f64>,
+}
+
+impl Scratch {
+    pub(crate) fn new(n: usize) -> Self {
+        Scratch {
+            k1: vec![0.0; n],
+            k2: vec![0.0; n],
+            k3: vec![0.0; n],
+            k4: vec![0.0; n],
+            mid: vec![0.0; n],
+        }
+    }
+}
+
+/// Advances `u` in place by one step of size `h`.
+pub(crate) fn step<S: OdeSystem>(
+    system: &S,
+    t: f64,
+    u: &mut [f64],
+    h: f64,
+    method: FixedMethod,
+    s: &mut Scratch,
+) {
+    match method {
+        FixedMethod::Euler => {
+            system.eval(t, u, &mut s.k1);
+            for (ui, k) in u.iter_mut().zip(&s.k1) {
+                *ui += h * k;
+            }
+        }
+        FixedMethod::Midpoint => {
+            system.eval(t, u, &mut s.k1);
+            for ((m, ui), k) in s.mid.iter_mut().zip(u.iter()).zip(&s.k1) {
+                *m = ui + 0.5 * h * k;
+            }
+            system.eval(t + 0.5 * h, &s.mid, &mut s.k2);
+            for (ui, k) in u.iter_mut().zip(&s.k2) {
+                *ui += h * k;
+            }
+        }
+        FixedMethod::Rk4 => {
+            system.eval(t, u, &mut s.k1);
+            for ((m, ui), k) in s.mid.iter_mut().zip(u.iter()).zip(&s.k1) {
+                *m = ui + 0.5 * h * k;
+            }
+            system.eval(t + 0.5 * h, &s.mid, &mut s.k2);
+            for ((m, ui), k) in s.mid.iter_mut().zip(u.iter()).zip(&s.k2) {
+                *m = ui + 0.5 * h * k;
+            }
+            system.eval(t + 0.5 * h, &s.mid, &mut s.k3);
+            for ((m, ui), k) in s.mid.iter_mut().zip(u.iter()).zip(&s.k3) {
+                *m = ui + h * k;
+            }
+            system.eval(t + h, &s.mid, &mut s.k4);
+            for (i, ui) in u.iter_mut().enumerate() {
+                *ui += h / 6.0 * (s.k1[i] + 2.0 * s.k2[i] + 2.0 * s.k3[i] + s.k4[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnSystem;
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = -u[0])
+    }
+
+    #[test]
+    fn orders_and_stages() {
+        assert_eq!(FixedMethod::Euler.order(), 1);
+        assert_eq!(FixedMethod::Midpoint.order(), 2);
+        assert_eq!(FixedMethod::Rk4.order(), 4);
+        assert_eq!(FixedMethod::Rk4.stages(), 4);
+    }
+
+    #[test]
+    fn accuracy_improves_with_order() {
+        let exact = (-1.0f64).exp();
+        let err = |m| {
+            let traj = integrate_fixed(&decay(), &[1.0], 1.0, 0.05, m).unwrap();
+            (traj.final_state()[0] - exact).abs()
+        };
+        let e_euler = err(FixedMethod::Euler);
+        let e_mid = err(FixedMethod::Midpoint);
+        let e_rk4 = err(FixedMethod::Rk4);
+        assert!(e_euler > e_mid);
+        assert!(e_mid > e_rk4);
+        assert!(e_rk4 < 1e-7);
+    }
+
+    #[test]
+    fn euler_converges_first_order() {
+        let exact = (-1.0f64).exp();
+        let err = |dt: f64| {
+            let traj = integrate_fixed(&decay(), &[1.0], 1.0, dt, FixedMethod::Euler).unwrap();
+            (traj.final_state()[0] - exact).abs()
+        };
+        let ratio = err(0.01) / err(0.005);
+        assert!((ratio - 2.0).abs() < 0.2, "first-order ratio = {ratio}");
+    }
+
+    #[test]
+    fn rk4_converges_fourth_order() {
+        let exact = (-1.0f64).exp();
+        let err = |dt: f64| {
+            let traj = integrate_fixed(&decay(), &[1.0], 1.0, dt, FixedMethod::Rk4).unwrap();
+            (traj.final_state()[0] - exact).abs()
+        };
+        let ratio = err(0.1) / err(0.05);
+        assert!(ratio > 12.0 && ratio < 20.0, "fourth-order ratio = {ratio}");
+    }
+
+    #[test]
+    fn harmonic_oscillator_conserves_energy_approximately() {
+        let sys = FnSystem::new(2, |_t, u: &[f64], du: &mut [f64]| {
+            du[0] = u[1];
+            du[1] = -u[0];
+        });
+        let traj =
+            integrate_fixed(&sys, &[1.0, 0.0], 2.0 * std::f64::consts::PI, 1e-3, FixedMethod::Rk4)
+                .unwrap();
+        let end = traj.final_state();
+        assert!((end[0] - 1.0).abs() < 1e-9);
+        assert!(end[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn final_time_is_exact_despite_uneven_division() {
+        let traj = integrate_fixed(&decay(), &[1.0], 1.0, 0.3, FixedMethod::Euler).unwrap();
+        assert!((traj.final_time() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(matches!(
+            integrate_fixed(&decay(), &[1.0, 2.0], 1.0, 0.1, FixedMethod::Euler),
+            Err(OdeError::DimensionMismatch { .. })
+        ));
+        assert!(integrate_fixed(&decay(), &[1.0], 1.0, 0.0, FixedMethod::Euler).is_err());
+        assert!(integrate_fixed(&decay(), &[1.0], -1.0, 0.1, FixedMethod::Euler).is_err());
+        assert!(integrate_fixed(&decay(), &[1.0], f64::NAN, 0.1, FixedMethod::Euler).is_err());
+    }
+
+    #[test]
+    fn divergence_detected() {
+        // du/dt = u²: blows up in finite time from u(0) = 1 at t = 1.
+        let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = u[0] * u[0]);
+        let result = integrate_fixed(&sys, &[1.0], 2.0, 0.01, FixedMethod::Rk4);
+        assert!(matches!(result, Err(OdeError::Diverged { .. })));
+    }
+}

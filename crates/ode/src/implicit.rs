@@ -1,0 +1,215 @@
+use aa_linalg::{direct::LuFactor, DenseMatrix};
+
+use crate::{OdeError, OdeSystem, Trajectory};
+
+/// Options for the Newton iteration inside [`backward_euler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonOptions {
+    /// Convergence tolerance on `‖Δu‖∞` per Newton solve.
+    pub tolerance: f64,
+    /// Maximum Newton iterations per time step.
+    pub max_iterations: usize,
+    /// Finite-difference perturbation for the Jacobian.
+    pub fd_epsilon: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            tolerance: 1e-10,
+            max_iterations: 25,
+            fd_epsilon: 1e-7,
+        }
+    }
+}
+
+/// Backward (implicit) Euler: solves `u_{k+1} = u_k + h·f(t_{k+1}, u_{k+1})`
+/// at every step with a damped Newton iteration and a finite-difference
+/// Jacobian.
+///
+/// This is the "implicit time stepping (e.g., backward Euler)" box in the
+/// paper's Figure 4 taxonomy — the route by which time-dependent PDEs give
+/// rise to the sparse linear systems the analog accelerator targets: each
+/// implicit step *is* a linear solve.
+///
+/// Intended for the moderate dimensions of the chip-level models; the dense
+/// Jacobian costs `O(n²)` evaluations per step.
+///
+/// # Errors
+///
+/// * [`OdeError::DimensionMismatch`] if `u0.len() != system.dim()`.
+/// * [`OdeError::InvalidStep`] on non-positive `dt` or `t_end`.
+/// * [`OdeError::NewtonFailed`] if a step's Newton iteration stalls.
+/// * [`OdeError::Linalg`] if the Newton matrix is singular.
+///
+/// ```
+/// use aa_ode::{backward_euler, FnSystem, NewtonOptions};
+///
+/// // Stiff decay du/dt = -1000·u: explicit Euler needs dt < 2e-3;
+/// // backward Euler is unconditionally stable.
+/// let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = -1000.0 * u[0]);
+/// let traj = backward_euler(&sys, &[1.0], 1.0, 0.05, &NewtonOptions::default()).unwrap();
+/// assert!(traj.final_state()[0].abs() < 1e-3);
+/// ```
+pub fn backward_euler<S: OdeSystem>(
+    system: &S,
+    u0: &[f64],
+    t_end: f64,
+    dt: f64,
+    newton: &NewtonOptions,
+) -> Result<Trajectory, OdeError> {
+    let n = system.dim();
+    if u0.len() != n {
+        return Err(OdeError::DimensionMismatch {
+            expected: n,
+            actual: u0.len(),
+        });
+    }
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(OdeError::invalid_step(format!("dt = {dt}")));
+    }
+    if !(t_end.is_finite() && t_end > 0.0) {
+        return Err(OdeError::invalid_step(format!("t_end = {t_end}")));
+    }
+
+    let mut traj = Trajectory::new(0.0, u0.to_vec());
+    let mut u = u0.to_vec();
+    let mut t = 0.0;
+    let mut f_new = vec![0.0; n];
+    let mut residual = vec![0.0; n];
+
+    while t < t_end {
+        let h = dt.min(t_end - t);
+        let t_new = t + h;
+        // Predictor: explicit Euler.
+        system.eval(t, &u, &mut f_new);
+        let mut u_new: Vec<f64> = u.iter().zip(&f_new).map(|(ui, fi)| ui + h * fi).collect();
+
+        let mut converged = false;
+        for _iter in 0..newton.max_iterations {
+            // Residual g(u_new) = u_new − u − h·f(t_new, u_new).
+            system.eval(t_new, &u_new, &mut f_new);
+            for i in 0..n {
+                residual[i] = u_new[i] - u[i] - h * f_new[i];
+            }
+            let rnorm = residual.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if rnorm <= newton.tolerance {
+                converged = true;
+                break;
+            }
+            // Jacobian of g: I − h·∂f/∂u (finite differences).
+            let jac = newton_matrix(system, t_new, &u_new, h, newton.fd_epsilon)?;
+            let delta = LuFactor::new(&jac)?.solve(&residual)?;
+            for (ui, d) in u_new.iter_mut().zip(&delta) {
+                *ui -= d;
+            }
+            if u_new.iter().any(|v| !v.is_finite()) {
+                return Err(OdeError::Diverged { at_time: t_new });
+            }
+        }
+        if !converged {
+            return Err(OdeError::NewtonFailed {
+                at_time: t_new,
+                iterations: newton.max_iterations,
+            });
+        }
+        u = u_new;
+        t = t_new;
+        traj.push(t, u.clone());
+    }
+    Ok(traj)
+}
+
+/// Builds `I − h·J_f(t, u)` by forward finite differences.
+fn newton_matrix<S: OdeSystem>(
+    system: &S,
+    t: f64,
+    u: &[f64],
+    h: f64,
+    eps: f64,
+) -> Result<DenseMatrix, OdeError> {
+    let n = u.len();
+    let mut base = vec![0.0; n];
+    system.eval(t, u, &mut base);
+    let mut jac = DenseMatrix::zeros(n, n)?;
+    let mut pert = u.to_vec();
+    let mut f_pert = vec![0.0; n];
+    for j in 0..n {
+        let delta = eps * u[j].abs().max(1.0);
+        pert[j] = u[j] + delta;
+        system.eval(t, &pert, &mut f_pert);
+        pert[j] = u[j];
+        for i in 0..n {
+            let dfdu = (f_pert[i] - base[i]) / delta;
+            let identity = if i == j { 1.0 } else { 0.0 };
+            jac.set(i, j, identity - h * dfdu);
+        }
+    }
+    Ok(jac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{integrate_fixed, FixedMethod, FnSystem};
+
+    fn stiff() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = -1000.0 * u[0])
+    }
+
+    #[test]
+    fn stable_on_stiff_problem_where_explicit_blows_up() {
+        // dt = 0.01 violates the explicit stability bound (dt < 0.002)...
+        let explicit = integrate_fixed(&stiff(), &[1.0], 1.0, 0.01, FixedMethod::Euler);
+        let blew_up = match explicit {
+            Err(OdeError::Diverged { .. }) => true,
+            Ok(t) => t.final_state()[0].abs() > 1.0,
+            Err(_) => false,
+        };
+        assert!(blew_up, "explicit Euler should be unstable here");
+        // ...but backward Euler is fine.
+        let implicit =
+            backward_euler(&stiff(), &[1.0], 1.0, 0.01, &NewtonOptions::default()).unwrap();
+        assert!(implicit.final_state()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn first_order_accuracy_on_smooth_problem() {
+        let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = -u[0]);
+        let exact = (-1.0f64).exp();
+        let err = |dt: f64| {
+            let t = backward_euler(&sys, &[1.0], 1.0, dt, &NewtonOptions::default()).unwrap();
+            (t.final_state()[0] - exact).abs()
+        };
+        let ratio = err(0.02) / err(0.01);
+        assert!((ratio - 2.0).abs() < 0.3, "first-order ratio = {ratio}");
+    }
+
+    #[test]
+    fn nonlinear_logistic_equation() {
+        // du/dt = u(1−u): logistic growth to the stable fixed point u = 1.
+        let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = u[0] * (1.0 - u[0]));
+        let traj = backward_euler(&sys, &[0.1], 20.0, 0.1, &NewtonOptions::default()).unwrap();
+        assert!((traj.final_state()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coupled_system() {
+        // Rotation with damping: spirals to the origin.
+        let sys = FnSystem::new(2, |_t, u: &[f64], du: &mut [f64]| {
+            du[0] = -0.5 * u[0] + u[1];
+            du[1] = -u[0] - 0.5 * u[1];
+        });
+        let traj = backward_euler(&sys, &[1.0, 0.0], 20.0, 0.05, &NewtonOptions::default()).unwrap();
+        let end = traj.final_state();
+        assert!(end[0].abs() < 1e-3 && end[1].abs() < 1e-3);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let sys = stiff();
+        assert!(backward_euler(&sys, &[1.0, 2.0], 1.0, 0.1, &NewtonOptions::default()).is_err());
+        assert!(backward_euler(&sys, &[1.0], 1.0, 0.0, &NewtonOptions::default()).is_err());
+        assert!(backward_euler(&sys, &[1.0], -1.0, 0.1, &NewtonOptions::default()).is_err());
+    }
+}

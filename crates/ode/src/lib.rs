@@ -1,0 +1,57 @@
+//! ODE integration substrate for the `analog-accel` workspace.
+//!
+//! Analog computers *are* ODE solvers: the configured circuit is a system
+//! `du/dt = f(t, u)` evolving in continuous time (paper §II). This crate
+//! provides the numerical machinery that both
+//!
+//! * simulates the analog accelerator chip model (`aa-analog` compiles a
+//!   netlist into an [`OdeSystem`] and integrates it), and
+//! * implements the "explicit time stepping" box of the paper's Figure 4
+//!   problem taxonomy for the digital comparison.
+//!
+//! # Integrators
+//!
+//! * [`integrate_fixed`] — fixed-step explicit [Euler](FixedMethod::Euler)
+//!   (the paper's Algorithm 1), [midpoint](FixedMethod::Midpoint), and
+//!   classic [RK4](FixedMethod::Rk4).
+//! * [`integrate_adaptive`] — embedded Cash–Karp RK4(5) with step-size
+//!   control.
+//! * [`integrate_to_steady_state`] — runs until `‖du/dt‖∞` falls below a
+//!   threshold, which is exactly how the analog accelerator detects that a
+//!   linear-algebra solve has converged (§IV-A: "the steady state value of
+//!   u(t) satisfies the system of linear equations").
+//! * [`backward_euler`] — implicit first-order stepping via damped Newton,
+//!   the "implicit time stepping" box of Figure 4.
+//!
+//! # Quick start
+//!
+//! ```
+//! use aa_ode::{integrate_fixed, FixedMethod, FnSystem};
+//!
+//! // du/dt = -u, u(0) = 1: the solution is e^{-t}.
+//! let system = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = -u[0]);
+//! let traj = integrate_fixed(&system, &[1.0], 1.0, 1e-4, FixedMethod::Rk4).unwrap();
+//! let u1 = traj.final_state()[0];
+//! assert!((u1 - (-1.0f64).exp()).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod error;
+mod euler;
+mod fixed;
+mod implicit;
+mod steady;
+mod system;
+mod trajectory;
+
+pub use adaptive::{integrate_adaptive, AdaptiveOptions, AdaptiveStats};
+pub use error::OdeError;
+pub use euler::algorithm1;
+pub use fixed::{integrate_fixed, FixedMethod};
+pub use implicit::{backward_euler, NewtonOptions};
+pub use steady::{integrate_to_steady_state, SteadyOptions, SteadyReport};
+pub use system::{FnSystem, GradientFlow, LinearSystem, OdeSystem};
+pub use trajectory::Trajectory;

@@ -1,0 +1,279 @@
+use crate::fixed::{step, Scratch};
+use crate::{FixedMethod, OdeError, OdeSystem, Trajectory};
+
+/// Options for steady-state integration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteadyOptions {
+    /// Declare steady state when `‖du/dt‖∞ ≤ derivative_tol`.
+    pub derivative_tol: f64,
+    /// Integration step size.
+    pub dt: f64,
+    /// Give up (with `reached_steady_state = false`) after this much time.
+    pub max_time: f64,
+    /// Method used for the underlying steps.
+    pub method: FixedMethod,
+    /// Record at most this many samples into the trajectory (uniformly
+    /// thinned); `0` keeps only the endpoints.
+    pub max_samples: usize,
+}
+
+impl Default for SteadyOptions {
+    fn default() -> Self {
+        SteadyOptions {
+            derivative_tol: 1e-9,
+            dt: 1e-3,
+            max_time: 1e4,
+            method: FixedMethod::Rk4,
+            max_samples: 1024,
+        }
+    }
+}
+
+/// Outcome of a steady-state integration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteadyReport {
+    /// The trajectory up to the stopping time (thinned to `max_samples`).
+    pub trajectory: Trajectory,
+    /// Whether the derivative criterion was met before `max_time`.
+    pub reached_steady_state: bool,
+    /// Simulated time at which integration stopped.
+    pub settle_time: f64,
+    /// `‖du/dt‖∞` at the stopping point.
+    pub final_derivative_norm: f64,
+    /// Number of integration steps taken.
+    pub steps: usize,
+}
+
+impl SteadyReport {
+    /// The steady-state vector (final state of the trajectory).
+    pub fn state(&self) -> &[f64] {
+        self.trajectory.final_state()
+    }
+}
+
+/// Integrates until the derivative vanishes — the analog accelerator's
+/// operating mode for linear algebra.
+///
+/// The paper (§IV-A): "As u(t) evolves, the derivative approaches zero so
+/// long as A is a positive definite matrix. When the derivative becomes zero,
+/// the steady state value of u(t) satisfies the system of linear equations."
+/// This routine is the numerical embodiment of the `execStart`/`execStop`
+/// window of the accelerator's Table I ISA.
+///
+/// # Errors
+///
+/// * [`OdeError::DimensionMismatch`] if `u0.len() != system.dim()`.
+/// * [`OdeError::InvalidStep`] on non-positive `dt`, tolerance, or `max_time`.
+/// * [`OdeError::Diverged`] if the state becomes non-finite (e.g. the gradient
+///   flow of a non-positive-definite matrix).
+///
+/// ```
+/// use aa_ode::{integrate_to_steady_state, GradientFlow, SteadyOptions};
+/// use aa_linalg::CsrMatrix;
+///
+/// # fn main() -> Result<(), aa_ode::OdeError> {
+/// let a = CsrMatrix::tridiagonal(3, -1.0, 2.0, -1.0)?;
+/// let flow = GradientFlow::new(&a, vec![1.0, 1.0, 1.0], 1.0);
+/// let report = integrate_to_steady_state(&flow, &[0.0; 3], &SteadyOptions::default())?;
+/// assert!(report.reached_steady_state);
+/// // Steady state solves A·u = b: u = [1.5, 2, 1.5].
+/// assert!((report.state()[1] - 2.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn integrate_to_steady_state<S: OdeSystem>(
+    system: &S,
+    u0: &[f64],
+    options: &SteadyOptions,
+) -> Result<SteadyReport, OdeError> {
+    let n = system.dim();
+    if u0.len() != n {
+        return Err(OdeError::DimensionMismatch {
+            expected: n,
+            actual: u0.len(),
+        });
+    }
+    if !(options.dt.is_finite() && options.dt > 0.0) {
+        return Err(OdeError::invalid_step(format!("dt = {}", options.dt)));
+    }
+    if !(options.max_time.is_finite() && options.max_time > 0.0) {
+        return Err(OdeError::invalid_step(format!(
+            "max_time = {}",
+            options.max_time
+        )));
+    }
+    if options.derivative_tol <= 0.0 || options.derivative_tol.is_nan() {
+        return Err(OdeError::invalid_step(
+            "derivative_tol must be positive".to_string(),
+        ));
+    }
+
+    // Thinning: record every `record_every`-th step so the trajectory holds
+    // at most max_samples interior points.
+    let total_steps = (options.max_time / options.dt).ceil() as usize;
+    let record_every = total_steps
+        .checked_div(options.max_samples)
+        .map_or(usize::MAX, |n| n.max(1));
+
+    let mut traj = Trajectory::new(0.0, u0.to_vec());
+    let mut u = u0.to_vec();
+    let mut du = vec![0.0; n];
+    let mut scratch = Scratch::new(n);
+    let mut t = 0.0;
+    let mut steps = 0;
+
+    loop {
+        system.eval(t, &u, &mut du);
+        let dnorm = du.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let steady = dnorm <= options.derivative_tol;
+        let timed_out = t >= options.max_time;
+        if steady || timed_out {
+            if t > traj.final_time() {
+                traj.push(t, u.clone());
+            }
+            return Ok(SteadyReport {
+                trajectory: traj,
+                reached_steady_state: steady,
+                settle_time: t,
+                final_derivative_norm: dnorm,
+                steps,
+            });
+        }
+
+        let h = options.dt.min(options.max_time - t);
+        step(system, t, &mut u, h, options.method, &mut scratch);
+        t += h;
+        steps += 1;
+        if u.iter().any(|v| !v.is_finite()) {
+            return Err(OdeError::Diverged { at_time: t });
+        }
+        if steps % record_every == 0 {
+            traj.push(t, u.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnSystem, GradientFlow};
+    use aa_linalg::CsrMatrix;
+
+    #[test]
+    fn settle_time_scales_inversely_with_rate() {
+        // Doubling the rate constant (bandwidth) halves the settle time —
+        // the paper's bandwidth/performance proportionality.
+        let a = CsrMatrix::identity(1);
+        let settle = |rate: f64| {
+            let flow = GradientFlow::new(&a, vec![1.0], rate);
+            integrate_to_steady_state(
+                &flow,
+                &[0.0],
+                &SteadyOptions {
+                    derivative_tol: 1e-6,
+                    dt: 1e-4,
+                    ..SteadyOptions::default()
+                },
+            )
+            .unwrap()
+            .settle_time
+        };
+        // |du/dt| = rate·e^{−rate·t} crosses tol at t = ln(rate/tol)/rate, so
+        // the analytic times are t₁ = ln(1e6) ≈ 13.82 and t₂ = ln(2e6)/2 ≈ 7.25.
+        let t1 = settle(1.0);
+        let t2 = settle(2.0);
+        assert!((t1 - (1e6f64).ln()).abs() < 0.01, "t1 = {t1}");
+        assert!((t2 - (2e6f64).ln() / 2.0).abs() < 0.01, "t2 = {t2}");
+        assert!(t1 / t2 > 1.8, "higher bandwidth must settle faster");
+    }
+
+    #[test]
+    fn gradient_flow_reaches_linear_solution() {
+        let a = CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap();
+        let b = vec![1.0, 0.0, 0.0, 1.0];
+        let flow = GradientFlow::new(&a, b.clone(), 1.0);
+        let report =
+            integrate_to_steady_state(&flow, &[0.0; 4], &SteadyOptions::default()).unwrap();
+        assert!(report.reached_steady_state);
+        use aa_linalg::LinearOperator;
+        assert!(a.residual_norm(report.state(), &b) < 1e-6);
+    }
+
+    #[test]
+    fn timeout_reported_when_never_steady() {
+        // Constant derivative never settles.
+        let sys = FnSystem::new(1, |_t, _u: &[f64], du: &mut [f64]| du[0] = 1.0);
+        let report = integrate_to_steady_state(
+            &sys,
+            &[0.0],
+            &SteadyOptions {
+                max_time: 0.5,
+                dt: 0.01,
+                ..SteadyOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!report.reached_steady_state);
+        assert!((report.settle_time - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divergence_on_indefinite_flow() {
+        // du/dt = +u diverges (analog overflow analogue).
+        let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = u[0] * 1e3);
+        let result = integrate_to_steady_state(
+            &sys,
+            &[1.0],
+            &SteadyOptions {
+                dt: 1.0,
+                ..SteadyOptions::default()
+            },
+        );
+        assert!(matches!(result, Err(OdeError::Diverged { .. })));
+    }
+
+    #[test]
+    fn trajectory_thinning_bounds_samples() {
+        let a = CsrMatrix::identity(1);
+        let flow = GradientFlow::new(&a, vec![1.0], 1.0);
+        let report = integrate_to_steady_state(
+            &flow,
+            &[0.0],
+            &SteadyOptions {
+                derivative_tol: 1e-10,
+                dt: 1e-5,
+                max_samples: 64,
+                ..SteadyOptions::default()
+            },
+        )
+        .unwrap();
+        // Some slack: endpoints are always kept.
+        assert!(report.trajectory.len() <= 66 + report.steps / 1_000_000);
+    }
+
+    #[test]
+    fn already_steady_initial_state() {
+        let a = CsrMatrix::identity(2);
+        let flow = GradientFlow::new(&a, vec![3.0, 4.0], 1.0);
+        let report =
+            integrate_to_steady_state(&flow, &[3.0, 4.0], &SteadyOptions::default()).unwrap();
+        assert!(report.reached_steady_state);
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.settle_time, 0.0);
+    }
+
+    #[test]
+    fn validates_options() {
+        let sys = FnSystem::new(1, |_t, _u: &[f64], du: &mut [f64]| du[0] = 0.0);
+        let bad_dt = SteadyOptions {
+            dt: 0.0,
+            ..SteadyOptions::default()
+        };
+        assert!(integrate_to_steady_state(&sys, &[0.0], &bad_dt).is_err());
+        let bad_tol = SteadyOptions {
+            derivative_tol: -1.0,
+            ..SteadyOptions::default()
+        };
+        assert!(integrate_to_steady_state(&sys, &[0.0], &bad_tol).is_err());
+    }
+}

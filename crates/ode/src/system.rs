@@ -1,0 +1,229 @@
+use aa_linalg::LinearOperator;
+
+/// A first-order ODE system `du/dt = f(t, u)`.
+///
+/// This is the contract between problem definitions (circuits, PDE
+/// semi-discretizations, gradient flows) and the integrators.
+pub trait OdeSystem {
+    /// State dimension.
+    fn dim(&self) -> usize;
+
+    /// Evaluates the derivative: `du ← f(t, u)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `u.len()` or `du.len()` differ from
+    /// [`dim`](Self::dim).
+    fn eval(&self, t: f64, u: &[f64], du: &mut [f64]);
+}
+
+impl<T: OdeSystem + ?Sized> OdeSystem for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn eval(&self, t: f64, u: &[f64], du: &mut [f64]) {
+        (**self).eval(t, u, du)
+    }
+}
+
+/// An [`OdeSystem`] defined by a closure — convenient for examples and tests.
+///
+/// ```
+/// use aa_ode::{FnSystem, OdeSystem};
+///
+/// let sys = FnSystem::new(2, |_t, u: &[f64], du: &mut [f64]| {
+///     du[0] = u[1];
+///     du[1] = -u[0]; // harmonic oscillator
+/// });
+/// let mut du = [0.0; 2];
+/// sys.eval(0.0, &[1.0, 0.0], &mut du);
+/// assert_eq!(du, [0.0, -1.0]);
+/// ```
+pub struct FnSystem<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> FnSystem<F> {
+    /// Wraps a closure `f(t, u, du)` as a system of dimension `dim`.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnSystem { dim, f }
+    }
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> OdeSystem for FnSystem<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn eval(&self, t: f64, u: &[f64], du: &mut [f64]) {
+        assert_eq!(u.len(), self.dim, "eval: state length mismatch");
+        assert_eq!(du.len(), self.dim, "eval: derivative length mismatch");
+        (self.f)(t, u, du)
+    }
+}
+
+impl<F> std::fmt::Debug for FnSystem<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSystem").field("dim", &self.dim).finish()
+    }
+}
+
+/// The affine linear system `du/dt = c − M·u` over any linear operator `M`.
+///
+/// With `M = A` and `c = b` this is exactly the paper's continuous-time
+/// gradient descent `du/dt = b − A·u(t)` (Equation 2) whose steady state
+/// solves `A·u = b`. See also [`GradientFlow`] which adds the time-scaling
+/// factor used by the analog hardware mapping.
+#[derive(Debug, Clone)]
+pub struct LinearSystem<M> {
+    m: M,
+    c: Vec<f64>,
+}
+
+impl<M: LinearOperator> LinearSystem<M> {
+    /// Creates `du/dt = c − M·u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != m.dim()`.
+    pub fn new(m: M, c: Vec<f64>) -> Self {
+        assert_eq!(c.len(), m.dim(), "constant term length mismatch");
+        LinearSystem { m, c }
+    }
+
+    /// The operator `M`.
+    pub fn operator(&self) -> &M {
+        &self.m
+    }
+
+    /// The constant drive `c`.
+    pub fn constant(&self) -> &[f64] {
+        &self.c
+    }
+}
+
+impl<M: LinearOperator> OdeSystem for LinearSystem<M> {
+    fn dim(&self) -> usize {
+        self.m.dim()
+    }
+
+    fn eval(&self, _t: f64, u: &[f64], du: &mut [f64]) {
+        self.m.apply(u, du);
+        for (d, c) in du.iter_mut().zip(&self.c) {
+            *d = c - *d;
+        }
+    }
+}
+
+/// The gradient flow `du/dt = κ·(b − A·u)` with an explicit rate constant.
+///
+/// The rate constant `κ` models the analog circuit's bandwidth: a higher
+/// bandwidth design integrates "faster" in wall-clock terms (paper §V-B).
+/// The steady state is independent of `κ` — only the time to reach it
+/// changes, which is the essence of the paper's time-scaling argument.
+#[derive(Debug, Clone)]
+pub struct GradientFlow<M> {
+    a: M,
+    b: Vec<f64>,
+    rate: f64,
+}
+
+impl<M: LinearOperator> GradientFlow<M> {
+    /// Creates `du/dt = rate·(b − A·u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != a.dim()` or `rate` is not finite and positive.
+    pub fn new(a: M, b: Vec<f64>, rate: f64) -> Self {
+        assert_eq!(b.len(), a.dim(), "rhs length mismatch");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate constant must be finite and positive"
+        );
+        GradientFlow { a, b, rate }
+    }
+
+    /// The system matrix `A`.
+    pub fn matrix(&self) -> &M {
+        &self.a
+    }
+
+    /// The right-hand side `b`.
+    pub fn rhs(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// The rate constant `κ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl<M: LinearOperator> OdeSystem for GradientFlow<M> {
+    fn dim(&self) -> usize {
+        self.a.dim()
+    }
+
+    fn eval(&self, _t: f64, u: &[f64], du: &mut [f64]) {
+        self.a.apply(u, du);
+        for (d, b) in du.iter_mut().zip(&self.b) {
+            *d = self.rate * (b - *d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_linalg::CsrMatrix;
+
+    #[test]
+    fn linear_system_derivative_is_b_minus_au() {
+        let a = CsrMatrix::identity(2);
+        let sys = LinearSystem::new(&a, vec![3.0, 4.0]);
+        let mut du = [0.0; 2];
+        sys.eval(0.0, &[1.0, 1.0], &mut du);
+        assert_eq!(du, [2.0, 3.0]);
+        assert_eq!(sys.constant(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn gradient_flow_scales_by_rate() {
+        let a = CsrMatrix::identity(2);
+        let slow = GradientFlow::new(&a, vec![1.0, 0.0], 1.0);
+        let fast = GradientFlow::new(&a, vec![1.0, 0.0], 10.0);
+        let mut du_slow = [0.0; 2];
+        let mut du_fast = [0.0; 2];
+        slow.eval(0.0, &[0.0, 0.0], &mut du_slow);
+        fast.eval(0.0, &[0.0, 0.0], &mut du_fast);
+        assert_eq!(du_fast[0], 10.0 * du_slow[0]);
+        assert_eq!(fast.rate(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate constant")]
+    fn gradient_flow_rejects_bad_rate() {
+        let a = CsrMatrix::identity(1);
+        let _ = GradientFlow::new(&a, vec![0.0], -1.0);
+    }
+
+    #[test]
+    fn derivative_is_zero_at_solution() {
+        // At u = A⁻¹b the gradient flow has zero derivative — the steady
+        // state the analog accelerator reads out.
+        let a = CsrMatrix::tridiagonal(3, -1.0, 2.0, -1.0).unwrap();
+        let u = vec![1.5, 2.0, 1.5]; // A·u = [1, 1, 1]
+        let flow = GradientFlow::new(&a, a.apply_vec(&u), 1.0);
+        let mut du = [0.0; 3];
+        flow.eval(0.0, &u, &mut du);
+        for d in du {
+            assert!(d.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn fn_system_debug_nonempty() {
+        let sys = FnSystem::new(1, |_t, _u: &[f64], _du: &mut [f64]| {});
+        assert!(format!("{sys:?}").contains("dim"));
+    }
+}

@@ -1,0 +1,182 @@
+use crate::OdeError;
+
+/// A time-sampled solution of an ODE system.
+///
+/// Stores `(t_k, u_k)` pairs in increasing time order. This plays the role
+/// of the "time-varying waveform" the paper's Figure 1 describes: in the
+/// embedded use-case the whole waveform is the answer; in the linear-algebra
+/// use-case only [`final_state`](Trajectory::final_state) (the steady state)
+/// is read out through the ADCs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl Trajectory {
+    /// Creates a trajectory seeded with the initial condition at `t0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty.
+    pub fn new(t0: f64, initial: Vec<f64>) -> Self {
+        assert!(!initial.is_empty(), "trajectory state must be non-empty");
+        let dim = initial.len();
+        Trajectory {
+            times: vec![t0],
+            states: vec![initial],
+            dim,
+        }
+    }
+
+    /// Appends a sample. Times must be strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not increase or the state dimension changes.
+    pub fn push(&mut self, t: f64, state: Vec<f64>) {
+        assert!(
+            t > *self.times.last().expect("trajectory is never empty"),
+            "time samples must be strictly increasing"
+        );
+        assert_eq!(state.len(), self.dim, "state dimension changed");
+        self.times.push(t);
+        self.states.push(state);
+    }
+
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored samples (including the initial condition).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether only the initial sample is present.
+    pub fn is_empty(&self) -> bool {
+        self.times.len() <= 1
+    }
+
+    /// Sampled time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sampled states, parallel to [`times`](Trajectory::times).
+    pub fn states(&self) -> &[Vec<f64>] {
+        &self.states
+    }
+
+    /// The last time point.
+    pub fn final_time(&self) -> f64 {
+        *self.times.last().expect("trajectory is never empty")
+    }
+
+    /// The final state — the analog accelerator's steady-state readout.
+    pub fn final_state(&self) -> &[f64] {
+        self.states.last().expect("trajectory is never empty")
+    }
+
+    /// Linearly interpolates the state at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidStep`] if `t` lies outside the sampled span.
+    pub fn sample(&self, t: f64) -> Result<Vec<f64>, OdeError> {
+        let first = self.times[0];
+        let last = self.final_time();
+        if !(first..=last).contains(&t) {
+            return Err(OdeError::invalid_step(format!(
+                "sample time {t} outside trajectory span [{first}, {last}]"
+            )));
+        }
+        let idx = match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).expect("times are finite"))
+        {
+            Ok(i) => return Ok(self.states[i].clone()),
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let w = (t - t0) / (t1 - t0);
+        Ok(self.states[idx - 1]
+            .iter()
+            .zip(&self.states[idx])
+            .map(|(a, b)| a + w * (b - a))
+            .collect())
+    }
+
+    /// Iterates over `(t, state)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> + '_ {
+        self.times
+            .iter()
+            .zip(&self.states)
+            .map(|(&t, s)| (t, s.as_slice()))
+    }
+
+    /// The single-variable waveform of component `i` as `(t, u_i)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    pub fn component(&self, i: usize) -> Vec<(f64, f64)> {
+        assert!(i < self.dim, "component index out of bounds");
+        self.iter().map(|(t, s)| (t, s[i])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Trajectory {
+        let mut tr = Trajectory::new(0.0, vec![0.0, 10.0]);
+        tr.push(1.0, vec![1.0, 20.0]);
+        tr.push(2.0, vec![4.0, 30.0]);
+        tr
+    }
+
+    #[test]
+    fn accessors() {
+        let tr = simple();
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dim(), 2);
+        assert!(!tr.is_empty());
+        assert_eq!(tr.final_time(), 2.0);
+        assert_eq!(tr.final_state(), &[4.0, 30.0]);
+        assert_eq!(tr.component(1), vec![(0.0, 10.0), (1.0, 20.0), (2.0, 30.0)]);
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let tr = simple();
+        let s = tr.sample(0.5).unwrap();
+        assert_eq!(s, vec![0.5, 15.0]);
+        // Exact hit returns the stored sample.
+        assert_eq!(tr.sample(1.0).unwrap(), vec![1.0, 20.0]);
+    }
+
+    #[test]
+    fn out_of_range_sampling_errors() {
+        let tr = simple();
+        assert!(tr.sample(-0.1).is_err());
+        assert!(tr.sample(2.1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_push_panics() {
+        let mut tr = simple();
+        tr.push(1.5, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension changed")]
+    fn dimension_change_panics() {
+        let mut tr = simple();
+        tr.push(3.0, vec![0.0]);
+    }
+}

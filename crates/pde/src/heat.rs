@@ -1,0 +1,236 @@
+//! The 1D heat equation — the parabolic branch of the paper's Figure 4.
+//!
+//! `∂u/∂t = κ·∂²u/∂x²` is spatially discretized into the ODE system
+//! `du/dt = −κ·A·u` (method of lines), then advanced either
+//!
+//! * **explicitly** (the "explicit time stepping (e.g., RK4, analog)" box —
+//!   the analog accelerator's native ODE-solving mode), or
+//! * **implicitly** (backward Euler), where every step solves the sparse
+//!   linear system `(I + Δt·κ·A)·u_{k+1} = u_k` — the exact workload the
+//!   paper offloads to the analog accelerator.
+
+use aa_linalg::direct::CholeskyFactor;
+use aa_linalg::stencil::PoissonStencil;
+use aa_linalg::{CsrMatrix, LinearOperator};
+use aa_ode::{integrate_fixed, FixedMethod, OdeSystem};
+
+use crate::PdeError;
+
+/// A 1D heat-equation problem with zero Dirichlet boundaries.
+#[derive(Debug, Clone)]
+pub struct Heat1d {
+    stencil: PoissonStencil,
+    /// Diffusivity κ.
+    diffusivity: f64,
+}
+
+impl Heat1d {
+    /// Creates the problem on `l` interior points with diffusivity `kappa`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdeError::InvalidGrid`] if `l == 0` or `kappa <= 0`.
+    pub fn new(l: usize, kappa: f64) -> Result<Self, PdeError> {
+        if !(kappa.is_finite() && kappa > 0.0) {
+            return Err(PdeError::invalid_grid(format!(
+                "diffusivity must be positive, got {kappa}"
+            )));
+        }
+        let stencil =
+            PoissonStencil::new_1d(l).map_err(|e| PdeError::invalid_grid(e.to_string()))?;
+        Ok(Heat1d {
+            stencil,
+            diffusivity: kappa,
+        })
+    }
+
+    /// Number of unknowns.
+    pub fn dim(&self) -> usize {
+        self.stencil.dim()
+    }
+
+    /// Grid spacing.
+    pub fn spacing(&self) -> f64 {
+        self.stencil.spacing()
+    }
+
+    /// The largest stable explicit-Euler step, `h²/(2κ)`.
+    pub fn stability_limit(&self) -> f64 {
+        let h = self.spacing();
+        h * h / (2.0 * self.diffusivity)
+    }
+
+    /// Advances `u0` to time `t_end` explicitly with RK4 (method of lines).
+    ///
+    /// # Errors
+    ///
+    /// Propagates integration failures (instability shows up as
+    /// [`aa_ode::OdeError::Diverged`]).
+    pub fn solve_explicit(
+        &self,
+        u0: &[f64],
+        t_end: f64,
+        dt: f64,
+    ) -> Result<Vec<f64>, PdeError> {
+        let system = ScaledDiffusion {
+            stencil: &self.stencil,
+            kappa: self.diffusivity,
+        };
+        let traj = integrate_fixed(&system, u0, t_end, dt, FixedMethod::Rk4)?;
+        Ok(traj.final_state().to_vec())
+    }
+
+    /// Advances `u0` to time `t_end` with backward Euler: each step solves
+    /// `(I + Δt·κ·A)·u_{k+1} = u_k` by a (pre-factored) Cholesky solve.
+    ///
+    /// Unconditionally stable — `dt` may exceed [`stability_limit`] — which
+    /// is the entire reason implicit methods generate the sparse
+    /// linear-equation workload of the paper's Figure 4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization failures and grid mismatches.
+    ///
+    /// [`stability_limit`]: Heat1d::stability_limit
+    pub fn solve_implicit(&self, u0: &[f64], t_end: f64, dt: f64) -> Result<Vec<f64>, PdeError> {
+        if u0.len() != self.dim() {
+            return Err(PdeError::invalid_grid(format!(
+                "initial state has {} entries, grid needs {}",
+                u0.len(),
+                self.dim()
+            )));
+        }
+        if !(dt.is_finite() && dt > 0.0 && t_end.is_finite() && t_end > 0.0) {
+            return Err(PdeError::invalid_grid("dt and t_end must be positive".to_string()));
+        }
+        // M = I + dt·κ·A, assembled once and Cholesky-factored.
+        let a = CsrMatrix::from_row_access(&self.stencil);
+        let mut m = a.scaled(dt * self.diffusivity).to_dense();
+        for i in 0..self.dim() {
+            m.set(i, i, m.get(i, i) + 1.0);
+        }
+        let factor = CholeskyFactor::new(&m)?;
+        let mut u = u0.to_vec();
+        let steps = (t_end / dt).ceil() as usize;
+        for _ in 0..steps {
+            u = factor.solve(&u)?;
+        }
+        Ok(u)
+    }
+
+    /// The decay rate of the slowest mode, `κ·λ_min(A)` — useful for
+    /// choosing simulation horizons.
+    pub fn slowest_rate(&self) -> f64 {
+        self.diffusivity
+            * aa_linalg::eigen::poisson_lambda_min(self.stencil.points_per_side(), 1)
+    }
+}
+
+/// `du/dt = −κ·A·u` as an [`OdeSystem`].
+struct ScaledDiffusion<'a> {
+    stencil: &'a PoissonStencil,
+    kappa: f64,
+}
+
+impl OdeSystem for ScaledDiffusion<'_> {
+    fn dim(&self) -> usize {
+        self.stencil.dim()
+    }
+    fn eval(&self, _t: f64, u: &[f64], du: &mut [f64]) {
+        self.stencil.apply(u, du);
+        for d in du.iter_mut() {
+            *d *= -self.kappa;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Initial condition: the fundamental mode sin(πx), which decays as
+    /// e^{−κπ²t} in the continuum.
+    fn fundamental(l: usize) -> Vec<f64> {
+        let h = 1.0 / (l as f64 + 1.0);
+        (0..l)
+            .map(|i| (std::f64::consts::PI * (i as f64 + 1.0) * h).sin())
+            .collect()
+    }
+
+    #[test]
+    fn explicit_matches_analytic_decay() {
+        let heat = Heat1d::new(31, 1.0).unwrap();
+        let u0 = fundamental(31);
+        let t = 0.05;
+        let dt = heat.stability_limit() * 0.2;
+        let u = heat.solve_explicit(&u0, t, dt).unwrap();
+        // Discrete mode decays at κ·λ₁ (close to π² for fine grids).
+        let rate = heat.slowest_rate();
+        let expected: Vec<f64> = u0.iter().map(|v| v * (-rate * t).exp()).collect();
+        for (a, b) in u.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn implicit_is_stable_beyond_explicit_limit() {
+        let heat = Heat1d::new(31, 1.0).unwrap();
+        // A spike excites every spatial mode, including the stiff ones that
+        // violate the explicit stability bound.
+        let mut u0 = vec![0.0; 31];
+        u0[15] = 1.0;
+        let big_dt = heat.stability_limit() * 50.0;
+        // Explicit RK4 at 50× the Euler limit diverges (or explodes).
+        let explicit = heat.solve_explicit(&u0, 0.5, big_dt);
+        let exploded = match &explicit {
+            Err(_) => true,
+            Ok(u) => u.iter().any(|v| v.abs() > 10.0),
+        };
+        assert!(exploded, "explicit should be unstable at this step");
+        // Backward Euler stays bounded and qualitatively correct.
+        let implicit = heat.solve_implicit(&u0, 0.05, big_dt).unwrap();
+        assert!(implicit.iter().all(|v| v.abs() <= 1.0));
+        assert!(implicit.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn implicit_converges_first_order_in_dt() {
+        let heat = Heat1d::new(15, 1.0).unwrap();
+        let u0 = fundamental(15);
+        let t = 0.02;
+        let fine = heat.solve_implicit(&u0, t, 1e-5).unwrap();
+        let err = |dt: f64| {
+            let u = heat.solve_implicit(&u0, t, dt).unwrap();
+            u.iter()
+                .zip(&fine)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let ratio = err(2e-3) / err(1e-3);
+        assert!((ratio - 2.0).abs() < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn heat_spreads_and_decays() {
+        // A point-ish initial spike diffuses outward and total heat decays.
+        let heat = Heat1d::new(21, 1.0).unwrap();
+        let mut u0 = vec![0.0; 21];
+        u0[10] = 1.0;
+        let dt = heat.stability_limit() * 0.2;
+        let u = heat.solve_explicit(&u0, 0.01, dt).unwrap();
+        assert!(u[10] < 1.0);
+        assert!(u[5] > 0.0);
+        let total: f64 = u.iter().sum();
+        assert!(total < 1.0 && total > 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Heat1d::new(0, 1.0).is_err());
+        assert!(Heat1d::new(5, 0.0).is_err());
+        assert!(Heat1d::new(5, f64::NAN).is_err());
+        let heat = Heat1d::new(5, 1.0).unwrap();
+        assert!(heat.solve_implicit(&[0.0; 4], 1.0, 0.1).is_err());
+        assert!(heat.solve_implicit(&[0.0; 5], 1.0, -0.1).is_err());
+    }
+}

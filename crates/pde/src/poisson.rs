@@ -1,0 +1,342 @@
+//! Elliptic Poisson problems (paper §IV-B).
+//!
+//! `−∇²u = f` on the unit square/cube with Dirichlet boundaries, discretized
+//! with the second-order central-difference stencil into the sparse systems
+//! the accelerator solves. Boundary values enter the right-hand side as
+//! `g/h²` contributions at boundary-adjacent nodes.
+
+use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
+use aa_linalg::stencil::PoissonStencil;
+use aa_linalg::{CsrMatrix, LinearOperator};
+
+use crate::PdeError;
+
+/// A discretized 2D Poisson problem `A·u = b` on the unit square.
+///
+/// ```
+/// use aa_pde::poisson::Poisson2d;
+///
+/// # fn main() -> Result<(), aa_pde::PdeError> {
+/// let p = Poisson2d::new(7, |_x, _y| 1.0)?; // uniform forcing
+/// assert_eq!(p.rhs().len(), 49);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Poisson2d {
+    stencil: PoissonStencil,
+    rhs: Vec<f64>,
+}
+
+impl Poisson2d {
+    /// Builds `−∇²u = f` with homogeneous (zero) Dirichlet boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdeError::InvalidGrid`] if `l == 0`.
+    pub fn new<F: Fn(f64, f64) -> f64>(l: usize, forcing: F) -> Result<Self, PdeError> {
+        Self::with_boundary(l, forcing, |_x, _y| 0.0)
+    }
+
+    /// Builds `−∇²u = f` with Dirichlet boundary values `g(x, y)` on the
+    /// unit-square boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdeError::InvalidGrid`] if `l == 0`.
+    pub fn with_boundary<F, G>(l: usize, forcing: F, boundary: G) -> Result<Self, PdeError>
+    where
+        F: Fn(f64, f64) -> f64,
+        G: Fn(f64, f64) -> f64,
+    {
+        let stencil = PoissonStencil::new_2d(l)
+            .map_err(|e| PdeError::invalid_grid(e.to_string()))?;
+        let h = stencil.spacing();
+        let inv_h2 = 1.0 / (h * h);
+        let mut rhs = vec![0.0; stencil.dim()];
+        for j in 0..l {
+            for i in 0..l {
+                let x = (i as f64 + 1.0) * h;
+                let y = (j as f64 + 1.0) * h;
+                let mut b = forcing(x, y);
+                // Boundary contributions from the eliminated neighbours.
+                if i == 0 {
+                    b += boundary(0.0, y) * inv_h2;
+                }
+                if i == l - 1 {
+                    b += boundary(1.0, y) * inv_h2;
+                }
+                if j == 0 {
+                    b += boundary(x, 0.0) * inv_h2;
+                }
+                if j == l - 1 {
+                    b += boundary(x, 1.0) * inv_h2;
+                }
+                rhs[j * l + i] = b;
+            }
+        }
+        Ok(Poisson2d { stencil, rhs })
+    }
+
+    /// The matrix-free operator `A`.
+    pub fn operator(&self) -> &PoissonStencil {
+        &self.stencil
+    }
+
+    /// The right-hand side `b`.
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    /// Interior points per side.
+    pub fn points_per_side(&self) -> usize {
+        self.stencil.points_per_side()
+    }
+
+    /// Total unknowns `N = L²`.
+    pub fn grid_points(&self) -> usize {
+        self.stencil.dim()
+    }
+
+    /// Assembles `A` explicitly (needed to program multiplier gains).
+    pub fn assemble(&self) -> CsrMatrix {
+        CsrMatrix::from_row_access(&self.stencil)
+    }
+
+    /// A high-accuracy reference solution via CG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CG failures or non-convergence.
+    pub fn solve_reference(&self, tolerance: f64) -> Result<Vec<f64>, PdeError> {
+        let cfg = IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(tolerance));
+        let report = cg(&self.stencil, &self.rhs, &cfg)?;
+        if !report.converged {
+            return Err(PdeError::NotConverged {
+                iterations: report.iterations,
+                residual: report.final_residual,
+            });
+        }
+        Ok(report.solution)
+    }
+
+    /// The coordinates `(x, y)` of unknown `idx`.
+    pub fn coordinates(&self, idx: usize) -> (f64, f64) {
+        let l = self.points_per_side();
+        let h = self.stencil.spacing();
+        let i = idx % l;
+        let j = idx / l;
+        ((i as f64 + 1.0) * h, (j as f64 + 1.0) * h)
+    }
+
+    /// A manufactured problem whose exact solution is
+    /// `u = sin(πx)·sin(πy)`, for discretization-error studies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdeError::InvalidGrid`] if `l == 0`.
+    pub fn manufactured(l: usize) -> Result<(Self, Vec<f64>), PdeError> {
+        use std::f64::consts::PI;
+        let problem = Poisson2d::new(l, |x, y| {
+            2.0 * PI * PI * (PI * x).sin() * (PI * y).sin()
+        })?;
+        let exact: Vec<f64> = (0..problem.grid_points())
+            .map(|idx| {
+                let (x, y) = problem.coordinates(idx);
+                (PI * x).sin() * (PI * y).sin()
+            })
+            .collect();
+        Ok((problem, exact))
+    }
+}
+
+/// A discretized 3D Poisson problem on the unit cube — the Figure 7 setup.
+#[derive(Debug, Clone)]
+pub struct Poisson3d {
+    stencil: PoissonStencil,
+    rhs: Vec<f64>,
+}
+
+impl Poisson3d {
+    /// Builds `−∇²u = f` with Dirichlet boundary `g(x, y, z)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdeError::InvalidGrid`] if `l == 0`.
+    pub fn with_boundary<F, G>(l: usize, forcing: F, boundary: G) -> Result<Self, PdeError>
+    where
+        F: Fn(f64, f64, f64) -> f64,
+        G: Fn(f64, f64, f64) -> f64,
+    {
+        let stencil = PoissonStencil::new_3d(l)
+            .map_err(|e| PdeError::invalid_grid(e.to_string()))?;
+        let h = stencil.spacing();
+        let inv_h2 = 1.0 / (h * h);
+        let mut rhs = vec![0.0; stencil.dim()];
+        for k in 0..l {
+            for j in 0..l {
+                for i in 0..l {
+                    let x = (i as f64 + 1.0) * h;
+                    let y = (j as f64 + 1.0) * h;
+                    let z = (k as f64 + 1.0) * h;
+                    let mut b = forcing(x, y, z);
+                    if i == 0 {
+                        b += boundary(0.0, y, z) * inv_h2;
+                    }
+                    if i == l - 1 {
+                        b += boundary(1.0, y, z) * inv_h2;
+                    }
+                    if j == 0 {
+                        b += boundary(x, 0.0, z) * inv_h2;
+                    }
+                    if j == l - 1 {
+                        b += boundary(x, 1.0, z) * inv_h2;
+                    }
+                    if k == 0 {
+                        b += boundary(x, y, 0.0) * inv_h2;
+                    }
+                    if k == l - 1 {
+                        b += boundary(x, y, 1.0) * inv_h2;
+                    }
+                    rhs[(k * l + j) * l + i] = b;
+                }
+            }
+        }
+        Ok(Poisson3d { stencil, rhs })
+    }
+
+    /// The paper's Figure 7 problem: 16 points per side (4096 unknowns),
+    /// zero forcing, boundary `u = 1` on the plane `x = 0` and `0`
+    /// elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the fixed parameters; the `Result` keeps the
+    /// constructor signature uniform.
+    pub fn figure7() -> Result<Self, PdeError> {
+        Self::with_boundary(16, |_, _, _| 0.0, |x, _, _| if x == 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// The matrix-free operator `A`.
+    pub fn operator(&self) -> &PoissonStencil {
+        &self.stencil
+    }
+
+    /// The right-hand side `b`.
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    /// Total unknowns `N = L³`.
+    pub fn grid_points(&self) -> usize {
+        self.stencil.dim()
+    }
+
+    /// A high-accuracy reference solution via CG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CG failures or non-convergence.
+    pub fn solve_reference(&self, tolerance: f64) -> Result<Vec<f64>, PdeError> {
+        let cfg = IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(tolerance));
+        let report = cg(&self.stencil, &self.rhs, &cfg)?;
+        if !report.converged {
+            return Err(PdeError::NotConverged {
+                iterations: report.iterations,
+                residual: report.final_residual,
+            });
+        }
+        Ok(report.solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_linalg::vector;
+
+    #[test]
+    fn manufactured_solution_converges_with_resolution() {
+        // Second-order discretization: halving h quarters the error.
+        let err = |l: usize| {
+            let (problem, exact) = Poisson2d::manufactured(l).unwrap();
+            let solved = problem.solve_reference(1e-12).unwrap();
+            let diff = vector::sub(&solved, &exact);
+            vector::norm_inf(&diff)
+        };
+        let e1 = err(15);
+        let e2 = err(31);
+        let ratio = e1 / e2;
+        assert!((ratio - 4.0).abs() < 0.5, "second-order ratio = {ratio}");
+    }
+
+    #[test]
+    fn boundary_values_enter_rhs() {
+        // u = 1 on the whole boundary with no forcing → solution is u ≡ 1.
+        let p = Poisson2d::with_boundary(9, |_, _| 0.0, |_, _| 1.0).unwrap();
+        let u = p.solve_reference(1e-12).unwrap();
+        for v in &u {
+            assert!((v - 1.0).abs() < 1e-8, "interior value {v}");
+        }
+    }
+
+    #[test]
+    fn solution_is_positive_and_symmetric_under_uniform_forcing() {
+        let p = Poisson2d::new(9, |_, _| 1.0).unwrap();
+        let u = p.solve_reference(1e-12).unwrap();
+        let l = 9;
+        for v in &u {
+            assert!(*v > 0.0);
+        }
+        // Symmetry under x ↔ y.
+        for j in 0..l {
+            for i in 0..l {
+                let a = u[j * l + i];
+                let b = u[i * l + j];
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+        // Maximum at the center.
+        let center = u[(l / 2) * l + l / 2];
+        assert!(u.iter().all(|v| *v <= center + 1e-12));
+    }
+
+    #[test]
+    fn coordinates_map_row_major() {
+        let p = Poisson2d::new(3, |_, _| 0.0).unwrap();
+        let h = 0.25;
+        assert_eq!(p.coordinates(0), (h, h));
+        assert_eq!(p.coordinates(2), (3.0 * h, h));
+        assert_eq!(p.coordinates(3), (h, 2.0 * h));
+    }
+
+    #[test]
+    fn figure7_problem_shape() {
+        let p = Poisson3d::figure7().unwrap();
+        assert_eq!(p.grid_points(), 4096);
+        // Only the x=0-adjacent nodes have non-zero rhs.
+        let nonzero = p.rhs().iter().filter(|v| **v != 0.0).count();
+        assert_eq!(nonzero, 16 * 16);
+        // The solution is bounded by the boundary values [0, 1].
+        let u = p.solve_reference(1e-10).unwrap();
+        assert!(u.iter().all(|v| *v >= -1e-9 && *v <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn zero_grid_rejected() {
+        assert!(Poisson2d::new(0, |_, _| 0.0).is_err());
+        assert!(Poisson3d::with_boundary(0, |_, _, _| 0.0, |_, _, _| 0.0).is_err());
+    }
+
+    #[test]
+    fn assemble_matches_operator() {
+        let p = Poisson2d::new(4, |x, y| x + y).unwrap();
+        let a = p.assemble();
+        let x: Vec<f64> = (0..16).map(|i| i as f64 * 0.1).collect();
+        let ys = p.operator().apply_vec(&x);
+        let ya = a.apply_vec(&x);
+        for (s, m) in ys.iter().zip(&ya) {
+            assert!((s - m).abs() < 1e-10);
+        }
+    }
+}

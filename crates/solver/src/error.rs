@@ -1,0 +1,123 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the analog linear-algebra solver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// The matrix or right-hand side is structurally unusable.
+    InvalidProblem {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The problem could not be fit into the hardware dynamic range even
+    /// after the configured number of rescale attempts.
+    RescaleExhausted {
+        /// Rescale attempts made.
+        attempts: usize,
+    },
+    /// The analog run never settled (e.g. a non-positive-definite matrix,
+    /// whose gradient flow does not converge).
+    NoSteadyState {
+        /// Simulated time spent waiting, seconds.
+        waited_s: f64,
+    },
+    /// An error from the chip model.
+    Analog(aa_analog::AnalogError),
+    /// An error from the linear-algebra layer.
+    Linalg(aa_linalg::LinalgError),
+    /// An error from the PDE layer (hybrid multigrid support).
+    Pde(aa_pde::PdeError),
+    /// An outer iteration (refinement or decomposition) failed to converge.
+    OuterNotConverged {
+        /// Outer iterations performed.
+        iterations: usize,
+        /// Residual norm at the stop.
+        residual: f64,
+    },
+}
+
+impl SolverError {
+    pub(crate) fn invalid(message: impl Into<String>) -> Self {
+        SolverError::InvalidProblem {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::InvalidProblem { message } => write!(f, "invalid problem: {message}"),
+            SolverError::RescaleExhausted { attempts } => {
+                write!(f, "dynamic-range rescaling failed after {attempts} attempts")
+            }
+            SolverError::NoSteadyState { waited_s } => write!(
+                f,
+                "analog computation did not settle within {waited_s} simulated seconds"
+            ),
+            SolverError::Analog(e) => write!(f, "accelerator failure: {e}"),
+            SolverError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            SolverError::Pde(e) => write!(f, "pde failure: {e}"),
+            SolverError::OuterNotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "outer iteration did not converge after {iterations} rounds (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for SolverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolverError::Analog(e) => Some(e),
+            SolverError::Linalg(e) => Some(e),
+            SolverError::Pde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aa_analog::AnalogError> for SolverError {
+    fn from(e: aa_analog::AnalogError) -> Self {
+        SolverError::Analog(e)
+    }
+}
+
+impl From<aa_linalg::LinalgError> for SolverError {
+    fn from(e: aa_linalg::LinalgError) -> Self {
+        SolverError::Linalg(e)
+    }
+}
+
+impl From<aa_pde::PdeError> for SolverError {
+    fn from(e: aa_pde::PdeError) -> Self {
+        SolverError::Pde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        assert!(SolverError::invalid("n = 0").to_string().contains("n = 0"));
+        assert!(SolverError::RescaleExhausted { attempts: 3 }
+            .to_string()
+            .contains('3'));
+        let e: SolverError = aa_linalg::LinalgError::invalid("x").into();
+        assert!(e.source().is_some());
+        let e: SolverError = aa_analog::AnalogError::ProtocolViolation {
+            message: "y".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("accelerator failure"));
+        let e = SolverError::NoSteadyState { waited_s: 1.0 };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! The analog accelerator inside digital multigrid (paper §IV-A).
+//!
+//! "Because perfect convergence is not required, less stable, inaccurate,
+//! low precision techniques, such as analog acceleration, may also be used
+//! to support multigrid." [`AnalogCoarseSolver`] implements
+//! [`aa_pde::CoarseSolver`], so a digital V-cycle can delegate its
+//! coarse-grid systems to the accelerator; solver instances are cached per
+//! grid size because the coarse matrix never changes between cycles.
+
+use std::collections::BTreeMap;
+
+use aa_linalg::CsrMatrix;
+use aa_linalg::stencil::PoissonStencil;
+use aa_pde::{CoarseSolver, PdeError};
+
+use crate::solve::{AnalogSystemSolver, SolverConfig};
+
+/// An [`aa_pde::CoarseSolver`] backed by the analog accelerator.
+///
+/// ```
+/// use aa_pde::{MultigridSolver, poisson::Poisson2d};
+/// use aa_solver::{AnalogCoarseSolver, SolverConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let problem = Poisson2d::new(15, |_, _| 1.0)?;
+/// let mg = MultigridSolver::new(15)?;
+/// let mut coarse = AnalogCoarseSolver::new(SolverConfig::ideal());
+/// let report = mg.solve(problem.rhs(), &mut coarse, 1e-8, 50)?;
+/// assert!(report.converged);
+/// # Ok(())
+/// # }
+/// ```
+pub struct AnalogCoarseSolver {
+    config: SolverConfig,
+    /// One compiled solver per coarse grid size encountered.
+    cache: BTreeMap<usize, AnalogSystemSolver>,
+    /// Total simulated analog time spent in coarse solves, seconds.
+    analog_time_s: f64,
+    /// Coarse solves performed.
+    solves: usize,
+}
+
+impl std::fmt::Debug for AnalogCoarseSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalogCoarseSolver")
+            .field("cached_sizes", &self.cache.keys().collect::<Vec<_>>())
+            .field("solves", &self.solves)
+            .field("analog_time_s", &self.analog_time_s)
+            .finish()
+    }
+}
+
+impl AnalogCoarseSolver {
+    /// Creates a coarse solver that instantiates accelerators per grid size
+    /// on demand.
+    pub fn new(config: SolverConfig) -> Self {
+        AnalogCoarseSolver {
+            config,
+            cache: BTreeMap::new(),
+            analog_time_s: 0.0,
+            solves: 0,
+        }
+    }
+
+    /// Total simulated analog time consumed so far.
+    pub fn analog_time_s(&self) -> f64 {
+        self.analog_time_s
+    }
+
+    /// Number of coarse solves performed.
+    pub fn solves(&self) -> usize {
+        self.solves
+    }
+}
+
+impl CoarseSolver for AnalogCoarseSolver {
+    fn solve_coarse(&mut self, a: &PoissonStencil, b: &[f64]) -> Result<Vec<f64>, PdeError> {
+        let l = a.points_per_side();
+        if !self.cache.contains_key(&l) {
+            let matrix = CsrMatrix::from_row_access(a);
+            let solver = AnalogSystemSolver::new(&matrix, &self.config)
+                .map_err(|e| PdeError::InvalidGrid {
+                    message: format!("analog coarse solver construction failed: {e}"),
+                })?;
+            self.cache.insert(l, solver);
+        }
+        let solver = self.cache.get_mut(&l).expect("inserted above");
+        let report = solver.solve(b).map_err(|e| PdeError::InvalidGrid {
+            message: format!("analog coarse solve failed: {e}"),
+        })?;
+        self.analog_time_s += report.analog_time_s;
+        self.solves += 1;
+        Ok(report.solution)
+    }
+
+    fn label(&self) -> &str {
+        "analog"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_pde::poisson::Poisson2d;
+    use aa_pde::{CgCoarseSolver, MultigridSolver};
+
+    #[test]
+    fn multigrid_with_analog_coarse_grid_converges() {
+        let problem = Poisson2d::new(15, |_, _| 1.0).unwrap();
+        let mg = MultigridSolver::new(15).unwrap();
+        let mut analog = AnalogCoarseSolver::new(SolverConfig::ideal());
+        let report = mg.solve(problem.rhs(), &mut analog, 1e-8, 60).unwrap();
+        assert!(report.converged);
+        assert!(analog.solves() > 0);
+        assert!(analog.analog_time_s() > 0.0);
+        // Same answer as the all-digital path.
+        let mut digital = CgCoarseSolver::default();
+        let reference = mg.solve(problem.rhs(), &mut digital, 1e-10, 60).unwrap();
+        for (x, e) in report.solution.iter().zip(&reference.solution) {
+            assert!((x - e).abs() < 1e-5, "{x} vs {e}");
+        }
+    }
+
+    #[test]
+    fn imprecise_8bit_coarse_solver_costs_extra_cycles_but_converges() {
+        // The paper's core multigrid claim: low-precision coarse solves are
+        // repaired by repeating the cycle.
+        let problem = Poisson2d::new(15, |x, y| x + y).unwrap();
+        let mg = MultigridSolver::new(15).unwrap();
+
+        let mut digital = CgCoarseSolver::default();
+        let d = mg.solve(problem.rhs(), &mut digital, 1e-8, 60).unwrap();
+
+        let coarse_cfg = SolverConfig::ideal().adc_bits(8);
+        let mut analog = AnalogCoarseSolver::new(coarse_cfg);
+        let a = mg.solve(problem.rhs(), &mut analog, 1e-8, 60).unwrap();
+
+        assert!(a.converged);
+        assert!(
+            a.cycles >= d.cycles,
+            "8-bit coarse solves cannot beat exact ones: {} vs {}",
+            a.cycles,
+            d.cycles
+        );
+        assert!(a.cycles <= d.cycles + 6, "but the penalty stays small");
+    }
+
+    #[test]
+    fn solver_cache_reuses_compiled_circuits() {
+        let problem = Poisson2d::new(15, |_, _| 1.0).unwrap();
+        let mg = MultigridSolver::new(15).unwrap();
+        let mut analog = AnalogCoarseSolver::new(SolverConfig::ideal());
+        mg.solve(problem.rhs(), &mut analog, 1e-8, 60).unwrap();
+        // The hierarchy only has one coarsest size (3), so one cache entry
+        // but many solves.
+        assert_eq!(analog.cache.len(), 1);
+        assert!(analog.solves() > 1);
+        assert_eq!(analog.label(), "analog");
+    }
+}

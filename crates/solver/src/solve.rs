@@ -1,0 +1,483 @@
+//! The high-level analog linear-system solver.
+//!
+//! [`AnalogSystemSolver`] owns the full host-side flow of paper §III-B:
+//! scale the problem into hardware range, compile it onto a chip, calibrate,
+//! program the right-hand side, run to steady state, check the exception
+//! vector, rescale-and-retry on overflow, and read out the solution through
+//! averaged ADC conversions.
+
+use aa_analog::{calibrate, ChipConfig, EngineOptions, NonIdealityConfig};
+use aa_linalg::{CsrMatrix, LinearOperator};
+
+use crate::mapping::MappedSystem;
+use crate::scaling::ScaledSystem;
+use crate::SolverError;
+
+/// Configuration of the analog solve flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Analog bandwidth of the accelerator, Hz.
+    pub bandwidth_hz: f64,
+    /// ADC (and DAC) resolution in bits.
+    pub adc_bits: u32,
+    /// Non-ideality magnitudes of the chip instance.
+    pub nonideal: NonIdealityConfig,
+    /// Run calibration (`init`) before the first solve.
+    pub calibrate: bool,
+    /// Engine integration options.
+    pub engine: EngineOptions,
+    /// Target fraction of full scale for the expected solution peak.
+    pub margin: f64,
+    /// Initial estimate of `‖u‖∞` used to pick the solution scale.
+    pub solution_bound: f64,
+    /// How many overflow-driven rescale attempts before giving up.
+    pub max_rescale_attempts: usize,
+    /// Re-run with less headroom when peak range usage falls below this
+    /// fraction of full scale (the §III-B underuse response). Zero disables.
+    pub underuse_threshold: f64,
+    /// ADC conversions averaged per variable at readout.
+    pub readout_samples: usize,
+}
+
+impl SolverConfig {
+    /// An idealized accelerator (no offsets, gain errors, or noise) at the
+    /// prototype's 20 kHz bandwidth with 12-bit converters. The right
+    /// default for algorithmic studies.
+    pub fn ideal() -> Self {
+        SolverConfig {
+            bandwidth_hz: 20e3,
+            adc_bits: 12,
+            nonideal: NonIdealityConfig::none(),
+            calibrate: false,
+            engine: EngineOptions {
+                // Overflow never settles; let the host react immediately.
+                stop_on_exception: true,
+                max_tau: 2e5,
+                ..EngineOptions::default()
+            },
+            margin: 0.7,
+            solution_bound: 1.0,
+            max_rescale_attempts: 8,
+            underuse_threshold: 0.3,
+            readout_samples: 16,
+        }
+    }
+
+    /// A realistic calibrated chip: default process variation, calibration
+    /// on, 8-bit converters — the fabricated prototype's operating point.
+    pub fn prototype() -> Self {
+        SolverConfig {
+            adc_bits: 8,
+            nonideal: NonIdealityConfig::default(),
+            calibrate: true,
+            ..SolverConfig::ideal()
+        }
+    }
+
+    /// Returns a copy with a different bandwidth.
+    pub fn bandwidth(mut self, hz: f64) -> Self {
+        self.bandwidth_hz = hz;
+        self
+    }
+
+    /// Returns a copy with a different converter resolution.
+    pub fn adc_bits(mut self, bits: u32) -> Self {
+        self.adc_bits = bits;
+        self
+    }
+
+    /// The chip template this config describes.
+    pub(crate) fn chip_template(&self) -> ChipConfig {
+        let mut cfg = ChipConfig::prototype()
+            .with_bandwidth(self.bandwidth_hz)
+            .with_adc_bits(self.adc_bits)
+            .with_nonideal(self.nonideal);
+        cfg.dac_bits = self.adc_bits;
+        cfg
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig::ideal()
+    }
+}
+
+/// The outcome of one analog solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalogSolveReport {
+    /// The recovered (unscaled) solution.
+    pub solution: Vec<f64>,
+    /// Simulated analog computation time, in seconds, across all attempts.
+    pub analog_time_s: f64,
+    /// Number of `execStart` runs (1 + rescale retries).
+    pub runs: usize,
+    /// Overflow exceptions encountered on the way (empty if first-try).
+    pub overflow_retries: usize,
+    /// Underuse-driven rescales (range usage below the threshold).
+    pub underuse_retries: usize,
+    /// Peak integrator range usage of the final run, `max_i |ũ_i|/fs`.
+    pub peak_range_usage: f64,
+    /// The value-scale factor `s` that was applied (time stretch).
+    pub value_factor: f64,
+    /// The solution-scale factor `γ` of the final successful run.
+    pub solution_factor: f64,
+}
+
+/// A solver bound to one matrix `A`, reusable across right-hand sides.
+///
+/// Construction compiles the circuit once (the expensive, static part);
+/// each [`solve`](AnalogSystemSolver::solve) only reprograms DACs — exactly
+/// the configuration/computation split of the paper's ISA.
+pub struct AnalogSystemSolver {
+    mapped: MappedSystem,
+    scaled: ScaledSystem,
+    matrix: CsrMatrix,
+    config: SolverConfig,
+}
+
+impl std::fmt::Debug for AnalogSystemSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalogSystemSolver")
+            .field("n", &self.matrix.dim())
+            .field("value_factor", &self.scaled.value_factor)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl AnalogSystemSolver {
+    /// Scales and compiles `a` onto a fresh accelerator instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::InvalidProblem`] for degenerate matrices.
+    /// * [`SolverError::Analog`] if calibration fails (bad die).
+    pub fn new(a: &CsrMatrix, config: &SolverConfig) -> Result<Self, SolverError> {
+        let template = config.chip_template();
+        let scaled = ScaledSystem::new(
+            a,
+            template.max_gain,
+            template.full_scale,
+            config.margin,
+            config.solution_bound,
+        )?;
+        let mut mapped = MappedSystem::new(&scaled.matrix, &template)?;
+        if config.calibrate {
+            calibrate(mapped.chip_mut())?;
+        }
+        Ok(AnalogSystemSolver {
+            mapped,
+            scaled,
+            matrix: a.clone(),
+            config: config.clone(),
+        })
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.matrix.dim()
+    }
+
+    /// The matrix this solver was compiled for.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.matrix
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// The scaling currently applied.
+    pub fn scaling(&self) -> &ScaledSystem {
+        &self.scaled
+    }
+
+    /// The compiled circuit (for inspection and ablations).
+    pub fn mapped(&self) -> &MappedSystem {
+        &self.mapped
+    }
+
+    /// Solves `A·u = b` on the accelerator with overflow-driven retry.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::RescaleExhausted`] if overflow persists after the
+    ///   configured retries.
+    /// * [`SolverError::NoSteadyState`] if the flow does not settle (e.g.
+    ///   non-positive-definite `A`).
+    pub fn solve(&mut self, b: &[f64]) -> Result<AnalogSolveReport, SolverError> {
+        if b.len() != self.dim() {
+            return Err(SolverError::invalid(format!(
+                "rhs has {} entries, system has {}",
+                b.len(),
+                self.dim()
+            )));
+        }
+        let mut total_time = 0.0;
+        let mut runs = 0;
+        let mut retries = 0;
+        let mut underuse_retries = 0;
+        // Once overflow forces headroom growth, further shrinking would
+        // ping-pong; underuse retries are disabled from then on.
+        let mut allow_shrink = true;
+
+        loop {
+            let b_scaled = self.scaled.scale_rhs(b);
+            // A too-small γ makes even the programmed rhs overflow; grow
+            // headroom without wasting an analog run.
+            let fs = self.mapped.chip().config().full_scale;
+            let b_peak = b_scaled.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if b_peak > fs {
+                if retries >= self.config.max_rescale_attempts {
+                    return Err(SolverError::RescaleExhausted { attempts: retries });
+                }
+                self.scaled.grow_headroom();
+                allow_shrink = false;
+                retries += 1;
+                continue;
+            }
+            // DAC-underuse pre-check: a programmed rhs below a few DAC
+            // codes quantizes away (to exactly zero in the worst case) —
+            // the most extreme form of the §III-B underuse hazard. Shrink
+            // γ until the rhs is representable; a later overflow exception
+            // (solution out of range) walks it back.
+            let dac_floor = 4.0 * self.mapped.chip().config().dac_lsb();
+            if allow_shrink
+                && b_peak > 0.0
+                && b_peak < dac_floor
+                && underuse_retries < self.config.max_rescale_attempts
+            {
+                let factor = (b_peak / (self.config.margin * fs)).clamp(1e-6, 0.5);
+                self.scaled.shrink_headroom(factor);
+                underuse_retries += 1;
+                continue;
+            }
+            self.mapped.program_rhs(&b_scaled, None)?;
+            let report = self.mapped.chip_mut().exec(&self.config.engine)?;
+            total_time += report.duration_s;
+            runs += 1;
+
+            if report.exceptions.any() {
+                // §III-B: "When such exceptions occur the original problem
+                // is scaled to fit in the dynamic range of the analog
+                // accelerator and computation is reattempted."
+                if retries >= self.config.max_rescale_attempts {
+                    return Err(SolverError::RescaleExhausted { attempts: retries });
+                }
+                self.scaled.grow_headroom();
+                allow_shrink = false;
+                retries += 1;
+                continue;
+            }
+            if !report.reached_steady_state {
+                return Err(SolverError::NoSteadyState {
+                    waited_s: report.duration_s,
+                });
+            }
+
+            let peak = self
+                .mapped
+                .integrator_range_usage(&report)
+                .values()
+                .fold(0.0f64, |m, v| m.max(*v));
+            // §III-B underuse response: if the solution sat far below full
+            // scale, shrink the headroom so the next run uses the range —
+            // and therefore the converter resolution — properly.
+            if allow_shrink
+                && peak < self.config.underuse_threshold
+                && underuse_retries < self.config.max_rescale_attempts
+            {
+                // A zero peak means the solve produced nothing measurable;
+                // shrink aggressively to lift it into range.
+                let factor = if peak > 0.0 {
+                    (peak / self.config.margin).clamp(1e-3, 0.999)
+                } else {
+                    0.25
+                };
+                self.scaled.shrink_headroom(factor);
+                underuse_retries += 1;
+                continue;
+            }
+
+            let raw = self.mapped.read_solution(self.config.readout_samples)?;
+            let solution = self.scaled.unscale_solution(&raw);
+            return Ok(AnalogSolveReport {
+                solution,
+                analog_time_s: total_time,
+                runs,
+                overflow_retries: retries,
+                underuse_retries,
+                peak_range_usage: peak,
+                value_factor: self.scaled.value_factor,
+                solution_factor: self.scaled.solution_factor,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_linalg::stencil::PoissonStencil;
+    use aa_linalg::Triplet;
+
+    fn poisson_1d(n: usize) -> CsrMatrix {
+        CsrMatrix::from_row_access(&PoissonStencil::new_1d(n).unwrap())
+    }
+
+    #[test]
+    fn solves_poisson_to_adc_precision() {
+        let a = poisson_1d(6);
+        let b = vec![1.0; 6];
+        let exact = aa_linalg::direct::solve(&a.to_dense(), &b).unwrap();
+        let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
+        let report = solver.solve(&b).unwrap();
+        // One real solve plus at most a couple of underuse rescales.
+        assert!(report.runs <= 3, "runs = {}", report.runs);
+        assert_eq!(report.overflow_retries, 0);
+        for (x, e) in report.solution.iter().zip(&exact) {
+            // 12-bit quantization over the scaled range, unscaled back up.
+            let tol = 2.0 * report.solution_factor / 4096.0 + 2e-3 * report.solution_factor;
+            assert!((x - e).abs() < tol.max(2e-3), "{x} vs {e}");
+        }
+        assert!(
+            report.peak_range_usage > 0.3,
+            "dynamic range well used after underuse rescaling: {}",
+            report.peak_range_usage
+        );
+    }
+
+    #[test]
+    fn overflow_triggers_rescale_and_retry() {
+        // Solution bound deliberately underestimated: true solution peaks
+        // near 1.125 of the identity scale... use a system whose solution is
+        // much larger than the initial estimate.
+        let a = poisson_1d(4);
+        let b = vec![1.0; 4]; // solution peaks at 3.0 for [-1,2,-1]... (scaled by h²)
+        let cfg = SolverConfig {
+            solution_bound: 1e-3, // far too small: γ starts tiny, ũ overflows
+            ..SolverConfig::ideal()
+        };
+        let mut solver = AnalogSystemSolver::new(&a, &cfg).unwrap();
+        let report = solver.solve(&b).unwrap();
+        assert!(report.overflow_retries > 0, "expected at least one retry");
+        let exact = aa_linalg::direct::solve(&a.to_dense(), &b).unwrap();
+        for (x, e) in report.solution.iter().zip(&exact) {
+            assert!((x - e).abs() < 0.05 * e.abs().max(0.05), "{x} vs {e}");
+        }
+    }
+
+    #[test]
+    fn rescale_budget_is_enforced() {
+        let a = poisson_1d(4);
+        let cfg = SolverConfig {
+            solution_bound: 1e-12,
+            max_rescale_attempts: 2,
+            ..SolverConfig::ideal()
+        };
+        let mut solver = AnalogSystemSolver::new(&a, &cfg).unwrap();
+        assert!(matches!(
+            solver.solve(&[1.0; 4]),
+            Err(SolverError::RescaleExhausted { attempts: 2 })
+        ));
+    }
+
+    #[test]
+    fn non_positive_definite_never_settles() {
+        // An indefinite matrix: gradient flow has a growing mode; the run
+        // ends by cap/overflow rather than steady state.
+        let a = CsrMatrix::from_triplets(
+            2,
+            &[Triplet::new(0, 0, 1.0), Triplet::new(1, 1, -1.0)],
+        )
+        .unwrap();
+        let cfg = SolverConfig {
+            engine: EngineOptions {
+                max_tau: 500.0,
+                ..EngineOptions::default()
+            },
+            max_rescale_attempts: 2,
+            ..SolverConfig::ideal()
+        };
+        let mut solver = AnalogSystemSolver::new(&a, &cfg).unwrap();
+        let result = solver.solve(&[0.1, 0.1]);
+        assert!(
+            matches!(
+                result,
+                Err(SolverError::NoSteadyState { .. }) | Err(SolverError::RescaleExhausted { .. })
+            ),
+            "got {result:?}"
+        );
+    }
+
+    #[test]
+    fn reusing_the_solver_for_many_rhs() {
+        let a = poisson_1d(5);
+        let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
+        for scale in [0.5, 1.0, -0.75] {
+            let b: Vec<f64> = (0..5).map(|i| scale * ((i as f64) - 2.0) / 4.0).collect();
+            let report = solver.solve(&b).unwrap();
+            let exact = aa_linalg::direct::solve(&a.to_dense(), &b).unwrap();
+            for (x, e) in report.solution.iter().zip(&exact) {
+                assert!((x - e).abs() < 5e-3 * exact.iter().fold(1.0f64, |m, v| m.max(v.abs())));
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_prototype_solves_with_bounded_error() {
+        let a = poisson_1d(4);
+        let b = vec![0.8, -0.2, 0.4, 0.1];
+        let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::prototype()).unwrap();
+        let report = solver.solve(&b).unwrap();
+        let exact = aa_linalg::direct::solve(&a.to_dense(), &b).unwrap();
+        let err: f64 = report
+            .solution
+            .iter()
+            .zip(&exact)
+            .map(|(x, e)| (x - e).abs())
+            .fold(0.0, f64::max);
+        let umax = exact.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        // 8-bit converters + residual calibration error: a few percent.
+        assert!(err / umax < 0.06, "relative error {}", err / umax);
+    }
+
+    #[test]
+    fn higher_bandwidth_is_proportionally_faster() {
+        let a = poisson_1d(4);
+        let b = vec![0.5; 4];
+        let time = |hz: f64| {
+            let cfg = SolverConfig::ideal().bandwidth(hz);
+            let mut solver = AnalogSystemSolver::new(&a, &cfg).unwrap();
+            solver.solve(&b).unwrap().analog_time_s
+        };
+        let slow = time(20e3);
+        let fast = time(80e3);
+        assert!((slow / fast - 4.0).abs() < 0.05, "{}", slow / fast);
+    }
+
+    #[test]
+    fn value_scaling_stretches_time() {
+        // The same logical problem at two spatial resolutions: coefficients
+        // grow ∝ L², and so must the (scaled-system) settle time.
+        let time_for = |l: usize| {
+            let a = poisson_1d(l);
+            let b = vec![1.0; l];
+            let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
+            (solver.solve(&b).unwrap().analog_time_s, solver.scaling().value_factor)
+        };
+        let (t5, s5) = time_for(5);
+        let (t11, s11) = time_for(11);
+        assert!(s11 > s5);
+        assert!(t11 > t5, "finer grid must take longer: {t5} vs {t11}");
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = poisson_1d(3);
+        let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
+        assert!(solver.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Design-space exploration: the paper's §V-B sweep over analog bandwidth.
+//!
+//! For each of the four accelerator designs (20 kHz prototype, 80 kHz,
+//! 320 kHz, 1.3 MHz projections) prints solve time, area, power, and
+//! energy for 2D Poisson problems of growing size, with the die-area cap
+//! that truncates the high-bandwidth designs — a text rendering of
+//! Figures 9–12.
+//!
+//! Run with: `cargo run --example design_space`
+
+use analog_accel::hwmodel::energy::{analog_solution_energy_j, gpu_solution_energy_j};
+use analog_accel::hwmodel::timing::{analog_solve_time_s, PoissonProblem};
+use analog_accel::hwmodel::GPU_DIE_AREA_MM2;
+use analog_accel::prelude::*;
+
+fn main() {
+    let designs = AcceleratorDesign::paper_designs();
+    let gpu = GpuModel::default();
+    let cpu = CpuModel::default();
+
+    println!("== analog accelerator design space (2D Poisson, paper §V-B) ==\n");
+
+    println!("die budget: {GPU_DIE_AREA_MM2} mm² (the largest GPU dies)");
+    println!("\n{:<16} {:>8} {:>12} {:>14} {:>12}", "design", "alpha", "mm²/point", "max points", "W/point");
+    for d in &designs {
+        println!(
+            "{:<16} {:>8.0} {:>12.4} {:>14} {:>12.6}",
+            d.label,
+            d.alpha(),
+            d.area_mm2(1),
+            d.max_grid_points(GPU_DIE_AREA_MM2),
+            d.power_w(1),
+        );
+    }
+
+    println!("\nsolve time / energy vs problem size:");
+    println!(
+        "{:<8} {:<16} {:>14} {:>12} {:>12} {:>14}",
+        "N", "design", "time", "area mm²", "power W", "energy J"
+    );
+    for &l in &[8usize, 16, 24, 32] {
+        let problem = PoissonProblem::new_2d(l);
+        let n = problem.grid_points();
+        for d in &designs {
+            if n > d.max_grid_points(GPU_DIE_AREA_MM2) {
+                println!(
+                    "{:<8} {:<16} {:>14} {:>12} {:>12} {:>14}",
+                    n, d.label, "—", "over die", "—", "—"
+                );
+                continue;
+            }
+            let t = analog_solve_time_s(d, &problem);
+            let e = analog_solution_energy_j(d, &problem);
+            println!(
+                "{:<8} {:<16} {:>14} {:>12.1} {:>12.4} {:>14.3e}",
+                n,
+                d.label,
+                format_time(t),
+                d.area_mm2(n),
+                d.power_w(n),
+                e
+            );
+        }
+        // Digital comparisons at matching precision.
+        let iters = analog_accel::hwmodel::digital::cg_iterations_estimate(l, 12);
+        let cpu_t = cpu.solve_time_s(iters, n);
+        let gpu_e = gpu_solution_energy_j(&gpu, &problem, 12);
+        println!(
+            "{:<8} {:<16} {:>14} {:>12} {:>12} {:>14.3e}",
+            n, "digital CG", format_time(cpu_t), "-", "-", gpu_e
+        );
+        println!();
+    }
+
+    println!("headline (paper abstract): with high analog bandwidth, analog may be");
+    println!("~10x faster and ~1/3 lower energy than digital — within the window");
+    println!("where the problem still fits on the die.");
+}
+
+fn format_time(t: f64) -> String {
+    if t < 1e-6 {
+        format!("{:.1} ns", t * 1e9)
+    } else if t < 1e-3 {
+        format!("{:.1} µs", t * 1e6)
+    } else if t < 1.0 {
+        format!("{:.2} ms", t * 1e3)
+    } else {
+        format!("{t:.2} s")
+    }
+}

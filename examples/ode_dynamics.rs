@@ -1,0 +1,159 @@
+//! The accelerator in its native role: a continuous-time ODE solver for
+//! embedded systems (paper §II), including a nonlinear lookup-table
+//! function — the use-case the chip was actually designed for.
+//!
+//! Programs two circuits through the Table I ISA:
+//! 1. the paper's Figure 1 first-order ODE `du/dt = a·u + b`;
+//! 2. a van-der-Pol-flavoured relaxation oscillator using the SRAM lookup
+//!    table to shape a nonlinear damping term.
+//!
+//! Run with: `cargo run --example ode_dynamics`
+
+use analog_accel::analog::netlist::{InputPort, OutputPort};
+use analog_accel::analog::units::UnitId;
+use analog_accel::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    figure1_decay()?;
+    nonlinear_oscillator()?;
+    Ok(())
+}
+
+/// The Figure 1 circuit, driven through the ISA exactly as a host would.
+fn figure1_decay() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 1: du/dt = a*u + b on the prototype chip ==");
+    let mut host = Host::new(AnalogChip::new(ChipConfig::prototype()));
+
+    let (int0, fan0, mul0, adc0) = (
+        UnitId::Integrator(0),
+        UnitId::Fanout(0),
+        UnitId::Multiplier(0),
+        UnitId::Adc(0),
+    );
+    let program = [
+        Instruction::Init, // calibrate first (binary-search trim codes)
+        Instruction::SetConn { from: OutputPort::of(int0), to: InputPort::of(fan0) },
+        Instruction::SetConn {
+            from: OutputPort { unit: fan0, port: 0 },
+            to: InputPort::of(adc0),
+        },
+        Instruction::SetConn {
+            from: OutputPort { unit: fan0, port: 1 },
+            to: InputPort::of(mul0),
+        },
+        Instruction::SetConn { from: OutputPort::of(mul0), to: InputPort::of(int0) },
+        Instruction::SetMulGain { multiplier: 0, gain: -1.0 }, // a = -1
+        Instruction::SetDacConstant { dac: 0, value: 0.5 },    // b = 0.5
+        Instruction::SetConn {
+            from: OutputPort::of(UnitId::Dac(0)),
+            to: InputPort::of(int0),
+        },
+        Instruction::SetIntInitial { integrator: 0, value: -0.8 },
+        Instruction::CfgCommit,
+        Instruction::ExecStart,
+        Instruction::ReadSerial,
+        Instruction::ReadExp,
+    ];
+    for (instr, response) in program.iter().zip(host.run_program(&program)?) {
+        match response {
+            Response::Ran(report) => println!(
+                "  {instr}: settled in {:.1} µs ({} RK4 steps)",
+                report.duration_s * 1e6,
+                report.steps
+            ),
+            Response::Codes(codes) => {
+                let value = host.chip().value_of(codes[0]);
+                println!("  {instr}: ADC code {} -> u = {value:+.4} (expect +0.5)", codes[0]);
+            }
+            Response::Exceptions(bytes) => {
+                let any = bytes.iter().any(|b| *b != 0);
+                println!("  {instr}: exceptions = {}", if any { "SET" } else { "none" });
+            }
+            Response::Calibrated(report) => println!(
+                "  {instr}: calibrated, worst residual offset {:.2e}",
+                report.worst_offset()
+            ),
+            _ => {}
+        }
+    }
+    println!();
+    Ok(())
+}
+
+/// A nonlinear oscillator: ẍ − µ·g(x)·ẋ + x = 0 with g shaped by the SRAM
+/// lookup table — van der Pol damping g(x) = 1 − (x/a)², value-scaled so the
+/// limit cycle (amplitude ≈ 2a) stays inside the hardware dynamic range.
+fn nonlinear_oscillator() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== nonlinear relaxation oscillator with SRAM lookup table ==");
+    let mut chip = AnalogChip::new(ChipConfig::ideal());
+
+    // State: x = int0, v = int1.
+    // dx/dt = v
+    // dv/dt = µ·g(x)·v − x, with g from the LUT.
+    let (x, v) = (UnitId::Integrator(0), UnitId::Integrator(1));
+    let (fan_x, fan_v) = (UnitId::Fanout(0), UnitId::Fanout(1));
+    let (fan_g, fan_gv) = (UnitId::Fanout(2), UnitId::Fanout(3));
+    let lut = UnitId::Lut(0);
+    let mul_gv = UnitId::Multiplier(0); // variable-variable: g(x)·v
+    let mul_mu = UnitId::Multiplier(1); // gain µ
+    let mul_negx = UnitId::Multiplier(2); // gain −1 on x
+    let aout = UnitId::AnalogOutput(0);
+
+    // x fans out to: LUT, the −x feedback, and the scope output.
+    chip.set_conn(OutputPort::of(x), InputPort::of(fan_x))?;
+    chip.set_conn(OutputPort { unit: fan_x, port: 0 }, InputPort::of(lut))?;
+    chip.set_conn(OutputPort { unit: fan_x, port: 1 }, InputPort::of(fan_g))?;
+    chip.set_conn(OutputPort { unit: fan_g, port: 0 }, InputPort::of(mul_negx))?;
+    chip.set_conn(OutputPort { unit: fan_g, port: 1 }, InputPort::of(aout))?;
+    // v fans out to: dx/dt input and the multiplier.
+    chip.set_conn(OutputPort::of(v), InputPort::of(fan_v))?;
+    chip.set_conn(OutputPort { unit: fan_v, port: 0 }, InputPort::of(x))?;
+    chip.set_conn(
+        OutputPort { unit: fan_v, port: 1 },
+        InputPort { unit: mul_gv, port: 1 },
+    )?;
+    // g(x) = 1 − (x/0.3)² via the lookup table, then g·v, then ×µ.
+    chip.set_function(0, |xv| 1.0 - 11.1 * xv * xv)?;
+    chip.set_conn(OutputPort::of(lut), InputPort::of(fan_gv))?;
+    chip.set_conn(
+        OutputPort { unit: fan_gv, port: 0 },
+        InputPort { unit: mul_gv, port: 0 },
+    )?;
+    chip.set_conn(OutputPort::of(mul_gv), InputPort::of(mul_mu))?;
+    chip.set_mul_gain(1, 0.5)?; // µ
+    chip.set_conn(OutputPort::of(mul_mu), InputPort::of(v))?;
+    // −x into dv/dt.
+    chip.set_mul_gain(2, -1.0)?;
+    chip.set_conn(OutputPort::of(mul_negx), InputPort::of(v))?;
+
+    chip.set_int_initial(0, 0.3)?;
+    chip.set_int_initial(1, 0.0)?;
+    // Run for 0.5 ms: ~10 oscillation periods at the 20 kHz time base.
+    chip.set_timeout(500);
+    chip.cfg_commit()?;
+
+    let report = chip.exec(&EngineOptions {
+        steady_tol: None, // an oscillator never settles
+        waveform_samples: 80,
+        ..EngineOptions::default()
+    })?;
+
+    println!("  simulated {:.2} ms of continuous-time dynamics ({} RK4 steps)", report.duration_s * 1e3, report.steps);
+    println!("  x(t) waveform at the analog output (80 samples):");
+    let wave = &report.output_waveforms[&0];
+    let line: Vec<String> = wave.iter().map(|(_, v)| render(*v)).collect();
+    println!("  {}", line.join(""));
+    let peak = wave.iter().map(|(_, v)| v.abs()).fold(0.0, f64::max);
+    println!("  limit-cycle amplitude ≈ {peak:.2} (van der Pol: 2a = 0.6 of unit scale)");
+    println!("  exceptions: {}", report.exceptions);
+    Ok(())
+}
+
+/// One-character amplitude bar for terminal waveform display.
+fn render(v: f64) -> String {
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    let idx = (((v + 1.0) / 2.0) * (glyphs.len() as f64 - 1.0))
+        .round()
+        .clamp(0.0, glyphs.len() as f64 - 1.0) as usize;
+    glyphs[idx].to_string()
+}

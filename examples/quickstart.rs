@@ -1,0 +1,75 @@
+//! Quickstart: solve a system of linear equations on the analog accelerator.
+//!
+//! Builds the paper's Figure 5 circuit for a small SPD system, runs the
+//! gradient flow `du/dt = b − A·u` to steady state, and compares the ADC
+//! readout against a digital direct solve.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use analog_accel::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A·u = b: the 1D Poisson matrix on six points.
+    let a = CsrMatrix::tridiagonal(6, -1.0, 2.0, -1.0)?;
+    let b = vec![1.0, 0.0, 0.5, 0.5, 0.0, 1.0];
+
+    println!("== analog-accel quickstart ==");
+    println!("system: 6x6 tridiagonal [-1, 2, -1] (1D Poisson)");
+
+    // --- Digital reference (Cholesky).
+    let exact = analog_accel::linalg::direct::solve(&a.to_dense(), &b)?;
+    println!("\ndigital direct solve:");
+    print_vec("  u*", &exact);
+
+    // --- Analog solve: ideal hardware, 12-bit converters, 20 kHz.
+    let config = SolverConfig::ideal();
+    let mut solver = AnalogSystemSolver::new(&a, &config)?;
+    let report = solver.solve(&b)?;
+    println!("\nanalog accelerator ({} Hz bandwidth, {}-bit ADC):", config.bandwidth_hz, config.adc_bits);
+    print_vec("  u ", &report.solution);
+    println!("  analog compute time: {:.3} ms (simulated)", report.analog_time_s * 1e3);
+    println!("  runs: {}, overflow retries: {}", report.runs, report.overflow_retries);
+    println!("  peak dynamic-range usage: {:.2}", report.peak_range_usage);
+
+    let err = max_err(&report.solution, &exact);
+    println!("  max error vs digital: {err:.2e}");
+
+    // --- Precision refinement (the paper's Algorithm 2).
+    let refined = solve_refined(
+        &mut solver,
+        &b,
+        &RefineConfig {
+            tolerance: 1e-9,
+            ..RefineConfig::default()
+        },
+    )?;
+    println!("\nwith Algorithm 2 precision refinement:");
+    println!(
+        "  rounds: {}, converged: {}",
+        refined.rounds, refined.converged
+    );
+    println!("  residual history: {:?}", refined.residual_history.iter().map(|r| format!("{r:.1e}")).collect::<Vec<_>>());
+    let err = max_err(&refined.solution, &exact);
+    println!("  max error vs digital: {err:.2e}");
+
+    // --- The same solve on a realistic calibrated prototype chip.
+    let mut proto = AnalogSystemSolver::new(&a, &SolverConfig::prototype())?;
+    let report = proto.solve(&b)?;
+    let err = max_err(&report.solution, &exact);
+    println!("\ncalibrated 8-bit prototype chip:");
+    println!("  max error vs digital: {err:.2e} (8-bit ADC limits a single run)");
+
+    Ok(())
+}
+
+fn print_vec(label: &str, v: &[f64]) {
+    let formatted: Vec<String> = v.iter().map(|x| format!("{x:+.4}")).collect();
+    println!("{label} = [{}]", formatted.join(", "));
+}
+
+fn max_err(x: &[f64], reference: &[f64]) -> f64 {
+    x.iter()
+        .zip(reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}

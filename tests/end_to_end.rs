@@ -1,0 +1,195 @@
+//! Cross-crate integration tests: the full paper pipeline from PDE to
+//! analog solution and back.
+
+use analog_accel::prelude::*;
+
+/// §IV-B end to end: discretize an elliptic PDE, solve it on the analog
+/// accelerator, verify against the digital reference.
+#[test]
+fn poisson_pde_to_analog_solution() {
+    let problem = Poisson2d::new(5, |x, y| 4.0 * x * (1.0 - y)).unwrap();
+    let a = problem.assemble();
+    let exact = problem.solve_reference(1e-12).unwrap();
+
+    let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
+    let refined = solve_refined(
+        &mut solver,
+        problem.rhs(),
+        &RefineConfig {
+            tolerance: 1e-8,
+            ..RefineConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(refined.converged);
+    for (x, e) in refined.solution.iter().zip(&exact) {
+        assert!((x - e).abs() < 1e-6, "{x} vs {e}");
+    }
+}
+
+/// The paper's equal-accuracy comparison protocol: digital CG stopped at
+/// the 1/256 change criterion vs one analog run through an 8-bit ADC reach
+/// comparable error levels.
+#[test]
+fn equal_accuracy_protocol_8bit() {
+    let problem = Poisson2d::new(4, |_, _| 1.0).unwrap();
+    let a = problem.assemble();
+    let exact = problem.solve_reference(1e-12).unwrap();
+    let scale = exact.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+
+    // Digital side, stopped early.
+    let digital = cg(
+        problem.operator(),
+        problem.rhs(),
+        &IterativeConfig::with_stopping(StoppingCriterion::adc_equivalent(8)),
+    )
+    .unwrap();
+    let digital_err = max_err(&digital.solution, &exact) / scale;
+
+    // Analog side, one run, ideal hardware, 8-bit converters.
+    let mut solver =
+        AnalogSystemSolver::new(&a, &SolverConfig::ideal().adc_bits(8)).unwrap();
+    let analog = solver.solve(problem.rhs()).unwrap();
+    let analog_err = max_err(&analog.solution, &exact) / scale;
+
+    // Both sides sit within an order of magnitude of the 8-bit floor; the
+    // comparison the paper makes is "equal precision", not exact equality.
+    assert!(digital_err < 3.0 / 256.0, "digital error {digital_err}");
+    assert!(analog_err < 8.0 / 256.0, "analog error {analog_err}");
+}
+
+/// Figure 4's taxonomy walk: a time-dependent (parabolic) PDE stepped
+/// implicitly generates sparse linear systems; solve one step's system on
+/// the accelerator.
+#[test]
+fn implicit_heat_step_on_accelerator() {
+    use analog_accel::linalg::CsrMatrix;
+    // (I + dt·A)·u_new = u_old for the 1D heat equation.
+    let op = PoissonStencil::new_1d(6).unwrap();
+    let dt = 0.01;
+    let mut m = CsrMatrix::from_row_access(&op).scaled(dt);
+    let mut triplets: Vec<Triplet> = m.iter().map(|(i, j, v)| Triplet::new(i, j, v)).collect();
+    for i in 0..6 {
+        triplets.push(Triplet::new(i, i, 1.0));
+    }
+    m = CsrMatrix::from_triplets(6, &triplets).unwrap();
+
+    let u_old = vec![0.0, 0.2, 0.8, 0.8, 0.2, 0.0];
+    let exact = analog_accel::linalg::direct::solve(&m.to_dense(), &u_old).unwrap();
+
+    let mut solver = AnalogSystemSolver::new(&m, &SolverConfig::ideal()).unwrap();
+    let report = solver.solve(&u_old).unwrap();
+    for (x, e) in report.solution.iter().zip(&exact) {
+        assert!((x - e).abs() < 1e-3, "{x} vs {e}");
+    }
+}
+
+/// The ISA exercised end to end through the host, solving a 2-variable
+/// system (the paper's Figure 5) and reading out through `readSerial`.
+#[test]
+fn figure5_two_variable_system_via_isa() {
+    use analog_accel::analog::netlist::{InputPort, OutputPort};
+    use analog_accel::analog::units::UnitId;
+
+    // A = [[1.0, 0.25], [0.25, 0.75]], b = [0.5, 0.25].
+    // Exact solution: A⁻¹b = ([0.5·0.75 − 0.25·0.25]/det, ...).
+    let mut host = Host::new(AnalogChip::new(ChipConfig::ideal()));
+    let (int0, int1) = (UnitId::Integrator(0), UnitId::Integrator(1));
+    let (fan0, fan1) = (UnitId::Fanout(0), UnitId::Fanout(1));
+    let program = vec![
+        // u0 spine.
+        Instruction::SetConn { from: OutputPort::of(int0), to: InputPort::of(fan0) },
+        Instruction::SetConn {
+            from: OutputPort { unit: fan0, port: 0 },
+            to: InputPort::of(UnitId::Multiplier(0)), // -a00 u0
+        },
+        Instruction::SetConn {
+            from: OutputPort { unit: fan0, port: 1 },
+            to: InputPort::of(UnitId::Multiplier(2)), // -a10 u0
+        },
+        // u1 spine.
+        Instruction::SetConn { from: OutputPort::of(int1), to: InputPort::of(fan1) },
+        Instruction::SetConn {
+            from: OutputPort { unit: fan1, port: 0 },
+            to: InputPort::of(UnitId::Multiplier(1)), // -a01 u1
+        },
+        Instruction::SetConn {
+            from: OutputPort { unit: fan1, port: 1 },
+            to: InputPort::of(UnitId::Multiplier(3)), // -a11 u1
+        },
+        // Row 0: du0/dt = b0 − a00 u0 − a01 u1.
+        Instruction::SetMulGain { multiplier: 0, gain: -1.0 },
+        Instruction::SetMulGain { multiplier: 1, gain: -0.25 },
+        Instruction::SetConn {
+            from: OutputPort::of(UnitId::Multiplier(0)),
+            to: InputPort::of(int0),
+        },
+        Instruction::SetConn {
+            from: OutputPort::of(UnitId::Multiplier(1)),
+            to: InputPort::of(int0),
+        },
+        Instruction::SetDacConstant { dac: 0, value: 0.5 },
+        Instruction::SetConn {
+            from: OutputPort::of(UnitId::Dac(0)),
+            to: InputPort::of(int0),
+        },
+        // Row 1: du1/dt = b1 − a10 u0 − a11 u1.
+        Instruction::SetMulGain { multiplier: 2, gain: -0.25 },
+        Instruction::SetMulGain { multiplier: 3, gain: -0.75 },
+        Instruction::SetConn {
+            from: OutputPort::of(UnitId::Multiplier(2)),
+            to: InputPort::of(int1),
+        },
+        Instruction::SetConn {
+            from: OutputPort::of(UnitId::Multiplier(3)),
+            to: InputPort::of(int1),
+        },
+        Instruction::SetDacConstant { dac: 1, value: 0.25 },
+        Instruction::SetConn {
+            from: OutputPort::of(UnitId::Dac(1)),
+            to: InputPort::of(int1),
+        },
+        Instruction::CfgCommit,
+        Instruction::ExecStart,
+    ];
+    let responses = host.run_program(&program).unwrap();
+    let Response::Ran(report) = responses.last().unwrap() else {
+        panic!("expected run report");
+    };
+    assert!(report.reached_steady_state);
+    // Exact: solve [[1, .25], [.25, .75]] u = [.5, .25].
+    let det = 1.0 * 0.75 - 0.25 * 0.25;
+    let u0 = (0.5 * 0.75 - 0.25 * 0.25) / det;
+    let u1 = (1.0 * 0.25 - 0.25 * 0.5) / det;
+    assert!((report.integrator_values[&0] - u0).abs() < 1e-3);
+    assert!((report.integrator_values[&1] - u1).abs() < 1e-3);
+}
+
+/// Analog timing from the circuit simulator matches the hwmodel design
+/// formula used for Figures 8/9, tying the two levels of the reproduction
+/// together.
+#[test]
+fn circuit_and_model_timing_consistency() {
+    use analog_accel::hwmodel::timing::{analog_solve_time_s, PoissonProblem};
+    use analog_accel::linalg::CsrMatrix;
+    let l = 4;
+    let a = CsrMatrix::from_row_access(&PoissonStencil::new_2d(l).unwrap());
+    let cfg = SolverConfig::ideal();
+    let mut solver = AnalogSystemSolver::new(&a, &cfg).unwrap();
+    let measured = solver.solve(&[0.05; 16]).unwrap().analog_time_s;
+
+    let design = AcceleratorDesign::new("cmp", cfg.bandwidth_hz, cfg.adc_bits);
+    let modeled = analog_solve_time_s(&design, &PoissonProblem::new_2d(l));
+    let ratio = measured / modeled;
+    assert!(
+        ratio > 0.25 && ratio < 4.0,
+        "circuit {measured:.3e} vs model {modeled:.3e}"
+    );
+}
+
+fn max_err(x: &[f64], reference: &[f64]) -> f64 {
+    x.iter()
+        .zip(reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}

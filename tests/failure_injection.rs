@@ -1,0 +1,170 @@
+//! Failure-injection tests: the architecture's error paths under hostile
+//! conditions — bad dies, overflowing problems, indefinite matrices,
+//! resource exhaustion, protocol misuse.
+
+use analog_accel::analog::netlist::{InputPort, OutputPort};
+use analog_accel::analog::units::UnitId;
+use analog_accel::prelude::*;
+use analog_accel::solver::SolverError;
+
+/// A die whose process variation exceeds the trim range fails calibration —
+/// and the solver surfaces it rather than silently computing garbage.
+#[test]
+fn bad_die_fails_calibration() {
+    let bad = analog_accel::analog::NonIdealityConfig {
+        offset_std: 0.5, // far beyond the ±0.08 trim range
+        gain_error_std: 0.0,
+        readout_noise_std: 0.0,
+        seed: 9,
+    };
+    let cfg = SolverConfig {
+        nonideal: bad,
+        calibrate: true,
+        ..SolverConfig::ideal()
+    };
+    let a = CsrMatrix::tridiagonal(3, -1.0, 2.0, -1.0).unwrap();
+    let result = AnalogSystemSolver::new(&a, &cfg);
+    assert!(
+        matches!(result, Err(SolverError::Analog(_))),
+        "expected a calibration failure, got {result:?}"
+    );
+}
+
+/// An indefinite matrix makes the gradient flow diverge: the exception /
+/// no-steady-state machinery reports it instead of hanging.
+#[test]
+fn indefinite_system_is_reported() {
+    let a = CsrMatrix::from_triplets(
+        2,
+        &[
+            Triplet::new(0, 0, 1.0),
+            Triplet::new(0, 1, 0.9),
+            Triplet::new(1, 0, 0.9),
+            Triplet::new(1, 1, -1.0),
+        ],
+    )
+    .unwrap();
+    let cfg = SolverConfig {
+        max_rescale_attempts: 3,
+        ..SolverConfig::ideal()
+    };
+    let mut solver = AnalogSystemSolver::new(&a, &cfg).unwrap();
+    let result = solver.solve(&[0.2, 0.2]);
+    assert!(
+        matches!(
+            result,
+            Err(SolverError::NoSteadyState { .. }) | Err(SolverError::RescaleExhausted { .. })
+        ),
+        "got {result:?}"
+    );
+}
+
+/// Exhausting the prototype's four integrators is a structured error.
+#[test]
+fn prototype_resource_exhaustion() {
+    let mut chip = AnalogChip::new(ChipConfig::prototype());
+    // The prototype has 4 integrators; int4 does not exist.
+    let err = chip
+        .set_conn(
+            OutputPort::of(UnitId::Integrator(4)),
+            InputPort::of(UnitId::Fanout(0)),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("int4"), "{err}");
+    // And only 8 multipliers.
+    assert!(chip.set_mul_gain(8, 0.5).is_err());
+}
+
+/// Protocol misuse: running before committing, and committing an algebraic
+/// loop, both fail loudly.
+#[test]
+fn protocol_violations_are_loud() {
+    let mut chip = AnalogChip::new(ChipConfig::ideal());
+    assert!(chip.exec(&Default::default()).is_err());
+
+    // A memoryless cycle: mul0 → mul1 → mul0.
+    chip.set_conn(
+        OutputPort::of(UnitId::Multiplier(0)),
+        InputPort::of(UnitId::Multiplier(1)),
+    )
+    .unwrap();
+    chip.set_conn(
+        OutputPort::of(UnitId::Multiplier(1)),
+        InputPort::of(UnitId::Multiplier(0)),
+    )
+    .unwrap();
+    let err = chip.cfg_commit().unwrap_err();
+    assert!(err.to_string().contains("algebraic loop"), "{err}");
+}
+
+/// Overflow exceptions are visible to the host through `readExp` after a
+/// run that drives an integrator into the rails.
+#[test]
+fn overflow_is_latched_and_readable() {
+    let mut host = Host::new(AnalogChip::new(ChipConfig::ideal()));
+    // Positive feedback: du/dt = +u from 0.5 → slams into the +1 rail.
+    let program = vec![
+        Instruction::SetConn {
+            from: OutputPort::of(UnitId::Integrator(0)),
+            to: InputPort::of(UnitId::Multiplier(0)),
+        },
+        Instruction::SetConn {
+            from: OutputPort::of(UnitId::Multiplier(0)),
+            to: InputPort::of(UnitId::Integrator(0)),
+        },
+        Instruction::SetMulGain {
+            multiplier: 0,
+            gain: 1.0,
+        },
+        Instruction::SetIntInitial {
+            integrator: 0,
+            value: 0.5,
+        },
+        Instruction::SetTimeout { cycles: 2_000 },
+        Instruction::CfgCommit,
+        Instruction::ExecStart,
+        Instruction::ReadExp,
+    ];
+    let responses = host.run_program(&program).unwrap();
+    let Response::Exceptions(bytes) = responses.last().unwrap() else {
+        panic!("expected exception vector");
+    };
+    assert!(
+        bytes.iter().any(|b| *b != 0),
+        "overflow must set a latch bit"
+    );
+    assert!(host
+        .chip()
+        .exceptions()
+        .is_latched(UnitId::Integrator(0)));
+}
+
+/// A pathological rhs (max f64) cannot crash the solver: scaling absorbs it
+/// or a structured error is returned.
+#[test]
+fn extreme_magnitudes_are_handled() {
+    let a = CsrMatrix::tridiagonal(3, -1e12, 3e12, -1e12).unwrap();
+    let b = vec![5e11, -2e11, 7e11];
+    let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
+    let report = solver.solve(&b).unwrap();
+    let exact = analog_accel::linalg::direct::solve(&a.to_dense(), &b).unwrap();
+    let scale = exact.iter().fold(1e-30f64, |m, v| m.max(v.abs()));
+    for (x, e) in report.solution.iter().zip(&exact) {
+        assert!((x - e).abs() / scale < 0.01, "{x} vs {e}");
+    }
+    // Value scaling absorbed the 1e12 coefficients.
+    assert!(report.value_factor > 1e11);
+}
+
+/// Zero-length and mismatched inputs never panic across the public API.
+#[test]
+fn shape_errors_are_structured_everywhere() {
+    let a = CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap();
+    let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
+    assert!(solver.solve(&[]).is_err());
+    assert!(solver.solve(&[1.0; 5]).is_err());
+    assert!(solve_refined(&mut solver, &[1.0; 2], &RefineConfig::default()).is_err());
+    assert!(
+        solve_decomposed(&a, &[1.0; 3], &DecomposeConfig::default()).is_err()
+    );
+}
