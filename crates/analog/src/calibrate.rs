@@ -72,8 +72,8 @@ impl CalibrationReport {
 /// range — a "bad die").
 pub fn calibrate(chip: &mut AnalogChip) -> Result<CalibrationReport, AnalogError> {
     let units: Vec<UnitId> = chip.config().inventory.iter().collect();
-    let trim_step = crate::nonideal::OFFSET_TRIM_RANGE
-        / f64::from(1u32 << (crate::nonideal::TRIM_BITS - 1));
+    let trim_step =
+        crate::nonideal::OFFSET_TRIM_RANGE / f64::from(1u32 << (crate::nonideal::TRIM_BITS - 1));
     let gain_step =
         crate::nonideal::GAIN_TRIM_RANGE / f64::from(1u32 << (crate::nonideal::TRIM_BITS - 1));
 
@@ -82,11 +82,14 @@ pub fn calibrate(chip: &mut AnalogChip) -> Result<CalibrationReport, AnalogError
         let before = *chip.variation().of(unit);
 
         // --- Offset: drive input 0, binary search the code whose comparator
-        // reading flips sign. apply(0) is increasing in the trim code.
+        // reading flips sign. The probe goes through the chip so any active
+        // runtime fault (e.g. offset drift) is measured — and trimmed out —
+        // exactly like a static imperfection. apply(0) is increasing in the
+        // trim code.
         let offset_code = binary_search_code(|code| {
             let mut probe = before;
             probe.offset_trim = code;
-            probe.apply(0.0) >= 0.0
+            chip.probe_value(unit, &probe, 0.0) >= 0.0
         });
 
         // --- Gain: drive a half-scale reference, search for unity transfer.
@@ -96,7 +99,7 @@ pub fn calibrate(chip: &mut AnalogChip) -> Result<CalibrationReport, AnalogError
             let mut probe = before;
             probe.offset_trim = offset_code;
             probe.gain_trim = code;
-            probe.apply(half) >= half
+            chip.probe_value(unit, &probe, half) >= half
         });
 
         let entry = chip.variation_mut().of_mut(unit);
@@ -104,11 +107,15 @@ pub fn calibrate(chip: &mut AnalogChip) -> Result<CalibrationReport, AnalogError
         entry.gain_trim = gain_code;
         let after = *entry;
 
+        // Residuals are measured the same way the trims were chosen: through
+        // the chip, so post-calibration accuracy reflects the live hardware.
+        let offset_after = chip.probe_value(unit, &after, 0.0);
+        let gain_after = (chip.probe_value(unit, &after, half) - offset_after) / half - 1.0;
         let cal = UnitCalibration {
             offset_before: before.offset,
-            offset_after: after.residual_offset(),
+            offset_after,
             gain_error_before: before.gain_error,
-            gain_error_after: after.residual_gain_error(),
+            gain_error_after: gain_after,
             offset_trim: offset_code,
             gain_trim: gain_code,
         };
@@ -149,8 +156,8 @@ fn binary_search_code<F: Fn(i32) -> bool>(reads_high: F) -> i32 {
 /// Returns the residual offset and gain error of `imp` if its trims were
 /// chosen ideally (for documentation/tests).
 pub fn ideal_residuals(imp: &BlockImperfection) -> (f64, f64) {
-    let trim_step = crate::nonideal::OFFSET_TRIM_RANGE
-        / f64::from(1u32 << (crate::nonideal::TRIM_BITS - 1));
+    let trim_step =
+        crate::nonideal::OFFSET_TRIM_RANGE / f64::from(1u32 << (crate::nonideal::TRIM_BITS - 1));
     let gain_step =
         crate::nonideal::GAIN_TRIM_RANGE / f64::from(1u32 << (crate::nonideal::TRIM_BITS - 1));
     let offset_residual = (imp.offset / trim_step).fract().abs() * trim_step;
@@ -194,8 +201,8 @@ mod tests {
     #[test]
     fn different_chip_copies_get_different_codes() {
         let cfg_a = ChipConfig::prototype();
-        let cfg_b = ChipConfig::prototype()
-            .with_nonideal(NonIdealityConfig::default().with_seed(1234));
+        let cfg_b =
+            ChipConfig::prototype().with_nonideal(NonIdealityConfig::default().with_seed(1234));
         let mut chip_a = AnalogChip::new(cfg_a);
         let mut chip_b = AnalogChip::new(cfg_b);
         let rep_a = calibrate(&mut chip_a).unwrap();
@@ -240,9 +247,12 @@ mod tests {
             let int0 = UnitId::Integrator(0);
             let mul0 = UnitId::Multiplier(0);
             let dac0 = UnitId::Dac(0);
-            chip.set_conn(OutputPort::of(int0), InputPort::of(mul0)).unwrap();
-            chip.set_conn(OutputPort::of(mul0), InputPort::of(int0)).unwrap();
-            chip.set_conn(OutputPort::of(dac0), InputPort::of(int0)).unwrap();
+            chip.set_conn(OutputPort::of(int0), InputPort::of(mul0))
+                .unwrap();
+            chip.set_conn(OutputPort::of(mul0), InputPort::of(int0))
+                .unwrap();
+            chip.set_conn(OutputPort::of(dac0), InputPort::of(int0))
+                .unwrap();
             chip.set_mul_gain(0, -1.0).unwrap();
             chip.set_dac_constant(0, 0.5).unwrap();
             chip.set_int_initial(0, 0.0).unwrap();

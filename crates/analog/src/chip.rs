@@ -7,13 +7,13 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aa_linalg::rng::Rng64;
 
 use crate::config::ChipConfig;
 use crate::engine::{run_committed, EngineOptions, RunReport};
 use crate::error::AnalogError;
 use crate::exceptions::ExceptionVector;
+use crate::fault::FaultPlan;
 use crate::lut::{quantize, LookupTable};
 use crate::netlist::{InputPort, Netlist, OutputPort};
 use crate::nonideal::ProcessVariation;
@@ -94,8 +94,14 @@ pub struct AnalogChip {
     /// Attached external stimuli (test-bench side, not a register).
     input_signals: BTreeMap<usize, InputSignal>,
     /// RNG for readout noise.
-    noise_rng: StdRng,
+    noise_rng: Rng64,
     calibrated: bool,
+    /// Injected runtime-fault schedule (test-bench side, like `variation`).
+    fault_plan: Option<FaultPlan>,
+    /// Cumulative analog seconds this chip instance has been powered:
+    /// every `exec` run plus explicit [`idle`](Self::idle) waits. Fault
+    /// events are scheduled on this clock.
+    lifetime_s: f64,
 }
 
 impl std::fmt::Debug for AnalogChip {
@@ -114,7 +120,7 @@ impl AnalogChip {
     /// non-ideality seed.
     pub fn new(config: ChipConfig) -> Self {
         let variation = ProcessVariation::draw(&config.inventory, &config.nonideal);
-        let noise_rng = StdRng::seed_from_u64(config.nonideal.seed ^ 0x5eed);
+        let noise_rng = Rng64::seed_from_u64(config.nonideal.seed ^ 0x5eed);
         AnalogChip {
             draft: Registers::new(&config),
             variation,
@@ -125,6 +131,8 @@ impl AnalogChip {
             input_signals: BTreeMap::new(),
             noise_rng,
             calibrated: false,
+            fault_plan: None,
+            lifetime_s: 0.0,
         }
     }
 
@@ -151,6 +159,57 @@ impl AnalogChip {
 
     pub(crate) fn set_calibrated(&mut self, calibrated: bool) {
         self.calibrated = calibrated;
+    }
+
+    // ----- Runtime-fault injection (test-bench side) -----
+
+    /// Loads a runtime-fault schedule. Event windows are interpreted on the
+    /// chip's [lifetime clock](Self::lifetime_s), so a plan injected now with
+    /// an event at `start_s: 0.0` is already active.
+    pub fn inject_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Removes any injected fault schedule.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = None;
+    }
+
+    /// The injected fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Cumulative analog seconds this instance has been powered (every
+    /// `exec` run plus explicit [`idle`](Self::idle) waits).
+    pub fn lifetime_s(&self) -> f64 {
+        self.lifetime_s
+    }
+
+    /// Lets `seconds` of chip lifetime pass without computing — the host's
+    /// cool-down move: a transient fault window can expire while the chip
+    /// sits idle.
+    pub fn idle(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.lifetime_s += seconds;
+        }
+    }
+
+    /// One calibration probe through `imp` at `input`, including any active
+    /// analog-path fault on `unit`: the calibration routine measures what
+    /// the hardware *currently* does, so trims chosen by a recalibration
+    /// pass cancel in-progress drift too.
+    pub(crate) fn probe_value(
+        &self,
+        unit: UnitId,
+        imp: &crate::nonideal::BlockImperfection,
+        input: f64,
+    ) -> f64 {
+        let v = imp.apply(input);
+        match &self.fault_plan {
+            Some(plan) => plan.analog_adjust(unit, self.lifetime_s, v),
+            None => v,
+        }
     }
 
     // ----- Config instructions (Table I) -----
@@ -398,13 +457,60 @@ impl AnalogChip {
             .as_ref()
             .ok_or_else(|| AnalogError::protocol("execStart before cfgCommit"))?;
         self.exceptions.clear();
-        let report = run_committed(
-            registers,
-            &self.config,
-            &self.variation,
-            &self.input_signals,
-            options,
-        )?;
+        let report = match &self.fault_plan {
+            Some(plan) => {
+                // LUT upsets corrupt what the SRAM *reads back*, not what was
+                // programmed: apply them to a scratch copy of the register
+                // file so a transient upset heals once its window closes.
+                let overrides: Vec<_> = plan.lut_overrides(self.lifetime_s).collect();
+                if overrides.is_empty() {
+                    run_committed(
+                        registers,
+                        &self.config,
+                        &self.variation,
+                        &self.input_signals,
+                        Some(plan),
+                        self.lifetime_s,
+                        options,
+                    )?
+                } else {
+                    let mut scratch = registers.clone();
+                    let (depth, bits, fs) = (
+                        self.config.lut_depth,
+                        self.config.adc_bits,
+                        self.config.full_scale,
+                    );
+                    for (lut, entry, value) in overrides {
+                        if entry < depth {
+                            scratch
+                                .luts
+                                .entry(lut)
+                                .or_insert_with(|| LookupTable::identity(depth, bits, fs))
+                                .write_entry(entry, value);
+                        }
+                    }
+                    run_committed(
+                        &scratch,
+                        &self.config,
+                        &self.variation,
+                        &self.input_signals,
+                        Some(plan),
+                        self.lifetime_s,
+                        options,
+                    )?
+                }
+            }
+            None => run_committed(
+                registers,
+                &self.config,
+                &self.variation,
+                &self.input_signals,
+                None,
+                0.0,
+                options,
+            )?,
+        };
+        self.lifetime_s += report.duration_s;
         self.exceptions = report.exceptions.clone();
         self.adc_inputs = report.adc_inputs.clone();
         Ok(report)
@@ -423,7 +529,7 @@ impl AnalogChip {
     /// [`AnalogError::NoSuchUnit`] for a bad index.
     pub fn read_serial(&mut self, adc_index: usize) -> Result<u32, AnalogError> {
         let value = self.sample_adc(adc_index)?;
-        Ok(self.code_of(value))
+        Ok(self.faulted_code(adc_index, self.code_of(value)))
     }
 
     /// `analogAvg`: averages `samples` ADC conversions, returning the mean
@@ -441,7 +547,8 @@ impl AnalogChip {
         let mut acc = 0.0;
         for _ in 0..samples {
             let v = self.sample_adc(adc_index)?;
-            acc += self.value_of(self.code_of(v));
+            let code = self.faulted_code(adc_index, self.code_of(v));
+            acc += self.value_of(code);
         }
         Ok(acc / samples as f64)
     }
@@ -465,15 +572,29 @@ impl AnalogChip {
         let value = self.adc_inputs.get(&adc_index).copied().unwrap_or(0.0);
         let noise_std = self.variation.readout_noise_std();
         let noise = if noise_std > 0.0 {
-            let u1: f64 = self.noise_rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let u2: f64 = self.noise_rng.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * noise_std
+            self.noise_rng.gaussian() * noise_std
         } else {
             0.0
         };
-        // The ADC's own gain/offset imperfection applies at conversion.
+        // The ADC's own gain/offset imperfection applies at conversion,
+        // followed by any active analog-path fault on the converter.
         let imperfect = self.variation.of(unit).apply(value + noise);
-        Ok(imperfect)
+        let faulted = match &self.fault_plan {
+            Some(plan) => plan.analog_adjust(unit, self.lifetime_s, imperfect),
+            None => imperfect,
+        };
+        Ok(faulted)
+    }
+
+    /// Applies active ADC-code bit-flip faults to a converted code.
+    fn faulted_code(&self, adc_index: usize, code: u32) -> u32 {
+        match &self.fault_plan {
+            Some(plan) => {
+                let levels = 1u32 << self.config.adc_bits;
+                plan.adc_code_adjust(adc_index, self.lifetime_s, code, levels)
+            }
+            None => code,
+        }
     }
 
     /// Converts an analog value to the ADC's digital code (mid-tread

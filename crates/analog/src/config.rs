@@ -97,7 +97,10 @@ impl ChipConfig {
     ///
     /// Panics if `bits` is zero or above 24.
     pub fn with_adc_bits(mut self, bits: u32) -> Self {
-        assert!((1..=24).contains(&bits), "adc resolution must be 1..=24 bits");
+        assert!(
+            (1..=24).contains(&bits),
+            "adc resolution must be 1..=24 bits"
+        );
         self.adc_bits = bits;
         self
     }

@@ -15,6 +15,7 @@ use crate::chip::{InputSignal, Registers, CONTROL_CLOCK_HZ};
 use crate::config::ChipConfig;
 use crate::error::AnalogError;
 use crate::exceptions::ExceptionVector;
+use crate::fault::FaultPlan;
 use crate::lut::LookupTable;
 use crate::netlist::{output_port_count, InputPort, OutputPort};
 use crate::nonideal::ProcessVariation;
@@ -78,6 +79,9 @@ pub struct RunReport {
     pub adc_inputs: BTreeMap<usize, f64>,
     /// Sampled waveforms at each analog output channel.
     pub output_waveforms: BTreeMap<usize, Vec<(f64, f64)>>,
+    /// RK4 steps during which at least one injected fault event was active
+    /// (always zero when no [`FaultPlan`] is loaded).
+    pub faults_active_steps: usize,
 }
 
 impl RunReport {
@@ -108,6 +112,11 @@ struct Compiled<'a> {
     variation: &'a ProcessVariation,
     registers: &'a Registers,
     signals: &'a BTreeMap<usize, InputSignal>,
+    /// Scheduled runtime faults, if any are injected.
+    faults: Option<&'a FaultPlan>,
+    /// Chip-lifetime second at which this run starts (fault-event windows
+    /// are expressed on the lifetime clock, not the per-run clock).
+    t_offset: f64,
     /// State-vector slot → integrator index.
     integrator_of_state: Vec<usize>,
     /// Memoryless units in dependency order.
@@ -143,6 +152,8 @@ impl<'a> Compiled<'a> {
         config: &'a ChipConfig,
         variation: &'a ProcessVariation,
         signals: &'a BTreeMap<usize, InputSignal>,
+        faults: Option<&'a FaultPlan>,
+        t_offset: f64,
     ) -> Result<Self, AnalogError> {
         let topo = registers.netlist.memoryless_topo_order()?;
         let used = registers.netlist.used_units();
@@ -155,9 +166,10 @@ impl<'a> Compiled<'a> {
         let mut slot_index = BTreeMap::new();
         let mut unit_of_slot = Vec::new();
 
-        let add_slot = |slot: Slot, unit: UnitId,
-                            slot_index: &mut BTreeMap<Slot, usize>,
-                            unit_of_slot: &mut Vec<UnitId>| {
+        let add_slot = |slot: Slot,
+                        unit: UnitId,
+                        slot_index: &mut BTreeMap<Slot, usize>,
+                        unit_of_slot: &mut Vec<UnitId>| {
             let next = slot_index.len();
             slot_index.entry(slot).or_insert_with(|| {
                 unit_of_slot.push(unit);
@@ -185,7 +197,12 @@ impl<'a> Compiled<'a> {
                 );
             }
             if n_out == 0 {
-                add_slot(Slot::SinkIn(*unit), *unit, &mut slot_index, &mut unit_of_slot);
+                add_slot(
+                    Slot::SinkIn(*unit),
+                    *unit,
+                    &mut slot_index,
+                    &mut unit_of_slot,
+                );
             }
         }
 
@@ -201,6 +218,8 @@ impl<'a> Compiled<'a> {
             variation,
             registers,
             signals,
+            faults,
+            t_offset,
             integrator_of_state,
             topo,
             slot_index,
@@ -236,6 +255,15 @@ impl<'a> Compiled<'a> {
             .get(&port)
             .map(|slots| slots.iter().map(|s| values[*s]).sum())
             .unwrap_or(0.0)
+    }
+
+    /// Applies any active analog-path faults to `unit`'s output at per-run
+    /// time `t` (the fault plan lives on the chip-lifetime clock).
+    fn distort(&self, unit: UnitId, t: f64, value: f64) -> f64 {
+        match self.faults {
+            Some(plan) => plan.analog_adjust(unit, self.t_offset + t, value),
+            None => value,
+        }
     }
 
     /// Clips `value` to full scale, recording the event against `slot`.
@@ -274,7 +302,7 @@ impl<'a> Compiled<'a> {
         // Sources: integrator outputs (their state, through imperfection).
         for (slot_state, &int_idx) in self.integrator_of_state.iter().enumerate() {
             let unit = UnitId::Integrator(int_idx);
-            let out = self.variation.of(unit).apply(state[slot_state]);
+            let out = self.distort(unit, t, self.variation.of(unit).apply(state[slot_state]));
             let s = self.slot_index[&Slot::Out(OutputPort::of(unit))];
             values[s] = out.clamp(-fs, fs);
             if track {
@@ -291,21 +319,27 @@ impl<'a> Compiled<'a> {
         for &i in &self.dacs {
             let unit = UnitId::Dac(i);
             let programmed = self.registers.dac_values.get(&i).copied().unwrap_or(0.0);
-            let out = self.variation.of(unit).apply(programmed);
+            let out = self.distort(unit, t, self.variation.of(unit).apply(programmed));
             let s = self.slot(OutputPort::of(unit));
             values[s] = self.clip(out, s, max_abs, clipped, track);
         }
         // Sources: external analog inputs.
         for &i in &self.analog_inputs {
             let unit = UnitId::AnalogInput(i);
-            let enabled = self.registers.inputs_enabled.get(&i).copied().unwrap_or(false);
+            let enabled = self
+                .registers
+                .inputs_enabled
+                .get(&i)
+                .copied()
+                .unwrap_or(false);
             let raw = if enabled {
                 self.signals.get(&i).map(|f| f(t)).unwrap_or(0.0)
             } else {
                 0.0
             };
+            let out = self.distort(unit, t, raw);
             let s = self.slot(OutputPort::of(unit));
-            values[s] = self.clip(raw, s, max_abs, clipped, track);
+            values[s] = self.clip(out, s, max_abs, clipped, track);
         }
 
         // Memoryless units in dependency order.
@@ -320,17 +354,18 @@ impl<'a> Compiled<'a> {
                             in0 * in1 / fs
                         }
                     };
-                    let out = self.variation.of(unit).apply(ideal);
+                    let out = self.distort(unit, t, self.variation.of(unit).apply(ideal));
                     let s = self.slot(OutputPort::of(unit));
                     values[s] = self.clip(out, s, max_abs, clipped, track);
                 }
                 UnitId::Fanout(_) => {
                     let input = self.input_sum(InputPort::of(unit), values);
                     let imp = self.variation.of(unit);
+                    let out = self.distort(unit, t, imp.apply(input));
                     let n_branches = self.config.inventory.fanout_branches;
                     for port in 0..n_branches {
                         let s = self.slot(OutputPort { unit, port });
-                        values[s] = self.clip(imp.apply(input), s, max_abs, clipped, track);
+                        values[s] = self.clip(out, s, max_abs, clipped, track);
                     }
                 }
                 UnitId::Lut(i) => {
@@ -338,8 +373,9 @@ impl<'a> Compiled<'a> {
                     let lut = self.registers.luts.get(&i).unwrap_or(&self.default_lut);
                     // The CT SRAM output is digital-to-analog: no analog
                     // gain/offset imperfection, but inherently quantized.
+                    let out = self.distort(unit, t, lut.evaluate(input));
                     let s = self.slot(OutputPort::of(unit));
-                    values[s] = self.clip(lut.evaluate(input), s, max_abs, clipped, track);
+                    values[s] = self.clip(out, s, max_abs, clipped, track);
                 }
                 UnitId::Adc(_) | UnitId::AnalogOutput(_) => {
                     let input = self.input_sum(InputPort::of(unit), values);
@@ -369,6 +405,8 @@ pub(crate) fn run_committed(
     config: &ChipConfig,
     variation: &ProcessVariation,
     signals: &BTreeMap<usize, InputSignal>,
+    faults: Option<&FaultPlan>,
+    t_offset: f64,
     options: &EngineOptions,
 ) -> Result<RunReport, AnalogError> {
     if !(options.dt_tau > 0.0 && options.dt_tau.is_finite()) {
@@ -377,13 +415,15 @@ pub(crate) fn run_committed(
             options.dt_tau
         )));
     }
-    let circuit = Compiled::build(registers, config, variation, signals)?;
+    let circuit = Compiled::build(registers, config, variation, signals, faults, t_offset)?;
     let n = circuit.n_states();
     let n_slots = circuit.slot_index.len();
     let fs = config.full_scale;
     let omega = config.omega();
     let dt = options.dt_tau / omega;
-    let timeout_s = registers.timeout_cycles.map(|c| c as f64 / CONTROL_CLOCK_HZ);
+    let timeout_s = registers
+        .timeout_cycles
+        .map(|c| c as f64 / CONTROL_CLOCK_HZ);
     let cap_s = options.max_tau / omega;
     let end_s = timeout_s.map_or(cap_s, |t| t.min(cap_s));
 
@@ -421,8 +461,25 @@ pub(crate) fn run_committed(
     let mut reached_steady = false;
     let mut timed_out = false;
     let mut aborted_on_exception = false;
+    let mut faults_active_steps = 0usize;
 
     loop {
+        // Stuck-at-rail faults pin the integrator state and latch an
+        // overflow exception, exactly as a genuine saturation would.
+        if let Some(plan) = faults {
+            if plan.any_active(t_offset + t) {
+                faults_active_steps += 1;
+            }
+            for (slot_state, &int_idx) in circuit.integrator_of_state.iter().enumerate() {
+                if let Some(rail) = plan.stuck_rail(int_idx, t_offset + t) {
+                    state[slot_state] = rail.sign() * fs;
+                    let s = circuit.slot(OutputPort::of(UnitId::Integrator(int_idx)));
+                    tracker.clipped[s] = true;
+                    tracker.max_abs[s] = tracker.max_abs[s].max(fs * 1.0000001);
+                }
+            }
+        }
+
         // k1 also refreshes slot values at time t (used for sampling below).
         circuit.eval(t, &state, &mut k1, &mut tracker, true);
 
@@ -432,7 +489,8 @@ pub(crate) fn run_committed(
             for (&i, wave) in waveforms.iter_mut() {
                 let v = tracker.values[circuit.sink_slot(UnitId::AnalogOutput(i))];
                 wave.push((t, v));
-                overflow |= options.waveform_samples > 0 && wave.len() >= 2 * options.waveform_samples;
+                overflow |=
+                    options.waveform_samples > 0 && wave.len() >= 2 * options.waveform_samples;
             }
             if overflow {
                 for wave in waveforms.values_mut() {
@@ -536,6 +594,7 @@ pub(crate) fn run_committed(
         integrator_values,
         adc_inputs,
         output_waveforms: waveforms,
+        faults_active_steps,
     })
 }
 
@@ -556,13 +615,28 @@ mod tests {
         let mul0 = UnitId::Multiplier(0);
         let adc0 = UnitId::Adc(0);
         let dac0 = UnitId::Dac(0);
-        chip.set_conn(OutputPort::of(int0), InputPort::of(fan0)).unwrap();
-        chip.set_conn(OutputPort { unit: fan0, port: 0 }, InputPort::of(adc0))
+        chip.set_conn(OutputPort::of(int0), InputPort::of(fan0))
             .unwrap();
-        chip.set_conn(OutputPort { unit: fan0, port: 1 }, InputPort::of(mul0))
+        chip.set_conn(
+            OutputPort {
+                unit: fan0,
+                port: 0,
+            },
+            InputPort::of(adc0),
+        )
+        .unwrap();
+        chip.set_conn(
+            OutputPort {
+                unit: fan0,
+                port: 1,
+            },
+            InputPort::of(mul0),
+        )
+        .unwrap();
+        chip.set_conn(OutputPort::of(mul0), InputPort::of(int0))
             .unwrap();
-        chip.set_conn(OutputPort::of(mul0), InputPort::of(int0)).unwrap();
-        chip.set_conn(OutputPort::of(dac0), InputPort::of(int0)).unwrap();
+        chip.set_conn(OutputPort::of(dac0), InputPort::of(int0))
+            .unwrap();
         chip.set_mul_gain(0, a).unwrap();
         chip.set_dac_constant(0, b).unwrap();
         chip.set_int_initial(0, u_init).unwrap();
@@ -684,13 +758,28 @@ mod tests {
         let mul0 = UnitId::Multiplier(0);
         let aout0 = UnitId::AnalogOutput(0);
         let dac0 = UnitId::Dac(0);
-        chip.set_conn(OutputPort::of(int0), InputPort::of(fan0)).unwrap();
-        chip.set_conn(OutputPort { unit: fan0, port: 0 }, InputPort::of(aout0))
+        chip.set_conn(OutputPort::of(int0), InputPort::of(fan0))
             .unwrap();
-        chip.set_conn(OutputPort { unit: fan0, port: 1 }, InputPort::of(mul0))
+        chip.set_conn(
+            OutputPort {
+                unit: fan0,
+                port: 0,
+            },
+            InputPort::of(aout0),
+        )
+        .unwrap();
+        chip.set_conn(
+            OutputPort {
+                unit: fan0,
+                port: 1,
+            },
+            InputPort::of(mul0),
+        )
+        .unwrap();
+        chip.set_conn(OutputPort::of(mul0), InputPort::of(int0))
             .unwrap();
-        chip.set_conn(OutputPort::of(mul0), InputPort::of(int0)).unwrap();
-        chip.set_conn(OutputPort::of(dac0), InputPort::of(int0)).unwrap();
+        chip.set_conn(OutputPort::of(dac0), InputPort::of(int0))
+            .unwrap();
         chip.set_mul_gain(0, -1.0).unwrap();
         chip.set_dac_constant(0, 0.75).unwrap();
         chip.set_int_initial(0, 0.0).unwrap();
@@ -714,22 +803,38 @@ mod tests {
         let mul0 = UnitId::Multiplier(0);
         let mul1 = UnitId::Multiplier(1);
         let dac0 = UnitId::Dac(0);
-        chip.set_conn(OutputPort::of(int0), InputPort::of(fan0)).unwrap();
+        chip.set_conn(OutputPort::of(int0), InputPort::of(fan0))
+            .unwrap();
         chip.set_conn(
-            OutputPort { unit: fan0, port: 0 },
-            InputPort { unit: mul0, port: 0 },
+            OutputPort {
+                unit: fan0,
+                port: 0,
+            },
+            InputPort {
+                unit: mul0,
+                port: 0,
+            },
         )
         .unwrap();
         chip.set_conn(
-            OutputPort { unit: fan0, port: 1 },
-            InputPort { unit: mul0, port: 1 },
+            OutputPort {
+                unit: fan0,
+                port: 1,
+            },
+            InputPort {
+                unit: mul0,
+                port: 1,
+            },
         )
         .unwrap();
         // Negate u² through a gain multiplier.
-        chip.set_conn(OutputPort::of(mul0), InputPort::of(mul1)).unwrap();
+        chip.set_conn(OutputPort::of(mul0), InputPort::of(mul1))
+            .unwrap();
         chip.set_mul_gain(1, -1.0).unwrap();
-        chip.set_conn(OutputPort::of(mul1), InputPort::of(int0)).unwrap();
-        chip.set_conn(OutputPort::of(dac0), InputPort::of(int0)).unwrap();
+        chip.set_conn(OutputPort::of(mul1), InputPort::of(int0))
+            .unwrap();
+        chip.set_conn(OutputPort::of(dac0), InputPort::of(int0))
+            .unwrap();
         chip.set_dac_constant(0, 0.25).unwrap();
         chip.set_int_initial(0, 0.9).unwrap();
         chip.cfg_commit().unwrap();
@@ -744,7 +849,8 @@ mod tests {
         let mut chip = AnalogChip::new(ChipConfig::ideal());
         let int0 = UnitId::Integrator(0);
         let ain0 = UnitId::AnalogInput(0);
-        chip.set_conn(OutputPort::of(ain0), InputPort::of(int0)).unwrap();
+        chip.set_conn(OutputPort::of(ain0), InputPort::of(int0))
+            .unwrap();
         chip.set_ana_input_en(0, true).unwrap();
         chip.attach_input_signal(0, Box::new(|_t| 0.1)).unwrap();
         chip.set_int_initial(0, 0.0).unwrap();
@@ -763,11 +869,86 @@ mod tests {
     }
 
     #[test]
+    fn noise_burst_prevents_settling_then_clears() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+
+        // Clean chip settles quickly; under an active noise burst the steady
+        // detector never fires and the run hits the cap.
+        let opts = EngineOptions {
+            max_tau: 200.0,
+            ..EngineOptions::default()
+        };
+        let mut chip = figure1_chip(-1.0, 0.5, 0.0, ChipConfig::ideal());
+        chip.inject_fault_plan(FaultPlan::new(11).with_event(FaultEvent::transient(
+            FaultKind::NoiseBurst {
+                unit: UnitId::Integrator(0),
+                amplitude: 0.05,
+            },
+            0.0,
+            2e-3,
+        )));
+        let noisy = chip.exec(&opts).unwrap();
+        assert!(!noisy.reached_steady_state);
+        assert!(noisy.faults_active_steps > 0);
+        // Idle past the burst window: the chip settles again.
+        chip.idle(2e-3);
+        let clean = chip.exec(&opts).unwrap();
+        assert!(clean.reached_steady_state);
+        assert_eq!(clean.faults_active_steps, 0);
+        assert!((clean.integrator_values[&0] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn stuck_at_rail_pins_state_and_latches_exception() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan, Rail};
+
+        let mut chip = figure1_chip(-1.0, 0.5, 0.0, ChipConfig::ideal());
+        chip.inject_fault_plan(FaultPlan::new(0).with_event(FaultEvent::persistent(
+            FaultKind::StuckAtRail {
+                integrator: 0,
+                rail: Rail::Negative,
+            },
+            0.0,
+        )));
+        let report = chip
+            .exec(&EngineOptions {
+                stop_on_exception: true,
+                max_tau: 200.0,
+                ..EngineOptions::default()
+            })
+            .unwrap();
+        assert!(report.aborted_on_exception);
+        assert!(report.exceptions.is_latched(UnitId::Integrator(0)));
+        assert_eq!(report.integrator_values[&0], -1.0);
+    }
+
+    #[test]
+    fn offset_drift_shifts_the_settled_solution() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+
+        let mut chip = figure1_chip(-1.0, 0.5, 0.0, ChipConfig::ideal());
+        chip.inject_fault_plan(FaultPlan::new(0).with_event(FaultEvent::persistent(
+            FaultKind::OffsetDrift {
+                unit: UnitId::Integrator(0),
+                magnitude: 0.05,
+                ramp_s: 0.0,
+            },
+            0.0,
+        )));
+        let report = chip.exec(&EngineOptions::default()).unwrap();
+        assert!(report.reached_steady_state);
+        // The integrator *output* (state + offset) settles at 0.5, so the
+        // internal state sits 0.05 low; the ADC branch sees ≈ 0.5.
+        assert!((report.integrator_values[&0] - 0.45).abs() < 1e-3);
+    }
+
+    #[test]
     fn disabled_input_contributes_nothing() {
         let mut chip = AnalogChip::new(ChipConfig::ideal());
         let int0 = UnitId::Integrator(0);
         let ain0 = UnitId::AnalogInput(0);
-        chip.set_conn(OutputPort::of(ain0), InputPort::of(int0)).unwrap();
+        chip.set_conn(OutputPort::of(ain0), InputPort::of(int0))
+            .unwrap();
         chip.attach_input_signal(0, Box::new(|_t| 0.5)).unwrap();
         // Not enabled: stimulus must be ignored.
         chip.set_int_initial(0, 0.25).unwrap();

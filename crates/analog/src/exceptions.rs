@@ -9,6 +9,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use crate::error::AnalogError;
 use crate::units::{ResourceInventory, UnitId};
 
 /// The set of units whose overflow latch is set.
@@ -71,15 +72,41 @@ impl ExceptionVector {
     }
 
     /// Parses a `readExp` byte array produced by [`to_bytes`](Self::to_bytes).
-    pub fn from_bytes(inventory: &ResourceInventory, bytes: &[u8]) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::ProtocolViolation`] if the array is shorter than the
+    /// inventory requires (a truncated transfer) or if any bit beyond the
+    /// inventory's last unit is set (a corrupted transfer) — a silently
+    /// tolerated readout would hide exactly the interface faults the host
+    /// supervisor must catch.
+    pub fn from_bytes(inventory: &ResourceInventory, bytes: &[u8]) -> Result<Self, AnalogError> {
+        let expected = inventory.total().div_ceil(8);
+        if bytes.len() < expected {
+            return Err(AnalogError::ProtocolViolation {
+                message: format!(
+                    "readExp vector truncated: got {} bytes, inventory needs {expected}",
+                    bytes.len()
+                ),
+            });
+        }
         let mut v = ExceptionVector::new();
         for (bit, unit) in inventory.iter().enumerate() {
-            let byte = bytes.get(bit / 8).copied().unwrap_or(0);
-            if byte & (1 << (bit % 8)) != 0 {
+            if bytes[bit / 8] & (1 << (bit % 8)) != 0 {
                 v.latch(unit);
             }
         }
-        v
+        let units = inventory.total();
+        for bit in units..bytes.len() * 8 {
+            if bytes[bit / 8] & (1 << (bit % 8)) != 0 {
+                return Err(AnalogError::ProtocolViolation {
+                    message: format!(
+                        "readExp vector corrupt: bit {bit} set beyond the {units}-unit inventory"
+                    ),
+                });
+            }
+        }
+        Ok(v)
     }
 }
 
@@ -131,8 +158,41 @@ mod tests {
         v.latch(UnitId::Adc(1));
         let bytes = v.to_bytes(&inv());
         assert_eq!(bytes.len(), inv().total().div_ceil(8));
-        let parsed = ExceptionVector::from_bytes(&inv(), &bytes);
+        let parsed = ExceptionVector::from_bytes(&inv(), &bytes).unwrap();
         assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn short_byte_array_is_protocol_violation() {
+        let bytes = ExceptionVector::new().to_bytes(&inv());
+        let err = ExceptionVector::from_bytes(&inv(), &bytes[..bytes.len() - 1]).unwrap_err();
+        match err {
+            AnalogError::ProtocolViolation { message } => {
+                assert!(message.contains("truncated"), "{message}");
+            }
+            other => panic!("expected protocol violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_bit_is_protocol_violation() {
+        let mut bytes = ExceptionVector::new().to_bytes(&inv());
+        // The inventory does not fill the last byte completely; set its
+        // topmost (out-of-inventory) bit.
+        let units = inv().total();
+        assert!(
+            !units.is_multiple_of(8),
+            "test needs a partially-filled final byte"
+        );
+        let last = bytes.len() - 1;
+        bytes[last] |= 0x80;
+        let err = ExceptionVector::from_bytes(&inv(), &bytes).unwrap_err();
+        match err {
+            AnalogError::ProtocolViolation { message } => {
+                assert!(message.contains("beyond"), "{message}");
+            }
+            other => panic!("expected protocol violation, got {other:?}"),
+        }
     }
 
     #[test]

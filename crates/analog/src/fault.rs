@@ -1,0 +1,502 @@
+//! Deterministic, seeded transient-fault injection.
+//!
+//! The paper's architecture (§III-B) assumes the digital host can "react
+//! when problems occur in the course of analog computation". The rest of
+//! this crate models *static* imperfections drawn once per die; real
+//! continuous-time hardware additionally drifts, glitches, and sticks at
+//! runtime. A [`FaultPlan`] is a schedule of such events on the chip's
+//! *lifetime* clock (cumulative analog seconds across every `exec`, plus
+//! host [`idle`](crate::AnalogChip::idle) waits), applied by the engine
+//! during integration and by the chip/SPI layers on the digital interface.
+//!
+//! Everything is reproducible from the plan: event windows are explicit,
+//! and noise is *counter-based* — the sample at `(seed, unit, t)` is a pure
+//! function of those values (via [`mix64`]), independent of evaluation
+//! order. Every observed failure therefore doubles as a regression test.
+
+use aa_linalg::rng::{mix64, unit_f64};
+
+use crate::units::UnitId;
+
+/// Which supply rail a stuck integrator is pinned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rail {
+    /// Pinned at `+full_scale`.
+    Positive,
+    /// Pinned at `−full_scale`.
+    Negative,
+}
+
+impl Rail {
+    /// The sign of the rail value (`±1.0`).
+    pub fn sign(self) -> f64 {
+        match self {
+            Rail::Positive => 1.0,
+            Rail::Negative => -1.0,
+        }
+    }
+}
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The unit's output offset ramps from zero to `magnitude` (fraction of
+    /// full scale) over `ramp_s` seconds after the event starts, then holds.
+    OffsetDrift {
+        /// Affected unit.
+        unit: UnitId,
+        /// Final additive offset, fraction of full scale.
+        magnitude: f64,
+        /// Seconds over which the offset ramps up (0 = immediate).
+        ramp_s: f64,
+    },
+    /// The unit's gain drifts from unity to `1 + magnitude` over `ramp_s`
+    /// seconds, then holds.
+    GainDrift {
+        /// Affected unit.
+        unit: UnitId,
+        /// Final relative gain error.
+        magnitude: f64,
+        /// Seconds over which the gain ramps (0 = immediate).
+        ramp_s: f64,
+    },
+    /// Uniform noise in `±amplitude` added to the unit's output while the
+    /// event is active (counter-based: deterministic in `(seed, unit, t)`).
+    NoiseBurst {
+        /// Affected unit.
+        unit: UnitId,
+        /// Peak noise amplitude, fraction of full scale.
+        amplitude: f64,
+    },
+    /// The integrator's state is pinned at a rail while active (latching an
+    /// overflow exception, exactly like a genuine saturation).
+    StuckAtRail {
+        /// Affected integrator index.
+        integrator: usize,
+        /// Which rail it sticks to.
+        rail: Rail,
+    },
+    /// Every digital code read from this ADC has one bit flipped.
+    AdcBitFlip {
+        /// Affected ADC index.
+        adc: usize,
+        /// Bit position to flip (masked to the converter resolution).
+        bit: u32,
+    },
+    /// One byte of any SPI transfer is XOR-corrupted while active.
+    SpiBitFlip {
+        /// Byte offset within the transfer (out-of-range offsets are inert).
+        byte: usize,
+        /// Bit position within the byte (0–7).
+        bit: u32,
+    },
+    /// One lookup-table entry reads as `value` instead of its programmed
+    /// contents (continuous-time SRAM upset).
+    LutCorruption {
+        /// Affected table index.
+        lut: usize,
+        /// Affected entry index.
+        entry: usize,
+        /// The corrupted analog value.
+        value: f64,
+    },
+}
+
+impl FaultKind {
+    /// The unit whose analog output this fault distorts, if any.
+    fn analog_unit(&self) -> Option<UnitId> {
+        match self {
+            FaultKind::OffsetDrift { unit, .. }
+            | FaultKind::GainDrift { unit, .. }
+            | FaultKind::NoiseBurst { unit, .. } => Some(*unit),
+            _ => None,
+        }
+    }
+}
+
+/// A [`FaultKind`] with its activation window on the chip-lifetime clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Lifetime second at which the fault appears.
+    pub start_s: f64,
+    /// How long it lasts; `None` means persistent (a hard fault).
+    pub duration_s: Option<f64>,
+}
+
+impl FaultEvent {
+    /// A fault active for `duration_s` seconds from `start_s`.
+    pub fn transient(kind: FaultKind, start_s: f64, duration_s: f64) -> Self {
+        FaultEvent {
+            kind,
+            start_s,
+            duration_s: Some(duration_s),
+        }
+    }
+
+    /// A fault that never clears once it appears.
+    pub fn persistent(kind: FaultKind, start_s: f64) -> Self {
+        FaultEvent {
+            kind,
+            start_s,
+            duration_s: None,
+        }
+    }
+
+    /// Whether the event is active at lifetime second `t`.
+    pub fn is_active(&self, t: f64) -> bool {
+        t >= self.start_s && self.duration_s.is_none_or(|d| t < self.start_s + d)
+    }
+
+    /// When the event clears (`None` for persistent faults).
+    pub fn ends_at(&self) -> Option<f64> {
+        self.duration_s.map(|d| self.start_s + d)
+    }
+
+    /// The ramp factor in `[0, 1]` for drift events at time `t`.
+    fn ramp(&self, ramp_s: f64, t: f64) -> f64 {
+        if ramp_s <= 0.0 {
+            1.0
+        } else {
+            ((t - self.start_s) / ramp_s).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of fault events.
+///
+/// ```
+/// use aa_analog::fault::{FaultEvent, FaultKind, FaultPlan};
+/// use aa_analog::units::UnitId;
+///
+/// let plan = FaultPlan::new(42).with_event(FaultEvent::transient(
+///     FaultKind::NoiseBurst { unit: UnitId::Integrator(0), amplitude: 0.05 },
+///     0.0,
+///     1e-3,
+/// ));
+/// // Counter-based noise: the same (seed, unit, t) always gives the same
+/// // sample, so two identical plans distort identically.
+/// let a = plan.analog_adjust(UnitId::Integrator(0), 5e-4, 0.25);
+/// let b = plan.clone().analog_adjust(UnitId::Integrator(0), 5e-4, 0.25);
+/// assert_eq!(a, b);
+/// assert_ne!(a, 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given noise seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builder-style event insertion.
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Adds an event.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// The noise seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether any event is active at lifetime second `t`.
+    pub fn any_active(&self, t: f64) -> bool {
+        self.events.iter().any(|e| e.is_active(t))
+    }
+
+    /// Applies every active analog-path fault for `unit` to `value` at
+    /// lifetime second `t`. Pure: identical arguments give identical output.
+    pub fn analog_adjust(&self, unit: UnitId, t: f64, value: f64) -> f64 {
+        let mut v = value;
+        for e in self.events.iter().filter(|e| e.is_active(t)) {
+            if e.kind.analog_unit() != Some(unit) {
+                continue;
+            }
+            match e.kind {
+                FaultKind::OffsetDrift {
+                    magnitude, ramp_s, ..
+                } => v += magnitude * e.ramp(ramp_s, t),
+                FaultKind::GainDrift {
+                    magnitude, ramp_s, ..
+                } => v *= 1.0 + magnitude * e.ramp(ramp_s, t),
+                FaultKind::NoiseBurst { amplitude, .. } => {
+                    v += amplitude * self.noise_sample(unit, t);
+                }
+                _ => {}
+            }
+        }
+        v
+    }
+
+    /// The rail an integrator is stuck at (if any) at lifetime second `t`.
+    pub fn stuck_rail(&self, integrator: usize, t: f64) -> Option<Rail> {
+        self.events.iter().find_map(|e| match e.kind {
+            FaultKind::StuckAtRail {
+                integrator: i,
+                rail,
+            } if i == integrator && e.is_active(t) => Some(rail),
+            _ => None,
+        })
+    }
+
+    /// Applies active ADC-code bit flips for `adc` to `code` at lifetime
+    /// second `t`. Flipped bits are masked to the converter's `levels`.
+    pub fn adc_code_adjust(&self, adc: usize, t: f64, code: u32, levels: u32) -> u32 {
+        let mut c = code;
+        for e in self.events.iter().filter(|e| e.is_active(t)) {
+            if let FaultKind::AdcBitFlip { adc: a, bit } = e.kind {
+                if a == adc {
+                    c ^= 1u32 << (bit % levels.trailing_zeros().max(1));
+                }
+            }
+        }
+        c.min(levels - 1)
+    }
+
+    /// XOR-corrupts `bytes` in place per every active SPI fault at lifetime
+    /// second `t`. Out-of-range byte offsets are inert.
+    pub fn corrupt_spi(&self, t: f64, bytes: &mut [u8]) {
+        for e in self.events.iter().filter(|e| e.is_active(t)) {
+            if let FaultKind::SpiBitFlip { byte, bit } = e.kind {
+                if let Some(b) = bytes.get_mut(byte) {
+                    *b ^= 1u8 << (bit % 8);
+                }
+            }
+        }
+    }
+
+    /// Lookup-table entry overrides active at lifetime second `t`.
+    pub fn lut_overrides(&self, t: f64) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.events.iter().filter_map(move |e| match e.kind {
+            FaultKind::LutCorruption { lut, entry, value } if e.is_active(t) => {
+                Some((lut, entry, value))
+            }
+            _ => None,
+        })
+    }
+
+    /// The plan re-based to a chip whose lifetime clock restarts at zero
+    /// after `elapsed_s` seconds have already passed (used when the host
+    /// remaps a problem onto a fresh accelerator instance mid-recovery).
+    /// Events that have fully expired are dropped; in-progress events keep
+    /// their remaining duration.
+    pub fn shifted(&self, elapsed_s: f64) -> FaultPlan {
+        let events = self
+            .events
+            .iter()
+            .filter(|e| e.ends_at().is_none_or(|end| end > elapsed_s))
+            .map(|e| {
+                let started = e.start_s < elapsed_s;
+                FaultEvent {
+                    kind: e.kind.clone(),
+                    start_s: (e.start_s - elapsed_s).max(0.0),
+                    duration_s: e.duration_s.map(|d| {
+                        if started {
+                            d - (elapsed_s - e.start_s)
+                        } else {
+                            d
+                        }
+                    }),
+                }
+            })
+            .collect();
+        FaultPlan {
+            seed: self.seed,
+            events,
+        }
+    }
+
+    /// One deterministic uniform sample in `[-1, 1)` for `(seed, unit, t)`.
+    fn noise_sample(&self, unit: UnitId, t: f64) -> f64 {
+        let bits = mix64(self.seed ^ unit_tag(unit)).wrapping_add(t.to_bits());
+        2.0 * unit_f64(mix64(bits)) - 1.0
+    }
+}
+
+/// A collision-free 64-bit tag for a unit (kind discriminant ‖ index).
+fn unit_tag(unit: UnitId) -> u64 {
+    let (kind, index) = match unit {
+        UnitId::Integrator(i) => (1u64, i),
+        UnitId::Multiplier(i) => (2, i),
+        UnitId::Fanout(i) => (3, i),
+        UnitId::Adc(i) => (4, i),
+        UnitId::Dac(i) => (5, i),
+        UnitId::Lut(i) => (6, i),
+        UnitId::AnalogInput(i) => (7, i),
+        UnitId::AnalogOutput(i) => (8, i),
+    };
+    (kind << 32) | index as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_open_and_close() {
+        let e = FaultEvent::transient(
+            FaultKind::NoiseBurst {
+                unit: UnitId::Integrator(0),
+                amplitude: 0.1,
+            },
+            1.0,
+            0.5,
+        );
+        assert!(!e.is_active(0.99));
+        assert!(e.is_active(1.0));
+        assert!(e.is_active(1.49));
+        assert!(!e.is_active(1.5));
+        let p = FaultEvent::persistent(
+            FaultKind::StuckAtRail {
+                integrator: 0,
+                rail: Rail::Positive,
+            },
+            2.0,
+        );
+        assert!(!p.is_active(1.9));
+        assert!(p.is_active(1e9));
+        assert_eq!(p.ends_at(), None);
+    }
+
+    #[test]
+    fn drift_ramps_then_holds() {
+        let unit = UnitId::Multiplier(1);
+        let plan = FaultPlan::new(0).with_event(FaultEvent::persistent(
+            FaultKind::OffsetDrift {
+                unit,
+                magnitude: 0.04,
+                ramp_s: 2.0,
+            },
+            0.0,
+        ));
+        assert_eq!(plan.analog_adjust(unit, 1.0, 0.0), 0.02);
+        assert_eq!(plan.analog_adjust(unit, 2.0, 0.0), 0.04);
+        assert_eq!(plan.analog_adjust(unit, 50.0, 0.0), 0.04);
+        // Other units untouched.
+        assert_eq!(plan.analog_adjust(UnitId::Multiplier(0), 1.0, 0.3), 0.3);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_seed_dependent() {
+        let unit = UnitId::Integrator(2);
+        let mk = |seed| {
+            FaultPlan::new(seed).with_event(FaultEvent::persistent(
+                FaultKind::NoiseBurst {
+                    unit,
+                    amplitude: 1.0,
+                },
+                0.0,
+            ))
+        };
+        let a = mk(7).analog_adjust(unit, 0.125, 0.0);
+        let b = mk(7).analog_adjust(unit, 0.125, 0.0);
+        let c = mk(8).analog_adjust(unit, 0.125, 0.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.abs() <= 1.0);
+        // Distinct times decorrelate.
+        assert_ne!(a, mk(7).analog_adjust(unit, 0.25, 0.0));
+    }
+
+    #[test]
+    fn adc_bit_flips_stay_in_range() {
+        let plan = FaultPlan::new(0).with_event(FaultEvent::persistent(
+            FaultKind::AdcBitFlip { adc: 0, bit: 7 },
+            0.0,
+        ));
+        let levels = 256;
+        for code in [0u32, 100, 255] {
+            let flipped = plan.adc_code_adjust(0, 1.0, code, levels);
+            assert!(flipped < levels);
+            assert_eq!(flipped, (code ^ 0x80).min(levels - 1));
+        }
+        // Inactive before start, other ADC untouched.
+        assert_eq!(plan.adc_code_adjust(1, 1.0, 9, levels), 9);
+    }
+
+    #[test]
+    fn spi_corruption_flips_one_bit_in_window() {
+        let plan = FaultPlan::new(0).with_event(FaultEvent::transient(
+            FaultKind::SpiBitFlip { byte: 2, bit: 4 },
+            1.0,
+            1.0,
+        ));
+        let mut bytes = vec![0u8; 4];
+        plan.corrupt_spi(0.5, &mut bytes);
+        assert_eq!(bytes, vec![0, 0, 0, 0]);
+        plan.corrupt_spi(1.5, &mut bytes);
+        assert_eq!(bytes, vec![0, 0, 0x10, 0]);
+        // Out-of-range byte offsets are inert.
+        let mut short = vec![0u8; 2];
+        plan.corrupt_spi(1.5, &mut short);
+        assert_eq!(short, vec![0, 0]);
+    }
+
+    #[test]
+    fn shifted_rebases_windows() {
+        let kind = FaultKind::NoiseBurst {
+            unit: UnitId::Integrator(0),
+            amplitude: 0.1,
+        };
+        let plan = FaultPlan::new(3)
+            .with_event(FaultEvent::transient(kind.clone(), 1.0, 2.0)) // [1, 3)
+            .with_event(FaultEvent::transient(kind.clone(), 10.0, 1.0)) // [10, 11)
+            .with_event(FaultEvent::persistent(kind.clone(), 0.0));
+
+        let shifted = plan.shifted(2.0);
+        assert_eq!(shifted.seed(), 3);
+        assert_eq!(shifted.events().len(), 3);
+        // In-progress event keeps its remaining 1 s.
+        assert_eq!(shifted.events()[0].start_s, 0.0);
+        assert_eq!(shifted.events()[0].duration_s, Some(1.0));
+        // Future event moves earlier, duration intact.
+        assert_eq!(shifted.events()[1].start_s, 8.0);
+        assert_eq!(shifted.events()[1].duration_s, Some(1.0));
+        // Persistent events survive any shift.
+        assert_eq!(shifted.events()[2].duration_s, None);
+
+        // Fully expired events are dropped.
+        let late = plan.shifted(4.0);
+        assert_eq!(late.events().len(), 2);
+    }
+
+    #[test]
+    fn stuck_rail_reports_sign() {
+        let plan = FaultPlan::new(0).with_event(FaultEvent::transient(
+            FaultKind::StuckAtRail {
+                integrator: 1,
+                rail: Rail::Negative,
+            },
+            0.0,
+            1.0,
+        ));
+        assert_eq!(plan.stuck_rail(1, 0.5), Some(Rail::Negative));
+        assert_eq!(plan.stuck_rail(1, 0.5).unwrap().sign(), -1.0);
+        assert_eq!(plan.stuck_rail(0, 0.5), None);
+        assert_eq!(plan.stuck_rail(1, 2.0), None);
+    }
+}

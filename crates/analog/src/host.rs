@@ -244,24 +244,36 @@ mod tests {
                 to: InputPort::of(UnitId::Fanout(0)),
             },
             Instruction::SetConn {
-                from: OutputPort { unit: UnitId::Fanout(0), port: 0 },
+                from: OutputPort {
+                    unit: UnitId::Fanout(0),
+                    port: 0,
+                },
                 to: InputPort::of(UnitId::Adc(0)),
             },
             Instruction::SetConn {
-                from: OutputPort { unit: UnitId::Fanout(0), port: 1 },
+                from: OutputPort {
+                    unit: UnitId::Fanout(0),
+                    port: 1,
+                },
                 to: InputPort::of(UnitId::Multiplier(0)),
             },
             Instruction::SetConn {
                 from: OutputPort::of(UnitId::Multiplier(0)),
                 to: InputPort::of(UnitId::Integrator(0)),
             },
-            Instruction::SetMulGain { multiplier: 0, gain: -1.0 },
+            Instruction::SetMulGain {
+                multiplier: 0,
+                gain: -1.0,
+            },
             Instruction::SetDacConstant { dac: 0, value: 0.5 },
             Instruction::SetConn {
                 from: OutputPort::of(UnitId::Dac(0)),
                 to: InputPort::of(UnitId::Integrator(0)),
             },
-            Instruction::SetIntInitial { integrator: 0, value: 0.0 },
+            Instruction::SetIntInitial {
+                integrator: 0,
+                value: 0.0,
+            },
             Instruction::CfgCommit,
             Instruction::ExecStart,
         ]
@@ -300,7 +312,10 @@ mod tests {
         host.run_program(&decay_program()).unwrap();
         // Average of many single reads vs one big analogAvg.
         let Response::Analog(avg) = host
-            .execute(&Instruction::AnalogAvg { adc: 0, samples: 256 })
+            .execute(&Instruction::AnalogAvg {
+                adc: 0,
+                samples: 256,
+            })
             .unwrap()
         else {
             panic!("expected analog value");
@@ -330,14 +345,16 @@ mod tests {
         let mut host = Host::new(AnalogChip::new(ChipConfig::ideal()));
         host.select_parallel_target(ParallelTarget::Dac(0));
         // Code 255 = close to +fs.
-        host.execute(&Instruction::WriteParallel { data: 255 }).unwrap();
+        host.execute(&Instruction::WriteParallel { data: 255 })
+            .unwrap();
         // Build a trivial circuit that exposes the DAC at an ADC.
         host.execute(&Instruction::SetConn {
             from: OutputPort::of(UnitId::Dac(0)),
             to: InputPort::of(UnitId::Adc(0)),
         })
         .unwrap();
-        host.execute(&Instruction::SetTimeout { cycles: 10 }).unwrap();
+        host.execute(&Instruction::SetTimeout { cycles: 10 })
+            .unwrap();
         host.execute(&Instruction::CfgCommit).unwrap();
         host.execute(&Instruction::ExecStart).unwrap();
         let Response::Codes(codes) = host.execute(&Instruction::ReadSerial).unwrap() else {
@@ -349,12 +366,20 @@ mod tests {
     #[test]
     fn write_parallel_to_lut_autoincrements() {
         let mut host = Host::new(AnalogChip::new(ChipConfig::ideal()));
-        host.select_parallel_target(ParallelTarget::LutEntry { lut: 0, next_entry: 0 });
-        host.execute(&Instruction::WriteParallel { data: 10 }).unwrap();
-        host.execute(&Instruction::WriteParallel { data: 20 }).unwrap();
+        host.select_parallel_target(ParallelTarget::LutEntry {
+            lut: 0,
+            next_entry: 0,
+        });
+        host.execute(&Instruction::WriteParallel { data: 10 })
+            .unwrap();
+        host.execute(&Instruction::WriteParallel { data: 20 })
+            .unwrap();
         assert_eq!(
             host.parallel_target,
-            Some(ParallelTarget::LutEntry { lut: 0, next_entry: 2 })
+            Some(ParallelTarget::LutEntry {
+                lut: 0,
+                next_entry: 2
+            })
         );
     }
 

@@ -37,9 +37,9 @@ impl NonlinearFunction {
     pub fn as_closure(&self, full_scale: f64) -> Box<dyn Fn(f64) -> f64 + Send + Sync> {
         match *self {
             NonlinearFunction::Identity => Box::new(|x| x),
-            NonlinearFunction::Sine => Box::new(move |x| {
-                full_scale * (std::f64::consts::PI * x / full_scale).sin()
-            }),
+            NonlinearFunction::Sine => {
+                Box::new(move |x| full_scale * (std::f64::consts::PI * x / full_scale).sin())
+            }
             NonlinearFunction::Signum => Box::new(move |x| {
                 if x > 0.0 {
                     full_scale
@@ -235,7 +235,11 @@ mod tests {
         assert_eq!(Instruction::CfgCommit.kind(), InstructionKind::Config);
         assert_eq!(Instruction::ExecStart.kind(), InstructionKind::Control);
         assert_eq!(
-            Instruction::SetAnaInputEn { channel: 0, enabled: true }.kind(),
+            Instruction::SetAnaInputEn {
+                channel: 0,
+                enabled: true
+            }
+            .kind(),
             InstructionKind::DataInput
         );
         assert_eq!(Instruction::ReadSerial.kind(), InstructionKind::DataOutput);
@@ -248,7 +252,10 @@ mod tests {
 
     #[test]
     fn mnemonics_and_display() {
-        let i = Instruction::SetMulGain { multiplier: 3, gain: -0.5 };
+        let i = Instruction::SetMulGain {
+            multiplier: 3,
+            gain: -0.5,
+        };
         assert_eq!(i.mnemonic(), "setMulGain");
         assert_eq!(i.to_string(), "setMulGain mul3 = -0.5");
         assert_eq!(Instruction::ExecStart.to_string(), "execStart");

@@ -22,6 +22,11 @@
 //!   compiled into an ODE and integrated at a fine fraction of the
 //!   integrator time constant; solution time scales as `1/bandwidth`,
 //!   which is the pivotal trade-off the paper's evaluation explores.
+//! * **Runtime faults**: [`fault`] — a seeded, fully reproducible schedule
+//!   of transient and persistent fault events (drift ramps, noise bursts,
+//!   stuck integrators, ADC/SPI bit flips, LUT upsets) that the engine and
+//!   digital interface apply, so host-side recovery policies can be tested
+//!   deterministically.
 //!
 //! # Example: the paper's Figure 1 circuit
 //!
@@ -63,6 +68,7 @@ pub mod calibrate;
 pub mod config;
 pub mod engine;
 pub mod exceptions;
+pub mod fault;
 pub mod host;
 pub mod isa;
 pub mod lut;
@@ -77,7 +83,10 @@ pub use config::{ChipConfig, NonIdealityConfig, PROTOTYPE_BANDWIDTH_HZ};
 pub use engine::{EngineOptions, RunReport};
 pub use error::AnalogError;
 pub use exceptions::ExceptionVector;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, Rail};
 pub use host::{Host, ParallelTarget, Response};
 pub use isa::{Instruction, InstructionKind, NonlinearFunction};
 pub use lut::LookupTable;
-pub use spi::{decode_program, encode, encode_program};
+pub use spi::{
+    decode_program, decode_program_checked, encode, encode_program, encode_program_checked,
+};

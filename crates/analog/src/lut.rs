@@ -154,7 +154,10 @@ mod tests {
         let lut = LookupTable::identity(256, 8, 1.0);
         for &x in &[-0.9, -0.3, 0.0, 0.45, 0.8] {
             let y = lut.evaluate(x);
-            assert!((y - x).abs() <= 2.0 / 256.0 + 2.0 / 256.0, "x = {x}, y = {y}");
+            assert!(
+                (y - x).abs() <= 2.0 / 256.0 + 2.0 / 256.0,
+                "x = {x}, y = {y}"
+            );
         }
     }
 

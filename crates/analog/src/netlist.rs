@@ -230,8 +230,7 @@ impl Netlist {
             .into_iter()
             .filter(|u| !u.is_stateful() && u.has_input())
             .collect();
-        let mut indegree: BTreeMap<UnitId, usize> =
-            memoryless.iter().map(|u| (*u, 0)).collect();
+        let mut indegree: BTreeMap<UnitId, usize> = memoryless.iter().map(|u| (*u, 0)).collect();
         let mut edges: BTreeMap<UnitId, Vec<UnitId>> = BTreeMap::new();
         for (from, to) in self.iter() {
             if memoryless.contains(&from.unit) && memoryless.contains(&to.unit) {
@@ -292,14 +291,20 @@ mod tests {
     fn summation_by_joining_branches_is_allowed() {
         // Two drivers into one integrator input: free current summation.
         let mut net = Netlist::new(inv());
-        net.connect(OutputPort::of(UnitId::Dac(0)), InputPort::of(UnitId::Integrator(0)))
-            .unwrap();
+        net.connect(
+            OutputPort::of(UnitId::Dac(0)),
+            InputPort::of(UnitId::Integrator(0)),
+        )
+        .unwrap();
         net.connect(
             OutputPort::of(UnitId::Multiplier(0)),
             InputPort::of(UnitId::Integrator(0)),
         )
         .unwrap();
-        assert_eq!(net.drivers_of(InputPort::of(UnitId::Integrator(0))).len(), 2);
+        assert_eq!(
+            net.drivers_of(InputPort::of(UnitId::Integrator(0))).len(),
+            2
+        );
         net.validate().unwrap();
     }
 
@@ -307,7 +312,8 @@ mod tests {
     fn copying_a_current_requires_fanout() {
         let mut net = Netlist::new(inv());
         let from = OutputPort::of(UnitId::Integrator(0));
-        net.connect(from, InputPort::of(UnitId::Multiplier(0))).unwrap();
+        net.connect(from, InputPort::of(UnitId::Multiplier(0)))
+            .unwrap();
         let err = net
             .connect(from, InputPort::of(UnitId::Multiplier(1)))
             .unwrap_err();
@@ -318,15 +324,24 @@ mod tests {
     #[test]
     fn fanout_branches_allow_copying() {
         let mut net = Netlist::new(inv());
-        net.connect(OutputPort::of(UnitId::Integrator(0)), InputPort::of(UnitId::Fanout(0)))
-            .unwrap();
         net.connect(
-            OutputPort { unit: UnitId::Fanout(0), port: 0 },
+            OutputPort::of(UnitId::Integrator(0)),
+            InputPort::of(UnitId::Fanout(0)),
+        )
+        .unwrap();
+        net.connect(
+            OutputPort {
+                unit: UnitId::Fanout(0),
+                port: 0,
+            },
             InputPort::of(UnitId::Multiplier(0)),
         )
         .unwrap();
         net.connect(
-            OutputPort { unit: UnitId::Fanout(0), port: 1 },
+            OutputPort {
+                unit: UnitId::Fanout(0),
+                port: 1,
+            },
             InputPort::of(UnitId::Adc(0)),
         )
         .unwrap();
@@ -339,29 +354,44 @@ mod tests {
         // Fanout has only 2 branches.
         assert!(net
             .connect(
-                OutputPort { unit: UnitId::Fanout(0), port: 2 },
+                OutputPort {
+                    unit: UnitId::Fanout(0),
+                    port: 2
+                },
                 InputPort::of(UnitId::Adc(0))
             )
             .is_err());
         // ADC has no output.
         assert!(net
-            .connect(OutputPort::of(UnitId::Adc(0)), InputPort::of(UnitId::Integrator(0)))
+            .connect(
+                OutputPort::of(UnitId::Adc(0)),
+                InputPort::of(UnitId::Integrator(0))
+            )
             .is_err());
         // DAC has no input.
         assert!(net
-            .connect(OutputPort::of(UnitId::Dac(0)), InputPort::of(UnitId::Dac(0)))
+            .connect(
+                OutputPort::of(UnitId::Dac(0)),
+                InputPort::of(UnitId::Dac(0))
+            )
             .is_err());
         // Multiplier has 2 inputs; port 1 is fine, port 2 is not.
         assert!(net
             .connect(
                 OutputPort::of(UnitId::Dac(0)),
-                InputPort { unit: UnitId::Multiplier(0), port: 1 }
+                InputPort {
+                    unit: UnitId::Multiplier(0),
+                    port: 1
+                }
             )
             .is_ok());
         assert!(net
             .connect(
                 OutputPort::of(UnitId::Dac(1)),
-                InputPort { unit: UnitId::Multiplier(0), port: 2 }
+                InputPort {
+                    unit: UnitId::Multiplier(0),
+                    port: 2
+                }
             )
             .is_err());
     }
@@ -370,7 +400,10 @@ mod tests {
     fn nonexistent_units_rejected() {
         let mut net = Netlist::new(inv());
         assert!(matches!(
-            net.connect(OutputPort::of(UnitId::Integrator(4)), InputPort::of(UnitId::Adc(0))),
+            net.connect(
+                OutputPort::of(UnitId::Integrator(4)),
+                InputPort::of(UnitId::Adc(0))
+            ),
             Err(AnalogError::NoSuchUnit { .. })
         ));
     }
@@ -379,10 +412,16 @@ mod tests {
     fn integrator_feedback_loop_is_legal() {
         // int0 → mul0 → int0: a loop, but through an integrator. Legal.
         let mut net = Netlist::new(inv());
-        net.connect(OutputPort::of(UnitId::Integrator(0)), InputPort::of(UnitId::Multiplier(0)))
-            .unwrap();
-        net.connect(OutputPort::of(UnitId::Multiplier(0)), InputPort::of(UnitId::Integrator(0)))
-            .unwrap();
+        net.connect(
+            OutputPort::of(UnitId::Integrator(0)),
+            InputPort::of(UnitId::Multiplier(0)),
+        )
+        .unwrap();
+        net.connect(
+            OutputPort::of(UnitId::Multiplier(0)),
+            InputPort::of(UnitId::Integrator(0)),
+        )
+        .unwrap();
         net.validate().unwrap();
     }
 
@@ -390,10 +429,16 @@ mod tests {
     fn memoryless_cycle_is_algebraic_loop() {
         // mul0 → mul1 → mul0 with no integrator: must be rejected.
         let mut net = Netlist::new(inv());
-        net.connect(OutputPort::of(UnitId::Multiplier(0)), InputPort::of(UnitId::Multiplier(1)))
-            .unwrap();
-        net.connect(OutputPort::of(UnitId::Multiplier(1)), InputPort::of(UnitId::Multiplier(0)))
-            .unwrap();
+        net.connect(
+            OutputPort::of(UnitId::Multiplier(0)),
+            InputPort::of(UnitId::Multiplier(1)),
+        )
+        .unwrap();
+        net.connect(
+            OutputPort::of(UnitId::Multiplier(1)),
+            InputPort::of(UnitId::Multiplier(0)),
+        )
+        .unwrap();
         assert!(matches!(
             net.validate(),
             Err(AnalogError::AlgebraicLoop { .. })
@@ -404,12 +449,21 @@ mod tests {
     fn topo_order_respects_dependencies() {
         let mut net = Netlist::new(inv());
         // dac0 → mul0 → fan0 → adc0.
-        net.connect(OutputPort::of(UnitId::Dac(0)), InputPort::of(UnitId::Multiplier(0)))
-            .unwrap();
-        net.connect(OutputPort::of(UnitId::Multiplier(0)), InputPort::of(UnitId::Fanout(0)))
-            .unwrap();
         net.connect(
-            OutputPort { unit: UnitId::Fanout(0), port: 0 },
+            OutputPort::of(UnitId::Dac(0)),
+            InputPort::of(UnitId::Multiplier(0)),
+        )
+        .unwrap();
+        net.connect(
+            OutputPort::of(UnitId::Multiplier(0)),
+            InputPort::of(UnitId::Fanout(0)),
+        )
+        .unwrap();
+        net.connect(
+            OutputPort {
+                unit: UnitId::Fanout(0),
+                port: 0,
+            },
             InputPort::of(UnitId::Adc(0)),
         )
         .unwrap();
@@ -423,10 +477,15 @@ mod tests {
     fn disconnect_and_clear() {
         let mut net = Netlist::new(inv());
         let from = OutputPort::of(UnitId::Dac(0));
-        net.connect(from, InputPort::of(UnitId::Integrator(0))).unwrap();
-        assert_eq!(net.disconnect(from), Some(InputPort::of(UnitId::Integrator(0))));
+        net.connect(from, InputPort::of(UnitId::Integrator(0)))
+            .unwrap();
+        assert_eq!(
+            net.disconnect(from),
+            Some(InputPort::of(UnitId::Integrator(0)))
+        );
         assert!(net.is_empty());
-        net.connect(from, InputPort::of(UnitId::Integrator(0))).unwrap();
+        net.connect(from, InputPort::of(UnitId::Integrator(0)))
+            .unwrap();
         net.clear();
         assert!(net.is_empty());
     }

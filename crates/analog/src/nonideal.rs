@@ -5,8 +5,7 @@
 //! compensated by small trim DACs in each block whose codes are found during
 //! calibration; nonlinearity (clipping) is handled by overflow exceptions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aa_linalg::rng::Rng64;
 
 use crate::config::NonIdealityConfig;
 use crate::units::{ResourceInventory, UnitId};
@@ -106,15 +105,15 @@ impl ProcessVariation {
     /// magnitudes in `config` (seeded, so a given seed is one specific
     /// "copy" of the chip).
     pub fn draw(inventory: &ResourceInventory, config: &NonIdealityConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Rng64::seed_from_u64(config.seed);
         let mut units = std::collections::BTreeMap::new();
         for unit in inventory.iter() {
             let imperfection = if config.is_ideal() {
                 BlockImperfection::ideal()
             } else {
                 BlockImperfection {
-                    offset: gaussian(&mut rng) * config.offset_std,
-                    gain_error: gaussian(&mut rng) * config.gain_error_std,
+                    offset: rng.gaussian() * config.offset_std,
+                    gain_error: rng.gaussian() * config.gain_error_std,
                     offset_trim: 0,
                     gain_trim: 0,
                 }
@@ -155,13 +154,6 @@ impl ProcessVariation {
     pub fn iter(&self) -> impl Iterator<Item = (UnitId, &BlockImperfection)> + '_ {
         self.units.iter().map(|(u, b)| (*u, b))
     }
-}
-
-/// Standard normal sample via Box–Muller (keeps us off rand_distr).
-fn gaussian<R: Rng>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]
@@ -242,17 +234,9 @@ mod tests {
         assert_eq!(trim_code_max(), 511);
         assert_eq!(trim_code_min(), -512);
         assert!(trim_value(trim_code_max(), OFFSET_TRIM_RANGE) < OFFSET_TRIM_RANGE);
-        assert_eq!(trim_value(trim_code_min(), OFFSET_TRIM_RANGE), -OFFSET_TRIM_RANGE);
-    }
-
-    #[test]
-    fn gaussian_has_roughly_unit_variance() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
-        assert!(mean.abs() < 0.03, "mean = {mean}");
-        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+        assert_eq!(
+            trim_value(trim_code_min(), OFFSET_TRIM_RANGE),
+            -OFFSET_TRIM_RANGE
+        );
     }
 }

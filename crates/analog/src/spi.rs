@@ -175,6 +175,57 @@ pub fn encode_program(program: &[Instruction]) -> Vec<u8> {
     buf
 }
 
+/// FNV-1a over the bitstream — the frame check sequence for
+/// [`encode_program_checked`].
+fn checksum(bytes: &[u8]) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for b in bytes {
+        h ^= u32::from(*b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Serializes a program with a trailing 4-byte (little-endian) FNV-1a frame
+/// check sequence, so the receiver can detect transfer corruption instead of
+/// silently misconfiguring the chip.
+pub fn encode_program_checked(program: &[Instruction]) -> Vec<u8> {
+    let mut buf = encode_program(program);
+    let sum = checksum(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Deserializes a bitstream framed by [`encode_program_checked`], verifying
+/// the frame check sequence before decoding.
+///
+/// # Errors
+///
+/// Returns [`AnalogError::ProtocolViolation`] if the stream is too short to
+/// carry a checksum, if the checksum mismatches (a corrupted transfer), or
+/// if the payload itself fails to decode.
+pub fn decode_program_checked(bytes: &[u8]) -> Result<Vec<Instruction>, AnalogError> {
+    if bytes.len() < 4 {
+        return Err(AnalogError::ProtocolViolation {
+            message: format!(
+                "checked SPI stream truncated: {} bytes cannot hold a checksum",
+                bytes.len()
+            ),
+        });
+    }
+    let (payload, fcs) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_le_bytes(fcs.try_into().expect("length checked"));
+    let actual = checksum(payload);
+    if actual != expected {
+        return Err(AnalogError::ProtocolViolation {
+            message: format!(
+                "SPI checksum mismatch: frame carries 0x{expected:08x}, payload hashes to 0x{actual:08x}"
+            ),
+        });
+    }
+    decode_program(payload)
+}
+
 /// A byte cursor with checked reads.
 struct Cursor<'a> {
     bytes: &'a [u8],
@@ -185,10 +236,7 @@ impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], AnalogError> {
         if self.pos + n > self.bytes.len() {
             return Err(AnalogError::ProtocolViolation {
-                message: format!(
-                    "truncated SPI frame at byte {} (needed {n} more)",
-                    self.pos
-                ),
+                message: format!("truncated SPI frame at byte {} (needed {n} more)", self.pos),
             });
         }
         let s = &self.bytes[self.pos..self.pos + n];
@@ -436,7 +484,10 @@ mod tests {
                 multiplier: 0,
                 gain: -1.0,
             },
-            Instruction::SetDacConstant { dac: 0, value: 0.25 },
+            Instruction::SetDacConstant {
+                dac: 0,
+                value: 0.25,
+            },
             Instruction::CfgCommit,
             Instruction::ExecStart,
         ];
@@ -447,6 +498,47 @@ mod tests {
             panic!("expected run");
         };
         assert!((report.integrator_values[&0] - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn checked_frames_round_trip() {
+        let program = sample_program();
+        let bytes = encode_program_checked(&program);
+        assert_eq!(decode_program_checked(&bytes).unwrap(), program);
+    }
+
+    #[test]
+    fn checked_frames_detect_fault_injected_corruption() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+
+        let program = sample_program();
+        let mut bytes = encode_program_checked(&program);
+        // A transient SPI fault flips one bit mid-transfer…
+        let plan = FaultPlan::new(9).with_event(FaultEvent::transient(
+            FaultKind::SpiBitFlip { byte: 5, bit: 3 },
+            0.0,
+            1.0,
+        ));
+        plan.corrupt_spi(0.5, &mut bytes);
+        // …and the frame check sequence catches it as a structured error.
+        assert!(matches!(
+            decode_program_checked(&bytes),
+            Err(AnalogError::ProtocolViolation { .. })
+        ));
+        // Outside the fault window the transfer is untouched.
+        let mut clean = encode_program_checked(&program);
+        plan.corrupt_spi(2.0, &mut clean);
+        assert_eq!(decode_program_checked(&clean).unwrap(), program);
+    }
+
+    #[test]
+    fn checked_stream_too_short_for_checksum_rejected() {
+        for n in 0..4 {
+            assert!(matches!(
+                decode_program_checked(&vec![0u8; n]),
+                Err(AnalogError::ProtocolViolation { .. })
+            ));
+        }
     }
 
     #[test]

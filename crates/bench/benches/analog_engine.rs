@@ -1,37 +1,40 @@
-//! Criterion measurement of the behavioural analog engine itself: cost of a
-//! complete analog solve (program + settle + readout) at two problem sizes,
-//! and of multigrid with analog coarse solves. These back the "analog sim"
-//! columns of the Figure 8 harness.
+//! Measurement of the behavioural analog engine itself: cost of a complete
+//! analog solve (program + settle + readout) at two problem sizes, and of
+//! circuit compilation. These back the "analog sim" columns of the Figure 8
+//! harness. Plain `Instant`-based harness (no external bench framework).
+
+use std::time::Instant;
 
 use aa_linalg::stencil::PoissonStencil;
 use aa_linalg::CsrMatrix;
 use aa_solver::{AnalogSystemSolver, SolverConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_analog_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analog_circuit_solve");
-    group.sample_size(10);
+fn main() {
+    println!("analog_circuit_solve");
     for l in [3usize, 6] {
         let a = CsrMatrix::from_row_access(&PoissonStencil::new_2d(l).expect("l > 0"));
         let n = l * l;
         let b = vec![0.5; n];
-        group.bench_with_input(BenchmarkId::from_parameter(n), &l, |bench, _| {
-            bench.iter_batched(
-                || AnalogSystemSolver::new(&a, &SolverConfig::ideal()).expect("maps"),
-                |mut solver| solver.solve(&b).expect("solves"),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        let mut best = f64::INFINITY;
+        for _ in 0..10 {
+            // Solver construction is excluded from the timed region.
+            let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).expect("maps");
+            let start = Instant::now();
+            solver.solve(&b).expect("solves");
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        println!("  n = {n:3}: {:10.3} ms (best of 10)", best * 1e3);
     }
-    group.finish();
-}
 
-fn bench_engine_compile(c: &mut Criterion) {
     let a = CsrMatrix::from_row_access(&PoissonStencil::new_2d(8).expect("l > 0"));
-    c.bench_function("analog_circuit_compile_64var", |bench| {
-        bench.iter(|| AnalogSystemSolver::new(&a, &SolverConfig::ideal()).expect("maps"))
-    });
+    let mut best = f64::INFINITY;
+    for _ in 0..10 {
+        let start = Instant::now();
+        AnalogSystemSolver::new(&a, &SolverConfig::ideal()).expect("maps");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    println!(
+        "analog_circuit_compile_64var: {:10.3} ms (best of 10)",
+        best * 1e3
+    );
 }
-
-criterion_group!(benches, bench_analog_solve, bench_engine_compile);
-criterion_main!(benches);

@@ -1,6 +1,8 @@
-//! Criterion measurement backing Figure 7: wall time for each classical
-//! iterative method to reach the same tolerance on a (reduced-size) 3D
-//! Poisson problem.
+//! Measurement backing Figure 7: wall time for each classical iterative
+//! method to reach the same tolerance on a (reduced-size) 3D Poisson
+//! problem. Plain `Instant`-based harness (no external bench framework).
+
+use std::time::Instant;
 
 use aa_linalg::iterative::{
     cg, gauss_seidel, jacobi, sor, sor_optimal_omega, steepest_descent, IterativeConfig,
@@ -8,30 +10,38 @@ use aa_linalg::iterative::{
 };
 use aa_linalg::stencil::PoissonStencil;
 use aa_linalg::LinearOperator;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_methods(c: &mut Criterion) {
+fn time_best_of<F: FnMut()>(label: &str, reps: usize, mut f: F) {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    println!("{label:>16}: {:10.3} ms (best of {reps})", best * 1e3);
+}
+
+fn main() {
     // 8³ = 512 unknowns keeps Jacobi's O(L²) iteration count tractable.
     let op = PoissonStencil::new_3d(8).expect("valid grid");
     let b = vec![1.0; op.dim()];
     let cfg = IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(1e-6))
         .omega(sor_optimal_omega(8));
 
-    let mut group = c.benchmark_group("fig7_solver_race");
-    group.sample_size(10);
-    group.bench_function("cg", |bench| bench.iter(|| cg(&op, &b, &cfg).unwrap()));
-    group.bench_function("steepest", |bench| {
-        bench.iter(|| steepest_descent(&op, &b, &cfg).unwrap())
+    println!("fig7_solver_race (512 unknowns, rel. residual 1e-6)");
+    time_best_of("cg", 10, || {
+        cg(&op, &b, &cfg).unwrap();
     });
-    group.bench_function("sor", |bench| bench.iter(|| sor(&op, &b, &cfg).unwrap()));
-    group.bench_function("gauss_seidel", |bench| {
-        bench.iter(|| gauss_seidel(&op, &b, &cfg).unwrap())
+    time_best_of("steepest", 10, || {
+        steepest_descent(&op, &b, &cfg).unwrap();
     });
-    group.bench_function("jacobi", |bench| {
-        bench.iter(|| jacobi(&op, &b, &cfg).unwrap())
+    time_best_of("sor", 10, || {
+        sor(&op, &b, &cfg).unwrap();
     });
-    group.finish();
+    time_best_of("gauss_seidel", 10, || {
+        gauss_seidel(&op, &b, &cfg).unwrap();
+    });
+    time_best_of("jacobi", 3, || {
+        jacobi(&op, &b, &cfg).unwrap();
+    });
 }
-
-criterion_group!(benches, bench_methods);
-criterion_main!(benches);

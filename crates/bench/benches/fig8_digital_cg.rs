@@ -1,25 +1,25 @@
-//! Criterion measurement backing Figure 8's digital series: stencil CG
-//! wall-clock time at the paper's equal-accuracy stopping rule, swept over
-//! problem size.
+//! Measurement backing Figure 8's digital series: stencil CG wall-clock
+//! time at the paper's equal-accuracy stopping rule, swept over problem
+//! size. Plain `Instant`-based harness (no external bench framework).
+
+use std::time::Instant;
 
 use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
 use aa_linalg::stencil::PoissonStencil;
 use aa_linalg::LinearOperator;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_cg_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_digital_cg");
-    group.sample_size(10);
+fn main() {
+    println!("fig8_digital_cg (8-bit-ADC-equivalent stopping rule)");
     for l in [8usize, 16, 32] {
         let op = PoissonStencil::new_2d(l).expect("l > 0");
         let b = vec![1.0; op.dim()];
         let cfg = IterativeConfig::with_stopping(StoppingCriterion::adc_equivalent(8));
-        group.bench_with_input(BenchmarkId::from_parameter(l * l), &l, |bench, _| {
-            bench.iter(|| cg(&op, &b, &cfg).expect("poisson is SPD"))
-        });
+        let mut best = f64::INFINITY;
+        for _ in 0..10 {
+            let start = Instant::now();
+            cg(&op, &b, &cfg).expect("poisson is SPD");
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        println!("  n = {:5}: {:10.3} ms (best of 10)", l * l, best * 1e3);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cg_sweep);
-criterion_main!(benches);

@@ -21,12 +21,14 @@ use aa_linalg::stencil::PoissonStencil;
 use aa_linalg::CsrMatrix;
 use aa_solver::refine::solve_refined;
 use aa_solver::{
-    solve_decomposed, AnalogSystemSolver, DecomposeConfig, OuterMethod, RefineConfig,
-    SolverConfig,
+    solve_decomposed, AnalogSystemSolver, DecomposeConfig, OuterMethod, RefineConfig, SolverConfig,
 };
 
 fn main() {
-    banner("Ablations", "isolating each architectural knob of the accelerator");
+    banner(
+        "Ablations",
+        "isolating each architectural knob of the accelerator",
+    );
     calibration_ablation();
     adc_resolution_ablation();
     bandwidth_sweep();
@@ -42,7 +44,10 @@ fn reference_problem() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
 }
 
 fn max_err(x: &[f64], e: &[f64]) -> f64 {
-    x.iter().zip(e).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    x.iter()
+        .zip(e)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Ablation 1: calibration on/off across chip instances (process seeds).

@@ -31,12 +31,20 @@ fn main() {
     for l in [6usize, 8, 11, 16, 22, 32] {
         let problem = PoissonProblem::new_2d(l);
         let n = problem.grid_points();
-        print!("{:>6} {:>6} {:>14}", l, n, format_energy(gpu_solution_energy_j(&gpu, &problem, 12)));
+        print!(
+            "{:>6} {:>6} {:>14}",
+            l,
+            n,
+            format_energy(gpu_solution_energy_j(&gpu, &problem, 12))
+        );
         for d in &designs {
             if n > d.max_grid_points(GPU_DIE_AREA_MM2) {
                 print!(" {:>14}", "over die");
             } else {
-                print!(" {:>14}", format_energy(analog_solution_energy_j(d, &problem)));
+                print!(
+                    " {:>14}",
+                    format_energy(analog_solution_energy_j(d, &problem))
+                );
             }
         }
         println!();

@@ -54,7 +54,10 @@ fn main() {
     run!("gs", gauss_seidel_observed);
     run!("jacobi", jacobi_observed);
 
-    println!("\n{:>5} {:>12} {:>12} {:>12} {:>12} {:>12}", "iter", "cg", "steepest", "sor", "gs", "jacobi");
+    println!(
+        "\n{:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "iter", "cg", "steepest", "sor", "gs", "jacobi"
+    );
     for k in 0..MAX_ITERS {
         let row: Vec<String> = curves
             .iter()
@@ -87,15 +90,20 @@ fn main() {
     // The paper's headline: "CG converges to a solution limited by the
     // precision of double precision floating point numbers the quickest."
     // Measure iterations-to-floor for CG vs the runner-up.
-    let to_floor = |f: &dyn Fn(&IterativeConfig) -> usize| f(&IterativeConfig::with_stopping(
-        StoppingCriterion::RelativeResidual(1e-13),
-    )
-    .max_iterations(100_000)
-    .omega(sor_optimal_omega(16)));
+    let to_floor = |f: &dyn Fn(&IterativeConfig) -> usize| {
+        f(
+            &IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(1e-13))
+                .max_iterations(100_000)
+                .omega(sor_optimal_omega(16)),
+        )
+    };
     let cg_floor = to_floor(&|cfg| aa_linalg::iterative::cg(a, b, cfg).unwrap().iterations);
     let sor_floor = to_floor(&|cfg| aa_linalg::iterative::sor(a, b, cfg).unwrap().iterations);
-    let gs_floor =
-        to_floor(&|cfg| aa_linalg::iterative::gauss_seidel(a, b, cfg).unwrap().iterations);
+    let gs_floor = to_floor(&|cfg| {
+        aa_linalg::iterative::gauss_seidel(a, b, cfg)
+            .unwrap()
+            .iterations
+    });
     println!(
         "  [{}] CG reaches the double-precision-limited floor quickest:\n        cg {cg_floor} iters, sor {sor_floor}, gs {gs_floor}",
         ok(cg_floor < sor_floor && sor_floor < gs_floor)

@@ -16,8 +16,8 @@ use aa_bench::{banner, format_time, log_log_slope, measure_cg_2d};
 use aa_hwmodel::design::AcceleratorDesign;
 use aa_hwmodel::digital::CpuModel;
 use aa_hwmodel::timing::{analog_solve_time_s, PoissonProblem};
-use aa_linalg::CsrMatrix;
 use aa_linalg::stencil::PoissonStencil;
+use aa_linalg::CsrMatrix;
 use aa_solver::{AnalogSystemSolver, SolverConfig};
 
 fn main() {
@@ -32,7 +32,13 @@ fn main() {
 
     println!(
         "\n{:>6} {:>6} {:>14} {:>14} {:>14} {:>14} {:>16}",
-        "L", "N", "CG measured", "CG cycle-model", "analog 20KHz", "analog 80KHz", "analog sim (20K)"
+        "L",
+        "N",
+        "CG measured",
+        "CG cycle-model",
+        "analog 20KHz",
+        "analog 80KHz",
+        "analog sim (20K)"
     );
 
     let mut cg_points = Vec::new();

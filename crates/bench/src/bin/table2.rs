@@ -63,13 +63,21 @@ fn main() {
     let check = component_power_w(&s, 4.0) / s.power_w;
     println!(
         "\n  [{}] integrator power at alpha=4 grows by core·4 + non-core = {:.2}x",
-        if (check - (0.8 * 4.0 + 0.2)).abs() < 1e-12 { "ok" } else { "MISMATCH" },
+        if (check - (0.8 * 4.0 + 0.2)).abs() < 1e-12 {
+            "ok"
+        } else {
+            "MISMATCH"
+        },
         check
     );
     let a_check = component_area_mm2(&s, 4.0) / s.area_mm2;
     println!(
         "  [{}] integrator area at alpha=4 grows by {:.2}x (core area fraction 40%)",
-        if (a_check - (0.4 * 4.0 + 0.6)).abs() < 1e-12 { "ok" } else { "MISMATCH" },
+        if (a_check - (0.4 * 4.0 + 0.6)).abs() < 1e-12 {
+            "ok"
+        } else {
+            "MISMATCH"
+        },
         a_check
     );
 }

@@ -82,10 +82,7 @@ fn main() {
                     points_per_side: l,
                     dimensionality: dim,
                 };
-                (
-                    p.grid_points() as f64,
-                    analog_solve_time_s(&design, &p),
-                )
+                (p.grid_points() as f64, analog_solve_time_s(&design, &p))
             })
             .collect();
         log_log_slope(&pts)

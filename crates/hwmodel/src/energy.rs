@@ -66,10 +66,8 @@ mod tests {
         assert!(e1300 / e320 > 0.9);
         // But 80 kHz DOES improve on 20 kHz (the non-core fixed power is
         // amortized over a 4× shorter solve).
-        let e20 = analog_solution_energy_j(
-            &AcceleratorDesign::new("analog 20KHz/12b", 20e3, 12),
-            &p,
-        );
+        let e20 =
+            analog_solution_energy_j(&AcceleratorDesign::new("analog 20KHz/12b", 20e3, 12), &p);
         // Energy per solve ∝ (core_power·α + fixed)/α = core_power + fixed/α:
         // the α = 4 design amortizes the fixed share 4× better.
         assert!(e80 < e20 * 0.9, "e80 = {e80}, e20 = {e20}");

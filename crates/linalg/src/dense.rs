@@ -306,7 +306,10 @@ mod tests {
         let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, DenseMatrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]).unwrap());
+        assert_eq!(
+            c,
+            DenseMatrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]).unwrap()
+        );
     }
 
     #[test]

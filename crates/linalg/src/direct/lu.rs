@@ -46,9 +46,13 @@ impl LuFactor {
 
         for k in 0..n {
             // Partial pivot: largest magnitude in column k at/below the diagonal.
-            let (pivot_row, pivot_val) = (k..n)
-                .map(|i| (i, lu.get(i, k).abs()))
-                .fold((k, -1.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+            let (pivot_row, pivot_val) =
+                (k..n)
+                    .map(|i| (i, lu.get(i, k).abs()))
+                    .fold(
+                        (k, -1.0),
+                        |best, cur| if cur.1 > best.1 { cur } else { best },
+                    );
             if pivot_val < Self::PIVOT_TOL {
                 return Err(LinalgError::SingularMatrix { pivot: k });
             }
@@ -119,10 +123,7 @@ impl LuFactor {
 
     /// Determinant of `A` (product of U's diagonal times the permutation sign).
     pub fn det(&self) -> f64 {
-        self.perm_sign
-            * (0..self.dim())
-                .map(|i| self.lu.get(i, i))
-                .product::<f64>()
+        self.perm_sign * (0..self.dim()).map(|i| self.lu.get(i, i)).product::<f64>()
     }
 
     /// Inverse of `A` as a dense matrix (column-by-column solves).

@@ -196,12 +196,8 @@ mod tests {
 
     #[test]
     fn solves_unsymmetric_system() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-            &[7.0, 8.0, 10.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]])
+            .unwrap();
         let x_true = [1.0, -1.0, 2.0];
         let b = a.apply_vec(&x_true);
         let x = QrFactor::new(&a).unwrap().solve(&b).unwrap();
@@ -226,12 +222,8 @@ mod tests {
 
     #[test]
     fn q_times_r_reconstructs_a() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, -1.0, 0.5],
-            &[1.5, 3.0, -2.0],
-            &[0.0, 1.0, 1.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[2.0, -1.0, 0.5], &[1.5, 3.0, -2.0], &[0.0, 1.0, 1.0]])
+            .unwrap();
         let qr = QrFactor::new(&a).unwrap();
         let r = qr.r();
         // Column c of A equals Q·(column c of R).
@@ -275,12 +267,8 @@ mod tests {
 
     #[test]
     fn matches_lu_on_random_system() {
-        let a = DenseMatrix::from_rows(&[
-            &[0.0, 2.0, 1.0],
-            &[1.0, 0.0, 3.0],
-            &[2.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 3.0], &[2.0, 1.0, 0.0]])
+            .unwrap();
         let b = vec![1.0, -2.0, 0.5];
         let x_qr = QrFactor::new(&a).unwrap().solve(&b).unwrap();
         let x_lu = crate::direct::LuFactor::new(&a).unwrap().solve(&b).unwrap();

@@ -95,7 +95,12 @@ impl SvdFactor {
         // Column norms → singular values; normalized columns → U.
         let mut order: Vec<usize> = (0..n).collect();
         let norms: Vec<f64> = (0..n)
-            .map(|j| (0..n).map(|i| b.get(i, j) * b.get(i, j)).sum::<f64>().sqrt())
+            .map(|j| {
+                (0..n)
+                    .map(|i| b.get(i, j) * b.get(i, j))
+                    .sum::<f64>()
+                    .sqrt()
+            })
             .collect();
         order.sort_by(|x, y| norms[*y].partial_cmp(&norms[*x]).expect("finite norms"));
 
@@ -177,8 +182,8 @@ impl SvdFactor {
         for (k, yk) in y.iter_mut().enumerate() {
             if self.sigma[k] > cutoff {
                 let mut dot = 0.0;
-                for i in 0..n {
-                    dot += self.u.get(i, k) * b[i];
+                for (i, bi) in b.iter().enumerate() {
+                    dot += self.u.get(i, k) * bi;
                 }
                 *yk = dot / self.sigma[k];
             }
@@ -210,20 +215,16 @@ mod tests {
 
     #[test]
     fn reconstruction_u_sigma_vt() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, -1.0, 0.3],
-            &[0.5, 1.5, -0.7],
-            &[-0.2, 0.8, 1.1],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[2.0, -1.0, 0.3], &[0.5, 1.5, -0.7], &[-0.2, 0.8, 1.1]])
+            .unwrap();
         let svd = SvdFactor::new(&a).unwrap();
         // A·v_k = σ_k·u_k for every k.
         for k in 0..3 {
             let vk: Vec<f64> = (0..3).map(|i| svd.v().get(i, k)).collect();
             let av = a.apply_vec(&vk);
-            for i in 0..3 {
+            for (i, avi) in av.iter().enumerate() {
                 let expect = svd.singular_values()[k] * svd.u().get(i, k);
-                assert!((av[i] - expect).abs() < 1e-10, "k={k} i={i}");
+                assert!((avi - expect).abs() < 1e-10, "k={k} i={i}");
             }
         }
     }

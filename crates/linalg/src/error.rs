@@ -87,7 +87,10 @@ mod tests {
             actual: 4,
             context: "matvec",
         };
-        assert_eq!(e.to_string(), "dimension mismatch in matvec: expected 3, got 4");
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in matvec: expected 3, got 4"
+        );
         let e = LinalgError::NotSquare { rows: 2, cols: 3 };
         assert_eq!(e.to_string(), "matrix must be square, got 2x3");
         let e = LinalgError::SingularMatrix { pivot: 1 };

@@ -112,10 +112,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::LinearOperator;
     use crate::direct;
     use crate::iterative::StoppingCriterion;
     use crate::stencil::PoissonStencil;
+    use crate::LinearOperator;
     use crate::{CsrMatrix, Triplet};
 
     #[test]
@@ -185,11 +185,8 @@ mod tests {
 
     #[test]
     fn non_spd_matrix_detected() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            &[Triplet::new(0, 0, -1.0), Triplet::new(1, 1, -1.0)],
-        )
-        .unwrap();
+        let a = CsrMatrix::from_triplets(2, &[Triplet::new(0, 0, -1.0), Triplet::new(1, 1, -1.0)])
+            .unwrap();
         assert!(matches!(
             cg(&a, &[1.0, 1.0], &IterativeConfig::default()),
             Err(LinalgError::NotPositiveDefinite { .. })

@@ -116,8 +116,7 @@ mod tests {
 
     #[test]
     fn zero_diagonal_rejected() {
-        let a =
-            CsrMatrix::from_triplets(1, &[Triplet::new(0, 0, 0.0)]).unwrap();
+        let a = CsrMatrix::from_triplets(1, &[Triplet::new(0, 0, 0.0)]).unwrap();
         assert!(gauss_seidel(&a, &[1.0], &IterativeConfig::default()).is_err());
     }
 

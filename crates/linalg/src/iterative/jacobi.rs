@@ -151,11 +151,8 @@ mod tests {
 
     #[test]
     fn zero_diagonal_is_singular_error() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            &[Triplet::new(0, 1, 1.0), Triplet::new(1, 0, 1.0)],
-        )
-        .unwrap();
+        let a = CsrMatrix::from_triplets(2, &[Triplet::new(0, 1, 1.0), Triplet::new(1, 0, 1.0)])
+            .unwrap();
         assert!(matches!(
             jacobi(&a, &[1.0, 1.0], &IterativeConfig::default()),
             Err(LinalgError::SingularMatrix { pivot: 0 })
@@ -166,16 +163,11 @@ mod tests {
     fn observer_sees_every_iteration() {
         let a = CsrMatrix::tridiagonal(4, -1.0, 4.0, -1.0).unwrap();
         let mut count = 0;
-        let report = jacobi_observed(
-            &a,
-            &[1.0; 4],
-            &IterativeConfig::default(),
-            |k, x| {
-                count += 1;
-                assert_eq!(k, count);
-                assert_eq!(x.len(), 4);
-            },
-        )
+        let report = jacobi_observed(&a, &[1.0; 4], &IterativeConfig::default(), |k, x| {
+            count += 1;
+            assert_eq!(k, count);
+            assert_eq!(x.len(), 4);
+        })
         .unwrap();
         assert_eq!(count, report.iterations);
     }
@@ -183,11 +175,9 @@ mod tests {
     #[test]
     fn max_change_stopping_matches_adc_rule() {
         let a = CsrMatrix::tridiagonal(6, -1.0, 4.0, -1.0).unwrap();
-        let cfg =
-            IterativeConfig::with_stopping(StoppingCriterion::adc_equivalent(8));
+        let cfg = IterativeConfig::with_stopping(StoppingCriterion::adc_equivalent(8));
         let r8 = jacobi(&a, &[1.0; 6], &cfg).unwrap();
-        let cfg12 =
-            IterativeConfig::with_stopping(StoppingCriterion::adc_equivalent(12));
+        let cfg12 = IterativeConfig::with_stopping(StoppingCriterion::adc_equivalent(12));
         let r12 = jacobi(&a, &[1.0; 6], &cfg12).unwrap();
         assert!(r8.converged && r12.converged);
         // Matching a 12-bit ADC requires at least as many iterations as 8-bit.

@@ -30,9 +30,9 @@ mod sor;
 mod steepest;
 
 pub use cg::{cg, cg_observed};
-pub use pcg::pcg;
 pub use gauss_seidel::{gauss_seidel, gauss_seidel_observed};
 pub use jacobi::{jacobi, jacobi_observed};
+pub use pcg::pcg;
 pub use sor::{sor, sor_observed, sor_optimal_omega};
 pub use steepest::{steepest_descent, steepest_descent_observed};
 
@@ -251,12 +251,7 @@ impl Driver {
         }
     }
 
-    pub(crate) fn finish(
-        self,
-        method: Method,
-        converged: bool,
-        iterations: usize,
-    ) -> SolveReport {
+    pub(crate) fn finish(self, method: Method, converged: bool, iterations: usize) -> SolveReport {
         let final_residual = self.report_residuals.last().copied().unwrap_or(f64::NAN);
         SolveReport {
             method,
@@ -328,7 +323,10 @@ mod tests {
         let cfg = IterativeConfig::default().initial_guess(vec![0.0; 3]);
         assert!(cfg.validate(4).is_err());
         assert_eq!(cfg.validate(3).unwrap(), vec![0.0; 3]);
-        assert_eq!(IterativeConfig::default().validate(2).unwrap(), vec![0.0; 2]);
+        assert_eq!(
+            IterativeConfig::default().validate(2).unwrap(),
+            vec![0.0; 2]
+        );
     }
 
     #[test]

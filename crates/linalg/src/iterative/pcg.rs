@@ -158,11 +158,8 @@ mod tests {
 
     #[test]
     fn rejects_indefinite_diagonal() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            &[Triplet::new(0, 0, -1.0), Triplet::new(1, 1, 1.0)],
-        )
-        .unwrap();
+        let a = CsrMatrix::from_triplets(2, &[Triplet::new(0, 0, -1.0), Triplet::new(1, 1, 1.0)])
+            .unwrap();
         assert!(pcg(&a, &[1.0, 1.0], &IterativeConfig::default()).is_err());
     }
 

@@ -147,7 +147,12 @@ mod tests {
         let s = sor(&op, &b, &cfg_sor).unwrap();
         let g = gauss_seidel(&op, &b, &cfg_gs).unwrap();
         assert!(s.converged && g.converged);
-        assert!(s.iterations < g.iterations, "{} !< {}", s.iterations, g.iterations);
+        assert!(
+            s.iterations < g.iterations,
+            "{} !< {}",
+            s.iterations,
+            g.iterations
+        );
     }
 
     #[test]

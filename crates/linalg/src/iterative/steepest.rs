@@ -105,8 +105,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::LinearOperator;
     use crate::iterative::{cg, StoppingCriterion};
+    use crate::LinearOperator;
     use crate::{CsrMatrix, Triplet};
 
     #[test]
@@ -133,14 +133,8 @@ mod tests {
 
     #[test]
     fn indefinite_matrix_detected() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            &[
-                Triplet::new(0, 0, 1.0),
-                Triplet::new(1, 1, -1.0),
-            ],
-        )
-        .unwrap();
+        let a = CsrMatrix::from_triplets(2, &[Triplet::new(0, 0, 1.0), Triplet::new(1, 1, -1.0)])
+            .unwrap();
         let result = steepest_descent(&a, &[1.0, 1.0], &IterativeConfig::default());
         assert!(matches!(
             result,

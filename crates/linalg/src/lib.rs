@@ -47,6 +47,7 @@ pub mod direct;
 pub mod eigen;
 pub mod iterative;
 pub mod op;
+pub mod rng;
 pub mod stencil;
 pub mod vector;
 

@@ -1,0 +1,159 @@
+//! Deterministic, dependency-free pseudo-random number generation.
+//!
+//! The workspace models seeded process variation, readout noise, and
+//! injected transient faults; all of them must be **bit-reproducible** from
+//! a seed so that every observed failure doubles as a regression test. This
+//! module provides a small SplitMix64-based generator plus a stateless
+//! mixing finalizer for counter-based noise streams, replacing the external
+//! `rand` crate (which the offline build environment cannot fetch).
+
+/// The SplitMix64 finalizer: a stateless, high-quality 64-bit mixing
+/// function. `mix64(x)` is a bijection on `u64`, so distinct inputs never
+/// collide — the right primitive for counter-based (stateless) noise where
+/// the sample at `(seed, site, time)` must not depend on evaluation order.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a `u64` to a uniform `f64` in `[0, 1)` using the top 53 bits.
+pub fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A small deterministic PRNG (SplitMix64 sequence).
+///
+/// Statistical quality is ample for simulation noise and test-case
+/// generation, and the implementation is platform-independent: the same
+/// seed yields the same stream on every target.
+///
+/// ```
+/// use aa_linalg::rng::Rng64;
+/// let mut a = Rng64::seed_from_u64(42);
+/// let mut b = Rng64::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // Pre-mix so that small, similar seeds (0, 1, 2, …) produce
+        // decorrelated streams.
+        Rng64 {
+            state: mix64(seed ^ 0x6a09e667f3bcc909),
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        mix64(self.state)
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is empty");
+        // Modulo bias is < 2^-50 for any n that fits in usize here.
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform boolean.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A standard normal sample via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        // u1 ∈ (0, 1] so ln(u1) is finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut rng = Rng64::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_variance() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn mix64_is_stable() {
+        // Pin the function's output so noise streams never silently change
+        // between versions (every stored failure seed is a regression test).
+        assert_eq!(mix64(0), 0xe220a8397b1dcdaf);
+        assert_eq!(mix64(1), 0x910a2dec89025cc1);
+    }
+}

@@ -194,7 +194,8 @@ impl CsrMatrix {
 
     /// Whether the matrix is symmetric within tolerance `tol`.
     pub fn is_symmetric(&self, tol: f64) -> bool {
-        self.iter().all(|(i, j, v)| (self.get(j, i) - v).abs() <= tol)
+        self.iter()
+            .all(|(i, j, v)| (self.get(j, i) - v).abs() <= tol)
     }
 
     /// Extracts the square sub-matrix for the index set `indices`

@@ -89,9 +89,7 @@ pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
 /// Panics if `x.len() != y.len()`.
 pub fn max_abs_change(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "max_abs_change: length mismatch");
-    x.iter()
-        .zip(y)
-        .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    x.iter().zip(y).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
 }
 
 #[cfg(test)]

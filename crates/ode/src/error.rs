@@ -53,7 +53,10 @@ impl fmt::Display for OdeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OdeError::DimensionMismatch { expected, actual } => {
-                write!(f, "state length {actual} does not match system dimension {expected}")
+                write!(
+                    f,
+                    "state length {actual} does not match system dimension {expected}"
+                )
             }
             OdeError::InvalidStep { message } => write!(f, "invalid step: {message}"),
             OdeError::StepBudgetExhausted { reached, steps } => write!(

@@ -23,7 +23,10 @@
 /// ```
 pub fn algorithm1(time: f64, steps: usize, a: f64, b: f64, u_init: f64) -> Vec<f64> {
     assert!(steps > 0, "steps must be positive");
-    assert!(time.is_finite() && time > 0.0, "time must be finite and positive");
+    assert!(
+        time.is_finite() && time > 0.0,
+        "time must be finite and positive"
+    );
     let step_size = time / steps as f64;
     let mut u = u_init;
     let mut history = Vec::with_capacity(steps + 1);

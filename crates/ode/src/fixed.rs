@@ -216,9 +216,14 @@ mod tests {
             du[0] = u[1];
             du[1] = -u[0];
         });
-        let traj =
-            integrate_fixed(&sys, &[1.0, 0.0], 2.0 * std::f64::consts::PI, 1e-3, FixedMethod::Rk4)
-                .unwrap();
+        let traj = integrate_fixed(
+            &sys,
+            &[1.0, 0.0],
+            2.0 * std::f64::consts::PI,
+            1e-3,
+            FixedMethod::Rk4,
+        )
+        .unwrap();
         let end = traj.final_state();
         assert!((end[0] - 1.0).abs() < 1e-9);
         assert!(end[1].abs() < 1e-9);

@@ -188,7 +188,9 @@ mod tests {
     #[test]
     fn nonlinear_logistic_equation() {
         // du/dt = u(1−u): logistic growth to the stable fixed point u = 1.
-        let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = u[0] * (1.0 - u[0]));
+        let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| {
+            du[0] = u[0] * (1.0 - u[0])
+        });
         let traj = backward_euler(&sys, &[0.1], 20.0, 0.1, &NewtonOptions::default()).unwrap();
         assert!((traj.final_state()[0] - 1.0).abs() < 1e-6);
     }
@@ -200,7 +202,8 @@ mod tests {
             du[0] = -0.5 * u[0] + u[1];
             du[1] = -u[0] - 0.5 * u[1];
         });
-        let traj = backward_euler(&sys, &[1.0, 0.0], 20.0, 0.05, &NewtonOptions::default()).unwrap();
+        let traj =
+            backward_euler(&sys, &[1.0, 0.0], 20.0, 0.05, &NewtonOptions::default()).unwrap();
         let end = traj.final_state();
         assert!(end[0].abs() < 1e-3 && end[1].abs() < 1e-3);
     }

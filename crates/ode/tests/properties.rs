@@ -1,92 +1,112 @@
-//! Property-based tests on the ODE integrators.
+//! Property-style tests on the ODE integrators.
+//!
+//! Cases are drawn from a seeded [`Rng64`] stream so the suite is fully
+//! deterministic while still sweeping a wide parameter range.
 
+use aa_linalg::rng::Rng64;
 use aa_ode::{
     backward_euler, integrate_adaptive, integrate_fixed, AdaptiveOptions, FixedMethod, FnSystem,
     NewtonOptions,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Linearity: for the linear system du/dt = −k·u, scaling the initial
-    /// condition scales the whole trajectory (all integrators are linear
-    /// maps on linear systems).
-    #[test]
-    fn linear_systems_scale_linearly(
-        k in 0.1f64..5.0,
-        u0 in -10.0f64..10.0,
-        scale in 0.1f64..10.0,
-    ) {
+/// Linearity: for the linear system du/dt = −k·u, scaling the initial
+/// condition scales the whole trajectory (all integrators are linear maps on
+/// linear systems).
+#[test]
+fn linear_systems_scale_linearly() {
+    let mut rng = Rng64::seed_from_u64(1);
+    for _ in 0..48 {
+        let k = rng.range(0.1, 5.0);
+        let u0 = rng.range(-10.0, 10.0);
+        let scale = rng.range(0.1, 10.0);
         let sys = FnSystem::new(1, move |_t, u: &[f64], du: &mut [f64]| du[0] = -k * u[0]);
         let a = integrate_fixed(&sys, &[u0], 1.0, 0.01, FixedMethod::Rk4).unwrap();
         let b = integrate_fixed(&sys, &[u0 * scale], 1.0, 0.01, FixedMethod::Rk4).unwrap();
         let fa = a.final_state()[0];
         let fb = b.final_state()[0];
-        prop_assert!((fb - fa * scale).abs() <= 1e-9 * fa.abs().max(1.0) * scale);
+        assert!((fb - fa * scale).abs() <= 1e-9 * fa.abs().max(1.0) * scale);
     }
+}
 
-    /// Exponential decay never undershoots zero or overshoots the initial
-    /// value for any stable step size (RK4 on the test equation).
-    #[test]
-    fn decay_stays_monotone_in_bounds(
-        k in 0.1f64..5.0,
-        dt in 0.001f64..0.4,
-    ) {
+/// Exponential decay never undershoots zero or overshoots the initial value
+/// for any stable step size (RK4 on the test equation).
+#[test]
+fn decay_stays_monotone_in_bounds() {
+    let mut rng = Rng64::seed_from_u64(2);
+    for _ in 0..48 {
+        let k = rng.range(0.1, 5.0);
+        let dt = rng.range(0.001, 0.4);
         let sys = FnSystem::new(1, move |_t, u: &[f64], du: &mut [f64]| du[0] = -k * u[0]);
         let traj = integrate_fixed(&sys, &[1.0], 2.0, dt, FixedMethod::Rk4).unwrap();
         for (_, s) in traj.iter() {
-            prop_assert!(s[0] >= -1e-12 && s[0] <= 1.0 + 1e-12);
+            assert!(s[0] >= -1e-12 && s[0] <= 1.0 + 1e-12);
         }
         // Monotone decreasing.
         for w in traj.states().windows(2) {
-            prop_assert!(w[1][0] <= w[0][0] + 1e-12);
+            assert!(w[1][0] <= w[0][0] + 1e-12);
         }
     }
+}
 
-    /// The adaptive integrator agrees with a fine fixed-step reference on
-    /// the logistic equation, within its own tolerance.
-    #[test]
-    fn adaptive_matches_fixed_reference(u0 in 0.05f64..0.95) {
-        let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| du[0] = u[0] * (1.0 - u[0]));
+/// The adaptive integrator agrees with a fine fixed-step reference on the
+/// logistic equation, within its own tolerance.
+#[test]
+fn adaptive_matches_fixed_reference() {
+    let mut rng = Rng64::seed_from_u64(3);
+    for _ in 0..24 {
+        let u0 = rng.range(0.05, 0.95);
+        let sys = FnSystem::new(1, |_t, u: &[f64], du: &mut [f64]| {
+            du[0] = u[0] * (1.0 - u[0])
+        });
         let reference = integrate_fixed(&sys, &[u0], 3.0, 1e-4, FixedMethod::Rk4).unwrap();
         let (adaptive, _) = integrate_adaptive(
             &sys,
             &[u0],
             3.0,
-            &AdaptiveOptions { rtol: 1e-9, atol: 1e-11, ..AdaptiveOptions::default() },
+            &AdaptiveOptions {
+                rtol: 1e-9,
+                atol: 1e-11,
+                ..AdaptiveOptions::default()
+            },
         )
         .unwrap();
         let r = reference.final_state()[0];
         let a = adaptive.final_state()[0];
-        prop_assert!((r - a).abs() < 1e-7, "{r} vs {a}");
+        assert!((r - a).abs() < 1e-7, "{r} vs {a}");
     }
+}
 
-    /// Backward Euler is unconditionally bounded on the decay problem for
-    /// ANY positive step (A-stability) — explicit methods are not.
-    #[test]
-    fn backward_euler_is_a_stable(
-        k in 1.0f64..1000.0,
-        dt in 0.001f64..10.0,
-    ) {
+/// Backward Euler is unconditionally bounded on the decay problem for ANY
+/// positive step (A-stability) — explicit methods are not.
+#[test]
+fn backward_euler_is_a_stable() {
+    let mut rng = Rng64::seed_from_u64(4);
+    for _ in 0..48 {
+        let k = rng.range(1.0, 1000.0);
+        let dt = rng.range(0.001, 10.0);
         let sys = FnSystem::new(1, move |_t, u: &[f64], du: &mut [f64]| du[0] = -k * u[0]);
         let traj = backward_euler(&sys, &[1.0], 5.0 * dt, dt, &NewtonOptions::default()).unwrap();
         for (_, s) in traj.iter() {
-            prop_assert!(s[0].abs() <= 1.0 + 1e-9, "unbounded at k={k} dt={dt}");
+            assert!(s[0].abs() <= 1.0 + 1e-9, "unbounded at k={k} dt={dt}");
         }
     }
+}
 
-    /// Trajectory sampling never extrapolates and is exact at endpoints.
-    #[test]
-    fn trajectory_endpoints_exact(u0 in -5.0f64..5.0, t_end in 0.1f64..3.0) {
+/// Trajectory sampling never extrapolates and is exact at endpoints.
+#[test]
+fn trajectory_endpoints_exact() {
+    let mut rng = Rng64::seed_from_u64(5);
+    for _ in 0..48 {
+        let u0 = rng.range(-5.0, 5.0);
+        let t_end = rng.range(0.1, 3.0);
         let sys = FnSystem::new(1, |_t, _u: &[f64], du: &mut [f64]| du[0] = 1.0);
         let traj = integrate_fixed(&sys, &[u0], t_end, 0.01, FixedMethod::Euler).unwrap();
         let start = traj.sample(0.0).unwrap();
-        prop_assert!((start[0] - u0).abs() < 1e-12);
+        assert!((start[0] - u0).abs() < 1e-12);
         let end = traj.sample(traj.final_time()).unwrap();
-        prop_assert!((end[0] - traj.final_state()[0]).abs() < 1e-12);
-        prop_assert!(traj.sample(t_end + 0.1).is_err());
-        prop_assert!(traj.sample(-0.1).is_err());
+        assert!((end[0] - traj.final_state()[0]).abs() < 1e-12);
+        assert!(traj.sample(t_end + 0.1).is_err());
+        assert!(traj.sample(-0.1).is_err());
     }
 }
 

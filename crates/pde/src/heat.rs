@@ -66,12 +66,7 @@ impl Heat1d {
     ///
     /// Propagates integration failures (instability shows up as
     /// [`aa_ode::OdeError::Diverged`]).
-    pub fn solve_explicit(
-        &self,
-        u0: &[f64],
-        t_end: f64,
-        dt: f64,
-    ) -> Result<Vec<f64>, PdeError> {
+    pub fn solve_explicit(&self, u0: &[f64], t_end: f64, dt: f64) -> Result<Vec<f64>, PdeError> {
         let system = ScaledDiffusion {
             stencil: &self.stencil,
             kappa: self.diffusivity,
@@ -101,7 +96,9 @@ impl Heat1d {
             )));
         }
         if !(dt.is_finite() && dt > 0.0 && t_end.is_finite() && t_end > 0.0) {
-            return Err(PdeError::invalid_grid("dt and t_end must be positive".to_string()));
+            return Err(PdeError::invalid_grid(
+                "dt and t_end must be positive".to_string(),
+            ));
         }
         // M = I + dt·κ·A, assembled once and Cholesky-factored.
         let a = CsrMatrix::from_row_access(&self.stencil);
@@ -121,8 +118,7 @@ impl Heat1d {
     /// The decay rate of the slowest mode, `κ·λ_min(A)` — useful for
     /// choosing simulation horizons.
     pub fn slowest_rate(&self) -> f64 {
-        self.diffusivity
-            * aa_linalg::eigen::poisson_lambda_min(self.stencil.points_per_side(), 1)
+        self.diffusivity * aa_linalg::eigen::poisson_lambda_min(self.stencil.points_per_side(), 1)
     }
 }
 

@@ -40,5 +40,5 @@ pub mod poisson;
 pub mod wave;
 
 pub use error::PdeError;
-pub use multigrid::{CoarseSolver, CgCoarseSolver, MultigridSolver, MultigridReport};
+pub use multigrid::{CgCoarseSolver, CoarseSolver, MultigridReport, MultigridSolver};
 pub use poisson::{Poisson2d, Poisson3d};

@@ -51,9 +51,8 @@ impl Default for CgCoarseSolver {
 
 impl CoarseSolver for CgCoarseSolver {
     fn solve_coarse(&mut self, a: &PoissonStencil, b: &[f64]) -> Result<Vec<f64>, PdeError> {
-        let cfg = IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(
-            self.tolerance,
-        ));
+        let cfg =
+            IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(self.tolerance));
         Ok(cg(a, b, &cfg)?.solution)
     }
 

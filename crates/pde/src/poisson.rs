@@ -49,8 +49,8 @@ impl Poisson2d {
         F: Fn(f64, f64) -> f64,
         G: Fn(f64, f64) -> f64,
     {
-        let stencil = PoissonStencil::new_2d(l)
-            .map_err(|e| PdeError::invalid_grid(e.to_string()))?;
+        let stencil =
+            PoissonStencil::new_2d(l).map_err(|e| PdeError::invalid_grid(e.to_string()))?;
         let h = stencil.spacing();
         let inv_h2 = 1.0 / (h * h);
         let mut rhs = vec![0.0; stencil.dim()];
@@ -137,9 +137,7 @@ impl Poisson2d {
     /// Returns [`PdeError::InvalidGrid`] if `l == 0`.
     pub fn manufactured(l: usize) -> Result<(Self, Vec<f64>), PdeError> {
         use std::f64::consts::PI;
-        let problem = Poisson2d::new(l, |x, y| {
-            2.0 * PI * PI * (PI * x).sin() * (PI * y).sin()
-        })?;
+        let problem = Poisson2d::new(l, |x, y| 2.0 * PI * PI * (PI * x).sin() * (PI * y).sin())?;
         let exact: Vec<f64> = (0..problem.grid_points())
             .map(|idx| {
                 let (x, y) = problem.coordinates(idx);
@@ -168,8 +166,8 @@ impl Poisson3d {
         F: Fn(f64, f64, f64) -> f64,
         G: Fn(f64, f64, f64) -> f64,
     {
-        let stencil = PoissonStencil::new_3d(l)
-            .map_err(|e| PdeError::invalid_grid(e.to_string()))?;
+        let stencil =
+            PoissonStencil::new_3d(l).map_err(|e| PdeError::invalid_grid(e.to_string()))?;
         let h = stencil.spacing();
         let inv_h2 = 1.0 / (h * h);
         let mut rhs = vec![0.0; stencil.dim()];
@@ -214,7 +212,11 @@ impl Poisson3d {
     /// Never fails for the fixed parameters; the `Result` keeps the
     /// constructor signature uniform.
     pub fn figure7() -> Result<Self, PdeError> {
-        Self::with_boundary(16, |_, _, _| 0.0, |x, _, _| if x == 0.0 { 1.0 } else { 0.0 })
+        Self::with_boundary(
+            16,
+            |_, _, _| 0.0,
+            |x, _, _| if x == 0.0 { 1.0 } else { 0.0 },
+        )
     }
 
     /// The matrix-free operator `A`.

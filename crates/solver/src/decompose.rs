@@ -228,8 +228,12 @@ mod tests {
     fn gauss_seidel_outer_beats_jacobi_outer() {
         let a = poisson_2d(4);
         let b = vec![1.0; 16];
-        let gs = solve_decomposed(&a, &b, &config_with_blocks(4, OuterMethod::BlockGaussSeidel))
-            .unwrap();
+        let gs = solve_decomposed(
+            &a,
+            &b,
+            &config_with_blocks(4, OuterMethod::BlockGaussSeidel),
+        )
+        .unwrap();
         let jac =
             solve_decomposed(&a, &b, &config_with_blocks(4, OuterMethod::BlockJacobi)).unwrap();
         assert!(gs.sweeps < jac.sweeps, "{} !< {}", gs.sweeps, jac.sweeps);
@@ -241,10 +245,18 @@ mod tests {
         // are large".
         let a = poisson_2d(4);
         let b = vec![1.0; 16];
-        let small = solve_decomposed(&a, &b, &config_with_blocks(2, OuterMethod::BlockGaussSeidel))
-            .unwrap();
-        let large = solve_decomposed(&a, &b, &config_with_blocks(8, OuterMethod::BlockGaussSeidel))
-            .unwrap();
+        let small = solve_decomposed(
+            &a,
+            &b,
+            &config_with_blocks(2, OuterMethod::BlockGaussSeidel),
+        )
+        .unwrap();
+        let large = solve_decomposed(
+            &a,
+            &b,
+            &config_with_blocks(8, OuterMethod::BlockGaussSeidel),
+        )
+        .unwrap();
         assert!(
             large.sweeps < small.sweeps,
             "{} !< {}",
@@ -257,9 +269,12 @@ mod tests {
     fn single_block_is_one_direct_solve() {
         let a = poisson_2d(3);
         let b = vec![0.5; 9];
-        let report =
-            solve_decomposed(&a, &b, &config_with_blocks(9, OuterMethod::BlockGaussSeidel))
-                .unwrap();
+        let report = solve_decomposed(
+            &a,
+            &b,
+            &config_with_blocks(9, OuterMethod::BlockGaussSeidel),
+        )
+        .unwrap();
         assert_eq!(report.blocks, 1);
         assert!(report.sweeps <= 2);
     }
@@ -294,9 +309,12 @@ mod tests {
     fn residual_history_is_monotone() {
         let a = poisson_2d(4);
         let b: Vec<f64> = (0..16).map(|i| ((i % 3) as f64) - 1.0).collect();
-        let report =
-            solve_decomposed(&a, &b, &config_with_blocks(4, OuterMethod::BlockGaussSeidel))
-                .unwrap();
+        let report = solve_decomposed(
+            &a,
+            &b,
+            &config_with_blocks(4, OuterMethod::BlockGaussSeidel),
+        )
+        .unwrap();
         for pair in report.residual_history.windows(2) {
             assert!(pair[1] <= pair[0] * 1.01, "residual grew: {pair:?}");
         }

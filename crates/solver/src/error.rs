@@ -35,6 +35,15 @@ pub enum SolverError {
         /// Residual norm at the stop.
         residual: f64,
     },
+    /// The supervised recovery controller spent its whole retry budget (and
+    /// digital fallback was disabled or also failed).
+    RecoveryExhausted {
+        /// Analog attempts made before giving up.
+        attempts: usize,
+        /// Best validated relative residual seen, if any attempt produced a
+        /// solution at all.
+        best_residual: Option<f64>,
+    },
 }
 
 impl SolverError {
@@ -66,6 +75,19 @@ impl fmt::Display for SolverError {
                 f,
                 "outer iteration did not converge after {iterations} rounds (residual {residual:.3e})"
             ),
+            SolverError::RecoveryExhausted {
+                attempts,
+                best_residual,
+            } => match best_residual {
+                Some(r) => write!(
+                    f,
+                    "recovery exhausted after {attempts} analog attempts (best residual {r:.3e})"
+                ),
+                None => write!(
+                    f,
+                    "recovery exhausted after {attempts} analog attempts (no attempt produced a solution)"
+                ),
+            },
         }
     }
 }

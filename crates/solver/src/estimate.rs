@@ -101,8 +101,7 @@ mod tests {
 
     #[test]
     fn zero_matrix_rejected() {
-        let a =
-            CsrMatrix::from_triplets(1, &[aa_linalg::Triplet::new(0, 0, 0.0)]).unwrap();
+        let a = CsrMatrix::from_triplets(1, &[aa_linalg::Triplet::new(0, 0, 0.0)]).unwrap();
         assert!(predicted_solve_time_s(&a, &AcceleratorDesign::prototype_20khz()).is_err());
     }
 }

@@ -4,18 +4,25 @@
 //! low precision techniques, such as analog acceleration, may also be used
 //! to support multigrid." [`AnalogCoarseSolver`] implements
 //! [`aa_pde::CoarseSolver`], so a digital V-cycle can delegate its
-//! coarse-grid systems to the accelerator; solver instances are cached per
-//! grid size because the coarse matrix never changes between cycles.
+//! coarse-grid systems to the accelerator. Coarse solves run under the
+//! [`SupervisedSolver`] recovery loop, so a transient accelerator fault
+//! degrades a V-cycle to the digital fallback instead of failing it.
+//! Compiled solver instances are cached per grid size (the coarse matrix
+//! never changes between cycles) in a bounded least-recently-used cache.
 
 use std::collections::BTreeMap;
 
-use aa_linalg::CsrMatrix;
 use aa_linalg::stencil::PoissonStencil;
+use aa_linalg::CsrMatrix;
 use aa_pde::{CoarseSolver, PdeError};
 
-use crate::solve::{AnalogSystemSolver, SolverConfig};
+use crate::recover::{FinalPath, RecoveryConfig, SupervisedSolver};
+use crate::solve::SolverConfig;
 
-/// An [`aa_pde::CoarseSolver`] backed by the analog accelerator.
+/// Default number of per-grid-size solver instances kept compiled.
+pub const DEFAULT_CACHE_CAPACITY: usize = 8;
+
+/// An [`aa_pde::CoarseSolver`] backed by the supervised analog accelerator.
 ///
 /// ```
 /// use aa_pde::{MultigridSolver, poisson::Poisson2d};
@@ -27,24 +34,37 @@ use crate::solve::{AnalogSystemSolver, SolverConfig};
 /// let mut coarse = AnalogCoarseSolver::new(SolverConfig::ideal());
 /// let report = mg.solve(problem.rhs(), &mut coarse, 1e-8, 50)?;
 /// assert!(report.converged);
+/// assert_eq!(coarse.cache_misses(), 1); // one grid size, compiled once
+/// assert!(coarse.cache_hits() > 0); // …and reused every cycle after
 /// # Ok(())
 /// # }
 /// ```
 pub struct AnalogCoarseSolver {
     config: SolverConfig,
-    /// One compiled solver per coarse grid size encountered.
-    cache: BTreeMap<usize, AnalogSystemSolver>,
+    recovery: RecoveryConfig,
+    /// One compiled supervised solver per coarse grid size, tagged with a
+    /// last-use stamp for LRU eviction.
+    cache: BTreeMap<usize, (u64, SupervisedSolver)>,
+    capacity: usize,
+    stamp: u64,
     /// Total simulated analog time spent in coarse solves, seconds.
     analog_time_s: f64,
     /// Coarse solves performed.
     solves: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    fallback_solves: usize,
 }
 
 impl std::fmt::Debug for AnalogCoarseSolver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AnalogCoarseSolver")
             .field("cached_sizes", &self.cache.keys().collect::<Vec<_>>())
+            .field("capacity", &self.capacity)
             .field("solves", &self.solves)
+            .field("cache_hits", &self.cache_hits)
+            .field("cache_misses", &self.cache_misses)
+            .field("fallback_solves", &self.fallback_solves)
             .field("analog_time_s", &self.analog_time_s)
             .finish()
     }
@@ -52,17 +72,40 @@ impl std::fmt::Debug for AnalogCoarseSolver {
 
 impl AnalogCoarseSolver {
     /// Creates a coarse solver that instantiates accelerators per grid size
-    /// on demand.
+    /// on demand, with the default recovery policy and cache capacity.
     pub fn new(config: SolverConfig) -> Self {
         AnalogCoarseSolver {
             config,
+            recovery: RecoveryConfig::default(),
             cache: BTreeMap::new(),
+            capacity: DEFAULT_CACHE_CAPACITY,
+            stamp: 0,
             analog_time_s: 0.0,
             solves: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            fallback_solves: 0,
         }
     }
 
-    /// Total simulated analog time consumed so far.
+    /// Replaces the recovery policy applied to every coarse solve.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Bounds the number of compiled solver instances kept alive (at least
+    /// one). The least recently used entry is evicted first.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        while self.cache.len() > self.capacity {
+            self.evict_lru();
+        }
+        self
+    }
+
+    /// Total simulated analog time consumed so far (including rejected
+    /// recovery attempts).
     pub fn analog_time_s(&self) -> f64 {
         self.analog_time_s
     }
@@ -71,25 +114,66 @@ impl AnalogCoarseSolver {
     pub fn solves(&self) -> usize {
         self.solves
     }
+
+    /// Coarse solves served by an already-compiled solver instance.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Coarse solves that had to compile (or recompile after eviction) a
+    /// solver instance.
+    pub fn cache_misses(&self) -> usize {
+        self.cache_misses
+    }
+
+    /// Coarse solves whose answer came from the digital fallback after
+    /// analog recovery was exhausted.
+    pub fn fallback_solves(&self) -> usize {
+        self.fallback_solves
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(&l) = self
+            .cache
+            .iter()
+            .min_by_key(|(_, (stamp, _))| *stamp)
+            .map(|(l, _)| l)
+        {
+            self.cache.remove(&l);
+        }
+    }
 }
 
 impl CoarseSolver for AnalogCoarseSolver {
     fn solve_coarse(&mut self, a: &PoissonStencil, b: &[f64]) -> Result<Vec<f64>, PdeError> {
         let l = a.points_per_side();
-        if !self.cache.contains_key(&l) {
+        if self.cache.contains_key(&l) {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
             let matrix = CsrMatrix::from_row_access(a);
-            let solver = AnalogSystemSolver::new(&matrix, &self.config)
-                .map_err(|e| PdeError::InvalidGrid {
-                    message: format!("analog coarse solver construction failed: {e}"),
+            let solver =
+                SupervisedSolver::new(&matrix, &self.config, &self.recovery).map_err(|e| {
+                    PdeError::InvalidGrid {
+                        message: format!("analog coarse solver construction failed: {e}"),
+                    }
                 })?;
-            self.cache.insert(l, solver);
+            if self.cache.len() >= self.capacity {
+                self.evict_lru();
+            }
+            self.cache.insert(l, (self.stamp, solver));
         }
-        let solver = self.cache.get_mut(&l).expect("inserted above");
-        let report = solver.solve(b).map_err(|e| PdeError::InvalidGrid {
+        self.stamp += 1;
+        let entry = self.cache.get_mut(&l).expect("inserted above");
+        entry.0 = self.stamp;
+        let report = entry.1.solve(b).map_err(|e| PdeError::InvalidGrid {
             message: format!("analog coarse solve failed: {e}"),
         })?;
-        self.analog_time_s += report.analog_time_s;
+        self.analog_time_s += report.recovery.analog_time_s();
         self.solves += 1;
+        if report.recovery.final_path == FinalPath::DigitalFallback {
+            self.fallback_solves += 1;
+        }
         Ok(report.solution)
     }
 
@@ -113,6 +197,7 @@ mod tests {
         assert!(report.converged);
         assert!(analog.solves() > 0);
         assert!(analog.analog_time_s() > 0.0);
+        assert_eq!(analog.fallback_solves(), 0);
         // Same answer as the all-digital path.
         let mut digital = CgCoarseSolver::default();
         let reference = mg.solve(problem.rhs(), &mut digital, 1e-10, 60).unwrap();
@@ -155,6 +240,26 @@ mod tests {
         // but many solves.
         assert_eq!(analog.cache.len(), 1);
         assert!(analog.solves() > 1);
+        assert_eq!(analog.cache_misses(), 1);
+        assert_eq!(analog.cache_hits(), analog.solves() - 1);
         assert_eq!(analog.label(), "analog");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used_size() {
+        let mut analog = AnalogCoarseSolver::new(SolverConfig::ideal()).with_cache_capacity(2);
+        let s3 = PoissonStencil::new_1d(3).unwrap();
+        let s4 = PoissonStencil::new_1d(4).unwrap();
+        let s5 = PoissonStencil::new_1d(5).unwrap();
+        analog.solve_coarse(&s3, &[1.0; 3]).unwrap(); // miss {3}
+        analog.solve_coarse(&s4, &[1.0; 4]).unwrap(); // miss {3,4}
+        analog.solve_coarse(&s3, &[0.5; 3]).unwrap(); // hit, 3 now most recent
+        analog.solve_coarse(&s5, &[1.0; 5]).unwrap(); // miss, evicts 4
+        assert_eq!(analog.cache.len(), 2);
+        assert!(analog.cache.contains_key(&3) && analog.cache.contains_key(&5));
+        analog.solve_coarse(&s4, &[1.0; 4]).unwrap(); // recompile 4
+        assert_eq!(analog.cache_misses(), 4);
+        assert_eq!(analog.cache_hits(), 1);
+        assert_eq!(analog.solves(), 5);
     }
 }

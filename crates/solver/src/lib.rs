@@ -24,6 +24,11 @@
 //!   global convergence with block-Jacobi or block-Gauss–Seidel sweeps.
 //! * [`hybrid`] — the analog accelerator as the coarse-grid solver inside
 //!   digital multigrid (§IV-A).
+//! * [`recover`] — the [`SupervisedSolver`] robustness layer: every analog
+//!   result is validated with a digital residual check, failures are
+//!   classified (transient / drift / persistent), and recovery escalates
+//!   from cooled-down retries through recalibration and remapping to a
+//!   digital CG fallback.
 //! * [`lstsq`] — the normal-equations flow `du/dt = Aᵀ(b − A·u)` of the
 //!   classical analog-computing literature, which extends the accelerator
 //!   to non-symmetric and indefinite systems at double the hardware cost.
@@ -65,6 +70,7 @@ pub mod hybrid;
 pub mod lstsq;
 pub mod mapping;
 pub mod nonlinear;
+pub mod recover;
 pub mod refine;
 pub mod scaling;
 pub mod solve;
@@ -77,6 +83,10 @@ pub use mapping::{MappedSystem, MappingStrategy};
 pub use nonlinear::{
     solve_semilinear_analog, solve_semilinear_newton, NonlinearSolveReport, SemilinearSystem,
 };
-pub use refine::{RefinedReport, RefineConfig};
+pub use recover::{
+    AttemptRecord, FailureClass, FinalPath, RecoveryAction, RecoveryConfig, RecoveryReport,
+    SupervisedSolveReport, SupervisedSolver,
+};
+pub use refine::{RefineConfig, RefinedReport};
 pub use scaling::ScaledSystem;
 pub use solve::{AnalogSolveReport, AnalogSystemSolver, SolverConfig};

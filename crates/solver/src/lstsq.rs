@@ -241,8 +241,7 @@ mod tests {
         .unwrap();
         let x_true = vec![0.4, -0.3];
         let b = a.apply_vec(&x_true);
-        let report =
-            solve_least_squares_analog(&a, &b, &template(), &engine()).unwrap();
+        let report = solve_least_squares_analog(&a, &b, &template(), &engine()).unwrap();
         for (x, e) in report.solution.iter().zip(&x_true) {
             assert!((x - e).abs() < 0.02, "{x} vs {e}");
         }
@@ -266,12 +265,10 @@ mod tests {
         .unwrap();
         let b = vec![0.5, 0.5];
         // Plain SPD-path solve: should fail to settle (or exhaust retries).
-        let mut plain =
-            crate::AnalogSystemSolver::new(&a, &crate::SolverConfig::ideal()).unwrap();
+        let mut plain = crate::AnalogSystemSolver::new(&a, &crate::SolverConfig::ideal()).unwrap();
         assert!(plain.solve(&b).is_err(), "plain flow must not settle");
         // Normal-equations flow: settles at the true solution.
-        let report =
-            solve_least_squares_analog(&a, &b, &template(), &engine()).unwrap();
+        let report = solve_least_squares_analog(&a, &b, &template(), &engine()).unwrap();
         let exact = aa_linalg::direct::solve(&a.to_dense(), &b).unwrap();
         for (x, e) in report.solution.iter().zip(&exact) {
             assert!((x - e).abs() < 0.02, "{x} vs {e}");
@@ -285,8 +282,7 @@ mod tests {
         let a = CsrMatrix::tridiagonal(3, -0.25, 0.5, -0.25).unwrap();
         let b = vec![0.06, 0.02, 0.06];
         let exact = aa_linalg::direct::solve(&a.to_dense(), &b).unwrap();
-        let report =
-            solve_least_squares_analog(&a, &b, &template(), &engine()).unwrap();
+        let report = solve_least_squares_analog(&a, &b, &template(), &engine()).unwrap();
         for (x, e) in report.solution.iter().zip(&exact) {
             assert!((x - e).abs() < 0.02, "{x} vs {e}");
         }
@@ -314,8 +310,7 @@ mod tests {
         let b = vec![0.03; 4];
         // Just verifying it wires within the declared inventory (no panic /
         // NoSuchUnit), which pins the resource arithmetic.
-        let report =
-            solve_least_squares_analog(&a, &b, &template(), &engine()).unwrap();
+        let report = solve_least_squares_analog(&a, &b, &template(), &engine()).unwrap();
         assert!(report.residual_norm < 0.05);
     }
 }

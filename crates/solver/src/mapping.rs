@@ -383,7 +383,10 @@ mod tests {
     #[test]
     fn strategy_detection() {
         let poisson = CsrMatrix::from_row_access(&PoissonStencil::new_2d(4).unwrap());
-        assert_eq!(detect_strategy(&poisson, 1e-12), MappingStrategy::SharedOffDiagonal);
+        assert_eq!(
+            detect_strategy(&poisson, 1e-12),
+            MappingStrategy::SharedOffDiagonal
+        );
         let general = CsrMatrix::from_triplets(
             2,
             &[
@@ -396,7 +399,10 @@ mod tests {
         .unwrap();
         // Off-diagonals differ across rows but each row has ONE off-diag, so
         // the shared strategy still applies (per-row uniformity).
-        assert_eq!(detect_strategy(&general, 1e-12), MappingStrategy::SharedOffDiagonal);
+        assert_eq!(
+            detect_strategy(&general, 1e-12),
+            MappingStrategy::SharedOffDiagonal
+        );
         let ragged = CsrMatrix::from_triplets(
             3,
             &[
@@ -408,7 +414,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(detect_strategy(&ragged, 1e-12), MappingStrategy::PerCoefficient);
+        assert_eq!(
+            detect_strategy(&ragged, 1e-12),
+            MappingStrategy::PerCoefficient
+        );
     }
 
     #[test]

@@ -370,13 +370,9 @@ mod tests {
         let system = nonlinear_poisson(5, 0.3);
         let b = vec![0.4, 0.1, -0.2, 0.1, 0.4];
         let newton = solve_semilinear_newton(&system, &b, 1.0, 1e-12, 50).unwrap();
-        let analog = solve_semilinear_analog(
-            &system,
-            &b,
-            &ChipConfig::ideal(),
-            &nonlinear_engine(),
-        )
-        .unwrap();
+        let analog =
+            solve_semilinear_analog(&system, &b, &ChipConfig::ideal(), &nonlinear_engine())
+                .unwrap();
         assert!(analog.reached_steady_state);
         for (x, e) in analog.solution.iter().zip(&newton) {
             // LUT quantization (8-bit tables) limits the match.
@@ -405,16 +401,11 @@ mod tests {
     fn cubic_like_nonlinearity_via_square_lut() {
         // u + d·(u²/fs) = b for a single variable: solvable in closed form.
         let a = CsrMatrix::identity(1);
-        let system =
-            SemilinearSystem::new(a, vec![0.5], NonlinearFunction::Square).unwrap();
+        let system = SemilinearSystem::new(a, vec![0.5], NonlinearFunction::Square).unwrap();
         let b = vec![0.6];
-        let report = solve_semilinear_analog(
-            &system,
-            &b,
-            &ChipConfig::ideal(),
-            &nonlinear_engine(),
-        )
-        .unwrap();
+        let report =
+            solve_semilinear_analog(&system, &b, &ChipConfig::ideal(), &nonlinear_engine())
+                .unwrap();
         // u + 0.5u² = 0.6 → u = (−1 + √(1 + 4·0.5·0.6))/(2·0.5) ≈ 0.48324.
         let exact = (-1.0 + (1.0f64 + 1.2).sqrt()) / 1.0;
         assert!(
@@ -428,8 +419,7 @@ mod tests {
     #[test]
     fn out_of_range_inputs_rejected() {
         let a = CsrMatrix::tridiagonal(3, -2.0, 5.0, -2.0).unwrap(); // gains > 1
-        let system =
-            SemilinearSystem::new(a, vec![0.1; 3], NonlinearFunction::Identity).unwrap();
+        let system = SemilinearSystem::new(a, vec![0.1; 3], NonlinearFunction::Identity).unwrap();
         let r = solve_semilinear_analog(
             &system,
             &[0.1; 3],
@@ -471,8 +461,7 @@ mod tests {
         // settles (the SRAM table makes φ piecewise constant, so the flow is
         // piecewise linear).
         let a = CsrMatrix::identity(2);
-        let system =
-            SemilinearSystem::new(a, vec![0.2; 2], NonlinearFunction::Signum).unwrap();
+        let system = SemilinearSystem::new(a, vec![0.2; 2], NonlinearFunction::Signum).unwrap();
         let report = solve_semilinear_analog(
             &system,
             &[0.5, -0.5],

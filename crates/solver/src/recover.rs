@@ -1,0 +1,676 @@
+//! Supervised analog solving: validate, classify, recover.
+//!
+//! The paper's host processor is designed "to be able to react when problems
+//! occur in the course of analog computation" (§III-B). The inner
+//! [`AnalogSystemSolver`] already reacts to overflow exceptions with
+//! rescale-and-retry; this module adds the outer supervision loop a
+//! production deployment needs against *runtime* faults (drift, glitches,
+//! stuck units — see [`aa_analog::fault`]):
+//!
+//! 1. **Validate** every analog result with a cheap digital residual check
+//!    (one sparse mat-vec — far cheaper than a digital solve).
+//! 2. **Classify** failures: persistent overflow, a run that never settles,
+//!    or a settled-but-wrong answer.
+//! 3. **Recover** by policy: bounded retries with escalating idle cool-down
+//!    (lets transient fault windows expire), one recalibration pass (trims
+//!    out drift exactly like a static imperfection), one remap onto a fresh
+//!    accelerator instance, and finally a digital CG fallback.
+//!
+//! Every attempt is logged in a [`RecoveryReport`] whose equality ignores
+//! host wall-clock noise, so identical seeds and fault plans produce
+//! bit-identical reports — failures are replayable.
+
+use std::time::Instant;
+
+use aa_analog::{calibrate, FaultPlan};
+use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
+use aa_linalg::{CsrMatrix, LinearOperator};
+
+use crate::solve::{AnalogSolveReport, AnalogSystemSolver, SolverConfig};
+use crate::SolverError;
+
+/// Policy knobs of the supervision loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryConfig {
+    /// Accept a solution when `‖b − A·x‖₂ / ‖b‖₂` is at or below this.
+    pub residual_tolerance: f64,
+    /// Total analog attempts (including the first) before falling back.
+    pub max_attempts: usize,
+    /// Idle cool-down after the first classified transient, seconds of chip
+    /// lifetime. Gives a transient fault window time to expire.
+    pub cooldown_s: f64,
+    /// Multiplier applied to the cool-down after each retry (escalating
+    /// back-off).
+    pub cooldown_growth: f64,
+    /// Attempt one recalibration pass when a settled solve keeps failing
+    /// validation (the drift signature).
+    pub recalibrate_on_drift: bool,
+    /// Attempt index from which a still-failing solve is remapped onto a
+    /// fresh accelerator instance.
+    pub remap_after: usize,
+    /// Degrade to a digital CG solve once analog recovery is exhausted.
+    pub digital_fallback: bool,
+    /// Relative-residual stopping tolerance of the CG fallback.
+    pub fallback_tolerance: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            residual_tolerance: 1e-2,
+            max_attempts: 5,
+            cooldown_s: 1e-3,
+            cooldown_growth: 4.0,
+            recalibrate_on_drift: true,
+            remap_after: 3,
+            digital_fallback: true,
+            fallback_tolerance: 1e-6,
+        }
+    }
+}
+
+/// Why an analog attempt was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The run settled and read out, but the digital residual check failed —
+    /// the signature of drift, readout corruption, or a mid-run glitch.
+    ResidualTooHigh,
+    /// The gradient flow never settled (e.g. an active noise burst keeps
+    /// the derivative alive).
+    NoSettle,
+    /// Overflow persisted through the inner solver's whole rescale budget —
+    /// the signature of a stuck-at-rail unit rather than a scaling problem.
+    PersistentOverflow,
+    /// The chip model itself errored (protocol violation, divergence, …).
+    ChipError,
+}
+
+/// What the supervisor did after an attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryAction {
+    /// The solution passed validation.
+    Accept,
+    /// Idle for the recorded cool-down, then try again on the same chip.
+    Retry {
+        /// Chip-lifetime seconds idled before the next attempt.
+        cooldown_s: f64,
+    },
+    /// Re-run host calibration to trim out drift, then try again.
+    Recalibrate,
+    /// Rebuild the solver on a fresh accelerator instance, then try again.
+    Remap,
+    /// Give up on analog and solve digitally.
+    DigitalFallback,
+    /// Give up entirely (digital fallback disabled).
+    GiveUp,
+}
+
+/// One analog attempt (or the final digital fallback) in the recovery log.
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    /// 1-based attempt number.
+    pub attempt: usize,
+    /// Validated relative residual, if the attempt produced a solution.
+    pub residual: Option<f64>,
+    /// Failure classification (`None` for an accepted attempt).
+    pub classification: Option<FailureClass>,
+    /// The action the supervisor took after this attempt.
+    pub action: RecoveryAction,
+    /// Stringified solver error, when the attempt returned one.
+    pub error: Option<String>,
+    /// Simulated analog seconds consumed by this attempt.
+    pub analog_time_s: f64,
+    /// Host wall-clock seconds spent on this attempt. Excluded from
+    /// equality: two replays of the same fault plan are *logically*
+    /// identical even though the host timing jitters.
+    pub wall_time_s: f64,
+}
+
+impl PartialEq for AttemptRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.attempt == other.attempt
+            && self.residual == other.residual
+            && self.classification == other.classification
+            && self.action == other.action
+            && self.error == other.error
+            && self.analog_time_s == other.analog_time_s
+    }
+}
+
+/// How the accepted solution was ultimately produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalPath {
+    /// First analog attempt passed validation.
+    Analog,
+    /// Analog succeeded after at least one recovery action.
+    AnalogAfterRecovery,
+    /// Analog recovery was exhausted; the digital fallback produced the
+    /// solution.
+    DigitalFallback,
+}
+
+/// The structured log of one supervised solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Every attempt, in order (the last entry is the accepted one).
+    pub attempts: Vec<AttemptRecord>,
+    /// How the accepted solution was produced.
+    pub final_path: FinalPath,
+    /// Recalibration passes performed.
+    pub recalibrations: usize,
+    /// Remaps onto a fresh accelerator instance.
+    pub remaps: usize,
+    /// Total chip-lifetime seconds spent idling between attempts.
+    pub total_cooldown_s: f64,
+    /// Relative residual of the accepted solution.
+    pub final_residual: f64,
+}
+
+impl RecoveryReport {
+    /// Simulated analog seconds across every attempt.
+    pub fn analog_time_s(&self) -> f64 {
+        self.attempts.iter().map(|a| a.analog_time_s).sum()
+    }
+
+    /// Attempts that were rejected (everything before the accepted one).
+    pub fn rejected_attempts(&self) -> usize {
+        self.attempts
+            .iter()
+            .filter(|a| a.classification.is_some())
+            .count()
+    }
+}
+
+/// A supervised solve's outcome: the solution plus the full recovery log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedSolveReport {
+    /// The accepted (validated) solution.
+    pub solution: Vec<f64>,
+    /// The inner analog report of the accepted attempt (`None` when the
+    /// digital fallback produced the solution).
+    pub analog: Option<AnalogSolveReport>,
+    /// The recovery log.
+    pub recovery: RecoveryReport,
+}
+
+/// [`AnalogSystemSolver`] wrapped in the validate–classify–recover loop.
+///
+/// ```
+/// use aa_linalg::CsrMatrix;
+/// use aa_solver::{RecoveryConfig, SolverConfig, SupervisedSolver};
+///
+/// # fn main() -> Result<(), aa_solver::SolverError> {
+/// let a = CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0)?;
+/// let mut solver =
+///     SupervisedSolver::new(&a, &SolverConfig::ideal(), &RecoveryConfig::default())?;
+/// let report = solver.solve(&[1.0, 0.0, 0.0, 1.0])?;
+/// assert!(report.recovery.final_residual <= 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SupervisedSolver {
+    inner: AnalogSystemSolver,
+    matrix: CsrMatrix,
+    solver_config: SolverConfig,
+    recovery: RecoveryConfig,
+    /// The injected fault plan, kept so a remap can re-base it onto the
+    /// replacement chip's fresh lifetime clock.
+    fault_plan: Option<FaultPlan>,
+    /// Lifetime seconds consumed by previous chip instances (before remaps).
+    consumed_lifetime_s: f64,
+}
+
+impl std::fmt::Debug for SupervisedSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedSolver")
+            .field("n", &self.matrix.dim())
+            .field("recovery", &self.recovery)
+            .field("faulted", &self.fault_plan.is_some())
+            .finish()
+    }
+}
+
+impl SupervisedSolver {
+    /// Compiles `a` onto a fresh accelerator instance under supervision.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalogSystemSolver::new`].
+    pub fn new(
+        a: &CsrMatrix,
+        config: &SolverConfig,
+        recovery: &RecoveryConfig,
+    ) -> Result<Self, SolverError> {
+        let inner = AnalogSystemSolver::new(a, config)?;
+        Ok(SupervisedSolver {
+            matrix: a.clone(),
+            solver_config: config.clone(),
+            recovery: recovery.clone(),
+            inner,
+            fault_plan: None,
+            consumed_lifetime_s: 0.0,
+        })
+    }
+
+    /// Wraps an existing solver (its matrix and config are reused for
+    /// remaps).
+    pub fn from_solver(inner: AnalogSystemSolver, recovery: &RecoveryConfig) -> Self {
+        SupervisedSolver {
+            matrix: inner.matrix().clone(),
+            solver_config: inner.config().clone(),
+            recovery: recovery.clone(),
+            inner,
+            fault_plan: None,
+            consumed_lifetime_s: 0.0,
+        }
+    }
+
+    /// Injects a runtime-fault schedule into the underlying chip. The plan
+    /// is kept so a mid-recovery remap carries the remaining fault windows
+    /// over to the replacement instance.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.inner.chip_mut().inject_fault_plan(plan.clone());
+        self.fault_plan = Some(plan);
+    }
+
+    /// The wrapped solver.
+    pub fn inner(&self) -> &AnalogSystemSolver {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped solver.
+    pub fn inner_mut(&mut self) -> &mut AnalogSystemSolver {
+        &mut self.inner
+    }
+
+    /// The recovery policy in effect.
+    pub fn recovery_config(&self) -> &RecoveryConfig {
+        &self.recovery
+    }
+
+    /// Total chip-lifetime seconds across every instance this supervisor has
+    /// used (current chip plus any remapped-away predecessors).
+    pub fn total_lifetime_s(&self) -> f64 {
+        self.consumed_lifetime_s + self.inner.chip().lifetime_s()
+    }
+
+    /// Solves `A·u = b` under supervision.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::InvalidProblem`] for a wrong-length `b` (no retry —
+    ///   structural errors are not recoverable).
+    /// * [`SolverError::RecoveryExhausted`] when the retry budget is spent
+    ///   and the digital fallback is disabled (or CG itself fails).
+    pub fn solve(&mut self, b: &[f64]) -> Result<SupervisedSolveReport, SolverError> {
+        if b.len() != self.matrix.dim() {
+            return Err(SolverError::invalid(format!(
+                "rhs has {} entries, system has {}",
+                b.len(),
+                self.matrix.dim()
+            )));
+        }
+        let b_norm = b
+            .iter()
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+            .max(f64::MIN_POSITIVE);
+        let tol = self.recovery.residual_tolerance;
+        let budget = self.recovery.max_attempts.max(1);
+
+        let mut attempts: Vec<AttemptRecord> = Vec::new();
+        let mut cooldown = self.recovery.cooldown_s;
+        let mut total_cooldown = 0.0;
+        let mut recalibrations = 0usize;
+        let mut remaps = 0usize;
+        let mut best_residual: Option<f64> = None;
+        let mut wants_fallback = self.recovery.digital_fallback;
+
+        for attempt in 1..=budget {
+            let wall = Instant::now();
+            let lifetime_before = self.total_lifetime_s();
+            let outcome = self.inner.solve(b);
+            let wall_s = wall.elapsed().as_secs_f64();
+            let analog_time_s = self.total_lifetime_s() - lifetime_before;
+
+            let (residual, classification, error) = match outcome {
+                Ok(report) => {
+                    let r = self.matrix.residual_norm(&report.solution, b) / b_norm;
+                    if best_residual.is_none_or(|best| r < best) {
+                        best_residual = Some(r);
+                    }
+                    if r <= tol {
+                        let recovered = !attempts.is_empty();
+                        attempts.push(AttemptRecord {
+                            attempt,
+                            residual: Some(r),
+                            classification: None,
+                            action: RecoveryAction::Accept,
+                            error: None,
+                            analog_time_s,
+                            wall_time_s: wall_s,
+                        });
+                        return Ok(SupervisedSolveReport {
+                            solution: report.solution.clone(),
+                            analog: Some(report),
+                            recovery: RecoveryReport {
+                                attempts,
+                                final_path: if recovered {
+                                    FinalPath::AnalogAfterRecovery
+                                } else {
+                                    FinalPath::Analog
+                                },
+                                recalibrations,
+                                remaps,
+                                total_cooldown_s: total_cooldown,
+                                final_residual: r,
+                            },
+                        });
+                    }
+                    (Some(r), FailureClass::ResidualTooHigh, None)
+                }
+                Err(e @ SolverError::NoSteadyState { .. }) => {
+                    (None, FailureClass::NoSettle, Some(e.to_string()))
+                }
+                Err(e @ SolverError::RescaleExhausted { .. }) => {
+                    (None, FailureClass::PersistentOverflow, Some(e.to_string()))
+                }
+                Err(e @ SolverError::Analog(_)) => {
+                    (None, FailureClass::ChipError, Some(e.to_string()))
+                }
+                // Structural problems (bad rhs, degenerate matrix) are not
+                // hardware faults; retrying cannot help.
+                Err(other) => return Err(other),
+            };
+
+            let action =
+                self.pick_action(classification, attempt, recalibrations, remaps, cooldown);
+            attempts.push(AttemptRecord {
+                attempt,
+                residual,
+                classification: Some(classification),
+                action,
+                error,
+                analog_time_s,
+                wall_time_s: wall_s,
+            });
+
+            match action {
+                RecoveryAction::Retry { cooldown_s } => {
+                    // Idle the chip so a transient fault window can expire.
+                    self.inner.chip_mut().idle(cooldown_s);
+                    total_cooldown += cooldown_s;
+                    cooldown *= self.recovery.cooldown_growth;
+                }
+                RecoveryAction::Recalibrate => {
+                    // The fault-aware probes trim active drift out like any
+                    // static imperfection. A failure here (drift beyond the
+                    // trim range) is not fatal: the next attempt's failure
+                    // escalates to a remap.
+                    let _ = calibrate(self.inner.chip_mut());
+                    recalibrations += 1;
+                }
+                RecoveryAction::Remap => {
+                    self.remap()?;
+                    remaps += 1;
+                }
+                RecoveryAction::DigitalFallback => break,
+                RecoveryAction::GiveUp => {
+                    wants_fallback = false;
+                    break;
+                }
+                RecoveryAction::Accept => unreachable!("accept is handled above"),
+            }
+        }
+
+        if wants_fallback {
+            return self.digital_fallback(
+                b,
+                b_norm,
+                attempts,
+                recalibrations,
+                remaps,
+                total_cooldown,
+            );
+        }
+        Err(SolverError::RecoveryExhausted {
+            attempts: attempts.len(),
+            best_residual,
+        })
+    }
+
+    /// Chooses the next action for a failed attempt.
+    fn pick_action(
+        &self,
+        class: FailureClass,
+        attempt: usize,
+        recalibrations: usize,
+        remaps: usize,
+        cooldown: f64,
+    ) -> RecoveryAction {
+        let give_up = if self.recovery.digital_fallback {
+            RecoveryAction::DigitalFallback
+        } else {
+            RecoveryAction::GiveUp
+        };
+        if attempt >= self.recovery.max_attempts {
+            return give_up;
+        }
+        let may_remap = remaps == 0;
+        let remap_due = attempt >= self.recovery.remap_after && may_remap;
+        match class {
+            FailureClass::ResidualTooHigh => {
+                // First failure: assume a transient and wait it out. A
+                // repeat of the settled-but-wrong signature means drift —
+                // recalibrate; if even that does not cure it, remap.
+                if self.recovery.recalibrate_on_drift && recalibrations == 0 && attempt >= 2 {
+                    RecoveryAction::Recalibrate
+                } else if remap_due {
+                    RecoveryAction::Remap
+                } else {
+                    RecoveryAction::Retry {
+                        cooldown_s: cooldown,
+                    }
+                }
+            }
+            FailureClass::NoSettle => {
+                if remap_due {
+                    RecoveryAction::Remap
+                } else {
+                    RecoveryAction::Retry {
+                        cooldown_s: cooldown,
+                    }
+                }
+            }
+            // Overflow that survived the inner rescale budget (or a chip
+            // error) will not be cured by waiting: swap the hardware, and if
+            // that was already tried, go digital.
+            FailureClass::PersistentOverflow | FailureClass::ChipError => {
+                if may_remap {
+                    RecoveryAction::Remap
+                } else {
+                    give_up
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the inner solver on a fresh accelerator instance, carrying
+    /// the remaining fault windows over to its lifetime clock.
+    fn remap(&mut self) -> Result<(), SolverError> {
+        self.consumed_lifetime_s += self.inner.chip().lifetime_s();
+        self.inner = AnalogSystemSolver::new(&self.matrix, &self.solver_config)?;
+        if let Some(plan) = &self.fault_plan {
+            self.inner
+                .chip_mut()
+                .inject_fault_plan(plan.shifted(self.consumed_lifetime_s));
+        }
+        Ok(())
+    }
+
+    /// The graceful-degradation path: a digital CG solve.
+    fn digital_fallback(
+        &self,
+        b: &[f64],
+        b_norm: f64,
+        mut attempts: Vec<AttemptRecord>,
+        recalibrations: usize,
+        remaps: usize,
+        total_cooldown_s: f64,
+    ) -> Result<SupervisedSolveReport, SolverError> {
+        let wall = Instant::now();
+        let cfg = IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(
+            self.recovery.fallback_tolerance,
+        ));
+        let analog_attempts = attempts.len();
+        let report = cg(&self.matrix, b, &cfg).map_err(|_| SolverError::RecoveryExhausted {
+            attempts: analog_attempts,
+            best_residual: attempts.iter().filter_map(|a| a.residual).reduce(f64::min),
+        })?;
+        let residual = self.matrix.residual_norm(&report.solution, b) / b_norm;
+        attempts.push(AttemptRecord {
+            attempt: analog_attempts + 1,
+            residual: Some(residual),
+            classification: None,
+            action: RecoveryAction::DigitalFallback,
+            error: None,
+            analog_time_s: 0.0,
+            wall_time_s: wall.elapsed().as_secs_f64(),
+        });
+        Ok(SupervisedSolveReport {
+            solution: report.solution,
+            analog: None,
+            recovery: RecoveryReport {
+                attempts,
+                final_path: FinalPath::DigitalFallback,
+                recalibrations,
+                remaps,
+                total_cooldown_s,
+                final_residual: residual,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_analog::units::UnitId;
+    use aa_analog::{EngineOptions, FaultEvent, FaultKind, Rail};
+    use aa_linalg::stencil::PoissonStencil;
+
+    fn poisson_3() -> CsrMatrix {
+        CsrMatrix::from_row_access(&PoissonStencil::new_1d(3).unwrap())
+    }
+
+    /// A config with a short settle cap so faulted runs fail fast.
+    fn test_config() -> SolverConfig {
+        SolverConfig {
+            engine: EngineOptions {
+                stop_on_exception: true,
+                max_tau: 300.0,
+                ..EngineOptions::default()
+            },
+            ..SolverConfig::ideal()
+        }
+    }
+
+    #[test]
+    fn clean_solve_accepts_first_attempt() {
+        let a = poisson_3();
+        let mut s = SupervisedSolver::new(&a, &test_config(), &RecoveryConfig::default()).unwrap();
+        let report = s.solve(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(report.recovery.final_path, FinalPath::Analog);
+        assert_eq!(report.recovery.attempts.len(), 1);
+        assert_eq!(report.recovery.attempts[0].action, RecoveryAction::Accept);
+        assert!(report.recovery.final_residual <= 1e-2);
+        assert!(report.analog.is_some());
+    }
+
+    #[test]
+    fn transient_noise_burst_recovers_with_cooldown() {
+        let a = poisson_3();
+        let mut s = SupervisedSolver::new(&a, &test_config(), &RecoveryConfig::default()).unwrap();
+        // Burst active for the first 2.5 ms of chip lifetime: attempt 1
+        // cannot settle; the cool-down idles past the window.
+        s.inject_faults(FaultPlan::new(21).with_event(FaultEvent::transient(
+            FaultKind::NoiseBurst {
+                unit: UnitId::Integrator(1),
+                amplitude: 0.05,
+            },
+            0.0,
+            2.5e-3,
+        )));
+        let report = s.solve(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(report.recovery.final_path, FinalPath::AnalogAfterRecovery);
+        assert!(report.recovery.rejected_attempts() >= 1);
+        assert!(matches!(
+            report.recovery.attempts[0].classification,
+            Some(FailureClass::NoSettle)
+        ));
+        assert!(report.recovery.total_cooldown_s > 0.0);
+        assert!(report.recovery.final_residual <= 1e-2);
+    }
+
+    #[test]
+    fn persistent_stuck_rail_degrades_to_digital() {
+        let a = poisson_3();
+        let recovery = RecoveryConfig {
+            max_attempts: 3,
+            ..RecoveryConfig::default()
+        };
+        let mut s = SupervisedSolver::new(&a, &test_config(), &recovery).unwrap();
+        s.inject_faults(FaultPlan::new(0).with_event(FaultEvent::persistent(
+            FaultKind::StuckAtRail {
+                integrator: 0,
+                rail: Rail::Positive,
+            },
+            0.0,
+        )));
+        let b = [1.0, 0.5, 1.0];
+        let report = s.solve(&b).unwrap();
+        assert_eq!(report.recovery.final_path, FinalPath::DigitalFallback);
+        assert!(report.analog.is_none());
+        assert!(report.recovery.remaps >= 1, "should have tried a remap");
+        assert!(report
+            .recovery
+            .attempts
+            .iter()
+            .any(|a| a.classification == Some(FailureClass::PersistentOverflow)));
+        // The digital answer is good.
+        assert!(report.recovery.final_residual <= 1e-6);
+    }
+
+    #[test]
+    fn give_up_without_fallback_is_structured_error() {
+        let a = poisson_3();
+        let recovery = RecoveryConfig {
+            max_attempts: 2,
+            digital_fallback: false,
+            ..RecoveryConfig::default()
+        };
+        let mut s = SupervisedSolver::new(&a, &test_config(), &recovery).unwrap();
+        s.inject_faults(FaultPlan::new(0).with_event(FaultEvent::persistent(
+            FaultKind::StuckAtRail {
+                integrator: 1,
+                rail: Rail::Negative,
+            },
+            0.0,
+        )));
+        match s.solve(&[1.0, 1.0, 1.0]) {
+            Err(SolverError::RecoveryExhausted { attempts, .. }) => assert!(attempts >= 1),
+            other => panic!("expected RecoveryExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_not_retried() {
+        let a = poisson_3();
+        let mut s = SupervisedSolver::new(&a, &test_config(), &RecoveryConfig::default()).unwrap();
+        assert!(matches!(
+            s.solve(&[1.0]),
+            Err(SolverError::InvalidProblem { .. })
+        ));
+    }
+}

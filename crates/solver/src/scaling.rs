@@ -141,8 +141,7 @@ mod tests {
 
         let exact = aa_linalg::direct::solve(&a.to_dense(), &b).unwrap();
         let b_scaled = scaled.scale_rhs(&b);
-        let u_scaled =
-            aa_linalg::direct::solve(&scaled.matrix.to_dense(), &b_scaled).unwrap();
+        let u_scaled = aa_linalg::direct::solve(&scaled.matrix.to_dense(), &b_scaled).unwrap();
         let recovered = scaled.unscale_solution(&u_scaled);
         for (r, e) in recovered.iter().zip(&exact) {
             assert!((r - e).abs() < 1e-10, "{r} vs {e}");

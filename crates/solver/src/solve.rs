@@ -199,6 +199,22 @@ impl AnalogSystemSolver {
         &self.mapped
     }
 
+    /// Mutable access to the compiled circuit (fault injection, ablations).
+    pub fn mapped_mut(&mut self) -> &mut MappedSystem {
+        &mut self.mapped
+    }
+
+    /// The underlying chip instance.
+    pub fn chip(&self) -> &aa_analog::AnalogChip {
+        self.mapped.chip()
+    }
+
+    /// Mutable access to the underlying chip instance (fault injection,
+    /// recalibration, idle cool-downs).
+    pub fn chip_mut(&mut self) -> &mut aa_analog::AnalogChip {
+        self.mapped.chip_mut()
+    }
+
     /// Solves `A·u = b` on the accelerator with overflow-driven retry.
     ///
     /// # Errors
@@ -388,11 +404,8 @@ mod tests {
     fn non_positive_definite_never_settles() {
         // An indefinite matrix: gradient flow has a growing mode; the run
         // ends by cap/overflow rather than steady state.
-        let a = CsrMatrix::from_triplets(
-            2,
-            &[Triplet::new(0, 0, 1.0), Triplet::new(1, 1, -1.0)],
-        )
-        .unwrap();
+        let a = CsrMatrix::from_triplets(2, &[Triplet::new(0, 0, 1.0), Triplet::new(1, 1, -1.0)])
+            .unwrap();
         let cfg = SolverConfig {
             engine: EngineOptions {
                 max_tau: 500.0,
@@ -466,7 +479,10 @@ mod tests {
             let a = poisson_1d(l);
             let b = vec![1.0; l];
             let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
-            (solver.solve(&b).unwrap().analog_time_s, solver.scaling().value_factor)
+            (
+                solver.solve(&b).unwrap().analog_time_s,
+                solver.scaling().value_factor,
+            )
         };
         let (t5, s5) = time_for(5);
         let (t11, s11) = time_for(11);

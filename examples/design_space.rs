@@ -21,7 +21,10 @@ fn main() {
     println!("== analog accelerator design space (2D Poisson, paper §V-B) ==\n");
 
     println!("die budget: {GPU_DIE_AREA_MM2} mm² (the largest GPU dies)");
-    println!("\n{:<16} {:>8} {:>12} {:>14} {:>12}", "design", "alpha", "mm²/point", "max points", "W/point");
+    println!(
+        "\n{:<16} {:>8} {:>12} {:>14} {:>12}",
+        "design", "alpha", "mm²/point", "max points", "W/point"
+    );
     for d in &designs {
         println!(
             "{:<16} {:>8.0} {:>12.4} {:>14} {:>12.6}",
@@ -67,7 +70,12 @@ fn main() {
         let gpu_e = gpu_solution_energy_j(&gpu, &problem, 12);
         println!(
             "{:<8} {:<16} {:>14} {:>12} {:>12} {:>14.3e}",
-            n, "digital CG", format_time(cpu_t), "-", "-", gpu_e
+            n,
+            "digital CG",
+            format_time(cpu_t),
+            "-",
+            "-",
+            gpu_e
         );
         println!();
     }

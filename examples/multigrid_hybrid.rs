@@ -12,9 +12,7 @@ use analog_accel::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let l = 31;
-    let problem = Poisson2d::new(l, |x, y| {
-        20.0 * ((3.0 * x - 1.0) * (2.0 - 3.0 * y)).tanh()
-    })?;
+    let problem = Poisson2d::new(l, |x, y| 20.0 * ((3.0 * x - 1.0) * (2.0 - 3.0 * y)).tanh())?;
     let mg = MultigridSolver::new(l)?;
     println!("== hybrid analog/digital multigrid ==");
     println!(

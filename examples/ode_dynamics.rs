@@ -32,23 +32,41 @@ fn figure1_decay() -> Result<(), Box<dyn std::error::Error>> {
     );
     let program = [
         Instruction::Init, // calibrate first (binary-search trim codes)
-        Instruction::SetConn { from: OutputPort::of(int0), to: InputPort::of(fan0) },
         Instruction::SetConn {
-            from: OutputPort { unit: fan0, port: 0 },
+            from: OutputPort::of(int0),
+            to: InputPort::of(fan0),
+        },
+        Instruction::SetConn {
+            from: OutputPort {
+                unit: fan0,
+                port: 0,
+            },
             to: InputPort::of(adc0),
         },
         Instruction::SetConn {
-            from: OutputPort { unit: fan0, port: 1 },
+            from: OutputPort {
+                unit: fan0,
+                port: 1,
+            },
             to: InputPort::of(mul0),
         },
-        Instruction::SetConn { from: OutputPort::of(mul0), to: InputPort::of(int0) },
-        Instruction::SetMulGain { multiplier: 0, gain: -1.0 }, // a = -1
-        Instruction::SetDacConstant { dac: 0, value: 0.5 },    // b = 0.5
+        Instruction::SetConn {
+            from: OutputPort::of(mul0),
+            to: InputPort::of(int0),
+        },
+        Instruction::SetMulGain {
+            multiplier: 0,
+            gain: -1.0,
+        }, // a = -1
+        Instruction::SetDacConstant { dac: 0, value: 0.5 }, // b = 0.5
         Instruction::SetConn {
             from: OutputPort::of(UnitId::Dac(0)),
             to: InputPort::of(int0),
         },
-        Instruction::SetIntInitial { integrator: 0, value: -0.8 },
+        Instruction::SetIntInitial {
+            integrator: 0,
+            value: -0.8,
+        },
         Instruction::CfgCommit,
         Instruction::ExecStart,
         Instruction::ReadSerial,
@@ -63,11 +81,17 @@ fn figure1_decay() -> Result<(), Box<dyn std::error::Error>> {
             ),
             Response::Codes(codes) => {
                 let value = host.chip().value_of(codes[0]);
-                println!("  {instr}: ADC code {} -> u = {value:+.4} (expect +0.5)", codes[0]);
+                println!(
+                    "  {instr}: ADC code {} -> u = {value:+.4} (expect +0.5)",
+                    codes[0]
+                );
             }
             Response::Exceptions(bytes) => {
                 let any = bytes.iter().any(|b| *b != 0);
-                println!("  {instr}: exceptions = {}", if any { "SET" } else { "none" });
+                println!(
+                    "  {instr}: exceptions = {}",
+                    if any { "SET" } else { "none" }
+                );
             }
             Response::Calibrated(report) => println!(
                 "  {instr}: calibrated, worst residual offset {:.2e}",
@@ -101,23 +125,65 @@ fn nonlinear_oscillator() -> Result<(), Box<dyn std::error::Error>> {
 
     // x fans out to: LUT, the −x feedback, and the scope output.
     chip.set_conn(OutputPort::of(x), InputPort::of(fan_x))?;
-    chip.set_conn(OutputPort { unit: fan_x, port: 0 }, InputPort::of(lut))?;
-    chip.set_conn(OutputPort { unit: fan_x, port: 1 }, InputPort::of(fan_g))?;
-    chip.set_conn(OutputPort { unit: fan_g, port: 0 }, InputPort::of(mul_negx))?;
-    chip.set_conn(OutputPort { unit: fan_g, port: 1 }, InputPort::of(aout))?;
+    chip.set_conn(
+        OutputPort {
+            unit: fan_x,
+            port: 0,
+        },
+        InputPort::of(lut),
+    )?;
+    chip.set_conn(
+        OutputPort {
+            unit: fan_x,
+            port: 1,
+        },
+        InputPort::of(fan_g),
+    )?;
+    chip.set_conn(
+        OutputPort {
+            unit: fan_g,
+            port: 0,
+        },
+        InputPort::of(mul_negx),
+    )?;
+    chip.set_conn(
+        OutputPort {
+            unit: fan_g,
+            port: 1,
+        },
+        InputPort::of(aout),
+    )?;
     // v fans out to: dx/dt input and the multiplier.
     chip.set_conn(OutputPort::of(v), InputPort::of(fan_v))?;
-    chip.set_conn(OutputPort { unit: fan_v, port: 0 }, InputPort::of(x))?;
     chip.set_conn(
-        OutputPort { unit: fan_v, port: 1 },
-        InputPort { unit: mul_gv, port: 1 },
+        OutputPort {
+            unit: fan_v,
+            port: 0,
+        },
+        InputPort::of(x),
+    )?;
+    chip.set_conn(
+        OutputPort {
+            unit: fan_v,
+            port: 1,
+        },
+        InputPort {
+            unit: mul_gv,
+            port: 1,
+        },
     )?;
     // g(x) = 1 − (x/0.3)² via the lookup table, then g·v, then ×µ.
     chip.set_function(0, |xv| 1.0 - 11.1 * xv * xv)?;
     chip.set_conn(OutputPort::of(lut), InputPort::of(fan_gv))?;
     chip.set_conn(
-        OutputPort { unit: fan_gv, port: 0 },
-        InputPort { unit: mul_gv, port: 0 },
+        OutputPort {
+            unit: fan_gv,
+            port: 0,
+        },
+        InputPort {
+            unit: mul_gv,
+            port: 0,
+        },
     )?;
     chip.set_conn(OutputPort::of(mul_gv), InputPort::of(mul_mu))?;
     chip.set_mul_gain(1, 0.5)?; // µ
@@ -138,7 +204,11 @@ fn nonlinear_oscillator() -> Result<(), Box<dyn std::error::Error>> {
         ..EngineOptions::default()
     })?;
 
-    println!("  simulated {:.2} ms of continuous-time dynamics ({} RK4 steps)", report.duration_s * 1e3, report.steps);
+    println!(
+        "  simulated {:.2} ms of continuous-time dynamics ({} RK4 steps)",
+        report.duration_s * 1e3,
+        report.steps
+    );
     println!("  x(t) waveform at the analog output (80 samples):");
     let wave = &report.output_waveforms[&0];
     let line: Vec<String> = wave.iter().map(|(_, v)| render(*v)).collect();

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = problem.assemble();
     let b = problem.rhs().to_vec();
     println!("== 2D Poisson on the analog accelerator ==");
-    println!("grid: {l}x{l} interior points, N = {} unknowns", problem.grid_points());
+    println!(
+        "grid: {l}x{l} interior points, N = {} unknowns",
+        problem.grid_points()
+    );
     {
         use analog_accel::linalg::RowAccess;
         println!("matrix: {} non-zeros, pentadiagonal", RowAccess::nnz(&a));
@@ -31,7 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Whole-problem analog solve (needs N integrators).
     let mut direct = AnalogSystemSolver::new(&a, &SolverConfig::ideal())?;
-    let whole = solve_refined(&mut direct, &b, &RefineConfig { tolerance: 1e-8, ..Default::default() })?;
+    let whole = solve_refined(
+        &mut direct,
+        &b,
+        &RefineConfig {
+            tolerance: 1e-8,
+            ..Default::default()
+        },
+    )?;
     println!("\nwhole-problem analog solve (64-integrator accelerator):");
     println!("  refinement rounds: {}", whole.rounds);
     println!("  analog time: {:.3} ms", whole.analog_time_s * 1e3);
@@ -48,9 +58,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..DecomposeConfig::default()
     };
     let decomposed = solve_decomposed(&a, &b, &config)?;
-    println!("\ndecomposed analog solve ({}-integrator accelerator, {} strip blocks):", l, decomposed.blocks);
+    println!(
+        "\ndecomposed analog solve ({}-integrator accelerator, {} strip blocks):",
+        l, decomposed.blocks
+    );
     println!("  outer sweeps: {}", decomposed.sweeps);
-    println!("  total analog time: {:.3} ms", decomposed.analog_time_s * 1e3);
+    println!(
+        "  total analog time: {:.3} ms",
+        decomposed.analog_time_s * 1e3
+    );
     println!("  max error: {:.2e}", max_err(&decomposed.solution, &exact));
 
     // --- Digital CG at the paper's equal-accuracy stopping rule.

@@ -25,10 +25,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SolverConfig::ideal();
     let mut solver = AnalogSystemSolver::new(&a, &config)?;
     let report = solver.solve(&b)?;
-    println!("\nanalog accelerator ({} Hz bandwidth, {}-bit ADC):", config.bandwidth_hz, config.adc_bits);
+    println!(
+        "\nanalog accelerator ({} Hz bandwidth, {}-bit ADC):",
+        config.bandwidth_hz, config.adc_bits
+    );
     print_vec("  u ", &report.solution);
-    println!("  analog compute time: {:.3} ms (simulated)", report.analog_time_s * 1e3);
-    println!("  runs: {}, overflow retries: {}", report.runs, report.overflow_retries);
+    println!(
+        "  analog compute time: {:.3} ms (simulated)",
+        report.analog_time_s * 1e3
+    );
+    println!(
+        "  runs: {}, overflow retries: {}",
+        report.runs, report.overflow_retries
+    );
     println!("  peak dynamic-range usage: {:.2}", report.peak_range_usage);
 
     let err = max_err(&report.solution, &exact);
@@ -48,7 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  rounds: {}, converged: {}",
         refined.rounds, refined.converged
     );
-    println!("  residual history: {:?}", refined.residual_history.iter().map(|r| format!("{r:.1e}")).collect::<Vec<_>>());
+    println!(
+        "  residual history: {:?}",
+        refined
+            .residual_history
+            .iter()
+            .map(|r| format!("{r:.1e}"))
+            .collect::<Vec<_>>()
+    );
     let err = max_err(&refined.solution, &exact);
     println!("  max error vs digital: {err:.2e}");
 

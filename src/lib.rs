@@ -48,7 +48,10 @@ pub use aa_solver as solver;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
-    pub use aa_analog::{AnalogChip, ChipConfig, EngineOptions, Host, Instruction, Response};
+    pub use aa_analog::{
+        AnalogChip, ChipConfig, EngineOptions, FaultEvent, FaultKind, FaultPlan, Host, Instruction,
+        Rail, Response,
+    };
     pub use aa_hwmodel::{AcceleratorDesign, CpuModel, GpuModel};
     pub use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
     pub use aa_linalg::stencil::PoissonStencil;
@@ -56,9 +59,9 @@ pub mod prelude {
     pub use aa_ode::{integrate_fixed, integrate_to_steady_state, FixedMethod, GradientFlow};
     pub use aa_pde::poisson::{Poisson2d, Poisson3d};
     pub use aa_pde::{CgCoarseSolver, MultigridSolver};
-    pub use aa_solver::{
-        solve_decomposed, AnalogCoarseSolver, AnalogSystemSolver, DecomposeConfig, RefineConfig,
-        SolverConfig,
-    };
     pub use aa_solver::refine::solve_refined;
+    pub use aa_solver::{
+        solve_decomposed, AnalogCoarseSolver, AnalogSystemSolver, DecomposeConfig, FailureClass,
+        FinalPath, RecoveryConfig, RefineConfig, SolverConfig, SupervisedSolver,
+    };
 }

@@ -47,8 +47,7 @@ fn equal_accuracy_protocol_8bit() {
     let digital_err = max_err(&digital.solution, &exact) / scale;
 
     // Analog side, one run, ideal hardware, 8-bit converters.
-    let mut solver =
-        AnalogSystemSolver::new(&a, &SolverConfig::ideal().adc_bits(8)).unwrap();
+    let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal().adc_bits(8)).unwrap();
     let analog = solver.solve(problem.rhs()).unwrap();
     let analog_err = max_err(&analog.solution, &exact) / scale;
 
@@ -98,28 +97,52 @@ fn figure5_two_variable_system_via_isa() {
     let (fan0, fan1) = (UnitId::Fanout(0), UnitId::Fanout(1));
     let program = vec![
         // u0 spine.
-        Instruction::SetConn { from: OutputPort::of(int0), to: InputPort::of(fan0) },
         Instruction::SetConn {
-            from: OutputPort { unit: fan0, port: 0 },
+            from: OutputPort::of(int0),
+            to: InputPort::of(fan0),
+        },
+        Instruction::SetConn {
+            from: OutputPort {
+                unit: fan0,
+                port: 0,
+            },
             to: InputPort::of(UnitId::Multiplier(0)), // -a00 u0
         },
         Instruction::SetConn {
-            from: OutputPort { unit: fan0, port: 1 },
+            from: OutputPort {
+                unit: fan0,
+                port: 1,
+            },
             to: InputPort::of(UnitId::Multiplier(2)), // -a10 u0
         },
         // u1 spine.
-        Instruction::SetConn { from: OutputPort::of(int1), to: InputPort::of(fan1) },
         Instruction::SetConn {
-            from: OutputPort { unit: fan1, port: 0 },
+            from: OutputPort::of(int1),
+            to: InputPort::of(fan1),
+        },
+        Instruction::SetConn {
+            from: OutputPort {
+                unit: fan1,
+                port: 0,
+            },
             to: InputPort::of(UnitId::Multiplier(1)), // -a01 u1
         },
         Instruction::SetConn {
-            from: OutputPort { unit: fan1, port: 1 },
+            from: OutputPort {
+                unit: fan1,
+                port: 1,
+            },
             to: InputPort::of(UnitId::Multiplier(3)), // -a11 u1
         },
         // Row 0: du0/dt = b0 − a00 u0 − a01 u1.
-        Instruction::SetMulGain { multiplier: 0, gain: -1.0 },
-        Instruction::SetMulGain { multiplier: 1, gain: -0.25 },
+        Instruction::SetMulGain {
+            multiplier: 0,
+            gain: -1.0,
+        },
+        Instruction::SetMulGain {
+            multiplier: 1,
+            gain: -0.25,
+        },
         Instruction::SetConn {
             from: OutputPort::of(UnitId::Multiplier(0)),
             to: InputPort::of(int0),
@@ -134,8 +157,14 @@ fn figure5_two_variable_system_via_isa() {
             to: InputPort::of(int0),
         },
         // Row 1: du1/dt = b1 − a10 u0 − a11 u1.
-        Instruction::SetMulGain { multiplier: 2, gain: -0.25 },
-        Instruction::SetMulGain { multiplier: 3, gain: -0.75 },
+        Instruction::SetMulGain {
+            multiplier: 2,
+            gain: -0.25,
+        },
+        Instruction::SetMulGain {
+            multiplier: 3,
+            gain: -0.75,
+        },
         Instruction::SetConn {
             from: OutputPort::of(UnitId::Multiplier(2)),
             to: InputPort::of(int1),
@@ -144,7 +173,10 @@ fn figure5_two_variable_system_via_isa() {
             from: OutputPort::of(UnitId::Multiplier(3)),
             to: InputPort::of(int1),
         },
-        Instruction::SetDacConstant { dac: 1, value: 0.25 },
+        Instruction::SetDacConstant {
+            dac: 1,
+            value: 0.25,
+        },
         Instruction::SetConn {
             from: OutputPort::of(UnitId::Dac(1)),
             to: InputPort::of(int1),

@@ -1,7 +1,10 @@
-//! Property-based tests on core invariants, spanning crates.
+//! Property-style tests on core invariants, spanning crates.
+//!
+//! Cases are drawn from seeded deterministic streams, so every run sweeps
+//! the same parameter sets and any failure reproduces immediately.
 
+use analog_accel::linalg::rng::Rng64;
 use analog_accel::prelude::*;
-use proptest::prelude::*;
 
 /// Builds a random SPD, diagonally dominant matrix of dimension `n` from a
 /// seed (strict dominance guarantees positive definiteness).
@@ -32,24 +35,23 @@ fn spd_matrix(n: usize, seed: u64) -> CsrMatrix {
     CsrMatrix::from_triplets(n, &triplets).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The analog gradient-flow steady state solves the system: for any SPD
-    /// diagonally-dominant matrix and bounded rhs, the accelerator's answer
-    /// matches the direct solve within ADC-limited tolerance.
-    #[test]
-    fn analog_steady_state_solves_spd_systems(
-        n in 2usize..6,
-        seed in 1u64..500,
-        b_seed in 1u64..500,
-    ) {
+/// The analog gradient-flow steady state solves the system: for any SPD
+/// diagonally-dominant matrix and bounded rhs, the accelerator's answer
+/// matches the direct solve within ADC-limited tolerance.
+#[test]
+fn analog_steady_state_solves_spd_systems() {
+    let mut rng = Rng64::seed_from_u64(10);
+    for _ in 0..16 {
+        let n = 2 + rng.below(4);
+        let seed = 1 + rng.next_u64() % 499;
         let a = spd_matrix(n, seed);
-        let mut state = b_seed;
-        let b: Vec<f64> = (0..n).map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
-        }).collect();
+        let mut state = 1 + rng.next_u64() % 499;
+        let b: Vec<f64> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+            })
+            .collect();
 
         let exact = analog_accel::linalg::direct::solve(&a.to_dense(), &b).unwrap();
         let umax = exact.iter().fold(0.1f64, |m, v| m.max(v.abs()));
@@ -57,18 +59,20 @@ proptest! {
         let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
         let report = solver.solve(&b).unwrap();
         for (x, e) in report.solution.iter().zip(&exact) {
-            prop_assert!((x - e).abs() < 0.02 * umax, "{} vs {}", x, e);
+            assert!((x - e).abs() < 0.02 * umax, "{} vs {}", x, e);
         }
     }
+}
 
-    /// Value/time scaling invariance: scaling A and b by the same factor
-    /// leaves the recovered solution unchanged (the §VI inset).
-    #[test]
-    fn scaling_invariance(
-        n in 2usize..6,
-        seed in 1u64..500,
-        scale_exp in -3i32..6,
-    ) {
+/// Value/time scaling invariance: scaling A and b by the same factor leaves
+/// the recovered solution unchanged (the §VI inset).
+#[test]
+fn scaling_invariance() {
+    let mut rng = Rng64::seed_from_u64(11);
+    for _ in 0..16 {
+        let n = 2 + rng.below(4);
+        let seed = 1 + rng.next_u64() % 499;
+        let scale_exp = rng.below(9) as i32 - 3;
         let a = spd_matrix(n, seed);
         let s = 10f64.powi(scale_exp);
         let a_scaled = a.scaled(s);
@@ -80,57 +84,73 @@ proptest! {
         let u1 = solver1.solve(&b).unwrap().solution;
         let u2 = solver2.solve(&b_scaled).unwrap().solution;
         for (x, y) in u1.iter().zip(&u2) {
-            prop_assert!((x - y).abs() < 0.02 * x.abs().max(0.1), "{} vs {}", x, y);
+            assert!((x - y).abs() < 0.02 * x.abs().max(0.1), "{} vs {}", x, y);
         }
     }
+}
 
-    /// Refinement monotonicity: Algorithm 2 never increases the residual.
-    #[test]
-    fn refinement_never_regresses(
-        n in 2usize..6,
-        seed in 1u64..200,
-    ) {
+/// Refinement monotonicity: Algorithm 2 never increases the residual.
+#[test]
+fn refinement_never_regresses() {
+    let mut rng = Rng64::seed_from_u64(12);
+    for _ in 0..16 {
+        let n = 2 + rng.below(4);
+        let seed = 1 + rng.next_u64() % 199;
         let a = spd_matrix(n, seed);
         let b: Vec<f64> = (0..n).map(|i| ((i as f64) - 1.0) / 3.0).collect();
         let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
-        let refined = solve_refined(&mut solver, &b, &RefineConfig {
-            tolerance: 1e-9,
-            max_rounds: 10,
-            min_progress: 1.0,
-        }).unwrap();
+        let refined = solve_refined(
+            &mut solver,
+            &b,
+            &RefineConfig {
+                tolerance: 1e-9,
+                max_rounds: 10,
+                min_progress: 1.0,
+            },
+        )
+        .unwrap();
         for pair in refined.residual_history.windows(2) {
-            prop_assert!(pair[1] <= pair[0] * 1.0 + 1e-12);
+            assert!(pair[1] <= pair[0] * 1.0 + 1e-12);
         }
     }
+}
 
-    /// CG and the analog path agree on Poisson problems of any small size.
-    #[test]
-    fn cg_and_analog_agree_on_poisson(l in 2usize..7) {
+/// CG and the analog path agree on Poisson problems of any small size.
+#[test]
+fn cg_and_analog_agree_on_poisson() {
+    for l in 2usize..7 {
         let problem = Poisson2d::new(l, |x, y| x - y + 0.5).unwrap();
         let a = problem.assemble();
         let digital = cg(
             problem.operator(),
             problem.rhs(),
             &IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(1e-12)),
-        ).unwrap();
+        )
+        .unwrap();
         let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
-        let refined = solve_refined(&mut solver, problem.rhs(), &RefineConfig {
-            tolerance: 1e-8,
-            ..RefineConfig::default()
-        }).unwrap();
+        let refined = solve_refined(
+            &mut solver,
+            problem.rhs(),
+            &RefineConfig {
+                tolerance: 1e-8,
+                ..RefineConfig::default()
+            },
+        )
+        .unwrap();
         let scale = digital.solution.iter().fold(0.01f64, |m, v| m.max(v.abs()));
         for (x, e) in refined.solution.iter().zip(&digital.solution) {
-            prop_assert!((x - e).abs() < 1e-5 * scale.max(1.0), "{} vs {}", x, e);
+            assert!((x - e).abs() < 1e-5 * scale.max(1.0), "{} vs {}", x, e);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Trajectory sampling is exact at knots and bounded between them.
-    #[test]
-    fn trajectory_interpolation_bounds(points in proptest::collection::vec(-1.0f64..1.0, 2..20)) {
+/// Trajectory sampling is exact at knots and bounded between them.
+#[test]
+fn trajectory_interpolation_bounds() {
+    let mut rng = Rng64::seed_from_u64(13);
+    for _ in 0..32 {
+        let len = 2 + rng.below(18);
+        let points: Vec<f64> = (0..len).map(|_| rng.range(-1.0, 1.0)).collect();
         let mut traj = analog_accel::ode::Trajectory::new(0.0, vec![points[0]]);
         for (k, v) in points.iter().enumerate().skip(1) {
             traj.push(k as f64, vec![*v]);
@@ -138,37 +158,47 @@ proptest! {
         // Exact at knots.
         for (k, v) in points.iter().enumerate() {
             let s = traj.sample(k as f64).unwrap();
-            prop_assert!((s[0] - v).abs() < 1e-12);
+            assert!((s[0] - v).abs() < 1e-12);
         }
         // Bounded between knots.
         for k in 0..points.len() - 1 {
             let mid = traj.sample(k as f64 + 0.5).unwrap()[0];
             let lo = points[k].min(points[k + 1]);
             let hi = points[k].max(points[k + 1]);
-            prop_assert!(mid >= lo - 1e-12 && mid <= hi + 1e-12);
+            assert!(mid >= lo - 1e-12 && mid <= hi + 1e-12);
         }
     }
+}
 
-    /// ADC round trip: every code survives value_of → (re)conversion.
-    #[test]
-    fn adc_code_round_trip(bits in 4u32..14, code_frac in 0.0f64..1.0) {
+/// ADC round trip: every code survives value_of → (re)conversion.
+#[test]
+fn adc_code_round_trip() {
+    let mut rng = Rng64::seed_from_u64(14);
+    for _ in 0..32 {
+        let bits = 4 + rng.below(10) as u32;
+        let code_frac = rng.uniform();
         let chip = AnalogChip::new(ChipConfig::ideal().with_adc_bits(bits));
         let levels = 2u32.pow(bits);
         let code = ((code_frac * levels as f64) as u32).min(levels - 1);
         let v = chip.value_of(code);
-        prop_assert!(v.abs() <= 1.0);
+        assert!(v.abs() <= 1.0);
         // Quantization error of any in-range value is at most one LSB.
         let lsb = 2.0 / levels as f64;
-        prop_assert!((chip.value_of(code) - v).abs() < lsb);
+        assert!((chip.value_of(code) - v).abs() < lsb);
     }
+}
 
-    /// Gershgorin bounds always enclose the power-iteration estimate.
-    #[test]
-    fn gershgorin_encloses_dominant_eigenvalue(n in 2usize..8, seed in 1u64..300) {
+/// Gershgorin bounds always enclose the power-iteration estimate.
+#[test]
+fn gershgorin_encloses_dominant_eigenvalue() {
+    let mut rng = Rng64::seed_from_u64(15);
+    for _ in 0..32 {
+        let n = 2 + rng.below(6);
+        let seed = 1 + rng.next_u64() % 299;
         let a = spd_matrix(n, seed);
         let (lo, hi) = analog_accel::linalg::eigen::gershgorin_bounds(&a);
         let est = analog_accel::linalg::eigen::power_iteration(&a, 20_000, 1e-10).unwrap();
-        prop_assert!(est.value <= hi + 1e-9);
-        prop_assert!(est.value >= lo - 1e-9);
+        assert!(est.value <= hi + 1e-9);
+        assert!(est.value >= lo - 1e-9);
     }
 }
