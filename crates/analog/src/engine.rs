@@ -21,6 +21,23 @@ use crate::netlist::{output_port_count, InputPort, OutputPort};
 use crate::nonideal::ProcessVariation;
 use crate::units::UnitId;
 
+/// Which circuit evaluator drives the RK4 inner loop.
+///
+/// Both strategies produce **bit-identical** results (asserted by the
+/// differential property tests); they differ only in speed. The compiled
+/// path lowers the netlist once per run into flat arrays
+/// ([`crate::plan::CompiledPlan`]), removing every map lookup from the hot
+/// loop; the reference path walks the original `BTreeMap`-based structures
+/// and is kept as the behavioural oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalStrategy {
+    /// Flat-array compiled plan — the fast default.
+    #[default]
+    Compiled,
+    /// Tree-walking interpreter retained for differential testing.
+    Reference,
+}
+
 /// Options controlling the engine's numerical integration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineOptions {
@@ -40,6 +57,8 @@ pub struct EngineOptions {
     /// course of analog computation"; a saturated integrator never settles,
     /// so waiting out the timeout is wasted time.
     pub stop_on_exception: bool,
+    /// Which evaluator runs the circuit (identical results either way).
+    pub eval_strategy: EvalStrategy,
 }
 
 impl Default for EngineOptions {
@@ -50,6 +69,7 @@ impl Default for EngineOptions {
             max_tau: 1e6,
             waveform_samples: 256,
             stop_on_exception: false,
+            eval_strategy: EvalStrategy::default(),
         }
     }
 }
@@ -101,49 +121,77 @@ impl RunReport {
 /// One value slot: either a unit output port or a sink (ADC / analog output)
 /// input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Slot {
+pub(crate) enum Slot {
     Out(OutputPort),
     SinkIn(UnitId),
 }
 
-/// The compiled dataflow program.
-struct Compiled<'a> {
-    config: &'a ChipConfig,
-    variation: &'a ProcessVariation,
-    registers: &'a Registers,
-    signals: &'a BTreeMap<usize, InputSignal>,
+/// The compiled dataflow program — the tree-walking **reference**
+/// representation. [`crate::plan::CompiledPlan::lower`] flattens it into the
+/// map-free fast path.
+pub(crate) struct Compiled<'a> {
+    pub(crate) config: &'a ChipConfig,
+    pub(crate) variation: &'a ProcessVariation,
+    pub(crate) registers: &'a Registers,
+    pub(crate) signals: &'a BTreeMap<usize, InputSignal>,
     /// Scheduled runtime faults, if any are injected.
-    faults: Option<&'a FaultPlan>,
+    pub(crate) faults: Option<&'a FaultPlan>,
     /// Chip-lifetime second at which this run starts (fault-event windows
     /// are expressed on the lifetime clock, not the per-run clock).
-    t_offset: f64,
+    pub(crate) t_offset: f64,
     /// State-vector slot → integrator index.
-    integrator_of_state: Vec<usize>,
+    pub(crate) integrator_of_state: Vec<usize>,
     /// Memoryless units in dependency order.
-    topo: Vec<UnitId>,
+    pub(crate) topo: Vec<UnitId>,
     /// Slot numbering.
-    slot_index: BTreeMap<Slot, usize>,
+    pub(crate) slot_index: BTreeMap<Slot, usize>,
     /// For each input port: the slots of its drivers.
-    drivers: BTreeMap<InputPort, Vec<usize>>,
+    pub(crate) drivers: BTreeMap<InputPort, Vec<usize>>,
     /// Used DAC indices.
-    dacs: Vec<usize>,
+    pub(crate) dacs: Vec<usize>,
     /// Used analog input indices.
-    analog_inputs: Vec<usize>,
+    pub(crate) analog_inputs: Vec<usize>,
     /// Used ADC indices.
-    adcs: Vec<usize>,
+    pub(crate) adcs: Vec<usize>,
     /// Used analog output indices.
-    analog_outputs: Vec<usize>,
+    pub(crate) analog_outputs: Vec<usize>,
     /// Identity fallback for unprogrammed lookup tables.
-    default_lut: LookupTable,
+    pub(crate) default_lut: LookupTable,
     /// Slot → owning unit, for exception attribution.
-    unit_of_slot: Vec<UnitId>,
+    pub(crate) unit_of_slot: Vec<UnitId>,
 }
 
 /// Per-eval scratch and accumulated run observations.
-struct Tracker {
-    values: Vec<f64>,
-    max_abs: Vec<f64>,
-    clipped: Vec<bool>,
+pub(crate) struct Tracker {
+    pub(crate) values: Vec<f64>,
+    pub(crate) max_abs: Vec<f64>,
+    pub(crate) clipped: Vec<bool>,
+}
+
+/// A circuit evaluator usable by the RK4 loop: writes state derivatives into
+/// `du` and (when `track` is set) records range usage and clip events.
+pub(crate) trait Evaluator {
+    fn eval_circuit(
+        &self,
+        t: f64,
+        state: &[f64],
+        du: &mut [f64],
+        tracker: &mut Tracker,
+        track: bool,
+    );
+}
+
+impl Evaluator for Compiled<'_> {
+    fn eval_circuit(
+        &self,
+        t: f64,
+        state: &[f64],
+        du: &mut [f64],
+        tracker: &mut Tracker,
+        track: bool,
+    ) {
+        self.eval(t, state, du, tracker, track);
+    }
 }
 
 impl<'a> Compiled<'a> {
@@ -241,11 +289,11 @@ impl<'a> Compiled<'a> {
         self.integrator_of_state.len()
     }
 
-    fn slot(&self, port: OutputPort) -> usize {
+    pub(crate) fn slot(&self, port: OutputPort) -> usize {
         self.slot_index[&Slot::Out(port)]
     }
 
-    fn sink_slot(&self, unit: UnitId) -> usize {
+    pub(crate) fn sink_slot(&self, unit: UnitId) -> usize {
         self.slot_index[&Slot::SinkIn(unit)]
     }
 
@@ -416,6 +464,27 @@ pub(crate) fn run_committed(
         )));
     }
     let circuit = Compiled::build(registers, config, variation, signals, faults, t_offset)?;
+    match options.eval_strategy {
+        EvalStrategy::Compiled => {
+            let plan = crate::plan::CompiledPlan::lower(&circuit);
+            integrate(&circuit, &plan, options)
+        }
+        EvalStrategy::Reference => integrate(&circuit, &circuit, options),
+    }
+}
+
+/// The RK4 run loop, generic over the circuit evaluator. `circuit` supplies
+/// the structural metadata (slot numbering, used-unit lists); `evaluator`
+/// does the per-stage arithmetic.
+fn integrate<E: Evaluator>(
+    circuit: &Compiled<'_>,
+    evaluator: &E,
+    options: &EngineOptions,
+) -> Result<RunReport, AnalogError> {
+    let registers = circuit.registers;
+    let config = circuit.config;
+    let faults = circuit.faults;
+    let t_offset = circuit.t_offset;
     let n = circuit.n_states();
     let n_slots = circuit.slot_index.len();
     let fs = config.full_scale;
@@ -432,6 +501,21 @@ pub(crate) fn run_committed(
         max_abs: vec![0.0; n_slots],
         clipped: vec![false; n_slots],
     };
+
+    // Slot lookups resolved once, outside the loop: integrator output slots
+    // (stuck-rail and saturation tracking) and analog-output sink slots
+    // (waveform sampling), which previously went through `slot_index` every
+    // step and every sample respectively.
+    let int_out_slots: Vec<usize> = circuit
+        .integrator_of_state
+        .iter()
+        .map(|&i| circuit.slot(OutputPort::of(UnitId::Integrator(i))))
+        .collect();
+    let aout_sinks: Vec<usize> = circuit
+        .analog_outputs
+        .iter()
+        .map(|&i| circuit.sink_slot(UnitId::AnalogOutput(i)))
+        .collect();
 
     // Initial conditions.
     let mut state: Vec<f64> = circuit
@@ -450,11 +534,7 @@ pub(crate) fn run_committed(
     // buffer doubles past the target, so the retained samples always span
     // the whole (unknown-in-advance) run at roughly uniform spacing.
     let mut stride = 1usize;
-    let mut waveforms: BTreeMap<usize, Vec<(f64, f64)>> = circuit
-        .analog_outputs
-        .iter()
-        .map(|i| (*i, Vec::new()))
-        .collect();
+    let mut waves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); aout_sinks.len()];
 
     let mut t = 0.0;
     let mut steps = 0usize;
@@ -473,7 +553,7 @@ pub(crate) fn run_committed(
             for (slot_state, &int_idx) in circuit.integrator_of_state.iter().enumerate() {
                 if let Some(rail) = plan.stuck_rail(int_idx, t_offset + t) {
                     state[slot_state] = rail.sign() * fs;
-                    let s = circuit.slot(OutputPort::of(UnitId::Integrator(int_idx)));
+                    let s = int_out_slots[slot_state];
                     tracker.clipped[s] = true;
                     tracker.max_abs[s] = tracker.max_abs[s].max(fs * 1.0000001);
                 }
@@ -481,19 +561,18 @@ pub(crate) fn run_committed(
         }
 
         // k1 also refreshes slot values at time t (used for sampling below).
-        circuit.eval(t, &state, &mut k1, &mut tracker, true);
+        evaluator.eval_circuit(t, &state, &mut k1, &mut tracker, true);
 
         // Record output waveforms.
         if steps.is_multiple_of(stride) || t >= end_s {
             let mut overflow = false;
-            for (&i, wave) in waveforms.iter_mut() {
-                let v = tracker.values[circuit.sink_slot(UnitId::AnalogOutput(i))];
-                wave.push((t, v));
+            for (wave, &slot) in waves.iter_mut().zip(&aout_sinks) {
+                wave.push((t, tracker.values[slot]));
                 overflow |=
                     options.waveform_samples > 0 && wave.len() >= 2 * options.waveform_samples;
             }
             if overflow {
-                for wave in waveforms.values_mut() {
+                for wave in waves.iter_mut() {
                     let mut keep = 0;
                     wave.retain(|_| {
                         keep += 1;
@@ -504,11 +583,14 @@ pub(crate) fn run_committed(
             }
         }
 
-        // Stop checks.
-        if let Some(tol) = options.steady_tol {
-            let dnorm = k1.iter().fold(0.0f64, |m, v| m.max(v.abs())) / omega;
-            if dnorm <= tol && n > 0 {
-                reached_steady = true;
+        // Stop checks. The dnorm reduction over k1 only runs when a steady
+        // tolerance is actually configured.
+        if n > 0 {
+            if let Some(tol) = options.steady_tol {
+                let dnorm = k1.iter().fold(0.0f64, |m, v| m.max(v.abs())) / omega;
+                if dnorm <= tol {
+                    reached_steady = true;
+                }
             }
         }
         if t >= end_s {
@@ -526,24 +608,23 @@ pub(crate) fn run_committed(
         for i in 0..n {
             mid[i] = state[i] + 0.5 * h * k1[i];
         }
-        circuit.eval(t + 0.5 * h, &mid, &mut k2, &mut tracker, false);
+        evaluator.eval_circuit(t + 0.5 * h, &mid, &mut k2, &mut tracker, false);
         for i in 0..n {
             mid[i] = state[i] + 0.5 * h * k2[i];
         }
-        circuit.eval(t + 0.5 * h, &mid, &mut k3, &mut tracker, false);
+        evaluator.eval_circuit(t + 0.5 * h, &mid, &mut k3, &mut tracker, false);
         for i in 0..n {
             mid[i] = state[i] + h * k3[i];
         }
-        circuit.eval(t + h, &mid, &mut k4, &mut tracker, false);
+        evaluator.eval_circuit(t + h, &mid, &mut k4, &mut tracker, false);
         for i in 0..n {
             state[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
 
         // Integrator saturation at the rails.
-        for (slot_state, &int_idx) in circuit.integrator_of_state.iter().enumerate() {
+        for (slot_state, s) in int_out_slots.iter().copied().enumerate() {
             if state[slot_state].abs() > fs {
                 state[slot_state] = state[slot_state].clamp(-fs, fs);
-                let s = circuit.slot(OutputPort::of(UnitId::Integrator(int_idx)));
                 tracker.clipped[s] = true;
                 tracker.max_abs[s] = tracker.max_abs[s].max(fs * 1.0000001);
             }
@@ -582,6 +663,8 @@ pub(crate) fn run_committed(
         .iter()
         .map(|&i| (i, tracker.values[circuit.sink_slot(UnitId::Adc(i))]))
         .collect();
+    let output_waveforms: BTreeMap<usize, Vec<(f64, f64)>> =
+        circuit.analog_outputs.iter().copied().zip(waves).collect();
 
     Ok(RunReport {
         duration_s: t,
@@ -593,7 +676,7 @@ pub(crate) fn run_committed(
         range_usage,
         integrator_values,
         adc_inputs,
-        output_waveforms: waveforms,
+        output_waveforms,
         faults_active_steps,
     })
 }

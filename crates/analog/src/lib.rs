@@ -74,13 +74,14 @@ pub mod isa;
 pub mod lut;
 pub mod netlist;
 pub mod nonideal;
+pub mod plan;
 pub mod spi;
 pub mod units;
 
 pub use calibrate::{calibrate, CalibrationReport};
 pub use chip::{AnalogChip, InputSignal, CONTROL_CLOCK_HZ};
 pub use config::{ChipConfig, NonIdealityConfig, PROTOTYPE_BANDWIDTH_HZ};
-pub use engine::{EngineOptions, RunReport};
+pub use engine::{EngineOptions, EvalStrategy, RunReport};
 pub use error::AnalogError;
 pub use exceptions::ExceptionVector;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, Rail};

@@ -1,0 +1,447 @@
+//! Compiled evaluation plans: the engine's map-free fast path.
+//!
+//! [`crate::engine`] first builds the tree-walking `Compiled` circuit, whose
+//! `eval` resolves every unit through `BTreeMap`s (`slot_index`, `drivers`,
+//! per-unit register maps) four times per RK4 step. [`CompiledPlan`] lowers
+//! that structure **once per run** into flat arrays:
+//!
+//! * CSR-style driver lists — one shared `driver_slots` array with
+//!   `(start, end)` ranges per consumer, so an input-branch current sum is a
+//!   contiguous slice walk;
+//! * a dense, topologically ordered op tape with pre-resolved output slot
+//!   indices, pre-fetched DAC values, multiplier gains, and lookup-table
+//!   pointers;
+//! * per-unit imperfection parameters pre-expanded into the factors the
+//!   reference formula uses.
+//!
+//! The lowering is purely structural: every floating-point operation keeps
+//! the exact order and association of the reference evaluator, so compiled
+//! runs are **bit-identical** to reference runs (the differential property
+//! tests in `tests/properties.rs` assert this across random netlists,
+//! process variation, and active fault plans). What cannot be pre-resolved —
+//! fault-plan adjustments and external input signals, both functions of
+//! time — stays a per-eval call, exactly as in the reference path.
+
+use crate::chip::InputSignal;
+use crate::engine::{Compiled, Evaluator, Tracker};
+use crate::fault::FaultPlan;
+use crate::lut::LookupTable;
+use crate::netlist::{InputPort, OutputPort};
+use crate::nonideal::BlockImperfection;
+use crate::units::UnitId;
+
+/// A block's transfer imperfection with the trim-DAC conversions done ahead
+/// of time. `apply` reproduces [`BlockImperfection::apply`] bit for bit:
+/// the reference computes `((x·f1)·f2 + o1) + o2` with these exact
+/// sub-expressions, so precomputing them cannot change a single ulp.
+#[derive(Debug, Clone, Copy)]
+struct Imp {
+    f1: f64,
+    f2: f64,
+    o1: f64,
+    o2: f64,
+}
+
+impl Imp {
+    fn lower(b: &BlockImperfection) -> Self {
+        Imp {
+            f1: 1.0 + b.gain_error,
+            f2: 1.0 + b.gain_trim_value(),
+            o1: b.offset,
+            o2: b.offset_trim_value(),
+        }
+    }
+
+    #[inline]
+    fn apply(&self, ideal: f64) -> f64 {
+        ((ideal * self.f1) * self.f2 + self.o1) + self.o2
+    }
+}
+
+/// A consumer's driver list: a `(start, end)` range into
+/// [`CompiledPlan::driver_slots`]. An unconnected port is the empty range.
+#[derive(Debug, Clone, Copy)]
+struct DriverRange {
+    start: u32,
+    end: u32,
+}
+
+/// One integrator output: state slot `i` feeds output slot `out`.
+#[derive(Debug, Clone, Copy)]
+struct IntSource {
+    unit: UnitId,
+    imp: Imp,
+    out: u32,
+}
+
+/// One DAC output with its programmed constant pre-fetched.
+#[derive(Debug, Clone, Copy)]
+struct DacSource {
+    unit: UnitId,
+    value: f64,
+    imp: Imp,
+    out: u32,
+}
+
+/// One external analog input. `signal` is `None` when the channel is
+/// disabled or has no attached stimulus (both read as 0.0, as in the
+/// reference path).
+struct InputSource<'a> {
+    unit: UnitId,
+    signal: Option<&'a InputSignal>,
+    out: u32,
+}
+
+/// One memoryless unit on the op tape, in topological order.
+enum Op<'a> {
+    /// Multiplier in gain mode: `gain · Σin0`.
+    MulGain {
+        unit: UnitId,
+        gain: f64,
+        imp: Imp,
+        in0: DriverRange,
+        out: u32,
+    },
+    /// Multiplier in variable mode: `Σin0 · Σin1 / full_scale`.
+    MulVar {
+        unit: UnitId,
+        imp: Imp,
+        in0: DriverRange,
+        in1: DriverRange,
+        out: u32,
+    },
+    /// Fanout: one imperfection application, one clip per branch. Branch
+    /// output slots are contiguous starting at `out0` (the slot builder
+    /// numbers a unit's ports consecutively).
+    Fanout {
+        unit: UnitId,
+        imp: Imp,
+        input: DriverRange,
+        out0: u32,
+        branches: u32,
+    },
+    /// Lookup table: quantized, no analog gain/offset imperfection.
+    Lut {
+        unit: UnitId,
+        lut: &'a LookupTable,
+        input: DriverRange,
+        out: u32,
+    },
+    /// ADC / analog-output sink: clip the summed input into the sink slot
+    /// (sinks see no distortion or imperfection in the reference path).
+    Sink { input: DriverRange, out: u32 },
+}
+
+/// The flat-array execution plan for one committed netlist.
+///
+/// Built by [`CompiledPlan::lower`] from the engine's reference circuit and
+/// consumed through the crate-internal `Evaluator` trait; both paths are
+/// selected by [`crate::engine::EvalStrategy`].
+pub struct CompiledPlan<'a> {
+    full_scale: f64,
+    omega: f64,
+    faults: Option<&'a FaultPlan>,
+    t_offset: f64,
+    /// Shared driver-slot array indexed by the `DriverRange`s (CSR layout).
+    driver_slots: Vec<u32>,
+    int_sources: Vec<IntSource>,
+    dac_sources: Vec<DacSource>,
+    input_sources: Vec<InputSource<'a>>,
+    ops: Vec<Op<'a>>,
+    /// Per-state derivative input range (the integrator's input port).
+    derivs: Vec<DriverRange>,
+}
+
+impl<'a> CompiledPlan<'a> {
+    /// Lowers the reference circuit into flat arrays. Pure restructuring:
+    /// no arithmetic is reassociated and no behaviour is resolved earlier
+    /// than the reference path resolves it (except reads of committed
+    /// registers, which cannot change during a run).
+    pub(crate) fn lower(c: &'a Compiled<'a>) -> Self {
+        let mut driver_slots: Vec<u32> = Vec::new();
+        let mut range_of = |port: InputPort| -> DriverRange {
+            let start = driver_slots.len() as u32;
+            if let Some(slots) = c.drivers.get(&port) {
+                driver_slots.extend(slots.iter().map(|&s| s as u32));
+            }
+            DriverRange {
+                start,
+                end: driver_slots.len() as u32,
+            }
+        };
+
+        let int_sources: Vec<IntSource> = c
+            .integrator_of_state
+            .iter()
+            .map(|&i| {
+                let unit = UnitId::Integrator(i);
+                IntSource {
+                    unit,
+                    imp: Imp::lower(c.variation.of(unit)),
+                    out: c.slot(OutputPort::of(unit)) as u32,
+                }
+            })
+            .collect();
+
+        let dac_sources: Vec<DacSource> = c
+            .dacs
+            .iter()
+            .map(|&i| {
+                let unit = UnitId::Dac(i);
+                DacSource {
+                    unit,
+                    value: c.registers.dac_values.get(&i).copied().unwrap_or(0.0),
+                    imp: Imp::lower(c.variation.of(unit)),
+                    out: c.slot(OutputPort::of(unit)) as u32,
+                }
+            })
+            .collect();
+
+        let input_sources: Vec<InputSource<'a>> = c
+            .analog_inputs
+            .iter()
+            .map(|&i| {
+                let unit = UnitId::AnalogInput(i);
+                let enabled = c.registers.inputs_enabled.get(&i).copied().unwrap_or(false);
+                InputSource {
+                    unit,
+                    signal: if enabled { c.signals.get(&i) } else { None },
+                    out: c.slot(OutputPort::of(unit)) as u32,
+                }
+            })
+            .collect();
+
+        let mut ops: Vec<Op<'a>> = Vec::with_capacity(c.topo.len());
+        for &unit in &c.topo {
+            match unit {
+                UnitId::Multiplier(i) => {
+                    let imp = Imp::lower(c.variation.of(unit));
+                    let in0 = range_of(InputPort { unit, port: 0 });
+                    let out = c.slot(OutputPort::of(unit)) as u32;
+                    match c.registers.mul_gains.get(&i) {
+                        Some(&gain) => ops.push(Op::MulGain {
+                            unit,
+                            gain,
+                            imp,
+                            in0,
+                            out,
+                        }),
+                        None => {
+                            let in1 = range_of(InputPort { unit, port: 1 });
+                            ops.push(Op::MulVar {
+                                unit,
+                                imp,
+                                in0,
+                                in1,
+                                out,
+                            });
+                        }
+                    }
+                }
+                UnitId::Fanout(_) => {
+                    let branches = c.config.inventory.fanout_branches as u32;
+                    ops.push(Op::Fanout {
+                        unit,
+                        imp: Imp::lower(c.variation.of(unit)),
+                        input: range_of(InputPort::of(unit)),
+                        out0: c.slot(OutputPort { unit, port: 0 }) as u32,
+                        branches,
+                    });
+                }
+                UnitId::Lut(i) => {
+                    ops.push(Op::Lut {
+                        unit,
+                        lut: c.registers.luts.get(&i).unwrap_or(&c.default_lut),
+                        input: range_of(InputPort::of(unit)),
+                        out: c.slot(OutputPort::of(unit)) as u32,
+                    });
+                }
+                UnitId::Adc(_) | UnitId::AnalogOutput(_) => {
+                    ops.push(Op::Sink {
+                        input: range_of(InputPort::of(unit)),
+                        out: c.sink_slot(unit) as u32,
+                    });
+                }
+                UnitId::Integrator(_) | UnitId::Dac(_) | UnitId::AnalogInput(_) => {
+                    unreachable!("stateful/source units are not in the memoryless order")
+                }
+            }
+        }
+
+        let derivs: Vec<DriverRange> = c
+            .integrator_of_state
+            .iter()
+            .map(|&i| range_of(InputPort::of(UnitId::Integrator(i))))
+            .collect();
+
+        CompiledPlan {
+            full_scale: c.config.full_scale,
+            omega: c.config.omega(),
+            faults: c.faults,
+            t_offset: c.t_offset,
+            driver_slots,
+            int_sources,
+            dac_sources,
+            input_sources,
+            ops,
+            derivs,
+        }
+    }
+
+    /// Sum of driver currents over a CSR range — the same fold order as the
+    /// reference `input_sum` (`0.0 + v₀ + v₁ + …` over the connection
+    /// order).
+    #[inline]
+    fn sum(&self, range: DriverRange, values: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for &s in &self.driver_slots[range.start as usize..range.end as usize] {
+            acc += values[s as usize];
+        }
+        acc
+    }
+
+    /// Applies any active analog-path faults, identically to the reference
+    /// `distort`.
+    #[inline]
+    fn distort(&self, unit: UnitId, t: f64, value: f64) -> f64 {
+        match self.faults {
+            Some(plan) => plan.analog_adjust(unit, self.t_offset + t, value),
+            None => value,
+        }
+    }
+
+    /// Clips to full scale, recording range usage and clip events when
+    /// tracking — identical to the reference `clip`.
+    #[inline]
+    fn clip(
+        &self,
+        value: f64,
+        slot: usize,
+        max_abs: &mut [f64],
+        clipped: &mut [bool],
+        track: bool,
+    ) -> f64 {
+        let fs = self.full_scale;
+        if track {
+            let mag = value.abs();
+            if mag > max_abs[slot] {
+                max_abs[slot] = mag;
+            }
+            if mag > fs {
+                clipped[slot] = true;
+            }
+        }
+        value.clamp(-fs, fs)
+    }
+}
+
+impl Evaluator for CompiledPlan<'_> {
+    fn eval_circuit(
+        &self,
+        t: f64,
+        state: &[f64],
+        du: &mut [f64],
+        tracker: &mut Tracker,
+        track: bool,
+    ) {
+        let fs = self.full_scale;
+        let Tracker {
+            values,
+            max_abs,
+            clipped,
+        } = tracker;
+
+        // Sources: integrator outputs (their state, through imperfection).
+        // Range usage tracks the pre-clamp magnitude, as in the reference.
+        for (slot_state, src) in self.int_sources.iter().enumerate() {
+            let out = self.distort(src.unit, t, src.imp.apply(state[slot_state]));
+            let s = src.out as usize;
+            values[s] = out.clamp(-fs, fs);
+            if track {
+                let mag = out.abs();
+                if mag > max_abs[s] {
+                    max_abs[s] = mag;
+                }
+                if mag > fs {
+                    clipped[s] = true;
+                }
+            }
+        }
+        // Sources: DAC constants.
+        for src in &self.dac_sources {
+            let out = self.distort(src.unit, t, src.imp.apply(src.value));
+            let s = src.out as usize;
+            values[s] = self.clip(out, s, max_abs, clipped, track);
+        }
+        // Sources: external analog inputs (no imperfection applied).
+        for src in &self.input_sources {
+            let raw = src.signal.map(|f| f(t)).unwrap_or(0.0);
+            let out = self.distort(src.unit, t, raw);
+            let s = src.out as usize;
+            values[s] = self.clip(out, s, max_abs, clipped, track);
+        }
+
+        // The op tape: memoryless units in dependency order.
+        for op in &self.ops {
+            match *op {
+                Op::MulGain {
+                    unit,
+                    gain,
+                    imp,
+                    in0,
+                    out,
+                } => {
+                    let ideal = gain * self.sum(in0, values);
+                    let v = self.distort(unit, t, imp.apply(ideal));
+                    let s = out as usize;
+                    values[s] = self.clip(v, s, max_abs, clipped, track);
+                }
+                Op::MulVar {
+                    unit,
+                    imp,
+                    in0,
+                    in1,
+                    out,
+                } => {
+                    let ideal = self.sum(in0, values) * self.sum(in1, values) / fs;
+                    let v = self.distort(unit, t, imp.apply(ideal));
+                    let s = out as usize;
+                    values[s] = self.clip(v, s, max_abs, clipped, track);
+                }
+                Op::Fanout {
+                    unit,
+                    imp,
+                    input,
+                    out0,
+                    branches,
+                } => {
+                    let v = self.distort(unit, t, imp.apply(self.sum(input, values)));
+                    for port in 0..branches {
+                        let s = (out0 + port) as usize;
+                        values[s] = self.clip(v, s, max_abs, clipped, track);
+                    }
+                }
+                Op::Lut {
+                    unit,
+                    lut,
+                    input,
+                    out,
+                } => {
+                    let v = self.distort(unit, t, lut.evaluate(self.sum(input, values)));
+                    let s = out as usize;
+                    values[s] = self.clip(v, s, max_abs, clipped, track);
+                }
+                Op::Sink { input, out } => {
+                    let v = self.sum(input, values);
+                    let s = out as usize;
+                    values[s] = self.clip(v, s, max_abs, clipped, track);
+                }
+            }
+        }
+
+        // Integrator derivatives: ω_u times the summed input current.
+        for (slot_state, &range) in self.derivs.iter().enumerate() {
+            du[slot_state] = self.omega * self.sum(range, values);
+        }
+    }
+}

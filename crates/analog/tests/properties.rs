@@ -261,6 +261,101 @@ fn identical_fault_plans_reproduce_bit_identical_runs() {
     }
 }
 
+/// Configures an arbitrary committed chip from a seeded stream: random
+/// topology (invalid connections skipped), gains, DAC constants, initial
+/// conditions, LUT programs, input stimuli, and optionally a drawn process
+/// variation. Returns `None` when the random netlist fails commit (e.g. an
+/// algebraic loop).
+fn arbitrary_chip(rng: &mut Rng64) -> Option<aa_analog::AnalogChip> {
+    use aa_analog::{AnalogChip, NonIdealityConfig};
+    let nonideal = if rng.flip() {
+        NonIdealityConfig::default().with_seed(rng.next_u64())
+    } else {
+        NonIdealityConfig::none()
+    };
+    let mut chip = AnalogChip::new(ChipConfig::ideal().with_nonideal(nonideal));
+    for _ in 0..(8 + rng.below(25)) {
+        let from = OutputPort {
+            unit: arbitrary_unit(rng, 4),
+            port: rng.below(3),
+        };
+        let to = InputPort {
+            unit: arbitrary_unit(rng, 4),
+            port: rng.below(3),
+        };
+        let _ = chip.set_conn(from, to);
+    }
+    for i in 0..4 {
+        if rng.flip() {
+            let _ = chip.set_mul_gain(i, rng.range(-1.0, 1.0));
+        } else {
+            let _ = chip.set_mul_variable(i);
+        }
+        let _ = chip.set_dac_constant(i, rng.range(-0.5, 0.5));
+        let _ = chip.set_int_initial(i, rng.range(-0.5, 0.5));
+    }
+    if rng.flip() {
+        let steepness = rng.range(2.0, 10.0);
+        let _ = chip.set_function(0, move |x| (steepness * x).tanh());
+    }
+    if rng.flip() {
+        let amplitude = rng.range(0.0, 0.4);
+        let _ = chip.set_ana_input_en(0, true);
+        let _ = chip.attach_input_signal(0, Box::new(move |t| (3.0e4 * t).sin() * amplitude));
+    }
+    chip.set_timeout(20 + rng.below(480) as u64);
+    chip.cfg_commit().ok()?;
+    Some(chip)
+}
+
+/// The tentpole's differential guarantee: the flat-array [`CompiledPlan`]
+/// path produces **bit-identical** run reports to the tree-walking
+/// reference evaluator — same states, waveforms, exceptions, and range
+/// usage — across random netlists, process variation draws, and active
+/// fault plans.
+///
+/// [`CompiledPlan`]: aa_analog::plan::CompiledPlan
+#[test]
+fn compiled_plan_is_bit_identical_to_reference_evaluator() {
+    use aa_analog::{EngineOptions, EvalStrategy};
+    let mut rng = Rng64::seed_from_u64(0xd1ff);
+    let mut compared = 0;
+    let mut attempts = 0;
+    while compared < 16 {
+        attempts += 1;
+        assert!(attempts < 200, "too few valid random netlists");
+        let case_seed = rng.next_u64();
+        let with_faults = rng.flip();
+        let steady_tol = if rng.flip() { Some(1e-6) } else { None };
+        let run = |strategy: EvalStrategy| {
+            // Replaying the same case seed configures two identical chips,
+            // so the only difference between the runs is the evaluator.
+            let mut case_rng = Rng64::seed_from_u64(case_seed);
+            let mut chip = arbitrary_chip(&mut case_rng)?;
+            if with_faults {
+                chip.inject_fault_plan(arbitrary_plan(&mut case_rng));
+            }
+            let options = EngineOptions {
+                steady_tol,
+                max_tau: 100.0,
+                eval_strategy: strategy,
+                ..EngineOptions::default()
+            };
+            Some(chip.exec(&options).map_err(|e| e.to_string()))
+        };
+        let compiled = run(EvalStrategy::Compiled);
+        let reference = run(EvalStrategy::Reference);
+        let (Some(compiled), Some(reference)) = (compiled, reference) else {
+            continue; // random netlist failed commit — not a comparison case
+        };
+        assert_eq!(
+            compiled, reference,
+            "compiled plan diverged from reference (case seed {case_seed:#x})"
+        );
+        compared += 1;
+    }
+}
+
 /// A plan whose window covers the whole run is visibly active; clearing the
 /// plan restores the baseline (faults leave no residue in the chip).
 #[test]

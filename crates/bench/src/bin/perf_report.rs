@@ -1,0 +1,209 @@
+//! Performance report for the simulator's critical paths, written to
+//! `BENCH_engine.json` so successive changes can track the trajectory.
+//!
+//! Three groups of measurements:
+//!
+//! 1. **Engine microbench** — RK4 steps/sec of the analog engine on a
+//!    coupled integrator-chain circuit, compiled-plan path vs. the
+//!    tree-walking reference evaluator (the tentpole's ≥3× target).
+//! 2. **Figure sweeps** — wall time of a fig7-style analog system solve and
+//!    the fig8 digital-CG baseline measurement.
+//! 3. **Decomposed-solver scaling** — block-Jacobi decomposition of a 2D
+//!    Poisson problem at 1/2/4 threads (identical results, measured
+//!    speedup).
+//!
+//! `--quick` shrinks every problem for the CI smoke run.
+
+use std::time::Instant;
+
+use aa_analog::netlist::{InputPort, OutputPort};
+use aa_analog::units::UnitId;
+use aa_analog::{AnalogChip, ChipConfig, EngineOptions, EvalStrategy};
+use aa_bench::{banner, measure_cg_2d, records_to_json, BenchRecord};
+use aa_linalg::stencil::PoissonStencil;
+use aa_linalg::{CsrMatrix, ParallelConfig};
+use aa_solver::{solve_decomposed, AnalogSystemSolver, DecomposeConfig, OuterMethod, SolverConfig};
+
+/// A stable, bounded circuit that exercises every hot unit kind: a ring of
+/// integrators, each with self-decay through one multiplier and coupling to
+/// its successor through another, copied by a fanout, driven by a DAC.
+///
+/// `du_i/dt = ω·(−u_i + 0.5·u_{i−1} + 0.3·[i = 0])` — diagonally dominant,
+/// so every state settles well inside full scale.
+fn microbench_chip(macroblocks: usize) -> AnalogChip {
+    let n = macroblocks; // one integrator per macroblock
+    let mut chip = AnalogChip::new(ChipConfig::ideal().with_macroblocks(macroblocks));
+    for i in 0..n {
+        let int = UnitId::Integrator(i);
+        let fan = UnitId::Fanout(i);
+        let decay = UnitId::Multiplier(i);
+        let couple = UnitId::Multiplier(n + i);
+        chip.set_conn(OutputPort::of(int), InputPort::of(fan))
+            .expect("ring wiring");
+        chip.set_conn(OutputPort { unit: fan, port: 0 }, InputPort::of(decay))
+            .expect("ring wiring");
+        chip.set_conn(OutputPort { unit: fan, port: 1 }, InputPort::of(couple))
+            .expect("ring wiring");
+        chip.set_conn(OutputPort::of(decay), InputPort::of(int))
+            .expect("ring wiring");
+        chip.set_conn(
+            OutputPort::of(couple),
+            InputPort::of(UnitId::Integrator((i + 1) % n)),
+        )
+        .expect("ring wiring");
+        chip.set_mul_gain(i, -1.0).expect("gain");
+        chip.set_mul_gain(n + i, 0.5).expect("gain");
+        chip.set_int_initial(i, 0.02 * (i % 7) as f64).expect("ic");
+    }
+    chip.set_conn(
+        OutputPort::of(UnitId::Dac(0)),
+        InputPort::of(UnitId::Integrator(0)),
+    )
+    .expect("drive wiring");
+    chip.set_dac_constant(0, 0.3).expect("dac");
+    chip.cfg_commit().expect("microbench circuit commits");
+    chip
+}
+
+/// Best-of-`reps` wall time of one `exec` under `strategy`; returns
+/// `(best_seconds, steps)`.
+fn time_engine(chip: &mut AnalogChip, options: &EngineOptions, reps: usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut steps = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let report = chip.exec(options).expect("microbench run");
+        best = best.min(start.elapsed().as_secs_f64());
+        steps = report.steps;
+    }
+    (best, steps)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    banner(
+        "perf_report",
+        if quick {
+            "engine + solver performance (quick smoke)"
+        } else {
+            "engine + solver performance"
+        },
+    );
+
+    // 1. Engine microbench: compiled plan vs. reference evaluator.
+    let macroblocks = if quick { 16 } else { 32 };
+    let max_tau = if quick { 30.0 } else { 150.0 };
+    let reps = if quick { 3 } else { 5 };
+    let mut chip = microbench_chip(macroblocks);
+    let options = |strategy: EvalStrategy| EngineOptions {
+        steady_tol: None,
+        max_tau,
+        eval_strategy: strategy,
+        ..EngineOptions::default()
+    };
+    let (ref_s, ref_steps) = time_engine(&mut chip, &options(EvalStrategy::Reference), reps);
+    let (com_s, com_steps) = time_engine(&mut chip, &options(EvalStrategy::Compiled), reps);
+    assert_eq!(ref_steps, com_steps, "strategies must take identical steps");
+    let ref_sps = ref_steps as f64 / ref_s;
+    let com_sps = com_steps as f64 / com_s;
+    println!("\nengine microbench ({macroblocks} macroblocks, {ref_steps} RK4 steps)");
+    println!("  reference evaluator: {ref_s:9.4} s  ({ref_sps:11.0} steps/s)");
+    println!(
+        "  compiled plan:       {com_s:9.4} s  ({com_sps:11.0} steps/s)  — {:.2}x",
+        com_sps / ref_sps
+    );
+    records.push(BenchRecord {
+        bench: "engine_microbench".to_string(),
+        config: format!("{macroblocks} macroblocks, reference evaluator"),
+        wall_ms: ref_s * 1e3,
+        steps_per_sec: Some(ref_sps),
+        speedup_vs_serial: None,
+    });
+    records.push(BenchRecord {
+        bench: "engine_microbench".to_string(),
+        config: format!("{macroblocks} macroblocks, compiled plan"),
+        wall_ms: com_s * 1e3,
+        steps_per_sec: Some(com_sps),
+        speedup_vs_serial: Some(com_sps / ref_sps),
+    });
+
+    // 2a. Fig7-style analog system solve.
+    let l = if quick { 4 } else { 6 };
+    let a = CsrMatrix::from_row_access(&PoissonStencil::new_2d(l).expect("grid"));
+    let b = vec![0.5; l * l];
+    let start = Instant::now();
+    let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).expect("maps");
+    solver.solve(&b).expect("solves");
+    let fig7_s = start.elapsed().as_secs_f64();
+    println!("\nfig7-style analog solve (n = {}): {fig7_s:9.4} s", l * l);
+    records.push(BenchRecord {
+        bench: "fig7_analog_solve".to_string(),
+        config: format!("poisson 2d, n={}", l * l),
+        wall_ms: fig7_s * 1e3,
+        steps_per_sec: None,
+        speedup_vs_serial: None,
+    });
+
+    // 2b. Fig8 digital-CG baseline.
+    let cg_l = if quick { 15 } else { 31 };
+    let (cg_report, cg_s) = measure_cg_2d(cg_l, 8);
+    println!(
+        "fig8 digital CG (l = {cg_l}, 8-bit stop, {} iters): {cg_s:9.4} s",
+        cg_report.iterations
+    );
+    records.push(BenchRecord {
+        bench: "fig8_digital_cg".to_string(),
+        config: format!("l={cg_l}, 8-bit equal-accuracy stop"),
+        wall_ms: cg_s * 1e3,
+        steps_per_sec: None,
+        speedup_vs_serial: None,
+    });
+
+    // 3. Decomposed-solver scaling across threads.
+    let dec_l = if quick { 6 } else { 8 };
+    let a = CsrMatrix::from_row_access(&PoissonStencil::new_2d(dec_l).expect("grid"));
+    let b = vec![1.0; dec_l * dec_l];
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!(
+        "\ndecomposed block-Jacobi scaling (n = {}, {cores} core(s) available)",
+        dec_l * dec_l
+    );
+    let mut serial_s = 0.0;
+    for threads in [1usize, 2, 4] {
+        let cfg = DecomposeConfig {
+            block_size: dec_l,
+            outer: OuterMethod::BlockJacobi,
+            tolerance: 1e-6,
+            max_sweeps: 600,
+            parallel: ParallelConfig::threads(threads),
+            ..DecomposeConfig::default()
+        };
+        let start = Instant::now();
+        let report = solve_decomposed(&a, &b, &cfg).expect("decomposed solve");
+        let wall = start.elapsed().as_secs_f64();
+        if threads == 1 {
+            serial_s = wall;
+        }
+        let speedup = serial_s / wall;
+        println!(
+            "  threads = {threads}: {wall:9.4} s  (speedup {speedup:5.2}x, {} sweeps)",
+            report.sweeps
+        );
+        records.push(BenchRecord {
+            bench: "decomposed_scaling".to_string(),
+            config: format!(
+                "poisson 2d n={}, blocks={dec_l}, threads={threads}, cores={cores}",
+                dec_l * dec_l
+            ),
+            wall_ms: wall * 1e3,
+            steps_per_sec: None,
+            speedup_vs_serial: Some(speedup),
+        });
+    }
+
+    let json = records_to_json(&records);
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json ({} records)", records.len());
+}

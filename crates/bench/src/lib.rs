@@ -106,6 +106,69 @@ pub fn deterministic_rhs(n: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
+/// One `perf_report` measurement row, serialized into `BENCH_engine.json`
+/// so successive PRs can track the performance trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark identifier, e.g. `engine_microbench`.
+    pub bench: String,
+    /// Human-readable configuration of this row.
+    pub config: String,
+    /// Measured wall-clock time, milliseconds.
+    pub wall_ms: f64,
+    /// Engine integration throughput, where applicable.
+    pub steps_per_sec: Option<f64>,
+    /// Wall-time ratio against the serial run of the same bench, where
+    /// applicable.
+    pub speedup_vs_serial: Option<f64>,
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite float as a JSON number, anything else as `null` (JSON has no
+/// NaN/infinity literals).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes measurement rows as a JSON array (hand-rolled — the workspace
+/// takes no external dependencies).
+pub fn records_to_json(records: &[BenchRecord]) -> String {
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"bench\": \"{}\", \"config\": \"{}\", \"wall_ms\": {}, \
+                 \"steps_per_sec\": {}, \"speedup_vs_serial\": {}}}",
+                json_escape(&r.bench),
+                json_escape(&r.config),
+                json_number(r.wall_ms),
+                r.steps_per_sec.map_or("null".to_string(), json_number),
+                r.speedup_vs_serial.map_or("null".to_string(), json_number),
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +196,37 @@ mod tests {
         assert!(format_time(2.0).contains('s'));
         assert!(format_energy(1e-7).contains("nJ"));
         assert!(format_energy(0.5).contains("mJ"));
+    }
+
+    #[test]
+    fn bench_records_serialize_to_valid_json() {
+        let records = vec![
+            BenchRecord {
+                bench: "engine_microbench".to_string(),
+                config: "32 macroblocks, \"compiled\"".to_string(),
+                wall_ms: 12.5,
+                steps_per_sec: Some(48000.0),
+                speedup_vs_serial: None,
+            },
+            BenchRecord {
+                bench: "decomposed_scaling".to_string(),
+                config: "threads=4".to_string(),
+                wall_ms: 3.25,
+                steps_per_sec: None,
+                speedup_vs_serial: Some(f64::NAN),
+            },
+        ];
+        let json = records_to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"bench\": \"engine_microbench\""));
+        assert!(json.contains("\\\"compiled\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\"steps_per_sec\": 48000"));
+        // Non-finite numbers become null, never bare NaN.
+        assert!(json.contains("\"speedup_vs_serial\": null"));
+        assert!(!json.contains("NaN"));
+        // Exactly one comma-separated row pair.
+        assert_eq!(json.matches("{\"bench\"").count(), 2);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod direct;
 pub mod eigen;
 pub mod iterative;
 pub mod op;
+pub mod parallel;
 pub mod rng;
 pub mod stencil;
 pub mod vector;
@@ -54,4 +55,5 @@ pub mod vector;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use op::{LinearOperator, RowAccess};
+pub use parallel::{scoped_map, ParallelConfig};
 pub use sparse::{CsrMatrix, Triplet};

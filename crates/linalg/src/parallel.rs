@@ -1,0 +1,161 @@
+//! Deterministic scoped-thread fan-out used by the higher-level solvers.
+//!
+//! The workspace has a strict no-external-dependency policy, so parallelism
+//! is built on [`std::thread::scope`] only. The single primitive exported
+//! here, [`scoped_map`], applies a function to every element of a `Vec` and
+//! returns the results **in input order**, regardless of how work was split
+//! across threads. Callers that need bitwise-reproducible output (residual
+//! histories, solution vectors) get it for free as long as each item's
+//! computation is independent of the others.
+
+/// How much thread-level parallelism a solver may use.
+///
+/// The default is serial (`max_threads == 1`), so existing call sites keep
+/// their exact behaviour unless a caller opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Upper bound on worker threads for a single fan-out. `0` and `1` both
+    /// mean "run on the calling thread".
+    pub max_threads: usize,
+}
+
+impl ParallelConfig {
+    /// Serial execution on the calling thread.
+    pub const fn serial() -> Self {
+        ParallelConfig { max_threads: 1 }
+    }
+
+    /// Fan out across up to `max_threads` scoped threads.
+    pub const fn threads(max_threads: usize) -> Self {
+        ParallelConfig { max_threads }
+    }
+
+    /// Effective worker count for `items` independent tasks.
+    pub fn effective_threads(&self, items: usize) -> usize {
+        self.max_threads.max(1).min(items.max(1))
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::serial()
+    }
+}
+
+/// Applies `f` to every item, possibly across scoped threads, returning the
+/// results in input order.
+///
+/// `f` receives `(index, item)` so callers can recover positional context.
+/// Work is split into at most `config.max_threads` contiguous chunks; with
+/// `max_threads <= 1` (or a single item) everything runs on the calling
+/// thread with no spawn overhead. Because every item is mapped
+/// independently and results are reassembled by index, the output is
+/// identical for any thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn scoped_map<T, R, F>(items: Vec<T>, config: &ParallelConfig, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = config.effective_threads(n);
+    if workers <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Contiguous chunks, remainder spread over the first chunks so sizes
+    // differ by at most one.
+    let base = n / workers;
+    let extra = n % workers;
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        if len == 0 {
+            break;
+        }
+        chunks.push((start, items.by_ref().take(len).collect()));
+        start += len;
+    }
+
+    let f = &f;
+    let mut chunk_results: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(offset, chunk)| {
+                scope.spawn(move || {
+                    let mapped: Vec<R> = chunk
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, item)| f(offset + i, item))
+                        .collect();
+                    (offset, mapped)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scoped_map worker panicked"))
+            .collect()
+    });
+
+    chunk_results.sort_by_key(|(offset, _)| *offset);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut mapped) in chunk_results.drain(..) {
+        out.append(&mut mapped);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_orders_match() {
+        let items: Vec<usize> = (0..23).collect();
+        let serial = scoped_map(items.clone(), &ParallelConfig::serial(), |i, x| i * 100 + x);
+        for threads in [2, 3, 4, 8, 64] {
+            let par = scoped_map(items.clone(), &ParallelConfig::threads(threads), |i, x| {
+                i * 100 + x
+            });
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(scoped_map(empty, &ParallelConfig::threads(4), |_, x| x).is_empty());
+        assert_eq!(
+            scoped_map(vec![7], &ParallelConfig::threads(4), |i, x: i32| x + i
+                as i32),
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = scoped_map(vec![1.0, 2.0, 3.0], &ParallelConfig::threads(16), |_, x| {
+            x * 2.0
+        });
+        assert_eq!(out, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(ParallelConfig::threads(0).effective_threads(10), 1);
+        assert_eq!(ParallelConfig::threads(4).effective_threads(2), 2);
+        assert_eq!(ParallelConfig::threads(4).effective_threads(100), 4);
+        assert_eq!(ParallelConfig::default(), ParallelConfig::serial());
+    }
+}

@@ -14,6 +14,7 @@
 //! grids with `L = 2^k − 1` points per side.
 
 use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
+use aa_linalg::parallel::{scoped_map, ParallelConfig};
 use aa_linalg::stencil::PoissonStencil;
 use aa_linalg::{vector, LinearOperator, RowAccess};
 
@@ -199,6 +200,36 @@ impl MultigridSolver {
             residual_history: history,
             converged,
         })
+    }
+
+    /// Solves many independent right-hand sides, fanning the solves out
+    /// across scoped threads. Each worker gets its own coarse solver from
+    /// `make_coarse` (coarse solvers are stateful — caches, accelerator
+    /// chips — so they cannot be shared), and results come back in input
+    /// order, identical to running [`MultigridSolver::solve`] serially on
+    /// each rhs with a fresh coarse solver.
+    ///
+    /// # Errors
+    ///
+    /// The first failing solve, in input order.
+    pub fn solve_batch<C, F>(
+        &self,
+        rhss: &[Vec<f64>],
+        make_coarse: F,
+        tolerance: f64,
+        max_cycles: usize,
+        parallel: &ParallelConfig,
+    ) -> Result<Vec<MultigridReport>, PdeError>
+    where
+        C: CoarseSolver,
+        F: Fn() -> C + Sync,
+    {
+        let items: Vec<&[f64]> = rhss.iter().map(|b| b.as_slice()).collect();
+        let reports = scoped_map(items, parallel, |_, b| {
+            let mut coarse = make_coarse();
+            self.solve(b, &mut coarse, tolerance, max_cycles)
+        });
+        reports.into_iter().collect()
     }
 
     /// One multigrid cycle at `level`, improving `u` for `A_level·u = b`.
@@ -417,6 +448,39 @@ mod tests {
         let mg = MultigridSolver::new(31).unwrap();
         let rep = mg.solve(p.rhs(), &mut Sloppy, 1e-8, 100).unwrap();
         assert!(rep.converged, "overall accuracy is guaranteed by repeating");
+    }
+
+    #[test]
+    fn batched_solves_match_serial_results_at_any_thread_count() {
+        let mg = MultigridSolver::new(15).unwrap();
+        let rhss: Vec<Vec<f64>> = (0..5)
+            .map(|k| {
+                let scale = k as f64 + 1.0;
+                Poisson2d::new(15, move |x, y| x + y * scale)
+                    .unwrap()
+                    .rhs()
+                    .to_vec()
+            })
+            .collect();
+        let serial: Vec<MultigridReport> = rhss
+            .iter()
+            .map(|b| {
+                mg.solve(b, &mut CgCoarseSolver::default(), 1e-8, 50)
+                    .unwrap()
+            })
+            .collect();
+        for threads in [1, 2, 4] {
+            let batch = mg
+                .solve_batch(
+                    &rhss,
+                    CgCoarseSolver::default,
+                    1e-8,
+                    50,
+                    &ParallelConfig::threads(threads),
+                )
+                .unwrap();
+            assert_eq!(batch, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! level solver" — larger blocks need fewer (slowly converging) outer
 //! iterations.
 
+use aa_linalg::parallel::{scoped_map, ParallelConfig};
 use aa_linalg::{vector, CsrMatrix, LinearOperator, RowAccess};
 
 use crate::refine::{solve_refined, RefineConfig};
@@ -50,6 +51,14 @@ pub struct DecomposeConfig {
     pub solver: SolverConfig,
     /// Per-block refinement (how precisely each subproblem is solved).
     pub refine: RefineConfig,
+    /// Thread-level parallelism across block solves. Block-Jacobi sweeps
+    /// solve every block from the same frozen iterate, so they fan out
+    /// across scoped threads — the paper's "parallelizable across multiple
+    /// accelerators" claim — with results applied in block order, making
+    /// the outcome identical for any thread count. Block-Gauss–Seidel is
+    /// inherently sequential and ignores this setting (solver construction
+    /// still parallelizes).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for DecomposeConfig {
@@ -65,6 +74,7 @@ impl Default for DecomposeConfig {
                 max_rounds: 8,
                 min_progress: 0.9,
             },
+            parallel: ParallelConfig::serial(),
         }
     }
 }
@@ -116,17 +126,22 @@ pub fn solve_decomposed(
     let b_norm = vector::norm2(b).max(f64::MIN_POSITIVE);
 
     // Contiguous blocks and their compiled sub-solvers (compiled once; the
-    // sub-matrix does not change between outer sweeps).
+    // sub-matrix does not change between outer sweeps). Each block's
+    // compilation is independent, so construction fans out across threads.
     let ranges: Vec<std::ops::Range<usize>> = (0..n)
         .step_by(config.block_size)
         .map(|start| start..(start + config.block_size).min(n))
         .collect();
-    let mut block_solvers = Vec::with_capacity(ranges.len());
+    let mut subs = Vec::with_capacity(ranges.len());
     for range in &ranges {
         let indices: Vec<usize> = range.clone().collect();
-        let sub = a.submatrix(&indices)?;
-        block_solvers.push(AnalogSystemSolver::new(&sub, &config.solver)?);
+        subs.push(a.submatrix(&indices)?);
     }
+    let mut block_solvers = scoped_map(subs, &config.parallel, |_, sub| {
+        AnalogSystemSolver::new(&sub, &config.solver)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
 
     let mut x = vec![0.0; n];
     let mut history = Vec::new();
@@ -137,32 +152,52 @@ pub fn solve_decomposed(
     // Jacobi needs the previous iterate frozen during a sweep.
     let mut x_prev = x.clone();
 
+    // rhs_B = b_B − A_B,rest · x_rest with the coupling terms from outside
+    // the block.
+    let rhs_for = |range: &std::ops::Range<usize>, source: &[f64]| -> Vec<f64> {
+        let mut rhs_block = Vec::with_capacity(range.len());
+        for i in range.clone() {
+            let mut acc = b[i];
+            a.for_each_in_row(i, &mut |j, v| {
+                if !range.contains(&j) {
+                    acc -= v * source[j];
+                }
+            });
+            rhs_block.push(acc);
+        }
+        rhs_block
+    };
+
     for _sweep in 0..config.max_sweeps {
         sweeps += 1;
         if config.outer == OuterMethod::BlockJacobi {
+            // Every block reads the same frozen iterate, so the sweep fans
+            // out across scoped threads. Results are applied in block order
+            // regardless of which thread finished first, and each block
+            // solver owns its accelerator state, so the outcome is
+            // bit-identical for any `max_threads`.
             x_prev.copy_from_slice(&x);
-        }
-        for (range, solver) in ranges.iter().zip(&mut block_solvers) {
-            // rhs_B = b_B − A_B,rest · x_rest with the coupling terms from
-            // outside the block.
-            let source: &[f64] = if config.outer == OuterMethod::BlockJacobi {
-                &x_prev
-            } else {
-                &x
-            };
-            let mut rhs_block = Vec::with_capacity(range.len());
-            for i in range.clone() {
-                let mut acc = b[i];
-                a.for_each_in_row(i, &mut |j, v| {
-                    if !range.contains(&j) {
-                        acc -= v * source[j];
-                    }
-                });
-                rhs_block.push(acc);
+            let work: Vec<(&mut AnalogSystemSolver, Vec<f64>)> = block_solvers
+                .iter_mut()
+                .zip(ranges.iter().map(|range| rhs_for(range, &x_prev)))
+                .collect();
+            let refined = scoped_map(work, &config.parallel, |_, (solver, rhs_block)| {
+                solve_refined(solver, &rhs_block, &config.refine)
+            });
+            for (range, refined) in ranges.iter().zip(refined) {
+                let refined = refined?;
+                analog_time += refined.analog_time_s;
+                x[range.clone()].copy_from_slice(&refined.solution);
             }
-            let refined = solve_refined(solver, &rhs_block, &config.refine)?;
-            analog_time += refined.analog_time_s;
-            x[range.clone()].copy_from_slice(&refined.solution);
+        } else {
+            // Gauss–Seidel consumes fresher neighbours immediately:
+            // inherently sequential.
+            for (range, solver) in ranges.iter().zip(&mut block_solvers) {
+                let rhs_block = rhs_for(range, &x);
+                let refined = solve_refined(solver, &rhs_block, &config.refine)?;
+                analog_time += refined.analog_time_s;
+                x[range.clone()].copy_from_slice(&refined.solution);
+            }
         }
 
         let rel = vector::norm2(&a.residual(&x, b)) / b_norm;
@@ -277,6 +312,31 @@ mod tests {
         .unwrap();
         assert_eq!(report.blocks, 1);
         assert!(report.sweeps <= 2);
+    }
+
+    #[test]
+    fn jacobi_thread_count_does_not_change_results() {
+        // Satellite requirement: `max_threads ∈ {1, 2, 4}` must return
+        // identical residual histories and solutions — not merely close.
+        let a = poisson_2d(4);
+        let b: Vec<f64> = (0..16).map(|i| 0.1 * (i as f64) - 0.5).collect();
+        let serial =
+            solve_decomposed(&a, &b, &config_with_blocks(4, OuterMethod::BlockJacobi)).unwrap();
+        assert_eq!(serial.blocks, 4);
+        for threads in [2, 4] {
+            let cfg = DecomposeConfig {
+                parallel: ParallelConfig::threads(threads),
+                ..config_with_blocks(4, OuterMethod::BlockJacobi)
+            };
+            let parallel = solve_decomposed(&a, &b, &cfg).unwrap();
+            assert_eq!(parallel.solution, serial.solution, "threads={threads}");
+            assert_eq!(
+                parallel.residual_history, serial.residual_history,
+                "threads={threads}"
+            );
+            assert_eq!(parallel.sweeps, serial.sweeps);
+            assert_eq!(parallel.analog_time_s, serial.analog_time_s);
+        }
     }
 
     #[test]

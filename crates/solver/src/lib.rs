@@ -75,6 +75,7 @@ pub mod refine;
 pub mod scaling;
 pub mod solve;
 
+pub use aa_linalg::parallel::ParallelConfig;
 pub use decompose::{solve_decomposed, DecomposeConfig, DecomposedReport, OuterMethod};
 pub use error::SolverError;
 pub use hybrid::AnalogCoarseSolver;
