@@ -463,14 +463,52 @@ pub(crate) fn run_committed(
             options.dt_tau
         )));
     }
+    let run_span = aa_obs::span("engine.run");
+
+    // Plan lowering sits inside the compile span so the Compiled and
+    // Reference strategies emit identical journals (the differential tests
+    // compare traces across strategies).
+    let compile_span = aa_obs::span("engine.compile");
     let circuit = Compiled::build(registers, config, variation, signals, faults, t_offset)?;
-    match options.eval_strategy {
-        EvalStrategy::Compiled => {
-            let plan = crate::plan::CompiledPlan::lower(&circuit);
-            integrate(&circuit, &plan, options)
+    let plan = match options.eval_strategy {
+        EvalStrategy::Compiled => Some(crate::plan::CompiledPlan::lower(&circuit)),
+        EvalStrategy::Reference => None,
+    };
+    drop(compile_span);
+
+    let execute_span = aa_obs::span("engine.execute");
+    let report = match &plan {
+        Some(plan) => integrate(&circuit, plan, options),
+        None => integrate(&circuit, &circuit, options),
+    }?;
+    drop(execute_span);
+
+    if aa_obs::is_active() {
+        aa_obs::counter("engine.runs", 1);
+        aa_obs::counter("engine.steps", report.steps as u64);
+        aa_obs::histogram("engine.steps_per_run", report.steps as f64);
+        aa_obs::event(
+            aa_obs::Event::new("engine.run")
+                .with("steps", report.steps)
+                .with("steady", report.reached_steady_state)
+                .with("timed_out", report.timed_out)
+                .with("aborted", report.aborted_on_exception)
+                .with("exceptions", report.exceptions.len())
+                .with("fault_steps", report.faults_active_steps),
+        );
+        for unit in report.exceptions.iter() {
+            aa_obs::counter("engine.overflows", 1);
+            aa_obs::event(aa_obs::Event::new("engine.overflow").with("unit", unit.to_string()));
         }
-        EvalStrategy::Reference => integrate(&circuit, &circuit, options),
+        if report.faults_active_steps > 0 {
+            aa_obs::event(
+                aa_obs::Event::new("engine.faults_active")
+                    .with("steps", report.faults_active_steps),
+            );
+        }
     }
+    drop(run_span);
+    Ok(report)
 }
 
 /// The RK4 run loop, generic over the circuit evaluator. `circuit` supplies

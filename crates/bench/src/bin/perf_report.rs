@@ -12,14 +12,18 @@
 //!    Poisson problem at 1/2/4 threads (identical results, measured
 //!    speedup).
 //!
-//! `--quick` shrinks every problem for the CI smoke run.
+//! `--quick` shrinks every problem for the CI smoke run. `--trace-out
+//! <path>` installs an [`aa_obs`] recorder around the measurements and
+//! exports the structured trace (spans, counters, histograms, event
+//! journal) as versioned JSON. The report itself is schema-validated before
+//! `BENCH_engine.json` is overwritten.
 
 use std::time::Instant;
 
 use aa_analog::netlist::{InputPort, OutputPort};
 use aa_analog::units::UnitId;
 use aa_analog::{AnalogChip, ChipConfig, EngineOptions, EvalStrategy};
-use aa_bench::{banner, measure_cg_2d, records_to_json, BenchRecord};
+use aa_bench::{banner, measure_cg_2d, records_to_json, validate_bench_json, BenchRecord};
 use aa_linalg::stencil::PoissonStencil;
 use aa_linalg::{CsrMatrix, ParallelConfig};
 use aa_solver::{solve_decomposed, AnalogSystemSolver, DecomposeConfig, OuterMethod, SolverConfig};
@@ -79,8 +83,55 @@ fn time_engine(chip: &mut AnalogChip, options: &EngineOptions, reps: usize) -> (
     (best, steps)
 }
 
+/// Extracts the value of `--trace-out <path>` / `--trace-out=<path>`.
+fn trace_out_path(args: &[String]) -> Option<String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--trace-out" {
+            return Some(
+                iter.next()
+                    .unwrap_or_else(|| panic!("--trace-out requires a path argument"))
+                    .clone(),
+            );
+        }
+        if let Some(path) = arg.strip_prefix("--trace-out=") {
+            return Some(path.to_string());
+        }
+    }
+    None
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace_out = trace_out_path(&args);
+
+    // Only install a recorder when a trace was requested, so plain perf
+    // runs measure the recorder-disabled fast path.
+    let recorder = trace_out.as_ref().map(|_| aa_obs::MemoryRecorder::shared());
+    let records = match &recorder {
+        Some(rec) => aa_obs::with_recorder(rec.clone(), || run_benchmarks(quick)),
+        None => run_benchmarks(quick),
+    };
+
+    let json = records_to_json(&records);
+    validate_bench_json(&json).expect("BENCH_engine.json failed schema validation");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json ({} records)", records.len());
+
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        let snapshot = rec.snapshot();
+        std::fs::write(path, snapshot.to_json()).expect("write trace JSON");
+        println!(
+            "wrote {path} ({} journal entries, {} counters, {} dropped)",
+            snapshot.journal.len(),
+            snapshot.counters.len(),
+            snapshot.dropped_entries
+        );
+    }
+}
+
+fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
     let mut records: Vec<BenchRecord> = Vec::new();
 
     banner(
@@ -203,7 +254,5 @@ fn main() {
         });
     }
 
-    let json = records_to_json(&records);
-    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
-    println!("\nwrote BENCH_engine.json ({} records)", records.len());
+    records
 }

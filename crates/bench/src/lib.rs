@@ -169,6 +169,77 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
     format!("[\n{}\n]\n", rows.join(",\n"))
 }
 
+/// The exact key set of a `BENCH_engine.json` record.
+const BENCH_KEYS: [&str; 5] = [
+    "bench",
+    "config",
+    "wall_ms",
+    "steps_per_sec",
+    "speedup_vs_serial",
+];
+
+/// Schema check for a `BENCH_engine.json` document, run before the file is
+/// (over)written so a serialization bug can never clobber the previous
+/// report with garbage: the document must parse, be a non-empty array of
+/// records carrying exactly [`BENCH_KEYS`], with non-empty string `bench`,
+/// string `config`, finite non-negative `wall_ms`, and `steps_per_sec` /
+/// `speedup_vs_serial` each `null` or a non-negative number.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = aa_obs::json::Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let rows = doc
+        .as_array()
+        .ok_or_else(|| "top level must be an array".to_string())?;
+    if rows.is_empty() {
+        return Err("no benchmark records".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let obj = row
+            .as_object()
+            .ok_or_else(|| format!("record {i} is not an object"))?;
+        for key in BENCH_KEYS {
+            if !obj.contains_key(key) {
+                return Err(format!("record {i} is missing key {key:?}"));
+            }
+        }
+        for key in obj.keys() {
+            if !BENCH_KEYS.contains(&key.as_str()) {
+                return Err(format!("record {i} has unexpected key {key:?}"));
+            }
+        }
+        row.get("bench")
+            .and_then(|v| v.as_str())
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("record {i}: \"bench\" must be a non-empty string"))?;
+        row.get("config")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("record {i}: \"config\" must be a string"))?;
+        let wall = row
+            .get("wall_ms")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("record {i}: \"wall_ms\" must be a number"))?;
+        if !(wall >= 0.0 && wall.is_finite()) {
+            return Err(format!(
+                "record {i}: \"wall_ms\" must be finite and non-negative, got {wall}"
+            ));
+        }
+        for key in ["steps_per_sec", "speedup_vs_serial"] {
+            let value = row.get(key).expect("presence checked above");
+            if value.is_null() {
+                continue;
+            }
+            let num = value
+                .as_f64()
+                .ok_or_else(|| format!("record {i}: {key:?} must be null or a number"))?;
+            if num < 0.0 {
+                return Err(format!(
+                    "record {i}: {key:?} must be non-negative, got {num}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +298,63 @@ mod tests {
         assert!(!json.contains("NaN"));
         // Exactly one comma-separated row pair.
         assert_eq!(json.matches("{\"bench\"").count(), 2);
+    }
+
+    #[test]
+    fn valid_bench_json_passes_validation() {
+        let records = vec![BenchRecord {
+            bench: "engine_microbench".to_string(),
+            config: "32 macroblocks".to_string(),
+            wall_ms: 12.5,
+            steps_per_sec: Some(48000.0),
+            speedup_vs_serial: None,
+        }];
+        validate_bench_json(&records_to_json(&records)).expect("valid document");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        // Not JSON at all.
+        assert!(validate_bench_json("not json").is_err());
+        // Wrong shape.
+        assert!(validate_bench_json("{}").is_err());
+        assert!(validate_bench_json("[]").is_err());
+        assert!(validate_bench_json("[1]").is_err());
+        // Missing key.
+        assert!(validate_bench_json(
+            r#"[{"bench": "x", "config": "c", "wall_ms": 1.0, "steps_per_sec": null}]"#
+        )
+        .is_err());
+        // Unexpected key.
+        assert!(validate_bench_json(
+            r#"[{"bench": "x", "config": "c", "wall_ms": 1.0, "steps_per_sec": null,
+                "speedup_vs_serial": null, "extra": 1}]"#
+        )
+        .is_err());
+        // Negative timing.
+        assert!(validate_bench_json(
+            r#"[{"bench": "x", "config": "c", "wall_ms": -1.0, "steps_per_sec": null,
+                "speedup_vs_serial": null}]"#
+        )
+        .is_err());
+        // Null wall_ms (a non-finite measurement serialized away).
+        assert!(validate_bench_json(
+            r#"[{"bench": "x", "config": "c", "wall_ms": null, "steps_per_sec": null,
+                "speedup_vs_serial": null}]"#
+        )
+        .is_err());
+        // Empty bench name.
+        assert!(validate_bench_json(
+            r#"[{"bench": "", "config": "c", "wall_ms": 1.0, "steps_per_sec": null,
+                "speedup_vs_serial": null}]"#
+        )
+        .is_err());
+        // Negative speedup.
+        assert!(validate_bench_json(
+            r#"[{"bench": "x", "config": "c", "wall_ms": 1.0, "steps_per_sec": null,
+                "speedup_vs_serial": -2.0}]"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! across threads. Callers that need bitwise-reproducible output (residual
 //! histories, solution vectors) get it for free as long as each item's
 //! computation is independent of the others.
+//!
+//! Telemetry crosses the fan-out the same way: when an [`aa_obs`] recorder
+//! is installed on the calling thread, `scoped_map` forks one child recorder
+//! **per item** (not per worker), installs it on whichever thread runs that
+//! item, and joins the children back in input order. The merged journal is
+//! therefore identical for any `max_threads`, including the serial path.
 
 /// How much thread-level parallelism a solver may use.
 ///
@@ -64,19 +70,47 @@ where
     let n = items.len();
     let workers = config.effective_threads(n);
     if workers <= 1 || n <= 1 {
+        // The serial path forks and joins per item exactly like the parallel
+        // path below, so histogram accumulation happens in the same grouped
+        // order — exported sums are then bit-identical at any thread count,
+        // not just equal up to floating-point reassociation.
+        let recorder = aa_obs::current();
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| match &recorder {
+                Some(parent) => {
+                    let child = parent.fork(i);
+                    let out = aa_obs::with_recorder(child.clone(), || run_task(i, item, &f));
+                    parent.join(vec![child]);
+                    out
+                }
+                None => run_task(i, item, &f),
+            })
             .collect();
     }
+
+    // One child recorder per ITEM (not per worker): item i's telemetry lands
+    // in child i regardless of which thread runs it, and joining children in
+    // input order makes the merged journal thread-count invariant.
+    let recorder = aa_obs::current();
+    let task_recorders: Vec<Option<std::sync::Arc<dyn aa_obs::Recorder>>> = match &recorder {
+        Some(parent) => (0..n).map(|i| Some(parent.fork(i))).collect(),
+        None => (0..n).map(|_| None).collect(),
+    };
 
     // Contiguous chunks, remainder spread over the first chunks so sizes
     // differ by at most one.
     let base = n / workers;
     let extra = n % workers;
-    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
-    let mut items = items.into_iter();
+    type Task<T> = (Option<std::sync::Arc<dyn aa_obs::Recorder>>, T);
+    let mut chunks: Vec<(usize, Vec<Task<T>>)> = Vec::with_capacity(workers);
+    let mut items = task_recorders
+        .iter()
+        .cloned()
+        .zip(items)
+        .collect::<Vec<_>>()
+        .into_iter();
     let mut start = 0;
     for w in 0..workers {
         let len = base + usize::from(w < extra);
@@ -96,7 +130,12 @@ where
                     let mapped: Vec<R> = chunk
                         .into_iter()
                         .enumerate()
-                        .map(|(i, item)| f(offset + i, item))
+                        .map(|(i, (task_recorder, item))| match task_recorder {
+                            Some(rec) => {
+                                aa_obs::with_recorder(rec, || run_task(offset + i, item, f))
+                            }
+                            None => run_task(offset + i, item, f),
+                        })
                         .collect();
                     (offset, mapped)
                 })
@@ -108,11 +147,30 @@ where
             .collect()
     });
 
+    if let Some(parent) = recorder {
+        parent.join(task_recorders.into_iter().flatten().collect());
+    }
+
     chunk_results.sort_by_key(|(offset, _)| *offset);
     let mut out = Vec::with_capacity(n);
     for (_, mut mapped) in chunk_results.drain(..) {
         out.append(&mut mapped);
     }
+    out
+}
+
+/// Runs one mapped item, recording its wall time when telemetry is active.
+fn run_task<T, R>(index: usize, item: T, f: &impl Fn(usize, T) -> R) -> R {
+    if !aa_obs::is_active() {
+        return f(index, item);
+    }
+    let start = std::time::Instant::now();
+    let out = f(index, item);
+    aa_obs::counter("parallel.tasks", 1);
+    aa_obs::timing(
+        "parallel.task_ns",
+        u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
     out
 }
 
@@ -149,6 +207,34 @@ mod tests {
             x * 2.0
         });
         assert_eq!(out, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn journal_is_identical_across_thread_counts() {
+        if !aa_obs::ENABLED {
+            return;
+        }
+        let run = |threads: usize| {
+            let rec = aa_obs::MemoryRecorder::shared();
+            aa_obs::with_recorder(rec.clone(), || {
+                scoped_map(
+                    (0..7usize).collect(),
+                    &ParallelConfig::threads(threads),
+                    |i, x| {
+                        aa_obs::event(aa_obs::Event::new("task").with("i", i).with("x", x));
+                        x * 2
+                    },
+                );
+            });
+            let snap = rec.snapshot();
+            assert_eq!(snap.counter("parallel.tasks"), 7, "threads={threads}");
+            snap.deterministic_lines()
+        };
+        let serial = run(1);
+        assert_eq!(serial.len(), 7, "one journal event per task");
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(serial, run(threads), "threads={threads}");
+        }
     }
 
     #[test]

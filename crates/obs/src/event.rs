@@ -1,0 +1,285 @@
+//! The deterministic event journal: typed entries, stable rendering.
+//!
+//! A journal entry is either a span boundary or a structured [`Event`]. The
+//! *only* nondeterministic payload anywhere in the journal is the
+//! `wall_ns` duration on [`JournalEntry::SpanEnd`]; every rendering helper
+//! therefore offers a masked mode that zeroes it, and
+//! [`JournalEntry::deterministic_line`] is the canonical replay-comparison
+//! form ("same seed ⇒ identical lines").
+
+use std::fmt::Write as _;
+
+/// A field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, indices, attempt numbers).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (residuals, scale factors). Rendering is `Display`-based, so
+    /// identical bit patterns render identically — safe for replay
+    /// comparison as long as the value itself is deterministic.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short label (action names, unit names, classifications).
+    Str(String),
+}
+
+impl Value {
+    /// JSON fragment for this value (non-finite floats become `null`).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) => {
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".to_string()
+                }
+            }
+            Value::Bool(v) => v.to_string(),
+            Value::Str(s) => json_string(s),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One structured occurrence on the instrumented path: a kind tag plus
+/// named fields, recorded in emission order.
+///
+/// The field names `type` and `kind` are reserved — the JSON encoding
+/// flattens fields into the entry object alongside its own `type`/`kind`
+/// keys, so reusing them would produce duplicate-key JSON.
+///
+/// ```
+/// use aa_obs::Event;
+/// let e = Event::new("solver.rescale").with("cause", "overflow").with("retry", 2usize);
+/// assert_eq!(e.render(), "solver.rescale cause=overflow retry=2");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Dotted event kind, e.g. `engine.run` or `solver.recovery.attempt`.
+    pub kind: &'static str,
+    /// Named fields in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Starts an event of the given kind.
+    pub fn new(kind: &'static str) -> Self {
+        Event {
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    pub fn with(mut self, name: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((name, value.into()));
+        self
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+
+    /// Canonical single-line rendering: `kind k1=v1 k2=v2`.
+    pub fn render(&self) -> String {
+        let mut out = String::from(self.kind);
+        for (name, value) in &self.fields {
+            let _ = write!(out, " {name}={value}");
+        }
+        out
+    }
+
+    /// JSON object for this event.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"type\": \"event\", \"kind\": {}",
+            json_string(self.kind)
+        );
+        for (name, value) in &self.fields {
+            let _ = write!(out, ", {}: {}", json_string(name), value.to_json());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One entry of the recorded journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// A span opened (deterministic: name only).
+    SpanStart {
+        /// Span name, e.g. `engine.execute`.
+        name: &'static str,
+    },
+    /// A span closed. `wall_ns` is the monotonic-clock duration — the one
+    /// nondeterministic field in the journal, masked in replay comparisons.
+    SpanEnd {
+        /// Span name (matches the corresponding start).
+        name: &'static str,
+        /// Monotonic duration in nanoseconds (masked for determinism).
+        wall_ns: u64,
+    },
+    /// A structured event.
+    Event(Event),
+}
+
+impl JournalEntry {
+    /// Rendering with the wall clock masked: identical seeds and inputs
+    /// must produce identical line sequences.
+    pub fn deterministic_line(&self) -> String {
+        match self {
+            JournalEntry::SpanStart { name } => format!(">{name}"),
+            JournalEntry::SpanEnd { name, .. } => format!("<{name}"),
+            JournalEntry::Event(e) => e.render(),
+        }
+    }
+
+    /// JSON object for this entry. With `mask_wall`, span durations render
+    /// as `0` so two replays serialize bit-identically.
+    pub fn to_json(&self, mask_wall: bool) -> String {
+        match self {
+            JournalEntry::SpanStart { name } => {
+                format!(
+                    "{{\"type\": \"span_start\", \"name\": {}}}",
+                    json_string(name)
+                )
+            }
+            JournalEntry::SpanEnd { name, wall_ns } => format!(
+                "{{\"type\": \"span_end\", \"name\": {}, \"wall_ns\": {}}}",
+                json_string(name),
+                if mask_wall { 0 } else { *wall_ns }
+            ),
+            JournalEntry::Event(e) => e.to_json(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_renders_fields_in_order() {
+        let e = Event::new("engine.run")
+            .with("steps", 42usize)
+            .with("steady", true)
+            .with("residual", 0.5)
+            .with("unit", "int0");
+        assert_eq!(
+            e.render(),
+            "engine.run steps=42 steady=true residual=0.5 unit=int0"
+        );
+        assert_eq!(e.field("steps"), Some(&Value::U64(42)));
+        assert!(e.field("missing").is_none());
+    }
+
+    #[test]
+    fn deterministic_lines_mask_wall_clock() {
+        let a = JournalEntry::SpanEnd {
+            name: "engine.execute",
+            wall_ns: 123,
+        };
+        let b = JournalEntry::SpanEnd {
+            name: "engine.execute",
+            wall_ns: 99999,
+        };
+        assert_eq!(a.deterministic_line(), b.deterministic_line());
+        assert_eq!(a.to_json(true), b.to_json(true));
+        assert_ne!(a.to_json(false), b.to_json(false));
+    }
+
+    #[test]
+    fn json_escapes_and_non_finite_floats() {
+        let e = Event::new("t").with("s", "a\"b\\c\n").with("x", f64::NAN);
+        let json = e.to_json();
+        assert!(json.contains("\\\"b\\\\c\\n"), "{json}");
+        assert!(json.contains("\"x\": null"), "{json}");
+        assert!(!json.contains("NaN"));
+    }
+}

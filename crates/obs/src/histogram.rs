@@ -1,0 +1,201 @@
+//! Log-scale histograms: constant-size summaries of wide-range quantities
+//! (step counts, residuals, per-task nanoseconds) without external
+//! dependencies.
+
+use std::collections::BTreeMap;
+
+/// Bucket index reserved for zero and negative values.
+const ZERO_BUCKET: i32 = i32::MIN;
+
+/// A base-2 log-scale histogram.
+///
+/// Values are bucketed by `floor(log2(v))`, so each bucket spans one octave
+/// — residuals from `1e-9` to `1e+9` fit in ~60 buckets. Zero and negative
+/// values land in a dedicated underflow bucket. The histogram also tracks
+/// exact count/sum/min/max, and merging two histograms is bucket-wise
+/// addition (used by the fork/join recorder to fold parallel workers back
+/// deterministically, in input order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogHistogram {
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// The octave bucket a value falls into.
+    fn bucket_of(value: f64) -> i32 {
+        if value > 0.0 && value.is_finite() {
+            // Clamp to a sane range so subnormals/huge values stay indexable.
+            value.log2().floor().clamp(-1100.0, 1100.0) as i32
+        } else {
+            ZERO_BUCKET
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        *self.buckets.entry(Self::bucket_of(value)).or_insert(0) += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+        }
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (bucket, n) in &other.buckets {
+            *self.buckets.entry(*bucket).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all finite observations (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Non-empty buckets as `(octave, count)`, ascending. The underflow
+    /// bucket (zero/negative values) reports octave `i32::MIN`.
+    pub fn buckets(&self) -> impl Iterator<Item = (i32, u64)> + '_ {
+        self.buckets.iter().map(|(b, n)| (*b, *n))
+    }
+
+    /// JSON object for this histogram. With `mask_values`, only the count
+    /// survives — used for wall-clock timing histograms, whose bucket
+    /// layout is nondeterministic while the number of observations is not.
+    pub fn to_json(&self, mask_values: bool) -> String {
+        if mask_values {
+            return format!("{{\"count\": {}}}", self.count);
+        }
+        let buckets: Vec<String> = self
+            .buckets
+            .iter()
+            .map(|(b, n)| {
+                let label = if *b == ZERO_BUCKET {
+                    "\"zero\"".to_string()
+                } else {
+                    format!("\"{b}\"")
+                };
+                format!("{label}: {n}")
+            })
+            .collect();
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"log2_buckets\": {{{}}}}}",
+            self.count,
+            finite_json(self.sum),
+            self.min.map_or("null".to_string(), finite_json),
+            self.max.map_or("null".to_string(), finite_json),
+            buckets.join(", ")
+        )
+    }
+}
+
+fn finite_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_octave() {
+        let mut h = LogHistogram::new();
+        for v in [1.0, 1.5, 2.0, 3.9, 4.0, 0.0, -2.0, 0.3] {
+            h.record(v);
+        }
+        let buckets: Vec<(i32, u64)> = h.buckets().collect();
+        // zero bucket: {0.0, -2.0}; octave -2: {0.3}; 0: {1.0, 1.5}; 1: {2.0, 3.9}; 2: {4.0}
+        assert_eq!(
+            buckets,
+            vec![(ZERO_BUCKET, 2), (-2, 1), (0, 2), (1, 2), (2, 1)]
+        );
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(-2.0));
+        assert_eq!(h.max(), Some(4.0));
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = LogHistogram::new();
+        a.record(1.0);
+        a.record(10.0);
+        let mut b = LogHistogram::new();
+        b.record(10.0);
+        b.record(0.5);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.sum(), 21.5);
+        assert_eq!(merged.min(), Some(0.5));
+        assert_eq!(merged.max(), Some(10.0));
+        let direct: Vec<(i32, u64)> = merged.buckets().collect();
+        assert_eq!(direct, vec![(-1, 1), (0, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn masked_json_keeps_only_count() {
+        let mut h = LogHistogram::new();
+        h.record(123.0);
+        h.record(456.0);
+        assert_eq!(h.to_json(true), "{\"count\": 2}");
+        assert!(h.to_json(false).contains("\"sum\": 579"));
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = LogHistogram::new();
+        for v in [f64::MAX, f64::MIN_POSITIVE, f64::INFINITY, f64::NAN, 1e-308] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!(!h.to_json(false).contains("NaN"));
+    }
+}

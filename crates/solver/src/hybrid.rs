@@ -149,8 +149,10 @@ impl CoarseSolver for AnalogCoarseSolver {
         let l = a.points_per_side();
         if self.cache.contains_key(&l) {
             self.cache_hits += 1;
+            aa_obs::counter("solver.coarse.cache_hits", 1);
         } else {
             self.cache_misses += 1;
+            aa_obs::counter("solver.coarse.cache_misses", 1);
             let matrix = CsrMatrix::from_row_access(a);
             let solver =
                 SupervisedSolver::new(&matrix, &self.config, &self.recovery).map_err(|e| {
@@ -173,6 +175,7 @@ impl CoarseSolver for AnalogCoarseSolver {
         self.solves += 1;
         if report.recovery.final_path == FinalPath::DigitalFallback {
             self.fallback_solves += 1;
+            aa_obs::counter("solver.coarse.fallback_solves", 1);
         }
         Ok(report.solution)
     }

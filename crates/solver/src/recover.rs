@@ -85,6 +85,18 @@ pub enum FailureClass {
     ChipError,
 }
 
+impl FailureClass {
+    /// Short stable label used in telemetry events and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureClass::ResidualTooHigh => "residual_too_high",
+            FailureClass::NoSettle => "no_settle",
+            FailureClass::PersistentOverflow => "persistent_overflow",
+            FailureClass::ChipError => "chip_error",
+        }
+    }
+}
+
 /// What the supervisor did after an attempt.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RecoveryAction {
@@ -103,6 +115,20 @@ pub enum RecoveryAction {
     DigitalFallback,
     /// Give up entirely (digital fallback disabled).
     GiveUp,
+}
+
+impl RecoveryAction {
+    /// Short stable label used in telemetry events and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryAction::Accept => "accept",
+            RecoveryAction::Retry { .. } => "retry",
+            RecoveryAction::Recalibrate => "recalibrate",
+            RecoveryAction::Remap => "remap",
+            RecoveryAction::DigitalFallback => "digital_fallback",
+            RecoveryAction::GiveUp => "give_up",
+        }
+    }
 }
 
 /// One analog attempt (or the final digital fallback) in the recovery log.
@@ -147,6 +173,17 @@ pub enum FinalPath {
     /// Analog recovery was exhausted; the digital fallback produced the
     /// solution.
     DigitalFallback,
+}
+
+impl FinalPath {
+    /// Short stable label used in telemetry events and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FinalPath::Analog => "analog",
+            FinalPath::AnalogAfterRecovery => "analog_after_recovery",
+            FinalPath::DigitalFallback => "digital_fallback",
+        }
+    }
 }
 
 /// The structured log of one supervised solve.
@@ -318,6 +355,8 @@ impl SupervisedSolver {
             .max(f64::MIN_POSITIVE);
         let tol = self.recovery.residual_tolerance;
         let budget = self.recovery.max_attempts.max(1);
+        let _span = aa_obs::span("solver.recovery");
+        aa_obs::counter("solver.supervised_solves", 1);
 
         let mut attempts: Vec<AttemptRecord> = Vec::new();
         let mut cooldown = self.recovery.cooldown_s;
@@ -351,16 +390,29 @@ impl SupervisedSolver {
                             analog_time_s,
                             wall_time_s: wall_s,
                         });
+                        let final_path = if recovered {
+                            FinalPath::AnalogAfterRecovery
+                        } else {
+                            FinalPath::Analog
+                        };
+                        if aa_obs::is_active() {
+                            aa_obs::event(
+                                aa_obs::Event::new("solver.recovery.attempt")
+                                    .with("attempt", attempt)
+                                    .with("action", "accept"),
+                            );
+                            aa_obs::event(
+                                aa_obs::Event::new("solver.recovery.final")
+                                    .with("path", final_path.label())
+                                    .with("attempts", attempts.len()),
+                            );
+                        }
                         return Ok(SupervisedSolveReport {
                             solution: report.solution.clone(),
                             analog: Some(report),
                             recovery: RecoveryReport {
                                 attempts,
-                                final_path: if recovered {
-                                    FinalPath::AnalogAfterRecovery
-                                } else {
-                                    FinalPath::Analog
-                                },
+                                final_path,
                                 recalibrations,
                                 remaps,
                                 total_cooldown_s: total_cooldown,
@@ -395,6 +447,17 @@ impl SupervisedSolver {
                 analog_time_s,
                 wall_time_s: wall_s,
             });
+            if aa_obs::is_active() {
+                aa_obs::counter("solver.recovery.rejected_attempts", 1);
+                let mut ev = aa_obs::Event::new("solver.recovery.attempt")
+                    .with("attempt", attempt)
+                    .with("class", classification.label())
+                    .with("action", action.label());
+                if let Some(r) = residual {
+                    ev = ev.with("residual", r);
+                }
+                aa_obs::event(ev);
+            }
 
             match action {
                 RecoveryAction::Retry { cooldown_s } => {
@@ -410,10 +473,12 @@ impl SupervisedSolver {
                     // escalates to a remap.
                     let _ = calibrate(self.inner.chip_mut());
                     recalibrations += 1;
+                    aa_obs::counter("solver.recovery.recalibrations", 1);
                 }
                 RecoveryAction::Remap => {
                     self.remap()?;
                     remaps += 1;
+                    aa_obs::counter("solver.recovery.remaps", 1);
                 }
                 RecoveryAction::DigitalFallback => break,
                 RecoveryAction::GiveUp => {
@@ -434,6 +499,11 @@ impl SupervisedSolver {
                 total_cooldown,
             );
         }
+        aa_obs::event(
+            aa_obs::Event::new("solver.recovery.final")
+                .with("path", "exhausted")
+                .with("attempts", attempts.len()),
+        );
         Err(SolverError::RecoveryExhausted {
             attempts: attempts.len(),
             best_residual,
@@ -538,6 +608,19 @@ impl SupervisedSolver {
             analog_time_s: 0.0,
             wall_time_s: wall.elapsed().as_secs_f64(),
         });
+        if aa_obs::is_active() {
+            aa_obs::event(
+                aa_obs::Event::new("solver.recovery.attempt")
+                    .with("attempt", analog_attempts + 1)
+                    .with("action", "cg_fallback")
+                    .with("iterations", report.iterations),
+            );
+            aa_obs::event(
+                aa_obs::Event::new("solver.recovery.final")
+                    .with("path", FinalPath::DigitalFallback.label())
+                    .with("attempts", attempts.len()),
+            );
+        }
         Ok(SupervisedSolveReport {
             solution: report.solution,
             analog: None,

@@ -90,6 +90,7 @@ pub fn solve_refined(
         });
     }
     let a = solver.matrix().clone();
+    let _span = aa_obs::span("solver.refine");
 
     let mut u_precise = vec![0.0; n];
     let mut residual = b.to_vec();
@@ -112,6 +113,13 @@ pub fn solve_refined(
         residual = a.residual(&u_precise, b);
         let new_rel = vector::norm2(&residual) / b_norm;
         history.push(new_rel);
+        aa_obs::counter("solver.refine.rounds", 1);
+        aa_obs::histogram("solver.refine.rel_residual", new_rel);
+        aa_obs::event(
+            aa_obs::Event::new("solver.refine.round")
+                .with("round", round)
+                .with("rel_residual", new_rel),
+        );
 
         if new_rel <= config.tolerance {
             return Ok(RefinedReport {

@@ -231,6 +231,8 @@ impl AnalogSystemSolver {
                 self.dim()
             )));
         }
+        let _span = aa_obs::span("solver.solve");
+        aa_obs::counter("solver.solves", 1);
         let mut total_time = 0.0;
         let mut runs = 0;
         let mut retries = 0;
@@ -252,6 +254,12 @@ impl AnalogSystemSolver {
                 self.scaled.grow_headroom();
                 allow_shrink = false;
                 retries += 1;
+                aa_obs::counter("solver.rescales", 1);
+                aa_obs::event(
+                    aa_obs::Event::new("solver.rescale")
+                        .with("cause", "rhs_overflow")
+                        .with("retry", retries),
+                );
                 continue;
             }
             // DAC-underuse pre-check: a programmed rhs below a few DAC
@@ -268,6 +276,12 @@ impl AnalogSystemSolver {
                 let factor = (b_peak / (self.config.margin * fs)).clamp(1e-6, 0.5);
                 self.scaled.shrink_headroom(factor);
                 underuse_retries += 1;
+                aa_obs::counter("solver.rescales", 1);
+                aa_obs::event(
+                    aa_obs::Event::new("solver.rescale")
+                        .with("cause", "rhs_underuse")
+                        .with("retry", underuse_retries),
+                );
                 continue;
             }
             self.mapped.program_rhs(&b_scaled, None)?;
@@ -285,6 +299,13 @@ impl AnalogSystemSolver {
                 self.scaled.grow_headroom();
                 allow_shrink = false;
                 retries += 1;
+                aa_obs::counter("solver.rescales", 1);
+                aa_obs::event(
+                    aa_obs::Event::new("solver.rescale")
+                        .with("cause", "overflow")
+                        .with("retry", retries)
+                        .with("exceptions", report.exceptions.len()),
+                );
                 continue;
             }
             if !report.reached_steady_state {
@@ -314,11 +335,25 @@ impl AnalogSystemSolver {
                 };
                 self.scaled.shrink_headroom(factor);
                 underuse_retries += 1;
+                aa_obs::counter("solver.rescales", 1);
+                aa_obs::event(
+                    aa_obs::Event::new("solver.rescale")
+                        .with("cause", "underuse")
+                        .with("retry", underuse_retries)
+                        .with("peak", peak),
+                );
                 continue;
             }
 
             let raw = self.mapped.read_solution(self.config.readout_samples)?;
             let solution = self.scaled.unscale_solution(&raw);
+            aa_obs::event(
+                aa_obs::Event::new("solver.accept")
+                    .with("runs", runs)
+                    .with("overflow_retries", retries)
+                    .with("underuse_retries", underuse_retries)
+                    .with("peak", peak),
+            );
             return Ok(AnalogSolveReport {
                 solution,
                 analog_time_s: total_time,

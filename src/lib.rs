@@ -12,6 +12,7 @@
 //! | [`hwmodel`] | `aa-hwmodel` | Table II costs, bandwidth scaling, digital baselines |
 //! | [`solver`] | `aa-solver` | the analog linear-algebra solver (the paper's contribution) |
 //! | [`pde`] | `aa-pde` | Poisson problems, multigrid, heat/wave demos |
+//! | [`obs`] | `aa-obs` | structured tracing/metrics with a deterministic replay journal |
 //!
 //! # The headline flow
 //!
@@ -42,6 +43,7 @@
 pub use aa_analog as analog;
 pub use aa_hwmodel as hwmodel;
 pub use aa_linalg as linalg;
+pub use aa_obs as obs;
 pub use aa_ode as ode;
 pub use aa_pde as pde;
 pub use aa_solver as solver;
@@ -56,6 +58,7 @@ pub mod prelude {
     pub use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
     pub use aa_linalg::stencil::PoissonStencil;
     pub use aa_linalg::{CsrMatrix, DenseMatrix, LinearOperator, RowAccess, Triplet};
+    pub use aa_obs::{MemoryRecorder, Recorder, TraceSnapshot};
     pub use aa_ode::{integrate_fixed, integrate_to_steady_state, FixedMethod, GradientFlow};
     pub use aa_pde::poisson::{Poisson2d, Poisson3d};
     pub use aa_pde::{CgCoarseSolver, MultigridSolver};

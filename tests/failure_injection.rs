@@ -4,6 +4,7 @@
 
 use analog_accel::analog::netlist::{InputPort, OutputPort};
 use analog_accel::analog::units::UnitId;
+use analog_accel::obs;
 use analog_accel::prelude::*;
 use analog_accel::solver::SolverError;
 
@@ -322,6 +323,124 @@ fn every_fault_kind_is_recovered_or_reported() {
             }
         }
     }
+}
+
+/// The `action=` field of every `solver.recovery.attempt` event, in order.
+fn recovery_actions(snapshot: &TraceSnapshot) -> Vec<String> {
+    snapshot
+        .events()
+        .filter(|e| e.kind == "solver.recovery.attempt")
+        .map(|e| {
+            e.field("action")
+                .expect("attempt event carries an action")
+                .to_string()
+        })
+        .collect()
+}
+
+/// The `path=` field of the single `solver.recovery.final` event.
+fn final_recovery_path(snapshot: &TraceSnapshot) -> String {
+    let finals: Vec<_> = snapshot
+        .events()
+        .filter(|e| e.kind == "solver.recovery.final")
+        .collect();
+    assert_eq!(finals.len(), 1, "exactly one final event per solve");
+    finals[0]
+        .field("path")
+        .expect("final event carries a path")
+        .to_string()
+}
+
+/// Golden escalation ladder: a persistent offset drift far beyond the ±0.08
+/// trim range defeats every analog recovery rung in the documented order —
+/// cool-down retry, recalibration, remap onto a fresh instance, one last
+/// retry — before the supervisor hands the problem to digital CG. The
+/// structured event journal records exactly that ladder, and a replay of
+/// the same fault plan reproduces it line for line.
+#[test]
+fn recovery_ladder_journal_matches_golden_sequence() {
+    if !obs::ENABLED {
+        return;
+    }
+    let a = CsrMatrix::tridiagonal(3, -1.0, 2.0, -1.0).unwrap();
+    let b = [1.0, 0.5, 1.0];
+    let run = || {
+        let rec = MemoryRecorder::shared();
+        let report = obs::with_recorder(rec.clone(), || {
+            let mut solver =
+                SupervisedSolver::new(&a, &faultable_config(), &RecoveryConfig::default()).unwrap();
+            solver.inject_faults(FaultPlan::new(3).with_event(FaultEvent::persistent(
+                FaultKind::OffsetDrift {
+                    unit: UnitId::Multiplier(0),
+                    magnitude: 0.3,
+                    ramp_s: 0.0,
+                },
+                0.0,
+            )));
+            solver.solve(&b).unwrap()
+        });
+        (report, rec.snapshot())
+    };
+    let (report, snapshot) = run();
+    assert_eq!(report.recovery.final_path, FinalPath::DigitalFallback);
+    assert_eq!(
+        recovery_actions(&snapshot),
+        [
+            "retry",
+            "recalibrate",
+            "remap",
+            "retry",
+            "digital_fallback",
+            "cg_fallback"
+        ],
+        "journal:\n{}",
+        snapshot.deterministic_lines().join("\n")
+    );
+    assert_eq!(final_recovery_path(&snapshot), "digital_fallback");
+    assert_eq!(snapshot.counter("solver.recovery.recalibrations"), 1);
+    assert_eq!(snapshot.counter("solver.recovery.remaps"), 1);
+    assert_eq!(snapshot.counter("solver.recovery.rejected_attempts"), 5);
+    // Replay: same fault plan, bit-identical journal.
+    let (_, replay) = run();
+    assert_eq!(snapshot.deterministic_lines(), replay.deterministic_lines());
+}
+
+/// The happy half of the ladder: a drift *within* the trim range costs one
+/// cool-down retry, is trimmed out by the recalibration rung, and the next
+/// attempt is accepted — the journal stops at `recalibrate → accept` with
+/// no remap and no fallback.
+#[test]
+fn recalibration_rung_cures_trimmable_drift() {
+    if !obs::ENABLED {
+        return;
+    }
+    let a = CsrMatrix::tridiagonal(3, -1.0, 2.0, -1.0).unwrap();
+    let b = [1.0, 0.5, 1.0];
+    let rec = MemoryRecorder::shared();
+    let report = obs::with_recorder(rec.clone(), || {
+        let mut solver =
+            SupervisedSolver::new(&a, &faultable_config(), &RecoveryConfig::default()).unwrap();
+        solver.inject_faults(FaultPlan::new(3).with_event(FaultEvent::persistent(
+            FaultKind::OffsetDrift {
+                unit: UnitId::Multiplier(0),
+                magnitude: 0.05,
+                ramp_s: 0.0,
+            },
+            0.0,
+        )));
+        solver.solve(&b).unwrap()
+    });
+    let snapshot = rec.snapshot();
+    assert_eq!(report.recovery.final_path, FinalPath::AnalogAfterRecovery);
+    assert_eq!(
+        recovery_actions(&snapshot),
+        ["retry", "recalibrate", "accept"],
+        "journal:\n{}",
+        snapshot.deterministic_lines().join("\n")
+    );
+    assert_eq!(final_recovery_path(&snapshot), "analog_after_recovery");
+    assert_eq!(snapshot.counter("solver.recovery.recalibrations"), 1);
+    assert_eq!(snapshot.counter("solver.recovery.remaps"), 0);
 }
 
 /// A persistent stuck-at-rail integrator cannot be retried away: the

@@ -1,0 +1,210 @@
+//! Deterministic-replay tests of the structured trace layer: the same
+//! seed, netlist, and fault plan must produce an identical event journal —
+//! at any thread count, under either engine evaluation strategy, and
+//! bit-identically once wall-clock fields are masked.
+
+use analog_accel::analog::netlist::{InputPort, OutputPort};
+use analog_accel::analog::units::UnitId;
+use analog_accel::analog::EvalStrategy;
+use analog_accel::linalg::ParallelConfig;
+use analog_accel::obs;
+use analog_accel::prelude::*;
+use analog_accel::solver::OuterMethod;
+
+/// A small self-decaying circuit: `du/dt = −u` from `u(0) = 0.5`.
+fn decay_chip() -> AnalogChip {
+    let mut chip = AnalogChip::new(ChipConfig::ideal());
+    chip.set_conn(
+        OutputPort::of(UnitId::Integrator(0)),
+        InputPort::of(UnitId::Multiplier(0)),
+    )
+    .unwrap();
+    chip.set_conn(
+        OutputPort::of(UnitId::Multiplier(0)),
+        InputPort::of(UnitId::Integrator(0)),
+    )
+    .unwrap();
+    chip.set_mul_gain(0, -1.0).unwrap();
+    chip.set_int_initial(0, 0.5).unwrap();
+    chip.cfg_commit().unwrap();
+    chip
+}
+
+fn engine_journal(strategy: EvalStrategy) -> Vec<String> {
+    let rec = MemoryRecorder::shared();
+    obs::with_recorder(rec.clone(), || {
+        let mut chip = decay_chip();
+        chip.exec(&EngineOptions {
+            eval_strategy: strategy,
+            ..EngineOptions::default()
+        })
+        .unwrap();
+    });
+    rec.snapshot().deterministic_lines()
+}
+
+/// The engine's journal replays identically, and the compiled plan emits
+/// the same sequence as the tree-walking reference evaluator — lowering
+/// happens inside the `engine.compile` span, so the strategies are
+/// indistinguishable in the trace.
+#[test]
+fn engine_journal_replays_identically_across_strategies() {
+    if !obs::ENABLED {
+        return;
+    }
+    let compiled = engine_journal(EvalStrategy::Compiled);
+    assert!(!compiled.is_empty());
+    assert_eq!(
+        compiled,
+        engine_journal(EvalStrategy::Compiled),
+        "same-strategy replay"
+    );
+    assert_eq!(
+        compiled,
+        engine_journal(EvalStrategy::Reference),
+        "strategies must share one journal"
+    );
+    // Spans nest as documented: run wraps compile then execute.
+    assert_eq!(compiled.first().unwrap(), ">engine.run");
+    assert_eq!(compiled.last().unwrap(), "<engine.run");
+    let pos = |line: &str| compiled.iter().position(|l| l == line).unwrap();
+    assert!(pos(">engine.compile") < pos("<engine.compile"));
+    assert!(pos("<engine.compile") < pos(">engine.execute"));
+    assert!(pos(">engine.execute") < pos("<engine.execute"));
+}
+
+/// Property test: for every seed, two supervised solves against the same
+/// fault plan produce identical journals and bit-identical masked exports.
+#[test]
+fn supervised_solves_replay_identically_across_seeds() {
+    if !obs::ENABLED {
+        return;
+    }
+    let a = CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap();
+    let b = [1.0, -0.5, 0.25, 1.0];
+    let config = SolverConfig {
+        engine: EngineOptions {
+            stop_on_exception: true,
+            max_tau: 300.0,
+            ..EngineOptions::default()
+        },
+        ..SolverConfig::ideal()
+    };
+    for seed in [1u64, 7, 42, 1234] {
+        let run = || {
+            let rec = MemoryRecorder::shared();
+            obs::with_recorder(rec.clone(), || {
+                let mut solver =
+                    SupervisedSolver::new(&a, &config, &RecoveryConfig::default()).unwrap();
+                solver.inject_faults(FaultPlan::new(seed).with_event(FaultEvent::transient(
+                    FaultKind::NoiseBurst {
+                        unit: UnitId::Integrator(seed as usize % 4),
+                        amplitude: 0.04,
+                    },
+                    0.0,
+                    2.5e-3,
+                )));
+                let _ = solver.solve(&b);
+            });
+            rec.snapshot()
+        };
+        let first = run();
+        let second = run();
+        assert!(!first.journal.is_empty(), "seed {seed}");
+        assert_eq!(first.counter("solver.supervised_solves"), 1, "seed {seed}");
+        assert_eq!(
+            first.deterministic_lines(),
+            second.deterministic_lines(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            first.to_json_masked(),
+            second.to_json_masked(),
+            "seed {seed}"
+        );
+    }
+}
+
+/// The decomposed solver's journal is invariant under the worker-thread
+/// count: one forked child recorder per block solve, joined in input order.
+#[test]
+fn decomposed_solve_journal_is_thread_count_invariant() {
+    if !obs::ENABLED {
+        return;
+    }
+    let l = 6;
+    let a = CsrMatrix::from_row_access(&PoissonStencil::new_2d(l).unwrap());
+    let b = vec![1.0; l * l];
+    let journal = |threads: usize| {
+        let rec = MemoryRecorder::shared();
+        obs::with_recorder(rec.clone(), || {
+            let cfg = DecomposeConfig {
+                block_size: l,
+                outer: OuterMethod::BlockJacobi,
+                tolerance: 1e-6,
+                max_sweeps: 600,
+                parallel: ParallelConfig::threads(threads),
+                ..DecomposeConfig::default()
+            };
+            solve_decomposed(&a, &b, &cfg).unwrap();
+        });
+        rec.snapshot()
+    };
+    let serial = journal(1);
+    assert!(serial.counter("engine.runs") > 0, "block solves are traced");
+    assert!(serial.counter("parallel.tasks") > 0, "fan-out is traced");
+    for threads in [2, 4] {
+        let par = journal(threads);
+        assert_eq!(
+            serial.deterministic_lines(),
+            par.deterministic_lines(),
+            "threads={threads}"
+        );
+        assert_eq!(serial.counters, par.counters, "threads={threads}");
+        assert_eq!(
+            serial.to_json_masked(),
+            par.to_json_masked(),
+            "threads={threads}"
+        );
+    }
+}
+
+/// The exported trace document is valid JSON carrying the version stamp,
+/// and the masked form is bit-identical across two same-seed replays.
+#[test]
+fn trace_export_is_versioned_json_and_masked_replay_stable() {
+    if !obs::ENABLED {
+        return;
+    }
+    let a = CsrMatrix::tridiagonal(3, -1.0, 2.0, -1.0).unwrap();
+    let b = [0.5, 1.0, -0.25];
+    let run = || {
+        let rec = MemoryRecorder::shared();
+        obs::with_recorder(rec.clone(), || {
+            let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
+            solver.solve(&b).unwrap();
+        });
+        rec.snapshot()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.to_json_masked(), second.to_json_masked());
+
+    let parsed = obs::json::Json::parse(&first.to_json()).unwrap();
+    assert_eq!(
+        parsed.get("format").and_then(|v| v.as_str()),
+        Some("aa-obs-trace")
+    );
+    assert_eq!(
+        parsed.get("version").and_then(|v| v.as_f64()),
+        Some(f64::from(TraceSnapshot::FORMAT_VERSION))
+    );
+    let events = parsed
+        .get("events")
+        .and_then(|v| v.as_array())
+        .expect("events array");
+    assert!(!events.is_empty());
+    assert!(parsed.get("counters").is_some());
+    assert!(parsed.get("histograms").is_some());
+    assert!(parsed.get("timings").is_some());
+}
