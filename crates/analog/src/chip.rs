@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use aa_linalg::rng::Rng64;
 
 use crate::config::ChipConfig;
-use crate::engine::{run_committed, EngineOptions, RunReport};
+use crate::engine::{run_committed, EngineOptions, PlanCache, PlanStats, RunReport};
 use crate::error::AnalogError;
 use crate::exceptions::ExceptionVector;
 use crate::fault::FaultPlan;
@@ -102,6 +102,12 @@ pub struct AnalogChip {
     /// every `exec` run plus explicit [`idle`](Self::idle) waits. Fault
     /// events are scheduled on this clock.
     lifetime_s: f64,
+    /// Cached compilation products (netlist structure + lowered plan),
+    /// reused by `exec` while `plan_epoch` is unchanged.
+    plan_cache: PlanCache,
+    /// Bumped by every mutation that changes what compilation would
+    /// produce; see [`PlanCache`] for what does and does not count.
+    plan_epoch: u64,
 }
 
 impl std::fmt::Debug for AnalogChip {
@@ -133,6 +139,8 @@ impl AnalogChip {
             calibrated: false,
             fault_plan: None,
             lifetime_s: 0.0,
+            plan_cache: PlanCache::default(),
+            plan_epoch: 0,
         }
     }
 
@@ -147,9 +155,21 @@ impl AnalogChip {
         &self.variation
     }
 
-    /// Mutable access for the calibration routine.
+    /// Mutable access for the calibration routine. Trim changes alter the
+    /// imperfection factors baked into a lowered plan, so taking this
+    /// reference invalidates the plan cache.
     pub(crate) fn variation_mut(&mut self) -> &mut ProcessVariation {
+        self.plan_epoch += 1;
         &mut self.variation
+    }
+
+    /// Cumulative plan-cache activity: structures built, plans lowered,
+    /// cache hits. A long solve loop against an unchanged netlist shows
+    /// `plans_lowered == 1` with one `cache_hits` increment per subsequent
+    /// run — the observable guarantee that repeated `exec` calls do not
+    /// recompile.
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plan_cache.stats()
     }
 
     /// Whether `init` (calibration) has run.
@@ -221,6 +241,7 @@ impl AnalogChip {
     /// See [`Netlist::connect`].
     pub fn set_conn(&mut self, from: OutputPort, to: InputPort) -> Result<(), AnalogError> {
         self.committed = None;
+        self.plan_epoch += 1;
         self.draft.netlist.connect(from, to)
     }
 
@@ -268,6 +289,7 @@ impl AnalogChip {
             });
         }
         self.committed = None;
+        self.plan_epoch += 1;
         self.draft.mul_gains.insert(index, gain);
         Ok(())
     }
@@ -283,6 +305,7 @@ impl AnalogChip {
             return Err(AnalogError::NoSuchUnit { unit });
         }
         self.committed = None;
+        self.plan_epoch += 1;
         self.draft.mul_gains.remove(&index);
         Ok(())
     }
@@ -302,6 +325,7 @@ impl AnalogChip {
             return Err(AnalogError::NoSuchUnit { unit });
         }
         self.committed = None;
+        self.plan_epoch += 1;
         let lut = LookupTable::from_function(
             self.config.lut_depth,
             self.config.adc_bits,
@@ -338,6 +362,7 @@ impl AnalogChip {
             });
         }
         self.committed = None;
+        self.plan_epoch += 1;
         let depth = self.config.lut_depth;
         let bits = self.config.adc_bits;
         let fs = self.config.full_scale;
@@ -435,6 +460,7 @@ impl AnalogChip {
     pub fn reset_config(&mut self) {
         self.draft = Registers::new(&self.config);
         self.committed = None;
+        self.plan_epoch += 1;
     }
 
     // ----- Control instructions -----
@@ -471,6 +497,7 @@ impl AnalogChip {
                         &self.input_signals,
                         Some(plan),
                         self.lifetime_s,
+                        Some((&mut self.plan_cache, self.plan_epoch)),
                         options,
                     )?
                 } else {
@@ -489,6 +516,8 @@ impl AnalogChip {
                                 .write_entry(entry, value);
                         }
                     }
+                    // The scratch register file (upset LUT contents) must
+                    // not pollute the cache: compile fresh.
                     run_committed(
                         &scratch,
                         &self.config,
@@ -496,6 +525,7 @@ impl AnalogChip {
                         &self.input_signals,
                         Some(plan),
                         self.lifetime_s,
+                        None,
                         options,
                     )?
                 }
@@ -507,6 +537,7 @@ impl AnalogChip {
                 &self.input_signals,
                 None,
                 0.0,
+                Some((&mut self.plan_cache, self.plan_epoch)),
                 options,
             )?,
         };

@@ -126,19 +126,12 @@ pub(crate) enum Slot {
     SinkIn(UnitId),
 }
 
-/// The compiled dataflow program — the tree-walking **reference**
-/// representation. [`crate::plan::CompiledPlan::lower`] flattens it into the
-/// map-free fast path.
-pub(crate) struct Compiled<'a> {
-    pub(crate) config: &'a ChipConfig,
-    pub(crate) variation: &'a ProcessVariation,
-    pub(crate) registers: &'a Registers,
-    pub(crate) signals: &'a BTreeMap<usize, InputSignal>,
-    /// Scheduled runtime faults, if any are injected.
-    pub(crate) faults: Option<&'a FaultPlan>,
-    /// Chip-lifetime second at which this run starts (fault-event windows
-    /// are expressed on the lifetime clock, not the per-run clock).
-    pub(crate) t_offset: f64,
+/// The netlist-derived skeleton of a compiled circuit: topological order,
+/// slot numbering, driver lists, and used-unit indices. Everything here is
+/// a pure function of the committed netlist and the chip config — no
+/// per-run data — so it is owned (no borrows) and cacheable across runs in
+/// a [`PlanCache`].
+pub(crate) struct Structure {
     /// State-vector slot → integrator index.
     pub(crate) integrator_of_state: Vec<usize>,
     /// Memoryless units in dependency order.
@@ -159,6 +152,24 @@ pub(crate) struct Compiled<'a> {
     pub(crate) default_lut: LookupTable,
     /// Slot → owning unit, for exception attribution.
     pub(crate) unit_of_slot: Vec<UnitId>,
+}
+
+/// The compiled dataflow program — the tree-walking **reference**
+/// representation, binding per-run register/fault/signal state to a
+/// (possibly cached) [`Structure`]. [`crate::plan::CompiledPlan::lower`]
+/// flattens it into the map-free fast path.
+pub(crate) struct Compiled<'a> {
+    pub(crate) config: &'a ChipConfig,
+    pub(crate) variation: &'a ProcessVariation,
+    pub(crate) registers: &'a Registers,
+    pub(crate) signals: &'a BTreeMap<usize, InputSignal>,
+    /// Scheduled runtime faults, if any are injected.
+    pub(crate) faults: Option<&'a FaultPlan>,
+    /// Chip-lifetime second at which this run starts (fault-event windows
+    /// are expressed on the lifetime clock, not the per-run clock).
+    pub(crate) t_offset: f64,
+    /// The netlist skeleton (owned by the caller or its plan cache).
+    pub(crate) structure: &'a Structure,
 }
 
 /// Per-eval scratch and accumulated run observations.
@@ -194,15 +205,8 @@ impl Evaluator for Compiled<'_> {
     }
 }
 
-impl<'a> Compiled<'a> {
-    fn build(
-        registers: &'a Registers,
-        config: &'a ChipConfig,
-        variation: &'a ProcessVariation,
-        signals: &'a BTreeMap<usize, InputSignal>,
-        faults: Option<&'a FaultPlan>,
-        t_offset: f64,
-    ) -> Result<Self, AnalogError> {
+impl Structure {
+    pub(crate) fn build(registers: &Registers, config: &ChipConfig) -> Result<Self, AnalogError> {
         let topo = registers.netlist.memoryless_topo_order()?;
         let used = registers.netlist.used_units();
 
@@ -261,13 +265,7 @@ impl<'a> Compiled<'a> {
             drivers.entry(to).or_default().push(slot);
         }
 
-        Ok(Compiled {
-            config,
-            variation,
-            registers,
-            signals,
-            faults,
-            t_offset,
+        Ok(Structure {
             integrator_of_state,
             topo,
             slot_index,
@@ -284,22 +282,25 @@ impl<'a> Compiled<'a> {
             unit_of_slot,
         })
     }
+}
 
+impl Compiled<'_> {
     fn n_states(&self) -> usize {
-        self.integrator_of_state.len()
+        self.structure.integrator_of_state.len()
     }
 
     pub(crate) fn slot(&self, port: OutputPort) -> usize {
-        self.slot_index[&Slot::Out(port)]
+        self.structure.slot_index[&Slot::Out(port)]
     }
 
     pub(crate) fn sink_slot(&self, unit: UnitId) -> usize {
-        self.slot_index[&Slot::SinkIn(unit)]
+        self.structure.slot_index[&Slot::SinkIn(unit)]
     }
 
     /// Sum of driver currents at an input port.
     fn input_sum(&self, port: InputPort, values: &[f64]) -> f64 {
-        self.drivers
+        self.structure
+            .drivers
             .get(&port)
             .map(|slots| slots.iter().map(|s| values[*s]).sum())
             .unwrap_or(0.0)
@@ -348,10 +349,10 @@ impl<'a> Compiled<'a> {
         } = tracker;
 
         // Sources: integrator outputs (their state, through imperfection).
-        for (slot_state, &int_idx) in self.integrator_of_state.iter().enumerate() {
+        for (slot_state, &int_idx) in self.structure.integrator_of_state.iter().enumerate() {
             let unit = UnitId::Integrator(int_idx);
             let out = self.distort(unit, t, self.variation.of(unit).apply(state[slot_state]));
-            let s = self.slot_index[&Slot::Out(OutputPort::of(unit))];
+            let s = self.structure.slot_index[&Slot::Out(OutputPort::of(unit))];
             values[s] = out.clamp(-fs, fs);
             if track {
                 let mag = out.abs();
@@ -364,7 +365,7 @@ impl<'a> Compiled<'a> {
             }
         }
         // Sources: DAC constants.
-        for &i in &self.dacs {
+        for &i in &self.structure.dacs {
             let unit = UnitId::Dac(i);
             let programmed = self.registers.dac_values.get(&i).copied().unwrap_or(0.0);
             let out = self.distort(unit, t, self.variation.of(unit).apply(programmed));
@@ -372,7 +373,7 @@ impl<'a> Compiled<'a> {
             values[s] = self.clip(out, s, max_abs, clipped, track);
         }
         // Sources: external analog inputs.
-        for &i in &self.analog_inputs {
+        for &i in &self.structure.analog_inputs {
             let unit = UnitId::AnalogInput(i);
             let enabled = self
                 .registers
@@ -391,7 +392,7 @@ impl<'a> Compiled<'a> {
         }
 
         // Memoryless units in dependency order.
-        for &unit in &self.topo {
+        for &unit in &self.structure.topo {
             match unit {
                 UnitId::Multiplier(i) => {
                     let in0 = self.input_sum(InputPort { unit, port: 0 }, values);
@@ -418,7 +419,11 @@ impl<'a> Compiled<'a> {
                 }
                 UnitId::Lut(i) => {
                     let input = self.input_sum(InputPort::of(unit), values);
-                    let lut = self.registers.luts.get(&i).unwrap_or(&self.default_lut);
+                    let lut = self
+                        .registers
+                        .luts
+                        .get(&i)
+                        .unwrap_or(&self.structure.default_lut);
                     // The CT SRAM output is digital-to-analog: no analog
                     // gain/offset imperfection, but inherently quantized.
                     let out = self.distort(unit, t, lut.evaluate(input));
@@ -438,7 +443,7 @@ impl<'a> Compiled<'a> {
 
         // Integrator derivatives: ω_u times the summed input current.
         let omega = self.config.omega();
-        for (slot_state, &int_idx) in self.integrator_of_state.iter().enumerate() {
+        for (slot_state, &int_idx) in self.structure.integrator_of_state.iter().enumerate() {
             let unit = UnitId::Integrator(int_idx);
             let input = self.input_sum(InputPort::of(unit), values);
             du[slot_state] = omega * input;
@@ -446,8 +451,49 @@ impl<'a> Compiled<'a> {
     }
 }
 
+/// Cumulative counts of compilation work done through a [`PlanCache`] —
+/// the observable proof that repeated runs of an unchanged netlist reuse
+/// one lowered plan instead of re-lowering per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Netlist skeletons built ([`Structure`] compilations).
+    pub structures_built: u64,
+    /// Compiled plans lowered (only on the [`EvalStrategy::Compiled`] path).
+    pub plans_lowered: u64,
+    /// Runs that reused a cached structure without recompiling.
+    pub cache_hits: u64,
+}
+
+/// Per-chip cache of the compilation products for one committed netlist.
+///
+/// Tagged with the chip's *plan epoch*: a counter the chip bumps on every
+/// mutation that changes what compilation would produce (netlist edits,
+/// multiplier mode/gain, LUT contents, calibration trims). Mutations that
+/// only feed per-run state — DAC constants, initial conditions, timeout,
+/// input signals, fault plans — leave the epoch alone, so the common
+/// reprogram-and-rerun cycle (`program_rhs` → `cfg_commit` → `exec`) hits
+/// the cache on every solve after the first.
+#[derive(Default)]
+pub(crate) struct PlanCache {
+    epoch: u64,
+    structure: Option<Structure>,
+    plan: Option<crate::plan::CompiledPlan>,
+    stats: PlanStats,
+}
+
+impl PlanCache {
+    pub(crate) fn stats(&self) -> PlanStats {
+        self.stats
+    }
+}
+
 /// Runs a committed register file. Called by
 /// [`AnalogChip::exec`](crate::AnalogChip::exec).
+///
+/// `cache` carries the chip's plan cache together with the chip's current
+/// plan epoch; `None` (the LUT-upset scratch path) compiles fresh, since a
+/// scratch register file must not pollute the cache.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_committed(
     registers: &Registers,
     config: &ChipConfig,
@@ -455,6 +501,7 @@ pub(crate) fn run_committed(
     signals: &BTreeMap<usize, InputSignal>,
     faults: Option<&FaultPlan>,
     t_offset: f64,
+    cache: Option<(&mut PlanCache, u64)>,
     options: &EngineOptions,
 ) -> Result<RunReport, AnalogError> {
     if !(options.dt_tau > 0.0 && options.dt_tau.is_finite()) {
@@ -467,21 +514,72 @@ pub(crate) fn run_committed(
 
     // Plan lowering sits inside the compile span so the Compiled and
     // Reference strategies emit identical journals (the differential tests
-    // compare traces across strategies).
+    // compare traces across strategies). Cache hits keep the span too: a
+    // hit and a miss differ only in counters, never in the journal.
     let compile_span = aa_obs::span("engine.compile");
-    let circuit = Compiled::build(registers, config, variation, signals, faults, t_offset)?;
-    let plan = match options.eval_strategy {
-        EvalStrategy::Compiled => Some(crate::plan::CompiledPlan::lower(&circuit)),
-        EvalStrategy::Reference => None,
+    let report = match cache {
+        Some((cache, epoch)) => {
+            if cache.structure.is_none() || cache.epoch != epoch {
+                cache.structure = Some(Structure::build(registers, config)?);
+                cache.plan = None;
+                cache.epoch = epoch;
+                cache.stats.structures_built += 1;
+            } else {
+                cache.stats.cache_hits += 1;
+                if aa_obs::is_active() {
+                    aa_obs::counter("engine.plan_cache_hits", 1);
+                }
+            }
+            let PlanCache {
+                structure,
+                plan,
+                stats,
+                ..
+            } = cache;
+            let circuit = Compiled {
+                config,
+                variation,
+                registers,
+                signals,
+                faults,
+                t_offset,
+                structure: structure.as_ref().expect("structure ensured above"),
+            };
+            let plan = match options.eval_strategy {
+                EvalStrategy::Compiled => {
+                    if plan.is_none() {
+                        *plan = Some(crate::plan::CompiledPlan::lower(&circuit));
+                        stats.plans_lowered += 1;
+                        if aa_obs::is_active() {
+                            aa_obs::counter("engine.plans_lowered", 1);
+                        }
+                    }
+                    plan.as_ref()
+                }
+                EvalStrategy::Reference => None,
+            };
+            drop(compile_span);
+            execute(&circuit, plan, options)?
+        }
+        None => {
+            let structure = Structure::build(registers, config)?;
+            let circuit = Compiled {
+                config,
+                variation,
+                registers,
+                signals,
+                faults,
+                t_offset,
+                structure: &structure,
+            };
+            let plan = match options.eval_strategy {
+                EvalStrategy::Compiled => Some(crate::plan::CompiledPlan::lower(&circuit)),
+                EvalStrategy::Reference => None,
+            };
+            drop(compile_span);
+            execute(&circuit, plan.as_ref(), options)?
+        }
     };
-    drop(compile_span);
-
-    let execute_span = aa_obs::span("engine.execute");
-    let report = match &plan {
-        Some(plan) => integrate(&circuit, plan, options),
-        None => integrate(&circuit, &circuit, options),
-    }?;
-    drop(execute_span);
 
     if aa_obs::is_active() {
         aa_obs::counter("engine.runs", 1);
@@ -511,6 +609,25 @@ pub(crate) fn run_committed(
     Ok(report)
 }
 
+/// Binds per-run state to the chosen evaluator and runs the RK4 loop
+/// inside the `engine.execute` span.
+fn execute(
+    circuit: &Compiled<'_>,
+    plan: Option<&crate::plan::CompiledPlan>,
+    options: &EngineOptions,
+) -> Result<RunReport, AnalogError> {
+    let execute_span = aa_obs::span("engine.execute");
+    let report = match plan {
+        Some(plan) => {
+            let run = crate::plan::PlanRun::bind(plan, circuit);
+            integrate(circuit, &run, options)
+        }
+        None => integrate(circuit, circuit, options),
+    }?;
+    drop(execute_span);
+    Ok(report)
+}
+
 /// The RK4 run loop, generic over the circuit evaluator. `circuit` supplies
 /// the structural metadata (slot numbering, used-unit lists); `evaluator`
 /// does the per-stage arithmetic.
@@ -524,7 +641,7 @@ fn integrate<E: Evaluator>(
     let faults = circuit.faults;
     let t_offset = circuit.t_offset;
     let n = circuit.n_states();
-    let n_slots = circuit.slot_index.len();
+    let n_slots = circuit.structure.slot_index.len();
     let fs = config.full_scale;
     let omega = config.omega();
     let dt = options.dt_tau / omega;
@@ -545,11 +662,13 @@ fn integrate<E: Evaluator>(
     // (waveform sampling), which previously went through `slot_index` every
     // step and every sample respectively.
     let int_out_slots: Vec<usize> = circuit
+        .structure
         .integrator_of_state
         .iter()
         .map(|&i| circuit.slot(OutputPort::of(UnitId::Integrator(i))))
         .collect();
     let aout_sinks: Vec<usize> = circuit
+        .structure
         .analog_outputs
         .iter()
         .map(|&i| circuit.sink_slot(UnitId::AnalogOutput(i)))
@@ -557,6 +676,7 @@ fn integrate<E: Evaluator>(
 
     // Initial conditions.
     let mut state: Vec<f64> = circuit
+        .structure
         .integrator_of_state
         .iter()
         .map(|i| registers.int_initial.get(i).copied().unwrap_or(0.0))
@@ -588,7 +708,7 @@ fn integrate<E: Evaluator>(
             if plan.any_active(t_offset + t) {
                 faults_active_steps += 1;
             }
-            for (slot_state, &int_idx) in circuit.integrator_of_state.iter().enumerate() {
+            for (slot_state, &int_idx) in circuit.structure.integrator_of_state.iter().enumerate() {
                 if let Some(rail) = plan.stuck_rail(int_idx, t_offset + t) {
                     state[slot_state] = rail.sign() * fs;
                     let s = int_out_slots[slot_state];
@@ -680,7 +800,7 @@ fn integrate<E: Evaluator>(
     // Harvest observations.
     let mut exceptions = ExceptionVector::new();
     let mut range_usage = BTreeMap::new();
-    for (slot, unit) in circuit.unit_of_slot.iter().enumerate() {
+    for (slot, unit) in circuit.structure.unit_of_slot.iter().enumerate() {
         if tracker.clipped[slot] {
             exceptions.latch(*unit);
         }
@@ -691,18 +811,25 @@ fn integrate<E: Evaluator>(
             .or_insert(usage);
     }
     let integrator_values: BTreeMap<usize, f64> = circuit
+        .structure
         .integrator_of_state
         .iter()
         .enumerate()
         .map(|(s, &i)| (i, state[s]))
         .collect();
     let adc_inputs: BTreeMap<usize, f64> = circuit
+        .structure
         .adcs
         .iter()
         .map(|&i| (i, tracker.values[circuit.sink_slot(UnitId::Adc(i))]))
         .collect();
-    let output_waveforms: BTreeMap<usize, Vec<(f64, f64)>> =
-        circuit.analog_outputs.iter().copied().zip(waves).collect();
+    let output_waveforms: BTreeMap<usize, Vec<(f64, f64)>> = circuit
+        .structure
+        .analog_outputs
+        .iter()
+        .copied()
+        .zip(waves)
+        .collect();
 
     Ok(RunReport {
         duration_s: t,

@@ -81,7 +81,7 @@ pub mod units;
 pub use calibrate::{calibrate, CalibrationReport};
 pub use chip::{AnalogChip, InputSignal, CONTROL_CLOCK_HZ};
 pub use config::{ChipConfig, NonIdealityConfig, PROTOTYPE_BANDWIDTH_HZ};
-pub use engine::{EngineOptions, EvalStrategy, RunReport};
+pub use engine::{EngineOptions, EvalStrategy, PlanStats, RunReport};
 pub use error::AnalogError;
 pub use exceptions::ExceptionVector;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, Rail};

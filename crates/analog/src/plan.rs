@@ -3,16 +3,24 @@
 //! [`crate::engine`] first builds the tree-walking `Compiled` circuit, whose
 //! `eval` resolves every unit through `BTreeMap`s (`slot_index`, `drivers`,
 //! per-unit register maps) four times per RK4 step. [`CompiledPlan`] lowers
-//! that structure **once per run** into flat arrays:
+//! that structure **once per committed netlist** into flat arrays:
 //!
 //! * CSR-style driver lists — one shared `driver_slots` array with
 //!   `(start, end)` ranges per consumer, so an input-branch current sum is a
 //!   contiguous slice walk;
 //! * a dense, topologically ordered op tape with pre-resolved output slot
-//!   indices, pre-fetched DAC values, multiplier gains, and lookup-table
-//!   pointers;
-//! * per-unit imperfection parameters pre-expanded into the factors the
+//!   indices, pre-fetched multiplier gains, owned lookup-table copies, and
+//!   per-unit imperfection parameters pre-expanded into the factors the
 //!   reference formula uses.
+//!
+//! The plan owns everything it bakes in, so the chip's
+//! [`PlanCache`](crate::engine::PlanCache) can keep it alive across runs —
+//! repeated solves against an unchanged netlist (the block-Jacobi sweep
+//! loop, supervised retries) lower once and reuse. What changes from run to
+//! run without invalidating the cache — DAC constants, input-signal
+//! attachment/enables, the fault plan, and the lifetime-clock offset — is
+//! **not** baked in: [`PlanRun`] snapshots those per run and pairs them with
+//! the shared plan for the RK4 loop.
 //!
 //! The lowering is purely structural: every floating-point operation keeps
 //! the exact order and association of the reference evaluator, so compiled
@@ -74,26 +82,31 @@ struct IntSource {
     out: u32,
 }
 
-/// One DAC output with its programmed constant pre-fetched.
+/// One DAC output. The programmed constant is **not** baked in — DACs are
+/// reprogrammed on every solve without invalidating the plan cache, so
+/// [`PlanRun`] fetches the value from the committed registers per run.
 #[derive(Debug, Clone, Copy)]
 struct DacSource {
     unit: UnitId,
-    value: f64,
+    /// DAC register index, for the per-run value fetch.
+    dac: usize,
     imp: Imp,
     out: u32,
 }
 
-/// One external analog input. `signal` is `None` when the channel is
-/// disabled or has no attached stimulus (both read as 0.0, as in the
-/// reference path).
-struct InputSource<'a> {
+/// One external analog input. Whether the channel is enabled and which
+/// stimulus is attached are per-run state (resolved by [`PlanRun`]); only
+/// the channel index and output slot are structural.
+#[derive(Debug, Clone, Copy)]
+struct InputSource {
     unit: UnitId,
-    signal: Option<&'a InputSignal>,
+    /// Analog-input channel index, for the per-run signal lookup.
+    channel: usize,
     out: u32,
 }
 
 /// One memoryless unit on the op tape, in topological order.
-enum Op<'a> {
+enum Op {
     /// Multiplier in gain mode: `gain · Σin0`.
     MulGain {
         unit: UnitId,
@@ -120,10 +133,12 @@ enum Op<'a> {
         out0: u32,
         branches: u32,
     },
-    /// Lookup table: quantized, no analog gain/offset imperfection.
+    /// Lookup table: quantized, no analog gain/offset imperfection. The
+    /// table contents are owned (LUT writes bump the plan epoch, so a
+    /// cached plan never sees stale entries).
     Lut {
         unit: UnitId,
-        lut: &'a LookupTable,
+        lut: LookupTable,
         input: DriverRange,
         out: u32,
     },
@@ -134,34 +149,33 @@ enum Op<'a> {
 
 /// The flat-array execution plan for one committed netlist.
 ///
-/// Built by [`CompiledPlan::lower`] from the engine's reference circuit and
-/// consumed through the crate-internal `Evaluator` trait; both paths are
-/// selected by [`crate::engine::EvalStrategy`].
-pub struct CompiledPlan<'a> {
+/// Built by [`CompiledPlan::lower`] from the engine's reference circuit,
+/// owned (cacheable across runs), and consumed through [`PlanRun`] bound to
+/// one run's register/fault/signal state; both evaluator paths are selected
+/// by [`crate::engine::EvalStrategy`].
+pub(crate) struct CompiledPlan {
     full_scale: f64,
     omega: f64,
-    faults: Option<&'a FaultPlan>,
-    t_offset: f64,
     /// Shared driver-slot array indexed by the `DriverRange`s (CSR layout).
     driver_slots: Vec<u32>,
     int_sources: Vec<IntSource>,
     dac_sources: Vec<DacSource>,
-    input_sources: Vec<InputSource<'a>>,
-    ops: Vec<Op<'a>>,
+    input_sources: Vec<InputSource>,
+    ops: Vec<Op>,
     /// Per-state derivative input range (the integrator's input port).
     derivs: Vec<DriverRange>,
 }
 
-impl<'a> CompiledPlan<'a> {
+impl CompiledPlan {
     /// Lowers the reference circuit into flat arrays. Pure restructuring:
     /// no arithmetic is reassociated and no behaviour is resolved earlier
     /// than the reference path resolves it (except reads of committed
-    /// registers, which cannot change during a run).
-    pub(crate) fn lower(c: &'a Compiled<'a>) -> Self {
+    /// registers that only change behind a plan-epoch bump).
+    pub(crate) fn lower(c: &Compiled<'_>) -> Self {
         let mut driver_slots: Vec<u32> = Vec::new();
         let mut range_of = |port: InputPort| -> DriverRange {
             let start = driver_slots.len() as u32;
-            if let Some(slots) = c.drivers.get(&port) {
+            if let Some(slots) = c.structure.drivers.get(&port) {
                 driver_slots.extend(slots.iter().map(|&s| s as u32));
             }
             DriverRange {
@@ -171,6 +185,7 @@ impl<'a> CompiledPlan<'a> {
         };
 
         let int_sources: Vec<IntSource> = c
+            .structure
             .integrator_of_state
             .iter()
             .map(|&i| {
@@ -184,35 +199,36 @@ impl<'a> CompiledPlan<'a> {
             .collect();
 
         let dac_sources: Vec<DacSource> = c
+            .structure
             .dacs
             .iter()
             .map(|&i| {
                 let unit = UnitId::Dac(i);
                 DacSource {
                     unit,
-                    value: c.registers.dac_values.get(&i).copied().unwrap_or(0.0),
+                    dac: i,
                     imp: Imp::lower(c.variation.of(unit)),
                     out: c.slot(OutputPort::of(unit)) as u32,
                 }
             })
             .collect();
 
-        let input_sources: Vec<InputSource<'a>> = c
+        let input_sources: Vec<InputSource> = c
+            .structure
             .analog_inputs
             .iter()
             .map(|&i| {
                 let unit = UnitId::AnalogInput(i);
-                let enabled = c.registers.inputs_enabled.get(&i).copied().unwrap_or(false);
                 InputSource {
                     unit,
-                    signal: if enabled { c.signals.get(&i) } else { None },
+                    channel: i,
                     out: c.slot(OutputPort::of(unit)) as u32,
                 }
             })
             .collect();
 
-        let mut ops: Vec<Op<'a>> = Vec::with_capacity(c.topo.len());
-        for &unit in &c.topo {
+        let mut ops: Vec<Op> = Vec::with_capacity(c.structure.topo.len());
+        for &unit in &c.structure.topo {
             match unit {
                 UnitId::Multiplier(i) => {
                     let imp = Imp::lower(c.variation.of(unit));
@@ -251,7 +267,12 @@ impl<'a> CompiledPlan<'a> {
                 UnitId::Lut(i) => {
                     ops.push(Op::Lut {
                         unit,
-                        lut: c.registers.luts.get(&i).unwrap_or(&c.default_lut),
+                        lut: c
+                            .registers
+                            .luts
+                            .get(&i)
+                            .unwrap_or(&c.structure.default_lut)
+                            .clone(),
                         input: range_of(InputPort::of(unit)),
                         out: c.slot(OutputPort::of(unit)) as u32,
                     });
@@ -269,6 +290,7 @@ impl<'a> CompiledPlan<'a> {
         }
 
         let derivs: Vec<DriverRange> = c
+            .structure
             .integrator_of_state
             .iter()
             .map(|&i| range_of(InputPort::of(UnitId::Integrator(i))))
@@ -277,14 +299,63 @@ impl<'a> CompiledPlan<'a> {
         CompiledPlan {
             full_scale: c.config.full_scale,
             omega: c.config.omega(),
-            faults: c.faults,
-            t_offset: c.t_offset,
             driver_slots,
             int_sources,
             dac_sources,
             input_sources,
             ops,
             derivs,
+        }
+    }
+}
+
+/// One run's view of a (shared, possibly cached) [`CompiledPlan`]: the
+/// per-run state the plan deliberately does not bake in — fault schedule,
+/// lifetime-clock offset, current DAC constants, and resolved input
+/// signals — snapshotted at `execStart`.
+pub(crate) struct PlanRun<'a> {
+    plan: &'a CompiledPlan,
+    faults: Option<&'a FaultPlan>,
+    t_offset: f64,
+    /// Programmed DAC constants, parallel to `plan.dac_sources` — fetched
+    /// per run exactly as the reference path fetches them per eval.
+    dac_values: Vec<f64>,
+    /// Resolved stimuli, parallel to `plan.input_sources`: `None` when the
+    /// channel is disabled or has no attached signal (both read as 0.0).
+    signals: Vec<Option<&'a InputSignal>>,
+}
+
+impl<'a> PlanRun<'a> {
+    /// Binds the plan to one run's register/fault/signal state.
+    pub(crate) fn bind(plan: &'a CompiledPlan, c: &Compiled<'a>) -> Self {
+        let dac_values = plan
+            .dac_sources
+            .iter()
+            .map(|src| c.registers.dac_values.get(&src.dac).copied().unwrap_or(0.0))
+            .collect();
+        let signals = plan
+            .input_sources
+            .iter()
+            .map(|src| {
+                let enabled = c
+                    .registers
+                    .inputs_enabled
+                    .get(&src.channel)
+                    .copied()
+                    .unwrap_or(false);
+                if enabled {
+                    c.signals.get(&src.channel)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        PlanRun {
+            plan,
+            faults: c.faults,
+            t_offset: c.t_offset,
+            dac_values,
+            signals,
         }
     }
 
@@ -294,7 +365,7 @@ impl<'a> CompiledPlan<'a> {
     #[inline]
     fn sum(&self, range: DriverRange, values: &[f64]) -> f64 {
         let mut acc = 0.0;
-        for &s in &self.driver_slots[range.start as usize..range.end as usize] {
+        for &s in &self.plan.driver_slots[range.start as usize..range.end as usize] {
             acc += values[s as usize];
         }
         acc
@@ -321,7 +392,7 @@ impl<'a> CompiledPlan<'a> {
         clipped: &mut [bool],
         track: bool,
     ) -> f64 {
-        let fs = self.full_scale;
+        let fs = self.plan.full_scale;
         if track {
             let mag = value.abs();
             if mag > max_abs[slot] {
@@ -335,7 +406,7 @@ impl<'a> CompiledPlan<'a> {
     }
 }
 
-impl Evaluator for CompiledPlan<'_> {
+impl Evaluator for PlanRun<'_> {
     fn eval_circuit(
         &self,
         t: f64,
@@ -344,7 +415,8 @@ impl Evaluator for CompiledPlan<'_> {
         tracker: &mut Tracker,
         track: bool,
     ) {
-        let fs = self.full_scale;
+        let plan = self.plan;
+        let fs = plan.full_scale;
         let Tracker {
             values,
             max_abs,
@@ -353,7 +425,7 @@ impl Evaluator for CompiledPlan<'_> {
 
         // Sources: integrator outputs (their state, through imperfection).
         // Range usage tracks the pre-clamp magnitude, as in the reference.
-        for (slot_state, src) in self.int_sources.iter().enumerate() {
+        for (slot_state, src) in plan.int_sources.iter().enumerate() {
             let out = self.distort(src.unit, t, src.imp.apply(state[slot_state]));
             let s = src.out as usize;
             values[s] = out.clamp(-fs, fs);
@@ -367,23 +439,23 @@ impl Evaluator for CompiledPlan<'_> {
                 }
             }
         }
-        // Sources: DAC constants.
-        for src in &self.dac_sources {
-            let out = self.distort(src.unit, t, src.imp.apply(src.value));
+        // Sources: DAC constants (the per-run snapshot).
+        for (src, &value) in plan.dac_sources.iter().zip(&self.dac_values) {
+            let out = self.distort(src.unit, t, src.imp.apply(value));
             let s = src.out as usize;
             values[s] = self.clip(out, s, max_abs, clipped, track);
         }
         // Sources: external analog inputs (no imperfection applied).
-        for src in &self.input_sources {
-            let raw = src.signal.map(|f| f(t)).unwrap_or(0.0);
+        for (src, signal) in plan.input_sources.iter().zip(&self.signals) {
+            let raw = signal.map(|f| f(t)).unwrap_or(0.0);
             let out = self.distort(src.unit, t, raw);
             let s = src.out as usize;
             values[s] = self.clip(out, s, max_abs, clipped, track);
         }
 
         // The op tape: memoryless units in dependency order.
-        for op in &self.ops {
-            match *op {
+        for op in &plan.ops {
+            match op {
                 Op::MulGain {
                     unit,
                     gain,
@@ -391,9 +463,9 @@ impl Evaluator for CompiledPlan<'_> {
                     in0,
                     out,
                 } => {
-                    let ideal = gain * self.sum(in0, values);
-                    let v = self.distort(unit, t, imp.apply(ideal));
-                    let s = out as usize;
+                    let ideal = gain * self.sum(*in0, values);
+                    let v = self.distort(*unit, t, imp.apply(ideal));
+                    let s = *out as usize;
                     values[s] = self.clip(v, s, max_abs, clipped, track);
                 }
                 Op::MulVar {
@@ -403,9 +475,9 @@ impl Evaluator for CompiledPlan<'_> {
                     in1,
                     out,
                 } => {
-                    let ideal = self.sum(in0, values) * self.sum(in1, values) / fs;
-                    let v = self.distort(unit, t, imp.apply(ideal));
-                    let s = out as usize;
+                    let ideal = self.sum(*in0, values) * self.sum(*in1, values) / fs;
+                    let v = self.distort(*unit, t, imp.apply(ideal));
+                    let s = *out as usize;
                     values[s] = self.clip(v, s, max_abs, clipped, track);
                 }
                 Op::Fanout {
@@ -415,8 +487,8 @@ impl Evaluator for CompiledPlan<'_> {
                     out0,
                     branches,
                 } => {
-                    let v = self.distort(unit, t, imp.apply(self.sum(input, values)));
-                    for port in 0..branches {
+                    let v = self.distort(*unit, t, imp.apply(self.sum(*input, values)));
+                    for port in 0..*branches {
                         let s = (out0 + port) as usize;
                         values[s] = self.clip(v, s, max_abs, clipped, track);
                     }
@@ -427,21 +499,21 @@ impl Evaluator for CompiledPlan<'_> {
                     input,
                     out,
                 } => {
-                    let v = self.distort(unit, t, lut.evaluate(self.sum(input, values)));
-                    let s = out as usize;
+                    let v = self.distort(*unit, t, lut.evaluate(self.sum(*input, values)));
+                    let s = *out as usize;
                     values[s] = self.clip(v, s, max_abs, clipped, track);
                 }
                 Op::Sink { input, out } => {
-                    let v = self.sum(input, values);
-                    let s = out as usize;
+                    let v = self.sum(*input, values);
+                    let s = *out as usize;
                     values[s] = self.clip(v, s, max_abs, clipped, track);
                 }
             }
         }
 
         // Integrator derivatives: ω_u times the summed input current.
-        for (slot_state, &range) in self.derivs.iter().enumerate() {
-            du[slot_state] = self.omega * self.sum(range, values);
+        for (slot_state, &range) in plan.derivs.iter().enumerate() {
+            du[slot_state] = plan.omega * self.sum(range, values);
         }
     }
 }

@@ -121,6 +121,12 @@ pub struct BenchRecord {
     /// Wall-time ratio against the serial run of the same bench, where
     /// applicable.
     pub speedup_vs_serial: Option<f64>,
+    /// Physical cores available on the measuring machine, for rows whose
+    /// interpretation depends on it (thread-scaling benches).
+    pub cores: Option<u64>,
+    /// `true` when the row ran more threads than available cores, so its
+    /// speedup measures overhead rather than parallelism.
+    pub undersubscribed: Option<bool>,
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -157,12 +163,16 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
         .map(|r| {
             format!(
                 "  {{\"bench\": \"{}\", \"config\": \"{}\", \"wall_ms\": {}, \
-                 \"steps_per_sec\": {}, \"speedup_vs_serial\": {}}}",
+                 \"steps_per_sec\": {}, \"speedup_vs_serial\": {}, \
+                 \"cores\": {}, \"undersubscribed\": {}}}",
                 json_escape(&r.bench),
                 json_escape(&r.config),
                 json_number(r.wall_ms),
                 r.steps_per_sec.map_or("null".to_string(), json_number),
                 r.speedup_vs_serial.map_or("null".to_string(), json_number),
+                r.cores.map_or("null".to_string(), |c| c.to_string()),
+                r.undersubscribed
+                    .map_or("null".to_string(), |u| u.to_string()),
             )
         })
         .collect();
@@ -170,20 +180,23 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
 }
 
 /// The exact key set of a `BENCH_engine.json` record.
-const BENCH_KEYS: [&str; 5] = [
+const BENCH_KEYS: [&str; 7] = [
     "bench",
     "config",
     "wall_ms",
     "steps_per_sec",
     "speedup_vs_serial",
+    "cores",
+    "undersubscribed",
 ];
 
 /// Schema check for a `BENCH_engine.json` document, run before the file is
 /// (over)written so a serialization bug can never clobber the previous
 /// report with garbage: the document must parse, be a non-empty array of
 /// records carrying exactly [`BENCH_KEYS`], with non-empty string `bench`,
-/// string `config`, finite non-negative `wall_ms`, and `steps_per_sec` /
-/// `speedup_vs_serial` each `null` or a non-negative number.
+/// string `config`, finite non-negative `wall_ms`, `steps_per_sec` /
+/// `speedup_vs_serial` each `null` or a non-negative number, `cores` `null`
+/// or a positive integer, and `undersubscribed` `null` or a boolean.
 pub fn validate_bench_json(text: &str) -> Result<(), String> {
     let doc = aa_obs::json::Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let rows = doc
@@ -236,6 +249,23 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 ));
             }
         }
+        let cores = row.get("cores").expect("presence checked above");
+        if !cores.is_null() {
+            let num = cores
+                .as_f64()
+                .ok_or_else(|| format!("record {i}: \"cores\" must be null or a number"))?;
+            if !(num.fract() == 0.0 && num >= 1.0) {
+                return Err(format!(
+                    "record {i}: \"cores\" must be a positive integer, got {num}"
+                ));
+            }
+        }
+        let under = row.get("undersubscribed").expect("presence checked above");
+        if !under.is_null() && under.as_bool().is_none() {
+            return Err(format!(
+                "record {i}: \"undersubscribed\" must be null or a boolean"
+            ));
+        }
     }
     Ok(())
 }
@@ -278,6 +308,8 @@ mod tests {
                 wall_ms: 12.5,
                 steps_per_sec: Some(48000.0),
                 speedup_vs_serial: None,
+                cores: None,
+                undersubscribed: None,
             },
             BenchRecord {
                 bench: "decomposed_scaling".to_string(),
@@ -285,6 +317,8 @@ mod tests {
                 wall_ms: 3.25,
                 steps_per_sec: None,
                 speedup_vs_serial: Some(f64::NAN),
+                cores: Some(2),
+                undersubscribed: Some(true),
             },
         ];
         let json = records_to_json(&records);
@@ -296,6 +330,10 @@ mod tests {
         // Non-finite numbers become null, never bare NaN.
         assert!(json.contains("\"speedup_vs_serial\": null"));
         assert!(!json.contains("NaN"));
+        // Machine context serializes as structured fields, not strings.
+        assert!(json.contains("\"cores\": 2"));
+        assert!(json.contains("\"cores\": null"));
+        assert!(json.contains("\"undersubscribed\": true"));
         // Exactly one comma-separated row pair.
         assert_eq!(json.matches("{\"bench\"").count(), 2);
     }
@@ -308,12 +346,32 @@ mod tests {
             wall_ms: 12.5,
             steps_per_sec: Some(48000.0),
             speedup_vs_serial: None,
+            cores: Some(1),
+            undersubscribed: Some(false),
         }];
         validate_bench_json(&records_to_json(&records)).expect("valid document");
     }
 
+    /// A full valid single-record document with one `"key": value` pair
+    /// swapped in — `replace` must hit exactly once so each case tests what
+    /// it says it tests.
+    fn doc_with(key: &str, value: &str) -> String {
+        let base = r#"[{"bench": "x", "config": "c", "wall_ms": 1.0, "steps_per_sec": null,
+            "speedup_vs_serial": null, "cores": null, "undersubscribed": null}]"#;
+        let needle = match key {
+            "bench" => r#""bench": "x""#.to_string(),
+            "config" => r#""config": "c""#.to_string(),
+            "wall_ms" => r#""wall_ms": 1.0"#.to_string(),
+            other => format!("\"{other}\": null"),
+        };
+        assert_eq!(base.matches(&needle).count(), 1, "{key}");
+        base.replace(&needle, &format!("\"{key}\": {value}"))
+    }
+
     #[test]
     fn validation_rejects_malformed_documents() {
+        // The base document itself is valid.
+        validate_bench_json(&doc_with("cores", "null")).expect("base document");
         // Not JSON at all.
         assert!(validate_bench_json("not json").is_err());
         // Wrong shape.
@@ -326,35 +384,26 @@ mod tests {
         )
         .is_err());
         // Unexpected key.
-        assert!(validate_bench_json(
-            r#"[{"bench": "x", "config": "c", "wall_ms": 1.0, "steps_per_sec": null,
-                "speedup_vs_serial": null, "extra": 1}]"#
-        )
-        .is_err());
+        assert!(
+            validate_bench_json(&doc_with("cores", r#"null, "extra": 1"#)).is_err(),
+            "unexpected key"
+        );
         // Negative timing.
-        assert!(validate_bench_json(
-            r#"[{"bench": "x", "config": "c", "wall_ms": -1.0, "steps_per_sec": null,
-                "speedup_vs_serial": null}]"#
-        )
-        .is_err());
+        assert!(validate_bench_json(&doc_with("wall_ms", "-1.0")).is_err());
         // Null wall_ms (a non-finite measurement serialized away).
-        assert!(validate_bench_json(
-            r#"[{"bench": "x", "config": "c", "wall_ms": null, "steps_per_sec": null,
-                "speedup_vs_serial": null}]"#
-        )
-        .is_err());
+        assert!(validate_bench_json(&doc_with("wall_ms", "null")).is_err());
         // Empty bench name.
-        assert!(validate_bench_json(
-            r#"[{"bench": "", "config": "c", "wall_ms": 1.0, "steps_per_sec": null,
-                "speedup_vs_serial": null}]"#
-        )
-        .is_err());
+        assert!(validate_bench_json(&doc_with("bench", "\"\"")).is_err());
         // Negative speedup.
-        assert!(validate_bench_json(
-            r#"[{"bench": "x", "config": "c", "wall_ms": 1.0, "steps_per_sec": null,
-                "speedup_vs_serial": -2.0}]"#
-        )
-        .is_err());
+        assert!(validate_bench_json(&doc_with("speedup_vs_serial", "-2.0")).is_err());
+        // Cores must be a positive integer when present.
+        assert!(validate_bench_json(&doc_with("cores", "0")).is_err());
+        assert!(validate_bench_json(&doc_with("cores", "1.5")).is_err());
+        assert!(validate_bench_json(&doc_with("cores", "\"two\"")).is_err());
+        assert!(validate_bench_json(&doc_with("cores", "4")).is_ok());
+        // Undersubscribed must be a boolean when present.
+        assert!(validate_bench_json(&doc_with("undersubscribed", "1")).is_err());
+        assert!(validate_bench_json(&doc_with("undersubscribed", "true")).is_ok());
     }
 
     #[test]

@@ -55,5 +55,5 @@ pub mod vector;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use op::{LinearOperator, RowAccess};
-pub use parallel::{scoped_map, ParallelConfig};
+pub use parallel::{chunk_lengths, scoped_map, ParallelConfig, WorkerPool};
 pub use sparse::{CsrMatrix, Triplet};

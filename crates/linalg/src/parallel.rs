@@ -1,18 +1,30 @@
-//! Deterministic scoped-thread fan-out used by the higher-level solvers.
+//! Deterministic thread fan-out used by the higher-level solvers.
 //!
 //! The workspace has a strict no-external-dependency policy, so parallelism
-//! is built on [`std::thread::scope`] only. The single primitive exported
-//! here, [`scoped_map`], applies a function to every element of a `Vec` and
-//! returns the results **in input order**, regardless of how work was split
-//! across threads. Callers that need bitwise-reproducible output (residual
-//! histories, solution vectors) get it for free as long as each item's
-//! computation is independent of the others.
+//! is built on the standard library only. Two primitives are exported:
 //!
-//! Telemetry crosses the fan-out the same way: when an [`aa_obs`] recorder
-//! is installed on the calling thread, `scoped_map` forks one child recorder
-//! **per item** (not per worker), installs it on whichever thread runs that
-//! item, and joins the children back in input order. The merged journal is
-//! therefore identical for any `max_threads`, including the serial path.
+//! * [`scoped_map`] — a one-shot fan-out over [`std::thread::scope`] that
+//!   applies a function to every element of a `Vec` and returns the results
+//!   **in input order**, regardless of how work was split across threads.
+//! * [`WorkerPool`] — a persistent pool of long-lived worker threads fed
+//!   over `mpsc` channels, for call sites that fan out the *same* shape of
+//!   work many times (the block-Jacobi sweep loop). Spawning threads once
+//!   and reusing them amortizes thread start-up across iterations; jobs
+//!   travel as one batched message per worker, and the calling thread runs
+//!   the first chunk itself instead of parking on per-item results.
+//!
+//! Callers that need bitwise-reproducible output (residual histories,
+//! solution vectors) get it for free as long as each item's computation is
+//! independent of the others.
+//!
+//! Telemetry crosses both fan-outs the same way: when an [`aa_obs`] recorder
+//! is installed on the calling thread, one child recorder is forked **per
+//! item** (not per worker), installed on whichever thread runs that item,
+//! and the children are joined back in input order. The merged journal is
+//! therefore identical for any thread count, including the serial path.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
 
 /// How much thread-level parallelism a solver may use.
 ///
@@ -48,19 +60,36 @@ impl Default for ParallelConfig {
     }
 }
 
+/// Splits `items` into `workers` contiguous chunk lengths, remainder spread
+/// over the first chunks so sizes differ by at most one. Trailing entries
+/// may be zero when `workers > items`.
+///
+/// Both [`scoped_map`] and [`WorkerPool`] partition with this function, so
+/// a caller that pre-partitions per-worker state with `chunk_lengths` is
+/// guaranteed to see the matching items routed to the matching worker.
+pub fn chunk_lengths(items: usize, workers: usize) -> Vec<usize> {
+    let workers = workers.max(1);
+    let base = items / workers;
+    let extra = items % workers;
+    (0..workers)
+        .map(|w| base + usize::from(w < extra))
+        .collect()
+}
+
 /// Applies `f` to every item, possibly across scoped threads, returning the
 /// results in input order.
 ///
 /// `f` receives `(index, item)` so callers can recover positional context.
-/// Work is split into at most `config.max_threads` contiguous chunks; with
-/// `max_threads <= 1` (or a single item) everything runs on the calling
-/// thread with no spawn overhead. Because every item is mapped
-/// independently and results are reassembled by index, the output is
+/// Work is split into at most `config.max_threads` contiguous chunks (see
+/// [`chunk_lengths`]); with `max_threads <= 1` (or a single item) everything
+/// runs on the calling thread with no spawn overhead. Because every item is
+/// mapped independently and results are reassembled by index, the output is
 /// identical for any thread count.
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
+/// Propagates a panic from `f` with its original payload (the scope joins
+/// all workers first, then re-raises via [`std::panic::resume_unwind`]).
 pub fn scoped_map<T, R, F>(items: Vec<T>, config: &ParallelConfig, f: F) -> Vec<R>
 where
     T: Send,
@@ -94,16 +123,12 @@ where
     // in child i regardless of which thread runs it, and joining children in
     // input order makes the merged journal thread-count invariant.
     let recorder = aa_obs::current();
-    let task_recorders: Vec<Option<std::sync::Arc<dyn aa_obs::Recorder>>> = match &recorder {
+    let task_recorders: Vec<Option<Arc<dyn aa_obs::Recorder>>> = match &recorder {
         Some(parent) => (0..n).map(|i| Some(parent.fork(i))).collect(),
         None => (0..n).map(|_| None).collect(),
     };
 
-    // Contiguous chunks, remainder spread over the first chunks so sizes
-    // differ by at most one.
-    let base = n / workers;
-    let extra = n % workers;
-    type Task<T> = (Option<std::sync::Arc<dyn aa_obs::Recorder>>, T);
+    type Task<T> = (Option<Arc<dyn aa_obs::Recorder>>, T);
     let mut chunks: Vec<(usize, Vec<Task<T>>)> = Vec::with_capacity(workers);
     let mut items = task_recorders
         .iter()
@@ -112,8 +137,7 @@ where
         .collect::<Vec<_>>()
         .into_iter();
     let mut start = 0;
-    for w in 0..workers {
-        let len = base + usize::from(w < extra);
+    for len in chunk_lengths(n, workers) {
         if len == 0 {
             break;
         }
@@ -122,7 +146,7 @@ where
     }
 
     let f = &f;
-    let mut chunk_results: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+    let joined: Vec<std::thread::Result<(usize, Vec<R>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|(offset, chunk)| {
@@ -141,14 +165,25 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scoped_map worker panicked"))
-            .collect()
+        // Join everything before re-raising so the original panic payload
+        // survives (scope would otherwise overwrite it with its own).
+        handles.into_iter().map(|h| h.join()).collect()
     });
 
     if let Some(parent) = recorder {
         parent.join(task_recorders.into_iter().flatten().collect());
+    }
+
+    let mut chunk_results: Vec<(usize, Vec<R>)> = Vec::with_capacity(joined.len());
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for result in joined {
+        match result {
+            Ok(v) => chunk_results.push(v),
+            Err(payload) => panic = panic.or(Some(payload)),
+        }
+    }
+    if let Some(payload) = panic {
+        resume_unwind(payload);
     }
 
     chunk_results.sort_by_key(|(offset, _)| *offset);
@@ -161,17 +196,270 @@ where
 
 /// Runs one mapped item, recording its wall time when telemetry is active.
 fn run_task<T, R>(index: usize, item: T, f: &impl Fn(usize, T) -> R) -> R {
+    timed(|| f(index, item))
+}
+
+/// Times one unit of fan-out work. Shared by [`scoped_map`] and
+/// [`WorkerPool`] so both emit the exact same `parallel.tasks` counter and
+/// `parallel.task_ns` timing per item — a requirement for the thread-count
+/// invariance of decomposed-solve traces.
+fn timed<R>(run: impl FnOnce() -> R) -> R {
     if !aa_obs::is_active() {
-        return f(index, item);
+        return run();
     }
     let start = std::time::Instant::now();
-    let out = f(index, item);
+    let out = run();
     aa_obs::counter("parallel.tasks", 1);
     aa_obs::timing(
         "parallel.task_ns",
         u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
     );
     out
+}
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+type WorkFn<S, T, R> = Arc<dyn Fn(&mut S, usize, T) -> R + Send + Sync>;
+
+/// One worker's whole chunk of a `map` call, batched into a single channel
+/// message so a sweep costs one send + one receive per worker instead of
+/// one per item.
+struct Job<T> {
+    /// Global index of the chunk's first item.
+    base: usize,
+    tasks: Vec<(Option<Arc<dyn aa_obs::Recorder>>, T)>,
+}
+
+/// A finished chunk: per-item results (or the panic payload that killed the
+/// item) in chunk order.
+struct Done<R> {
+    base: usize,
+    results: Vec<Result<R, PanicPayload>>,
+}
+
+/// Runs one pool item under its forked recorder, catching the panic so the
+/// worker (or the calling thread) survives for the next item; `map`
+/// re-raises the payload on the caller.
+fn run_pool_task<S, T, R>(
+    f: &WorkFn<S, T, R>,
+    state: &mut S,
+    index: usize,
+    recorder: Option<Arc<dyn aa_obs::Recorder>>,
+    payload: T,
+) -> Result<R, PanicPayload> {
+    catch_unwind(AssertUnwindSafe(|| match recorder {
+        Some(rec) => aa_obs::with_recorder(rec, || timed(|| f(state, index, payload))),
+        None => timed(|| f(state, index, payload)),
+    }))
+}
+
+/// A persistent pool of worker threads, each owning a caller-supplied state.
+///
+/// Built once per multi-iteration fan-out site (e.g. per
+/// `solve_decomposed` call), then [`WorkerPool::map`]-ed every iteration.
+/// Threads are spawned in [`WorkerPool::new`] and joined on drop, so an
+/// N-sweep solve pays thread start-up once instead of N times.
+///
+/// Each worker owns one `S` (mutable, never shared). Items are routed to
+/// workers by the same contiguous [`chunk_lengths`] split `scoped_map`
+/// uses: for `n` items and `w` workers, worker 0 always receives the first
+/// chunk, worker 1 the next, and so on. A caller that partitions per-item
+/// resources into the worker states with `chunk_lengths(n, w)` therefore
+/// gets each item delivered to the worker holding its resources, for every
+/// `map` call with `n` items.
+///
+/// With a single worker state the pool spawns no threads at all and runs on
+/// the calling thread, forking/joining the per-item recorder exactly like
+/// `scoped_map`'s serial path — traces stay bit-identical at any worker
+/// count.
+pub struct WorkerPool<S, T, R> {
+    inner: PoolInner<S, T, R>,
+}
+
+enum PoolInner<S, T, R> {
+    Serial {
+        state: S,
+        f: WorkFn<S, T, R>,
+    },
+    Threads {
+        /// Worker 0's state: its chunk runs on the calling thread inside
+        /// `map`, overlapping with the spawned workers instead of parking.
+        local: S,
+        f: WorkFn<S, T, R>,
+        /// Job channels for workers `1..states.len()`.
+        txs: Vec<mpsc::Sender<Job<T>>>,
+        rx: mpsc::Receiver<Done<R>>,
+        handles: Vec<std::thread::JoinHandle<()>>,
+    },
+}
+
+impl<S, T, R> WorkerPool<S, T, R>
+where
+    S: Send + 'static,
+    T: Send + 'static,
+    R: Send + 'static,
+{
+    /// Spawns one long-lived worker thread per state *beyond the first*
+    /// (none when `states.len() == 1`): worker 0's chunk always runs on the
+    /// calling thread, so `w` worker states occupy `w` cores with `w − 1`
+    /// spawned threads and the caller never idles while work is pending.
+    /// `f` is invoked as `f(&mut state, index, item)` with `index` the
+    /// item's position in the `map` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty.
+    pub fn new(states: Vec<S>, f: impl Fn(&mut S, usize, T) -> R + Send + Sync + 'static) -> Self {
+        assert!(
+            !states.is_empty(),
+            "WorkerPool needs at least one worker state"
+        );
+        let f: WorkFn<S, T, R> = Arc::new(f);
+        let mut states = states.into_iter();
+        let first = states.next().expect("at least one state");
+        if states.len() == 0 {
+            return WorkerPool {
+                inner: PoolInner::Serial { state: first, f },
+            };
+        }
+        let (done_tx, rx) = mpsc::channel::<Done<R>>();
+        let mut txs = Vec::with_capacity(states.len());
+        let mut handles = Vec::with_capacity(states.len());
+        for mut state in states {
+            let (tx, job_rx) = mpsc::channel::<Job<T>>();
+            let done_tx = done_tx.clone();
+            let f = Arc::clone(&f);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let Job { base, tasks } = job;
+                    let mut results = Vec::with_capacity(tasks.len());
+                    for (k, (recorder, payload)) in tasks.into_iter().enumerate() {
+                        results.push(run_pool_task(&f, &mut state, base + k, recorder, payload));
+                    }
+                    if done_tx.send(Done { base, results }).is_err() {
+                        break;
+                    }
+                }
+            }));
+            txs.push(tx);
+        }
+        WorkerPool {
+            inner: PoolInner::Threads {
+                local: first,
+                f,
+                txs,
+                rx,
+                handles,
+            },
+        }
+    }
+
+    /// Number of worker states (1 means "runs on the calling thread").
+    pub fn workers(&self) -> usize {
+        match &self.inner {
+            PoolInner::Serial { .. } => 1,
+            PoolInner::Threads { txs, .. } => txs.len() + 1,
+        }
+    }
+
+    /// Runs every item through the pool, returning results in input order.
+    ///
+    /// Item `i` of an `n`-item call goes to the worker owning position `i`
+    /// of the `chunk_lengths(n, workers)` split. Recorder children are
+    /// forked per item in input order and joined back in input order, so
+    /// the merged journal is invariant under the worker count.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panicked for one or more items, re-raises the payload of the
+    /// lowest-indexed one via [`std::panic::resume_unwind`] after all items
+    /// finished and telemetry was joined.
+    pub fn map(&mut self, items: Vec<T>) -> Vec<R> {
+        let n = items.len();
+        match &mut self.inner {
+            PoolInner::Serial { state, f } => {
+                let recorder = aa_obs::current();
+                let mut out = Vec::with_capacity(n);
+                for (i, item) in items.into_iter().enumerate() {
+                    match &recorder {
+                        Some(parent) => {
+                            let child = parent.fork(i);
+                            out.push(aa_obs::with_recorder(child.clone(), || {
+                                timed(|| f(state, i, item))
+                            }));
+                            parent.join(vec![child]);
+                        }
+                        None => out.push(timed(|| f(state, i, item))),
+                    }
+                }
+                out
+            }
+            PoolInner::Threads {
+                local, f, txs, rx, ..
+            } => {
+                let recorder = aa_obs::current();
+                let task_recorders: Vec<Option<Arc<dyn aa_obs::Recorder>>> = match &recorder {
+                    Some(parent) => (0..n).map(|i| Some(parent.fork(i))).collect(),
+                    None => (0..n).map(|_| None).collect(),
+                };
+                let lens = chunk_lengths(n, txs.len() + 1);
+                let mut tasks = task_recorders.iter().cloned().zip(items);
+                let local_tasks: Vec<_> = tasks.by_ref().take(lens[0]).collect();
+                // Ship the remote chunks first so the spawned workers run
+                // while the calling thread chews through chunk 0.
+                let mut base = lens[0];
+                let mut expected = 0;
+                for (w, len) in lens[1..].iter().copied().enumerate() {
+                    if len > 0 {
+                        let chunk: Vec<_> = tasks.by_ref().take(len).collect();
+                        txs[w]
+                            .send(Job { base, tasks: chunk })
+                            .expect("worker pool thread exited");
+                        expected += 1;
+                    }
+                    base += len;
+                }
+                let mut slots: Vec<Option<Result<R, PanicPayload>>> =
+                    (0..n).map(|_| None).collect();
+                for (k, (rec, payload)) in local_tasks.into_iter().enumerate() {
+                    slots[k] = Some(run_pool_task(f, local, k, rec, payload));
+                }
+                for _ in 0..expected {
+                    let done = rx.recv().expect("worker pool result channel closed");
+                    for (k, result) in done.results.into_iter().enumerate() {
+                        slots[done.base + k] = Some(result);
+                    }
+                }
+                if let Some(parent) = recorder {
+                    parent.join(task_recorders.into_iter().flatten().collect());
+                }
+                let mut out = Vec::with_capacity(n);
+                let mut panic: Option<PanicPayload> = None;
+                for slot in slots {
+                    match slot.expect("worker pool missed an item") {
+                        Ok(r) => out.push(r),
+                        Err(payload) => panic = panic.or(Some(payload)),
+                    }
+                }
+                if let Some(payload) = panic {
+                    resume_unwind(payload);
+                }
+                out
+            }
+        }
+    }
+}
+
+impl<S, T, R> Drop for WorkerPool<S, T, R> {
+    fn drop(&mut self) {
+        if let PoolInner::Threads { txs, handles, .. } = &mut self.inner {
+            // Closing the job channels lets the workers fall out of their
+            // recv loop; join so no thread outlives the pool.
+            txs.clear();
+            for handle in handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +498,50 @@ mod tests {
     }
 
     #[test]
+    fn chunk_lengths_cover_and_balance() {
+        assert_eq!(chunk_lengths(7, 3), vec![3, 2, 2]);
+        assert_eq!(chunk_lengths(4, 4), vec![1, 1, 1, 1]);
+        assert_eq!(chunk_lengths(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(chunk_lengths(0, 3), vec![0, 0, 0]);
+        assert_eq!(chunk_lengths(5, 0), vec![5]);
+        for items in 0..40 {
+            for workers in 1..10 {
+                let lens = chunk_lengths(items, workers);
+                assert_eq!(lens.iter().sum::<usize>(), items);
+                let max = lens.iter().max().copied().unwrap_or(0);
+                let min = lens.iter().min().copied().unwrap_or(0);
+                assert!(max - min <= 1, "items={items} workers={workers}");
+            }
+        }
+    }
+
+    /// Extracts the human-readable message from a caught panic payload.
+    fn payload_message(payload: &PanicPayload) -> String {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("string-like payload")
+    }
+
+    #[test]
+    fn scoped_map_preserves_panic_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            scoped_map(
+                (0..8usize).collect(),
+                &ParallelConfig::threads(4),
+                |_, x| {
+                    assert!(x != 5, "item five exploded");
+                    x
+                },
+            )
+        })
+        .expect_err("must panic");
+        let msg = payload_message(&caught);
+        assert!(msg.contains("item five exploded"), "payload lost: {msg}");
+    }
+
+    #[test]
     fn journal_is_identical_across_thread_counts() {
         if !aa_obs::ENABLED {
             return;
@@ -243,5 +575,91 @@ mod tests {
         assert_eq!(ParallelConfig::threads(4).effective_threads(2), 2);
         assert_eq!(ParallelConfig::threads(4).effective_threads(100), 4);
         assert_eq!(ParallelConfig::default(), ParallelConfig::serial());
+    }
+
+    #[test]
+    fn pool_matches_scoped_map_across_worker_counts() {
+        let items: Vec<usize> = (0..23).collect();
+        let want = scoped_map(items.clone(), &ParallelConfig::serial(), |i, x| i * 100 + x);
+        for workers in [1usize, 2, 3, 4, 8] {
+            let mut pool = WorkerPool::new(vec![(); workers], |_, i, x: usize| i * 100 + x);
+            assert_eq!(pool.workers(), workers);
+            // Repeated maps through the same pool stay correct.
+            for round in 0..3 {
+                let got = pool.map(items.clone());
+                assert_eq!(want, got, "workers={workers} round={round}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_routes_items_to_the_matching_worker_state() {
+        // Worker states are (offset, hit count); the closure checks that the
+        // global item index always lands in its owner's chunk.
+        let n = 10usize;
+        for workers in [2usize, 3, 4] {
+            let lens = chunk_lengths(n, workers);
+            let mut offset = 0;
+            let states: Vec<(usize, usize)> = lens
+                .iter()
+                .map(|len| {
+                    let s = (offset, *len);
+                    offset += len;
+                    s
+                })
+                .collect();
+            let mut pool = WorkerPool::new(states, |state: &mut (usize, usize), i, _x: usize| {
+                let (start, len) = *state;
+                assert!(i >= start && i < start + len, "item {i} missed its worker");
+                i
+            });
+            for _ in 0..3 {
+                assert_eq!(pool.map((0..n).collect()), (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn pool_preserves_panic_payload_and_survives() {
+        let mut pool = WorkerPool::new(vec![(); 3], |_, _i, x: usize| {
+            assert!(x != 4, "worker pool item four exploded");
+            x * 2
+        });
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| pool.map((0..9).collect())))
+            .expect_err("must panic");
+        let msg = payload_message(&caught);
+        assert!(
+            msg.contains("worker pool item four exploded"),
+            "payload lost: {msg}"
+        );
+        // The pool is still usable after a panicking map.
+        assert_eq!(pool.map(vec![1, 2, 3]), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn pool_journal_is_identical_across_worker_counts() {
+        if !aa_obs::ENABLED {
+            return;
+        }
+        let run = |workers: usize| {
+            let rec = aa_obs::MemoryRecorder::shared();
+            aa_obs::with_recorder(rec.clone(), || {
+                let mut pool = WorkerPool::new(vec![(); workers], |_, i, x: usize| {
+                    aa_obs::event(aa_obs::Event::new("pool.task").with("i", i).with("x", x));
+                    x * 2
+                });
+                for _ in 0..2 {
+                    pool.map((0..7).collect());
+                }
+            });
+            let snap = rec.snapshot();
+            assert_eq!(snap.counter("parallel.tasks"), 14, "workers={workers}");
+            (snap.deterministic_lines(), snap.to_json_masked())
+        };
+        let serial = run(1);
+        assert_eq!(serial.0.len(), 14, "one journal event per task");
+        for workers in [2, 3, 4] {
+            assert_eq!(serial, run(workers), "workers={workers}");
+        }
     }
 }

@@ -14,7 +14,7 @@
 //! grids with `L = 2^k − 1` points per side.
 
 use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
-use aa_linalg::parallel::{scoped_map, ParallelConfig};
+use aa_linalg::parallel::{ParallelConfig, WorkerPool};
 use aa_linalg::stencil::PoissonStencil;
 use aa_linalg::{vector, LinearOperator, RowAccess};
 
@@ -202,12 +202,13 @@ impl MultigridSolver {
         })
     }
 
-    /// Solves many independent right-hand sides, fanning the solves out
-    /// across scoped threads. Each worker gets its own coarse solver from
+    /// Solves many independent right-hand sides through a [`WorkerPool`]
+    /// spun up once for the whole batch. Each worker owns a clone of the
+    /// grid hierarchy, and every solve gets its own coarse solver from
     /// `make_coarse` (coarse solvers are stateful — caches, accelerator
-    /// chips — so they cannot be shared), and results come back in input
+    /// chips — so they cannot be shared), so results come back in input
     /// order, identical to running [`MultigridSolver::solve`] serially on
-    /// each rhs with a fresh coarse solver.
+    /// each rhs with a fresh coarse solver — for any thread count.
     ///
     /// # Errors
     ///
@@ -222,14 +223,15 @@ impl MultigridSolver {
     ) -> Result<Vec<MultigridReport>, PdeError>
     where
         C: CoarseSolver,
-        F: Fn() -> C + Sync,
+        F: Fn() -> C + Send + Sync + 'static,
     {
-        let items: Vec<&[f64]> = rhss.iter().map(|b| b.as_slice()).collect();
-        let reports = scoped_map(items, parallel, |_, b| {
+        let workers = parallel.effective_threads(rhss.len());
+        let states: Vec<MultigridSolver> = (0..workers).map(|_| self.clone()).collect();
+        let mut pool = WorkerPool::new(states, move |mg: &mut MultigridSolver, _i, b: Vec<f64>| {
             let mut coarse = make_coarse();
-            self.solve(b, &mut coarse, tolerance, max_cycles)
+            mg.solve(&b, &mut coarse, tolerance, max_cycles)
         });
-        reports.into_iter().collect()
+        pool.map(rhss.to_vec()).into_iter().collect()
     }
 
     /// One multigrid cycle at `level`, improving `u` for `A_level·u = b`.

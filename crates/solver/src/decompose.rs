@@ -18,12 +18,38 @@
 //! level solver" — larger blocks need fewer (slowly converging) outer
 //! iterations.
 
-use aa_linalg::parallel::{scoped_map, ParallelConfig};
+use aa_linalg::parallel::{chunk_lengths, scoped_map, ParallelConfig, WorkerPool};
 use aa_linalg::{vector, CsrMatrix, LinearOperator, RowAccess};
 
-use crate::refine::{solve_refined, RefineConfig};
+use crate::refine::{solve_refined, RefineConfig, RefinedReport};
 use crate::solve::{AnalogSystemSolver, SolverConfig};
 use crate::SolverError;
+
+/// One worker's share of the block solvers for the Jacobi sweep pool:
+/// blocks `offset..offset + solvers.len()`, matching the contiguous
+/// [`chunk_lengths`] split [`WorkerPool::map`] routes items by — so block
+/// `i`'s rhs always reaches the worker owning block `i`'s solver.
+struct JacobiWorker {
+    offset: usize,
+    solvers: Vec<AnalogSystemSolver>,
+}
+
+/// Sweep-loop state, built once before the first sweep. Jacobi moves the
+/// block solvers into a persistent [`WorkerPool`] (threads live across all
+/// sweeps instead of being respawned per sweep); Gauss–Seidel keeps them
+/// for direct sequential access. Both reuse their rhs buffers sweep to
+/// sweep.
+enum SweepRunner {
+    Pool {
+        #[allow(clippy::type_complexity)]
+        pool: WorkerPool<JacobiWorker, Vec<f64>, (Vec<f64>, Result<RefinedReport, SolverError>)>,
+        bufs: Vec<Vec<f64>>,
+    },
+    Serial {
+        solvers: Vec<AnalogSystemSolver>,
+        scratch: Vec<f64>,
+    },
+}
 
 /// How the outer iteration uses block solutions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,11 +79,12 @@ pub struct DecomposeConfig {
     pub refine: RefineConfig,
     /// Thread-level parallelism across block solves. Block-Jacobi sweeps
     /// solve every block from the same frozen iterate, so they fan out
-    /// across scoped threads — the paper's "parallelizable across multiple
-    /// accelerators" claim — with results applied in block order, making
-    /// the outcome identical for any thread count. Block-Gauss–Seidel is
-    /// inherently sequential and ignores this setting (solver construction
-    /// still parallelizes).
+    /// across a persistent worker pool spun up once per solve — the
+    /// paper's "parallelizable across multiple accelerators" claim — with
+    /// each worker owning a fixed contiguous chunk of block solvers and
+    /// results applied in block order, making the outcome identical for
+    /// any thread count. Block-Gauss–Seidel is inherently sequential and
+    /// ignores this setting (solver construction still parallelizes).
     pub parallel: ParallelConfig,
 }
 
@@ -104,7 +131,8 @@ pub struct DecomposedReport {
 ///
 /// # Errors
 ///
-/// * [`SolverError::InvalidProblem`] on shape errors.
+/// * [`SolverError::InvalidProblem`] on shape errors, `block_size == 0`,
+///   or `max_sweeps == 0`.
 /// * [`SolverError::OuterNotConverged`] if `max_sweeps` pass above
 ///   tolerance.
 /// * Per-block solver failures.
@@ -123,6 +151,11 @@ pub fn solve_decomposed(
     if config.block_size == 0 {
         return Err(SolverError::invalid("block size must be positive"));
     }
+    // A zero sweep budget can never converge; rejecting it up front beats
+    // reporting `OuterNotConverged` with a NaN residual after zero work.
+    if config.max_sweeps == 0 {
+        return Err(SolverError::invalid("max sweeps must be positive"));
+    }
     let b_norm = vector::norm2(b).max(f64::MIN_POSITIVE);
 
     // Contiguous blocks and their compiled sub-solvers (compiled once; the
@@ -137,7 +170,7 @@ pub fn solve_decomposed(
         let indices: Vec<usize> = range.clone().collect();
         subs.push(a.submatrix(&indices)?);
     }
-    let mut block_solvers = scoped_map(subs, &config.parallel, |_, sub| {
+    let block_solvers = scoped_map(subs, &config.parallel, |_, sub| {
         AnalogSystemSolver::new(&sub, &config.solver)
     })
     .into_iter()
@@ -153,9 +186,9 @@ pub fn solve_decomposed(
     let mut x_prev = x.clone();
 
     // rhs_B = b_B − A_B,rest · x_rest with the coupling terms from outside
-    // the block.
-    let rhs_for = |range: &std::ops::Range<usize>, source: &[f64]| -> Vec<f64> {
-        let mut rhs_block = Vec::with_capacity(range.len());
+    // the block, written into a reused buffer.
+    let fill_rhs = |range: &std::ops::Range<usize>, source: &[f64], out: &mut Vec<f64>| {
+        out.clear();
         for i in range.clone() {
             let mut acc = b[i];
             a.for_each_in_row(i, &mut |j, v| {
@@ -163,40 +196,71 @@ pub fn solve_decomposed(
                     acc -= v * source[j];
                 }
             });
-            rhs_block.push(acc);
+            out.push(acc);
         }
-        rhs_block
+    };
+
+    let mut runner = match config.outer {
+        OuterMethod::BlockJacobi => {
+            // Every sweep reads the same frozen iterate, so block solves
+            // fan out across a worker pool whose threads persist for the
+            // whole solve. Solvers are partitioned by the same contiguous
+            // chunking the pool routes items with, each block solver owns
+            // its accelerator state, and results are applied in block
+            // order regardless of which worker finished first — so the
+            // outcome is bit-identical for any `max_threads`.
+            let workers = config.parallel.effective_threads(ranges.len());
+            let mut states = Vec::with_capacity(workers);
+            let mut solvers = block_solvers.into_iter();
+            let mut offset = 0;
+            for len in chunk_lengths(ranges.len(), workers) {
+                states.push(JacobiWorker {
+                    offset,
+                    solvers: solvers.by_ref().take(len).collect(),
+                });
+                offset += len;
+            }
+            let refine = config.refine;
+            SweepRunner::Pool {
+                pool: WorkerPool::new(states, move |worker, index, rhs: Vec<f64>| {
+                    let solver = &mut worker.solvers[index - worker.offset];
+                    let result = solve_refined(solver, &rhs, &refine);
+                    (rhs, result)
+                }),
+                bufs: ranges.iter().map(|r| Vec::with_capacity(r.len())).collect(),
+            }
+        }
+        OuterMethod::BlockGaussSeidel => SweepRunner::Serial {
+            solvers: block_solvers,
+            scratch: Vec::with_capacity(config.block_size),
+        },
     };
 
     for _sweep in 0..config.max_sweeps {
         sweeps += 1;
-        if config.outer == OuterMethod::BlockJacobi {
-            // Every block reads the same frozen iterate, so the sweep fans
-            // out across scoped threads. Results are applied in block order
-            // regardless of which thread finished first, and each block
-            // solver owns its accelerator state, so the outcome is
-            // bit-identical for any `max_threads`.
-            x_prev.copy_from_slice(&x);
-            let work: Vec<(&mut AnalogSystemSolver, Vec<f64>)> = block_solvers
-                .iter_mut()
-                .zip(ranges.iter().map(|range| rhs_for(range, &x_prev)))
-                .collect();
-            let refined = scoped_map(work, &config.parallel, |_, (solver, rhs_block)| {
-                solve_refined(solver, &rhs_block, &config.refine)
-            });
-            for (range, refined) in ranges.iter().zip(refined) {
-                let refined = refined?;
-                analog_time += refined.analog_time_s;
-                x[range.clone()].copy_from_slice(&refined.solution);
+        match &mut runner {
+            SweepRunner::Pool { pool, bufs } => {
+                x_prev.copy_from_slice(&x);
+                let mut batch = std::mem::take(bufs);
+                for (range, buf) in ranges.iter().zip(batch.iter_mut()) {
+                    fill_rhs(range, &x_prev, buf);
+                }
+                for (range, (buf, refined)) in ranges.iter().zip(pool.map(batch)) {
+                    bufs.push(buf);
+                    let refined = refined?;
+                    analog_time += refined.analog_time_s;
+                    x[range.clone()].copy_from_slice(&refined.solution);
+                }
             }
-        } else {
-            // Gauss–Seidel consumes fresher neighbours immediately:
-            // inherently sequential.
-            for (range, solver) in ranges.iter().zip(&mut block_solvers) {
-                let rhs_block = rhs_for(range, &x);
-                let refined = solve_refined(solver, &rhs_block, &config.refine)?;
-                analog_time += refined.analog_time_s;
-                x[range.clone()].copy_from_slice(&refined.solution);
+            SweepRunner::Serial { solvers, scratch } => {
+                // Gauss–Seidel consumes fresher neighbours immediately:
+                // inherently sequential.
+                for (range, solver) in ranges.iter().zip(solvers.iter_mut()) {
+                    fill_rhs(range, &x, scratch);
+                    let refined = solve_refined(solver, scratch, &config.refine)?;
+                    analog_time += refined.analog_time_s;
+                    x[range.clone()].copy_from_slice(&refined.solution);
+                }
             }
         }
 
@@ -363,6 +427,24 @@ mod tests {
             ..DecomposeConfig::default()
         };
         assert!(solve_decomposed(&a, &[1.0; 9], &cfg).is_err());
+    }
+
+    #[test]
+    fn zero_sweep_budget_is_rejected_up_front() {
+        // Regression: this used to run zero sweeps and report
+        // `OuterNotConverged { residual: NaN }` instead of flagging the
+        // configuration error.
+        let a = poisson_2d(3);
+        let cfg = DecomposeConfig {
+            max_sweeps: 0,
+            ..DecomposeConfig::default()
+        };
+        match solve_decomposed(&a, &[1.0; 9], &cfg) {
+            Err(SolverError::InvalidProblem { message }) => {
+                assert!(message.contains("max sweeps"), "{message}");
+            }
+            other => panic!("expected InvalidProblem, got {other:?}"),
+        }
     }
 
     #[test]

@@ -215,6 +215,13 @@ impl AnalogSystemSolver {
         self.mapped.chip_mut()
     }
 
+    /// Plan-cache activity of the underlying chip. Because `solve` only
+    /// reprograms DACs/initial conditions between runs, a long sequence of
+    /// solves against the same matrix shows exactly one lowered plan.
+    pub fn plan_stats(&self) -> aa_analog::PlanStats {
+        self.mapped.chip().plan_stats()
+    }
+
     /// Solves `A·u = b` on the accelerator with overflow-driven retry.
     ///
     /// # Errors

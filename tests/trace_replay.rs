@@ -169,6 +169,50 @@ fn decomposed_solve_journal_is_thread_count_invariant() {
     }
 }
 
+/// The persistent worker pool forks one child recorder per item and joins
+/// them in input order, so repeated maps through one pool produce the same
+/// results and the same masked trace JSON at any worker count — including
+/// the serial pool, which spawns no threads at all.
+#[test]
+fn worker_pool_replay_is_worker_count_invariant() {
+    if !obs::ENABLED {
+        return;
+    }
+    use analog_accel::linalg::WorkerPool;
+    let run = |workers: usize| {
+        let rec = MemoryRecorder::shared();
+        let mut results: Vec<Vec<u64>> = Vec::new();
+        obs::with_recorder(rec.clone(), || {
+            let mut pool = WorkerPool::new(vec![0u64; workers], |state, i, x: u64| {
+                *state += 1; // private per-worker state, never shared
+                obs::event(obs::Event::new("pool.task").with("i", i).with("x", x));
+                x * 3 + i as u64
+            });
+            for _ in 0..3 {
+                results.push(pool.map((0..10).collect()));
+            }
+        });
+        (results, rec.snapshot())
+    };
+    let (serial_results, serial) = run(1);
+    assert_eq!(serial.counter("parallel.tasks"), 30, "one count per item");
+    for workers in [2, 4] {
+        let (results, par) = run(workers);
+        assert_eq!(serial_results, results, "workers={workers}");
+        assert_eq!(
+            serial.deterministic_lines(),
+            par.deterministic_lines(),
+            "workers={workers}"
+        );
+        assert_eq!(serial.counters, par.counters, "workers={workers}");
+        assert_eq!(
+            serial.to_json_masked(),
+            par.to_json_masked(),
+            "workers={workers}"
+        );
+    }
+}
+
 /// The exported trace document is valid JSON carrying the version stamp,
 /// and the masked form is bit-identical across two same-seed replays.
 #[test]
