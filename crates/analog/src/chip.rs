@@ -200,6 +200,15 @@ impl AnalogChip {
         self.fault_plan.as_ref()
     }
 
+    /// Whether any injected fault event is active at the chip's current
+    /// lifetime instant — the health signal a fleet scheduler polls when
+    /// deciding to quarantine a chip.
+    pub fn has_active_fault(&self) -> bool {
+        self.fault_plan
+            .as_ref()
+            .is_some_and(|plan| plan.any_active(self.lifetime_s))
+    }
+
     /// Cumulative analog seconds this instance has been powered (every
     /// `exec` run plus explicit [`idle`](Self::idle) waits).
     pub fn lifetime_s(&self) -> f64 {

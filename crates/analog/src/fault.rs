@@ -330,6 +330,17 @@ impl FaultPlan {
         }
     }
 
+    /// The same event schedule under a different noise seed. A fleet hands
+    /// each chip its own seed so independently-placed copies of one fault
+    /// plan draw uncorrelated noise/bit-flip samples while keeping the
+    /// event timing identical.
+    pub fn reseeded(&self, seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            events: self.events.clone(),
+        }
+    }
+
     /// One deterministic uniform sample in `[-1, 1)` for `(seed, unit, t)`.
     fn noise_sample(&self, unit: UnitId, t: f64) -> f64 {
         let bits = mix64(self.seed ^ unit_tag(unit)).wrapping_add(t.to_bits());

@@ -15,6 +15,11 @@
 //!    speedup, with `cores`/`undersubscribed` recorded per row). A
 //!    two-thread speedup below 1.0× aborts the report on multi-core
 //!    machines and prints a loud warning on single-core ones.
+//! 4. **Fleet serving throughput** — completed solve requests per
+//!    wall-clock second through [`aa_sched::FleetService`], one chip on one
+//!    worker vs. four chips on four workers. Same gating policy as the
+//!    scaling group: the 4-chip configuration must not serve slower than
+//!    the 1-chip one, enforced only when the machine has ≥2 cores.
 //!
 //! `--quick` shrinks every problem for the CI smoke run. `--trace-out
 //! <path>` installs an [`aa_obs`] recorder around the measurements and
@@ -30,6 +35,7 @@ use aa_analog::{AnalogChip, ChipConfig, EngineOptions, EvalStrategy};
 use aa_bench::{banner, measure_cg_2d, records_to_json, validate_bench_json, BenchRecord};
 use aa_linalg::stencil::PoissonStencil;
 use aa_linalg::{CsrMatrix, ParallelConfig};
+use aa_sched::{FleetConfig, FleetService, SolveRequest};
 use aa_solver::{solve_decomposed, AnalogSystemSolver, DecomposeConfig, OuterMethod, SolverConfig};
 
 /// A stable, bounded circuit that exercises every hot unit kind: a ring of
@@ -174,6 +180,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         config: format!("{macroblocks} macroblocks, reference evaluator"),
         wall_ms: ref_s * 1e3,
         steps_per_sec: Some(ref_sps),
+        requests_per_sec: None,
         speedup_vs_serial: None,
         cores: None,
         undersubscribed: None,
@@ -183,6 +190,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         config: format!("{macroblocks} macroblocks, compiled plan"),
         wall_ms: com_s * 1e3,
         steps_per_sec: Some(com_sps),
+        requests_per_sec: None,
         speedup_vs_serial: Some(com_sps / ref_sps),
         cores: None,
         undersubscribed: None,
@@ -229,6 +237,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         ),
         wall_ms: cache_s * 1e3,
         steps_per_sec: None,
+        requests_per_sec: None,
         speedup_vs_serial: None,
         cores: None,
         undersubscribed: None,
@@ -248,6 +257,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         config: format!("poisson 2d, n={}", l * l),
         wall_ms: fig7_s * 1e3,
         steps_per_sec: None,
+        requests_per_sec: None,
         speedup_vs_serial: None,
         cores: None,
         undersubscribed: None,
@@ -265,6 +275,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         config: format!("l={cg_l}, 8-bit equal-accuracy stop"),
         wall_ms: cg_s * 1e3,
         steps_per_sec: None,
+        requests_per_sec: None,
         speedup_vs_serial: None,
         cores: None,
         undersubscribed: None,
@@ -327,6 +338,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             ),
             wall_ms: wall * 1e3,
             steps_per_sec: None,
+            requests_per_sec: None,
             speedup_vs_serial: Some(speedup),
             cores: Some(cores as u64),
             undersubscribed: Some(undersubscribed),
@@ -347,6 +359,83 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
     } else if speedup2 < 1.0 {
         println!(
             "WARNING: 2-thread speedup {speedup2:.2}x < 1.0x, but only {cores} core is \
+             available (undersubscribed — not gating)"
+        );
+    }
+
+    // 4. Fleet serving throughput: the same request stream through a
+    // one-chip fleet on one worker and a four-chip fleet on four workers.
+    // Requests share a single matrix structure, so every chip's compiled
+    // evaluation plan is lowered once and then replayed from cache — the
+    // scheduler's batching exists to preserve exactly this reuse.
+    let fleet_n = 4usize;
+    let fleet_requests = if quick { 8 } else { 24 };
+    let fleet_reps = if quick { 2 } else { 3 };
+    let a = CsrMatrix::tridiagonal(fleet_n, -1.0, 2.0, -1.0).expect("tridiagonal");
+    println!(
+        "\nfleet serving throughput (n = {fleet_n}, {fleet_requests} requests, best of {fleet_reps})"
+    );
+    let serve = |chips: usize, workers: usize| -> (f64, f64) {
+        let mut wall = f64::INFINITY;
+        for _ in 0..fleet_reps {
+            let config = FleetConfig::new(chips)
+                .with_seed(0xBE7C)
+                .with_workers(workers)
+                .with_queue_capacity(fleet_requests);
+            let mut fleet = FleetService::new(config, vec![a.clone()]).expect("fleet builds");
+            let start = Instant::now();
+            for i in 0..fleet_requests {
+                let rhs: Vec<f64> = (0..fleet_n)
+                    .map(|j| 0.5 + 0.01 * ((i + j) % 5) as f64)
+                    .collect();
+                fleet.submit(SolveRequest::new(0, rhs)).expect("admitted");
+            }
+            let served = fleet.run_until_idle();
+            assert_eq!(served, fleet_requests, "every request must be answered");
+            wall = wall.min(start.elapsed().as_secs_f64());
+        }
+        (wall, fleet_requests as f64 / wall)
+    };
+    let mut fleet_serial_rps = 0.0;
+    let mut fleet_speedup = 0.0;
+    for (chips, workers) in [(1usize, 1usize), (4, 4)] {
+        let (wall, rps) = serve(chips, workers);
+        if chips == 1 {
+            fleet_serial_rps = rps;
+        }
+        let speedup = rps / fleet_serial_rps;
+        fleet_speedup = speedup;
+        let undersubscribed = workers > cores;
+        println!(
+            "  chips = {chips}, workers = {workers}: {wall:9.4} s  ({rps:8.1} req/s, speedup {speedup:5.2}x{})",
+            if undersubscribed {
+                ", undersubscribed"
+            } else {
+                ""
+            }
+        );
+        records.push(BenchRecord {
+            bench: "fleet_throughput".to_string(),
+            config: format!("tridiagonal n={fleet_n}, chips={chips}, workers={workers}"),
+            wall_ms: wall * 1e3,
+            steps_per_sec: None,
+            requests_per_sec: Some(rps),
+            speedup_vs_serial: Some(speedup),
+            cores: Some(cores as u64),
+            undersubscribed: Some(undersubscribed),
+        });
+    }
+    // Same policy as the scaling gate: more chips on more workers must not
+    // serve slower, but only a genuinely parallel machine can enforce it.
+    if cores >= 2 {
+        assert!(
+            fleet_speedup >= 1.0,
+            "fleet_throughput regression: 4-chip speedup {fleet_speedup:.3}x < 1.0x \
+             on a {cores}-core machine"
+        );
+    } else if fleet_speedup < 1.0 {
+        println!(
+            "WARNING: 4-chip speedup {fleet_speedup:.2}x < 1.0x, but only {cores} core is \
              available (undersubscribed — not gating)"
         );
     }

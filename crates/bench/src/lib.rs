@@ -118,6 +118,9 @@ pub struct BenchRecord {
     pub wall_ms: f64,
     /// Engine integration throughput, where applicable.
     pub steps_per_sec: Option<f64>,
+    /// Fleet serving throughput (completed solve requests per wall-clock
+    /// second), where applicable.
+    pub requests_per_sec: Option<f64>,
     /// Wall-time ratio against the serial run of the same bench, where
     /// applicable.
     pub speedup_vs_serial: Option<f64>,
@@ -163,12 +166,13 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
         .map(|r| {
             format!(
                 "  {{\"bench\": \"{}\", \"config\": \"{}\", \"wall_ms\": {}, \
-                 \"steps_per_sec\": {}, \"speedup_vs_serial\": {}, \
+                 \"steps_per_sec\": {}, \"requests_per_sec\": {}, \"speedup_vs_serial\": {}, \
                  \"cores\": {}, \"undersubscribed\": {}}}",
                 json_escape(&r.bench),
                 json_escape(&r.config),
                 json_number(r.wall_ms),
                 r.steps_per_sec.map_or("null".to_string(), json_number),
+                r.requests_per_sec.map_or("null".to_string(), json_number),
                 r.speedup_vs_serial.map_or("null".to_string(), json_number),
                 r.cores.map_or("null".to_string(), |c| c.to_string()),
                 r.undersubscribed
@@ -180,11 +184,12 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
 }
 
 /// The exact key set of a `BENCH_engine.json` record.
-const BENCH_KEYS: [&str; 7] = [
+const BENCH_KEYS: [&str; 8] = [
     "bench",
     "config",
     "wall_ms",
     "steps_per_sec",
+    "requests_per_sec",
     "speedup_vs_serial",
     "cores",
     "undersubscribed",
@@ -195,8 +200,9 @@ const BENCH_KEYS: [&str; 7] = [
 /// report with garbage: the document must parse, be a non-empty array of
 /// records carrying exactly [`BENCH_KEYS`], with non-empty string `bench`,
 /// string `config`, finite non-negative `wall_ms`, `steps_per_sec` /
-/// `speedup_vs_serial` each `null` or a non-negative number, `cores` `null`
-/// or a positive integer, and `undersubscribed` `null` or a boolean.
+/// `requests_per_sec` / `speedup_vs_serial` each `null` or a non-negative
+/// number, `cores` `null` or a positive integer, and `undersubscribed`
+/// `null` or a boolean.
 pub fn validate_bench_json(text: &str) -> Result<(), String> {
     let doc = aa_obs::json::Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let rows = doc
@@ -235,7 +241,7 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 "record {i}: \"wall_ms\" must be finite and non-negative, got {wall}"
             ));
         }
-        for key in ["steps_per_sec", "speedup_vs_serial"] {
+        for key in ["steps_per_sec", "requests_per_sec", "speedup_vs_serial"] {
             let value = row.get(key).expect("presence checked above");
             if value.is_null() {
                 continue;
@@ -307,6 +313,7 @@ mod tests {
                 config: "32 macroblocks, \"compiled\"".to_string(),
                 wall_ms: 12.5,
                 steps_per_sec: Some(48000.0),
+                requests_per_sec: None,
                 speedup_vs_serial: None,
                 cores: None,
                 undersubscribed: None,
@@ -316,6 +323,7 @@ mod tests {
                 config: "threads=4".to_string(),
                 wall_ms: 3.25,
                 steps_per_sec: None,
+                requests_per_sec: Some(120.0),
                 speedup_vs_serial: Some(f64::NAN),
                 cores: Some(2),
                 undersubscribed: Some(true),
@@ -345,6 +353,7 @@ mod tests {
             config: "32 macroblocks".to_string(),
             wall_ms: 12.5,
             steps_per_sec: Some(48000.0),
+            requests_per_sec: None,
             speedup_vs_serial: None,
             cores: Some(1),
             undersubscribed: Some(false),
@@ -357,7 +366,8 @@ mod tests {
     /// it says it tests.
     fn doc_with(key: &str, value: &str) -> String {
         let base = r#"[{"bench": "x", "config": "c", "wall_ms": 1.0, "steps_per_sec": null,
-            "speedup_vs_serial": null, "cores": null, "undersubscribed": null}]"#;
+            "requests_per_sec": null, "speedup_vs_serial": null, "cores": null,
+            "undersubscribed": null}]"#;
         let needle = match key {
             "bench" => r#""bench": "x""#.to_string(),
             "config" => r#""config": "c""#.to_string(),
@@ -396,6 +406,10 @@ mod tests {
         assert!(validate_bench_json(&doc_with("bench", "\"\"")).is_err());
         // Negative speedup.
         assert!(validate_bench_json(&doc_with("speedup_vs_serial", "-2.0")).is_err());
+        // Negative or non-numeric serving throughput.
+        assert!(validate_bench_json(&doc_with("requests_per_sec", "-5.0")).is_err());
+        assert!(validate_bench_json(&doc_with("requests_per_sec", "\"fast\"")).is_err());
+        assert!(validate_bench_json(&doc_with("requests_per_sec", "120.5")).is_ok());
         // Cores must be a positive integer when present.
         assert!(validate_bench_json(&doc_with("cores", "0")).is_err());
         assert!(validate_bench_json(&doc_with("cores", "1.5")).is_err());

@@ -92,6 +92,14 @@ impl AcceleratorDesign {
         grid_points as f64 * per_variable_power_w(self.alpha())
     }
 
+    /// Energy drawn over `seconds` of solving with `grid_points` variables
+    /// active, in joules — the per-request accounting unit a fleet's
+    /// schedule log aggregates per priority class (paper Fig. 9 compares
+    /// energy per solve across design points).
+    pub fn energy_j(&self, grid_points: usize, seconds: f64) -> f64 {
+        self.power_w(grid_points) * seconds
+    }
+
     /// Die area needed to hold `grid_points` variables, in mm² (Figure 11).
     pub fn area_mm2(&self, grid_points: usize) -> f64 {
         grid_points as f64 * per_variable_area_mm2(self.alpha())

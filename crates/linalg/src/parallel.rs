@@ -220,6 +220,9 @@ fn timed<R>(run: impl FnOnce() -> R) -> R {
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 type WorkFn<S, T, R> = Arc<dyn Fn(&mut S, usize, T) -> R + Send + Sync>;
 
+/// An item kept on the calling thread: `(global_index, recorder, item)`.
+type LocalTask<T> = (usize, Option<Arc<dyn aa_obs::Recorder>>, T);
+
 /// One worker's whole chunk of a `map` call, batched into a single channel
 /// message so a sweep costs one send + one receive per worker instead of
 /// one per item.
@@ -259,6 +262,14 @@ fn run_pool_task<S, T, R>(
 /// Threads are spawned in [`WorkerPool::new`] and joined on drop, so an
 /// N-sweep solve pays thread start-up once instead of N times.
 ///
+/// `map` is itself built from a split pair the `aa-sched` dispatcher uses
+/// directly: [`try_submit`](WorkerPool::try_submit) ships the remote chunks
+/// to the spawned workers and returns immediately (the calling thread's own
+/// chunk is deferred), and [`drain`](WorkerPool::drain) runs the local
+/// chunk, collects every result, and joins the telemetry. Between the two
+/// calls the caller is free to do dispatcher-side work — admit requests,
+/// append log records — while the workers chew.
+///
 /// Each worker owns one `S` (mutable, never shared). Items are routed to
 /// workers by the same contiguous [`chunk_lengths`] split `scoped_map`
 /// uses: for `n` items and `w` workers, worker 0 always receives the first
@@ -273,6 +284,23 @@ fn run_pool_task<S, T, R>(
 /// count.
 pub struct WorkerPool<S, T, R> {
     inner: PoolInner<S, T, R>,
+    /// The round shipped by `try_submit` and not yet `drain`ed.
+    pending: Option<PendingRound<T>>,
+}
+
+/// Bookkeeping for one in-flight `try_submit` round.
+struct PendingRound<T> {
+    /// Total items submitted this round.
+    n: usize,
+    /// The calling thread's chunk: `(global_index, recorder, item)`, run
+    /// inside `drain` so it overlaps with the spawned workers.
+    local: Vec<LocalTask<T>>,
+    /// `Done` messages still owed by the spawned workers.
+    expected: usize,
+    /// Per-item recorder children, joined back (in input order) at drain.
+    task_recorders: Vec<Option<Arc<dyn aa_obs::Recorder>>>,
+    /// The recorder installed when the round was submitted.
+    parent: Option<Arc<dyn aa_obs::Recorder>>,
 }
 
 enum PoolInner<S, T, R> {
@@ -319,6 +347,7 @@ where
         if states.len() == 0 {
             return WorkerPool {
                 inner: PoolInner::Serial { state: first, f },
+                pending: None,
             };
         }
         let (done_tx, rx) = mpsc::channel::<Done<R>>();
@@ -350,6 +379,7 @@ where
                 rx,
                 handles,
             },
+            pending: None,
         }
     }
 
@@ -361,7 +391,135 @@ where
         }
     }
 
+    /// Whether a [`try_submit`](Self::try_submit) round is still awaiting
+    /// its [`drain`](Self::drain).
+    pub fn is_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Ships one round of items to the pool without blocking on results.
+    ///
+    /// Remote chunks are sent to the spawned workers immediately; the
+    /// calling thread's own chunk is held back and executed inside
+    /// [`drain`](Self::drain), so the caller can interleave its own work
+    /// with the workers'. Recorder children are forked per item (in input
+    /// order) now, from the recorder installed on the calling thread;
+    /// `drain` must therefore run on the same logical recorder scope.
+    ///
+    /// At most one round may be in flight: submitting while a round is
+    /// pending returns the items back unchanged as `Err`.
+    pub fn try_submit(&mut self, items: Vec<T>) -> Result<(), Vec<T>> {
+        if self.pending.is_some() {
+            return Err(items);
+        }
+        let n = items.len();
+        let parent = aa_obs::current();
+        let task_recorders: Vec<Option<Arc<dyn aa_obs::Recorder>>> = match &parent {
+            Some(p) => (0..n).map(|i| Some(p.fork(i))).collect(),
+            None => (0..n).map(|_| None).collect(),
+        };
+        let mut tasks = task_recorders
+            .iter()
+            .cloned()
+            .zip(items)
+            .enumerate()
+            .map(|(i, (rec, item))| (i, rec, item));
+        let (local, expected) = match &mut self.inner {
+            PoolInner::Serial { .. } => (tasks.collect(), 0),
+            PoolInner::Threads { txs, .. } => {
+                let lens = chunk_lengths(n, txs.len() + 1);
+                let local: Vec<_> = tasks.by_ref().take(lens[0]).collect();
+                let mut base = lens[0];
+                let mut expected = 0;
+                for (w, len) in lens[1..].iter().copied().enumerate() {
+                    if len > 0 {
+                        let chunk: Vec<_> =
+                            tasks.by_ref().take(len).map(|(_, r, t)| (r, t)).collect();
+                        txs[w]
+                            .send(Job { base, tasks: chunk })
+                            .expect("worker pool thread exited");
+                        expected += 1;
+                    }
+                    base += len;
+                }
+                (local, expected)
+            }
+        };
+        self.pending = Some(PendingRound {
+            n,
+            local,
+            expected,
+            task_recorders,
+            parent,
+        });
+        Ok(())
+    }
+
+    /// Completes the in-flight [`try_submit`](Self::try_submit) round: runs
+    /// the calling thread's chunk, collects every worker's results, joins
+    /// the forked recorders in input order, and returns the results in
+    /// input order. Returns an empty vector when no round is pending.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panicked for one or more items, re-raises the payload of the
+    /// lowest-indexed one via [`std::panic::resume_unwind`] after all items
+    /// finished and telemetry was joined.
+    pub fn drain(&mut self) -> Vec<R> {
+        let Some(round) = self.pending.take() else {
+            return Vec::new();
+        };
+        let PendingRound {
+            n,
+            local,
+            expected,
+            task_recorders,
+            parent,
+        } = round;
+        let mut slots: Vec<Option<Result<R, PanicPayload>>> = (0..n).map(|_| None).collect();
+        match &mut self.inner {
+            PoolInner::Serial { state, f } => {
+                for (i, rec, item) in local {
+                    slots[i] = Some(run_pool_task(f, state, i, rec, item));
+                }
+            }
+            PoolInner::Threads {
+                local: state,
+                f,
+                rx,
+                ..
+            } => {
+                for (i, rec, item) in local {
+                    slots[i] = Some(run_pool_task(f, state, i, rec, item));
+                }
+                for _ in 0..expected {
+                    let done = rx.recv().expect("worker pool result channel closed");
+                    for (k, result) in done.results.into_iter().enumerate() {
+                        slots[done.base + k] = Some(result);
+                    }
+                }
+            }
+        }
+        if let Some(parent) = parent {
+            parent.join(task_recorders.into_iter().flatten().collect());
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut panic: Option<PanicPayload> = None;
+        for slot in slots {
+            match slot.expect("worker pool missed an item") {
+                Ok(r) => out.push(r),
+                Err(payload) => panic = panic.or(Some(payload)),
+            }
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        out
+    }
+
     /// Runs every item through the pool, returning results in input order.
+    /// Equivalent to [`try_submit`](Self::try_submit) immediately followed
+    /// by [`drain`](Self::drain).
     ///
     /// Item `i` of an `n`-item call goes to the worker owning position `i`
     /// of the `chunk_lengths(n, workers)` split. Recorder children are
@@ -370,82 +528,14 @@ where
     ///
     /// # Panics
     ///
-    /// If `f` panicked for one or more items, re-raises the payload of the
-    /// lowest-indexed one via [`std::panic::resume_unwind`] after all items
-    /// finished and telemetry was joined.
+    /// Panics if a round is already in flight, or — like `drain` — with the
+    /// lowest-indexed item's payload when `f` panicked.
     pub fn map(&mut self, items: Vec<T>) -> Vec<R> {
-        let n = items.len();
-        match &mut self.inner {
-            PoolInner::Serial { state, f } => {
-                let recorder = aa_obs::current();
-                let mut out = Vec::with_capacity(n);
-                for (i, item) in items.into_iter().enumerate() {
-                    match &recorder {
-                        Some(parent) => {
-                            let child = parent.fork(i);
-                            out.push(aa_obs::with_recorder(child.clone(), || {
-                                timed(|| f(state, i, item))
-                            }));
-                            parent.join(vec![child]);
-                        }
-                        None => out.push(timed(|| f(state, i, item))),
-                    }
-                }
-                out
-            }
-            PoolInner::Threads {
-                local, f, txs, rx, ..
-            } => {
-                let recorder = aa_obs::current();
-                let task_recorders: Vec<Option<Arc<dyn aa_obs::Recorder>>> = match &recorder {
-                    Some(parent) => (0..n).map(|i| Some(parent.fork(i))).collect(),
-                    None => (0..n).map(|_| None).collect(),
-                };
-                let lens = chunk_lengths(n, txs.len() + 1);
-                let mut tasks = task_recorders.iter().cloned().zip(items);
-                let local_tasks: Vec<_> = tasks.by_ref().take(lens[0]).collect();
-                // Ship the remote chunks first so the spawned workers run
-                // while the calling thread chews through chunk 0.
-                let mut base = lens[0];
-                let mut expected = 0;
-                for (w, len) in lens[1..].iter().copied().enumerate() {
-                    if len > 0 {
-                        let chunk: Vec<_> = tasks.by_ref().take(len).collect();
-                        txs[w]
-                            .send(Job { base, tasks: chunk })
-                            .expect("worker pool thread exited");
-                        expected += 1;
-                    }
-                    base += len;
-                }
-                let mut slots: Vec<Option<Result<R, PanicPayload>>> =
-                    (0..n).map(|_| None).collect();
-                for (k, (rec, payload)) in local_tasks.into_iter().enumerate() {
-                    slots[k] = Some(run_pool_task(f, local, k, rec, payload));
-                }
-                for _ in 0..expected {
-                    let done = rx.recv().expect("worker pool result channel closed");
-                    for (k, result) in done.results.into_iter().enumerate() {
-                        slots[done.base + k] = Some(result);
-                    }
-                }
-                if let Some(parent) = recorder {
-                    parent.join(task_recorders.into_iter().flatten().collect());
-                }
-                let mut out = Vec::with_capacity(n);
-                let mut panic: Option<PanicPayload> = None;
-                for slot in slots {
-                    match slot.expect("worker pool missed an item") {
-                        Ok(r) => out.push(r),
-                        Err(payload) => panic = panic.or(Some(payload)),
-                    }
-                }
-                if let Some(payload) = panic {
-                    resume_unwind(payload);
-                }
-                out
-            }
-        }
+        assert!(
+            self.try_submit(items).is_ok(),
+            "WorkerPool::map called with a submitted round still pending"
+        );
+        self.drain()
     }
 }
 
@@ -634,6 +724,70 @@ mod tests {
         );
         // The pool is still usable after a panicking map.
         assert_eq!(pool.map(vec![1, 2, 3]), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn pool_try_submit_drain_matches_map() {
+        for workers in [1usize, 2, 3, 4] {
+            let mut pool = WorkerPool::new(vec![(); workers], |_, i, x: usize| i * 100 + x);
+            assert!(!pool.is_pending());
+            assert!(pool.try_submit((0..11).collect()).is_ok());
+            assert!(pool.is_pending());
+            // A second submit while pending hands the items back untouched.
+            let rejected = pool
+                .try_submit(vec![77, 88])
+                .expect_err("second submit must be refused");
+            assert_eq!(rejected, vec![77, 88], "workers={workers}");
+            let got = pool.drain();
+            assert!(!pool.is_pending());
+            let want: Vec<usize> = (0..11).map(|x| x * 100 + x).collect();
+            assert_eq!(got, want, "workers={workers}");
+            // After draining, the pool is ready for the next round — and
+            // map still works on the same pool.
+            assert!(pool.try_submit(vec![5]).is_ok());
+            assert_eq!(pool.drain(), vec![5]);
+            assert_eq!(pool.map(vec![2]), vec![2]);
+        }
+    }
+
+    #[test]
+    fn pool_drain_without_submit_is_empty() {
+        let mut pool = WorkerPool::new(vec![(); 2], |_, _i, x: usize| x);
+        assert!(pool.drain().is_empty());
+        assert_eq!(pool.map(vec![9]), vec![9]);
+    }
+
+    #[test]
+    fn pool_split_rounds_share_the_map_journal() {
+        if !aa_obs::ENABLED {
+            return;
+        }
+        let body = |_: &mut (), i: usize, x: usize| {
+            aa_obs::event(aa_obs::Event::new("pool.task").with("i", i).with("x", x));
+            x + 1
+        };
+        let via_map = {
+            let rec = aa_obs::MemoryRecorder::shared();
+            aa_obs::with_recorder(rec.clone(), || {
+                let mut pool = WorkerPool::new(vec![(); 3], body);
+                pool.map((0..9).collect());
+            });
+            rec.snapshot()
+        };
+        let via_split = {
+            let rec = aa_obs::MemoryRecorder::shared();
+            aa_obs::with_recorder(rec.clone(), || {
+                let mut pool = WorkerPool::new(vec![(); 3], body);
+                pool.try_submit((0..9).collect()).unwrap();
+                pool.drain();
+            });
+            rec.snapshot()
+        };
+        assert_eq!(
+            via_map.deterministic_lines(),
+            via_split.deterministic_lines()
+        );
+        assert_eq!(via_map.to_json_masked(), via_split.to_json_masked());
     }
 
     #[test]

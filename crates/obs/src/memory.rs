@@ -185,6 +185,12 @@ impl TraceSnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// The structured events of one kind, in recording order — e.g.
+    /// `events_of_kind("sched.quarantine")` to audit a fleet run.
+    pub fn events_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Event> {
+        self.events().filter(move |e| e.kind == kind)
+    }
+
     /// Serializes the full trace, wall clocks included.
     pub fn to_json(&self) -> String {
         self.render_json(false)

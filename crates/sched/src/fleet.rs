@@ -1,0 +1,472 @@
+//! The chip fleet: per-chip solver state living inside worker threads,
+//! plus the dispatcher-side health bookkeeping that decides placement.
+//!
+//! Each fleet chip is an independently-seeded accelerator instance: its
+//! process variation (and any injected fault plan) is derived from the
+//! fleet's base seed and the chip index, so chips age and fail
+//! independently yet the whole fleet replays bit-identically from one
+//! seed. A chip keeps one [`SupervisedSolver`] per registered structure —
+//! persistent across rounds, so batching same-structure requests onto one
+//! chip hits its compiled-plan cache (PR 4) instead of re-lowering.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use aa_analog::fault::FaultPlan;
+use aa_hwmodel::design::AcceleratorDesign;
+use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
+use aa_linalg::rng::mix64;
+use aa_linalg::{vector, CsrMatrix, LinearOperator};
+use aa_solver::{FinalPath, RecoveryConfig, SolverConfig, SupervisedSolver};
+
+use crate::request::CompletionPath;
+
+/// Health-scoring policy: an exponentially-weighted failure score per chip
+/// with a quarantine threshold and a timed re-admission probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// EWMA smoothing factor in `(0, 1]`: weight of the newest outcome.
+    pub alpha: f64,
+    /// Score at or above which a chip is pulled from rotation.
+    pub quarantine_threshold: f64,
+    /// Rounds a quarantined chip sits out before it gets one probe
+    /// request; a clean probe re-admits it, a dirty one re-quarantines.
+    pub readmit_after_rounds: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            alpha: 0.5,
+            quarantine_threshold: 0.7,
+            readmit_after_rounds: 4,
+        }
+    }
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of accelerator chips.
+    pub chips: usize,
+    /// Worker threads driving them; `0` means one worker per chip. The
+    /// schedule is worker-count-invariant — this only changes wall-clock.
+    pub workers: usize,
+    /// Base seed; chip `i`'s variation and fault seeds derive from it.
+    pub base_seed: u64,
+    /// Bounded queue capacity; admission rejects `QueueFull` beyond it.
+    pub queue_capacity: usize,
+    /// Most requests placed on one chip per round. Same-structure requests
+    /// are preferred within a batch to hit the chip's compiled-plan cache.
+    pub batch_size: usize,
+    /// Solver template applied to every chip (the per-chip noise seed is
+    /// overridden from `base_seed`).
+    pub solver: SolverConfig,
+    /// Recovery policy each chip's supervisor runs per solve.
+    pub recovery: RecoveryConfig,
+    /// Hardware design point used for deadline estimates and the
+    /// schedule log's energy accounting.
+    pub design: AcceleratorDesign,
+    /// Health-scoring policy.
+    pub health: HealthConfig,
+    /// Relative-residual tolerance of the digital (CG) lanes.
+    pub fallback_tolerance: f64,
+    /// Fault plans installed at construction: `(chip, plan)`. Each plan is
+    /// [`reseeded`](FaultPlan::reseeded) with the chip's fleet seed so
+    /// copies of one plan draw independent noise on different chips.
+    pub fault_plans: Vec<(usize, FaultPlan)>,
+}
+
+impl FleetConfig {
+    /// A fleet of `chips` ideal accelerators with default policies.
+    pub fn new(chips: usize) -> Self {
+        FleetConfig {
+            chips,
+            workers: 0,
+            base_seed: 0x5EED_F1EE7,
+            queue_capacity: 64,
+            batch_size: 4,
+            solver: SolverConfig::ideal(),
+            recovery: RecoveryConfig::default(),
+            design: AcceleratorDesign::prototype_20khz(),
+            health: HealthConfig::default(),
+            fallback_tolerance: 1e-8,
+            fault_plans: Vec::new(),
+        }
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = one per chip).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Bounds the request queue.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Installs a fault plan on one chip (fleet-reseeded at construction).
+    pub fn with_fault_plan(mut self, chip: usize, plan: FaultPlan) -> Self {
+        self.fault_plans.push((chip, plan));
+        self
+    }
+
+    /// The deterministic per-chip seed: `base_seed` mixed with the index.
+    pub fn chip_seed(&self, chip: usize) -> u64 {
+        mix64(self.base_seed ^ mix64(chip as u64 + 1))
+    }
+
+    /// The effective worker count.
+    pub fn effective_workers(&self) -> usize {
+        let w = if self.workers == 0 {
+            self.chips
+        } else {
+            self.workers
+        };
+        w.max(1)
+    }
+}
+
+/// Dispatcher-visible chip lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChipState {
+    /// In rotation.
+    Healthy,
+    /// Out of rotation since the recorded round.
+    Quarantined {
+        /// Round the quarantine decision was made.
+        since_round: u64,
+    },
+    /// Receiving one probe request this round; the outcome decides
+    /// re-admission.
+    Probation,
+}
+
+/// Dispatcher-side health record of one chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipHealth {
+    /// EWMA failure score in `[0, 1]`; `0` is perfectly healthy.
+    pub score: f64,
+    /// Lifecycle state.
+    pub state: ChipState,
+    /// Requests this chip has served.
+    pub solves: usize,
+    /// Times this chip has been quarantined.
+    pub quarantines: usize,
+}
+
+impl ChipHealth {
+    pub(crate) fn new() -> Self {
+        ChipHealth {
+            score: 0.0,
+            state: ChipState::Healthy,
+            solves: 0,
+            quarantines: 0,
+        }
+    }
+
+    /// Whether the dispatcher may place regular traffic on this chip.
+    pub fn in_rotation(&self) -> bool {
+        matches!(self.state, ChipState::Healthy | ChipState::Probation)
+    }
+}
+
+/// The failure weight of one completion path, fed into the EWMA score.
+pub(crate) fn outcome_weight(path: CompletionPath) -> f64 {
+    match path {
+        CompletionPath::Analog => 0.0,
+        CompletionPath::AnalogAfterRecovery => 0.4,
+        CompletionPath::DeadlineFallback => 0.5,
+        CompletionPath::DigitalFallback => 1.0,
+        // Never produced by a chip; listed for exhaustiveness.
+        CompletionPath::DigitalOnly => 0.0,
+    }
+}
+
+/// One request as placed on a chip: `(ticket, structure, rhs, deadline)`.
+pub(crate) type Assignment = (u64, usize, Vec<f64>, Option<f64>);
+
+/// The per-round work item routed to one chip — possibly empty, so every
+/// round ships exactly one item per chip and the worker-pool routing stays
+/// worker-count-invariant.
+#[derive(Debug, Default)]
+pub(crate) struct ChipJob {
+    pub assignments: Vec<Assignment>,
+}
+
+/// What a chip reports back for one assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ChipOutcome {
+    pub ticket: u64,
+    pub solution: Vec<f64>,
+    pub path: CompletionPath,
+    pub residual: f64,
+    pub analog_time_s: f64,
+}
+
+/// One physical accelerator: the solver instances bound to it, its fault
+/// plan, and its identity. Lives inside a worker thread's state.
+pub(crate) struct ChipSlot {
+    pub index: usize,
+    config: SolverConfig,
+    recovery: RecoveryConfig,
+    fault_plan: Option<FaultPlan>,
+    structures: Arc<Vec<CsrMatrix>>,
+    /// One persistent supervised solver per structure this chip has seen —
+    /// the unit of compiled-plan reuse.
+    solvers: BTreeMap<usize, SupervisedSolver>,
+    fallback_tolerance: f64,
+}
+
+impl ChipSlot {
+    pub fn new(config: &FleetConfig, index: usize, structures: Arc<Vec<CsrMatrix>>) -> Self {
+        let mut solver_cfg = config.solver.clone();
+        solver_cfg.nonideal = solver_cfg.nonideal.with_seed(config.chip_seed(index));
+        let fault_plan = config
+            .fault_plans
+            .iter()
+            .filter(|(chip, _)| *chip == index)
+            .map(|(_, plan)| plan.reseeded(config.chip_seed(index) ^ plan.seed()))
+            .next_back();
+        ChipSlot {
+            index,
+            config: solver_cfg,
+            recovery: config.recovery.clone(),
+            fault_plan,
+            structures,
+            solvers: BTreeMap::new(),
+            fallback_tolerance: config.fallback_tolerance,
+        }
+    }
+
+    /// Serves one round's batch, in assignment order.
+    pub fn run(&mut self, job: ChipJob) -> Vec<ChipOutcome> {
+        job.assignments
+            .into_iter()
+            .map(|(ticket, structure, rhs, deadline_s)| {
+                let outcome = self.serve(ticket, structure, &rhs, deadline_s);
+                aa_obs::event(
+                    aa_obs::Event::new("sched.solve")
+                        .with("ticket", ticket)
+                        .with("chip", self.index)
+                        .with("path", outcome.path.label()),
+                );
+                aa_obs::counter("sched.chip_solves", 1);
+                outcome
+            })
+            .collect()
+    }
+
+    fn serve(
+        &mut self,
+        ticket: u64,
+        structure: usize,
+        rhs: &[f64],
+        deadline_s: Option<f64>,
+    ) -> ChipOutcome {
+        let matrix = &self.structures[structure];
+        if !self.solvers.contains_key(&structure) {
+            match SupervisedSolver::new(matrix, &self.config, &self.recovery) {
+                Ok(mut solver) => {
+                    if let Some(plan) = &self.fault_plan {
+                        solver.inject_faults(plan.clone());
+                    }
+                    self.solvers.insert(structure, solver);
+                }
+                Err(_) => {
+                    // The structure cannot be mapped onto this chip at all;
+                    // the digital lane still owes the client an answer.
+                    return self.digital(
+                        ticket,
+                        structure,
+                        rhs,
+                        CompletionPath::DigitalFallback,
+                        0.0,
+                    );
+                }
+            }
+        }
+        let solver = self.solvers.get_mut(&structure).expect("inserted above");
+        match solver.solve(rhs) {
+            Ok(report) => {
+                let analog_time_s = report.recovery.analog_time_s();
+                let path = match report.recovery.final_path {
+                    FinalPath::Analog => CompletionPath::Analog,
+                    FinalPath::AnalogAfterRecovery => CompletionPath::AnalogAfterRecovery,
+                    FinalPath::DigitalFallback => CompletionPath::DigitalFallback,
+                };
+                if path.is_analog() {
+                    if let Some(deadline) = deadline_s {
+                        if analog_time_s > deadline {
+                            // The analog answer exists but arrived past its
+                            // budget; serve the digital lane's instead.
+                            return self.digital(
+                                ticket,
+                                structure,
+                                rhs,
+                                CompletionPath::DeadlineFallback,
+                                analog_time_s,
+                            );
+                        }
+                    }
+                }
+                ChipOutcome {
+                    ticket,
+                    solution: report.solution,
+                    path,
+                    residual: report.recovery.final_residual,
+                    analog_time_s,
+                }
+            }
+            Err(_) => self.digital(ticket, structure, rhs, CompletionPath::DigitalFallback, 0.0),
+        }
+    }
+
+    /// The chip-local digital lane: CG to the fallback tolerance.
+    fn digital(
+        &self,
+        ticket: u64,
+        structure: usize,
+        rhs: &[f64],
+        path: CompletionPath,
+        analog_time_s: f64,
+    ) -> ChipOutcome {
+        let (solution, residual) =
+            digital_lane(&self.structures[structure], rhs, self.fallback_tolerance);
+        ChipOutcome {
+            ticket,
+            solution,
+            path,
+            residual,
+            analog_time_s,
+        }
+    }
+}
+
+/// Solves `A·u = b` digitally (CG) and returns `(solution, rel_residual)`.
+/// Shared by the chip-local fallback and the dispatcher's all-quarantined
+/// lane.
+pub(crate) fn digital_lane(a: &CsrMatrix, b: &[f64], tolerance: f64) -> (Vec<f64>, f64) {
+    let cfg = IterativeConfig {
+        stopping: StoppingCriterion::RelativeResidual(tolerance),
+        ..IterativeConfig::default()
+    };
+    match cg(a, b, &cfg) {
+        Ok(report) => {
+            let bnorm = vector::norm2(b);
+            let rel = if bnorm > 0.0 {
+                vector::norm2(&a.residual(&report.solution, b)) / bnorm
+            } else {
+                0.0
+            };
+            (report.solution, rel)
+        }
+        // CG only errors on structural mismatch, which admission already
+        // rejected; keep the lane total anyway.
+        Err(_) => (vec![0.0; b.len()], f64::INFINITY),
+    }
+}
+
+/// One worker thread's state: the contiguous run of chip slots it owns.
+/// The dispatcher ships exactly one [`ChipJob`] per chip per round, so the
+/// worker pool's `chunk_lengths` routing sends chip `i`'s job to the
+/// worker whose slot range contains `i` — forever, at any worker count.
+pub(crate) struct WorkerState {
+    pub offset: usize,
+    pub slots: Vec<ChipSlot>,
+}
+
+impl WorkerState {
+    /// Partitions `chips` slots over `workers` states, mirroring
+    /// [`aa_linalg::chunk_lengths`].
+    pub fn partition(config: &FleetConfig, structures: &Arc<Vec<CsrMatrix>>) -> Vec<WorkerState> {
+        let lens = aa_linalg::chunk_lengths(config.chips, config.effective_workers());
+        let mut offset = 0;
+        lens.iter()
+            .map(|&len| {
+                let state = WorkerState {
+                    offset,
+                    slots: (offset..offset + len)
+                        .map(|i| ChipSlot::new(config, i, Arc::clone(structures)))
+                        .collect(),
+                };
+                offset += len;
+                state
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_seeds_are_distinct_and_deterministic() {
+        let cfg = FleetConfig::new(4).with_seed(7);
+        let seeds: Vec<u64> = (0..4).map(|i| cfg.chip_seed(i)).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(seeds[i], seeds[j], "chips {i} and {j} share a seed");
+            }
+        }
+        assert_eq!(seeds, (0..4).map(|i| cfg.chip_seed(i)).collect::<Vec<_>>());
+        assert_ne!(seeds[0], FleetConfig::new(4).with_seed(8).chip_seed(0));
+    }
+
+    #[test]
+    fn effective_workers_defaults_to_chip_count() {
+        assert_eq!(FleetConfig::new(3).effective_workers(), 3);
+        assert_eq!(FleetConfig::new(3).with_workers(2).effective_workers(), 2);
+        assert_eq!(FleetConfig::new(0).effective_workers(), 1);
+    }
+
+    #[test]
+    fn outcome_weights_order_paths_by_severity() {
+        assert!(outcome_weight(CompletionPath::Analog) == 0.0);
+        assert!(
+            outcome_weight(CompletionPath::AnalogAfterRecovery)
+                < outcome_weight(CompletionPath::DeadlineFallback)
+        );
+        assert!(
+            outcome_weight(CompletionPath::DeadlineFallback)
+                < outcome_weight(CompletionPath::DigitalFallback)
+        );
+    }
+
+    #[test]
+    fn worker_partition_covers_all_chips_contiguously() {
+        let structures = Arc::new(vec![CsrMatrix::tridiagonal(3, -1.0, 2.0, -1.0).unwrap()]);
+        for workers in [1usize, 2, 3, 4, 8] {
+            let cfg = FleetConfig::new(5).with_workers(workers);
+            let states = WorkerState::partition(&cfg, &structures);
+            assert_eq!(states.len(), workers);
+            let mut next = 0;
+            for state in &states {
+                assert_eq!(state.offset, next);
+                for (k, slot) in state.slots.iter().enumerate() {
+                    assert_eq!(slot.index, state.offset + k);
+                }
+                next += state.slots.len();
+            }
+            assert_eq!(next, 5, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn digital_lane_meets_tolerance() {
+        let a = CsrMatrix::tridiagonal(6, -1.0, 2.0, -1.0).unwrap();
+        let b = vec![1.0; 6];
+        let (x, rel) = digital_lane(&a, &b, 1e-9);
+        assert_eq!(x.len(), 6);
+        assert!(rel <= 1e-9, "rel={rel}");
+    }
+}

@@ -1,0 +1,50 @@
+//! # aa-sched — chip-fleet scheduler for the analog accelerator
+//!
+//! The paper evaluates a single 20 kHz prototype, but its design-space
+//! projections (Table II) describe *fleets* of analog tiles each solving
+//! an `A·u = b` instance. This crate turns the repo's single-shot solver
+//! stack into that serving shape: a [`FleetService`] owning N
+//! independently-seeded chips behind a bounded priority queue.
+//!
+//! The moving parts:
+//!
+//! * **Admission control** — [`FleetService::submit`] validates each
+//!   [`SolveRequest`] and applies backpressure with typed [`Rejected`]
+//!   verdicts (`QueueFull`, `DeadlineInfeasible`, …) instead of panicking
+//!   or queueing unboundedly.
+//! * **Deadlines** — a request may carry a budget of *simulated analog
+//!   seconds*. Budgets below the structure's predicted solve time
+//!   ([`aa_solver::estimate`]) are refused up front; budgets exceeded at
+//!   solve time are answered by the digital (CG) lane instead
+//!   ([`CompletionPath::DeadlineFallback`]) — the paper's hybrid story at
+//!   the fleet level.
+//! * **Health-aware placement** — each chip's supervised recovery
+//!   outcomes feed an EWMA failure score; chips crossing the quarantine
+//!   threshold leave rotation, sit out, then earn re-admission through a
+//!   single probe request ([`ChipState`]).
+//! * **Plan-cache-aware batching** — same-structure requests are batched
+//!   onto one chip so its compiled-plan cache (PR 4) is hit across the
+//!   batch.
+//! * **Deterministic replay** — all scheduling decisions run on the
+//!   dispatcher thread; worker threads (one pool lane per chip group via
+//!   [`aa_linalg::WorkerPool`]) only execute placed batches. Two same-seed
+//!   runs produce equal [`ScheduleLog`]s and identical `aa-obs` journals
+//!   at any worker count.
+//! * **Energy accounting** — completions carry joules from the
+//!   [`aa_hwmodel`] power model, aggregated per priority class in the
+//!   log (the paper's Fig. 9 energy/solve metric, per class).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod fleet;
+mod log;
+mod request;
+mod service;
+
+pub use fleet::{ChipHealth, ChipState, FleetConfig, HealthConfig};
+pub use log::{ScheduleEvent, ScheduleLog};
+pub use request::{
+    Completion, CompletionPath, Priority, Rejected, SolveRequest, SolveTicket, PRIORITY_CLASSES,
+};
+pub use service::{FleetService, SchedError};

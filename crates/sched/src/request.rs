@@ -1,0 +1,272 @@
+//! Requests, tickets, admission verdicts, and completions — the service's
+//! client-facing vocabulary.
+
+/// Priority class of a [`SolveRequest`]. Higher classes are dispatched
+/// first within a round; ties break by admission order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Latency-sensitive traffic, always scheduled first.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Background traffic, scheduled only after the other classes.
+    Low,
+}
+
+/// All classes, in dispatch order. Indexable by [`Priority::rank`].
+pub const PRIORITY_CLASSES: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+impl Priority {
+    /// Dispatch rank: `0` is served first.
+    pub fn rank(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Short stable label used in telemetry and the schedule log.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// One `A·u = b` instance submitted to the fleet. The matrix is referenced
+/// by the index it was registered under at
+/// [`FleetService::new`](crate::FleetService::new) — a chip's compiled-plan
+/// cache is keyed by structure, so same-structure requests batch onto one
+/// chip and reuse its lowered plan.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// Index of the registered coefficient matrix.
+    pub structure: usize,
+    /// Right-hand side; must match the structure's dimension.
+    pub rhs: Vec<f64>,
+    /// Priority class.
+    pub priority: Priority,
+    /// Optional budget of **simulated analog seconds** for this request.
+    /// A request whose analog solve exceeds the budget is answered by the
+    /// digital lane instead (see
+    /// [`CompletionPath::DeadlineFallback`]); a request whose budget is
+    /// below the structure's predicted solve time is rejected at admission.
+    pub deadline_s: Option<f64>,
+}
+
+impl SolveRequest {
+    /// A normal-priority request with no deadline.
+    pub fn new(structure: usize, rhs: Vec<f64>) -> Self {
+        SolveRequest {
+            structure,
+            rhs,
+            priority: Priority::Normal,
+            deadline_s: None,
+        }
+    }
+
+    /// Sets the priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the analog-deadline budget, in simulated chip-lifetime seconds.
+    pub fn with_deadline_s(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+}
+
+/// Receipt for an admitted request; redeem it with
+/// [`FleetService::completion`](crate::FleetService::completion) once the
+/// dispatch loop has run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SolveTicket(pub u64);
+
+/// Typed admission-control verdicts. Rejection is backpressure, not an
+/// error: the request was never enqueued and the caller may retry later,
+/// relax the deadline, or shed the load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rejected {
+    /// The bounded queue is at capacity.
+    QueueFull {
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
+    /// The requested analog deadline is below the structure's predicted
+    /// solve time — it could never be met, so it is refused up front.
+    DeadlineInfeasible {
+        /// What the request asked for.
+        deadline_s: f64,
+        /// The fleet's prediction for this structure.
+        estimate_s: f64,
+    },
+    /// The request referenced a structure index that was never registered.
+    UnknownStructure {
+        /// The out-of-range index.
+        structure: usize,
+    },
+    /// The right-hand side length does not match the structure's dimension.
+    RhsLengthMismatch {
+        /// The structure's dimension.
+        expected: usize,
+        /// The submitted length.
+        got: usize,
+    },
+}
+
+impl Rejected {
+    /// Short stable label used in telemetry and the schedule log.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rejected::QueueFull { .. } => "queue_full",
+            Rejected::DeadlineInfeasible { .. } => "deadline_infeasible",
+            Rejected::UnknownStructure { .. } => "unknown_structure",
+            Rejected::RhsLengthMismatch { .. } => "rhs_length_mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "request queue is full ({capacity} entries)")
+            }
+            Rejected::DeadlineInfeasible {
+                deadline_s,
+                estimate_s,
+            } => write!(
+                f,
+                "deadline {deadline_s} s is below the predicted solve time {estimate_s} s"
+            ),
+            Rejected::UnknownStructure { structure } => {
+                write!(f, "structure index {structure} was never registered")
+            }
+            Rejected::RhsLengthMismatch { expected, got } => {
+                write!(f, "rhs has {got} entries, structure needs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// How an accepted request's answer was ultimately produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionPath {
+    /// First analog attempt on the placed chip passed validation.
+    Analog,
+    /// Analog succeeded after the chip's supervisor ran recovery actions.
+    AnalogAfterRecovery,
+    /// The chip's analog recovery was exhausted; its supervisor's digital
+    /// fallback produced the answer.
+    DigitalFallback,
+    /// Analog answered, but past the request's deadline budget — the
+    /// digital lane's answer was served instead.
+    DeadlineFallback,
+    /// No healthy chip was available; the dispatcher served the request
+    /// from the digital lane directly.
+    DigitalOnly,
+}
+
+impl CompletionPath {
+    /// Short stable label used in telemetry and the schedule log.
+    pub fn label(self) -> &'static str {
+        match self {
+            CompletionPath::Analog => "analog",
+            CompletionPath::AnalogAfterRecovery => "analog_after_recovery",
+            CompletionPath::DigitalFallback => "digital_fallback",
+            CompletionPath::DeadlineFallback => "deadline_fallback",
+            CompletionPath::DigitalOnly => "digital_only",
+        }
+    }
+
+    /// Whether the served answer came out of the analog array.
+    pub fn is_analog(self) -> bool {
+        matches!(
+            self,
+            CompletionPath::Analog | CompletionPath::AnalogAfterRecovery
+        )
+    }
+}
+
+/// The resolved outcome of one admitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The ticket this completion settles.
+    pub ticket: SolveTicket,
+    /// The registered structure that was solved.
+    pub structure: usize,
+    /// The request's priority class.
+    pub priority: Priority,
+    /// The accepted solution vector.
+    pub solution: Vec<f64>,
+    /// How the answer was produced.
+    pub path: CompletionPath,
+    /// Relative residual `‖b − A·u‖ / ‖b‖` of the served answer.
+    pub residual: f64,
+    /// Simulated analog seconds burned on the placed chip (including
+    /// rejected recovery attempts), `0` for [`CompletionPath::DigitalOnly`].
+    pub analog_time_s: f64,
+    /// Energy drawn from the placed chip, joules (power model ×
+    /// `analog_time_s`).
+    pub energy_j: f64,
+    /// The chip that served it; `None` for [`CompletionPath::DigitalOnly`].
+    pub chip: Option<usize>,
+    /// The dispatch round it completed in.
+    pub round: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ranks_and_labels_are_stable() {
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Low);
+        for (i, class) in PRIORITY_CLASSES.iter().enumerate() {
+            assert_eq!(class.rank(), i);
+        }
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert_eq!(Priority::High.label(), "high");
+    }
+
+    #[test]
+    fn request_builder_sets_fields() {
+        let r = SolveRequest::new(2, vec![1.0, 2.0])
+            .with_priority(Priority::Low)
+            .with_deadline_s(0.5);
+        assert_eq!(r.structure, 2);
+        assert_eq!(r.priority, Priority::Low);
+        assert_eq!(r.deadline_s, Some(0.5));
+    }
+
+    #[test]
+    fn rejection_labels_and_messages() {
+        let r = Rejected::QueueFull { capacity: 4 };
+        assert_eq!(r.label(), "queue_full");
+        assert!(r.to_string().contains('4'));
+        let d = Rejected::DeadlineInfeasible {
+            deadline_s: 0.1,
+            estimate_s: 0.2,
+        };
+        assert_eq!(d.label(), "deadline_infeasible");
+        assert!(d.to_string().contains("0.2"));
+    }
+
+    #[test]
+    fn completion_path_analog_split() {
+        assert!(CompletionPath::Analog.is_analog());
+        assert!(CompletionPath::AnalogAfterRecovery.is_analog());
+        assert!(!CompletionPath::DigitalFallback.is_analog());
+        assert!(!CompletionPath::DeadlineFallback.is_analog());
+        assert!(!CompletionPath::DigitalOnly.is_analog());
+    }
+}

@@ -1,0 +1,620 @@
+//! The fleet service: admission control, the priority queue, the
+//! round-based dispatch loop over the worker pool, and health-driven
+//! placement. All scheduling decisions happen on the dispatcher thread, in
+//! deterministic order — worker threads only execute already-placed
+//! batches — so the [`ScheduleLog`] replays identically at any worker
+//! count.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use aa_linalg::{CsrMatrix, LinearOperator, WorkerPool};
+use aa_solver::estimate::predicted_solve_time_s;
+
+use crate::fleet::{
+    digital_lane, outcome_weight, ChipHealth, ChipJob, ChipOutcome, ChipState, FleetConfig,
+    WorkerState,
+};
+use crate::log::{ScheduleEvent, ScheduleLog};
+use crate::request::{Completion, CompletionPath, Priority, Rejected, SolveRequest, SolveTicket};
+
+/// A fleet construction error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// The configuration cannot describe a runnable fleet.
+    InvalidConfig {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::InvalidConfig { message } => write!(f, "invalid fleet config: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// An admitted request waiting for dispatch.
+#[derive(Debug, Clone)]
+struct Queued {
+    ticket: u64,
+    structure: usize,
+    rhs: Vec<f64>,
+    priority: Priority,
+    deadline_s: Option<f64>,
+}
+
+/// The multi-chip batched solve service.
+///
+/// ```
+/// use aa_linalg::CsrMatrix;
+/// use aa_sched::{FleetConfig, FleetService, SolveRequest};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = CsrMatrix::tridiagonal(8, -1.0, 2.0, -1.0)?;
+/// let mut fleet = FleetService::new(FleetConfig::new(2), vec![a])?;
+/// let ticket = fleet.submit(SolveRequest::new(0, vec![1.0; 8]))?;
+/// fleet.run_until_idle();
+/// let done = fleet.completion(ticket).expect("served");
+/// assert!(done.residual < 1e-2, "12-bit analog readout precision");
+/// # Ok(())
+/// # }
+/// ```
+pub struct FleetService {
+    config: FleetConfig,
+    structures: Arc<Vec<CsrMatrix>>,
+    /// Predicted analog solve seconds per structure (`None` when the
+    /// estimator cannot price it — such requests are always admitted).
+    estimates: Vec<Option<f64>>,
+    pool: WorkerPool<WorkerState, ChipJob, Vec<ChipOutcome>>,
+    health: Vec<ChipHealth>,
+    queue: Vec<Queued>,
+    completions: BTreeMap<u64, Completion>,
+    log: ScheduleLog,
+    next_ticket: u64,
+    round: u64,
+}
+
+impl FleetService {
+    /// Builds the fleet and registers the solvable structures. Requests
+    /// reference a structure by its index in `structures`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidConfig`] for an empty fleet, no structures, a
+    /// zero batch size, or a fault plan naming a chip that does not exist.
+    pub fn new(config: FleetConfig, structures: Vec<CsrMatrix>) -> Result<Self, SchedError> {
+        if config.chips == 0 {
+            return Err(SchedError::InvalidConfig {
+                message: "fleet needs at least one chip".into(),
+            });
+        }
+        if structures.is_empty() {
+            return Err(SchedError::InvalidConfig {
+                message: "fleet needs at least one registered structure".into(),
+            });
+        }
+        if config.batch_size == 0 {
+            return Err(SchedError::InvalidConfig {
+                message: "batch_size must be at least 1".into(),
+            });
+        }
+        if let Some((chip, _)) = config
+            .fault_plans
+            .iter()
+            .find(|(chip, _)| *chip >= config.chips)
+        {
+            return Err(SchedError::InvalidConfig {
+                message: format!("fault plan targets chip {chip}, fleet has {}", config.chips),
+            });
+        }
+        let estimates = structures
+            .iter()
+            .map(|a| predicted_solve_time_s(a, &config.design).ok())
+            .collect();
+        let structures = Arc::new(structures);
+        let states = WorkerState::partition(&config, &structures);
+        let pool = WorkerPool::new(states, |state: &mut WorkerState, i, job: ChipJob| {
+            state.slots[i - state.offset].run(job)
+        });
+        let health = (0..config.chips).map(|_| ChipHealth::new()).collect();
+        Ok(FleetService {
+            config,
+            structures,
+            estimates,
+            pool,
+            health,
+            queue: Vec::new(),
+            completions: BTreeMap::new(),
+            log: ScheduleLog::default(),
+            next_ticket: 0,
+            round: 0,
+        })
+    }
+
+    /// The registered structures.
+    pub fn structures(&self) -> &[CsrMatrix] {
+        &self.structures
+    }
+
+    /// The fleet configuration in effect.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The predicted analog solve seconds for one structure, if priceable.
+    pub fn estimate_s(&self, structure: usize) -> Option<f64> {
+        self.estimates.get(structure).copied().flatten()
+    }
+
+    /// Per-chip health records, indexed by chip.
+    pub fn health(&self) -> &[ChipHealth] {
+        &self.health
+    }
+
+    /// Requests admitted but not yet dispatched.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Dispatch rounds run so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// The schedule log accumulated so far.
+    pub fn log(&self) -> &ScheduleLog {
+        &self.log
+    }
+
+    /// Consumes the service, returning the final log.
+    pub fn into_log(self) -> ScheduleLog {
+        self.log
+    }
+
+    /// The resolved outcome of an admitted request, once a dispatch round
+    /// has served it.
+    pub fn completion(&self, ticket: SolveTicket) -> Option<&Completion> {
+        self.completions.get(&ticket.0)
+    }
+
+    /// Admission control: validates the request, applies backpressure, and
+    /// enqueues it.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejected`] verdict — never a panic — naming the reason:
+    /// unknown structure, wrong rhs length, full queue, or a deadline
+    /// below the structure's predicted solve time.
+    pub fn submit(&mut self, request: SolveRequest) -> Result<SolveTicket, Rejected> {
+        let verdict = self.admit(&request);
+        if let Err(rejection) = &verdict {
+            self.log.rejected += 1;
+            self.log.events.push(ScheduleEvent::Rejected {
+                structure: request.structure,
+                priority: request.priority,
+                reason: rejection.label(),
+            });
+            aa_obs::counter("sched.requests_rejected", 1);
+            aa_obs::event(
+                aa_obs::Event::new("sched.reject")
+                    .with("structure", request.structure)
+                    .with("reason", rejection.label()),
+            );
+            return Err(rejection.clone());
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.log.events.push(ScheduleEvent::Admitted {
+            ticket,
+            structure: request.structure,
+            priority: request.priority,
+            deadline_s: request.deadline_s,
+        });
+        aa_obs::counter("sched.requests_admitted", 1);
+        self.queue.push(Queued {
+            ticket,
+            structure: request.structure,
+            rhs: request.rhs,
+            priority: request.priority,
+            deadline_s: request.deadline_s,
+        });
+        Ok(SolveTicket(ticket))
+    }
+
+    fn admit(&self, request: &SolveRequest) -> Result<(), Rejected> {
+        let Some(matrix) = self.structures.get(request.structure) else {
+            return Err(Rejected::UnknownStructure {
+                structure: request.structure,
+            });
+        };
+        if request.rhs.len() != matrix.dim() {
+            return Err(Rejected::RhsLengthMismatch {
+                expected: matrix.dim(),
+                got: request.rhs.len(),
+            });
+        }
+        if self.queue.len() >= self.config.queue_capacity {
+            return Err(Rejected::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        if let (Some(deadline), Some(estimate)) =
+            (request.deadline_s, self.estimates[request.structure])
+        {
+            if deadline < estimate {
+                return Err(Rejected::DeadlineInfeasible {
+                    deadline_s: deadline,
+                    estimate_s: estimate,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one dispatch round; returns the number of requests completed
+    /// (`0` when the queue was empty and nothing advanced).
+    pub fn run_round(&mut self) -> usize {
+        if self.queue.is_empty() {
+            return 0;
+        }
+        self.round += 1;
+        let _span = aa_obs::span("sched.round");
+        aa_obs::histogram("sched.queue_depth", self.queue.len() as f64);
+        self.update_probation();
+        // Dispatch order: priority class, then admission order.
+        self.queue.sort_by_key(|q| (q.priority.rank(), q.ticket));
+        let jobs = self.place_batches();
+        let outcomes = if self.health.iter().any(ChipHealth::in_rotation) {
+            self.pool
+                .try_submit(jobs)
+                .unwrap_or_else(|_| unreachable!("round is drained before the next submit"));
+            self.pool.drain()
+        } else {
+            // Whole fleet quarantined: the dispatcher's own digital lane
+            // keeps the service live (and the loop terminating).
+            return self.serve_digital_only();
+        };
+        self.collect_round(outcomes)
+    }
+
+    /// Runs dispatch rounds until the queue is empty.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut completed = 0;
+        while !self.queue.is_empty() {
+            completed += self.run_round();
+        }
+        completed
+    }
+
+    /// Moves quarantined chips whose sit-out elapsed into probation.
+    fn update_probation(&mut self) {
+        for chip in 0..self.health.len() {
+            if let ChipState::Quarantined { since_round } = self.health[chip].state {
+                if self.round >= since_round + self.config.health.readmit_after_rounds {
+                    self.health[chip].state = ChipState::Probation;
+                    self.log.events.push(ScheduleEvent::Probation {
+                        chip,
+                        round: self.round,
+                    });
+                    aa_obs::event(aa_obs::Event::new("sched.probation").with("chip", chip));
+                }
+            }
+        }
+    }
+
+    /// Greedy deterministic placement: chips in index order, each taking
+    /// the highest-priority waiting request plus up to `batch_size − 1`
+    /// same-structure followers (compiled-plan reuse). Probation chips get
+    /// exactly one probe. Returns one job per chip — empty for idle or
+    /// quarantined chips — so worker routing is round-invariant.
+    fn place_batches(&mut self) -> Vec<ChipJob> {
+        let mut jobs: Vec<ChipJob> = (0..self.config.chips).map(|_| ChipJob::default()).collect();
+        for (chip, job) in jobs.iter_mut().enumerate() {
+            if self.queue.is_empty() || !self.health[chip].in_rotation() {
+                continue;
+            }
+            let budget = if self.health[chip].state == ChipState::Probation {
+                1
+            } else {
+                self.config.batch_size
+            };
+            let head = self.queue.remove(0);
+            let structure = head.structure;
+            let mut batch = vec![head];
+            while batch.len() < budget {
+                let Some(pos) = self.queue.iter().position(|q| q.structure == structure) else {
+                    break;
+                };
+                batch.push(self.queue.remove(pos));
+            }
+            let tickets: Vec<u64> = batch.iter().map(|q| q.ticket).collect();
+            self.log.events.push(ScheduleEvent::Dispatched {
+                round: self.round,
+                chip,
+                tickets,
+            });
+            job.assignments = batch
+                .into_iter()
+                .map(|q| (q.ticket, q.structure, q.rhs, q.deadline_s))
+                .collect();
+        }
+        jobs
+    }
+
+    /// Serves every queued request from the dispatcher's digital lane;
+    /// returns how many it settled.
+    fn serve_digital_only(&mut self) -> usize {
+        let queued = std::mem::take(&mut self.queue);
+        let served = queued.len();
+        for q in queued {
+            let (solution, residual) = digital_lane(
+                &self.structures[q.structure],
+                &q.rhs,
+                self.config.fallback_tolerance,
+            );
+            self.settle(Completion {
+                ticket: SolveTicket(q.ticket),
+                structure: q.structure,
+                priority: q.priority,
+                solution,
+                path: CompletionPath::DigitalOnly,
+                residual,
+                analog_time_s: 0.0,
+                energy_j: 0.0,
+                chip: None,
+                round: self.round,
+            });
+        }
+        served
+    }
+
+    /// Folds one round's chip outcomes into completions, health scores,
+    /// and quarantine decisions — in chip order, on the dispatcher thread.
+    fn collect_round(&mut self, outcomes: Vec<Vec<ChipOutcome>>) -> usize {
+        let mut completed = 0;
+        for (chip, chip_outcomes) in outcomes.into_iter().enumerate() {
+            let served = !chip_outcomes.is_empty();
+            let mut worst = 0.0f64;
+            for outcome in chip_outcomes {
+                worst = worst.max(outcome_weight(outcome.path));
+                self.health[chip].solves += 1;
+                let meta = self
+                    .ticket_meta(outcome.ticket)
+                    .expect("outcome for unknown ticket");
+                let energy_j = self
+                    .config
+                    .design
+                    .energy_j(self.structures[meta.0].dim(), outcome.analog_time_s);
+                aa_obs::histogram(latency_metric(meta.1), outcome.analog_time_s);
+                self.settle(Completion {
+                    ticket: SolveTicket(outcome.ticket),
+                    structure: meta.0,
+                    priority: meta.1,
+                    solution: outcome.solution,
+                    path: outcome.path,
+                    residual: outcome.residual,
+                    analog_time_s: outcome.analog_time_s,
+                    energy_j,
+                    chip: Some(chip),
+                    round: self.round,
+                });
+                completed += 1;
+            }
+            if served {
+                self.score(chip, worst);
+            }
+        }
+        completed
+    }
+
+    /// Looks up `(structure, priority)` of an admitted ticket from the log.
+    fn ticket_meta(&self, ticket: u64) -> Option<(usize, Priority)> {
+        self.log.events.iter().find_map(|e| match e {
+            ScheduleEvent::Admitted {
+                ticket: t,
+                structure,
+                priority,
+                ..
+            } if *t == ticket => Some((*structure, *priority)),
+            _ => None,
+        })
+    }
+
+    fn settle(&mut self, completion: Completion) {
+        self.log.events.push(ScheduleEvent::Completed {
+            ticket: completion.ticket.0,
+            chip: completion.chip,
+            round: completion.round,
+            path: completion.path,
+            analog_time_s: completion.analog_time_s,
+        });
+        self.log
+            .tally_completion(completion.priority, completion.energy_j);
+        aa_obs::counter("sched.requests_completed", 1);
+        self.completions.insert(completion.ticket.0, completion);
+    }
+
+    /// EWMA health update plus the quarantine / probation-verdict state
+    /// machine.
+    fn score(&mut self, chip: usize, weight: f64) {
+        let health = &mut self.health[chip];
+        let alpha = self.config.health.alpha;
+        health.score = (1.0 - alpha) * health.score + alpha * weight;
+        match health.state {
+            ChipState::Probation => {
+                if weight == 0.0 {
+                    health.state = ChipState::Healthy;
+                    health.score = 0.0;
+                    self.log.events.push(ScheduleEvent::Readmitted {
+                        chip,
+                        round: self.round,
+                    });
+                    aa_obs::event(aa_obs::Event::new("sched.readmit").with("chip", chip));
+                } else {
+                    self.quarantine(chip);
+                }
+            }
+            ChipState::Healthy => {
+                if health.score >= self.config.health.quarantine_threshold {
+                    self.quarantine(chip);
+                }
+            }
+            ChipState::Quarantined { .. } => {}
+        }
+    }
+
+    fn quarantine(&mut self, chip: usize) {
+        self.health[chip].state = ChipState::Quarantined {
+            since_round: self.round,
+        };
+        self.health[chip].quarantines += 1;
+        self.log.events.push(ScheduleEvent::Quarantined {
+            chip,
+            round: self.round,
+        });
+        aa_obs::counter("sched.quarantines", 1);
+        aa_obs::event(aa_obs::Event::new("sched.quarantine").with("chip", chip));
+    }
+}
+
+/// The per-class latency histogram name (static, as `aa-obs` requires).
+fn latency_metric(priority: Priority) -> &'static str {
+    match priority {
+        Priority::High => "sched.latency_s.high",
+        Priority::Normal => "sched.latency_s.normal",
+        Priority::Low => "sched.latency_s.low",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri(n: usize) -> CsrMatrix {
+        CsrMatrix::tridiagonal(n, -1.0, 2.0, -1.0).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_degenerate_configs() {
+        assert!(FleetService::new(FleetConfig::new(0), vec![tri(4)]).is_err());
+        assert!(FleetService::new(FleetConfig::new(1), vec![]).is_err());
+        let mut zero_batch = FleetConfig::new(1);
+        zero_batch.batch_size = 0;
+        assert!(FleetService::new(zero_batch, vec![tri(4)]).is_err());
+        let bad_chip = FleetConfig::new(1).with_fault_plan(3, aa_analog::FaultPlan::new(1));
+        assert!(FleetService::new(bad_chip, vec![tri(4)]).is_err());
+    }
+
+    #[test]
+    fn admission_rejects_are_typed_and_never_panic() {
+        let mut fleet =
+            FleetService::new(FleetConfig::new(1).with_queue_capacity(2), vec![tri(4)]).unwrap();
+        assert_eq!(
+            fleet.submit(SolveRequest::new(9, vec![1.0; 4])),
+            Err(Rejected::UnknownStructure { structure: 9 })
+        );
+        assert_eq!(
+            fleet.submit(SolveRequest::new(0, vec![1.0; 3])),
+            Err(Rejected::RhsLengthMismatch {
+                expected: 4,
+                got: 3
+            })
+        );
+        fleet.submit(SolveRequest::new(0, vec![1.0; 4])).unwrap();
+        fleet.submit(SolveRequest::new(0, vec![1.0; 4])).unwrap();
+        assert_eq!(
+            fleet.submit(SolveRequest::new(0, vec![1.0; 4])),
+            Err(Rejected::QueueFull { capacity: 2 })
+        );
+        assert_eq!(fleet.log().rejected, 3);
+        assert_eq!(fleet.queue_depth(), 2);
+    }
+
+    #[test]
+    fn infeasible_deadlines_are_rejected_with_the_estimate() {
+        let mut fleet = FleetService::new(FleetConfig::new(1), vec![tri(4)]).unwrap();
+        let estimate = fleet.estimate_s(0).expect("SPD structure is priceable");
+        assert!(estimate > 0.0);
+        let verdict =
+            fleet.submit(SolveRequest::new(0, vec![1.0; 4]).with_deadline_s(estimate / 2.0));
+        assert_eq!(
+            verdict,
+            Err(Rejected::DeadlineInfeasible {
+                deadline_s: estimate / 2.0,
+                estimate_s: estimate
+            })
+        );
+        // A generous deadline is admitted and met on the analog path.
+        let ticket = fleet
+            .submit(SolveRequest::new(0, vec![1.0; 4]).with_deadline_s(estimate * 100.0))
+            .unwrap();
+        fleet.run_until_idle();
+        let done = fleet.completion(ticket).unwrap();
+        assert!(done.path.is_analog(), "path={:?}", done.path);
+        assert!(done.analog_time_s <= estimate * 100.0);
+    }
+
+    #[test]
+    fn batches_prefer_same_structure_for_plan_reuse() {
+        let mut cfg = FleetConfig::new(1);
+        cfg.batch_size = 3;
+        let mut fleet = FleetService::new(cfg, vec![tri(4), tri(5)]).unwrap();
+        // Interleave structures; the chip should batch 0,0,0 first.
+        for s in [0usize, 1, 0, 1, 0] {
+            fleet
+                .submit(SolveRequest::new(s, vec![1.0; fleet.structures()[s].dim()]))
+                .unwrap();
+        }
+        fleet.run_round();
+        let batch = fleet
+            .log()
+            .events
+            .iter()
+            .find_map(|e| match e {
+                ScheduleEvent::Dispatched { tickets, .. } => Some(tickets.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(batch, vec![0, 2, 4], "the three structure-0 tickets");
+        fleet.run_until_idle();
+        assert_eq!(fleet.log().completed(), 5);
+    }
+
+    #[test]
+    fn priorities_dispatch_high_before_low() {
+        let mut cfg = FleetConfig::new(1);
+        cfg.batch_size = 1;
+        let mut fleet = FleetService::new(cfg, vec![tri(4)]).unwrap();
+        let low = fleet
+            .submit(SolveRequest::new(0, vec![1.0; 4]).with_priority(Priority::Low))
+            .unwrap();
+        let high = fleet
+            .submit(SolveRequest::new(0, vec![1.0; 4]).with_priority(Priority::High))
+            .unwrap();
+        fleet.run_round();
+        assert!(fleet.completion(high).is_some(), "high served first");
+        assert!(fleet.completion(low).is_none());
+        fleet.run_until_idle();
+        assert_eq!(fleet.completion(low).unwrap().round, 2);
+    }
+
+    #[test]
+    fn energy_accounting_uses_the_power_model() {
+        let mut fleet = FleetService::new(FleetConfig::new(1), vec![tri(4)]).unwrap();
+        let ticket = fleet.submit(SolveRequest::new(0, vec![1.0; 4])).unwrap();
+        fleet.run_until_idle();
+        let done = fleet.completion(ticket).unwrap().clone();
+        assert!(done.analog_time_s > 0.0);
+        let expected = fleet.config.design.energy_j(4, done.analog_time_s);
+        assert_eq!(done.energy_j, expected);
+        assert_eq!(
+            fleet.log().energy_per_request_j(Priority::Normal),
+            Some(expected)
+        );
+    }
+}

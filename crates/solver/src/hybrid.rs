@@ -94,10 +94,13 @@ impl AnalogCoarseSolver {
         self
     }
 
-    /// Bounds the number of compiled solver instances kept alive (at least
-    /// one). The least recently used entry is evicted first.
+    /// Bounds the number of compiled solver instances kept alive. The least
+    /// recently used entry is evicted first. A capacity of `0` disables the
+    /// cache entirely: every coarse solve compiles a fresh solver (and
+    /// counts as a miss) instead of constructing an LRU that could never
+    /// hold an entry.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.capacity = capacity.max(1);
+        self.capacity = capacity;
         while self.cache.len() > self.capacity {
             self.evict_lru();
         }
@@ -147,6 +150,7 @@ impl AnalogCoarseSolver {
 impl CoarseSolver for AnalogCoarseSolver {
     fn solve_coarse(&mut self, a: &PoissonStencil, b: &[f64]) -> Result<Vec<f64>, PdeError> {
         let l = a.points_per_side();
+        let mut uncached: Option<SupervisedSolver> = None;
         if self.cache.contains_key(&l) {
             self.cache_hits += 1;
             aa_obs::counter("solver.coarse.cache_hits", 1);
@@ -160,15 +164,26 @@ impl CoarseSolver for AnalogCoarseSolver {
                         message: format!("analog coarse solver construction failed: {e}"),
                     }
                 })?;
-            if self.cache.len() >= self.capacity {
-                self.evict_lru();
+            if self.capacity == 0 {
+                // Cache disabled: use the fresh solver once, never store it.
+                uncached = Some(solver);
+            } else {
+                if self.cache.len() >= self.capacity {
+                    self.evict_lru();
+                }
+                self.cache.insert(l, (self.stamp, solver));
             }
-            self.cache.insert(l, (self.stamp, solver));
         }
         self.stamp += 1;
-        let entry = self.cache.get_mut(&l).expect("inserted above");
-        entry.0 = self.stamp;
-        let report = entry.1.solve(b).map_err(|e| PdeError::InvalidGrid {
+        let solver = match &mut uncached {
+            Some(s) => s,
+            None => {
+                let entry = self.cache.get_mut(&l).expect("inserted above");
+                entry.0 = self.stamp;
+                &mut entry.1
+            }
+        };
+        let report = solver.solve(b).map_err(|e| PdeError::InvalidGrid {
             message: format!("analog coarse solve failed: {e}"),
         })?;
         self.analog_time_s += report.recovery.analog_time_s();
@@ -264,5 +279,24 @@ mod tests {
         assert_eq!(analog.cache_misses(), 4);
         assert_eq!(analog.cache_hits(), 1);
         assert_eq!(analog.solves(), 5);
+    }
+
+    #[test]
+    fn zero_cache_capacity_disables_the_cache() {
+        let mut analog = AnalogCoarseSolver::new(SolverConfig::ideal()).with_cache_capacity(0);
+        let s3 = PoissonStencil::new_1d(3).unwrap();
+        let first = analog.solve_coarse(&s3, &[1.0; 3]).unwrap();
+        let second = analog.solve_coarse(&s3, &[1.0; 3]).unwrap();
+        assert_eq!(first, second, "fresh per-solve instances are deterministic");
+        assert_eq!(analog.cache.len(), 0, "nothing is ever stored");
+        assert_eq!(analog.cache_misses(), 2, "every solve recompiles");
+        assert_eq!(analog.cache_hits(), 0);
+        assert_eq!(analog.solves(), 2);
+        // Shrinking an already-populated cache to zero drops its entries.
+        let mut populated = AnalogCoarseSolver::new(SolverConfig::ideal());
+        populated.solve_coarse(&s3, &[1.0; 3]).unwrap();
+        assert_eq!(populated.cache.len(), 1);
+        let emptied = populated.with_cache_capacity(0);
+        assert_eq!(emptied.cache.len(), 0);
     }
 }

@@ -325,6 +325,13 @@ impl SupervisedSolver {
         &self.recovery
     }
 
+    /// Compiled-plan cache statistics of the underlying chip, so a fleet
+    /// scheduler can report batching effectiveness without reaching through
+    /// [`inner`](Self::inner) manually.
+    pub fn plan_stats(&self) -> aa_analog::PlanStats {
+        self.inner.plan_stats()
+    }
+
     /// Total chip-lifetime seconds across every instance this supervisor has
     /// used (current chip plus any remapped-away predecessors).
     pub fn total_lifetime_s(&self) -> f64 {

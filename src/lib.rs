@@ -13,6 +13,7 @@
 //! | [`solver`] | `aa-solver` | the analog linear-algebra solver (the paper's contribution) |
 //! | [`pde`] | `aa-pde` | Poisson problems, multigrid, heat/wave demos |
 //! | [`obs`] | `aa-obs` | structured tracing/metrics with a deterministic replay journal |
+//! | [`sched`] | `aa-sched` | chip-fleet scheduler: batched solve service with admission control |
 //!
 //! # The headline flow
 //!
@@ -46,6 +47,7 @@ pub use aa_linalg as linalg;
 pub use aa_obs as obs;
 pub use aa_ode as ode;
 pub use aa_pde as pde;
+pub use aa_sched as sched;
 pub use aa_solver as solver;
 
 /// The most commonly used types, re-exported flat.
@@ -62,6 +64,10 @@ pub mod prelude {
     pub use aa_ode::{integrate_fixed, integrate_to_steady_state, FixedMethod, GradientFlow};
     pub use aa_pde::poisson::{Poisson2d, Poisson3d};
     pub use aa_pde::{CgCoarseSolver, MultigridSolver};
+    pub use aa_sched::{
+        CompletionPath, FleetConfig, FleetService, Priority, Rejected, ScheduleLog, SolveRequest,
+        SolveTicket,
+    };
     pub use aa_solver::refine::solve_refined;
     pub use aa_solver::{
         solve_decomposed, AnalogCoarseSolver, AnalogSystemSolver, DecomposeConfig, FailureClass,

@@ -213,6 +213,79 @@ fn worker_pool_replay_is_worker_count_invariant() {
     }
 }
 
+/// A full fleet-service run — admission, priority dispatch, per-chip
+/// supervised solves, health scoring — produces one `ScheduleLog` and one
+/// obs journal, invariant under both replay (same seed twice) and the
+/// worker-thread count: all scheduling decisions happen on the dispatcher
+/// thread, and the pool forks/joins per-chip recorders in chip order.
+#[test]
+fn fleet_schedule_log_replays_identically_across_worker_counts() {
+    use analog_accel::sched::{FleetConfig, FleetService, Priority, SolveRequest};
+
+    let run = |workers: usize| {
+        let a4 = CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap();
+        let a5 = CsrMatrix::tridiagonal(5, -1.0, 2.0, -1.0).unwrap();
+        let rec = MemoryRecorder::shared();
+        let (log, solutions) = obs::with_recorder(rec.clone(), || {
+            let config = FleetConfig::new(3).with_seed(42).with_workers(workers);
+            let mut fleet = FleetService::new(config, vec![a4, a5]).unwrap();
+            let mut tickets = Vec::new();
+            for i in 0..10 {
+                let s = i % 2;
+                let priority = match i % 3 {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Low,
+                };
+                let rhs = vec![1.0 + i as f64 * 0.25; 4 + s];
+                tickets.push(
+                    fleet
+                        .submit(SolveRequest::new(s, rhs).with_priority(priority))
+                        .unwrap(),
+                );
+            }
+            fleet.run_until_idle();
+            let solutions: Vec<Vec<f64>> = tickets
+                .iter()
+                .map(|t| fleet.completion(*t).unwrap().solution.clone())
+                .collect();
+            (fleet.into_log(), solutions)
+        });
+        (log, solutions, rec.snapshot())
+    };
+
+    let (log1, sols1, snap1) = run(1);
+    assert_eq!(log1.completed(), 10);
+    // Same-seed replay at the same worker count is identical.
+    let (log1b, sols1b, snap1b) = run(1);
+    assert_eq!(log1, log1b, "same-seed replay");
+    assert_eq!(sols1, sols1b);
+    if obs::ENABLED {
+        assert_eq!(snap1.deterministic_lines(), snap1b.deterministic_lines());
+        assert_eq!(snap1.to_json_masked(), snap1b.to_json_masked());
+    }
+    // The worker count changes wall-clock only: log, solutions, journal,
+    // and counters all match the single-worker run bit for bit.
+    for workers in [2usize, 4] {
+        let (log, sols, snap) = run(workers);
+        assert_eq!(log1, log, "workers={workers}");
+        assert_eq!(sols1, sols, "workers={workers}");
+        if obs::ENABLED {
+            assert_eq!(
+                snap1.deterministic_lines(),
+                snap.deterministic_lines(),
+                "workers={workers}"
+            );
+            assert_eq!(snap1.counters, snap.counters, "workers={workers}");
+            assert_eq!(
+                snap1.to_json_masked(),
+                snap.to_json_masked(),
+                "workers={workers}"
+            );
+        }
+    }
+}
+
 /// The exported trace document is valid JSON carrying the version stamp,
 /// and the masked form is bit-identical across two same-seed replays.
 #[test]
