@@ -58,6 +58,43 @@ impl Registers {
 /// Control-clock frequency used to convert `setTimeout` cycles to seconds.
 pub const CONTROL_CLOCK_HZ: f64 = 1.0e6;
 
+/// A portable snapshot of one chip's **mutable runtime state** — everything
+/// that diverges from a freshly constructed, freshly programmed chip as it
+/// serves traffic. Captured by [`AnalogChip::export_state`] and replayed
+/// into a deterministically rebuilt chip by [`AnalogChip::import_state`],
+/// so a crashed host can resume with bit-identical noise streams, fault
+/// clocks, and calibration trims.
+///
+/// The *static* configuration (netlist, gains, DAC constants, timeout) is
+/// deliberately excluded: it is a pure function of the problem being
+/// served, and the restore path re-programs it before importing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipCheckpoint {
+    /// Raw readout-noise RNG state ([`Rng64::state`]).
+    pub noise_rng_state: u64,
+    /// Cumulative powered seconds (the fault-event clock).
+    pub lifetime_s: f64,
+    /// Whether `init` (calibration) had run.
+    pub calibrated: bool,
+    /// Per-unit trim-DAC codes `(unit, offset_trim, gain_trim)` — chosen by
+    /// calibration against lifetime-dependent faults, so they cannot be
+    /// re-derived by recalibrating at a different lifetime instant.
+    pub trims: Vec<(UnitId, i32, i32)>,
+    /// The injected runtime-fault schedule, if any.
+    pub fault_plan: Option<FaultPlan>,
+    /// Cumulative plan-cache statistics at capture time.
+    pub plan_stats: PlanStats,
+    /// Whether the plan cache was warm (current for the chip's plan epoch)
+    /// at capture time. Restore re-primes the cache only when this is set,
+    /// so a chip that would have compiled fresh still compiles fresh.
+    pub plan_cache_valid: bool,
+}
+
+impl ChipCheckpoint {
+    /// Checkpoint format version; bump on any incompatible layout change.
+    pub const FORMAT_VERSION: u32 = 1;
+}
+
 /// A behavioural model of one analog accelerator chip instance.
 ///
 /// Construction draws this instance's process variation; the same
@@ -654,6 +691,80 @@ impl AnalogChip {
         (f64::from(code) - f64::from(levels / 2)) * lsb
     }
 
+    // ----- Checkpoint / restore -----
+
+    /// Captures this chip's mutable runtime state (see [`ChipCheckpoint`]).
+    pub fn export_state(&self) -> ChipCheckpoint {
+        ChipCheckpoint {
+            noise_rng_state: self.noise_rng.state(),
+            lifetime_s: self.lifetime_s,
+            calibrated: self.calibrated,
+            trims: self
+                .variation
+                .iter()
+                .map(|(unit, imp)| (unit, imp.offset_trim, imp.gain_trim))
+                .collect(),
+            fault_plan: self.fault_plan.clone(),
+            plan_stats: self.plan_stats(),
+            plan_cache_valid: self.plan_cache.is_current(self.plan_epoch),
+        }
+    }
+
+    /// Restores a checkpointed runtime state onto a deterministically
+    /// rebuilt chip (same config seed, same committed registers).
+    ///
+    /// Besides the obvious fields, this silently re-primes the plan cache
+    /// from the committed configuration: the first post-restore `exec` is
+    /// then a cache *hit*, so the obs journal and [`PlanStats`] continue
+    /// exactly where the uninterrupted run would have been.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalogError::NoSuchUnit`] if a trim record names a unit outside
+    ///   this chip's inventory (checkpoint/config mismatch).
+    /// * Any compilation error while re-priming the plan cache.
+    pub fn import_state(&mut self, state: &ChipCheckpoint) -> Result<(), AnalogError> {
+        for (unit, _, _) in &state.trims {
+            if !self.config.inventory.contains(*unit) {
+                return Err(AnalogError::NoSuchUnit { unit: *unit });
+            }
+        }
+        self.noise_rng = Rng64::from_state(state.noise_rng_state);
+        self.lifetime_s = state.lifetime_s;
+        self.calibrated = state.calibrated;
+        self.fault_plan = state.fault_plan.clone();
+        for (unit, offset_trim, gain_trim) in &state.trims {
+            let imp = self.variation.of_mut(*unit);
+            imp.offset_trim = *offset_trim;
+            imp.gain_trim = *gain_trim;
+        }
+        // Trims change what lowering produces: invalidate, then re-prime
+        // (only when the capture-time cache was warm — a chip that would
+        // have compiled fresh must still compile fresh after restore).
+        self.plan_epoch += 1;
+        if state.plan_cache_valid {
+            if self.committed.is_none() {
+                // A rebuilt-but-never-run chip holds its wiring in the
+                // draft; the capture-time chip was committed, so commit.
+                self.draft.netlist.validate()?;
+                self.committed = Some(self.draft.clone());
+            }
+            self.plan_cache.prime(
+                self.committed.as_ref().expect("committed ensured above"),
+                &self.config,
+                &self.variation,
+                &self.input_signals,
+                self.fault_plan.as_ref(),
+                self.lifetime_s,
+                self.plan_epoch,
+                state.plan_stats,
+            )?;
+        } else {
+            self.plan_cache.restore_stats(state.plan_stats);
+        }
+        Ok(())
+    }
+
     /// The committed timeout converted to seconds, if set.
     pub fn timeout_seconds(&self) -> Option<f64> {
         self.committed
@@ -739,6 +850,69 @@ mod tests {
         chip.reset_config();
         assert!(chip.draft.mul_gains.is_empty());
         assert!(!chip.is_committed());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_noise_and_lifetime() {
+        use crate::netlist::{InputPort, OutputPort};
+
+        let decay = |chip: &mut AnalogChip| {
+            chip.set_conn(
+                OutputPort::of(UnitId::Integrator(0)),
+                InputPort::of(UnitId::Multiplier(0)),
+            )
+            .unwrap();
+            chip.set_conn(
+                OutputPort::of(UnitId::Multiplier(0)),
+                InputPort::of(UnitId::Integrator(0)),
+            )
+            .unwrap();
+            chip.set_mul_gain(0, -1.0).unwrap();
+            chip.set_int_initial(0, 0.5).unwrap();
+            chip.cfg_commit().unwrap();
+        };
+        let config = ChipConfig {
+            nonideal: crate::config::NonIdealityConfig {
+                readout_noise_std: 1e-3,
+                ..crate::config::NonIdealityConfig::default()
+            },
+            ..ChipConfig::ideal()
+        };
+
+        // Run a chip for a while, checkpoint it, keep running.
+        let mut original = AnalogChip::new(config.clone());
+        decay(&mut original);
+        original.exec(&EngineOptions::default()).unwrap();
+        original.read_serial(0).unwrap();
+        original.idle(0.25);
+        let snap = original.export_state();
+
+        // Restore onto a freshly rebuilt twin (same config seed, same
+        // committed registers) and compare futures sample for sample.
+        let mut restored = AnalogChip::new(config);
+        decay(&mut restored);
+        restored.import_state(&snap).unwrap();
+        assert_eq!(restored.lifetime_s(), original.lifetime_s());
+        assert_eq!(restored.plan_stats(), original.plan_stats());
+        let a = original.exec(&EngineOptions::default()).unwrap();
+        let b = restored.exec(&EngineOptions::default()).unwrap();
+        assert_eq!(a, b, "post-restore runs are bit-identical");
+        // The primed cache made the post-restore run a hit, not a rebuild.
+        assert_eq!(restored.plan_stats(), original.plan_stats());
+        for _ in 0..16 {
+            assert_eq!(original.read_serial(0), restored.read_serial(0));
+        }
+    }
+
+    #[test]
+    fn import_rejects_foreign_trim_units() {
+        let mut chip = ideal_chip();
+        let mut snap = chip.export_state();
+        snap.trims.push((UnitId::Integrator(999), 1, 1));
+        assert!(matches!(
+            chip.import_state(&snap),
+            Err(AnalogError::NoSuchUnit { .. })
+        ));
     }
 
     #[test]

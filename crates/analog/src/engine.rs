@@ -485,6 +485,55 @@ impl PlanCache {
     pub(crate) fn stats(&self) -> PlanStats {
         self.stats
     }
+
+    /// Whether the cache holds compilation products for `epoch` — i.e. the
+    /// next run through [`run_committed`] would be a cache hit.
+    pub(crate) fn is_current(&self, epoch: u64) -> bool {
+        self.structure.is_some() && self.epoch == epoch
+    }
+
+    /// Overwrites the cumulative statistics (checkpoint restore on a chip
+    /// whose cache was cold at capture time).
+    pub(crate) fn restore_stats(&mut self, stats: PlanStats) {
+        self.stats = stats;
+    }
+
+    /// Rebuilds the cached compilation products for `registers` at `epoch`
+    /// and overwrites `stats` with a checkpointed value, emitting no obs
+    /// counters and counting none of the work. Used when restoring a chip
+    /// from a checkpoint: the first post-restore `exec` must be a cache
+    /// hit, exactly as it would have been in the uninterrupted run.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn prime(
+        &mut self,
+        registers: &Registers,
+        config: &ChipConfig,
+        variation: &ProcessVariation,
+        signals: &BTreeMap<usize, InputSignal>,
+        faults: Option<&FaultPlan>,
+        t_offset: f64,
+        epoch: u64,
+        stats: PlanStats,
+    ) -> Result<(), AnalogError> {
+        let structure = Structure::build(registers, config)?;
+        let plan = {
+            let circuit = Compiled {
+                config,
+                variation,
+                registers,
+                signals,
+                faults,
+                t_offset,
+                structure: &structure,
+            };
+            crate::plan::CompiledPlan::lower(&circuit)
+        };
+        self.structure = Some(structure);
+        self.plan = Some(plan);
+        self.epoch = epoch;
+        self.stats = stats;
+        Ok(())
+    }
 }
 
 /// Runs a committed register file. Called by

@@ -20,6 +20,10 @@
 //!    worker vs. four chips on four workers. Same gating policy as the
 //!    scaling group: the 4-chip configuration must not serve slower than
 //!    the 1-chip one, enforced only when the machine has ≥2 cores.
+//! 5. **Resilience** — wall time of one fleet checkpoint + restore cycle
+//!    (`checkpoint_restore_ms`), and a seeded chaos soak whose completed
+//!    request count rides along as `soak_requests_completed`; the soak's
+//!    invariants must hold for the report to be written.
 //!
 //! `--quick` shrinks every problem for the CI smoke run. `--trace-out
 //! <path>` installs an [`aa_obs`] recorder around the measurements and
@@ -35,6 +39,7 @@ use aa_analog::{AnalogChip, ChipConfig, EngineOptions, EvalStrategy};
 use aa_bench::{banner, measure_cg_2d, records_to_json, validate_bench_json, BenchRecord};
 use aa_linalg::stencil::PoissonStencil;
 use aa_linalg::{CsrMatrix, ParallelConfig};
+use aa_sched::chaos::{run_soak, ChaosConfig};
 use aa_sched::{FleetConfig, FleetService, SolveRequest};
 use aa_solver::{solve_decomposed, AnalogSystemSolver, DecomposeConfig, OuterMethod, SolverConfig};
 
@@ -184,6 +189,8 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         speedup_vs_serial: None,
         cores: None,
         undersubscribed: None,
+        soak_requests_completed: None,
+        checkpoint_restore_ms: None,
     });
     records.push(BenchRecord {
         bench: "engine_microbench".to_string(),
@@ -194,6 +201,8 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         speedup_vs_serial: Some(com_sps / ref_sps),
         cores: None,
         undersubscribed: None,
+        soak_requests_completed: None,
+        checkpoint_restore_ms: None,
     });
 
     // 1b. Plan-cache reuse: a long sequence of solves against one matrix
@@ -241,6 +250,8 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         speedup_vs_serial: None,
         cores: None,
         undersubscribed: None,
+        soak_requests_completed: None,
+        checkpoint_restore_ms: None,
     });
 
     // 2a. Fig7-style analog system solve.
@@ -261,6 +272,8 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         speedup_vs_serial: None,
         cores: None,
         undersubscribed: None,
+        soak_requests_completed: None,
+        checkpoint_restore_ms: None,
     });
 
     // 2b. Fig8 digital-CG baseline.
@@ -279,6 +292,8 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         speedup_vs_serial: None,
         cores: None,
         undersubscribed: None,
+        soak_requests_completed: None,
+        checkpoint_restore_ms: None,
     });
 
     // 3. Decomposed-solver scaling across threads. Best-of-N wall time per
@@ -342,6 +357,8 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             speedup_vs_serial: Some(speedup),
             cores: Some(cores as u64),
             undersubscribed: Some(undersubscribed),
+            soak_requests_completed: None,
+            checkpoint_restore_ms: None,
         });
     }
 
@@ -423,6 +440,8 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             speedup_vs_serial: Some(speedup),
             cores: Some(cores as u64),
             undersubscribed: Some(undersubscribed),
+            soak_requests_completed: None,
+            checkpoint_restore_ms: None,
         });
     }
     // Same policy as the scaling gate: more chips on more workers must not
@@ -439,6 +458,83 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
              available (undersubscribed — not gating)"
         );
     }
+
+    // 5a. Checkpoint + restore latency: load a fleet mid-serve, freeze it,
+    // rebuild it from the snapshot + WAL, best of N. This is the recovery
+    // path's fixed cost, tracked so checkpoint bloat shows up as a number.
+    let ckpt_reps = if quick { 2 } else { 5 };
+    let ckpt_requests = if quick { 4 } else { 12 };
+    let mut ckpt_ms = f64::INFINITY;
+    for _ in 0..ckpt_reps {
+        let config = FleetConfig::new(3)
+            .with_seed(0xC4A5)
+            .with_queue_capacity(ckpt_requests.max(4));
+        let mut fleet = FleetService::new(config.clone(), vec![a.clone()]).expect("fleet builds");
+        for i in 0..ckpt_requests {
+            let rhs: Vec<f64> = (0..fleet_n)
+                .map(|j| 0.5 + 0.01 * ((i + j) % 5) as f64)
+                .collect();
+            fleet.submit(SolveRequest::new(0, rhs)).expect("admitted");
+        }
+        fleet.run_round();
+        let start = Instant::now();
+        let checkpoint = fleet.checkpoint();
+        let wal = fleet.wal().clone();
+        drop(fleet);
+        let restored = FleetService::restore(config, vec![a.clone()], &checkpoint, &wal)
+            .expect("restore succeeds");
+        ckpt_ms = ckpt_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        drop(restored);
+    }
+    println!("\ncheckpoint + restore (3 chips, mid-serve, best of {ckpt_reps}): {ckpt_ms:9.3} ms");
+    records.push(BenchRecord {
+        bench: "checkpoint_restore".to_string(),
+        config: format!("tridiagonal n={fleet_n}, chips=3, {ckpt_requests} queued"),
+        wall_ms: ckpt_ms,
+        steps_per_sec: None,
+        requests_per_sec: None,
+        speedup_vs_serial: None,
+        cores: None,
+        undersubscribed: None,
+        soak_requests_completed: None,
+        checkpoint_restore_ms: Some(ckpt_ms),
+    });
+
+    // 5b. Chaos soak: the full deterministic failure gauntlet (chip deaths,
+    // hangs, stalls, bursts, deadline storms, crash/restore). The report is
+    // only written if every invariant held.
+    let soak_requests = if quick { 40 } else { 120 };
+    let soak_config = ChaosConfig {
+        requests: soak_requests,
+        ..ChaosConfig::standard(0x5EED)
+    };
+    let start = Instant::now();
+    let soak = run_soak(&soak_config).expect("soak harness runs");
+    let soak_s = start.elapsed().as_secs_f64();
+    assert!(
+        soak.passed(),
+        "chaos soak violated invariants: {:?}",
+        soak.violations
+    );
+    println!(
+        "chaos soak ({} accepted, {} completed, {} crashes): {soak_s:9.3} s",
+        soak.accepted, soak.completed, soak.crashes
+    );
+    records.push(BenchRecord {
+        bench: "chaos_soak".to_string(),
+        config: format!(
+            "chips={}, requests={soak_requests}, crashes={}, seed={:#x}",
+            soak_config.chips, soak.crashes, soak_config.seed
+        ),
+        wall_ms: soak_s * 1e3,
+        steps_per_sec: None,
+        requests_per_sec: Some(soak.completed as f64 / soak_s),
+        speedup_vs_serial: None,
+        cores: None,
+        undersubscribed: None,
+        soak_requests_completed: Some(soak.completed as u64),
+        checkpoint_restore_ms: None,
+    });
 
     records
 }

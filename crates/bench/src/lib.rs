@@ -130,6 +130,12 @@ pub struct BenchRecord {
     /// `true` when the row ran more threads than available cores, so its
     /// speedup measures overhead rather than parallelism.
     pub undersubscribed: Option<bool>,
+    /// Requests completed by the chaos-soak resilience bench, where
+    /// applicable.
+    pub soak_requests_completed: Option<u64>,
+    /// Wall time of one fleet checkpoint + restore cycle, milliseconds,
+    /// where applicable.
+    pub checkpoint_restore_ms: Option<f64>,
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -167,7 +173,8 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
             format!(
                 "  {{\"bench\": \"{}\", \"config\": \"{}\", \"wall_ms\": {}, \
                  \"steps_per_sec\": {}, \"requests_per_sec\": {}, \"speedup_vs_serial\": {}, \
-                 \"cores\": {}, \"undersubscribed\": {}}}",
+                 \"cores\": {}, \"undersubscribed\": {}, \"soak_requests_completed\": {}, \
+                 \"checkpoint_restore_ms\": {}}}",
                 json_escape(&r.bench),
                 json_escape(&r.config),
                 json_number(r.wall_ms),
@@ -177,6 +184,10 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
                 r.cores.map_or("null".to_string(), |c| c.to_string()),
                 r.undersubscribed
                     .map_or("null".to_string(), |u| u.to_string()),
+                r.soak_requests_completed
+                    .map_or("null".to_string(), |n| n.to_string()),
+                r.checkpoint_restore_ms
+                    .map_or("null".to_string(), json_number),
             )
         })
         .collect();
@@ -184,7 +195,7 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
 }
 
 /// The exact key set of a `BENCH_engine.json` record.
-const BENCH_KEYS: [&str; 8] = [
+const BENCH_KEYS: [&str; 10] = [
     "bench",
     "config",
     "wall_ms",
@@ -193,6 +204,8 @@ const BENCH_KEYS: [&str; 8] = [
     "speedup_vs_serial",
     "cores",
     "undersubscribed",
+    "soak_requests_completed",
+    "checkpoint_restore_ms",
 ];
 
 /// Schema check for a `BENCH_engine.json` document, run before the file is
@@ -200,9 +213,10 @@ const BENCH_KEYS: [&str; 8] = [
 /// report with garbage: the document must parse, be a non-empty array of
 /// records carrying exactly [`BENCH_KEYS`], with non-empty string `bench`,
 /// string `config`, finite non-negative `wall_ms`, `steps_per_sec` /
-/// `requests_per_sec` / `speedup_vs_serial` each `null` or a non-negative
-/// number, `cores` `null` or a positive integer, and `undersubscribed`
-/// `null` or a boolean.
+/// `requests_per_sec` / `speedup_vs_serial` / `checkpoint_restore_ms` each
+/// `null` or a non-negative number, `cores` `null` or a positive integer,
+/// `soak_requests_completed` `null` or a non-negative integer, and
+/// `undersubscribed` `null` or a boolean.
 pub fn validate_bench_json(text: &str) -> Result<(), String> {
     let doc = aa_obs::json::Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let rows = doc
@@ -241,7 +255,12 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 "record {i}: \"wall_ms\" must be finite and non-negative, got {wall}"
             ));
         }
-        for key in ["steps_per_sec", "requests_per_sec", "speedup_vs_serial"] {
+        for key in [
+            "steps_per_sec",
+            "requests_per_sec",
+            "speedup_vs_serial",
+            "checkpoint_restore_ms",
+        ] {
             let value = row.get(key).expect("presence checked above");
             if value.is_null() {
                 continue;
@@ -263,6 +282,20 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             if !(num.fract() == 0.0 && num >= 1.0) {
                 return Err(format!(
                     "record {i}: \"cores\" must be a positive integer, got {num}"
+                ));
+            }
+        }
+        let soak = row
+            .get("soak_requests_completed")
+            .expect("presence checked above");
+        if !soak.is_null() {
+            let num = soak.as_f64().ok_or_else(|| {
+                format!("record {i}: \"soak_requests_completed\" must be null or a number")
+            })?;
+            if !(num.fract() == 0.0 && num >= 0.0) {
+                return Err(format!(
+                    "record {i}: \"soak_requests_completed\" must be a non-negative integer, \
+                     got {num}"
                 ));
             }
         }
@@ -317,6 +350,8 @@ mod tests {
                 speedup_vs_serial: None,
                 cores: None,
                 undersubscribed: None,
+                soak_requests_completed: None,
+                checkpoint_restore_ms: None,
             },
             BenchRecord {
                 bench: "decomposed_scaling".to_string(),
@@ -327,6 +362,8 @@ mod tests {
                 speedup_vs_serial: Some(f64::NAN),
                 cores: Some(2),
                 undersubscribed: Some(true),
+                soak_requests_completed: Some(512),
+                checkpoint_restore_ms: Some(1.75),
             },
         ];
         let json = records_to_json(&records);
@@ -342,6 +379,11 @@ mod tests {
         assert!(json.contains("\"cores\": 2"));
         assert!(json.contains("\"cores\": null"));
         assert!(json.contains("\"undersubscribed\": true"));
+        // Resilience fields serialize as numbers or null.
+        assert!(json.contains("\"soak_requests_completed\": 512"));
+        assert!(json.contains("\"soak_requests_completed\": null"));
+        assert!(json.contains("\"checkpoint_restore_ms\": 1.75"));
+        assert!(json.contains("\"checkpoint_restore_ms\": null"));
         // Exactly one comma-separated row pair.
         assert_eq!(json.matches("{\"bench\"").count(), 2);
     }
@@ -357,6 +399,8 @@ mod tests {
             speedup_vs_serial: None,
             cores: Some(1),
             undersubscribed: Some(false),
+            soak_requests_completed: Some(0),
+            checkpoint_restore_ms: Some(0.5),
         }];
         validate_bench_json(&records_to_json(&records)).expect("valid document");
     }
@@ -367,7 +411,8 @@ mod tests {
     fn doc_with(key: &str, value: &str) -> String {
         let base = r#"[{"bench": "x", "config": "c", "wall_ms": 1.0, "steps_per_sec": null,
             "requests_per_sec": null, "speedup_vs_serial": null, "cores": null,
-            "undersubscribed": null}]"#;
+            "undersubscribed": null, "soak_requests_completed": null,
+            "checkpoint_restore_ms": null}]"#;
         let needle = match key {
             "bench" => r#""bench": "x""#.to_string(),
             "config" => r#""config": "c""#.to_string(),
@@ -418,6 +463,16 @@ mod tests {
         // Undersubscribed must be a boolean when present.
         assert!(validate_bench_json(&doc_with("undersubscribed", "1")).is_err());
         assert!(validate_bench_json(&doc_with("undersubscribed", "true")).is_ok());
+        // Soak completions must be a non-negative integer when present.
+        assert!(validate_bench_json(&doc_with("soak_requests_completed", "-3")).is_err());
+        assert!(validate_bench_json(&doc_with("soak_requests_completed", "1.5")).is_err());
+        assert!(validate_bench_json(&doc_with("soak_requests_completed", "\"many\"")).is_err());
+        assert!(validate_bench_json(&doc_with("soak_requests_completed", "0")).is_ok());
+        assert!(validate_bench_json(&doc_with("soak_requests_completed", "512")).is_ok());
+        // Checkpoint+restore timing must be a non-negative number.
+        assert!(validate_bench_json(&doc_with("checkpoint_restore_ms", "-1.0")).is_err());
+        assert!(validate_bench_json(&doc_with("checkpoint_restore_ms", "\"fast\"")).is_err());
+        assert!(validate_bench_json(&doc_with("checkpoint_restore_ms", "2.5")).is_ok());
     }
 
     #[test]

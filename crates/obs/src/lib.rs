@@ -149,6 +149,12 @@ mod dispatch {
             }
         });
     }
+
+    pub fn silenced<T>(f: impl FnOnce() -> T) -> T {
+        let prev = CURRENT.with(|c| c.borrow_mut().take());
+        let _restore = Restore(prev);
+        f()
+    }
 }
 
 #[cfg(feature = "noop")]
@@ -168,6 +174,10 @@ mod dispatch {
     }
 
     pub fn with_active(_f: impl FnOnce(&dyn Recorder)) {}
+
+    pub fn silenced<T>(f: impl FnOnce() -> T) -> T {
+        f()
+    }
 }
 
 /// Installs `recorder` on the current thread for the duration of `f`,
@@ -188,6 +198,15 @@ pub fn current() -> Option<Arc<dyn Recorder>> {
 /// skip building expensive event payloads when nobody is listening.
 pub fn is_active() -> bool {
     dispatch::is_active()
+}
+
+/// Runs `f` with **no** recorder installed, restoring the previous one
+/// (if any) afterwards, panic-safe. Deterministic replay paths — e.g. a
+/// fleet draining its admission WAL after a crash — use this so the
+/// re-executed work does not double-count events the uninterrupted run
+/// already recorded.
+pub fn silenced<T>(f: impl FnOnce() -> T) -> T {
+    dispatch::silenced(f)
 }
 
 /// Appends a structured event to the journal (no-op when inactive).
@@ -281,6 +300,23 @@ mod tests {
         assert!(!is_active());
         assert_eq!(outer.snapshot().counter("depth"), 2);
         assert_eq!(inner.snapshot().counter("depth"), 10);
+    }
+
+    #[test]
+    fn silenced_suppresses_and_restores() {
+        let rec = MemoryRecorder::shared();
+        with_recorder(rec.clone(), || {
+            counter("kept", 1);
+            let out = silenced(|| {
+                assert!(!is_active());
+                counter("kept", 100); // dropped: nobody is listening
+                7
+            });
+            assert_eq!(out, 7);
+            assert!(is_active(), "recorder restored after silenced scope");
+            counter("kept", 1);
+        });
+        assert_eq!(rec.snapshot().counter("kept"), 2);
     }
 
     #[test]

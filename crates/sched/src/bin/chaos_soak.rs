@@ -1,0 +1,82 @@
+//! CI chaos-soak driver: runs the standard deterministic soak against the
+//! fleet service and writes the report JSON (stdout, or `--out FILE`).
+//! Exits non-zero when an invariant was violated, so the job gates; the
+//! report artifact uploads either way.
+//!
+//! ```text
+//! chaos_soak [--seed N] [--requests N] [--out FILE]
+//! ```
+
+use std::process::ExitCode;
+
+use aa_sched::chaos::{run_soak, ChaosConfig};
+
+fn main() -> ExitCode {
+    let mut seed: u64 = 0x5EED_50A4; // stable default
+    let mut requests = 500usize;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--requests" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => requests = v,
+                None => return usage("--requests needs an integer"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = Some(v),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let config = ChaosConfig {
+        requests,
+        ..ChaosConfig::standard(seed)
+    };
+    let report = match run_soak(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("chaos_soak: harness error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = report.to_json();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("chaos_soak: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("chaos_soak: report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "chaos_soak: seed={} accepted={} completed={} crashes={} requeues={} violations={}",
+        report.seed,
+        report.accepted,
+        report.completed,
+        report.crashes,
+        report.requeues,
+        report.violations.len()
+    );
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        for v in &report.violations {
+            eprintln!("chaos_soak: VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("chaos_soak: {message}");
+    eprintln!("usage: chaos_soak [--seed N] [--requests N] [--out FILE]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,473 @@
+//! Deterministic chaos harness for the fleet service.
+//!
+//! [`run_soak`] drives a [`FleetService`] through a seeded gauntlet of
+//! fleet-level failures — chip deaths and mid-batch hangs, dispatcher
+//! stalls, queue-overload bursts, deadline storms, and crash/restore
+//! cycles through the checkpoint + WAL recovery path — then audits the
+//! service-level invariants:
+//!
+//! * **exactly-once**: every accepted request is answered, exactly once,
+//!   across every injected failure and crash;
+//! * **quarantine converges**: a killed chip ends out of rotation
+//!   (retired once its quarantine budget is spent) instead of cycling
+//!   through probation forever;
+//! * **the digital lane engages**: with the whole fleet out of rotation
+//!   the dispatcher still answers from its own CG lane;
+//! * **no panics**: hostile load produces typed verdicts and bounced
+//!   batches, never an unwind.
+//!
+//! Everything is a pure function of [`ChaosConfig::seed`] — the same soak
+//! replays bit-identically, so a violation found in CI reproduces locally
+//! from the seed alone.
+
+use std::collections::BTreeSet;
+
+use aa_linalg::rng::Rng64;
+use aa_linalg::CsrMatrix;
+
+use crate::checkpoint::FleetCheckpoint;
+use crate::fleet::{ChipFailure, ChipState, FleetConfig};
+use crate::log::ScheduleEvent;
+use crate::request::{Backoff, CompletionPath, Priority, SolveRequest, SolveTicket};
+use crate::service::{FleetService, SchedError};
+
+/// Knobs of one deterministic soak run. Every injector is period-based on
+/// the harness tick clock; `0` disables it.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed: workload, jitter, and injection choices all derive
+    /// from it.
+    pub seed: u64,
+    /// Fleet size.
+    pub chips: usize,
+    /// Target number of *accepted* requests before the harness stops
+    /// submitting and drains.
+    pub requests: usize,
+    /// Bounded queue capacity (bursts overflow it on purpose).
+    pub queue_capacity: usize,
+    /// Brownout watermark for `Low`-priority shedding.
+    pub brownout_low_watermark: usize,
+    /// Chip kill schedule: `(chip, tick)` — the chip dies permanently at
+    /// that tick. Killing every chip exercises the digital-only lane.
+    pub kills: Vec<(usize, usize)>,
+    /// Inject a transient mid-batch hang on a seeded chip every N ticks.
+    pub hang_every: usize,
+    /// Dispatcher stall: skip the dispatch round every N ticks, letting
+    /// the queue build up.
+    pub stall_every: usize,
+    /// Submit a full-capacity burst every N ticks (overload).
+    pub burst_every: usize,
+    /// Submit a wave of tight-deadline requests every N ticks.
+    pub deadline_storm_every: usize,
+    /// Take a fleet checkpoint every N ticks.
+    pub checkpoint_every: usize,
+    /// Crash the service and restore it from the last checkpoint + WAL
+    /// every N ticks.
+    pub crash_every: usize,
+    /// Quarantines before a chip is retired for good.
+    pub retire_after_quarantines: usize,
+    /// Hard tick bound — exceeding it is itself an invariant violation
+    /// (the fleet failed to converge).
+    pub max_ticks: usize,
+}
+
+impl ChaosConfig {
+    /// The standard soak: four chips, all of which die before the run
+    /// ends, every injector armed, ≥ `requests` accepted submissions.
+    pub fn standard(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            chips: 4,
+            requests: 500,
+            queue_capacity: 32,
+            brownout_low_watermark: 24,
+            kills: vec![(0, 40), (1, 70), (2, 100), (3, 130)],
+            hang_every: 17,
+            stall_every: 13,
+            burst_every: 29,
+            deadline_storm_every: 23,
+            checkpoint_every: 19,
+            crash_every: 31,
+            retire_after_quarantines: 2,
+            max_ticks: 5000,
+        }
+    }
+}
+
+/// What one soak run did and whether the invariants held. `violations`
+/// empty means the run passed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Soak seed, echoed for reproduction.
+    pub seed: u64,
+    /// Harness ticks executed.
+    pub ticks: usize,
+    /// Submit attempts (including retries).
+    pub submitted: usize,
+    /// Requests accepted at admission.
+    pub accepted: usize,
+    /// Accepted requests answered.
+    pub completed: usize,
+    /// Typed rejections by label.
+    pub rejected_queue_full: usize,
+    /// Brownout sheds.
+    pub rejected_brownout: usize,
+    /// Infeasible-deadline refusals.
+    pub rejected_deadline: usize,
+    /// Dispatch rounds run by the surviving service.
+    pub rounds: u64,
+    /// Crash/restore cycles executed.
+    pub crashes: usize,
+    /// Permanent chip deaths injected.
+    pub injected_deaths: usize,
+    /// Transient mid-batch hangs injected.
+    pub injected_hangs: usize,
+    /// Dispatcher stalls injected.
+    pub stalls: usize,
+    /// Batches bounced off dead/hung chips and requeued.
+    pub requeues: usize,
+    /// Quarantine decisions across the run.
+    pub quarantines: usize,
+    /// Chips retired for good.
+    pub retirements: usize,
+    /// Completions answered past their deadline by the digital lane.
+    pub deadline_fallbacks: usize,
+    /// Completions served digital-only (whole fleet out of rotation).
+    pub digital_only: usize,
+    /// Invariant violations; empty means the soak passed.
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The report as a JSON object (hand-rolled; the repo takes no
+    /// serialization dependency), for the CI soak artifact.
+    pub fn to_json(&self) -> String {
+        let violations: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"format\": \"aa-sched-chaos-soak\",\n",
+                "  \"version\": 1,\n",
+                "  \"seed\": {},\n",
+                "  \"passed\": {},\n",
+                "  \"ticks\": {},\n",
+                "  \"submitted\": {},\n",
+                "  \"accepted\": {},\n",
+                "  \"completed\": {},\n",
+                "  \"rejected_queue_full\": {},\n",
+                "  \"rejected_brownout\": {},\n",
+                "  \"rejected_deadline\": {},\n",
+                "  \"rounds\": {},\n",
+                "  \"crashes\": {},\n",
+                "  \"injected_deaths\": {},\n",
+                "  \"injected_hangs\": {},\n",
+                "  \"stalls\": {},\n",
+                "  \"requeues\": {},\n",
+                "  \"quarantines\": {},\n",
+                "  \"retirements\": {},\n",
+                "  \"deadline_fallbacks\": {},\n",
+                "  \"digital_only\": {},\n",
+                "  \"violations\": [{}]\n",
+                "}}"
+            ),
+            self.seed,
+            self.passed(),
+            self.ticks,
+            self.submitted,
+            self.accepted,
+            self.completed,
+            self.rejected_queue_full,
+            self.rejected_brownout,
+            self.rejected_deadline,
+            self.rounds,
+            self.crashes,
+            self.injected_deaths,
+            self.injected_hangs,
+            self.stalls,
+            self.requeues,
+            self.quarantines,
+            self.retirements,
+            self.deadline_fallbacks,
+            self.digital_only,
+            violations.join(", "),
+        )
+    }
+}
+
+/// A retry the harness owes the service after a transient rejection.
+struct PendingRetry {
+    request: SolveRequest,
+    due_tick: usize,
+}
+
+/// Runs one deterministic soak (see the module docs for the scenario and
+/// the invariants it audits).
+///
+/// # Errors
+///
+/// [`SchedError`] only for harness-level misuse (a config that cannot
+/// build a fleet, or a checkpoint that fails to restore) — workload-level
+/// failures are soaked up and audited, not returned.
+pub fn run_soak(config: &ChaosConfig) -> Result<ChaosReport, SchedError> {
+    let structures = vec![
+        CsrMatrix::tridiagonal(3, -1.0, 2.0, -1.0).expect("static dims"),
+        CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).expect("static dims"),
+        CsrMatrix::tridiagonal(6, -1.0, 2.0, -1.0).expect("static dims"),
+    ];
+    let mut fleet_cfg = FleetConfig::new(config.chips)
+        .with_seed(config.seed)
+        .with_queue_capacity(config.queue_capacity)
+        .with_brownout(config.brownout_low_watermark);
+    fleet_cfg.health.retire_after_quarantines = Some(config.retire_after_quarantines);
+
+    let mut service = FleetService::new(fleet_cfg.clone(), structures.clone())?;
+    let mut report = ChaosReport {
+        seed: config.seed,
+        ..ChaosReport::default()
+    };
+    let mut rng = Rng64::seed_from_u64(config.seed ^ 0xC4A0_5EED);
+    let mut backoff = Backoff::new(0.05, 5.0, config.seed ^ 0x0BAC_C0FF);
+    let mut accepted: Vec<SolveTicket> = Vec::new();
+    let mut retries: Vec<PendingRetry> = Vec::new();
+    let mut last_checkpoint: FleetCheckpoint = service.checkpoint();
+    // Seconds of simulated client time one tick spans, for converting
+    // backoff delays into due ticks.
+    const TICK_S: f64 = 0.05;
+    // Keep traffic flowing until every scheduled kill has had time to play
+    // out (bounce → quarantine → failed probe → retirement takes a dozen
+    // rounds of live load), or dead chips would idle in rotation unproven.
+    let failure_horizon = config
+        .kills
+        .iter()
+        .map(|&(_, at)| at + 40)
+        .max()
+        .unwrap_or(0);
+
+    let mut tick = 0usize;
+    loop {
+        tick += 1;
+        if tick > config.max_ticks {
+            report.violations.push(format!(
+                "soak did not converge within {} ticks (queue={}, accepted={}, target={})",
+                config.max_ticks,
+                service.queue_depth(),
+                accepted.len(),
+                config.requests
+            ));
+            break;
+        }
+
+        // --- injections --------------------------------------------------
+        for (chip, at) in &config.kills {
+            if *at == tick {
+                service.inject_chaos(*chip, Some(ChipFailure::Dead))?;
+                report.injected_deaths += 1;
+            }
+        }
+        if config.hang_every != 0 && tick.is_multiple_of(config.hang_every) {
+            let chip = rng.below(config.chips);
+            let served = rng.below(2);
+            service.inject_chaos(chip, Some(ChipFailure::HangAfter { served }))?;
+            report.injected_hangs += 1;
+        }
+
+        // --- workload ----------------------------------------------------
+        let mut to_submit: Vec<SolveRequest> = Vec::new();
+        if accepted.len() < config.requests || tick < failure_horizon {
+            let burst = config.burst_every != 0 && tick.is_multiple_of(config.burst_every);
+            let storm = config.deadline_storm_every != 0
+                && tick.is_multiple_of(config.deadline_storm_every);
+            // Bursts oversubscribe the queue outright — brownout sheds the
+            // Low-priority tail first, and the remainder still overflows so
+            // both rejection paths are exercised.
+            let n = if burst {
+                config.queue_capacity * 2
+            } else {
+                1 + rng.below(3)
+            };
+            for _ in 0..n {
+                let structure = rng.below(3);
+                let dim = [3usize, 4, 6][structure];
+                let rhs: Vec<f64> = (0..dim).map(|_| rng.range(-1.0, 1.0)).collect();
+                let mut request =
+                    SolveRequest::new(structure, rhs).with_priority(match rng.below(3) {
+                        0 => Priority::High,
+                        1 => Priority::Normal,
+                        _ => Priority::Low,
+                    });
+                if storm {
+                    // Tight deadlines around the estimate: some admit and
+                    // fall back at solve time, some are refused up front.
+                    if let Some(estimate) = service.estimate_s(structure) {
+                        request = request.with_deadline_s(estimate * rng.range(0.8, 1.4));
+                    }
+                }
+                to_submit.push(request);
+            }
+        }
+        let due: Vec<usize> = retries
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.due_tick <= tick)
+            .map(|(i, _)| i)
+            .collect();
+        for i in due.into_iter().rev() {
+            to_submit.push(retries.remove(i).request);
+        }
+        for request in to_submit {
+            report.submitted += 1;
+            match service.submit(request.clone()) {
+                Ok(ticket) => {
+                    accepted.push(ticket);
+                    backoff.reset();
+                }
+                Err(verdict) => {
+                    match verdict {
+                        crate::request::Rejected::QueueFull { .. } => {
+                            report.rejected_queue_full += 1
+                        }
+                        crate::request::Rejected::Brownout { .. } => report.rejected_brownout += 1,
+                        crate::request::Rejected::DeadlineInfeasible { .. } => {
+                            report.rejected_deadline += 1;
+                            continue; // retrying verbatim can never succeed
+                        }
+                        _ => continue,
+                    }
+                    let delay_s = backoff.next_delay_s(&verdict);
+                    retries.push(PendingRetry {
+                        request,
+                        due_tick: tick + (delay_s / TICK_S).ceil() as usize,
+                    });
+                }
+            }
+        }
+
+        // --- dispatch (unless the dispatcher is stalled) -------------------
+        if config.stall_every != 0 && tick.is_multiple_of(config.stall_every) {
+            report.stalls += 1;
+        } else {
+            service.run_round();
+        }
+
+        // --- durability & crash ------------------------------------------
+        if config.checkpoint_every != 0 && tick.is_multiple_of(config.checkpoint_every) {
+            last_checkpoint = service.checkpoint();
+        }
+        if config.crash_every != 0 && tick.is_multiple_of(config.crash_every) {
+            let wal = service.wal().clone();
+            drop(service);
+            service = FleetService::restore(
+                fleet_cfg.clone(),
+                structures.clone(),
+                &last_checkpoint,
+                &wal,
+            )?;
+            report.crashes += 1;
+        }
+
+        let drained = service.queue_depth() == 0 && retries.is_empty();
+        if accepted.len() >= config.requests && drained && tick >= failure_horizon {
+            break;
+        }
+    }
+    report.ticks = tick;
+    report.rounds = service.rounds();
+    report.accepted = accepted.len();
+
+    // --- invariant audit ---------------------------------------------------
+    for ticket in &accepted {
+        if service.completion(*ticket).is_none() {
+            report
+                .violations
+                .push(format!("accepted ticket {} was never answered", ticket.0));
+        }
+    }
+    let mut answered = BTreeSet::new();
+    for event in &service.log().events {
+        match event {
+            ScheduleEvent::Completed { ticket, .. } if !answered.insert(*ticket) => {
+                report
+                    .violations
+                    .push(format!("ticket {ticket} answered more than once"));
+            }
+            ScheduleEvent::Requeued { .. } => report.requeues += 1,
+            ScheduleEvent::Quarantined { .. } => report.quarantines += 1,
+            ScheduleEvent::Retired { .. } => report.retirements += 1,
+            _ => {}
+        }
+    }
+    for (chip, _) in &config.kills {
+        let state = service.health()[*chip].state;
+        if !matches!(state, ChipState::Retired | ChipState::Quarantined { .. }) {
+            report.violations.push(format!(
+                "killed chip {chip} ended in rotation ({state:?}) — quarantine did not converge"
+            ));
+        }
+    }
+    for completion in service.completions() {
+        report.completed += 1;
+        match completion.path {
+            CompletionPath::DigitalOnly => report.digital_only += 1,
+            CompletionPath::DeadlineFallback => report.deadline_fallbacks += 1,
+            _ => {}
+        }
+    }
+    if config.kills.len() >= config.chips && report.digital_only == 0 {
+        report
+            .violations
+            .push("whole fleet was killed but the digital-only lane never engaged".to_string());
+    }
+    if report.completed < accepted.len() {
+        report.violations.push(format!(
+            "{} accepted requests but only {} completions",
+            accepted.len(),
+            report.completed
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_soak_is_deterministic_and_passes() {
+        let cfg = ChaosConfig {
+            requests: 40,
+            kills: vec![(0, 10), (1, 16), (2, 22), (3, 28)],
+            max_ticks: 800,
+            ..ChaosConfig::standard(11)
+        };
+        let a = run_soak(&cfg).unwrap();
+        let b = run_soak(&cfg).unwrap();
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.to_json(), b.to_json(), "same seed, same soak");
+        assert!(a.accepted >= 40);
+        assert!(a.completed >= a.accepted);
+        assert!(a.crashes > 0, "crash/restore exercised");
+        assert!(a.digital_only > 0, "digital lane engaged");
+    }
+
+    #[test]
+    fn report_json_is_parseable_shape() {
+        let mut report = ChaosReport {
+            seed: 3,
+            ..ChaosReport::default()
+        };
+        report.violations.push("example \"quoted\" issue".into());
+        let json = report.to_json();
+        assert!(json.contains("\"format\": \"aa-sched-chaos-soak\""));
+        assert!(json.contains("\"passed\": false"));
+        assert!(json.contains("\\\"quoted\\\""));
+    }
+}

@@ -1,0 +1,172 @@
+//! Crash recovery for the fleet service: the versioned [`FleetCheckpoint`]
+//! snapshot plus the [`AdmissionWal`] — an append-only log of every
+//! external input (submit attempts, dispatch rounds, chaos injections)
+//! since the last checkpoint.
+//!
+//! The recovery contract is event sourcing over a deterministic core.
+//! Everything the dispatcher does between two external inputs is a pure
+//! function of fleet state, so a service rebuilt from
+//! `checkpoint + WAL replay` is **bit-identical** to one that never
+//! crashed: same [`ScheduleLog`], same solution vectors, same masked
+//! `aa-obs` traces for all post-crash work. Replay runs with telemetry
+//! silenced ([`aa_obs::silenced`]) so recovered work is not double-counted
+//! in the live recorder.
+//!
+//! Exactly-once semantics follow from what each half holds:
+//!
+//! * the checkpoint freezes admitted-but-queued requests and the full
+//!   completion set, so nothing settled is re-answered from scratch;
+//! * the WAL records every admission attempt after the checkpoint, so
+//!   nothing accepted is lost — replaying the ops re-admits and re-serves
+//!   them deterministically, reissuing the same tickets.
+//!
+//! In a real deployment the WAL is the durable append log and the
+//! checkpoint a periodic compaction of it; here both are plain values the
+//! harness keeps across the simulated crash
+//! ([`FleetService::checkpoint`](crate::FleetService::checkpoint) /
+//! [`FleetService::restore`](crate::FleetService::restore)).
+
+use crate::fleet::{ChipFailure, ChipHealth, SlotCheckpoint};
+use crate::log::ScheduleLog;
+use crate::request::{Completion, Priority, SolveRequest};
+
+/// One admitted-but-undispatched request, as frozen in a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedRequest {
+    /// The ticket issued at admission.
+    pub ticket: u64,
+    /// The registered structure it targets.
+    pub structure: usize,
+    /// Its right-hand side.
+    pub rhs: Vec<f64>,
+    /// Its priority class.
+    pub priority: Priority,
+    /// Its analog-deadline budget, if any.
+    pub deadline_s: Option<f64>,
+}
+
+/// A consistent snapshot of the whole fleet service, taken between
+/// dispatch rounds: per-chip solver state (noise clocks, lifetimes, trim
+/// codes, fault plans, plan caches), dispatcher health records, the
+/// pending queue, the completion set, the schedule log, and the ticket /
+/// round counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCheckpoint {
+    /// Layout version stamp; restores of a different version are refused.
+    pub version: u32,
+    /// The base seed of the fleet that produced this snapshot — a restore
+    /// into a differently-seeded fleet would silently diverge, so it is
+    /// checked instead.
+    pub base_seed: u64,
+    /// Per-chip slot states, in chip order.
+    pub chips: Vec<SlotCheckpoint>,
+    /// Dispatcher-side health records, in chip order.
+    pub health: Vec<ChipHealth>,
+    /// Admitted requests still waiting for dispatch.
+    pub queue: Vec<QueuedRequest>,
+    /// Every settled completion — the exactly-once record: a restored
+    /// fleet never re-answers these.
+    pub completions: Vec<Completion>,
+    /// The schedule log up to the snapshot point.
+    pub log: ScheduleLog,
+    /// The next ticket id to issue.
+    pub next_ticket: u64,
+    /// Dispatch rounds run so far.
+    pub round: u64,
+}
+
+impl FleetCheckpoint {
+    /// Current checkpoint layout version.
+    pub const FORMAT_VERSION: u32 = 1;
+}
+
+/// One external input to the fleet service, as recorded in the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// A submit attempt — recorded whether it was admitted or rejected,
+    /// since both outcomes shape the schedule log deterministically.
+    Submit(SolveRequest),
+    /// One dispatch round ran.
+    Round,
+    /// A chaos failure was installed on (or cleared from) a chip.
+    Inject {
+        /// The targeted chip.
+        chip: usize,
+        /// The failure mode (`None` clears).
+        failure: Option<ChipFailure>,
+    },
+}
+
+/// The admission write-ahead log: every external input since the last
+/// checkpoint, in arrival order. Appended by the service itself; cleared
+/// when a checkpoint compacts it. Replaying a WAL over its checkpoint
+/// ([`FleetService::restore`](crate::FleetService::restore)) reproduces
+/// the crashed service's state bit for bit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdmissionWal {
+    ops: Vec<WalOp>,
+}
+
+impl AdmissionWal {
+    /// An empty log.
+    pub fn new() -> Self {
+        AdmissionWal::default()
+    }
+
+    /// The recorded ops, in arrival order.
+    pub fn ops(&self) -> &[WalOp] {
+        &self.ops
+    }
+
+    /// Ops recorded since the last checkpoint.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing happened since the last checkpoint.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub(crate) fn record_submit(&mut self, request: SolveRequest) {
+        self.ops.push(WalOp::Submit(request));
+    }
+
+    pub(crate) fn record_round(&mut self) {
+        self.ops.push(WalOp::Round);
+    }
+
+    pub(crate) fn record_inject(&mut self, chip: usize, failure: Option<ChipFailure>) {
+        self.ops.push(WalOp::Inject { chip, failure });
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_records_ops_in_order_and_clears() {
+        let mut wal = AdmissionWal::new();
+        assert!(wal.is_empty());
+        wal.record_submit(SolveRequest::new(0, vec![1.0]));
+        wal.record_round();
+        wal.record_inject(2, Some(ChipFailure::Dead));
+        assert_eq!(wal.len(), 3);
+        assert!(matches!(wal.ops()[0], WalOp::Submit(_)));
+        assert_eq!(wal.ops()[1], WalOp::Round);
+        assert_eq!(
+            wal.ops()[2],
+            WalOp::Inject {
+                chip: 2,
+                failure: Some(ChipFailure::Dead)
+            }
+        );
+        wal.clear();
+        assert!(wal.is_empty());
+    }
+}

@@ -17,7 +17,7 @@ use aa_hwmodel::design::AcceleratorDesign;
 use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
 use aa_linalg::rng::mix64;
 use aa_linalg::{vector, CsrMatrix, LinearOperator};
-use aa_solver::{FinalPath, RecoveryConfig, SolverConfig, SupervisedSolver};
+use aa_solver::{FinalPath, RecoveryConfig, SolverConfig, SupervisedCheckpoint, SupervisedSolver};
 
 use crate::request::CompletionPath;
 
@@ -32,6 +32,10 @@ pub struct HealthConfig {
     /// Rounds a quarantined chip sits out before it gets one probe
     /// request; a clean probe re-admits it, a dirty one re-quarantines.
     pub readmit_after_rounds: u64,
+    /// After this many quarantines the chip is retired for good — no
+    /// further probes, so a dead chip cannot cycle through probation
+    /// forever. `None` keeps probing indefinitely.
+    pub retire_after_quarantines: Option<usize>,
 }
 
 impl Default for HealthConfig {
@@ -40,6 +44,7 @@ impl Default for HealthConfig {
             alpha: 0.5,
             quarantine_threshold: 0.7,
             readmit_after_rounds: 4,
+            retire_after_quarantines: None,
         }
     }
 }
@@ -71,6 +76,11 @@ pub struct FleetConfig {
     pub health: HealthConfig,
     /// Relative-residual tolerance of the digital (CG) lanes.
     pub fallback_tolerance: f64,
+    /// Overload-brownout watermark: once the queue is at or above this
+    /// depth, `Low`-priority admissions are shed with a typed
+    /// [`Rejected::Brownout`](crate::Rejected::Brownout) verdict so
+    /// higher classes keep headroom. `None` disables brownout shedding.
+    pub brownout_low_watermark: Option<usize>,
     /// Fault plans installed at construction: `(chip, plan)`. Each plan is
     /// [`reseeded`](FaultPlan::reseeded) with the chip's fleet seed so
     /// copies of one plan draw independent noise on different chips.
@@ -91,6 +101,7 @@ impl FleetConfig {
             design: AcceleratorDesign::prototype_20khz(),
             health: HealthConfig::default(),
             fallback_tolerance: 1e-8,
+            brownout_low_watermark: None,
             fault_plans: Vec::new(),
         }
     }
@@ -116,6 +127,13 @@ impl FleetConfig {
     /// Installs a fault plan on one chip (fleet-reseeded at construction).
     pub fn with_fault_plan(mut self, chip: usize, plan: FaultPlan) -> Self {
         self.fault_plans.push((chip, plan));
+        self
+    }
+
+    /// Enables overload brownout: `Low`-priority admissions are shed once
+    /// the queue reaches `watermark` entries.
+    pub fn with_brownout(mut self, watermark: usize) -> Self {
+        self.brownout_low_watermark = Some(watermark);
         self
     }
 
@@ -148,6 +166,11 @@ pub enum ChipState {
     /// Receiving one probe request this round; the outcome decides
     /// re-admission.
     Probation,
+    /// Permanently out of rotation: the chip burned through its
+    /// quarantine budget
+    /// ([`HealthConfig::retire_after_quarantines`]) and is never probed
+    /// again.
+    Retired,
 }
 
 /// Dispatcher-side health record of one chip.
@@ -194,12 +217,89 @@ pub(crate) fn outcome_weight(path: CompletionPath) -> f64 {
 /// One request as placed on a chip: `(ticket, structure, rhs, deadline)`.
 pub(crate) type Assignment = (u64, usize, Vec<f64>, Option<f64>);
 
-/// The per-round work item routed to one chip — possibly empty, so every
-/// round ships exactly one item per chip and the worker-pool routing stays
+/// A chaos-injected failure mode for one chip (driven by
+/// [`FleetService::inject_chaos`](crate::FleetService::inject_chaos) and
+/// the [`chaos`](crate::chaos) harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChipFailure {
+    /// The chip is dead: it acknowledges nothing, forever. Every batch
+    /// placed on it bounces back unserved until health scoring quarantines
+    /// and eventually retires it.
+    Dead,
+    /// The chip wedges partway through its next non-empty batch: it serves
+    /// `served` assignments, drops the rest, and then recovers (the
+    /// watchdog resets a hung chip after the round).
+    HangAfter {
+        /// Assignments answered before the wedge.
+        served: usize,
+    },
+}
+
+impl ChipFailure {
+    /// Short stable label used in telemetry and soak reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChipFailure::Dead => "dead",
+            ChipFailure::HangAfter { .. } => "hang",
+        }
+    }
+}
+
+/// Everything mutable about one chip slot, as frozen into a
+/// [`FleetCheckpoint`](crate::FleetCheckpoint): the per-structure solver
+/// states (noise-RNG clocks, consumed lifetime, trim codes, shifted fault
+/// plans, plan-cache validity, headroom factors) plus any injected chaos
+/// failure. The immutable parts — netlists, seeds, configs — are rebuilt
+/// deterministically from the [`FleetConfig`] at restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotCheckpoint {
+    /// The chip's fleet index.
+    pub chip: usize,
+    /// Per-structure supervised-solver checkpoints, in structure order.
+    pub solvers: Vec<(usize, SupervisedCheckpoint)>,
+    /// The chaos failure installed on this chip, if any.
+    pub failure: Option<ChipFailure>,
+}
+
+/// The per-round command routed to one chip — exactly one per chip per
+/// round (possibly an empty `Run`), so the worker-pool routing stays
 /// worker-count-invariant.
-#[derive(Debug, Default)]
-pub(crate) struct ChipJob {
-    pub assignments: Vec<Assignment>,
+#[derive(Debug)]
+pub(crate) enum ChipCommand {
+    /// Serve a batch of assignments (empty for idle chips).
+    Run(Vec<Assignment>),
+    /// Export the slot's checkpoint state.
+    Export,
+    /// Replace the slot's mutable state from a checkpoint.
+    Import(Box<SlotCheckpoint>),
+    /// Install (or clear, with `None`) a chaos failure mode.
+    Inject(Option<ChipFailure>),
+}
+
+impl Default for ChipCommand {
+    fn default() -> Self {
+        ChipCommand::Run(Vec::new())
+    }
+}
+
+/// A chip's answer to one [`ChipCommand`].
+#[derive(Debug)]
+pub(crate) enum ChipReply {
+    /// The batch ran: outcomes for served assignments, plus any the chip
+    /// failed to serve (the dispatcher requeues those — accepted requests
+    /// are never lost to a dead or hung chip).
+    Ran {
+        outcomes: Vec<ChipOutcome>,
+        unserved: Vec<Assignment>,
+        failed: bool,
+    },
+    /// The exported slot state.
+    Exported(Box<SlotCheckpoint>),
+    /// Import verdict; errors are rendered to strings so they can cross
+    /// the worker-pool boundary.
+    Imported(Result<(), String>),
+    /// Injection acknowledged.
+    Injected,
 }
 
 /// What a chip reports back for one assignment.
@@ -224,6 +324,8 @@ pub(crate) struct ChipSlot {
     /// the unit of compiled-plan reuse.
     solvers: BTreeMap<usize, SupervisedSolver>,
     fallback_tolerance: f64,
+    /// The chaos failure currently installed, if any.
+    failure: Option<ChipFailure>,
 }
 
 impl ChipSlot {
@@ -244,25 +346,102 @@ impl ChipSlot {
             structures,
             solvers: BTreeMap::new(),
             fallback_tolerance: config.fallback_tolerance,
+            failure: None,
         }
     }
 
-    /// Serves one round's batch, in assignment order.
-    pub fn run(&mut self, job: ChipJob) -> Vec<ChipOutcome> {
-        job.assignments
-            .into_iter()
-            .map(|(ticket, structure, rhs, deadline_s)| {
-                let outcome = self.serve(ticket, structure, &rhs, deadline_s);
-                aa_obs::event(
-                    aa_obs::Event::new("sched.solve")
-                        .with("ticket", ticket)
-                        .with("chip", self.index)
-                        .with("path", outcome.path.label()),
-                );
-                aa_obs::counter("sched.chip_solves", 1);
-                outcome
-            })
-            .collect()
+    /// Executes one dispatcher command on this chip.
+    pub fn execute(&mut self, command: ChipCommand) -> ChipReply {
+        match command {
+            ChipCommand::Run(assignments) => self.run(assignments),
+            ChipCommand::Export => ChipReply::Exported(Box::new(self.export_state())),
+            ChipCommand::Import(state) => ChipReply::Imported(self.import_state(&state)),
+            ChipCommand::Inject(failure) => {
+                self.failure = failure;
+                ChipReply::Injected
+            }
+        }
+    }
+
+    /// Serves one round's batch, in assignment order. An injected failure
+    /// makes the chip drop part or all of the batch: dropped assignments
+    /// come back `unserved` so the dispatcher can requeue them.
+    pub fn run(&mut self, assignments: Vec<Assignment>) -> ChipReply {
+        let dispatched = assignments.len();
+        let (served, failed) = match self.failure {
+            Some(ChipFailure::Dead) => (0, dispatched > 0),
+            Some(ChipFailure::HangAfter { served }) if dispatched > 0 => {
+                // The watchdog resets a wedged chip after the round.
+                self.failure = None;
+                (served.min(dispatched), true)
+            }
+            _ => (dispatched, false),
+        };
+        let mut outcomes = Vec::with_capacity(served);
+        let mut unserved = Vec::new();
+        for (k, (ticket, structure, rhs, deadline_s)) in assignments.into_iter().enumerate() {
+            if k >= served {
+                unserved.push((ticket, structure, rhs, deadline_s));
+                continue;
+            }
+            let outcome = self.serve(ticket, structure, &rhs, deadline_s);
+            aa_obs::event(
+                aa_obs::Event::new("sched.solve")
+                    .with("ticket", ticket)
+                    .with("chip", self.index)
+                    .with("path", outcome.path.label()),
+            );
+            aa_obs::counter("sched.chip_solves", 1);
+            outcomes.push(outcome);
+        }
+        ChipReply::Ran {
+            outcomes,
+            unserved,
+            failed,
+        }
+    }
+
+    /// Freezes this slot's mutable state for a fleet checkpoint.
+    pub fn export_state(&self) -> SlotCheckpoint {
+        SlotCheckpoint {
+            chip: self.index,
+            solvers: self
+                .solvers
+                .iter()
+                .map(|(structure, solver)| (*structure, solver.export_state()))
+                .collect(),
+            failure: self.failure,
+        }
+    }
+
+    /// Rebuilds every checkpointed per-structure solver deterministically
+    /// (same seeds and configs as construction) and overlays the frozen
+    /// mutable state. Errors are rendered to strings so the verdict can
+    /// cross the worker-pool boundary.
+    pub fn import_state(&mut self, state: &SlotCheckpoint) -> Result<(), String> {
+        if state.chip != self.index {
+            return Err(format!(
+                "slot checkpoint for chip {} imported into chip {}",
+                state.chip, self.index
+            ));
+        }
+        let mut solvers = BTreeMap::new();
+        for (structure, ckpt) in &state.solvers {
+            let Some(matrix) = self.structures.get(*structure) else {
+                return Err(format!(
+                    "slot checkpoint references unregistered structure {structure}"
+                ));
+            };
+            let mut solver = SupervisedSolver::new(matrix, &self.config, &self.recovery)
+                .map_err(|e| format!("rebuilding solver for structure {structure}: {e}"))?;
+            solver
+                .import_state(ckpt)
+                .map_err(|e| format!("restoring solver for structure {structure}: {e}"))?;
+            solvers.insert(*structure, solver);
+        }
+        self.solvers = solvers;
+        self.failure = state.failure;
+        Ok(())
     }
 
     fn serve(

@@ -34,17 +34,31 @@
 //!   [`aa_hwmodel`] power model, aggregated per priority class in the
 //!   log (the paper's Fig. 9 energy/solve metric, per class).
 
+//! * **Crash recovery** — [`FleetService::checkpoint`] freezes the whole
+//!   fleet (per-chip RNG clocks, health, queue, plan-cache state) and the
+//!   [`AdmissionWal`] records every external input since; restoring the
+//!   pair ([`FleetService::restore`]) drains to bit-identical logs,
+//!   solutions, and masked traces versus a fleet that never crashed.
+//! * **Chaos testing** — the [`chaos`] module soaks the service under
+//!   seeded chip deaths, mid-batch hangs, dispatcher stalls, overload
+//!   bursts, deadline storms, and crash/restore cycles, auditing the
+//!   exactly-once and convergence invariants.
+
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
+mod checkpoint;
 mod fleet;
 mod log;
 mod request;
 mod service;
 
-pub use fleet::{ChipHealth, ChipState, FleetConfig, HealthConfig};
+pub use checkpoint::{AdmissionWal, FleetCheckpoint, QueuedRequest, WalOp};
+pub use fleet::{ChipFailure, ChipHealth, ChipState, FleetConfig, HealthConfig, SlotCheckpoint};
 pub use log::{ScheduleEvent, ScheduleLog};
 pub use request::{
-    Completion, CompletionPath, Priority, Rejected, SolveRequest, SolveTicket, PRIORITY_CLASSES,
+    Backoff, Completion, CompletionPath, Priority, Rejected, SolveRequest, SolveTicket,
+    PRIORITY_CLASSES,
 };
 pub use service::{FleetService, SchedError};

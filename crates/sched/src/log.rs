@@ -74,6 +74,25 @@ pub enum ScheduleEvent {
         /// The round of the decision.
         round: u64,
     },
+    /// A dispatched request came back unserved (its chip died or hung
+    /// mid-batch) and was returned to the queue. Accepted requests are
+    /// never lost to a failed chip.
+    Requeued {
+        /// The bounced ticket.
+        ticket: u64,
+        /// The chip that failed to serve it.
+        chip: usize,
+        /// The round of the bounce.
+        round: u64,
+    },
+    /// A chip exhausted its quarantine budget and was permanently removed
+    /// from rotation (no further probes).
+    Retired {
+        /// The chip taken out for good.
+        chip: usize,
+        /// The round of the decision.
+        round: u64,
+    },
 }
 
 impl ScheduleEvent {
@@ -121,6 +140,12 @@ impl ScheduleEvent {
             ScheduleEvent::Quarantined { chip, round } => format!("r{round} quarantine c{chip}"),
             ScheduleEvent::Probation { chip, round } => format!("r{round} probation c{chip}"),
             ScheduleEvent::Readmitted { chip, round } => format!("r{round} readmit c{chip}"),
+            ScheduleEvent::Requeued {
+                ticket,
+                chip,
+                round,
+            } => format!("r{round} requeue t{ticket} c{chip}"),
+            ScheduleEvent::Retired { chip, round } => format!("r{round} retire c{chip}"),
         }
     }
 }

@@ -1,5 +1,8 @@
 //! Requests, tickets, admission verdicts, and completions — the service's
-//! client-facing vocabulary.
+//! client-facing vocabulary — plus the [`Backoff`] retry helper that turns
+//! typed backpressure verdicts into paced resubmission.
+
+use aa_linalg::rng::Rng64;
 
 /// Priority class of a [`SolveRequest`]. Higher classes are dispatched
 /// first within a round; ties break by admission order.
@@ -42,7 +45,7 @@ impl Priority {
 /// [`FleetService::new`](crate::FleetService::new) — a chip's compiled-plan
 /// cache is keyed by structure, so same-structure requests batch onto one
 /// chip and reuse its lowered plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveRequest {
     /// Index of the registered coefficient matrix.
     pub structure: usize,
@@ -97,6 +100,19 @@ pub enum Rejected {
     QueueFull {
         /// The configured bound that was hit.
         capacity: usize,
+        /// Predicted seconds until the backlog drains enough to retry —
+        /// the queued work's estimated solve time divided over the chips
+        /// currently in rotation. A typed hint, not a guarantee.
+        retry_after_s: f64,
+    },
+    /// Overload brownout: the queue crossed the configured watermark, so
+    /// low-priority admissions are shed to protect higher classes'
+    /// deadlines. Retry later or escalate the priority.
+    Brownout {
+        /// Queue depth at the shedding decision.
+        queue_depth: usize,
+        /// Predicted seconds until the backlog drains below the watermark.
+        retry_after_s: f64,
     },
     /// The requested analog deadline is below the structure's predicted
     /// solve time — it could never be met, so it is refused up front.
@@ -125,9 +141,21 @@ impl Rejected {
     pub fn label(&self) -> &'static str {
         match self {
             Rejected::QueueFull { .. } => "queue_full",
+            Rejected::Brownout { .. } => "brownout",
             Rejected::DeadlineInfeasible { .. } => "deadline_infeasible",
             Rejected::UnknownStructure { .. } => "unknown_structure",
             Rejected::RhsLengthMismatch { .. } => "rhs_length_mismatch",
+        }
+    }
+
+    /// The typed retry hint, when the verdict is transient backpressure
+    /// (`QueueFull`, `Brownout`). `None` means retrying the same request
+    /// verbatim can never succeed.
+    pub fn retry_after_s(&self) -> Option<f64> {
+        match self {
+            Rejected::QueueFull { retry_after_s, .. }
+            | Rejected::Brownout { retry_after_s, .. } => Some(*retry_after_s),
+            _ => None,
         }
     }
 }
@@ -135,9 +163,23 @@ impl Rejected {
 impl std::fmt::Display for Rejected {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Rejected::QueueFull { capacity } => {
-                write!(f, "request queue is full ({capacity} entries)")
+            Rejected::QueueFull {
+                capacity,
+                retry_after_s,
+            } => {
+                write!(
+                    f,
+                    "request queue is full ({capacity} entries), retry after {retry_after_s} s"
+                )
             }
+            Rejected::Brownout {
+                queue_depth,
+                retry_after_s,
+            } => write!(
+                f,
+                "brownout: low-priority admissions shed at queue depth {queue_depth}, \
+                 retry after {retry_after_s} s"
+            ),
             Rejected::DeadlineInfeasible {
                 deadline_s,
                 estimate_s,
@@ -156,6 +198,57 @@ impl std::fmt::Display for Rejected {
 }
 
 impl std::error::Error for Rejected {}
+
+/// Client-side retry pacing for transient [`Rejected`] verdicts:
+/// exponential backoff with deterministic full jitter, floored by the
+/// verdict's own typed [`retry_after_s`](Rejected::retry_after_s) hint.
+///
+/// The jitter draws from the in-repo [`Rng64`], so a seeded client replays
+/// the same retry schedule bit-identically — the property every chaos and
+/// replay test in this repo leans on.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_s: f64,
+    cap_s: f64,
+    attempt: u32,
+    rng: Rng64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base_s`, doubling per attempt, capped at
+    /// `cap_s`, jittered from `seed`.
+    pub fn new(base_s: f64, cap_s: f64, seed: u64) -> Self {
+        Backoff {
+            base_s: base_s.max(0.0),
+            cap_s: cap_s.max(base_s.max(0.0)),
+            attempt: 0,
+            rng: Rng64::seed_from_u64(seed),
+        }
+    }
+
+    /// The delay before the next retry: `min(cap, base·2^attempt)` jittered
+    /// uniformly into `[delay/2, delay]`, and never below the verdict's own
+    /// retry hint when it carries one.
+    pub fn next_delay_s(&mut self, verdict: &Rejected) -> f64 {
+        let exp = (self.base_s * 2f64.powi(self.attempt.min(30) as i32)).min(self.cap_s);
+        self.attempt = self.attempt.saturating_add(1);
+        let jittered = 0.5 * exp + 0.5 * exp * self.rng.uniform();
+        match verdict.retry_after_s() {
+            Some(hint) => jittered.max(hint),
+            None => jittered,
+        }
+    }
+
+    /// Retries attempted since construction or the last [`reset`](Self::reset).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Clears the attempt counter after a successful submission.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
 
 /// How an accepted request's answer was ultimately produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,15 +343,53 @@ mod tests {
 
     #[test]
     fn rejection_labels_and_messages() {
-        let r = Rejected::QueueFull { capacity: 4 };
+        let r = Rejected::QueueFull {
+            capacity: 4,
+            retry_after_s: 0.5,
+        };
         assert_eq!(r.label(), "queue_full");
         assert!(r.to_string().contains('4'));
+        assert_eq!(r.retry_after_s(), Some(0.5));
+        let b = Rejected::Brownout {
+            queue_depth: 48,
+            retry_after_s: 1.5,
+        };
+        assert_eq!(b.label(), "brownout");
+        assert!(b.to_string().contains("48"));
+        assert_eq!(b.retry_after_s(), Some(1.5));
         let d = Rejected::DeadlineInfeasible {
             deadline_s: 0.1,
             estimate_s: 0.2,
         };
         assert_eq!(d.label(), "deadline_infeasible");
         assert!(d.to_string().contains("0.2"));
+        assert_eq!(d.retry_after_s(), None);
+    }
+
+    #[test]
+    fn backoff_grows_honors_hints_and_replays_deterministically() {
+        let full = Rejected::QueueFull {
+            capacity: 4,
+            retry_after_s: 0.0,
+        };
+        let mut a = Backoff::new(0.1, 10.0, 7);
+        let mut b = Backoff::new(0.1, 10.0, 7);
+        let da: Vec<f64> = (0..6).map(|_| a.next_delay_s(&full)).collect();
+        let db: Vec<f64> = (0..6).map(|_| b.next_delay_s(&full)).collect();
+        assert_eq!(da, db, "seeded jitter replays bit-identically");
+        for (k, d) in da.iter().enumerate() {
+            let ceiling = (0.1 * 2f64.powi(k as i32)).min(10.0);
+            assert!(*d >= ceiling / 2.0 && *d <= ceiling, "attempt {k}: {d}");
+        }
+        assert_eq!(a.attempts(), 6);
+        a.reset();
+        assert_eq!(a.attempts(), 0);
+        // A typed hint floors the jittered delay.
+        let hinted = Rejected::Brownout {
+            queue_depth: 9,
+            retry_after_s: 42.0,
+        };
+        assert!(a.next_delay_s(&hinted) >= 42.0);
     }
 
     #[test]

@@ -11,19 +11,27 @@ use std::sync::Arc;
 use aa_linalg::{CsrMatrix, LinearOperator, WorkerPool};
 use aa_solver::estimate::predicted_solve_time_s;
 
+use crate::checkpoint::{AdmissionWal, FleetCheckpoint, QueuedRequest, WalOp};
 use crate::fleet::{
-    digital_lane, outcome_weight, ChipHealth, ChipJob, ChipOutcome, ChipState, FleetConfig,
-    WorkerState,
+    digital_lane, outcome_weight, Assignment, ChipCommand, ChipFailure, ChipHealth, ChipReply,
+    ChipState, FleetConfig, SlotCheckpoint, WorkerState,
 };
 use crate::log::{ScheduleEvent, ScheduleLog};
 use crate::request::{Completion, CompletionPath, Priority, Rejected, SolveRequest, SolveTicket};
 
-/// A fleet construction error.
+/// A fleet construction or recovery error.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SchedError {
     /// The configuration cannot describe a runnable fleet.
     InvalidConfig {
         /// What was wrong.
+        message: String,
+    },
+    /// A checkpoint cannot be restored into this fleet — wrong format
+    /// version, wrong shape, or state referencing things the fleet does
+    /// not have.
+    CheckpointMismatch {
+        /// What did not line up.
         message: String,
     },
 }
@@ -32,6 +40,9 @@ impl std::fmt::Display for SchedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SchedError::InvalidConfig { message } => write!(f, "invalid fleet config: {message}"),
+            SchedError::CheckpointMismatch { message } => {
+                write!(f, "checkpoint mismatch: {message}")
+            }
         }
     }
 }
@@ -70,11 +81,17 @@ pub struct FleetService {
     /// Predicted analog solve seconds per structure (`None` when the
     /// estimator cannot price it — such requests are always admitted).
     estimates: Vec<Option<f64>>,
-    pool: WorkerPool<WorkerState, ChipJob, Vec<ChipOutcome>>,
+    pool: WorkerPool<WorkerState, ChipCommand, ChipReply>,
     health: Vec<ChipHealth>,
     queue: Vec<Queued>,
+    /// `(structure, priority)` of every admitted-but-unsettled ticket —
+    /// the dispatcher's own index, so outcome collection never scans (or
+    /// panics on) the log.
+    inflight: BTreeMap<u64, (usize, Priority)>,
     completions: BTreeMap<u64, Completion>,
     log: ScheduleLog,
+    /// External inputs since the last checkpoint (see [`AdmissionWal`]).
+    wal: AdmissionWal,
     next_ticket: u64,
     round: u64,
 }
@@ -118,9 +135,12 @@ impl FleetService {
             .collect();
         let structures = Arc::new(structures);
         let states = WorkerState::partition(&config, &structures);
-        let pool = WorkerPool::new(states, |state: &mut WorkerState, i, job: ChipJob| {
-            state.slots[i - state.offset].run(job)
-        });
+        let pool = WorkerPool::new(
+            states,
+            |state: &mut WorkerState, i, command: ChipCommand| {
+                state.slots[i - state.offset].execute(command)
+            },
+        );
         let health = (0..config.chips).map(|_| ChipHealth::new()).collect();
         Ok(FleetService {
             config,
@@ -129,8 +149,10 @@ impl FleetService {
             pool,
             health,
             queue: Vec::new(),
+            inflight: BTreeMap::new(),
             completions: BTreeMap::new(),
             log: ScheduleLog::default(),
+            wal: AdmissionWal::new(),
             next_ticket: 0,
             round: 0,
         })
@@ -183,14 +205,17 @@ impl FleetService {
     }
 
     /// Admission control: validates the request, applies backpressure, and
-    /// enqueues it.
+    /// enqueues it. The attempt is WAL-recorded (admitted or not) so crash
+    /// recovery replays the exact admission sequence.
     ///
     /// # Errors
     ///
     /// A typed [`Rejected`] verdict — never a panic — naming the reason:
-    /// unknown structure, wrong rhs length, full queue, or a deadline
-    /// below the structure's predicted solve time.
+    /// unknown structure, wrong rhs length, full queue, brownout shedding,
+    /// or a deadline below the structure's predicted solve time. Transient
+    /// verdicts carry a [`retry_after_s`](Rejected::retry_after_s) hint.
     pub fn submit(&mut self, request: SolveRequest) -> Result<SolveTicket, Rejected> {
+        self.wal.record_submit(request.clone());
         let verdict = self.admit(&request);
         if let Err(rejection) = &verdict {
             self.log.rejected += 1;
@@ -216,6 +241,8 @@ impl FleetService {
             deadline_s: request.deadline_s,
         });
         aa_obs::counter("sched.requests_admitted", 1);
+        self.inflight
+            .insert(ticket, (request.structure, request.priority));
         self.queue.push(Queued {
             ticket,
             structure: request.structure,
@@ -241,7 +268,16 @@ impl FleetService {
         if self.queue.len() >= self.config.queue_capacity {
             return Err(Rejected::QueueFull {
                 capacity: self.config.queue_capacity,
+                retry_after_s: self.predicted_drain_s(),
             });
+        }
+        if let Some(watermark) = self.config.brownout_low_watermark {
+            if request.priority == Priority::Low && self.queue.len() >= watermark {
+                return Err(Rejected::Brownout {
+                    queue_depth: self.queue.len(),
+                    retry_after_s: self.predicted_drain_s(),
+                });
+            }
         }
         if let (Some(deadline), Some(estimate)) =
             (request.deadline_s, self.estimates[request.structure])
@@ -256,9 +292,29 @@ impl FleetService {
         Ok(())
     }
 
+    /// The typed retry hint for backpressure verdicts: the queued work's
+    /// predicted analog seconds spread over the chips in rotation (the
+    /// digital-only lane clears a queue in one round, so an all-quarantined
+    /// fleet still quotes one lane).
+    fn predicted_drain_s(&self) -> f64 {
+        let queued_work_s: f64 = self
+            .queue
+            .iter()
+            .map(|q| self.estimates[q.structure].unwrap_or(0.0))
+            .sum();
+        let lanes = self
+            .health
+            .iter()
+            .filter(|h| h.in_rotation())
+            .count()
+            .max(1);
+        queued_work_s / lanes as f64
+    }
+
     /// Runs one dispatch round; returns the number of requests completed
     /// (`0` when the queue was empty and nothing advanced).
     pub fn run_round(&mut self) -> usize {
+        self.wal.record_round();
         if self.queue.is_empty() {
             return 0;
         }
@@ -312,8 +368,10 @@ impl FleetService {
     /// same-structure followers (compiled-plan reuse). Probation chips get
     /// exactly one probe. Returns one job per chip — empty for idle or
     /// quarantined chips — so worker routing is round-invariant.
-    fn place_batches(&mut self) -> Vec<ChipJob> {
-        let mut jobs: Vec<ChipJob> = (0..self.config.chips).map(|_| ChipJob::default()).collect();
+    fn place_batches(&mut self) -> Vec<ChipCommand> {
+        let mut jobs: Vec<ChipCommand> = (0..self.config.chips)
+            .map(|_| ChipCommand::default())
+            .collect();
         for (chip, job) in jobs.iter_mut().enumerate() {
             if self.queue.is_empty() || !self.health[chip].in_rotation() {
                 continue;
@@ -338,10 +396,12 @@ impl FleetService {
                 chip,
                 tickets,
             });
-            job.assignments = batch
-                .into_iter()
-                .map(|q| (q.ticket, q.structure, q.rhs, q.deadline_s))
-                .collect();
+            *job = ChipCommand::Run(
+                batch
+                    .into_iter()
+                    .map(|q| (q.ticket, q.structure, q.rhs, q.deadline_s))
+                    .collect(),
+            );
         }
         jobs
     }
@@ -373,28 +433,47 @@ impl FleetService {
         served
     }
 
-    /// Folds one round's chip outcomes into completions, health scores,
-    /// and quarantine decisions — in chip order, on the dispatcher thread.
-    fn collect_round(&mut self, outcomes: Vec<Vec<ChipOutcome>>) -> usize {
+    /// Folds one round's chip replies into completions, requeues, health
+    /// scores, and quarantine decisions — in chip order, on the dispatcher
+    /// thread.
+    fn collect_round(&mut self, replies: Vec<ChipReply>) -> usize {
         let mut completed = 0;
-        for (chip, chip_outcomes) in outcomes.into_iter().enumerate() {
-            let served = !chip_outcomes.is_empty();
-            let mut worst = 0.0f64;
-            for outcome in chip_outcomes {
+        for (chip, reply) in replies.into_iter().enumerate() {
+            let ChipReply::Ran {
+                outcomes,
+                unserved,
+                failed,
+            } = reply
+            else {
+                // Only `Run` commands are shipped in a round; anything else
+                // is an internal routing bug. Skip rather than panic — the
+                // invariant is checked in debug builds.
+                debug_assert!(false, "non-Run reply in a dispatch round");
+                continue;
+            };
+            let dispatched = !outcomes.is_empty() || !unserved.is_empty();
+            let served = !outcomes.is_empty();
+            let mut worst = if failed { 1.0f64 } else { 0.0f64 };
+            for outcome in outcomes {
                 worst = worst.max(outcome_weight(outcome.path));
                 self.health[chip].solves += 1;
-                let meta = self
-                    .ticket_meta(outcome.ticket)
-                    .expect("outcome for unknown ticket");
+                // The inflight index replaces a log scan here; a ticket the
+                // dispatcher never admitted is dropped, not unwrapped.
+                let Some((structure, priority)) = self.inflight.get(&outcome.ticket).copied()
+                else {
+                    debug_assert!(false, "outcome for unknown ticket {}", outcome.ticket);
+                    aa_obs::counter("sched.orphan_outcomes", 1);
+                    continue;
+                };
                 let energy_j = self
                     .config
                     .design
-                    .energy_j(self.structures[meta.0].dim(), outcome.analog_time_s);
-                aa_obs::histogram(latency_metric(meta.1), outcome.analog_time_s);
+                    .energy_j(self.structures[structure].dim(), outcome.analog_time_s);
+                aa_obs::histogram(latency_metric(priority), outcome.analog_time_s);
                 self.settle(Completion {
                     ticket: SolveTicket(outcome.ticket),
-                    structure: meta.0,
-                    priority: meta.1,
+                    structure,
+                    priority,
                     solution: outcome.solution,
                     path: outcome.path,
                     residual: outcome.residual,
@@ -405,27 +484,47 @@ impl FleetService {
                 });
                 completed += 1;
             }
-            if served {
+            self.requeue(chip, unserved);
+            if served || (failed && dispatched) {
                 self.score(chip, worst);
             }
         }
         completed
     }
 
-    /// Looks up `(structure, priority)` of an admitted ticket from the log.
-    fn ticket_meta(&self, ticket: u64) -> Option<(usize, Priority)> {
-        self.log.events.iter().find_map(|e| match e {
-            ScheduleEvent::Admitted {
-                ticket: t,
+    /// Returns assignments a failed chip never served to the queue — the
+    /// exactly-once half of the failure story: an accepted request bounces
+    /// until a healthy chip (or the digital lane) answers it.
+    fn requeue(&mut self, chip: usize, unserved: Vec<Assignment>) {
+        for (ticket, structure, rhs, deadline_s) in unserved {
+            let priority = self
+                .inflight
+                .get(&ticket)
+                .map(|(_, p)| *p)
+                .unwrap_or_default();
+            self.log.events.push(ScheduleEvent::Requeued {
+                ticket,
+                chip,
+                round: self.round,
+            });
+            aa_obs::counter("sched.requeues", 1);
+            aa_obs::event(
+                aa_obs::Event::new("sched.requeue")
+                    .with("ticket", ticket)
+                    .with("chip", chip),
+            );
+            self.queue.push(Queued {
+                ticket,
                 structure,
+                rhs,
                 priority,
-                ..
-            } if *t == ticket => Some((*structure, *priority)),
-            _ => None,
-        })
+                deadline_s,
+            });
+        }
     }
 
     fn settle(&mut self, completion: Completion) {
+        self.inflight.remove(&completion.ticket.0);
         self.log.events.push(ScheduleEvent::Completed {
             ticket: completion.ticket.0,
             chip: completion.chip,
@@ -464,7 +563,7 @@ impl FleetService {
                     self.quarantine(chip);
                 }
             }
-            ChipState::Quarantined { .. } => {}
+            ChipState::Quarantined { .. } | ChipState::Retired => {}
         }
     }
 
@@ -479,6 +578,269 @@ impl FleetService {
         });
         aa_obs::counter("sched.quarantines", 1);
         aa_obs::event(aa_obs::Event::new("sched.quarantine").with("chip", chip));
+        if let Some(limit) = self.config.health.retire_after_quarantines {
+            if self.health[chip].quarantines >= limit {
+                self.health[chip].state = ChipState::Retired;
+                self.log.events.push(ScheduleEvent::Retired {
+                    chip,
+                    round: self.round,
+                });
+                aa_obs::counter("sched.retirements", 1);
+                aa_obs::event(aa_obs::Event::new("sched.retire").with("chip", chip));
+            }
+        }
+    }
+
+    /// Takes a consistent snapshot of the whole fleet — per-chip solver
+    /// state, health records, the pending queue, the completion set, the
+    /// schedule log, and the counters — and compacts the WAL (everything
+    /// recorded so far is baked into the snapshot).
+    ///
+    /// Restoring the snapshot with [`restore`](Self::restore), then
+    /// replaying the WAL accumulated afterwards, rebuilds the service bit
+    /// for bit.
+    pub fn checkpoint(&mut self) -> FleetCheckpoint {
+        let chips = self.export_slots();
+        self.wal.clear();
+        FleetCheckpoint {
+            version: FleetCheckpoint::FORMAT_VERSION,
+            base_seed: self.config.base_seed,
+            chips,
+            health: self.health.clone(),
+            queue: self
+                .queue
+                .iter()
+                .map(|q| QueuedRequest {
+                    ticket: q.ticket,
+                    structure: q.structure,
+                    rhs: q.rhs.clone(),
+                    priority: q.priority,
+                    deadline_s: q.deadline_s,
+                })
+                .collect(),
+            completions: self.completions.values().cloned().collect(),
+            log: self.log.clone(),
+            next_ticket: self.next_ticket,
+            round: self.round,
+        }
+    }
+
+    /// The external inputs recorded since the last checkpoint (or since
+    /// construction). In a real deployment this is the durable append log;
+    /// a crash harness clones it before dropping the service.
+    pub fn wal(&self) -> &AdmissionWal {
+        &self.wal
+    }
+
+    /// Every settled completion so far, in ticket order.
+    pub fn completions(&self) -> impl Iterator<Item = &Completion> + '_ {
+        self.completions.values()
+    }
+
+    /// Rebuilds a crashed service from its last checkpoint plus the WAL
+    /// recorded afterwards. `config` and `structures` must be the ones the
+    /// crashed fleet was built with — the deterministic parts (netlists,
+    /// seeds, process variation) are reconstructed from them, then the
+    /// checkpointed mutable state is overlaid and the WAL ops are replayed
+    /// with telemetry silenced (recovered work is not double-counted).
+    ///
+    /// The restored service drains to bit-identical [`ScheduleLog`],
+    /// solutions, and masked traces versus a fleet that never crashed.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidConfig`] as for [`new`](Self::new), or
+    /// [`SchedError::CheckpointMismatch`] when the snapshot does not fit
+    /// the fleet (version, seed, chip count, structure references).
+    pub fn restore(
+        config: FleetConfig,
+        structures: Vec<CsrMatrix>,
+        checkpoint: &FleetCheckpoint,
+        wal: &AdmissionWal,
+    ) -> Result<Self, SchedError> {
+        if checkpoint.version != FleetCheckpoint::FORMAT_VERSION {
+            return Err(SchedError::CheckpointMismatch {
+                message: format!(
+                    "checkpoint format v{} but this build reads v{}",
+                    checkpoint.version,
+                    FleetCheckpoint::FORMAT_VERSION
+                ),
+            });
+        }
+        if checkpoint.base_seed != config.base_seed {
+            return Err(SchedError::CheckpointMismatch {
+                message: format!(
+                    "checkpoint was taken at base seed {:#x}, fleet config has {:#x}",
+                    checkpoint.base_seed, config.base_seed
+                ),
+            });
+        }
+        let mut service = Self::new(config, structures)?;
+        if checkpoint.chips.len() != service.config.chips
+            || checkpoint.health.len() != service.config.chips
+        {
+            return Err(SchedError::CheckpointMismatch {
+                message: format!(
+                    "checkpoint describes {} chips, fleet has {}",
+                    checkpoint.chips.len(),
+                    service.config.chips
+                ),
+            });
+        }
+        for q in &checkpoint.queue {
+            let Some(matrix) = service.structures.get(q.structure) else {
+                return Err(SchedError::CheckpointMismatch {
+                    message: format!(
+                        "queued ticket {} references unregistered structure {}",
+                        q.ticket, q.structure
+                    ),
+                });
+            };
+            if q.rhs.len() != matrix.dim() {
+                return Err(SchedError::CheckpointMismatch {
+                    message: format!(
+                        "queued ticket {} has rhs length {}, structure {} needs {}",
+                        q.ticket,
+                        q.rhs.len(),
+                        q.structure,
+                        matrix.dim()
+                    ),
+                });
+            }
+        }
+        service.import_slots(&checkpoint.chips)?;
+        service.health = checkpoint.health.clone();
+        service.queue = checkpoint
+            .queue
+            .iter()
+            .map(|q| Queued {
+                ticket: q.ticket,
+                structure: q.structure,
+                rhs: q.rhs.clone(),
+                priority: q.priority,
+                deadline_s: q.deadline_s,
+            })
+            .collect();
+        service.inflight = checkpoint
+            .queue
+            .iter()
+            .map(|q| (q.ticket, (q.structure, q.priority)))
+            .collect();
+        service.completions = checkpoint
+            .completions
+            .iter()
+            .map(|c| (c.ticket.0, c.clone()))
+            .collect();
+        service.log = checkpoint.log.clone();
+        service.next_ticket = checkpoint.next_ticket;
+        service.round = checkpoint.round;
+        // Replay everything that happened after the snapshot. The ops
+        // re-record into the fresh WAL (they are once again "since the
+        // last checkpoint"), so a second crash before the next checkpoint
+        // still recovers.
+        aa_obs::silenced(|| {
+            for op in wal.ops() {
+                match op {
+                    WalOp::Submit(request) => {
+                        let _ = service.submit(request.clone());
+                    }
+                    WalOp::Round => {
+                        service.run_round();
+                    }
+                    WalOp::Inject { chip, failure } => {
+                        let _ = service.inject_chaos(*chip, *failure);
+                    }
+                }
+            }
+        });
+        Ok(service)
+    }
+
+    /// Installs (or clears, with `None`) a chaos failure mode on one chip.
+    /// The injection is WAL-recorded so crash recovery replays it.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidConfig`] when the chip index is out of range.
+    pub fn inject_chaos(
+        &mut self,
+        chip: usize,
+        failure: Option<ChipFailure>,
+    ) -> Result<(), SchedError> {
+        if chip >= self.config.chips {
+            return Err(SchedError::InvalidConfig {
+                message: format!(
+                    "chaos injection targets chip {chip}, fleet has {}",
+                    self.config.chips
+                ),
+            });
+        }
+        self.wal.record_inject(chip, failure);
+        aa_obs::silenced(|| {
+            let commands = (0..self.config.chips)
+                .map(|i| {
+                    if i == chip {
+                        ChipCommand::Inject(failure)
+                    } else {
+                        ChipCommand::Run(Vec::new())
+                    }
+                })
+                .collect();
+            self.pool
+                .try_submit(commands)
+                .unwrap_or_else(|_| unreachable!("round is drained before the next submit"));
+            self.pool.drain();
+        });
+        Ok(())
+    }
+
+    /// Exports every chip slot's state through the pool (same routing as a
+    /// dispatch round), with telemetry silenced — checkpointing leaves no
+    /// mark on the live trace.
+    fn export_slots(&mut self) -> Vec<SlotCheckpoint> {
+        aa_obs::silenced(|| {
+            let commands = (0..self.config.chips)
+                .map(|_| ChipCommand::Export)
+                .collect();
+            self.pool
+                .try_submit(commands)
+                .unwrap_or_else(|_| unreachable!("round is drained before the next submit"));
+            self.pool
+                .drain()
+                .into_iter()
+                .enumerate()
+                .map(|(chip, reply)| match reply {
+                    ChipReply::Exported(state) => *state,
+                    _ => {
+                        debug_assert!(false, "non-Export reply to an export round");
+                        SlotCheckpoint {
+                            chip,
+                            solvers: Vec::new(),
+                            failure: None,
+                        }
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// Imports checkpointed slot states through the pool.
+    fn import_slots(&mut self, slots: &[SlotCheckpoint]) -> Result<(), SchedError> {
+        aa_obs::silenced(|| {
+            let commands = slots
+                .iter()
+                .map(|s| ChipCommand::Import(Box::new(s.clone())))
+                .collect();
+            self.pool
+                .try_submit(commands)
+                .unwrap_or_else(|_| unreachable!("round is drained before the next submit"));
+            for reply in self.pool.drain() {
+                if let ChipReply::Imported(Err(message)) = reply {
+                    return Err(SchedError::CheckpointMismatch { message });
+                }
+            }
+            Ok(())
+        })
     }
 }
 
@@ -527,12 +889,121 @@ mod tests {
         );
         fleet.submit(SolveRequest::new(0, vec![1.0; 4])).unwrap();
         fleet.submit(SolveRequest::new(0, vec![1.0; 4])).unwrap();
-        assert_eq!(
-            fleet.submit(SolveRequest::new(0, vec![1.0; 4])),
-            Err(Rejected::QueueFull { capacity: 2 })
-        );
+        match fleet.submit(SolveRequest::new(0, vec![1.0; 4])) {
+            Err(Rejected::QueueFull {
+                capacity,
+                retry_after_s,
+            }) => {
+                assert_eq!(capacity, 2);
+                assert!(
+                    retry_after_s > 0.0,
+                    "two priceable requests are queued: {retry_after_s}"
+                );
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
         assert_eq!(fleet.log().rejected, 3);
         assert_eq!(fleet.queue_depth(), 2);
+    }
+
+    #[test]
+    fn adversarial_submissions_never_panic() {
+        let mut fleet =
+            FleetService::new(FleetConfig::new(1).with_queue_capacity(4), vec![tri(4)]).unwrap();
+        // Hostile inputs on the request-controlled path: each yields a
+        // typed verdict or a served answer, never a panic.
+        assert!(fleet
+            .submit(SolveRequest::new(usize::MAX, vec![1.0; 4]))
+            .is_err());
+        assert!(fleet.submit(SolveRequest::new(0, Vec::new())).is_err());
+        assert!(fleet.submit(SolveRequest::new(0, vec![0.0; 4096])).is_err());
+        // NaN / infinite deadlines are not "below the estimate", so they
+        // admit and run; NaN never trips the deadline check at solve time.
+        let nan = fleet
+            .submit(SolveRequest::new(0, vec![1.0; 4]).with_deadline_s(f64::NAN))
+            .unwrap();
+        let inf = fleet
+            .submit(SolveRequest::new(0, vec![1.0; 4]).with_deadline_s(f64::INFINITY))
+            .unwrap();
+        // A NaN rhs is structurally valid; the solve must still settle it.
+        let nan_rhs = fleet
+            .submit(SolveRequest::new(0, vec![f64::NAN; 4]))
+            .unwrap();
+        fleet.run_until_idle();
+        for ticket in [nan, inf, nan_rhs] {
+            assert!(fleet.completion(ticket).is_some(), "{ticket:?}");
+        }
+        // Out-of-range chaos targets are typed errors too.
+        assert!(fleet.inject_chaos(9, None).is_err());
+    }
+
+    #[test]
+    fn brownout_sheds_low_priority_admissions_only() {
+        let mut fleet = FleetService::new(
+            FleetConfig::new(1).with_queue_capacity(8).with_brownout(2),
+            vec![tri(4)],
+        )
+        .unwrap();
+        fleet.submit(SolveRequest::new(0, vec![1.0; 4])).unwrap();
+        fleet.submit(SolveRequest::new(0, vec![1.0; 4])).unwrap();
+        // At the watermark: Low is shed with a typed hint, High still lands.
+        let shed = fleet.submit(SolveRequest::new(0, vec![1.0; 4]).with_priority(Priority::Low));
+        match shed {
+            Err(Rejected::Brownout {
+                queue_depth,
+                retry_after_s,
+            }) => {
+                assert_eq!(queue_depth, 2);
+                assert!(retry_after_s > 0.0);
+            }
+            other => panic!("expected Brownout, got {other:?}"),
+        }
+        assert!(fleet
+            .submit(SolveRequest::new(0, vec![1.0; 4]).with_priority(Priority::High))
+            .is_ok());
+        assert_eq!(fleet.queue_depth(), 3);
+        fleet.run_until_idle();
+        // Once drained below the watermark, Low admits again.
+        assert!(fleet
+            .submit(SolveRequest::new(0, vec![1.0; 4]).with_priority(Priority::Low))
+            .is_ok());
+    }
+
+    #[test]
+    fn dead_chip_requeues_and_retires_and_digital_lane_engages() {
+        let mut cfg = FleetConfig::new(1);
+        cfg.health.retire_after_quarantines = Some(2);
+        let mut fleet = FleetService::new(cfg, vec![tri(4)]).unwrap();
+        fleet
+            .inject_chaos(0, Some(crate::fleet::ChipFailure::Dead))
+            .unwrap();
+        // Keep one request per round flowing so the quarantine → probation
+        // → failed-probe cycle actually plays out (an idle fleet never
+        // probes). The dead chip bounces every batch; the dispatcher's
+        // digital lane answers everything.
+        let mut tickets = Vec::new();
+        for _ in 0..14 {
+            if let Ok(t) = fleet.submit(SolveRequest::new(0, vec![1.0; 4])) {
+                tickets.push(t);
+            }
+            fleet.run_round();
+        }
+        fleet.run_until_idle();
+        // Every accepted request was answered despite the dead chip.
+        assert!(!tickets.is_empty());
+        for t in &tickets {
+            let done = fleet.completion(*t).expect("answered");
+            assert_eq!(done.path, CompletionPath::DigitalOnly);
+        }
+        // The chip bounced batches, quarantined twice (the probe failed),
+        // and retired for good.
+        assert!(fleet
+            .log()
+            .events
+            .iter()
+            .any(|e| matches!(e, ScheduleEvent::Requeued { .. })));
+        assert_eq!(fleet.health()[0].state, ChipState::Retired);
+        assert_eq!(fleet.health()[0].quarantines, 2);
     }
 
     #[test]

@@ -86,8 +86,8 @@ pub use nonlinear::{
 };
 pub use recover::{
     AttemptRecord, FailureClass, FinalPath, RecoveryAction, RecoveryConfig, RecoveryReport,
-    SupervisedSolveReport, SupervisedSolver,
+    SupervisedCheckpoint, SupervisedSolveReport, SupervisedSolver,
 };
 pub use refine::{RefineConfig, RefinedReport};
 pub use scaling::ScaledSystem;
-pub use solve::{AnalogSolveReport, AnalogSystemSolver, SolverConfig};
+pub use solve::{AnalogSolveReport, AnalogSystemSolver, SolverCheckpoint, SolverConfig};

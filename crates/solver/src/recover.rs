@@ -26,8 +26,25 @@ use aa_analog::{calibrate, FaultPlan};
 use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
 use aa_linalg::{CsrMatrix, LinearOperator};
 
-use crate::solve::{AnalogSolveReport, AnalogSystemSolver, SolverConfig};
+use crate::solve::{AnalogSolveReport, AnalogSystemSolver, SolverCheckpoint, SolverConfig};
 use crate::SolverError;
+
+/// A snapshot of one [`SupervisedSolver`]'s mutable state: the inner
+/// solver/chip state, the lifetime seconds consumed by remapped-away chip
+/// instances, and the *original* (unshifted) fault plan kept for future
+/// remaps. The matrix and both configs are excluded — the restore path
+/// rebuilds the supervisor deterministically with [`SupervisedSolver::new`]
+/// before importing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedCheckpoint {
+    /// The inner solver's cross-solve state (γ plus chip runtime state;
+    /// the chip state carries the currently *shifted* fault plan).
+    pub solver: SolverCheckpoint,
+    /// Lifetime seconds consumed by previous chip instances before remaps.
+    pub consumed_lifetime_s: f64,
+    /// The originally injected fault plan, un-shifted.
+    pub fault_plan: Option<FaultPlan>,
+}
 
 /// Policy knobs of the supervision loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -336,6 +353,28 @@ impl SupervisedSolver {
     /// used (current chip plus any remapped-away predecessors).
     pub fn total_lifetime_s(&self) -> f64 {
         self.consumed_lifetime_s + self.inner.chip().lifetime_s()
+    }
+
+    /// Captures this supervisor's mutable state (see
+    /// [`SupervisedCheckpoint`]).
+    pub fn export_state(&self) -> SupervisedCheckpoint {
+        SupervisedCheckpoint {
+            solver: self.inner.export_state(),
+            consumed_lifetime_s: self.consumed_lifetime_s,
+            fault_plan: self.fault_plan.clone(),
+        }
+    }
+
+    /// Restores a checkpointed state onto a supervisor freshly rebuilt with
+    /// [`new`](Self::new) for the same matrix and configs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalogSystemSolver::import_state`].
+    pub fn import_state(&mut self, state: &SupervisedCheckpoint) -> Result<(), SolverError> {
+        self.consumed_lifetime_s = state.consumed_lifetime_s;
+        self.fault_plan = state.fault_plan.clone();
+        self.inner.import_state(&state.solver)
     }
 
     /// Solves `A·u = b` under supervision.

@@ -124,6 +124,20 @@ pub struct AnalogSolveReport {
     pub solution_factor: f64,
 }
 
+/// A snapshot of one [`AnalogSystemSolver`]'s cross-solve mutable state:
+/// the adaptive solution-scale factor `γ` (walked by overflow/underuse
+/// retries across solves) plus the underlying chip's runtime state. The
+/// matrix, config, and compiled circuit are excluded — the restore path
+/// rebuilds them deterministically with [`AnalogSystemSolver::new`] before
+/// importing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverCheckpoint {
+    /// The solution-scale factor `γ` in effect at capture time.
+    pub solution_factor: f64,
+    /// The chip's mutable runtime state.
+    pub chip: aa_analog::ChipCheckpoint,
+}
+
 /// A solver bound to one matrix `A`, reusable across right-hand sides.
 ///
 /// Construction compiles the circuit once (the expensive, static part);
@@ -220,6 +234,28 @@ impl AnalogSystemSolver {
     /// solves against the same matrix shows exactly one lowered plan.
     pub fn plan_stats(&self) -> aa_analog::PlanStats {
         self.mapped.chip().plan_stats()
+    }
+
+    /// Captures the solver's cross-solve mutable state (see
+    /// [`SolverCheckpoint`]).
+    pub fn export_state(&self) -> SolverCheckpoint {
+        SolverCheckpoint {
+            solution_factor: self.scaled.solution_factor,
+            chip: self.mapped.chip().export_state(),
+        }
+    }
+
+    /// Restores a checkpointed state onto a solver freshly rebuilt with
+    /// [`new`](Self::new) for the same matrix and config.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Analog`] if the chip-level import fails (checkpoint
+    /// and config disagree).
+    pub fn import_state(&mut self, state: &SolverCheckpoint) -> Result<(), SolverError> {
+        self.scaled.solution_factor = state.solution_factor;
+        self.mapped.chip_mut().import_state(&state.chip)?;
+        Ok(())
     }
 
     /// Solves `A·u = b` on the accelerator with overflow-driven retry.

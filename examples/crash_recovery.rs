@@ -1,0 +1,110 @@
+//! Crash recovery and chaos injection on the chip fleet.
+//!
+//! Builds a three-chip fleet, serves part of a workload, takes a
+//! [`FleetCheckpoint`], keeps serving (with one chip killed mid-run by a
+//! chaos injection), then simulates a crash: the service is dropped and
+//! rebuilt from the checkpoint plus the admission WAL recorded after it.
+//! The restored fleet finishes the workload and its schedule log is shown
+//! to be identical to one from a fleet that never crashed — the
+//! exactly-once, bit-identical recovery contract.
+//!
+//! Run with: `cargo run --release --example crash_recovery`
+
+use analog_accel::prelude::*;
+use analog_accel::sched::{ChipFailure, FleetService, ScheduleLog, SolveRequest, SolveTicket};
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig::new(3)
+        .with_seed(0xC4A5)
+        .with_queue_capacity(16)
+}
+
+fn structures() -> Result<Vec<CsrMatrix>, Box<dyn std::error::Error>> {
+    Ok(vec![
+        CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0)?,
+        CsrMatrix::tridiagonal(6, -1.0, 2.0, -1.0)?,
+    ])
+}
+
+fn submit_wave(
+    fleet: &mut FleetService,
+    wave: usize,
+    tickets: &mut Vec<SolveTicket>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    for i in 0..4usize {
+        let structure = (wave + i) % 2;
+        let dim = fleet.structures()[structure].dim();
+        let rhs = vec![1.0 + 0.2 * (wave * 4 + i) as f64; dim];
+        tickets.push(fleet.submit(SolveRequest::new(structure, rhs))?);
+    }
+    Ok(())
+}
+
+/// One scripted serving timeline: three waves of requests with a chip
+/// killed before the second wave; a checkpoint is taken after wave one.
+/// When `crash` is set, the service is dropped after wave two and
+/// restored from checkpoint + WAL before wave three.
+fn run(crash: bool) -> Result<(ScheduleLog, usize), Box<dyn std::error::Error>> {
+    let mut fleet = FleetService::new(fleet_config(), structures()?)?;
+    let mut tickets = Vec::new();
+
+    submit_wave(&mut fleet, 0, &mut tickets)?;
+    fleet.run_round();
+
+    // Snapshot between rounds: chips, health, queue, completions, log.
+    let checkpoint = fleet.checkpoint();
+
+    // Chaos: chip 0 dies for good. The injection is WAL-recorded, as is
+    // every submit and round after the checkpoint.
+    fleet.inject_chaos(0, Some(ChipFailure::Dead))?;
+    submit_wave(&mut fleet, 1, &mut tickets)?;
+    fleet.run_round();
+    fleet.run_round();
+
+    if crash {
+        let wal = fleet.wal().clone();
+        println!(
+            "  !! crash: dropping the service ({} WAL ops since checkpoint)",
+            wal.len()
+        );
+        drop(fleet);
+        fleet = FleetService::restore(fleet_config(), structures()?, &checkpoint, &wal)?;
+        println!(
+            "  .. restored: round {}, queue depth {}, {} completions recovered",
+            fleet.rounds(),
+            fleet.queue_depth(),
+            fleet.completions().count()
+        );
+    }
+
+    submit_wave(&mut fleet, 2, &mut tickets)?;
+    let answered = fleet.run_until_idle();
+    println!("  == wave three served ({answered} in the final drain)");
+
+    // Exactly-once: every accepted ticket has exactly one completion.
+    for t in &tickets {
+        fleet
+            .completion(*t)
+            .ok_or_else(|| format!("ticket {} lost", t.0))?;
+    }
+    Ok((fleet.into_log(), tickets.len()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== uninterrupted run ==");
+    let (baseline, accepted) = run(false)?;
+
+    println!("\n== crashed + restored run ==");
+    let (recovered, _) = run(true)?;
+
+    println!("\n== verdict ==");
+    println!("  accepted requests : {accepted}");
+    println!("  baseline events   : {}", baseline.events.len());
+    println!("  recovered events  : {}", recovered.events.len());
+    assert_eq!(
+        baseline, recovered,
+        "checkpoint + WAL replay must reproduce the schedule log bit for bit"
+    );
+    println!("  schedule logs are bit-identical — recovery lost nothing.");
+    Ok(())
+}

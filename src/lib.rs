@@ -65,8 +65,8 @@ pub mod prelude {
     pub use aa_pde::poisson::{Poisson2d, Poisson3d};
     pub use aa_pde::{CgCoarseSolver, MultigridSolver};
     pub use aa_sched::{
-        CompletionPath, FleetConfig, FleetService, Priority, Rejected, ScheduleLog, SolveRequest,
-        SolveTicket,
+        AdmissionWal, Backoff, ChipFailure, CompletionPath, FleetCheckpoint, FleetConfig,
+        FleetService, Priority, Rejected, ScheduleLog, SolveRequest, SolveTicket,
     };
     pub use aa_solver::refine::solve_refined;
     pub use aa_solver::{

@@ -1,0 +1,46 @@
+//! Full chaos soak as an integration test: the standard configuration
+//! (500+ requests, chip deaths, mid-batch hangs, dispatcher stalls,
+//! overload bursts, deadline storms, crash/restore cycles) must complete
+//! with every invariant intact — no accepted request unanswered, no
+//! double answers, quarantine convergence, digital-lane engagement —
+//! and the whole run must be reproducible from its seed.
+
+use analog_accel::sched::chaos::{run_soak, ChaosConfig};
+
+#[test]
+fn standard_chaos_soak_passes_all_invariants() {
+    let config = ChaosConfig::standard(0x5EED_50A4);
+    assert!(config.requests >= 500, "the standard soak is a real soak");
+    let report = run_soak(&config).expect("harness runs");
+    assert!(report.passed(), "soak violations: {:?}", report.violations);
+
+    // Volume: the target workload was accepted and fully answered.
+    assert!(report.accepted >= 500, "accepted {}", report.accepted);
+    assert!(
+        report.completed >= report.accepted,
+        "completed {} of {} accepted",
+        report.completed,
+        report.accepted
+    );
+
+    // Every injector fired.
+    assert!(report.injected_deaths >= 4, "all chip kills ran");
+    assert!(report.injected_hangs > 0, "mid-batch hangs ran");
+    assert!(report.stalls > 0, "dispatcher stalls ran");
+    assert!(report.crashes > 0, "crash/restore cycles ran");
+    assert!(report.rejected_queue_full > 0, "overload bursts bit");
+    assert!(report.rejected_brownout > 0, "brownout shed low traffic");
+    assert!(report.rejected_deadline > 0, "deadline storms bit");
+
+    // The failure machinery engaged end to end: bounced batches were
+    // requeued, killed chips converged out of rotation, and with the
+    // whole fleet dead the digital lane answered.
+    assert!(report.requeues > 0, "failed batches requeue");
+    assert!(report.quarantines > 0, "killed chips quarantine");
+    assert!(report.retirements > 0, "repeat offenders retire");
+    assert!(report.digital_only > 0, "digital-only lane engaged");
+
+    // Deterministic: the same seed reproduces the identical report.
+    let replay = run_soak(&config).expect("harness replays");
+    assert_eq!(report, replay, "same-seed soak replays bit-identically");
+}

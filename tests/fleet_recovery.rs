@@ -1,0 +1,258 @@
+//! Crash-recovery tests for the fleet service: a service that crashes and
+//! is rebuilt from its last [`FleetCheckpoint`] plus the [`AdmissionWal`]
+//! recorded afterwards must drain to a bit-identical [`ScheduleLog`],
+//! identical solution vectors, and identical masked obs traces versus a
+//! fleet that never crashed — at any worker count, and with no accepted
+//! request lost or double-answered (exactly-once).
+//!
+//! Test frame: both the uninterrupted and the crashed run swap in a fresh
+//! recorder at the crash point, so the comparison covers the post-crash
+//! segment symmetrically (counters are cumulative per recorder). The
+//! restore itself runs outside any recorder — rebuilding the deterministic
+//! chip stack is not part of the serving trace.
+
+use analog_accel::obs;
+use analog_accel::prelude::*;
+use analog_accel::sched::{
+    AdmissionWal, ChipFailure, ChipState, Completion, FleetCheckpoint, FleetConfig, FleetService,
+    Priority, ScheduleLog, SolveRequest,
+};
+
+/// One external input to the service, as a replayable program step.
+#[derive(Clone)]
+enum Op {
+    Submit(SolveRequest),
+    Round,
+    Inject(usize, Option<ChipFailure>),
+}
+
+fn apply(service: &mut FleetService, op: &Op) {
+    match op {
+        Op::Submit(request) => {
+            let _ = service.submit(request.clone());
+        }
+        Op::Round => {
+            service.run_round();
+        }
+        Op::Inject(chip, failure) => service.inject_chaos(*chip, *failure).unwrap(),
+    }
+}
+
+fn structures() -> Vec<CsrMatrix> {
+    vec![
+        CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap(),
+        CsrMatrix::tridiagonal(5, -1.0, 2.0, -1.0).unwrap(),
+    ]
+}
+
+fn fleet_config(workers: usize) -> FleetConfig {
+    FleetConfig::new(3)
+        .with_seed(0xC4A5_4001)
+        .with_workers(workers)
+}
+
+/// A deterministic mixed workload program: submits across both structures
+/// and all priority classes, interleaved with dispatch rounds.
+fn mixed_ops() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..12usize {
+        let s = i % 2;
+        let priority = match i % 3 {
+            0 => Priority::High,
+            1 => Priority::Normal,
+            _ => Priority::Low,
+        };
+        let rhs = vec![0.5 + 0.25 * i as f64; 4 + s];
+        ops.push(Op::Submit(
+            SolveRequest::new(s, rhs).with_priority(priority),
+        ));
+        if i % 3 == 2 {
+            ops.push(Op::Round);
+        }
+    }
+    for _ in 0..4 {
+        ops.push(Op::Round);
+    }
+    ops
+}
+
+/// What a run leaves behind: the full schedule log, every settled
+/// completion in ticket order, and the post-crash-segment trace snapshot.
+struct RunResult {
+    log: ScheduleLog,
+    completions: Vec<Completion>,
+    health: Vec<ChipState>,
+    tail: obs::TraceSnapshot,
+}
+
+/// Drives `ops` through a fresh fleet, taking a checkpoint before the op
+/// at `checkpoint_at` and (when `do_crash`) crashing + restoring before
+/// the op at `crash_at`. Both variants swap in a fresh recorder at the
+/// crash point so their tail traces are comparable.
+fn drive(
+    workers: usize,
+    ops: &[Op],
+    checkpoint_at: usize,
+    crash_at: usize,
+    do_crash: bool,
+) -> RunResult {
+    assert!(checkpoint_at <= crash_at && crash_at <= ops.len());
+    let head = MemoryRecorder::shared();
+    let mut service = FleetService::new(fleet_config(workers), structures()).expect("fleet builds");
+    let mut checkpoint: Option<FleetCheckpoint> = None;
+    obs::with_recorder(head.clone(), || {
+        for (i, op) in ops[..crash_at].iter().enumerate() {
+            if i == checkpoint_at {
+                checkpoint = Some(service.checkpoint());
+            }
+            apply(&mut service, op);
+        }
+        if checkpoint_at == crash_at {
+            checkpoint = Some(service.checkpoint());
+        }
+    });
+    if do_crash {
+        let checkpoint = checkpoint.expect("checkpoint was taken");
+        let wal: AdmissionWal = service.wal().clone();
+        drop(service); // the crash
+        service = FleetService::restore(fleet_config(workers), structures(), &checkpoint, &wal)
+            .expect("restore succeeds");
+    }
+    let tail = MemoryRecorder::shared();
+    obs::with_recorder(tail.clone(), || {
+        for op in &ops[crash_at..] {
+            apply(&mut service, op);
+        }
+        service.run_until_idle();
+    });
+    RunResult {
+        completions: service.completions().cloned().collect(),
+        health: service.health().iter().map(|h| h.state).collect(),
+        log: service.into_log(),
+        tail: tail.snapshot(),
+    }
+}
+
+fn assert_identical(baseline: &RunResult, recovered: &RunResult, label: &str) {
+    assert_eq!(baseline.log, recovered.log, "{label}: schedule log");
+    assert_eq!(
+        baseline.completions, recovered.completions,
+        "{label}: completions"
+    );
+    assert_eq!(baseline.health, recovered.health, "{label}: health states");
+    if obs::ENABLED {
+        assert_eq!(
+            baseline.tail.deterministic_lines(),
+            recovered.tail.deterministic_lines(),
+            "{label}: tail journal"
+        );
+        assert_eq!(
+            baseline.tail.counters, recovered.tail.counters,
+            "{label}: tail counters"
+        );
+        assert_eq!(
+            baseline.tail.to_json_masked(),
+            recovered.tail.to_json_masked(),
+            "{label}: tail masked trace"
+        );
+    }
+}
+
+/// The headline guarantee: crash at a seeded point, restore from
+/// checkpoint + WAL, drain — bit-identical log, solutions, and masked
+/// traces versus the uninterrupted run, at 1, 2, and 4 workers.
+#[test]
+fn crash_restore_is_bit_identical_across_worker_counts() {
+    let ops = mixed_ops();
+    let (checkpoint_at, crash_at) = (5, 11);
+    let baseline = drive(1, &ops, checkpoint_at, crash_at, false);
+    assert!(
+        baseline.completions.len() >= 12,
+        "every submitted request settled"
+    );
+    for workers in [1usize, 2, 4] {
+        let recovered = drive(workers, &ops, checkpoint_at, crash_at, true);
+        assert_identical(&baseline, &recovered, &format!("workers={workers}"));
+        // And the uninterrupted run at this worker count matches too.
+        let uninterrupted = drive(workers, &ops, checkpoint_at, crash_at, false);
+        assert_identical(
+            &baseline,
+            &uninterrupted,
+            &format!("workers={workers} uninterrupted"),
+        );
+    }
+}
+
+/// Crashing between admission and dispatch (requests accepted, no round
+/// run yet) loses nothing: the WAL re-admits them with the same tickets
+/// and they are served exactly once.
+#[test]
+fn crash_between_admission_and_dispatch_loses_nothing() {
+    let mut ops: Vec<Op> = (0..5usize)
+        .map(|i| Op::Submit(SolveRequest::new(0, vec![1.0 + i as f64 * 0.5; 4])))
+        .collect();
+    let submits = ops.len();
+    ops.push(Op::Round);
+    // Checkpoint after two admissions; crash after all five, pre-dispatch.
+    let baseline = drive(1, &ops, 2, submits, false);
+    let recovered = drive(1, &ops, 2, submits, true);
+    assert_eq!(recovered.completions.len(), 5, "no accepted request lost");
+    let tickets: Vec<u64> = recovered.completions.iter().map(|c| c.ticket.0).collect();
+    let mut deduped = tickets.clone();
+    deduped.dedup();
+    assert_eq!(tickets, deduped, "no request answered twice");
+    assert_identical(&baseline, &recovered, "admission-dispatch gap");
+}
+
+/// Restoring while a chip is quarantined — and at later points while it is
+/// on probation — reproduces the uninterrupted health trajectory exactly.
+#[test]
+fn restore_mid_quarantine_and_mid_probation_converges() {
+    let mut ops = vec![Op::Inject(0, Some(ChipFailure::Dead))];
+    for i in 0..10usize {
+        ops.push(Op::Submit(SolveRequest::new(0, vec![1.0 + i as f64; 4])));
+        ops.push(Op::Round);
+    }
+    let baseline = drive(1, &ops, 0, ops.len(), false);
+    assert!(
+        baseline.log.events.iter().any(|e| matches!(
+            e,
+            analog_accel::sched::ScheduleEvent::Quarantined { chip: 0, .. }
+        )),
+        "the dead chip quarantines in the baseline"
+    );
+    // Crash at several points: while scores accumulate, right after the
+    // quarantine, and mid-probation. Every restore must land on the same
+    // final state as an uninterrupted run framed at the same point.
+    for crash_at in [4usize, 8, 12, 16] {
+        let uninterrupted = drive(1, &ops, 2, crash_at, false);
+        assert_eq!(
+            baseline.log, uninterrupted.log,
+            "crash_at={crash_at}: framing must not change the run"
+        );
+        let recovered = drive(1, &ops, 2, crash_at, true);
+        assert_identical(&uninterrupted, &recovered, &format!("crash_at={crash_at}"));
+    }
+}
+
+/// A checkpoint of an idle fleet (empty queue, empty WAL) restores cleanly
+/// and the restored service serves new work identically.
+#[test]
+fn empty_queue_checkpoint_restores_and_serves_new_work() {
+    let mut ops = vec![
+        Op::Submit(SolveRequest::new(1, vec![0.5; 5])),
+        Op::Round,
+        Op::Round,
+    ];
+    let drained = ops.len();
+    ops.push(Op::Submit(
+        SolveRequest::new(0, vec![2.0; 4]).with_priority(Priority::High),
+    ));
+    ops.push(Op::Round);
+    // Checkpoint and crash at the same idle point: the WAL between them is
+    // empty, so recovery is the snapshot alone.
+    let baseline = drive(1, &ops, drained, drained, false);
+    let recovered = drive(1, &ops, drained, drained, true);
+    assert_eq!(recovered.completions.len(), 2);
+    assert_identical(&baseline, &recovered, "idle checkpoint");
+}

@@ -160,7 +160,16 @@ fn queue_full_backpressure_is_typed_and_recoverable() {
     }
     // The 4th is rejected — typed, not a panic — and nothing is lost.
     match fleet.submit(SolveRequest::new(0, vec![1.0; 4])) {
-        Err(Rejected::QueueFull { capacity }) => assert_eq!(capacity, 3),
+        Err(Rejected::QueueFull {
+            capacity,
+            retry_after_s,
+        }) => {
+            assert_eq!(capacity, 3);
+            assert!(
+                retry_after_s > 0.0,
+                "a full queue predicts a positive drain time"
+            );
+        }
         other => panic!("expected QueueFull, got {other:?}"),
     }
     assert_eq!(fleet.queue_depth(), 3);
