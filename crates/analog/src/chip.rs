@@ -10,7 +10,10 @@ use std::collections::BTreeMap;
 use aa_linalg::rng::Rng64;
 
 use crate::config::ChipConfig;
-use crate::engine::{run_committed, EngineOptions, PlanCache, PlanStats, RunReport};
+use crate::engine::{
+    run_committed, run_committed_batch, EngineOptions, LaneBindings, PlanCache, PlanStats,
+    RunReport,
+};
 use crate::error::AnalogError;
 use crate::exceptions::ExceptionVector;
 use crate::fault::FaultPlan;
@@ -57,6 +60,29 @@ impl Registers {
 
 /// Control-clock frequency used to convert `setTimeout` cycles to seconds.
 pub const CONTROL_CLOCK_HZ: f64 = 1.0e6;
+
+/// The result of one batched execution ([`AnalogChip::exec_batch`]): K
+/// per-lane run reports plus the batch's shared start instant on the chip's
+/// lifetime clock. Pass it back to [`AnalogChip::select_lane`] to stage one
+/// lane's outputs for readout, and to [`AnalogChip::finish_batch`] when all
+/// lanes have been read.
+#[derive(Debug, Clone)]
+pub struct BatchExec {
+    /// Per-lane run reports, in lane order.
+    pub reports: Vec<RunReport>,
+    /// Chip lifetime at batch start — every lane's time axis begins here.
+    pub start_lifetime_s: f64,
+}
+
+impl BatchExec {
+    /// The batch's wall-clock (simulated) duration: the longest lane. The
+    /// lanes ran in lockstep, so this is what the chip's lifetime advanced
+    /// by — the throughput win over K sequential runs, whose durations
+    /// would have added up.
+    pub fn duration_s(&self) -> f64 {
+        self.reports.iter().fold(0.0f64, |m, r| m.max(r.duration_s))
+    }
+}
 
 /// A portable snapshot of one chip's **mutable runtime state** — everything
 /// that diverges from a freshly constructed, freshly programmed chip as it
@@ -591,6 +617,190 @@ impl AnalogChip {
         self.exceptions = report.exceptions.clone();
         self.adc_inputs = report.adc_inputs.clone();
         Ok(report)
+    }
+
+    /// Batched `execStart`: runs the committed configuration for K lanes in
+    /// one lockstep RK4 sweep. Each lane overlays the committed registers
+    /// with its own DAC constants and initial conditions — the per-run
+    /// state that never invalidates the plan cache, so the whole batch
+    /// shares one compiled plan.
+    ///
+    /// All lanes start at the chip's current lifetime instant and see the
+    /// same fault/variation draws per `(unit, t)`; each lane's report is
+    /// bit-identical to a sequential [`exec`](Self::exec) of that lane from
+    /// this same instant. The lifetime clock advances by the **longest**
+    /// lane (the lanes ran concurrently), and the readout latches hold the
+    /// last lane's outputs until [`select_lane`](Self::select_lane) stages
+    /// a specific one.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalogError::ProtocolViolation`] if no configuration is committed.
+    /// * [`AnalogError::ValueOutOfRange`] for lane values beyond full scale.
+    /// * [`AnalogError::Engine`] if the integration fails (any lane).
+    pub fn exec_batch(
+        &mut self,
+        lanes: &[LaneBindings],
+        options: &EngineOptions,
+    ) -> Result<BatchExec, AnalogError> {
+        let registers = self
+            .committed
+            .as_ref()
+            .ok_or_else(|| AnalogError::protocol("execStart before cfgCommit"))?;
+        for lane in lanes {
+            for (&_, &v) in lane.dac_values.iter().flatten() {
+                if v.abs() > self.config.full_scale || !v.is_finite() {
+                    return Err(AnalogError::ValueOutOfRange {
+                        context: "batch lane dac constant",
+                        value: v,
+                        limit: self.config.full_scale,
+                    });
+                }
+            }
+            for (&_, &v) in lane.int_initial.iter().flatten() {
+                if v.abs() > self.config.full_scale || !v.is_finite() {
+                    return Err(AnalogError::ValueOutOfRange {
+                        context: "batch lane integrator initial condition",
+                        value: v,
+                        limit: self.config.full_scale,
+                    });
+                }
+            }
+        }
+        let start_lifetime_s = self.lifetime_s;
+        self.exceptions.clear();
+        let reports = match &self.fault_plan {
+            Some(plan) => {
+                let overrides: Vec<_> = plan.lut_overrides(self.lifetime_s).collect();
+                if overrides.is_empty() {
+                    run_committed_batch(
+                        registers,
+                        &self.config,
+                        &self.variation,
+                        &self.input_signals,
+                        Some(plan),
+                        self.lifetime_s,
+                        lanes,
+                        Some((&mut self.plan_cache, self.plan_epoch)),
+                        options,
+                    )?
+                } else {
+                    // Active LUT upsets force the scratch-register path;
+                    // run the lanes sequentially from the shared start
+                    // instant (trivially identical to the batch semantics,
+                    // since the lifetime clock only advances afterwards).
+                    let (depth, bits, fs) = (
+                        self.config.lut_depth,
+                        self.config.adc_bits,
+                        self.config.full_scale,
+                    );
+                    let mut scratch = registers.clone();
+                    for (lut, entry, value) in overrides {
+                        if entry < depth {
+                            scratch
+                                .luts
+                                .entry(lut)
+                                .or_insert_with(|| LookupTable::identity(depth, bits, fs))
+                                .write_entry(entry, value);
+                        }
+                    }
+                    lanes
+                        .iter()
+                        .map(|lane| {
+                            let mut regs = scratch.clone();
+                            if let Some(dacs) = &lane.dac_values {
+                                regs.dac_values = dacs.clone();
+                            }
+                            if let Some(ints) = &lane.int_initial {
+                                regs.int_initial = ints.clone();
+                            }
+                            run_committed(
+                                &regs,
+                                &self.config,
+                                &self.variation,
+                                &self.input_signals,
+                                Some(plan),
+                                start_lifetime_s,
+                                None,
+                                options,
+                            )
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                }
+            }
+            None => run_committed_batch(
+                registers,
+                &self.config,
+                &self.variation,
+                &self.input_signals,
+                None,
+                0.0,
+                lanes,
+                Some((&mut self.plan_cache, self.plan_epoch)),
+                options,
+            )?,
+        };
+        let batch = BatchExec {
+            reports,
+            start_lifetime_s,
+        };
+        self.lifetime_s = start_lifetime_s + batch.duration_s();
+        if let Some(last) = batch.reports.last() {
+            self.exceptions = last.exceptions.clone();
+            self.adc_inputs = last.adc_inputs.clone();
+        }
+        Ok(batch)
+    }
+
+    /// Stages one batch lane's end-of-run outputs for readout: loads its
+    /// ADC input values and exception latches and rewinds the lifetime
+    /// clock to that lane's own end instant, so `readSerial`/`analogAvg`/
+    /// `readExp` behave exactly as they would after a sequential
+    /// [`exec`](Self::exec) of that lane. Callers that also need the
+    /// readout-noise stream to match save [`noise_rng_state`]
+    /// (Self::noise_rng_state) before the first lane and restore it before
+    /// each. Call [`finish_batch`](Self::finish_batch) when done.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::ProtocolViolation`] for a lane index out of range.
+    pub fn select_lane(&mut self, batch: &BatchExec, lane: usize) -> Result<(), AnalogError> {
+        let report = batch
+            .reports
+            .get(lane)
+            .ok_or_else(|| AnalogError::protocol("batch lane index out of range"))?;
+        self.exceptions = report.exceptions.clone();
+        self.adc_inputs = report.adc_inputs.clone();
+        self.lifetime_s = batch.start_lifetime_s + report.duration_s;
+        Ok(())
+    }
+
+    /// Restores the post-batch lifetime clock (batch start plus the longest
+    /// lane) after per-lane readout rewound it via
+    /// [`select_lane`](Self::select_lane).
+    pub fn finish_batch(&mut self, batch: &BatchExec) {
+        self.lifetime_s = batch.start_lifetime_s + batch.duration_s();
+    }
+
+    /// Raw readout-noise RNG state. Batched readout saves this before the
+    /// first lane and restores it per lane so every column sees the same
+    /// noise stream its sequential counterpart would.
+    pub fn noise_rng_state(&self) -> u64 {
+        self.noise_rng.state()
+    }
+
+    /// Restores a readout-noise RNG state captured by
+    /// [`noise_rng_state`](Self::noise_rng_state).
+    pub fn set_noise_rng_state(&mut self, state: u64) {
+        self.noise_rng = Rng64::from_state(state);
+    }
+
+    /// Quantizes `value` to the DAC resolution — exactly what
+    /// [`set_dac_constant`](Self::set_dac_constant) would store. Batch lane
+    /// bindings must carry quantized values so a batched lane matches the
+    /// sequential programming path bit for bit.
+    pub fn quantize_dac(&self, value: f64) -> f64 {
+        quantize(value, self.config.dac_bits, self.config.full_scale)
     }
 
     // ----- Data output instructions -----

@@ -179,6 +179,27 @@ pub(crate) struct Tracker {
     pub(crate) clipped: Vec<bool>,
 }
 
+/// The K-lane variant of [`Tracker`]: the same three arrays, lane-expanded
+/// column-major (`[slot * k + lane]`) so a batched eval sweeps the lanes of
+/// one slot contiguously.
+pub(crate) struct BatchTracker {
+    pub(crate) values: Vec<f64>,
+    pub(crate) max_abs: Vec<f64>,
+    pub(crate) clipped: Vec<bool>,
+}
+
+/// Per-lane register overrides for one lane of a batched execution —
+/// exactly the per-run state a [`crate::plan::PlanRun`] snapshots without
+/// invalidating the plan cache: DAC constants (the RHS) and integrator
+/// initial conditions. `None` means "use the committed registers".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaneBindings {
+    /// Full replacement DAC register map for this lane.
+    pub dac_values: Option<BTreeMap<usize, f64>>,
+    /// Full replacement integrator initial conditions for this lane.
+    pub int_initial: Option<BTreeMap<usize, f64>>,
+}
+
 /// A circuit evaluator usable by the RK4 loop: writes state derivatives into
 /// `du` and (when `track` is set) records range usage and clip events.
 pub(crate) trait Evaluator {
@@ -630,6 +651,14 @@ pub(crate) fn run_committed(
         }
     };
 
+    observe_run(&report);
+    drop(run_span);
+    Ok(report)
+}
+
+/// The per-run observability block shared by the single-lane and batched
+/// entry points (a batched lane accounts exactly like a sequential run).
+fn observe_run(report: &RunReport) {
     if aa_obs::is_active() {
         aa_obs::counter("engine.runs", 1);
         aa_obs::counter("engine.steps", report.steps as u64);
@@ -654,8 +683,499 @@ pub(crate) fn run_committed(
             );
         }
     }
+}
+
+/// Runs a committed register file across K lanes in one lockstep RK4 sweep.
+/// Called by [`AnalogChip::exec_batch`](crate::AnalogChip::exec_batch).
+///
+/// Each lane overlays the committed registers with its own DAC constants
+/// and initial conditions ([`LaneBindings`]) — the per-run state that never
+/// invalidates the plan cache — so all lanes share one compilation. Under
+/// [`EvalStrategy::Reference`] the lanes run as K sequential reference
+/// integrations from the same start instant: the batched compiled path must
+/// (and does, property-tested) match that column for column, bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_committed_batch(
+    registers: &Registers,
+    config: &ChipConfig,
+    variation: &ProcessVariation,
+    signals: &BTreeMap<usize, InputSignal>,
+    faults: Option<&FaultPlan>,
+    t_offset: f64,
+    lanes: &[LaneBindings],
+    cache: Option<(&mut PlanCache, u64)>,
+    options: &EngineOptions,
+) -> Result<Vec<RunReport>, AnalogError> {
+    if !(options.dt_tau > 0.0 && options.dt_tau.is_finite()) {
+        return Err(AnalogError::protocol(format!(
+            "engine dt_tau must be positive, got {}",
+            options.dt_tau
+        )));
+    }
+    if lanes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let run_span = aa_obs::span("engine.run_batch");
+
+    // Per-lane effective register files: the committed base with the lane's
+    // DAC/initial-condition overrides applied. Structure and plan are pure
+    // functions of the *shared* fields, so one compilation serves them all.
+    let overlays: Vec<Registers> = lanes
+        .iter()
+        .map(|lane| {
+            let mut regs = registers.clone();
+            if let Some(dacs) = &lane.dac_values {
+                regs.dac_values = dacs.clone();
+            }
+            if let Some(ints) = &lane.int_initial {
+                regs.int_initial = ints.clone();
+            }
+            regs
+        })
+        .collect();
+
+    let compile_span = aa_obs::span("engine.compile");
+    let reports = match cache {
+        Some((cache, epoch)) => {
+            if cache.structure.is_none() || cache.epoch != epoch {
+                cache.structure = Some(Structure::build(registers, config)?);
+                cache.plan = None;
+                cache.epoch = epoch;
+                cache.stats.structures_built += 1;
+            } else {
+                cache.stats.cache_hits += 1;
+                if aa_obs::is_active() {
+                    aa_obs::counter("engine.plan_cache_hits", 1);
+                }
+            }
+            let PlanCache {
+                structure,
+                plan,
+                stats,
+                ..
+            } = cache;
+            let circuit = Compiled {
+                config,
+                variation,
+                registers,
+                signals,
+                faults,
+                t_offset,
+                structure: structure.as_ref().expect("structure ensured above"),
+            };
+            let plan = match options.eval_strategy {
+                EvalStrategy::Compiled => {
+                    if plan.is_none() {
+                        *plan = Some(crate::plan::CompiledPlan::lower(&circuit));
+                        stats.plans_lowered += 1;
+                        if aa_obs::is_active() {
+                            aa_obs::counter("engine.plans_lowered", 1);
+                        }
+                    }
+                    plan.as_ref()
+                }
+                EvalStrategy::Reference => None,
+            };
+            drop(compile_span);
+            execute_batch(&circuit, plan, &overlays, options)?
+        }
+        None => {
+            let structure = Structure::build(registers, config)?;
+            let circuit = Compiled {
+                config,
+                variation,
+                registers,
+                signals,
+                faults,
+                t_offset,
+                structure: &structure,
+            };
+            let plan = match options.eval_strategy {
+                EvalStrategy::Compiled => Some(crate::plan::CompiledPlan::lower(&circuit)),
+                EvalStrategy::Reference => None,
+            };
+            drop(compile_span);
+            execute_batch(&circuit, plan.as_ref(), &overlays, options)?
+        }
+    };
+
+    if aa_obs::is_active() {
+        aa_obs::counter("engine.batch_runs", 1);
+        aa_obs::counter("engine.batch_lanes", reports.len() as u64);
+    }
+    for report in &reports {
+        observe_run(report);
+    }
     drop(run_span);
-    Ok(report)
+    Ok(reports)
+}
+
+/// Dispatches a batch to the chosen evaluator inside the `engine.execute`
+/// span: the compiled lockstep sweep, or K sequential reference
+/// integrations (the batched path's behavioural oracle).
+fn execute_batch(
+    circuit: &Compiled<'_>,
+    plan: Option<&crate::plan::CompiledPlan>,
+    overlays: &[Registers],
+    options: &EngineOptions,
+) -> Result<Vec<RunReport>, AnalogError> {
+    let execute_span = aa_obs::span("engine.execute");
+    let reports = match plan {
+        // A single-lane batch is exactly one sequential run (the batched
+        // path's defining property), and the scalar evaluator has no
+        // lane-sweep setup cost to amortize — route it there.
+        Some(plan) if overlays.len() == 1 => {
+            let lane_circuit = Compiled {
+                config: circuit.config,
+                variation: circuit.variation,
+                registers: &overlays[0],
+                signals: circuit.signals,
+                faults: circuit.faults,
+                t_offset: circuit.t_offset,
+                structure: circuit.structure,
+            };
+            let run = crate::plan::PlanRun::bind(plan, &lane_circuit);
+            integrate(&lane_circuit, &run, options).map(|r| vec![r])
+        }
+        Some(plan) => {
+            let lane_dacs: Vec<&BTreeMap<usize, f64>> =
+                overlays.iter().map(|r| &r.dac_values).collect();
+            let mut batch = crate::plan::BatchRun::bind(plan, circuit, &lane_dacs);
+            integrate_batch(circuit, &mut batch, overlays, options)
+        }
+        None => overlays
+            .iter()
+            .map(|regs| {
+                let lane_circuit = Compiled {
+                    config: circuit.config,
+                    variation: circuit.variation,
+                    registers: regs,
+                    signals: circuit.signals,
+                    faults: circuit.faults,
+                    t_offset: circuit.t_offset,
+                    structure: circuit.structure,
+                };
+                integrate(&lane_circuit, &lane_circuit, options)
+            })
+            .collect(),
+    }?;
+    drop(execute_span);
+    Ok(reports)
+}
+
+/// The lockstep K-lane RK4 loop. Structured exactly like [`integrate`] with
+/// a lane sweep inside every phase: all lanes share the time axis (`dt` and
+/// the end-of-run horizon are lane-independent), and a lane **retires**
+/// individually the moment its own stop condition fires — its state column,
+/// tracker entries, waveforms, and step count freeze at that instant, so
+/// every column's [`RunReport`] is bit-identical to the sequential run that
+/// would have broken out of the loop right there.
+// The lane loops index `active` plus several SoA columns in lockstep; a
+// range loop is the clear form, not a needless one.
+#[allow(clippy::needless_range_loop)]
+fn integrate_batch(
+    circuit: &Compiled<'_>,
+    batch: &mut crate::plan::BatchRun<'_>,
+    overlays: &[Registers],
+    options: &EngineOptions,
+) -> Result<Vec<RunReport>, AnalogError> {
+    let registers = circuit.registers;
+    let config = circuit.config;
+    let faults = circuit.faults;
+    let t_offset = circuit.t_offset;
+    let k = batch.lanes();
+    debug_assert_eq!(k, overlays.len());
+    let n = circuit.n_states();
+    let n_slots = circuit.structure.slot_index.len();
+    let fs = config.full_scale;
+    let omega = config.omega();
+    let dt = options.dt_tau / omega;
+    let timeout_s = registers
+        .timeout_cycles
+        .map(|c| c as f64 / CONTROL_CLOCK_HZ);
+    let cap_s = options.max_tau / omega;
+    let end_s = timeout_s.map_or(cap_s, |t| t.min(cap_s));
+
+    let mut tracker = BatchTracker {
+        values: vec![0.0; n_slots * k],
+        max_abs: vec![0.0; n_slots * k],
+        clipped: vec![false; n_slots * k],
+    };
+
+    let int_out_slots: Vec<usize> = circuit
+        .structure
+        .integrator_of_state
+        .iter()
+        .map(|&i| circuit.slot(OutputPort::of(UnitId::Integrator(i))))
+        .collect();
+    let aout_sinks: Vec<usize> = circuit
+        .structure
+        .analog_outputs
+        .iter()
+        .map(|&i| circuit.sink_slot(UnitId::AnalogOutput(i)))
+        .collect();
+
+    // Initial conditions, column-major: `state[slot_state * k + lane]`.
+    let mut state = vec![0.0; n * k];
+    for (slot_state, i) in circuit.structure.integrator_of_state.iter().enumerate() {
+        for (lane, regs) in overlays.iter().enumerate() {
+            state[slot_state * k + lane] = regs.int_initial.get(i).copied().unwrap_or(0.0);
+        }
+    }
+
+    let mut k1 = vec![0.0; n * k];
+    let mut k2 = vec![0.0; n * k];
+    let mut k3 = vec![0.0; n * k];
+    let mut k4 = vec![0.0; n * k];
+    let mut mid = vec![0.0; n * k];
+
+    // Per-lane waveform decimation state and retirement bookkeeping.
+    let mut stride = vec![1usize; k];
+    let mut waves: Vec<Vec<Vec<(f64, f64)>>> = vec![vec![Vec::new(); aout_sinks.len()]; k];
+    let mut active = vec![true; k];
+    let mut reached_steady = vec![false; k];
+    let mut timed_out = vec![false; k];
+    let mut aborted_on_exception = vec![false; k];
+    let mut faults_active_steps = vec![0usize; k];
+    let mut lane_t = vec![0.0f64; k];
+    let mut lane_steps = vec![0usize; k];
+
+    let mut t = 0.0;
+    let mut steps = 0usize;
+
+    loop {
+        // Stuck-at-rail faults pin the integrator state and latch an
+        // overflow exception — the draw is per `(integrator, t)`, shared by
+        // every still-active lane.
+        if let Some(plan) = faults {
+            if plan.any_active(t_offset + t) {
+                for lane in 0..k {
+                    if active[lane] {
+                        faults_active_steps[lane] += 1;
+                    }
+                }
+            }
+            for (slot_state, &int_idx) in circuit.structure.integrator_of_state.iter().enumerate() {
+                if let Some(rail) = plan.stuck_rail(int_idx, t_offset + t) {
+                    let s = int_out_slots[slot_state];
+                    for lane in 0..k {
+                        if !active[lane] {
+                            continue;
+                        }
+                        state[slot_state * k + lane] = rail.sign() * fs;
+                        let idx = s * k + lane;
+                        tracker.clipped[idx] = true;
+                        tracker.max_abs[idx] = tracker.max_abs[idx].max(fs * 1.0000001);
+                    }
+                }
+            }
+        }
+
+        // k1 also refreshes slot values at time t (used for sampling below).
+        batch.eval_lanes(t, &state, &mut k1, &mut tracker, true, &active);
+
+        // Record output waveforms, per lane (decimation state is per lane:
+        // a retired lane's buffers must stop exactly where its sequential
+        // run would have stopped).
+        for lane in 0..k {
+            if !active[lane] {
+                continue;
+            }
+            if steps.is_multiple_of(stride[lane]) || t >= end_s {
+                let mut overflow = false;
+                for (wave, &slot) in waves[lane].iter_mut().zip(&aout_sinks) {
+                    wave.push((t, tracker.values[slot * k + lane]));
+                    overflow |=
+                        options.waveform_samples > 0 && wave.len() >= 2 * options.waveform_samples;
+                }
+                if overflow {
+                    for wave in waves[lane].iter_mut() {
+                        let mut keep = 0;
+                        wave.retain(|_| {
+                            keep += 1;
+                            keep % 2 == 1
+                        });
+                    }
+                    stride[lane] = stride[lane].saturating_mul(2);
+                }
+            }
+        }
+
+        // Stop checks, per lane: a lane retires the moment its own steady /
+        // timeout / exception condition fires.
+        for lane in 0..k {
+            if !active[lane] {
+                continue;
+            }
+            if n > 0 {
+                if let Some(tol) = options.steady_tol {
+                    let dnorm = (0..n).fold(0.0f64, |m, i| m.max(k1[i * k + lane].abs())) / omega;
+                    if dnorm <= tol {
+                        reached_steady[lane] = true;
+                    }
+                }
+            }
+            if t >= end_s {
+                timed_out[lane] = timeout_s.is_some_and(|ts| t >= ts);
+            }
+            if options.stop_on_exception && (0..n_slots).any(|s| tracker.clipped[s * k + lane]) {
+                aborted_on_exception[lane] = true;
+            }
+            if reached_steady[lane] || aborted_on_exception[lane] || t >= end_s || n == 0 {
+                active[lane] = false;
+                lane_t[lane] = t;
+                lane_steps[lane] = steps;
+            }
+        }
+        if active.iter().all(|a| !a) {
+            break;
+        }
+
+        // RK4 step (k1 already computed). Retired lanes are masked out of
+        // every stage so their columns freeze; while every lane is still
+        // live the stage combines run unmasked over the whole SoA block
+        // (same arithmetic, branch-free and vectorizable).
+        let h = dt.min(end_s - t);
+        let all_active = active.iter().all(|&a| a);
+        if all_active {
+            for idx in 0..n * k {
+                mid[idx] = state[idx] + 0.5 * h * k1[idx];
+            }
+        } else {
+            for i in 0..n {
+                for lane in 0..k {
+                    if active[lane] {
+                        mid[i * k + lane] = state[i * k + lane] + 0.5 * h * k1[i * k + lane];
+                    }
+                }
+            }
+        }
+        batch.eval_lanes(t + 0.5 * h, &mid, &mut k2, &mut tracker, false, &active);
+        if all_active {
+            for idx in 0..n * k {
+                mid[idx] = state[idx] + 0.5 * h * k2[idx];
+            }
+        } else {
+            for i in 0..n {
+                for lane in 0..k {
+                    if active[lane] {
+                        mid[i * k + lane] = state[i * k + lane] + 0.5 * h * k2[i * k + lane];
+                    }
+                }
+            }
+        }
+        batch.eval_lanes(t + 0.5 * h, &mid, &mut k3, &mut tracker, false, &active);
+        if all_active {
+            for idx in 0..n * k {
+                mid[idx] = state[idx] + h * k3[idx];
+            }
+        } else {
+            for i in 0..n {
+                for lane in 0..k {
+                    if active[lane] {
+                        mid[i * k + lane] = state[i * k + lane] + h * k3[i * k + lane];
+                    }
+                }
+            }
+        }
+        batch.eval_lanes(t + h, &mid, &mut k4, &mut tracker, false, &active);
+        if all_active {
+            for idx in 0..n * k {
+                state[idx] += h / 6.0 * (k1[idx] + 2.0 * k2[idx] + 2.0 * k3[idx] + k4[idx]);
+            }
+        } else {
+            for i in 0..n {
+                for lane in 0..k {
+                    if active[lane] {
+                        let idx = i * k + lane;
+                        state[idx] += h / 6.0 * (k1[idx] + 2.0 * k2[idx] + 2.0 * k3[idx] + k4[idx]);
+                    }
+                }
+            }
+        }
+
+        // Integrator saturation at the rails, per active lane.
+        for (slot_state, s) in int_out_slots.iter().copied().enumerate() {
+            for lane in 0..k {
+                if !active[lane] {
+                    continue;
+                }
+                let idx = slot_state * k + lane;
+                if state[idx].abs() > fs {
+                    state[idx] = state[idx].clamp(-fs, fs);
+                    let tidx = s * k + lane;
+                    tracker.clipped[tidx] = true;
+                    tracker.max_abs[tidx] = tracker.max_abs[tidx].max(fs * 1.0000001);
+                }
+                if !state[idx].is_finite() {
+                    return Err(AnalogError::Engine(aa_ode::OdeError::Diverged {
+                        at_time: t,
+                    }));
+                }
+            }
+        }
+
+        t += h;
+        steps += 1;
+    }
+
+    // Harvest per-lane observations — the same walk as `integrate`, over
+    // each lane's column of the tracker and state.
+    let mut reports = Vec::with_capacity(k);
+    for lane in 0..k {
+        let mut exceptions = ExceptionVector::new();
+        let mut range_usage = BTreeMap::new();
+        for (slot, unit) in circuit.structure.unit_of_slot.iter().enumerate() {
+            if tracker.clipped[slot * k + lane] {
+                exceptions.latch(*unit);
+            }
+            let usage = tracker.max_abs[slot * k + lane] / fs;
+            range_usage
+                .entry(*unit)
+                .and_modify(|u: &mut f64| *u = u.max(usage))
+                .or_insert(usage);
+        }
+        let integrator_values: BTreeMap<usize, f64> = circuit
+            .structure
+            .integrator_of_state
+            .iter()
+            .enumerate()
+            .map(|(s, &i)| (i, state[s * k + lane]))
+            .collect();
+        let adc_inputs: BTreeMap<usize, f64> = circuit
+            .structure
+            .adcs
+            .iter()
+            .map(|&i| {
+                (
+                    i,
+                    tracker.values[circuit.sink_slot(UnitId::Adc(i)) * k + lane],
+                )
+            })
+            .collect();
+        let output_waveforms: BTreeMap<usize, Vec<(f64, f64)>> = circuit
+            .structure
+            .analog_outputs
+            .iter()
+            .copied()
+            .zip(std::mem::take(&mut waves[lane]))
+            .collect();
+
+        reports.push(RunReport {
+            duration_s: lane_t[lane],
+            steps: lane_steps[lane],
+            reached_steady_state: reached_steady[lane],
+            timed_out: timed_out[lane],
+            aborted_on_exception: aborted_on_exception[lane],
+            exceptions,
+            range_usage,
+            integrator_values,
+            adc_inputs,
+            output_waveforms,
+            faults_active_steps: faults_active_steps[lane],
+        });
+    }
+    Ok(reports)
 }
 
 /// Binds per-run state to the chosen evaluator and runs the RK4 loop

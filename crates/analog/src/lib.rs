@@ -79,9 +79,9 @@ pub mod spi;
 pub mod units;
 
 pub use calibrate::{calibrate, CalibrationReport};
-pub use chip::{AnalogChip, ChipCheckpoint, InputSignal, CONTROL_CLOCK_HZ};
+pub use chip::{AnalogChip, BatchExec, ChipCheckpoint, InputSignal, CONTROL_CLOCK_HZ};
 pub use config::{ChipConfig, NonIdealityConfig, PROTOTYPE_BANDWIDTH_HZ};
-pub use engine::{EngineOptions, EvalStrategy, PlanStats, RunReport};
+pub use engine::{EngineOptions, EvalStrategy, LaneBindings, PlanStats, RunReport};
 pub use error::AnalogError;
 pub use exceptions::ExceptionVector;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, Rail};

@@ -30,8 +30,10 @@
 //! fault-plan adjustments and external input signals, both functions of
 //! time — stays a per-eval call, exactly as in the reference path.
 
+use std::collections::BTreeMap;
+
 use crate::chip::InputSignal;
-use crate::engine::{Compiled, Evaluator, Tracker};
+use crate::engine::{BatchTracker, Compiled, Evaluator, Tracker};
 use crate::fault::FaultPlan;
 use crate::lut::LookupTable;
 use crate::netlist::{InputPort, OutputPort};
@@ -514,6 +516,506 @@ impl Evaluator for PlanRun<'_> {
         // Integrator derivatives: ω_u times the summed input current.
         for (slot_state, &range) in plan.derivs.iter().enumerate() {
             du[slot_state] = plan.omega * self.sum(range, values);
+        }
+    }
+}
+
+/// The K-lane batched view of a (shared, possibly cached) [`CompiledPlan`]:
+/// one RK4 sweep advances K right-hand sides in lockstep.
+///
+/// All per-lane arrays are column-major SoA — `values[slot * k + lane]` — so
+/// the inner loop of every tape op is a tight sweep over the K lanes of one
+/// slot. Each lane performs **exactly** the floating-point sequence
+/// [`PlanRun`] would perform for that lane alone: the plan metadata, process
+/// variation, and fault schedule are shared (loaded once per op, applied per
+/// lane), and fault adjustments are pure functions of `(unit, t, value)`, so
+/// a lane's trajectory is bit-identical to a sequential solve started from
+/// the same chip instant. Only the DAC constants differ per lane — the K
+/// RHS snapshots the batch carries.
+pub(crate) struct BatchRun<'a> {
+    plan: &'a CompiledPlan,
+    faults: Option<&'a FaultPlan>,
+    t_offset: f64,
+    k: usize,
+    /// Per-lane DAC constants, source-major: `dac_values[src_idx * k + lane]`.
+    dac_values: Vec<f64>,
+    /// Resolved stimuli (shared across lanes; signals are pure functions of
+    /// time, the workspace-wide determinism assumption).
+    signals: Vec<Option<&'a InputSignal>>,
+    /// Lane-wide accumulator scratch for the unmasked fast path (two
+    /// buffers: `MulVar` needs both operand sums live at once).
+    scratch0: Vec<f64>,
+    scratch1: Vec<f64>,
+}
+
+/// Sums each lane's driver currents over a CSR range into `acc[..k]` — the
+/// same per-lane fold order as [`BatchRun::sum`], restructured so the lane
+/// dimension is the innermost (contiguous, vectorizable) loop.
+#[inline]
+fn sum_into(plan: &CompiledPlan, k: usize, range: DriverRange, values: &[f64], acc: &mut [f64]) {
+    let acc = &mut acc[..k];
+    acc.fill(0.0);
+    for &s in &plan.driver_slots[range.start as usize..range.end as usize] {
+        let col = &values[s as usize * k..][..k];
+        for (a, &v) in acc.iter_mut().zip(col) {
+            *a += v;
+        }
+    }
+}
+
+impl<'a> BatchRun<'a> {
+    /// Binds the plan to K lanes' DAC register maps plus the shared run
+    /// state (faults, lifetime offset, input signals) from `c`.
+    pub(crate) fn bind(
+        plan: &'a CompiledPlan,
+        c: &Compiled<'a>,
+        lane_dacs: &[&BTreeMap<usize, f64>],
+    ) -> Self {
+        let k = lane_dacs.len();
+        let mut dac_values = Vec::with_capacity(plan.dac_sources.len() * k);
+        for src in &plan.dac_sources {
+            for dacs in lane_dacs {
+                dac_values.push(dacs.get(&src.dac).copied().unwrap_or(0.0));
+            }
+        }
+        let signals = plan
+            .input_sources
+            .iter()
+            .map(|src| {
+                let enabled = c
+                    .registers
+                    .inputs_enabled
+                    .get(&src.channel)
+                    .copied()
+                    .unwrap_or(false);
+                if enabled {
+                    c.signals.get(&src.channel)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        BatchRun {
+            plan,
+            faults: c.faults,
+            t_offset: c.t_offset,
+            k,
+            dac_values,
+            signals,
+            scratch0: vec![0.0; k],
+            scratch1: vec![0.0; k],
+        }
+    }
+
+    /// Number of lanes bound to the batch.
+    pub(crate) fn lanes(&self) -> usize {
+        self.k
+    }
+
+    /// Lane `lane`'s sum of driver currents over a CSR range — the same fold
+    /// order as [`PlanRun::sum`].
+    #[inline]
+    fn sum(&self, range: DriverRange, values: &[f64], lane: usize) -> f64 {
+        let k = self.k;
+        let mut acc = 0.0;
+        for &s in &self.plan.driver_slots[range.start as usize..range.end as usize] {
+            acc += values[s as usize * k + lane];
+        }
+        acc
+    }
+
+    /// Applies any active analog-path faults, identically to
+    /// [`PlanRun::distort`] — the draw is shared per `(unit, t)` across
+    /// lanes because the adjustment is a pure counter-based function.
+    #[inline]
+    fn distort(&self, unit: UnitId, t: f64, value: f64) -> f64 {
+        match self.faults {
+            Some(plan) => plan.analog_adjust(unit, self.t_offset + t, value),
+            None => value,
+        }
+    }
+
+    /// Clips to full scale, recording range usage and clip events against
+    /// the lane-expanded index `idx = slot * k + lane` when tracking.
+    #[inline]
+    fn clip(
+        &self,
+        value: f64,
+        idx: usize,
+        max_abs: &mut [f64],
+        clipped: &mut [bool],
+        track: bool,
+    ) -> f64 {
+        let fs = self.plan.full_scale;
+        if track {
+            let mag = value.abs();
+            if mag > max_abs[idx] {
+                max_abs[idx] = mag;
+            }
+            if mag > fs {
+                clipped[idx] = true;
+            }
+        }
+        value.clamp(-fs, fs)
+    }
+
+    /// Evaluates the circuit at time `t` for all **active** lanes at once.
+    /// `state`/`du` are `n_states * k`, the tracker arrays `n_slots * k`,
+    /// all column-major (`[index * k + lane]`). Retired lanes are skipped
+    /// entirely — their tracker entries, derivatives, and slot values stay
+    /// frozen at their retirement step, exactly as a sequential run that
+    /// already broke out of the loop.
+    ///
+    /// Dispatches between two bodies performing the identical per-lane
+    /// floating-point sequence: an unmasked fast path when every lane is
+    /// live and no fault plan is armed (lane loops innermost and
+    /// branch-free, so they vectorize), and the masked general path.
+    pub(crate) fn eval_lanes(
+        &mut self,
+        t: f64,
+        state: &[f64],
+        du: &mut [f64],
+        tracker: &mut BatchTracker,
+        track: bool,
+        active: &[bool],
+    ) {
+        if self.faults.is_none() && active.iter().all(|&a| a) {
+            // Monomorphize the hot widths: with the lane count a compile-
+            // time constant, every lane loop unrolls and vectorizes and the
+            // accumulator fills stop being runtime-length memsets — the
+            // difference between a batched sweep that beats K sequential
+            // runs and one that loses to them at small K.
+            match self.k {
+                2 => self.eval_lanes_unmasked::<2>(t, state, du, tracker, track),
+                4 => self.eval_lanes_unmasked::<4>(t, state, du, tracker, track),
+                8 => self.eval_lanes_unmasked::<8>(t, state, du, tracker, track),
+                16 => self.eval_lanes_unmasked::<16>(t, state, du, tracker, track),
+                _ => self.eval_lanes_unmasked::<0>(t, state, du, tracker, track),
+            }
+        } else {
+            self.eval_lanes_masked(t, state, du, tracker, track, active);
+        }
+    }
+
+    /// The branch-free all-lanes-live evaluation: per op, the operand sums
+    /// are swept into a lane-wide accumulator first ([`sum_into`]), then one
+    /// contiguous lane loop applies the op's arithmetic — the same ops in
+    /// the same order as [`Self::eval_lanes_masked`] with the `active` mask
+    /// and the identity fault adjustment peeled away, so the results match
+    /// bit for bit while the inner loops vectorize.
+    ///
+    /// `KC` is the compile-time lane count for the monomorphized widths, or
+    /// 0 for the generic runtime-width instantiation.
+    fn eval_lanes_unmasked<const KC: usize>(
+        &mut self,
+        t: f64,
+        state: &[f64],
+        du: &mut [f64],
+        tracker: &mut BatchTracker,
+        track: bool,
+    ) {
+        let plan = self.plan;
+        let k = if KC == 0 { self.k } else { KC };
+        let fs = plan.full_scale;
+        let mut acc0 = std::mem::take(&mut self.scratch0);
+        let mut acc1 = std::mem::take(&mut self.scratch1);
+        let dac_values: &[f64] = &self.dac_values;
+        let signals = &self.signals;
+        let BatchTracker {
+            values,
+            max_abs,
+            clipped,
+        } = tracker;
+
+        // Maps `$src` (a lane-wide slice) through `$v` into the output
+        // column at `$col`, tracking range usage when asked. The `track`
+        // branch is hoisted out of the lane loop, and both bodies walk
+        // exact-length subslices so the bounds checks lift out and the
+        // untracked loop vectorizes.
+        macro_rules! store_map {
+            ($col:expr, $src:expr, |$x:ident| $v:expr) => {{
+                let col = $col;
+                let src = &$src[..k];
+                let out = &mut values[col..col + k];
+                if track {
+                    let mab = &mut max_abs[col..col + k];
+                    let clp = &mut clipped[col..col + k];
+                    for lane in 0..k {
+                        let $x = src[lane];
+                        let v: f64 = $v;
+                        let mag = v.abs();
+                        if mag > mab[lane] {
+                            mab[lane] = mag;
+                        }
+                        if mag > fs {
+                            clp[lane] = true;
+                        }
+                        out[lane] = v.clamp(-fs, fs);
+                    }
+                } else {
+                    for (o, &$x) in out.iter_mut().zip(src) {
+                        let v: f64 = $v;
+                        *o = v.clamp(-fs, fs);
+                    }
+                }
+            }};
+        }
+
+        // Sources: integrator outputs (their state, through imperfection).
+        for (slot_state, src) in plan.int_sources.iter().enumerate() {
+            let imp = src.imp;
+            store_map!(src.out as usize * k, state[slot_state * k..], |x| imp
+                .apply(x));
+        }
+        // Sources: DAC constants — the K per-lane RHS snapshots.
+        for (src_idx, src) in plan.dac_sources.iter().enumerate() {
+            let imp = src.imp;
+            store_map!(src.out as usize * k, dac_values[src_idx * k..], |x| imp
+                .apply(x));
+        }
+        // Sources: external analog inputs, evaluated once and shared. The
+        // accumulator doubles as the broadcast buffer.
+        for (src, signal) in plan.input_sources.iter().zip(signals) {
+            let raw = signal.map(|f| f(t)).unwrap_or(0.0);
+            acc0[..k].fill(raw);
+            store_map!(src.out as usize * k, acc0, |x| x);
+        }
+
+        // The op tape: operand sums first, then one lane sweep per op.
+        for op in &plan.ops {
+            match op {
+                Op::MulGain {
+                    gain,
+                    imp,
+                    in0,
+                    out,
+                    ..
+                } => {
+                    sum_into(plan, k, *in0, values, &mut acc0);
+                    let (gain, imp) = (*gain, *imp);
+                    store_map!(*out as usize * k, acc0, |x| imp.apply(gain * x));
+                }
+                Op::MulVar {
+                    imp, in0, in1, out, ..
+                } => {
+                    sum_into(plan, k, *in0, values, &mut acc0);
+                    sum_into(plan, k, *in1, values, &mut acc1);
+                    let imp = *imp;
+                    for (a, &b) in acc0[..k].iter_mut().zip(&acc1[..k]) {
+                        *a = *a * b / fs;
+                    }
+                    store_map!(*out as usize * k, acc0, |x| imp.apply(x));
+                }
+                Op::Fanout {
+                    imp,
+                    input,
+                    out0,
+                    branches,
+                    ..
+                } => {
+                    sum_into(plan, k, *input, values, &mut acc0);
+                    for a in acc0[..k].iter_mut() {
+                        *a = imp.apply(*a);
+                    }
+                    for port in 0..*branches {
+                        store_map!((out0 + port) as usize * k, acc0, |x| x);
+                    }
+                }
+                Op::Lut {
+                    lut, input, out, ..
+                } => {
+                    sum_into(plan, k, *input, values, &mut acc0);
+                    store_map!(*out as usize * k, acc0, |x| lut.evaluate(x));
+                }
+                Op::Sink { input, out } => {
+                    sum_into(plan, k, *input, values, &mut acc0);
+                    store_map!(*out as usize * k, acc0, |x| x);
+                }
+            }
+        }
+
+        // Integrator derivatives: ω_u times the summed input current.
+        for (slot_state, &range) in plan.derivs.iter().enumerate() {
+            sum_into(plan, k, range, values, &mut acc0);
+            let out = &mut du[slot_state * k..][..k];
+            for (o, &a) in out.iter_mut().zip(&acc0[..k]) {
+                *o = plan.omega * a;
+            }
+        }
+
+        self.scratch0 = acc0;
+        self.scratch1 = acc1;
+    }
+
+    /// The general evaluation: per-lane `active` masking and per-`(unit,t)`
+    /// fault adjustments, lane loop innermost over the shared op metadata.
+    // The lane loops index `active` plus several SoA columns in lockstep;
+    // a range loop is the clear form, not a needless one.
+    #[allow(clippy::needless_range_loop)]
+    fn eval_lanes_masked(
+        &self,
+        t: f64,
+        state: &[f64],
+        du: &mut [f64],
+        tracker: &mut BatchTracker,
+        track: bool,
+        active: &[bool],
+    ) {
+        let plan = self.plan;
+        let k = self.k;
+        let fs = plan.full_scale;
+        let BatchTracker {
+            values,
+            max_abs,
+            clipped,
+        } = tracker;
+
+        // Sources: integrator outputs (their state, through imperfection).
+        for (slot_state, src) in plan.int_sources.iter().enumerate() {
+            let s = src.out as usize;
+            for lane in 0..k {
+                if !active[lane] {
+                    continue;
+                }
+                let out = self.distort(src.unit, t, src.imp.apply(state[slot_state * k + lane]));
+                let idx = s * k + lane;
+                values[idx] = out.clamp(-fs, fs);
+                if track {
+                    let mag = out.abs();
+                    if mag > max_abs[idx] {
+                        max_abs[idx] = mag;
+                    }
+                    if mag > fs {
+                        clipped[idx] = true;
+                    }
+                }
+            }
+        }
+        // Sources: DAC constants — the K per-lane RHS snapshots.
+        for (src_idx, src) in plan.dac_sources.iter().enumerate() {
+            let s = src.out as usize;
+            for lane in 0..k {
+                if !active[lane] {
+                    continue;
+                }
+                let value = self.dac_values[src_idx * k + lane];
+                let out = self.distort(src.unit, t, src.imp.apply(value));
+                let idx = s * k + lane;
+                values[idx] = self.clip(out, idx, max_abs, clipped, track);
+            }
+        }
+        // Sources: external analog inputs (no imperfection applied). The
+        // stimulus is evaluated once per step and shared across lanes.
+        for (src, signal) in plan.input_sources.iter().zip(&self.signals) {
+            let raw = signal.map(|f| f(t)).unwrap_or(0.0);
+            let s = src.out as usize;
+            for lane in 0..k {
+                if !active[lane] {
+                    continue;
+                }
+                let out = self.distort(src.unit, t, raw);
+                let idx = s * k + lane;
+                values[idx] = self.clip(out, idx, max_abs, clipped, track);
+            }
+        }
+
+        // The op tape: metadata decoded once per op, swept over the lanes.
+        for op in &plan.ops {
+            match op {
+                Op::MulGain {
+                    unit,
+                    gain,
+                    imp,
+                    in0,
+                    out,
+                } => {
+                    let s = *out as usize;
+                    for lane in 0..k {
+                        if !active[lane] {
+                            continue;
+                        }
+                        let ideal = gain * self.sum(*in0, values, lane);
+                        let v = self.distort(*unit, t, imp.apply(ideal));
+                        let idx = s * k + lane;
+                        values[idx] = self.clip(v, idx, max_abs, clipped, track);
+                    }
+                }
+                Op::MulVar {
+                    unit,
+                    imp,
+                    in0,
+                    in1,
+                    out,
+                } => {
+                    let s = *out as usize;
+                    for lane in 0..k {
+                        if !active[lane] {
+                            continue;
+                        }
+                        let ideal =
+                            self.sum(*in0, values, lane) * self.sum(*in1, values, lane) / fs;
+                        let v = self.distort(*unit, t, imp.apply(ideal));
+                        let idx = s * k + lane;
+                        values[idx] = self.clip(v, idx, max_abs, clipped, track);
+                    }
+                }
+                Op::Fanout {
+                    unit,
+                    imp,
+                    input,
+                    out0,
+                    branches,
+                } => {
+                    for lane in 0..k {
+                        if !active[lane] {
+                            continue;
+                        }
+                        let v = self.distort(*unit, t, imp.apply(self.sum(*input, values, lane)));
+                        for port in 0..*branches {
+                            let idx = (out0 + port) as usize * k + lane;
+                            values[idx] = self.clip(v, idx, max_abs, clipped, track);
+                        }
+                    }
+                }
+                Op::Lut {
+                    unit,
+                    lut,
+                    input,
+                    out,
+                } => {
+                    let s = *out as usize;
+                    for lane in 0..k {
+                        if !active[lane] {
+                            continue;
+                        }
+                        let v =
+                            self.distort(*unit, t, lut.evaluate(self.sum(*input, values, lane)));
+                        let idx = s * k + lane;
+                        values[idx] = self.clip(v, idx, max_abs, clipped, track);
+                    }
+                }
+                Op::Sink { input, out } => {
+                    let s = *out as usize;
+                    for lane in 0..k {
+                        if !active[lane] {
+                            continue;
+                        }
+                        let v = self.sum(*input, values, lane);
+                        let idx = s * k + lane;
+                        values[idx] = self.clip(v, idx, max_abs, clipped, track);
+                    }
+                }
+            }
+        }
+
+        // Integrator derivatives: ω_u times the summed input current.
+        for (slot_state, &range) in plan.derivs.iter().enumerate() {
+            for lane in 0..k {
+                if !active[lane] {
+                    continue;
+                }
+                du[slot_state * k + lane] = plan.omega * self.sum(range, values, lane);
+            }
         }
     }
 }

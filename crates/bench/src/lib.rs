@@ -136,6 +136,9 @@ pub struct BenchRecord {
     /// Wall time of one fleet checkpoint + restore cycle, milliseconds,
     /// where applicable.
     pub checkpoint_restore_ms: Option<f64>,
+    /// Throughput ratio of the K-lane batched path against serving the same
+    /// K right-hand sides sequentially, where applicable.
+    pub batched_speedup: Option<f64>,
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -174,7 +177,7 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
                 "  {{\"bench\": \"{}\", \"config\": \"{}\", \"wall_ms\": {}, \
                  \"steps_per_sec\": {}, \"requests_per_sec\": {}, \"speedup_vs_serial\": {}, \
                  \"cores\": {}, \"undersubscribed\": {}, \"soak_requests_completed\": {}, \
-                 \"checkpoint_restore_ms\": {}}}",
+                 \"checkpoint_restore_ms\": {}, \"batched_speedup\": {}}}",
                 json_escape(&r.bench),
                 json_escape(&r.config),
                 json_number(r.wall_ms),
@@ -188,6 +191,7 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
                     .map_or("null".to_string(), |n| n.to_string()),
                 r.checkpoint_restore_ms
                     .map_or("null".to_string(), json_number),
+                r.batched_speedup.map_or("null".to_string(), json_number),
             )
         })
         .collect();
@@ -195,7 +199,7 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
 }
 
 /// The exact key set of a `BENCH_engine.json` record.
-const BENCH_KEYS: [&str; 10] = [
+const BENCH_KEYS: [&str; 11] = [
     "bench",
     "config",
     "wall_ms",
@@ -206,6 +210,7 @@ const BENCH_KEYS: [&str; 10] = [
     "undersubscribed",
     "soak_requests_completed",
     "checkpoint_restore_ms",
+    "batched_speedup",
 ];
 
 /// Schema check for a `BENCH_engine.json` document, run before the file is
@@ -213,8 +218,8 @@ const BENCH_KEYS: [&str; 10] = [
 /// report with garbage: the document must parse, be a non-empty array of
 /// records carrying exactly [`BENCH_KEYS`], with non-empty string `bench`,
 /// string `config`, finite non-negative `wall_ms`, `steps_per_sec` /
-/// `requests_per_sec` / `speedup_vs_serial` / `checkpoint_restore_ms` each
-/// `null` or a non-negative number, `cores` `null` or a positive integer,
+/// `requests_per_sec` / `speedup_vs_serial` / `checkpoint_restore_ms` /
+/// `batched_speedup` each `null` or a non-negative number, `cores` `null` or a positive integer,
 /// `soak_requests_completed` `null` or a non-negative integer, and
 /// `undersubscribed` `null` or a boolean.
 pub fn validate_bench_json(text: &str) -> Result<(), String> {
@@ -260,6 +265,7 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             "requests_per_sec",
             "speedup_vs_serial",
             "checkpoint_restore_ms",
+            "batched_speedup",
         ] {
             let value = row.get(key).expect("presence checked above");
             if value.is_null() {
@@ -352,6 +358,7 @@ mod tests {
                 undersubscribed: None,
                 soak_requests_completed: None,
                 checkpoint_restore_ms: None,
+                batched_speedup: None,
             },
             BenchRecord {
                 bench: "decomposed_scaling".to_string(),
@@ -364,6 +371,7 @@ mod tests {
                 undersubscribed: Some(true),
                 soak_requests_completed: Some(512),
                 checkpoint_restore_ms: Some(1.75),
+                batched_speedup: Some(3.5),
             },
         ];
         let json = records_to_json(&records);
@@ -384,6 +392,8 @@ mod tests {
         assert!(json.contains("\"soak_requests_completed\": null"));
         assert!(json.contains("\"checkpoint_restore_ms\": 1.75"));
         assert!(json.contains("\"checkpoint_restore_ms\": null"));
+        assert!(json.contains("\"batched_speedup\": 3.5"));
+        assert!(json.contains("\"batched_speedup\": null"));
         // Exactly one comma-separated row pair.
         assert_eq!(json.matches("{\"bench\"").count(), 2);
     }
@@ -401,6 +411,7 @@ mod tests {
             undersubscribed: Some(false),
             soak_requests_completed: Some(0),
             checkpoint_restore_ms: Some(0.5),
+            batched_speedup: Some(1.0),
         }];
         validate_bench_json(&records_to_json(&records)).expect("valid document");
     }
@@ -412,7 +423,7 @@ mod tests {
         let base = r#"[{"bench": "x", "config": "c", "wall_ms": 1.0, "steps_per_sec": null,
             "requests_per_sec": null, "speedup_vs_serial": null, "cores": null,
             "undersubscribed": null, "soak_requests_completed": null,
-            "checkpoint_restore_ms": null}]"#;
+            "checkpoint_restore_ms": null, "batched_speedup": null}]"#;
         let needle = match key {
             "bench" => r#""bench": "x""#.to_string(),
             "config" => r#""config": "c""#.to_string(),
@@ -473,6 +484,10 @@ mod tests {
         assert!(validate_bench_json(&doc_with("checkpoint_restore_ms", "-1.0")).is_err());
         assert!(validate_bench_json(&doc_with("checkpoint_restore_ms", "\"fast\"")).is_err());
         assert!(validate_bench_json(&doc_with("checkpoint_restore_ms", "2.5")).is_ok());
+        // Batched speedup must be a non-negative number when present.
+        assert!(validate_bench_json(&doc_with("batched_speedup", "-1.0")).is_err());
+        assert!(validate_bench_json(&doc_with("batched_speedup", "\"2x\"")).is_err());
+        assert!(validate_bench_json(&doc_with("batched_speedup", "3.1")).is_ok());
     }
 
     #[test]

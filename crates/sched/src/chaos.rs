@@ -64,6 +64,11 @@ pub struct ChaosConfig {
     /// Crash the service and restore it from the last checkpoint + WAL
     /// every N ticks.
     pub crash_every: usize,
+    /// RHS-coalescing width ([`FleetConfig::max_batch_rhs`]): `> 1` makes
+    /// chips serve multi-column batched sweeps, so a mid-batch failure
+    /// must bounce whole chunks — the exactly-once audit catches any
+    /// column a partial chunk would lose.
+    pub max_batch_rhs: usize,
     /// Quarantines before a chip is retired for good.
     pub retire_after_quarantines: usize,
     /// Hard tick bound — exceeding it is itself an invariant violation
@@ -88,6 +93,7 @@ impl ChaosConfig {
             deadline_storm_every: 23,
             checkpoint_every: 19,
             crash_every: 31,
+            max_batch_rhs: 1,
             retire_after_quarantines: 2,
             max_ticks: 5000,
         }
@@ -226,7 +232,8 @@ pub fn run_soak(config: &ChaosConfig) -> Result<ChaosReport, SchedError> {
     let mut fleet_cfg = FleetConfig::new(config.chips)
         .with_seed(config.seed)
         .with_queue_capacity(config.queue_capacity)
-        .with_brownout(config.brownout_low_watermark);
+        .with_brownout(config.brownout_low_watermark)
+        .with_max_batch_rhs(config.max_batch_rhs.max(1));
     fleet_cfg.health.retire_after_quarantines = Some(config.retire_after_quarantines);
 
     let mut service = FleetService::new(fleet_cfg.clone(), structures.clone())?;
@@ -456,6 +463,27 @@ mod tests {
         assert!(a.completed >= a.accepted);
         assert!(a.crashes > 0, "crash/restore exercised");
         assert!(a.digital_only > 0, "digital lane engaged");
+    }
+
+    #[test]
+    fn batched_soak_loses_no_columns() {
+        // Regression for mid-batch Dead/HangAfter with multi-RHS chunks:
+        // every unserved column of a coalesced sweep must be requeued, so
+        // the exactly-once audit (every accepted ticket answered exactly
+        // once) holds with coalescing at full width.
+        let cfg = ChaosConfig {
+            requests: 40,
+            kills: vec![(0, 10), (1, 16), (2, 22), (3, 28)],
+            max_ticks: 800,
+            max_batch_rhs: 4,
+            ..ChaosConfig::standard(23)
+        };
+        let a = run_soak(&cfg).unwrap();
+        let b = run_soak(&cfg).unwrap();
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.to_json(), b.to_json(), "batched soak replays from seed");
+        assert!(a.requeues > 0, "mid-batch failures bounced columns");
+        assert!(a.completed >= a.accepted);
     }
 
     #[test]

@@ -17,7 +17,10 @@ use aa_hwmodel::design::AcceleratorDesign;
 use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
 use aa_linalg::rng::mix64;
 use aa_linalg::{vector, CsrMatrix, LinearOperator};
-use aa_solver::{FinalPath, RecoveryConfig, SolverConfig, SupervisedCheckpoint, SupervisedSolver};
+use aa_solver::{
+    FinalPath, RecoveryConfig, SolverConfig, SupervisedCheckpoint, SupervisedSolveReport,
+    SupervisedSolver,
+};
 
 use crate::request::CompletionPath;
 
@@ -64,6 +67,12 @@ pub struct FleetConfig {
     /// Most requests placed on one chip per round. Same-structure requests
     /// are preferred within a batch to hit the chip's compiled-plan cache.
     pub batch_size: usize,
+    /// Most RHS columns coalesced into one batched analog sweep on a chip.
+    /// Consecutive same-structure assignments within one round's batch are
+    /// chunked to this size and served by a single multi-lane engine run
+    /// (`SupervisedSolver::solve_batch`); `1` disables coalescing and
+    /// reproduces unbatched serving exactly.
+    pub max_batch_rhs: usize,
     /// Solver template applied to every chip (the per-chip noise seed is
     /// overridden from `base_seed`).
     pub solver: SolverConfig,
@@ -96,6 +105,7 @@ impl FleetConfig {
             base_seed: 0x5EED_F1EE7,
             queue_capacity: 64,
             batch_size: 4,
+            max_batch_rhs: 1,
             solver: SolverConfig::ideal(),
             recovery: RecoveryConfig::default(),
             design: AcceleratorDesign::prototype_20khz(),
@@ -121,6 +131,14 @@ impl FleetConfig {
     /// Bounds the request queue.
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Enables multi-RHS coalescing: up to `columns` consecutive
+    /// same-structure assignments per chip per round are served by one
+    /// batched analog sweep.
+    pub fn with_max_batch_rhs(mut self, columns: usize) -> Self {
+        self.max_batch_rhs = columns;
         self
     }
 
@@ -324,6 +342,8 @@ pub(crate) struct ChipSlot {
     /// the unit of compiled-plan reuse.
     solvers: BTreeMap<usize, SupervisedSolver>,
     fallback_tolerance: f64,
+    /// Most RHS columns served by one batched analog sweep.
+    max_batch_rhs: usize,
     /// The chaos failure currently installed, if any.
     failure: Option<ChipFailure>,
 }
@@ -346,6 +366,7 @@ impl ChipSlot {
             structures,
             solvers: BTreeMap::new(),
             fallback_tolerance: config.fallback_tolerance,
+            max_batch_rhs: config.max_batch_rhs.max(1),
             failure: None,
         }
     }
@@ -363,42 +384,129 @@ impl ChipSlot {
         }
     }
 
-    /// Serves one round's batch, in assignment order. An injected failure
-    /// makes the chip drop part or all of the batch: dropped assignments
-    /// come back `unserved` so the dispatcher can requeue them.
+    /// Serves one round's batch, in assignment order. Consecutive
+    /// same-structure assignments are coalesced into multi-RHS chunks of at
+    /// most [`FleetConfig::max_batch_rhs`] columns, each executed as one
+    /// batched analog sweep. An injected failure makes the chip drop part
+    /// or all of the batch: dropped assignments come back `unserved` so the
+    /// dispatcher can requeue them. A wedge that lands mid-chunk drops the
+    /// *whole* chunk — a batched sweep has no partial results — so every
+    /// column of a partially-covered chunk is requeued, none lost.
     pub fn run(&mut self, assignments: Vec<Assignment>) -> ChipReply {
         let dispatched = assignments.len();
+        let ends = self.chunk_ends(&assignments);
         let (served, failed) = match self.failure {
             Some(ChipFailure::Dead) => (0, dispatched > 0),
             Some(ChipFailure::HangAfter { served }) if dispatched > 0 => {
-                // The watchdog resets a wedged chip after the round.
+                // The watchdog resets a wedged chip after the round. The
+                // served count rounds *down* to a chunk boundary: a sweep
+                // the wedge interrupted produced nothing for any lane.
                 self.failure = None;
-                (served.min(dispatched), true)
+                let raw = served.min(dispatched);
+                let aligned = ends
+                    .iter()
+                    .copied()
+                    .take_while(|&end| end <= raw)
+                    .last()
+                    .unwrap_or(0);
+                (aligned, true)
             }
             _ => (dispatched, false),
         };
+        let mut assignments = assignments;
+        let unserved = assignments.split_off(served);
         let mut outcomes = Vec::with_capacity(served);
-        let mut unserved = Vec::new();
-        for (k, (ticket, structure, rhs, deadline_s)) in assignments.into_iter().enumerate() {
-            if k >= served {
-                unserved.push((ticket, structure, rhs, deadline_s));
-                continue;
+        for &end in ends.iter().take_while(|&&end| end <= served) {
+            let start = outcomes.len();
+            outcomes.extend(self.serve_chunk(&assignments[start..end]));
+            for outcome in &outcomes[start..] {
+                aa_obs::event(
+                    aa_obs::Event::new("sched.solve")
+                        .with("ticket", outcome.ticket)
+                        .with("chip", self.index)
+                        .with("path", outcome.path.label()),
+                );
+                aa_obs::counter("sched.chip_solves", 1);
             }
-            let outcome = self.serve(ticket, structure, &rhs, deadline_s);
-            aa_obs::event(
-                aa_obs::Event::new("sched.solve")
-                    .with("ticket", ticket)
-                    .with("chip", self.index)
-                    .with("path", outcome.path.label()),
-            );
-            aa_obs::counter("sched.chip_solves", 1);
-            outcomes.push(outcome);
         }
         ChipReply::Ran {
             outcomes,
             unserved,
             failed,
         }
+    }
+
+    /// Boundaries (exclusive end indices) of the multi-RHS chunks within
+    /// one round's assignment list: maximal runs of consecutive
+    /// same-structure assignments, split at `max_batch_rhs` columns. With
+    /// `max_batch_rhs == 1` every index is a boundary, which reproduces
+    /// unbatched serving exactly.
+    fn chunk_ends(&self, assignments: &[Assignment]) -> Vec<usize> {
+        let mut ends = Vec::new();
+        let mut start = 0;
+        while start < assignments.len() {
+            let structure = assignments[start].1;
+            let mut end = start + 1;
+            while end < assignments.len()
+                && assignments[end].1 == structure
+                && end - start < self.max_batch_rhs
+            {
+                end += 1;
+            }
+            ends.push(end);
+            start = end;
+        }
+        ends
+    }
+
+    /// Serves one chunk of same-structure assignments: a single assignment
+    /// goes through the scalar path, several share one batched analog
+    /// sweep with per-column validation (a column the batch could not
+    /// certify is re-solved through the full recovery ladder inside
+    /// [`SupervisedSolver::solve_batch`]).
+    fn serve_chunk(&mut self, chunk: &[Assignment]) -> Vec<ChipOutcome> {
+        if chunk.len() == 1 {
+            let (ticket, structure, rhs, deadline_s) = &chunk[0];
+            return vec![self.serve(*ticket, *structure, rhs, *deadline_s)];
+        }
+        let structure = chunk[0].1;
+        debug_assert!(chunk.iter().all(|a| a.1 == structure));
+        if !self.ensure_solver(structure) {
+            // The structure cannot be mapped onto this chip at all; the
+            // digital lane still owes each client an answer.
+            return chunk
+                .iter()
+                .map(|(ticket, structure, rhs, _)| {
+                    self.digital(
+                        *ticket,
+                        *structure,
+                        rhs,
+                        CompletionPath::DigitalFallback,
+                        0.0,
+                    )
+                })
+                .collect();
+        }
+        let bs: Vec<Vec<f64>> = chunk.iter().map(|(_, _, rhs, _)| rhs.clone()).collect();
+        let solver = self.solvers.get_mut(&structure).expect("ensured above");
+        let results = solver.solve_batch(&bs);
+        aa_obs::counter("sched.chip_batches", 1);
+        chunk
+            .iter()
+            .zip(results)
+            .map(
+                |((ticket, structure, rhs, deadline_s), result)| match result {
+                    Ok(report) => self.finish(*ticket, *structure, rhs, *deadline_s, report),
+                    Err(_) => self.digital(
+                        *ticket,
+                        *structure,
+                        rhs,
+                        CompletionPath::DigitalFallback,
+                        0.0,
+                    ),
+                },
+            )
+            .collect()
     }
 
     /// Freezes this slot's mutable state for a fleet checkpoint.
@@ -444,6 +552,25 @@ impl ChipSlot {
         Ok(())
     }
 
+    /// Lazily builds (and fault-injects) the persistent solver for one
+    /// structure; `false` when the structure cannot be mapped onto this
+    /// chip at all.
+    fn ensure_solver(&mut self, structure: usize) -> bool {
+        if self.solvers.contains_key(&structure) {
+            return true;
+        }
+        match SupervisedSolver::new(&self.structures[structure], &self.config, &self.recovery) {
+            Ok(mut solver) => {
+                if let Some(plan) = &self.fault_plan {
+                    solver.inject_faults(plan.clone());
+                }
+                self.solvers.insert(structure, solver);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     fn serve(
         &mut self,
         ticket: u64,
@@ -451,61 +578,56 @@ impl ChipSlot {
         rhs: &[f64],
         deadline_s: Option<f64>,
     ) -> ChipOutcome {
-        let matrix = &self.structures[structure];
-        if !self.solvers.contains_key(&structure) {
-            match SupervisedSolver::new(matrix, &self.config, &self.recovery) {
-                Ok(mut solver) => {
-                    if let Some(plan) = &self.fault_plan {
-                        solver.inject_faults(plan.clone());
-                    }
-                    self.solvers.insert(structure, solver);
-                }
-                Err(_) => {
-                    // The structure cannot be mapped onto this chip at all;
-                    // the digital lane still owes the client an answer.
+        if !self.ensure_solver(structure) {
+            // The structure cannot be mapped onto this chip at all;
+            // the digital lane still owes the client an answer.
+            return self.digital(ticket, structure, rhs, CompletionPath::DigitalFallback, 0.0);
+        }
+        let solver = self.solvers.get_mut(&structure).expect("ensured above");
+        match solver.solve(rhs) {
+            Ok(report) => self.finish(ticket, structure, rhs, deadline_s, report),
+            Err(_) => self.digital(ticket, structure, rhs, CompletionPath::DigitalFallback, 0.0),
+        }
+    }
+
+    /// Turns one supervised report into the chip's outcome: maps the final
+    /// path to a [`CompletionPath`], then swaps in the digital lane's
+    /// answer when an analog result arrived past its deadline budget.
+    fn finish(
+        &self,
+        ticket: u64,
+        structure: usize,
+        rhs: &[f64],
+        deadline_s: Option<f64>,
+        report: SupervisedSolveReport,
+    ) -> ChipOutcome {
+        let analog_time_s = report.recovery.analog_time_s();
+        let path = match report.recovery.final_path {
+            FinalPath::Analog => CompletionPath::Analog,
+            FinalPath::AnalogAfterRecovery => CompletionPath::AnalogAfterRecovery,
+            FinalPath::DigitalFallback => CompletionPath::DigitalFallback,
+        };
+        if path.is_analog() {
+            if let Some(deadline) = deadline_s {
+                if analog_time_s > deadline {
+                    // The analog answer exists but arrived past its
+                    // budget; serve the digital lane's instead.
                     return self.digital(
                         ticket,
                         structure,
                         rhs,
-                        CompletionPath::DigitalFallback,
-                        0.0,
+                        CompletionPath::DeadlineFallback,
+                        analog_time_s,
                     );
                 }
             }
         }
-        let solver = self.solvers.get_mut(&structure).expect("inserted above");
-        match solver.solve(rhs) {
-            Ok(report) => {
-                let analog_time_s = report.recovery.analog_time_s();
-                let path = match report.recovery.final_path {
-                    FinalPath::Analog => CompletionPath::Analog,
-                    FinalPath::AnalogAfterRecovery => CompletionPath::AnalogAfterRecovery,
-                    FinalPath::DigitalFallback => CompletionPath::DigitalFallback,
-                };
-                if path.is_analog() {
-                    if let Some(deadline) = deadline_s {
-                        if analog_time_s > deadline {
-                            // The analog answer exists but arrived past its
-                            // budget; serve the digital lane's instead.
-                            return self.digital(
-                                ticket,
-                                structure,
-                                rhs,
-                                CompletionPath::DeadlineFallback,
-                                analog_time_s,
-                            );
-                        }
-                    }
-                }
-                ChipOutcome {
-                    ticket,
-                    solution: report.solution,
-                    path,
-                    residual: report.recovery.final_residual,
-                    analog_time_s,
-                }
-            }
-            Err(_) => self.digital(ticket, structure, rhs, CompletionPath::DigitalFallback, 0.0),
+        ChipOutcome {
+            ticket,
+            solution: report.solution,
+            path,
+            residual: report.recovery.final_residual,
+            analog_time_s,
         }
     }
 
@@ -638,6 +760,59 @@ mod tests {
             }
             assert_eq!(next, 5, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn chunk_ends_split_by_structure_run_and_cap() {
+        let structures = Arc::new(vec![
+            CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap(),
+            CsrMatrix::tridiagonal(5, -1.0, 2.0, -1.0).unwrap(),
+        ]);
+        let a = |t: u64, s: usize| (t, s, vec![1.0; 4 + s], None);
+        let slot = ChipSlot::new(
+            &FleetConfig::new(1).with_max_batch_rhs(3),
+            0,
+            Arc::clone(&structures),
+        );
+        assert_eq!(slot.chunk_ends(&[]), Vec::<usize>::new());
+        // A structure switch and the cap both end a chunk.
+        assert_eq!(
+            slot.chunk_ends(&[a(0, 0), a(1, 0), a(2, 0), a(3, 0), a(4, 1), a(5, 0)]),
+            vec![3, 4, 5, 6]
+        );
+        // max_batch_rhs = 1 (the default): every index is a boundary.
+        let scalar = ChipSlot::new(&FleetConfig::new(1), 0, structures);
+        assert_eq!(
+            scalar.chunk_ends(&[a(0, 0), a(1, 0), a(2, 0)]),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn hang_mid_chunk_returns_the_whole_chunk_unserved() {
+        let structures = Arc::new(vec![CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap()]);
+        let mut slot = ChipSlot::new(
+            &FleetConfig::new(1).with_max_batch_rhs(4),
+            0,
+            Arc::clone(&structures),
+        );
+        slot.failure = Some(ChipFailure::HangAfter { served: 2 });
+        let assignments: Vec<Assignment> = (0..4).map(|t| (t, 0, vec![1.0; 4], None)).collect();
+        let ChipReply::Ran {
+            outcomes,
+            unserved,
+            failed,
+        } = slot.run(assignments)
+        else {
+            panic!("Run command must produce a Ran reply");
+        };
+        // served=2 lands mid-chunk; the single 4-column chunk has no
+        // partial results, so every column bounces back.
+        assert!(failed);
+        assert!(outcomes.is_empty());
+        assert_eq!(unserved.len(), 4);
+        let tickets: Vec<u64> = unserved.iter().map(|a| a.0).collect();
+        assert_eq!(tickets, vec![0, 1, 2, 3]);
     }
 
     #[test]

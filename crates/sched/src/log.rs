@@ -84,6 +84,11 @@ pub enum ScheduleEvent {
         chip: usize,
         /// The round of the bounce.
         round: u64,
+        /// Total RHS columns this chip bounced this round. Every unserved
+        /// column of a failed batch is requeued together — a batched sweep
+        /// has no partial results — so each of the `columns` events of one
+        /// bounce carries the same count.
+        columns: usize,
     },
     /// A chip exhausted its quarantine budget and was permanently removed
     /// from rotation (no further probes).
@@ -144,7 +149,8 @@ impl ScheduleEvent {
                 ticket,
                 chip,
                 round,
-            } => format!("r{round} requeue t{ticket} c{chip}"),
+                columns,
+            } => format!("r{round} requeue t{ticket} c{chip} columns={columns}"),
             ScheduleEvent::Retired { chip, round } => format!("r{round} retire c{chip}"),
         }
     }
@@ -233,6 +239,12 @@ mod tests {
                     analog_time_s: 0.125,
                 },
                 ScheduleEvent::Quarantined { chip: 2, round: 1 },
+                ScheduleEvent::Requeued {
+                    ticket: 3,
+                    chip: 2,
+                    round: 1,
+                    columns: 4,
+                },
             ],
             ..ScheduleLog::default()
         };
@@ -241,6 +253,7 @@ mod tests {
         assert_eq!(lines[1], "r1 dispatch c2 [t0]");
         assert_eq!(lines[2], "r1 done t0 c2 analog analog=0.125");
         assert_eq!(lines[3], "r1 quarantine c2");
+        assert_eq!(lines[4], "r1 requeue t3 c2 columns=4");
         assert_eq!(log.quarantine_events().count(), 1);
     }
 

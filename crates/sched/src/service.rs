@@ -103,7 +103,8 @@ impl FleetService {
     /// # Errors
     ///
     /// [`SchedError::InvalidConfig`] for an empty fleet, no structures, a
-    /// zero batch size, or a fault plan naming a chip that does not exist.
+    /// zero batch size or RHS-coalescing width, or a fault plan naming a
+    /// chip that does not exist.
     pub fn new(config: FleetConfig, structures: Vec<CsrMatrix>) -> Result<Self, SchedError> {
         if config.chips == 0 {
             return Err(SchedError::InvalidConfig {
@@ -118,6 +119,11 @@ impl FleetService {
         if config.batch_size == 0 {
             return Err(SchedError::InvalidConfig {
                 message: "batch_size must be at least 1".into(),
+            });
+        }
+        if config.max_batch_rhs == 0 {
+            return Err(SchedError::InvalidConfig {
+                message: "max_batch_rhs must be at least 1".into(),
             });
         }
         if let Some((chip, _)) = config
@@ -496,6 +502,7 @@ impl FleetService {
     /// exactly-once half of the failure story: an accepted request bounces
     /// until a healthy chip (or the digital lane) answers it.
     fn requeue(&mut self, chip: usize, unserved: Vec<Assignment>) {
+        let columns = unserved.len();
         for (ticket, structure, rhs, deadline_s) in unserved {
             let priority = self
                 .inflight
@@ -506,6 +513,7 @@ impl FleetService {
                 ticket,
                 chip,
                 round: self.round,
+                columns,
             });
             aa_obs::counter("sched.requeues", 1);
             aa_obs::event(
@@ -868,6 +876,8 @@ mod tests {
         let mut zero_batch = FleetConfig::new(1);
         zero_batch.batch_size = 0;
         assert!(FleetService::new(zero_batch, vec![tri(4)]).is_err());
+        let zero_rhs = FleetConfig::new(1).with_max_batch_rhs(0);
+        assert!(FleetService::new(zero_rhs, vec![tri(4)]).is_err());
         let bad_chip = FleetConfig::new(1).with_fault_plan(3, aa_analog::FaultPlan::new(1));
         assert!(FleetService::new(bad_chip, vec![tri(4)]).is_err());
     }
@@ -1054,6 +1064,63 @@ mod tests {
         assert_eq!(batch, vec![0, 2, 4], "the three structure-0 tickets");
         fleet.run_until_idle();
         assert_eq!(fleet.log().completed(), 5);
+    }
+
+    #[test]
+    fn coalesced_multi_rhs_serving_answers_every_request_on_the_analog_path() {
+        let mut cfg = FleetConfig::new(1)
+            .with_seed(0x0BA7_C4ED)
+            .with_max_batch_rhs(3);
+        cfg.batch_size = 6;
+        let mut fleet = FleetService::new(cfg, vec![tri(4), tri(5)]).unwrap();
+        let mut tickets = Vec::new();
+        for (i, s) in [0usize, 0, 1, 0, 1, 0].into_iter().enumerate() {
+            let n = fleet.structures()[s].dim();
+            let rhs: Vec<f64> = (0..n).map(|j| 0.2 + 0.05 * ((i + j) as f64)).collect();
+            tickets.push(fleet.submit(SolveRequest::new(s, rhs)).unwrap());
+        }
+        fleet.run_until_idle();
+        for t in &tickets {
+            let done = fleet.completion(*t).expect("served");
+            assert!(done.path.is_analog(), "path={:?}", done.path);
+            assert!(done.residual < 1e-2, "residual={}", done.residual);
+            assert!(done.analog_time_s > 0.0);
+        }
+        assert_eq!(fleet.log().completed(), tickets.len());
+    }
+
+    #[test]
+    fn hang_mid_chunk_requeues_every_column_with_the_count() {
+        let mut cfg = FleetConfig::new(1).with_max_batch_rhs(4);
+        cfg.batch_size = 4;
+        let mut fleet = FleetService::new(cfg, vec![tri(4)]).unwrap();
+        fleet
+            .inject_chaos(0, Some(crate::fleet::ChipFailure::HangAfter { served: 2 }))
+            .unwrap();
+        let mut tickets = Vec::new();
+        for _ in 0..4 {
+            tickets.push(fleet.submit(SolveRequest::new(0, vec![1.0; 4])).unwrap());
+        }
+        // Round 1: the wedge lands mid-chunk, so the whole 4-column chunk
+        // bounces; every Requeued event carries the full column count.
+        assert_eq!(fleet.run_round(), 0);
+        let requeues: Vec<(u64, usize)> = fleet
+            .log()
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ScheduleEvent::Requeued {
+                    ticket, columns, ..
+                } => Some((*ticket, *columns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(requeues, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+        // The watchdog reset the chip: everything is served next rounds.
+        fleet.run_until_idle();
+        for t in &tickets {
+            assert!(fleet.completion(*t).is_some());
+        }
     }
 
     #[test]

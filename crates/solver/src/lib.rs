@@ -90,4 +90,6 @@ pub use recover::{
 };
 pub use refine::{RefineConfig, RefinedReport};
 pub use scaling::ScaledSystem;
-pub use solve::{AnalogSolveReport, AnalogSystemSolver, SolverCheckpoint, SolverConfig};
+pub use solve::{
+    AnalogSolveReport, AnalogSystemSolver, BatchColumn, SolverCheckpoint, SolverConfig,
+};

@@ -347,6 +347,53 @@ impl MappedSystem {
         Ok(())
     }
 
+    /// Builds the per-lane register overlay a batched execution needs for
+    /// one (scaled) right-hand side: DAC constants quantized exactly as
+    /// [`program_rhs`](Self::program_rhs) would store them, plus zero
+    /// initial conditions — so a batched lane is bit-identical to the
+    /// sequential programming path.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::InvalidProblem`] on length mismatch or values beyond
+    /// full scale (grow the solution headroom and rescale).
+    pub fn lane_bindings(&self, b_scaled: &[f64]) -> Result<aa_analog::LaneBindings, SolverError> {
+        if b_scaled.len() != self.n {
+            return Err(SolverError::invalid(format!(
+                "rhs has {} entries, system has {}",
+                b_scaled.len(),
+                self.n
+            )));
+        }
+        let fs = self.chip.config().full_scale;
+        let mut dacs = BTreeMap::new();
+        for (i, v) in b_scaled.iter().enumerate() {
+            if v.abs() > fs || !v.is_finite() {
+                return Err(SolverError::invalid(format!(
+                    "scaled rhs element {i} = {v} exceeds full scale {fs}"
+                )));
+            }
+            dacs.insert(i, self.chip.quantize_dac(*v));
+        }
+        Ok(aa_analog::LaneBindings {
+            dac_values: Some(dacs),
+            int_initial: Some((0..self.n).map(|i| (i, 0.0)).collect()),
+        })
+    }
+
+    /// Commits the draft configuration if no commit is in effect yet (a
+    /// batched solve may run before any sequential `program_rhs` call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip commit errors.
+    pub fn ensure_committed(&mut self) -> Result<(), SolverError> {
+        if !self.chip.is_committed() {
+            self.chip.cfg_commit()?;
+        }
+        Ok(())
+    }
+
     /// Reads the steady-state solution (scaled domain) through the ADCs,
     /// averaging `samples` conversions per variable.
     ///

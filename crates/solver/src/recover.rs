@@ -556,6 +556,95 @@ impl SupervisedSolver {
         })
     }
 
+    /// Solves K right-hand sides, running as many as possible in one
+    /// batched engine sweep and validating **each column's** digital
+    /// residual independently.
+    ///
+    /// A column whose batched result passes validation is reported as a
+    /// clean single-attempt [`FinalPath::Analog`] solve; a column that left
+    /// the batch (pre-check or run-outcome fallback) or fails its residual
+    /// check is re-solved individually through the full supervision ladder
+    /// — the other columns keep their batched results. If the shared sweep
+    /// itself errors, every column degrades to an individual supervised
+    /// solve. The returned vector always has one entry per input column, in
+    /// order.
+    pub fn solve_batch(
+        &mut self,
+        bs: &[Vec<f64>],
+    ) -> Vec<Result<SupervisedSolveReport, SolverError>> {
+        if bs.len() <= 1 {
+            return bs.iter().map(|b| self.solve(b)).collect();
+        }
+        let _span = aa_obs::span("solver.recovery.batch");
+        aa_obs::counter("solver.supervised_batches", 1);
+        let wall = Instant::now();
+        let columns = match self.inner.solve_batch(bs) {
+            Ok(columns) => columns,
+            Err(_) => {
+                // The shared sweep failed as a whole (or a rhs was
+                // structurally invalid): classify per column via the
+                // sequential path, which reproduces the structural error
+                // where it belongs and recovers the rest.
+                return bs.iter().map(|b| self.solve(b)).collect();
+            }
+        };
+        let wall_s = wall.elapsed().as_secs_f64();
+        let tol = self.recovery.residual_tolerance;
+        let mut batched_accepts = 0usize;
+        let out = bs
+            .iter()
+            .zip(columns)
+            .map(|(b, column)| {
+                let report = match column {
+                    crate::solve::BatchColumn::Solved(report) => report,
+                    crate::solve::BatchColumn::Fallback(_) => return self.solve(b),
+                };
+                let b_norm = b
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>()
+                    .sqrt()
+                    .max(f64::MIN_POSITIVE);
+                let residual = self.matrix.residual_norm(&report.solution, b) / b_norm;
+                if residual > tol {
+                    // Per-column validation failure: this column re-enters
+                    // the sequential supervision ladder on its own.
+                    aa_obs::counter("solver.recovery.batch_fallbacks", 1);
+                    return self.solve(b);
+                }
+                batched_accepts += 1;
+                Ok(SupervisedSolveReport {
+                    solution: report.solution.clone(),
+                    analog: Some(report.clone()),
+                    recovery: RecoveryReport {
+                        attempts: vec![AttemptRecord {
+                            attempt: 1,
+                            residual: Some(residual),
+                            classification: None,
+                            action: RecoveryAction::Accept,
+                            error: None,
+                            analog_time_s: report.analog_time_s,
+                            wall_time_s: wall_s,
+                        }],
+                        final_path: FinalPath::Analog,
+                        recalibrations: 0,
+                        remaps: 0,
+                        total_cooldown_s: 0.0,
+                        final_residual: residual,
+                    },
+                })
+            })
+            .collect();
+        if aa_obs::is_active() {
+            aa_obs::event(
+                aa_obs::Event::new("solver.recovery.batch")
+                    .with("columns", bs.len())
+                    .with("accepted", batched_accepts),
+            );
+        }
+        out
+    }
+
     /// Chooses the next action for a failed attempt.
     fn pick_action(
         &self,

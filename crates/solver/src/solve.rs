@@ -124,6 +124,25 @@ pub struct AnalogSolveReport {
     pub solution_factor: f64,
 }
 
+/// One column's outcome from a batched multi-RHS solve.
+///
+/// The batched fast path never walks the solution scale `γ`: a column whose
+/// pre-checks or run outcome would have triggered a rescale retry leaves the
+/// batch instead, so the caller can run the full sequential ladder on it
+/// while the passing columns keep their shared-sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchColumn {
+    /// The column solved inside the batch (exactly one run, no retries) —
+    /// or, for the first column of a batch on an uncalibrated solver,
+    /// through the sequential γ-calibration solve (whose report then
+    /// carries the walk's run and retry counts).
+    Solved(AnalogSolveReport),
+    /// The column left the batched fast path; the label records why (stable
+    /// telemetry vocabulary: `rhs_overflow`, `rhs_underuse`, `overflow`,
+    /// `no_steady_state`, `underuse`).
+    Fallback(&'static str),
+}
+
 /// A snapshot of one [`AnalogSystemSolver`]'s cross-solve mutable state:
 /// the adaptive solution-scale factor `γ` (walked by overflow/underuse
 /// retries across solves) plus the underlying chip's runtime state. The
@@ -134,6 +153,9 @@ pub struct AnalogSolveReport {
 pub struct SolverCheckpoint {
     /// The solution-scale factor `γ` in effect at capture time.
     pub solution_factor: f64,
+    /// Whether the `γ` walk had settled (any accepted solve) at capture
+    /// time; governs batched-solve pre-calibration after restore.
+    pub calibrated: bool,
     /// The chip's mutable runtime state.
     pub chip: aa_analog::ChipCheckpoint,
 }
@@ -148,6 +170,11 @@ pub struct AnalogSystemSolver {
     scaled: ScaledSystem,
     matrix: CsrMatrix,
     config: SolverConfig,
+    /// Whether any solve has been accepted under the current `γ` — i.e.
+    /// the overflow/underuse walk has settled. A batch on an uncalibrated
+    /// solver pre-pays one sequential solve to establish `γ` instead of
+    /// running a sweep that every column would fall out of.
+    calibrated: bool,
 }
 
 impl std::fmt::Debug for AnalogSystemSolver {
@@ -185,6 +212,7 @@ impl AnalogSystemSolver {
             scaled,
             matrix: a.clone(),
             config: config.clone(),
+            calibrated: false,
         })
     }
 
@@ -241,6 +269,7 @@ impl AnalogSystemSolver {
     pub fn export_state(&self) -> SolverCheckpoint {
         SolverCheckpoint {
             solution_factor: self.scaled.solution_factor,
+            calibrated: self.calibrated,
             chip: self.mapped.chip().export_state(),
         }
     }
@@ -254,6 +283,7 @@ impl AnalogSystemSolver {
     /// and config disagree).
     pub fn import_state(&mut self, state: &SolverCheckpoint) -> Result<(), SolverError> {
         self.scaled.solution_factor = state.solution_factor;
+        self.calibrated = state.calibrated;
         self.mapped.chip_mut().import_state(&state.chip)?;
         Ok(())
     }
@@ -390,6 +420,7 @@ impl AnalogSystemSolver {
 
             let raw = self.mapped.read_solution(self.config.readout_samples)?;
             let solution = self.scaled.unscale_solution(&raw);
+            self.calibrated = true;
             aa_obs::event(
                 aa_obs::Event::new("solver.accept")
                     .with("runs", runs)
@@ -408,6 +439,149 @@ impl AnalogSystemSolver {
                 solution_factor: self.scaled.solution_factor,
             });
         }
+    }
+
+    /// Solves `A·u = b_j` for K right-hand sides in **one** lockstep engine
+    /// sweep sharing one compiled plan and one set of per-step fault and
+    /// variation draws.
+    ///
+    /// If no solve has been accepted yet, the first column is solved
+    /// sequentially up front — running the full overflow/underuse γ walk —
+    /// exactly as it would be under sequential serving, so the batch sweep
+    /// runs at a settled `γ` instead of falling out wholesale. All batched
+    /// columns use the solution scale `γ` in effect after that (or at
+    /// entry, once calibrated), and the batch never changes it: a column
+    /// that would need a rescale walk
+    /// (programmed-RHS overflow/underuse up front, or an overflow exception,
+    /// no-settle, or range underuse in its run) is returned as
+    /// [`BatchColumn::Fallback`] for the caller to solve sequentially, and
+    /// the remaining columns keep their batched result. Each solved column's
+    /// readout replays the readout-noise stream from the batch entry state,
+    /// so its conversions match what a first sequential solve would see.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::InvalidProblem`] if any `b_j` has the wrong length
+    ///   (structural — nothing runs).
+    /// * [`SolverError::Analog`] if the shared engine sweep itself fails;
+    ///   no per-column outcome exists in that case.
+    pub fn solve_batch(&mut self, bs: &[Vec<f64>]) -> Result<Vec<BatchColumn>, SolverError> {
+        for b in bs {
+            if b.len() != self.dim() {
+                return Err(SolverError::invalid(format!(
+                    "rhs has {} entries, system has {}",
+                    b.len(),
+                    self.dim()
+                )));
+            }
+        }
+        if bs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _span = aa_obs::span("solver.solve_batch");
+        aa_obs::counter("solver.batch_solves", 1);
+
+        // γ pre-calibration: an uncalibrated solver still carries the
+        // conservative construction-time γ, under which most well-scaled
+        // systems read back far below full scale — every column of the
+        // sweep would fall out as `underuse` and re-solve sequentially
+        // anyway, doubling the work. Pay the γ walk once, up front, on the
+        // first column; the batch then serves the rest at the settled γ.
+        let calibration = if self.calibrated {
+            None
+        } else {
+            aa_obs::counter("solver.batch_calibrations", 1);
+            Some(self.solve(&bs[0])?)
+        };
+
+        let fs = self.mapped.chip().config().full_scale;
+        let dac_floor = 4.0 * self.mapped.chip().config().dac_lsb();
+
+        let mut out: Vec<BatchColumn> = Vec::with_capacity(bs.len());
+        let mut lanes = Vec::new();
+        let mut lane_columns = Vec::new();
+        for (j, b) in bs.iter().enumerate() {
+            if j == 0 {
+                if let Some(report) = calibration.as_ref() {
+                    out.push(BatchColumn::Solved(report.clone()));
+                    continue;
+                }
+            }
+            let b_scaled = self.scaled.scale_rhs(b);
+            let b_peak = b_scaled.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            // The same pre-checks the sequential loop answers with a γ walk;
+            // here they route the column out of the batch instead.
+            if b_peak > fs {
+                out.push(BatchColumn::Fallback("rhs_overflow"));
+                continue;
+            }
+            if b_peak > 0.0 && b_peak < dac_floor {
+                out.push(BatchColumn::Fallback("rhs_underuse"));
+                continue;
+            }
+            lanes.push(self.mapped.lane_bindings(&b_scaled)?);
+            lane_columns.push(j);
+            out.push(BatchColumn::Fallback("pending"));
+        }
+        if lanes.is_empty() {
+            return Ok(out);
+        }
+
+        self.mapped.ensure_committed()?;
+        let noise_entry = self.mapped.chip().noise_rng_state();
+        let batch = self
+            .mapped
+            .chip_mut()
+            .exec_batch(&lanes, &self.config.engine)?;
+        for (lane, &j) in lane_columns.iter().enumerate() {
+            let report = &batch.reports[lane];
+            if report.exceptions.any() {
+                out[j] = BatchColumn::Fallback("overflow");
+                continue;
+            }
+            if !report.reached_steady_state {
+                out[j] = BatchColumn::Fallback("no_steady_state");
+                continue;
+            }
+            let peak = self
+                .mapped
+                .integrator_range_usage(report)
+                .values()
+                .fold(0.0f64, |m, v| m.max(*v));
+            if peak < self.config.underuse_threshold {
+                out[j] = BatchColumn::Fallback("underuse");
+                continue;
+            }
+            self.mapped.chip_mut().select_lane(&batch, lane)?;
+            self.mapped.chip_mut().set_noise_rng_state(noise_entry);
+            let raw = self.mapped.read_solution(self.config.readout_samples)?;
+            let solution = self.scaled.unscale_solution(&raw);
+            out[j] = BatchColumn::Solved(AnalogSolveReport {
+                solution,
+                analog_time_s: report.duration_s,
+                runs: 1,
+                overflow_retries: 0,
+                underuse_retries: 0,
+                peak_range_usage: peak,
+                value_factor: self.scaled.value_factor,
+                solution_factor: self.scaled.solution_factor,
+            });
+        }
+        self.mapped.chip_mut().finish_batch(&batch);
+        if aa_obs::is_active() {
+            let solved = out
+                .iter()
+                .filter(|c| matches!(c, BatchColumn::Solved(_)))
+                .count();
+            aa_obs::counter("solver.batch_lanes", lanes.len() as u64);
+            aa_obs::event(
+                aa_obs::Event::new("solver.batch")
+                    .with("columns", bs.len())
+                    .with("lanes", lanes.len())
+                    .with("solved", solved),
+            );
+        }
+        Ok(out)
     }
 }
 

@@ -90,7 +90,7 @@ struct RunResult {
 /// the op at `crash_at`. Both variants swap in a fresh recorder at the
 /// crash point so their tail traces are comparable.
 fn drive(
-    workers: usize,
+    config: &FleetConfig,
     ops: &[Op],
     checkpoint_at: usize,
     crash_at: usize,
@@ -98,7 +98,7 @@ fn drive(
 ) -> RunResult {
     assert!(checkpoint_at <= crash_at && crash_at <= ops.len());
     let head = MemoryRecorder::shared();
-    let mut service = FleetService::new(fleet_config(workers), structures()).expect("fleet builds");
+    let mut service = FleetService::new(config.clone(), structures()).expect("fleet builds");
     let mut checkpoint: Option<FleetCheckpoint> = None;
     obs::with_recorder(head.clone(), || {
         for (i, op) in ops[..crash_at].iter().enumerate() {
@@ -115,7 +115,7 @@ fn drive(
         let checkpoint = checkpoint.expect("checkpoint was taken");
         let wal: AdmissionWal = service.wal().clone();
         drop(service); // the crash
-        service = FleetService::restore(fleet_config(workers), structures(), &checkpoint, &wal)
+        service = FleetService::restore(config.clone(), structures(), &checkpoint, &wal)
             .expect("restore succeeds");
     }
     let tail = MemoryRecorder::shared();
@@ -165,16 +165,16 @@ fn assert_identical(baseline: &RunResult, recovered: &RunResult, label: &str) {
 fn crash_restore_is_bit_identical_across_worker_counts() {
     let ops = mixed_ops();
     let (checkpoint_at, crash_at) = (5, 11);
-    let baseline = drive(1, &ops, checkpoint_at, crash_at, false);
+    let baseline = drive(&fleet_config(1), &ops, checkpoint_at, crash_at, false);
     assert!(
         baseline.completions.len() >= 12,
         "every submitted request settled"
     );
     for workers in [1usize, 2, 4] {
-        let recovered = drive(workers, &ops, checkpoint_at, crash_at, true);
+        let recovered = drive(&fleet_config(workers), &ops, checkpoint_at, crash_at, true);
         assert_identical(&baseline, &recovered, &format!("workers={workers}"));
         // And the uninterrupted run at this worker count matches too.
-        let uninterrupted = drive(workers, &ops, checkpoint_at, crash_at, false);
+        let uninterrupted = drive(&fleet_config(workers), &ops, checkpoint_at, crash_at, false);
         assert_identical(
             &baseline,
             &uninterrupted,
@@ -194,8 +194,8 @@ fn crash_between_admission_and_dispatch_loses_nothing() {
     let submits = ops.len();
     ops.push(Op::Round);
     // Checkpoint after two admissions; crash after all five, pre-dispatch.
-    let baseline = drive(1, &ops, 2, submits, false);
-    let recovered = drive(1, &ops, 2, submits, true);
+    let baseline = drive(&fleet_config(1), &ops, 2, submits, false);
+    let recovered = drive(&fleet_config(1), &ops, 2, submits, true);
     assert_eq!(recovered.completions.len(), 5, "no accepted request lost");
     let tickets: Vec<u64> = recovered.completions.iter().map(|c| c.ticket.0).collect();
     let mut deduped = tickets.clone();
@@ -213,7 +213,7 @@ fn restore_mid_quarantine_and_mid_probation_converges() {
         ops.push(Op::Submit(SolveRequest::new(0, vec![1.0 + i as f64; 4])));
         ops.push(Op::Round);
     }
-    let baseline = drive(1, &ops, 0, ops.len(), false);
+    let baseline = drive(&fleet_config(1), &ops, 0, ops.len(), false);
     assert!(
         baseline.log.events.iter().any(|e| matches!(
             e,
@@ -225,13 +225,64 @@ fn restore_mid_quarantine_and_mid_probation_converges() {
     // quarantine, and mid-probation. Every restore must land on the same
     // final state as an uninterrupted run framed at the same point.
     for crash_at in [4usize, 8, 12, 16] {
-        let uninterrupted = drive(1, &ops, 2, crash_at, false);
+        let uninterrupted = drive(&fleet_config(1), &ops, 2, crash_at, false);
         assert_eq!(
             baseline.log, uninterrupted.log,
             "crash_at={crash_at}: framing must not change the run"
         );
-        let recovered = drive(1, &ops, 2, crash_at, true);
+        let recovered = drive(&fleet_config(1), &ops, 2, crash_at, true);
         assert_identical(&uninterrupted, &recovered, &format!("crash_at={crash_at}"));
+    }
+}
+
+/// Crash-restore with multi-RHS coalescing enabled: the checkpoint lands
+/// before a round in which a wedged chip bounces a whole batched chunk, so
+/// the WAL replay must reproduce the chunk-aligned requeue (and the rest
+/// of the batched schedule) bit for bit — at 1, 2, and 4 workers.
+#[test]
+fn crash_restore_mid_batched_round_is_bit_identical() {
+    let batched = |workers: usize| {
+        let mut cfg = fleet_config(workers).with_max_batch_rhs(3);
+        cfg.batch_size = 6;
+        cfg
+    };
+    // Same-structure-heavy workload so multi-column chunks actually form;
+    // the hang lands mid-chunk and bounces every column of the sweep.
+    let mut ops: Vec<Op> = (0..6usize)
+        .map(|i| Op::Submit(SolveRequest::new(0, vec![0.5 + 0.25 * i as f64; 4])))
+        .collect();
+    ops.push(Op::Inject(0, Some(ChipFailure::HangAfter { served: 1 })));
+    ops.push(Op::Round);
+    for i in 0..4usize {
+        ops.push(Op::Submit(SolveRequest::new(1, vec![1.0 + i as f64; 5])));
+    }
+    ops.push(Op::Round);
+    ops.push(Op::Round);
+    // Checkpoint before the injection; crash right after the wedged round,
+    // while the bounced columns sit requeued — recovery rebuilds that
+    // state purely from WAL replay.
+    let (checkpoint_at, crash_at) = (6, 8);
+    let baseline = drive(&batched(1), &ops, checkpoint_at, crash_at, false);
+    assert!(
+        baseline.log.events.iter().any(|e| matches!(
+            e,
+            analog_accel::sched::ScheduleEvent::Requeued { columns, .. } if *columns > 1
+        )),
+        "a batched chunk bounced in the baseline"
+    );
+    assert!(
+        baseline.completions.len() >= 10,
+        "every submitted request settled"
+    );
+    for workers in [1usize, 2, 4] {
+        let recovered = drive(&batched(workers), &ops, checkpoint_at, crash_at, true);
+        assert_identical(&baseline, &recovered, &format!("batched workers={workers}"));
+        let uninterrupted = drive(&batched(workers), &ops, checkpoint_at, crash_at, false);
+        assert_identical(
+            &baseline,
+            &uninterrupted,
+            &format!("batched workers={workers} uninterrupted"),
+        );
     }
 }
 
@@ -251,8 +302,8 @@ fn empty_queue_checkpoint_restores_and_serves_new_work() {
     ops.push(Op::Round);
     // Checkpoint and crash at the same idle point: the WAL between them is
     // empty, so recovery is the snapshot alone.
-    let baseline = drive(1, &ops, drained, drained, false);
-    let recovered = drive(1, &ops, drained, drained, true);
+    let baseline = drive(&fleet_config(1), &ops, drained, drained, false);
+    let recovered = drive(&fleet_config(1), &ops, drained, drained, true);
     assert_eq!(recovered.completions.len(), 2);
     assert_identical(&baseline, &recovered, "idle checkpoint");
 }

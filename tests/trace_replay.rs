@@ -286,6 +286,71 @@ fn fleet_schedule_log_replays_identically_across_worker_counts() {
     }
 }
 
+/// Multi-RHS coalescing preserves the fleet's replay story: with
+/// `max_batch_rhs > 1` the schedule log, solutions, and masked traces are
+/// still bit-identical across worker counts — chunking happens per chip in
+/// assignment order on the dispatcher's schedule, so the worker count
+/// stays invisible.
+#[test]
+fn batched_fleet_replay_is_worker_count_invariant() {
+    use analog_accel::sched::{FleetConfig, FleetService, SolveRequest};
+
+    let run = |workers: usize| {
+        let a4 = CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap();
+        let a5 = CsrMatrix::tridiagonal(5, -1.0, 2.0, -1.0).unwrap();
+        let rec = MemoryRecorder::shared();
+        let (log, solutions) = obs::with_recorder(rec.clone(), || {
+            let mut config = FleetConfig::new(3)
+                .with_seed(77)
+                .with_workers(workers)
+                .with_max_batch_rhs(4);
+            config.batch_size = 6;
+            let mut fleet = FleetService::new(config, vec![a4, a5]).unwrap();
+            let mut tickets = Vec::new();
+            // Runs of one structure, so real multi-column chunks form.
+            for i in 0..12 {
+                let s = (i / 6) % 2;
+                let rhs = vec![0.75 + i as f64 * 0.2; 4 + s];
+                tickets.push(fleet.submit(SolveRequest::new(s, rhs)).unwrap());
+            }
+            fleet.run_until_idle();
+            let solutions: Vec<Vec<f64>> = tickets
+                .iter()
+                .map(|t| fleet.completion(*t).unwrap().solution.clone())
+                .collect();
+            (fleet.into_log(), solutions)
+        });
+        (log, solutions, rec.snapshot())
+    };
+
+    let (log1, sols1, snap1) = run(1);
+    assert_eq!(log1.completed(), 12);
+    if obs::ENABLED {
+        assert!(
+            snap1.counter("sched.chip_batches") > 0,
+            "coalescing actually engaged"
+        );
+    }
+    for workers in [2usize, 4] {
+        let (log, sols, snap) = run(workers);
+        assert_eq!(log1, log, "workers={workers}");
+        assert_eq!(sols1, sols, "workers={workers}");
+        if obs::ENABLED {
+            assert_eq!(
+                snap1.deterministic_lines(),
+                snap.deterministic_lines(),
+                "workers={workers}"
+            );
+            assert_eq!(snap1.counters, snap.counters, "workers={workers}");
+            assert_eq!(
+                snap1.to_json_masked(),
+                snap.to_json_masked(),
+                "workers={workers}"
+            );
+        }
+    }
+}
+
 /// The exported trace document is valid JSON carrying the version stamp,
 /// and the masked form is bit-identical across two same-seed replays.
 #[test]
