@@ -11,8 +11,8 @@ use aa_linalg::rng::Rng64;
 
 use crate::config::ChipConfig;
 use crate::engine::{
-    run_committed, run_committed_batch, EngineOptions, LaneBindings, PlanCache, PlanStats,
-    RunReport,
+    run_committed, run_committed_batch, Compiled, EngineOptions, LaneBindings, PlanCache,
+    PlanStats, RunReport, Structure,
 };
 use crate::error::AnalogError;
 use crate::exceptions::ExceptionVector;
@@ -20,6 +20,7 @@ use crate::fault::FaultPlan;
 use crate::lut::{quantize, LookupTable};
 use crate::netlist::{InputPort, Netlist, OutputPort};
 use crate::nonideal::ProcessVariation;
+use crate::passes::{PassConfig, PassStat};
 use crate::units::UnitId;
 
 /// An external stimulus attached to an analog input channel.
@@ -66,7 +67,7 @@ pub const CONTROL_CLOCK_HZ: f64 = 1.0e6;
 /// lifetime clock. Pass it back to [`AnalogChip::select_lane`] to stage one
 /// lane's outputs for readout, and to [`AnalogChip::finish_batch`] when all
 /// lanes have been read.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchExec {
     /// Per-lane run reports, in lane order.
     pub reports: Vec<RunReport>,
@@ -114,11 +115,18 @@ pub struct ChipCheckpoint {
     /// at capture time. Restore re-primes the cache only when this is set,
     /// so a chip that would have compiled fresh still compiles fresh.
     pub plan_cache_valid: bool,
+    /// The pass configuration of the cached **optimized** plan at capture
+    /// time, if one was cached. Restore re-lowers it silently alongside the
+    /// unoptimized tape so the first post-restore optimized run is a cache
+    /// hit, keeping [`PlanStats`] and the obs journal bit-identical to the
+    /// uninterrupted run.
+    pub optimized_passes: Option<PassConfig>,
 }
 
 impl ChipCheckpoint {
     /// Checkpoint format version; bump on any incompatible layout change.
-    pub const FORMAT_VERSION: u32 = 1;
+    /// Version 2 added [`optimized_passes`](Self::optimized_passes).
+    pub const FORMAT_VERSION: u32 = 2;
 }
 
 /// A behavioural model of one analog accelerator chip instance.
@@ -233,6 +241,49 @@ impl AnalogChip {
     /// recompile.
     pub fn plan_stats(&self) -> PlanStats {
         self.plan_cache.stats()
+    }
+
+    /// Per-pass op-count statistics from the cached optimized plan: one
+    /// [`PassStat`] per pass that ran when it was lowered. Empty when no
+    /// optimized plan is cached (no optimized run yet, or the cache was
+    /// invalidated since).
+    pub fn pass_stats(&self) -> Vec<PassStat> {
+        self.plan_cache.pass_log()
+    }
+
+    /// Renders the committed configuration's compiled plan as a
+    /// deterministic text dump — the snapshot format the pass tests pin.
+    /// `passes.any()` selects the optimized SoA plan (lowered through the
+    /// requested pipeline); otherwise the unoptimized tape is dumped. The
+    /// dump compiles fresh from the committed registers with no fault plan
+    /// at lifetime zero, and touches neither the plan cache nor its
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalogError::ProtocolViolation`] if no configuration is
+    ///   committed.
+    /// * Any compilation error from the committed netlist.
+    pub fn dump_plan(&self, passes: &PassConfig) -> Result<String, AnalogError> {
+        let registers = self
+            .committed
+            .as_ref()
+            .ok_or_else(|| AnalogError::protocol("plan dump before cfgCommit"))?;
+        let structure = Structure::build(registers, &self.config)?;
+        let circuit = Compiled {
+            config: &self.config,
+            variation: &self.variation,
+            registers,
+            signals: &self.input_signals,
+            faults: None,
+            t_offset: 0.0,
+            structure: &structure,
+        };
+        Ok(if passes.any() {
+            crate::ir::lower_optimized(&circuit, passes).dump()
+        } else {
+            crate::plan::CompiledPlan::lower(&circuit).dump()
+        })
     }
 
     /// Whether `init` (calibration) has run.
@@ -917,6 +968,7 @@ impl AnalogChip {
             fault_plan: self.fault_plan.clone(),
             plan_stats: self.plan_stats(),
             plan_cache_valid: self.plan_cache.is_current(self.plan_epoch),
+            optimized_passes: self.plan_cache.optimized_config(),
         }
     }
 
@@ -968,6 +1020,7 @@ impl AnalogChip {
                 self.lifetime_s,
                 self.plan_epoch,
                 state.plan_stats,
+                state.optimized_passes,
             )?;
         } else {
             self.plan_cache.restore_stats(state.plan_stats);

@@ -19,6 +19,7 @@ use crate::fault::FaultPlan;
 use crate::lut::LookupTable;
 use crate::netlist::{output_port_count, InputPort, OutputPort};
 use crate::nonideal::ProcessVariation;
+use crate::passes::{pass_counter_names, PassConfig};
 use crate::units::UnitId;
 
 /// Which circuit evaluator drives the RK4 inner loop.
@@ -59,6 +60,14 @@ pub struct EngineOptions {
     pub stop_on_exception: bool,
     /// Which evaluator runs the circuit (identical results either way).
     pub eval_strategy: EvalStrategy,
+    /// Optimization passes applied when lowering the committed netlist
+    /// ([`crate::passes`]). The default, [`PassConfig::none`], keeps every
+    /// run on the bit-exact unoptimized tape; any enabled pass routes
+    /// fault-free [`EvalStrategy::Compiled`] runs through the optimized
+    /// structure-of-arrays tape under the documented tolerance contract.
+    /// Runs with an armed fault plan always fall back to the unoptimized
+    /// tape, whatever this is set to.
+    pub passes: PassConfig,
 }
 
 impl Default for EngineOptions {
@@ -70,6 +79,7 @@ impl Default for EngineOptions {
             waveform_samples: 256,
             stop_on_exception: false,
             eval_strategy: EvalStrategy::default(),
+            passes: PassConfig::none(),
         }
     }
 }
@@ -210,6 +220,30 @@ pub(crate) trait Evaluator {
         du: &mut [f64],
         tracker: &mut Tracker,
         track: bool,
+    );
+}
+
+/// A K-lane circuit evaluator usable by the lockstep batched RK4 loop:
+/// advances every **active** lane's derivatives at once over column-major
+/// (`[index * k + lane]`) state/tracker arrays. Implemented by the
+/// unoptimized [`crate::plan::BatchRun`] and the pass-optimized
+/// [`crate::ir::OptBatchRun`].
+pub(crate) trait LaneEvaluator {
+    /// Number of lanes bound to the batch.
+    fn lanes(&self) -> usize;
+
+    /// Evaluates the circuit at time `t` for all active lanes. Retired
+    /// lanes are skipped entirely — their tracker entries, derivatives,
+    /// and slot values stay frozen at their retirement step.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_lanes(
+        &mut self,
+        t: f64,
+        state: &[f64],
+        du: &mut [f64],
+        tracker: &mut BatchTracker,
+        track: bool,
+        active: &[bool],
     );
 }
 
@@ -483,6 +517,15 @@ pub struct PlanStats {
     pub plans_lowered: u64,
     /// Runs that reused a cached structure without recompiling.
     pub cache_hits: u64,
+    /// Pass-optimized plans lowered (only when [`EngineOptions::passes`]
+    /// enables at least one pass).
+    pub optimized_lowered: u64,
+    /// Stores per eval before the pass pipeline, from the most recent
+    /// optimized lowering (zero while none has happened).
+    pub ops_before: u64,
+    /// Stores per eval after the pass pipeline, from the most recent
+    /// optimized lowering.
+    pub ops_after: u64,
 }
 
 /// Per-chip cache of the compilation products for one committed netlist.
@@ -499,12 +542,31 @@ pub(crate) struct PlanCache {
     epoch: u64,
     structure: Option<Structure>,
     plan: Option<crate::plan::CompiledPlan>,
+    /// Pass-optimized plan, keyed by the [`PassConfig`] it was lowered
+    /// under: a run requesting a different config re-lowers and replaces it.
+    opt: Option<(PassConfig, crate::ir::OptimizedPlan)>,
     stats: PlanStats,
 }
 
 impl PlanCache {
     pub(crate) fn stats(&self) -> PlanStats {
         self.stats
+    }
+
+    /// The pass config of the cached optimized plan, if one is cached.
+    /// Checkpoint capture records this so restore can rebuild the same
+    /// cache contents without emitting lowering counters.
+    pub(crate) fn optimized_config(&self) -> Option<PassConfig> {
+        self.opt.as_ref().map(|(cfg, _)| *cfg)
+    }
+
+    /// Per-pass statistics from the cached optimized plan's lowering
+    /// (empty when no optimized plan is cached).
+    pub(crate) fn pass_log(&self) -> Vec<crate::passes::PassStat> {
+        self.opt
+            .as_ref()
+            .map(|(_, plan)| plan.pass_log.clone())
+            .unwrap_or_default()
     }
 
     /// Whether the cache holds compilation products for `epoch` — i.e. the
@@ -535,9 +597,10 @@ impl PlanCache {
         t_offset: f64,
         epoch: u64,
         stats: PlanStats,
+        optimized_passes: Option<PassConfig>,
     ) -> Result<(), AnalogError> {
         let structure = Structure::build(registers, config)?;
-        let plan = {
+        let (plan, opt) = {
             let circuit = Compiled {
                 config,
                 variation,
@@ -547,14 +610,63 @@ impl PlanCache {
                 t_offset,
                 structure: &structure,
             };
-            crate::plan::CompiledPlan::lower(&circuit)
+            let plan = crate::plan::CompiledPlan::lower(&circuit);
+            // Rebuild the optimized plan the captured cache held, silently:
+            // the first post-restore optimized exec must be a cache hit
+            // emitting no lowering counters, exactly as the uninterrupted
+            // run's would have been.
+            let opt = optimized_passes
+                .filter(|cfg| cfg.any())
+                .map(|cfg| (cfg, crate::ir::lower_optimized(&circuit, &cfg)));
+            (plan, opt)
         };
         self.structure = Some(structure);
         self.plan = Some(plan);
+        self.opt = opt;
         self.epoch = epoch;
         self.stats = stats;
         Ok(())
     }
+}
+
+/// Ensures the cache's optimized-plan slot holds a plan lowered under
+/// `passes`, re-lowering (and emitting the lowering counters inside the
+/// caller's compile span) when the slot is empty or was lowered under a
+/// different config — the pass config is part of the cache key.
+fn ensure_optimized<'c>(
+    slot: &'c mut Option<(PassConfig, crate::ir::OptimizedPlan)>,
+    stats: &mut PlanStats,
+    circuit: &Compiled<'_>,
+    passes: &PassConfig,
+) -> &'c crate::ir::OptimizedPlan {
+    let stale = match slot {
+        Some((cfg, _)) => cfg != passes,
+        None => true,
+    };
+    if stale {
+        let lowered = crate::ir::lower_optimized(circuit, passes);
+        stats.optimized_lowered += 1;
+        stats.ops_before = lowered.ops_before;
+        stats.ops_after = lowered.ops_after;
+        if aa_obs::is_active() {
+            aa_obs::counter("engine.plans_optimized", 1);
+            for stat in &lowered.pass_log {
+                let (before, after) = pass_counter_names(stat.pass);
+                aa_obs::counter(before, stat.ops_before);
+                aa_obs::counter(after, stat.ops_after);
+            }
+        }
+        *slot = Some((*passes, lowered));
+    }
+    &slot.as_ref().expect("ensured above").1
+}
+
+/// Whether this run takes the pass-optimized tape: at least one pass
+/// enabled, no fault plan armed (fault semantics stay bit-exact on the
+/// unoptimized tape), and the compiled strategy selected (Reference is the
+/// oracle and never optimizes).
+fn use_optimized(options: &EngineOptions, faults: Option<&FaultPlan>) -> bool {
+    options.passes.any() && faults.is_none() && options.eval_strategy == EvalStrategy::Compiled
 }
 
 /// Runs a committed register file. Called by
@@ -587,11 +699,13 @@ pub(crate) fn run_committed(
     // compare traces across strategies). Cache hits keep the span too: a
     // hit and a miss differ only in counters, never in the journal.
     let compile_span = aa_obs::span("engine.compile");
+    let use_opt = use_optimized(options, faults);
     let report = match cache {
         Some((cache, epoch)) => {
             if cache.structure.is_none() || cache.epoch != epoch {
                 cache.structure = Some(Structure::build(registers, config)?);
                 cache.plan = None;
+                cache.opt = None;
                 cache.epoch = epoch;
                 cache.stats.structures_built += 1;
             } else {
@@ -603,6 +717,7 @@ pub(crate) fn run_committed(
             let PlanCache {
                 structure,
                 plan,
+                opt,
                 stats,
                 ..
             } = cache;
@@ -615,21 +730,31 @@ pub(crate) fn run_committed(
                 t_offset,
                 structure: structure.as_ref().expect("structure ensured above"),
             };
-            let plan = match options.eval_strategy {
-                EvalStrategy::Compiled => {
-                    if plan.is_none() {
-                        *plan = Some(crate::plan::CompiledPlan::lower(&circuit));
-                        stats.plans_lowered += 1;
-                        if aa_obs::is_active() {
-                            aa_obs::counter("engine.plans_lowered", 1);
+            // Optimized runs never lower the baseline plan (and vice
+            // versa): each tape is lowered on first demand for its config.
+            let (plan, opt) = if use_opt {
+                (
+                    None,
+                    Some(ensure_optimized(opt, stats, &circuit, &options.passes)),
+                )
+            } else {
+                let plan = match options.eval_strategy {
+                    EvalStrategy::Compiled => {
+                        if plan.is_none() {
+                            *plan = Some(crate::plan::CompiledPlan::lower(&circuit));
+                            stats.plans_lowered += 1;
+                            if aa_obs::is_active() {
+                                aa_obs::counter("engine.plans_lowered", 1);
+                            }
                         }
+                        plan.as_ref()
                     }
-                    plan.as_ref()
-                }
-                EvalStrategy::Reference => None,
+                    EvalStrategy::Reference => None,
+                };
+                (plan, None)
             };
             drop(compile_span);
-            execute(&circuit, plan, options)?
+            execute(&circuit, plan, opt, options)?
         }
         None => {
             let structure = Structure::build(registers, config)?;
@@ -642,12 +767,19 @@ pub(crate) fn run_committed(
                 t_offset,
                 structure: &structure,
             };
+            let opt = if use_opt {
+                Some(crate::ir::lower_optimized(&circuit, &options.passes))
+            } else {
+                None
+            };
             let plan = match options.eval_strategy {
-                EvalStrategy::Compiled => Some(crate::plan::CompiledPlan::lower(&circuit)),
-                EvalStrategy::Reference => None,
+                EvalStrategy::Compiled if !use_opt => {
+                    Some(crate::plan::CompiledPlan::lower(&circuit))
+                }
+                _ => None,
             };
             drop(compile_span);
-            execute(&circuit, plan.as_ref(), options)?
+            execute(&circuit, plan.as_ref(), opt.as_ref(), options)?
         }
     };
 
@@ -735,11 +867,13 @@ pub(crate) fn run_committed_batch(
         .collect();
 
     let compile_span = aa_obs::span("engine.compile");
+    let use_opt = use_optimized(options, faults);
     let reports = match cache {
         Some((cache, epoch)) => {
             if cache.structure.is_none() || cache.epoch != epoch {
                 cache.structure = Some(Structure::build(registers, config)?);
                 cache.plan = None;
+                cache.opt = None;
                 cache.epoch = epoch;
                 cache.stats.structures_built += 1;
             } else {
@@ -751,6 +885,7 @@ pub(crate) fn run_committed_batch(
             let PlanCache {
                 structure,
                 plan,
+                opt,
                 stats,
                 ..
             } = cache;
@@ -763,21 +898,29 @@ pub(crate) fn run_committed_batch(
                 t_offset,
                 structure: structure.as_ref().expect("structure ensured above"),
             };
-            let plan = match options.eval_strategy {
-                EvalStrategy::Compiled => {
-                    if plan.is_none() {
-                        *plan = Some(crate::plan::CompiledPlan::lower(&circuit));
-                        stats.plans_lowered += 1;
-                        if aa_obs::is_active() {
-                            aa_obs::counter("engine.plans_lowered", 1);
+            let (plan, opt) = if use_opt {
+                (
+                    None,
+                    Some(ensure_optimized(opt, stats, &circuit, &options.passes)),
+                )
+            } else {
+                let plan = match options.eval_strategy {
+                    EvalStrategy::Compiled => {
+                        if plan.is_none() {
+                            *plan = Some(crate::plan::CompiledPlan::lower(&circuit));
+                            stats.plans_lowered += 1;
+                            if aa_obs::is_active() {
+                                aa_obs::counter("engine.plans_lowered", 1);
+                            }
                         }
+                        plan.as_ref()
                     }
-                    plan.as_ref()
-                }
-                EvalStrategy::Reference => None,
+                    EvalStrategy::Reference => None,
+                };
+                (plan, None)
             };
             drop(compile_span);
-            execute_batch(&circuit, plan, &overlays, options)?
+            execute_batch(&circuit, plan, opt, &overlays, options)?
         }
         None => {
             let structure = Structure::build(registers, config)?;
@@ -790,12 +933,19 @@ pub(crate) fn run_committed_batch(
                 t_offset,
                 structure: &structure,
             };
+            let opt = if use_opt {
+                Some(crate::ir::lower_optimized(&circuit, &options.passes))
+            } else {
+                None
+            };
             let plan = match options.eval_strategy {
-                EvalStrategy::Compiled => Some(crate::plan::CompiledPlan::lower(&circuit)),
-                EvalStrategy::Reference => None,
+                EvalStrategy::Compiled if !use_opt => {
+                    Some(crate::plan::CompiledPlan::lower(&circuit))
+                }
+                _ => None,
             };
             drop(compile_span);
-            execute_batch(&circuit, plan.as_ref(), &overlays, options)?
+            execute_batch(&circuit, plan.as_ref(), opt.as_ref(), &overlays, options)?
         }
     };
 
@@ -816,15 +966,36 @@ pub(crate) fn run_committed_batch(
 fn execute_batch(
     circuit: &Compiled<'_>,
     plan: Option<&crate::plan::CompiledPlan>,
+    opt: Option<&crate::ir::OptimizedPlan>,
     overlays: &[Registers],
     options: &EngineOptions,
 ) -> Result<Vec<RunReport>, AnalogError> {
     let execute_span = aa_obs::span("engine.execute");
-    let reports = match plan {
+    let reports = match (opt, plan) {
         // A single-lane batch is exactly one sequential run (the batched
         // path's defining property), and the scalar evaluator has no
-        // lane-sweep setup cost to amortize — route it there.
-        Some(plan) if overlays.len() == 1 => {
+        // lane-sweep setup cost to amortize — route it there, optimized or
+        // not.
+        (Some(opt), _) if overlays.len() == 1 => {
+            let lane_circuit = Compiled {
+                config: circuit.config,
+                variation: circuit.variation,
+                registers: &overlays[0],
+                signals: circuit.signals,
+                faults: circuit.faults,
+                t_offset: circuit.t_offset,
+                structure: circuit.structure,
+            };
+            let run = crate::ir::OptRun::bind(opt, &lane_circuit);
+            integrate(&lane_circuit, &run, options).map(|r| vec![r])
+        }
+        (Some(opt), _) => {
+            let lane_dacs: Vec<&BTreeMap<usize, f64>> =
+                overlays.iter().map(|r| &r.dac_values).collect();
+            let mut batch = crate::ir::OptBatchRun::bind(opt, circuit, &lane_dacs);
+            integrate_batch(circuit, &mut batch, overlays, options)
+        }
+        (None, Some(plan)) if overlays.len() == 1 => {
             let lane_circuit = Compiled {
                 config: circuit.config,
                 variation: circuit.variation,
@@ -837,13 +1008,13 @@ fn execute_batch(
             let run = crate::plan::PlanRun::bind(plan, &lane_circuit);
             integrate(&lane_circuit, &run, options).map(|r| vec![r])
         }
-        Some(plan) => {
+        (None, Some(plan)) => {
             let lane_dacs: Vec<&BTreeMap<usize, f64>> =
                 overlays.iter().map(|r| &r.dac_values).collect();
             let mut batch = crate::plan::BatchRun::bind(plan, circuit, &lane_dacs);
             integrate_batch(circuit, &mut batch, overlays, options)
         }
-        None => overlays
+        (None, None) => overlays
             .iter()
             .map(|regs| {
                 let lane_circuit = Compiled {
@@ -873,9 +1044,9 @@ fn execute_batch(
 // The lane loops index `active` plus several SoA columns in lockstep; a
 // range loop is the clear form, not a needless one.
 #[allow(clippy::needless_range_loop)]
-fn integrate_batch(
+fn integrate_batch<B: LaneEvaluator>(
     circuit: &Compiled<'_>,
-    batch: &mut crate::plan::BatchRun<'_>,
+    batch: &mut B,
     overlays: &[Registers],
     options: &EngineOptions,
 ) -> Result<Vec<RunReport>, AnalogError> {
@@ -1183,15 +1354,20 @@ fn integrate_batch(
 fn execute(
     circuit: &Compiled<'_>,
     plan: Option<&crate::plan::CompiledPlan>,
+    opt: Option<&crate::ir::OptimizedPlan>,
     options: &EngineOptions,
 ) -> Result<RunReport, AnalogError> {
     let execute_span = aa_obs::span("engine.execute");
-    let report = match plan {
-        Some(plan) => {
+    let report = match (opt, plan) {
+        (Some(opt), _) => {
+            let run = crate::ir::OptRun::bind(opt, circuit);
+            integrate(circuit, &run, options)
+        }
+        (None, Some(plan)) => {
             let run = crate::plan::PlanRun::bind(plan, circuit);
             integrate(circuit, &run, options)
         }
-        None => integrate(circuit, circuit, options),
+        (None, None) => integrate(circuit, circuit, options),
     }?;
     drop(execute_span);
     Ok(report)

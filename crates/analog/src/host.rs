@@ -6,7 +6,7 @@
 //! the output values". [`Host`] is that processor's driver.
 
 use crate::calibrate::{calibrate, CalibrationReport};
-use crate::chip::AnalogChip;
+use crate::chip::{AnalogChip, BatchExec};
 use crate::engine::{EngineOptions, RunReport};
 use crate::error::AnalogError;
 use crate::isa::Instruction;
@@ -37,6 +37,8 @@ pub enum Response {
     Calibrated(CalibrationReport),
     /// A finished run (from `execStart`).
     Ran(Box<RunReport>),
+    /// A finished batched run (from `execBatch`), with per-lane reports.
+    RanBatch(Box<BatchExec>),
     /// ADC codes (from `readSerial`), one per ADC in index order.
     Codes(Vec<u32>),
     /// An averaged analog value (from `analogAvg`).
@@ -77,6 +79,9 @@ pub struct Host {
     chip: AnalogChip,
     engine_options: EngineOptions,
     parallel_target: Option<ParallelTarget>,
+    /// The batch opened by `execBatch` and closed by `finishBatch`;
+    /// `selectLane` reads against it.
+    pending_batch: Option<BatchExec>,
 }
 
 impl std::fmt::Debug for Host {
@@ -95,6 +100,7 @@ impl Host {
             chip,
             engine_options: EngineOptions::default(),
             parallel_target: None,
+            pending_batch: None,
         }
     }
 
@@ -175,6 +181,26 @@ impl Host {
             // In this in-process model `execStart` runs to completion, so
             // `execStop` (asynchronous halt on silicon) acknowledges only.
             Instruction::ExecStop => Ok(Response::Ack),
+            Instruction::ExecBatch { lanes } => {
+                let batch = self.chip.exec_batch(lanes, &self.engine_options)?;
+                self.pending_batch = Some(batch.clone());
+                Ok(Response::RanBatch(Box::new(batch)))
+            }
+            Instruction::SelectLane { lane } => {
+                let batch = self
+                    .pending_batch
+                    .as_ref()
+                    .ok_or_else(|| AnalogError::protocol("selectLane with no pending execBatch"))?;
+                self.chip.select_lane(batch, usize::from(*lane))?;
+                Ok(Response::Ack)
+            }
+            Instruction::FinishBatch => {
+                let batch = self.pending_batch.take().ok_or_else(|| {
+                    AnalogError::protocol("finishBatch with no pending execBatch")
+                })?;
+                self.chip.finish_batch(&batch);
+                Ok(Response::Ack)
+            }
             Instruction::SetAnaInputEn { channel, enabled } => {
                 self.chip.set_ana_input_en(*channel, *enabled)?;
                 Ok(Response::Ack)
@@ -387,5 +413,53 @@ mod tests {
     fn exec_stop_acknowledges() {
         let mut host = Host::new(AnalogChip::new(ChipConfig::ideal()));
         assert_eq!(host.execute(&Instruction::ExecStop).unwrap(), Response::Ack);
+    }
+
+    #[test]
+    fn exec_batch_runs_lanes_and_select_lane_stages_readout() {
+        use crate::engine::LaneBindings;
+        use std::collections::BTreeMap;
+
+        let mut host = Host::new(AnalogChip::new(ChipConfig::ideal()));
+        // Program the decay circuit but run it batched with two drives.
+        let mut setup = decay_program();
+        setup.pop(); // drop the ExecStart; we batch instead
+        host.run_program(&setup).unwrap();
+        let lanes: Vec<LaneBindings> = [0.25, 0.5]
+            .iter()
+            .map(|&v| LaneBindings {
+                dac_values: Some(BTreeMap::from([(0, host.chip().quantize_dac(v))])),
+                int_initial: None,
+            })
+            .collect();
+        let Response::RanBatch(batch) = host.execute(&Instruction::ExecBatch { lanes }).unwrap()
+        else {
+            panic!("expected a batch report");
+        };
+        assert_eq!(batch.reports.len(), 2);
+        // Stage lane 0 and read it back: the ADC sees that lane's value.
+        host.execute(&Instruction::SelectLane { lane: 0 }).unwrap();
+        let Response::Codes(codes) = host.execute(&Instruction::ReadSerial).unwrap() else {
+            panic!("expected codes");
+        };
+        let value = host.chip().value_of(codes[0]);
+        assert!((value - 0.25).abs() < 2.0 / 256.0, "lane 0 read {value}");
+        assert_eq!(
+            host.execute(&Instruction::FinishBatch).unwrap(),
+            Response::Ack
+        );
+    }
+
+    #[test]
+    fn lane_instructions_without_batch_are_protocol_violations() {
+        let mut host = Host::new(AnalogChip::new(ChipConfig::ideal()));
+        assert!(matches!(
+            host.execute(&Instruction::SelectLane { lane: 0 }),
+            Err(AnalogError::ProtocolViolation { .. })
+        ));
+        assert!(matches!(
+            host.execute(&Instruction::FinishBatch),
+            Err(AnalogError::ProtocolViolation { .. })
+        ));
     }
 }

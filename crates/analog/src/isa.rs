@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use crate::engine::LaneBindings;
 use crate::netlist::{InputPort, OutputPort};
 
 /// Built-in nonlinear functions for `setFunction` (the paper names sine,
@@ -125,6 +126,21 @@ pub enum Instruction {
     ExecStart,
     /// `execStop`: hold the integrators at their present value.
     ExecStop,
+    /// `execBatch`: run K lanes of the committed configuration in one
+    /// lockstep sweep, each lane overlaying its own DAC constants and
+    /// integrator initial conditions.
+    ExecBatch {
+        /// Per-lane register overrides, in lane order.
+        lanes: Vec<LaneBindings>,
+    },
+    /// `selectLane`: stage one batch lane's outputs for readout.
+    SelectLane {
+        /// Lane index into the pending batch.
+        lane: u16,
+    },
+    /// `finishBatch`: close the pending batch, restoring the post-batch
+    /// lifetime clock.
+    FinishBatch,
     /// `setAnaInputEn`: open an analog input channel.
     SetAnaInputEn {
         /// Analog input channel index.
@@ -155,9 +171,12 @@ impl Instruction {
     /// The instruction's Table I category.
     pub fn kind(&self) -> InstructionKind {
         match self {
-            Instruction::Init | Instruction::ExecStart | Instruction::ExecStop => {
-                InstructionKind::Control
-            }
+            Instruction::Init
+            | Instruction::ExecStart
+            | Instruction::ExecStop
+            | Instruction::ExecBatch { .. }
+            | Instruction::SelectLane { .. }
+            | Instruction::FinishBatch => InstructionKind::Control,
             Instruction::SetConn { .. }
             | Instruction::SetIntInitial { .. }
             | Instruction::SetMulGain { .. }
@@ -186,6 +205,9 @@ impl Instruction {
             Instruction::CfgCommit => "cfgCommit",
             Instruction::ExecStart => "execStart",
             Instruction::ExecStop => "execStop",
+            Instruction::ExecBatch { .. } => "execBatch",
+            Instruction::SelectLane { .. } => "selectLane",
+            Instruction::FinishBatch => "finishBatch",
             Instruction::SetAnaInputEn { .. } => "setAnaInputEn",
             Instruction::WriteParallel { .. } => "writeParallel",
             Instruction::ReadSerial => "readSerial",
@@ -219,6 +241,8 @@ impl fmt::Display for Instruction {
             Instruction::SetFunction { lut, function } => {
                 write!(f, "setFunction lut{lut} = {function:?}")
             }
+            Instruction::ExecBatch { lanes } => write!(f, "execBatch x{}", lanes.len()),
+            Instruction::SelectLane { lane } => write!(f, "selectLane {lane}"),
             other => f.write_str(other.mnemonic()),
         }
     }
@@ -264,6 +288,21 @@ mod tests {
             to: InputPort::of(UnitId::Adc(0)),
         };
         assert_eq!(c.to_string(), "setConn int0.out0 -> adc0.in0");
+    }
+
+    #[test]
+    fn batch_instructions_are_control_kind() {
+        let batch = Instruction::ExecBatch {
+            lanes: vec![LaneBindings::default(), LaneBindings::default()],
+        };
+        assert_eq!(batch.kind(), InstructionKind::Control);
+        assert_eq!(batch.mnemonic(), "execBatch");
+        assert_eq!(batch.to_string(), "execBatch x2");
+        let select = Instruction::SelectLane { lane: 1 };
+        assert_eq!(select.kind(), InstructionKind::Control);
+        assert_eq!(select.to_string(), "selectLane 1");
+        assert_eq!(Instruction::FinishBatch.kind(), InstructionKind::Control);
+        assert_eq!(Instruction::FinishBatch.to_string(), "finishBatch");
     }
 
     #[test]

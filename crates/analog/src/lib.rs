@@ -62,6 +62,7 @@
 
 mod chip;
 mod error;
+mod ir;
 
 pub mod calibrate;
 /// Chip configuration: bandwidth, resolution, and non-ideality magnitudes.
@@ -74,6 +75,7 @@ pub mod isa;
 pub mod lut;
 pub mod netlist;
 pub mod nonideal;
+pub mod passes;
 pub mod plan;
 pub mod spi;
 pub mod units;
@@ -88,6 +90,7 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, Rail};
 pub use host::{Host, ParallelTarget, Response};
 pub use isa::{Instruction, InstructionKind, NonlinearFunction};
 pub use lut::LookupTable;
+pub use passes::{PassConfig, PassStat};
 pub use spi::{
     decode_program, decode_program_checked, encode, encode_program, encode_program_checked,
 };

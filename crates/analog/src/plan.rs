@@ -29,11 +29,21 @@
 //! process variation, and active fault plans). What cannot be pre-resolved —
 //! fault-plan adjustments and external input signals, both functions of
 //! time — stays a per-eval call, exactly as in the reference path.
+//!
+//! When optimization passes are enabled
+//! ([`EngineOptions::passes`](crate::engine::EngineOptions)), the committed
+//! netlist is instead lowered through the typed IR in [`crate::ir`] and the
+//! pass pipeline in [`crate::passes`]; that path trades the bit-exactness
+//! guarantee for a documented relative-error tolerance (constant folding and
+//! gain-chain fusion reassociate floats) and regroups the tape into
+//! structure-of-arrays op-kind lanes. This module remains the unoptimized
+//! semantics: `PassConfig::none()` runs stay bit-identical to the reference
+//! evaluator through the tape below.
 
 use std::collections::BTreeMap;
 
 use crate::chip::InputSignal;
-use crate::engine::{BatchTracker, Compiled, Evaluator, Tracker};
+use crate::engine::{BatchTracker, Compiled, Evaluator, LaneEvaluator, Tracker};
 use crate::fault::FaultPlan;
 use crate::lut::LookupTable;
 use crate::netlist::{InputPort, OutputPort};
@@ -45,15 +55,15 @@ use crate::units::UnitId;
 /// the reference computes `((x·f1)·f2 + o1) + o2` with these exact
 /// sub-expressions, so precomputing them cannot change a single ulp.
 #[derive(Debug, Clone, Copy)]
-struct Imp {
-    f1: f64,
-    f2: f64,
-    o1: f64,
-    o2: f64,
+pub(crate) struct Imp {
+    pub(crate) f1: f64,
+    pub(crate) f2: f64,
+    pub(crate) o1: f64,
+    pub(crate) o2: f64,
 }
 
 impl Imp {
-    fn lower(b: &BlockImperfection) -> Self {
+    pub(crate) fn lower(b: &BlockImperfection) -> Self {
         Imp {
             f1: 1.0 + b.gain_error,
             f2: 1.0 + b.gain_trim_value(),
@@ -63,48 +73,76 @@ impl Imp {
     }
 
     #[inline]
-    fn apply(&self, ideal: f64) -> f64 {
+    pub(crate) fn apply(&self, ideal: f64) -> f64 {
         ((ideal * self.f1) * self.f2 + self.o1) + self.o2
+    }
+
+    /// The affine coefficient `f1·f2` — what `apply` multiplies by, up to
+    /// reassociation. Used by gain-chain fusion, which accepts the
+    /// documented reassociation tolerance.
+    pub(crate) fn coefficient(&self) -> f64 {
+        self.f1 * self.f2
+    }
+
+    /// The affine constant `o1 + o2` — what `apply` adds, up to
+    /// reassociation.
+    pub(crate) fn constant(&self) -> f64 {
+        self.o1 + self.o2
+    }
+
+    /// Whether `apply` is exactly the identity (an ideal, untrimmed block).
+    pub(crate) fn is_identity(&self) -> bool {
+        self.f1 == 1.0 && self.f2 == 1.0 && self.o1 == 0.0 && self.o2 == 0.0
+    }
+
+    /// Bit-exact fingerprint, for structural value-numbering in CSE.
+    pub(crate) fn bits(&self) -> [u64; 4] {
+        [
+            self.f1.to_bits(),
+            self.f2.to_bits(),
+            self.o1.to_bits(),
+            self.o2.to_bits(),
+        ]
     }
 }
 
 /// A consumer's driver list: a `(start, end)` range into
 /// [`CompiledPlan::driver_slots`]. An unconnected port is the empty range.
 #[derive(Debug, Clone, Copy)]
-struct DriverRange {
-    start: u32,
-    end: u32,
+pub(crate) struct DriverRange {
+    pub(crate) start: u32,
+    pub(crate) end: u32,
 }
 
 /// One integrator output: state slot `i` feeds output slot `out`.
 #[derive(Debug, Clone, Copy)]
-struct IntSource {
-    unit: UnitId,
-    imp: Imp,
-    out: u32,
+pub(crate) struct IntSource {
+    pub(crate) unit: UnitId,
+    pub(crate) imp: Imp,
+    pub(crate) out: u32,
 }
 
 /// One DAC output. The programmed constant is **not** baked in — DACs are
 /// reprogrammed on every solve without invalidating the plan cache, so
 /// [`PlanRun`] fetches the value from the committed registers per run.
 #[derive(Debug, Clone, Copy)]
-struct DacSource {
-    unit: UnitId,
+pub(crate) struct DacSource {
+    pub(crate) unit: UnitId,
     /// DAC register index, for the per-run value fetch.
-    dac: usize,
-    imp: Imp,
-    out: u32,
+    pub(crate) dac: usize,
+    pub(crate) imp: Imp,
+    pub(crate) out: u32,
 }
 
 /// One external analog input. Whether the channel is enabled and which
 /// stimulus is attached are per-run state (resolved by [`PlanRun`]); only
 /// the channel index and output slot are structural.
 #[derive(Debug, Clone, Copy)]
-struct InputSource {
-    unit: UnitId,
+pub(crate) struct InputSource {
+    pub(crate) unit: UnitId,
     /// Analog-input channel index, for the per-run signal lookup.
-    channel: usize,
-    out: u32,
+    pub(crate) channel: usize,
+    pub(crate) out: u32,
 }
 
 /// One memoryless unit on the op tape, in topological order.
@@ -309,6 +347,160 @@ impl CompiledPlan {
             derivs,
         }
     }
+
+    /// Renders the plan in the deterministic textual snapshot format pinned
+    /// by `tests/ir_passes.rs` (documented in DESIGN.md §13): one header
+    /// line, one line per source, one per op in tape order, one per state
+    /// derivative. Floats print via `Display` (shortest round-trip), block
+    /// imperfections only when non-identity — an ideal config dumps tidy.
+    pub(crate) fn dump(&self) -> String {
+        let mut buf = String::new();
+        // The header's store count is the per-eval output-store metric the
+        // pass statistics use: one per source plus one per op output slot
+        // (a fanout stores once per branch).
+        let written = self.int_sources.len()
+            + self.dac_sources.len()
+            + self.input_sources.len()
+            + self
+                .ops
+                .iter()
+                .map(|op| match op {
+                    Op::Fanout { branches, .. } => *branches as usize,
+                    _ => 1,
+                })
+                .sum::<usize>();
+        buf.push_str(&format!(
+            "plan fs={} states={} stores={}\n",
+            self.full_scale,
+            self.derivs.len(),
+            written
+        ));
+        for src in &self.int_sources {
+            buf.push_str(&format!(
+                "src int u={}{} -> s{}\n",
+                dump_unit(src.unit),
+                dump_imp(&src.imp),
+                src.out
+            ));
+        }
+        for src in &self.dac_sources {
+            buf.push_str(&format!(
+                "src dac u={}{} -> s{}\n",
+                dump_unit(src.unit),
+                dump_imp(&src.imp),
+                src.out
+            ));
+        }
+        for src in &self.input_sources {
+            buf.push_str(&format!(
+                "src in u={} ch={} -> s{}\n",
+                dump_unit(src.unit),
+                src.channel,
+                src.out
+            ));
+        }
+        for op in &self.ops {
+            match op {
+                Op::MulGain {
+                    unit,
+                    gain,
+                    imp,
+                    in0,
+                    out,
+                } => buf.push_str(&format!(
+                    "op mul.gain u={} g={}{} in={} -> s{}\n",
+                    dump_unit(*unit),
+                    gain,
+                    dump_imp(imp),
+                    dump_slots(&self.driver_slots, *in0),
+                    out
+                )),
+                Op::MulVar {
+                    unit,
+                    imp,
+                    in0,
+                    in1,
+                    out,
+                } => buf.push_str(&format!(
+                    "op mul.var u={}{} in0={} in1={} -> s{}\n",
+                    dump_unit(*unit),
+                    dump_imp(imp),
+                    dump_slots(&self.driver_slots, *in0),
+                    dump_slots(&self.driver_slots, *in1),
+                    out
+                )),
+                Op::Fanout {
+                    unit,
+                    imp,
+                    input,
+                    out0,
+                    branches,
+                } => buf.push_str(&format!(
+                    "op fanout u={}{} in={} -> s{}..s{} ({})\n",
+                    dump_unit(*unit),
+                    dump_imp(imp),
+                    dump_slots(&self.driver_slots, *input),
+                    out0,
+                    out0 + branches - 1,
+                    branches
+                )),
+                Op::Lut {
+                    unit, input, out, ..
+                } => buf.push_str(&format!(
+                    "op lut u={} in={} -> s{}\n",
+                    dump_unit(*unit),
+                    dump_slots(&self.driver_slots, *input),
+                    out
+                )),
+                Op::Sink { input, out } => buf.push_str(&format!(
+                    "op sink in={} -> s{}\n",
+                    dump_slots(&self.driver_slots, *input),
+                    out
+                )),
+            }
+        }
+        for (state, range) in self.derivs.iter().enumerate() {
+            buf.push_str(&format!(
+                "deriv state{} in={}\n",
+                state,
+                dump_slots(&self.driver_slots, *range)
+            ));
+        }
+        buf
+    }
+}
+
+/// Short deterministic unit label for plan dumps (`int0`, `mul3`, …).
+pub(crate) fn dump_unit(unit: UnitId) -> String {
+    match unit {
+        UnitId::Integrator(i) => format!("int{i}"),
+        UnitId::Multiplier(i) => format!("mul{i}"),
+        UnitId::Fanout(i) => format!("fan{i}"),
+        UnitId::Adc(i) => format!("adc{i}"),
+        UnitId::Dac(i) => format!("dac{i}"),
+        UnitId::Lut(i) => format!("lut{i}"),
+        UnitId::AnalogInput(i) => format!("ain{i}"),
+        UnitId::AnalogOutput(i) => format!("aout{i}"),
+    }
+}
+
+/// Imperfection suffix for plan dumps: empty for an ideal block, the four
+/// affine terms otherwise.
+pub(crate) fn dump_imp(imp: &Imp) -> String {
+    if imp.is_identity() {
+        String::new()
+    } else {
+        format!(" imp=({},{},{},{})", imp.f1, imp.f2, imp.o1, imp.o2)
+    }
+}
+
+/// A driver-slot list for plan dumps: `[s1 s4]`, `[]` when unconnected.
+pub(crate) fn dump_slots(driver_slots: &[u32], range: DriverRange) -> String {
+    let slots: Vec<String> = driver_slots[range.start as usize..range.end as usize]
+        .iter()
+        .map(|s| format!("s{s}"))
+        .collect();
+    format!("[{}]", slots.join(" "))
 }
 
 /// One run's view of a (shared, possibly cached) [`CompiledPlan`]: the
@@ -607,11 +799,6 @@ impl<'a> BatchRun<'a> {
         }
     }
 
-    /// Number of lanes bound to the batch.
-    pub(crate) fn lanes(&self) -> usize {
-        self.k
-    }
-
     /// Lane `lane`'s sum of driver currents over a CSR range — the same fold
     /// order as [`PlanRun::sum`].
     #[inline]
@@ -657,44 +844,6 @@ impl<'a> BatchRun<'a> {
             }
         }
         value.clamp(-fs, fs)
-    }
-
-    /// Evaluates the circuit at time `t` for all **active** lanes at once.
-    /// `state`/`du` are `n_states * k`, the tracker arrays `n_slots * k`,
-    /// all column-major (`[index * k + lane]`). Retired lanes are skipped
-    /// entirely — their tracker entries, derivatives, and slot values stay
-    /// frozen at their retirement step, exactly as a sequential run that
-    /// already broke out of the loop.
-    ///
-    /// Dispatches between two bodies performing the identical per-lane
-    /// floating-point sequence: an unmasked fast path when every lane is
-    /// live and no fault plan is armed (lane loops innermost and
-    /// branch-free, so they vectorize), and the masked general path.
-    pub(crate) fn eval_lanes(
-        &mut self,
-        t: f64,
-        state: &[f64],
-        du: &mut [f64],
-        tracker: &mut BatchTracker,
-        track: bool,
-        active: &[bool],
-    ) {
-        if self.faults.is_none() && active.iter().all(|&a| a) {
-            // Monomorphize the hot widths: with the lane count a compile-
-            // time constant, every lane loop unrolls and vectorizes and the
-            // accumulator fills stop being runtime-length memsets — the
-            // difference between a batched sweep that beats K sequential
-            // runs and one that loses to them at small K.
-            match self.k {
-                2 => self.eval_lanes_unmasked::<2>(t, state, du, tracker, track),
-                4 => self.eval_lanes_unmasked::<4>(t, state, du, tracker, track),
-                8 => self.eval_lanes_unmasked::<8>(t, state, du, tracker, track),
-                16 => self.eval_lanes_unmasked::<16>(t, state, du, tracker, track),
-                _ => self.eval_lanes_unmasked::<0>(t, state, du, tracker, track),
-            }
-        } else {
-            self.eval_lanes_masked(t, state, du, tracker, track, active);
-        }
     }
 
     /// The branch-free all-lanes-live evaluation: per op, the operand sums
@@ -1016,6 +1165,50 @@ impl<'a> BatchRun<'a> {
                 }
                 du[slot_state * k + lane] = plan.omega * self.sum(range, values, lane);
             }
+        }
+    }
+}
+
+impl LaneEvaluator for BatchRun<'_> {
+    fn lanes(&self) -> usize {
+        self.k
+    }
+
+    /// Evaluates the circuit at time `t` for all **active** lanes at once.
+    /// `state`/`du` are `n_states * k`, the tracker arrays `n_slots * k`,
+    /// all column-major (`[index * k + lane]`). Retired lanes are skipped
+    /// entirely — their tracker entries, derivatives, and slot values stay
+    /// frozen at their retirement step, exactly as a sequential run that
+    /// already broke out of the loop.
+    ///
+    /// Dispatches between two bodies performing the identical per-lane
+    /// floating-point sequence: an unmasked fast path when every lane is
+    /// live and no fault plan is armed (lane loops innermost and
+    /// branch-free, so they vectorize), and the masked general path.
+    fn eval_lanes(
+        &mut self,
+        t: f64,
+        state: &[f64],
+        du: &mut [f64],
+        tracker: &mut BatchTracker,
+        track: bool,
+        active: &[bool],
+    ) {
+        if self.faults.is_none() && active.iter().all(|&a| a) {
+            // Monomorphize the hot widths: with the lane count a compile-
+            // time constant, every lane loop unrolls and vectorizes and the
+            // accumulator fills stop being runtime-length memsets — the
+            // difference between a batched sweep that beats K sequential
+            // runs and one that loses to them at small K.
+            match self.k {
+                2 => self.eval_lanes_unmasked::<2>(t, state, du, tracker, track),
+                4 => self.eval_lanes_unmasked::<4>(t, state, du, tracker, track),
+                8 => self.eval_lanes_unmasked::<8>(t, state, du, tracker, track),
+                16 => self.eval_lanes_unmasked::<16>(t, state, du, tracker, track),
+                _ => self.eval_lanes_unmasked::<0>(t, state, du, tracker, track),
+            }
+        } else {
+            self.eval_lanes_masked(t, state, du, tracker, track, active);
         }
     }
 }

@@ -9,6 +9,9 @@
 //! can serialize a whole configuration bitstream, ship it across any
 //! byte-oriented link, and replay it with [`decode_program`].
 
+use std::collections::BTreeMap;
+
+use crate::engine::LaneBindings;
 use crate::error::AnalogError;
 use crate::isa::{Instruction, NonlinearFunction};
 use crate::netlist::{InputPort, OutputPort};
@@ -31,6 +34,15 @@ mod opcode {
     pub const READ_SERIAL: u8 = 0x0d;
     pub const ANALOG_AVG: u8 = 0x0e;
     pub const READ_EXP: u8 = 0x0f;
+    pub const EXEC_BATCH: u8 = 0x10;
+    pub const SELECT_LANE: u8 = 0x11;
+    pub const FINISH_BATCH: u8 = 0x12;
+}
+
+/// `execBatch` per-lane flag bits: which override maps the lane carries.
+mod lane_flag {
+    pub const DAC_VALUES: u8 = 0b01;
+    pub const INT_INITIAL: u8 = 0b10;
 }
 
 /// Unit-kind tags for port encoding.
@@ -161,8 +173,43 @@ pub fn encode(instruction: &Instruction) -> Vec<u8> {
             buf.extend_from_slice(&(*samples as u32).to_le_bytes());
         }
         Instruction::ReadExp => buf.push(opcode::READ_EXP),
+        Instruction::ExecBatch { lanes } => {
+            buf.push(opcode::EXEC_BATCH);
+            buf.extend_from_slice(&(lanes.len() as u16).to_le_bytes());
+            for lane in lanes {
+                let mut flags = 0u8;
+                if lane.dac_values.is_some() {
+                    flags |= lane_flag::DAC_VALUES;
+                }
+                if lane.int_initial.is_some() {
+                    flags |= lane_flag::INT_INITIAL;
+                }
+                buf.push(flags);
+                if let Some(map) = &lane.dac_values {
+                    push_value_map(&mut buf, map);
+                }
+                if let Some(map) = &lane.int_initial {
+                    push_value_map(&mut buf, map);
+                }
+            }
+        }
+        Instruction::SelectLane { lane } => {
+            buf.push(opcode::SELECT_LANE);
+            buf.extend_from_slice(&lane.to_le_bytes());
+        }
+        Instruction::FinishBatch => buf.push(opcode::FINISH_BATCH),
     }
     buf
+}
+
+/// Lane override map frame: `u16` entry count, then `(u16 index, f64 value)`
+/// pairs in ascending index order (the map's iteration order).
+fn push_value_map(buf: &mut Vec<u8>, map: &BTreeMap<usize, f64>) {
+    buf.extend_from_slice(&(map.len() as u16).to_le_bytes());
+    for (&idx, &value) in map {
+        buf.extend_from_slice(&(idx as u16).to_le_bytes());
+        buf.extend_from_slice(&value.to_le_bytes());
+    }
 }
 
 /// Serializes a program as one contiguous bitstream — the "configuration
@@ -286,6 +333,39 @@ impl<'a> Cursor<'a> {
             port,
         })
     }
+
+    fn value_map(&mut self) -> Result<BTreeMap<usize, f64>, AnalogError> {
+        let count = self.u16()?;
+        let mut map = BTreeMap::new();
+        for _ in 0..count {
+            let idx = self.u16()? as usize;
+            map.insert(idx, self.f64()?);
+        }
+        Ok(map)
+    }
+
+    fn lane(&mut self) -> Result<LaneBindings, AnalogError> {
+        let flags = self.u8()?;
+        if flags & !(lane_flag::DAC_VALUES | lane_flag::INT_INITIAL) != 0 {
+            return Err(AnalogError::ProtocolViolation {
+                message: format!("unknown execBatch lane flags 0x{flags:02x} in SPI stream"),
+            });
+        }
+        let dac_values = if flags & lane_flag::DAC_VALUES != 0 {
+            Some(self.value_map()?)
+        } else {
+            None
+        };
+        let int_initial = if flags & lane_flag::INT_INITIAL != 0 {
+            Some(self.value_map()?)
+        } else {
+            None
+        };
+        Ok(LaneBindings {
+            dac_values,
+            int_initial,
+        })
+    }
 }
 
 /// Deserializes a bitstream back into instructions.
@@ -343,6 +423,18 @@ pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instruction>, AnalogError> {
                 samples: cursor.u32()? as usize,
             },
             opcode::READ_EXP => Instruction::ReadExp,
+            opcode::EXEC_BATCH => {
+                let count = cursor.u16()? as usize;
+                let mut lanes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    lanes.push(cursor.lane()?);
+                }
+                Instruction::ExecBatch { lanes }
+            }
+            opcode::SELECT_LANE => Instruction::SelectLane {
+                lane: cursor.u16()?,
+            },
+            opcode::FINISH_BATCH => Instruction::FinishBatch,
             other => {
                 return Err(AnalogError::ProtocolViolation {
                     message: format!("unknown opcode 0x{other:02x} in SPI stream"),
@@ -539,6 +631,58 @@ mod tests {
                 Err(AnalogError::ProtocolViolation { .. })
             ));
         }
+    }
+
+    fn batch_program() -> Vec<Instruction> {
+        vec![
+            Instruction::ExecBatch {
+                lanes: vec![
+                    LaneBindings {
+                        dac_values: Some(BTreeMap::from([(0, 0.25), (3, -0.5)])),
+                        int_initial: None,
+                    },
+                    LaneBindings {
+                        dac_values: None,
+                        int_initial: Some(BTreeMap::from([(1, 0.125)])),
+                    },
+                    LaneBindings::default(),
+                ],
+            },
+            Instruction::SelectLane { lane: 2 },
+            Instruction::FinishBatch,
+        ]
+    }
+
+    #[test]
+    fn batch_instructions_round_trip() {
+        let program = batch_program();
+        let decoded = decode_program(&encode_program(&program)).unwrap();
+        assert_eq!(decoded, program);
+        let checked = encode_program_checked(&program);
+        assert_eq!(decode_program_checked(&checked).unwrap(), program);
+    }
+
+    #[test]
+    fn truncated_batch_frames_rejected() {
+        // One execBatch frame only, so every cut lands mid-frame.
+        let bytes = encode(&batch_program()[0]);
+        for cut in 1..bytes.len() {
+            let r = decode_program(&bytes[..cut]);
+            assert!(
+                matches!(r, Err(AnalogError::ProtocolViolation { .. })),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_lane_flags_rejected() {
+        // Opcode, one lane, flag byte with a reserved bit set.
+        let bytes = [opcode::EXEC_BATCH, 1, 0, 0b100];
+        assert!(matches!(
+            decode_program(&bytes),
+            Err(AnalogError::ProtocolViolation { .. })
+        ));
     }
 
     #[test]

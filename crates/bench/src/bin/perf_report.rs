@@ -196,6 +196,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         soak_requests_completed: None,
         checkpoint_restore_ms: None,
         batched_speedup: None,
+        ir_speedup: None,
     });
     records.push(BenchRecord {
         bench: "engine_microbench".to_string(),
@@ -209,6 +210,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         soak_requests_completed: None,
         checkpoint_restore_ms: None,
         batched_speedup: None,
+        ir_speedup: None,
     });
 
     // 1b. Plan-cache reuse: a long sequence of solves against one matrix
@@ -259,6 +261,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         soak_requests_completed: None,
         checkpoint_restore_ms: None,
         batched_speedup: None,
+        ir_speedup: None,
     });
 
     // 1c. Batched multi-RHS execution: one K-lane RK4 sweep against K
@@ -348,6 +351,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             soak_requests_completed: None,
             checkpoint_restore_ms: None,
             batched_speedup: Some(ratio),
+            ir_speedup: None,
         });
     }
     // The batched-execution gate: a 16-lane sweep must run at least twice
@@ -364,6 +368,112 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         println!(
             "WARNING: K=16 batched speedup {batched_speedup_16:.2}x < 2.0x, but only \
              {cores} core is available (noisy runner — not gating)"
+        );
+    }
+
+    // 1d. Plan-IR optimization passes: sequential RK4 throughput of the
+    // pass-optimized SoA tape against the unoptimized linear tape on the
+    // solver-mapped 2D Poisson circuit (n = 16) — the pipeline's headline
+    // number. Both paths run the same fixed τ span (steady detection off),
+    // so the ratio isolates per-step evaluation cost. The per-pass op
+    // counts are written to PASS_STATS.json as a non-gating artifact.
+    let ir_l = 4usize;
+    let ir_n = ir_l * ir_l;
+    let ir_tau = if quick { 30.0 } else { 120.0 };
+    let ir_reps = if quick { 3 } else { 5 };
+    let a = CsrMatrix::from_row_access(&PoissonStencil::new_2d(ir_l).expect("grid"));
+    let mut ir_solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).expect("maps");
+    // One real solve programs the RHS DACs and commits the configuration;
+    // after that the chip can be stepped directly.
+    ir_solver.solve(&vec![1.0; ir_n]).expect("prime solve");
+    let ir_chip = ir_solver.chip_mut();
+    let ir_options = |passes: aa_analog::PassConfig| EngineOptions {
+        steady_tol: None,
+        max_tau: ir_tau,
+        eval_strategy: EvalStrategy::Compiled,
+        passes,
+        ..EngineOptions::default()
+    };
+    // Warm both plans so neither best-of window pays the one-time lowering.
+    ir_chip
+        .exec(&ir_options(aa_analog::PassConfig::none()))
+        .expect("warmup");
+    ir_chip
+        .exec(&ir_options(aa_analog::PassConfig::full()))
+        .expect("warmup");
+    let (plain_s, plain_steps) =
+        time_engine(ir_chip, &ir_options(aa_analog::PassConfig::none()), ir_reps);
+    let (opt_s, opt_steps) =
+        time_engine(ir_chip, &ir_options(aa_analog::PassConfig::full()), ir_reps);
+    assert_eq!(plain_steps, opt_steps, "paths must take identical steps");
+    let plain_sps = plain_steps as f64 / plain_s;
+    let opt_sps = opt_steps as f64 / opt_s;
+    let ir_speedup = opt_sps / plain_sps;
+    let pass_log = ir_chip.pass_stats();
+    println!("\nplan-IR passes (poisson 2d n = {ir_n}, {plain_steps} RK4 steps)");
+    println!("  unoptimized tape: {plain_s:9.4} s  ({plain_sps:11.0} steps/s)");
+    println!("  optimized tape:   {opt_s:9.4} s  ({opt_sps:11.0} steps/s)  — {ir_speedup:.2}x");
+    for stat in &pass_log {
+        println!(
+            "    pass {}: {} -> {} ops",
+            stat.pass, stat.ops_before, stat.ops_after
+        );
+    }
+    records.push(BenchRecord {
+        bench: "engine_ir".to_string(),
+        config: format!("poisson 2d n={ir_n}, unoptimized tape"),
+        wall_ms: plain_s * 1e3,
+        steps_per_sec: Some(plain_sps),
+        requests_per_sec: None,
+        speedup_vs_serial: None,
+        cores: None,
+        undersubscribed: None,
+        soak_requests_completed: None,
+        checkpoint_restore_ms: None,
+        batched_speedup: None,
+        ir_speedup: None,
+    });
+    records.push(BenchRecord {
+        bench: "engine_ir".to_string(),
+        config: format!("poisson 2d n={ir_n}, passes=full"),
+        wall_ms: opt_s * 1e3,
+        steps_per_sec: Some(opt_sps),
+        requests_per_sec: None,
+        speedup_vs_serial: None,
+        cores: None,
+        undersubscribed: None,
+        soak_requests_completed: None,
+        checkpoint_restore_ms: None,
+        batched_speedup: None,
+        ir_speedup: Some(ir_speedup),
+    });
+    // Non-gating pass-statistics artifact for the CI upload.
+    let pass_rows: Vec<String> = pass_log
+        .iter()
+        .map(|s| {
+            format!(
+                "  {{\"pass\": \"{}\", \"ops_before\": {}, \"ops_after\": {}}}",
+                s.pass, s.ops_before, s.ops_after
+            )
+        })
+        .collect();
+    std::fs::write(
+        "PASS_STATS.json",
+        format!("[\n{}\n]\n", pass_rows.join(",\n")),
+    )
+    .expect("write PASS_STATS.json");
+    println!("  wrote PASS_STATS.json ({} passes)", pass_log.len());
+    // The pass-pipeline gate: the optimized tape must hold a ≥1.15x
+    // sequential advantage. Same single-core escape hatch as above.
+    if cores >= 2 {
+        assert!(
+            ir_speedup >= 1.15,
+            "engine_ir regression: optimized/unoptimized {ir_speedup:.3}x < 1.15x"
+        );
+    } else if ir_speedup < 1.15 {
+        println!(
+            "WARNING: optimized/unoptimized {ir_speedup:.2}x < 1.15x, but only {cores} core \
+             is available (noisy runner — not gating)"
         );
     }
 
@@ -388,6 +498,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         soak_requests_completed: None,
         checkpoint_restore_ms: None,
         batched_speedup: None,
+        ir_speedup: None,
     });
 
     // 2b. Fig8 digital-CG baseline.
@@ -409,6 +520,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         soak_requests_completed: None,
         checkpoint_restore_ms: None,
         batched_speedup: None,
+        ir_speedup: None,
     });
 
     // 3. Decomposed-solver scaling across threads. Best-of-N wall time per
@@ -474,6 +586,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             soak_requests_completed: None,
             checkpoint_restore_ms: None,
             batched_speedup: None,
+            ir_speedup: None,
         });
     }
 
@@ -566,6 +679,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             soak_requests_completed: None,
             checkpoint_restore_ms: None,
             batched_speedup: None,
+            ir_speedup: None,
         });
     }
     // Same policy as the scaling gate: more chips on more workers must not
@@ -621,6 +735,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             soak_requests_completed: None,
             checkpoint_restore_ms: None,
             batched_speedup: speedup,
+            ir_speedup: None,
         });
     }
     // Coalescing must pay for itself: a chip's round served as multi-lane
@@ -679,6 +794,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         soak_requests_completed: None,
         checkpoint_restore_ms: Some(ckpt_ms),
         batched_speedup: None,
+        ir_speedup: None,
     });
 
     // 5b. Chaos soak: the full deterministic failure gauntlet (chip deaths,
@@ -716,6 +832,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         soak_requests_completed: Some(soak.completed as u64),
         checkpoint_restore_ms: None,
         batched_speedup: None,
+        ir_speedup: None,
     });
 
     records

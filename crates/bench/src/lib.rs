@@ -139,6 +139,9 @@ pub struct BenchRecord {
     /// Throughput ratio of the K-lane batched path against serving the same
     /// K right-hand sides sequentially, where applicable.
     pub batched_speedup: Option<f64>,
+    /// Sequential steps/sec ratio of the pass-optimized plan against the
+    /// unoptimized tape on the same problem, where applicable.
+    pub ir_speedup: Option<f64>,
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -177,7 +180,7 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
                 "  {{\"bench\": \"{}\", \"config\": \"{}\", \"wall_ms\": {}, \
                  \"steps_per_sec\": {}, \"requests_per_sec\": {}, \"speedup_vs_serial\": {}, \
                  \"cores\": {}, \"undersubscribed\": {}, \"soak_requests_completed\": {}, \
-                 \"checkpoint_restore_ms\": {}, \"batched_speedup\": {}}}",
+                 \"checkpoint_restore_ms\": {}, \"batched_speedup\": {},                  \"ir_speedup\": {}}}",
                 json_escape(&r.bench),
                 json_escape(&r.config),
                 json_number(r.wall_ms),
@@ -192,6 +195,7 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
                 r.checkpoint_restore_ms
                     .map_or("null".to_string(), json_number),
                 r.batched_speedup.map_or("null".to_string(), json_number),
+                r.ir_speedup.map_or("null".to_string(), json_number),
             )
         })
         .collect();
@@ -199,7 +203,7 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
 }
 
 /// The exact key set of a `BENCH_engine.json` record.
-const BENCH_KEYS: [&str; 11] = [
+const BENCH_KEYS: [&str; 12] = [
     "bench",
     "config",
     "wall_ms",
@@ -211,6 +215,7 @@ const BENCH_KEYS: [&str; 11] = [
     "soak_requests_completed",
     "checkpoint_restore_ms",
     "batched_speedup",
+    "ir_speedup",
 ];
 
 /// Schema check for a `BENCH_engine.json` document, run before the file is
@@ -219,7 +224,7 @@ const BENCH_KEYS: [&str; 11] = [
 /// records carrying exactly [`BENCH_KEYS`], with non-empty string `bench`,
 /// string `config`, finite non-negative `wall_ms`, `steps_per_sec` /
 /// `requests_per_sec` / `speedup_vs_serial` / `checkpoint_restore_ms` /
-/// `batched_speedup` each `null` or a non-negative number, `cores` `null` or a positive integer,
+/// `batched_speedup` / `ir_speedup` each `null` or a non-negative number, `cores` `null` or a positive integer,
 /// `soak_requests_completed` `null` or a non-negative integer, and
 /// `undersubscribed` `null` or a boolean.
 pub fn validate_bench_json(text: &str) -> Result<(), String> {
@@ -266,6 +271,7 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             "speedup_vs_serial",
             "checkpoint_restore_ms",
             "batched_speedup",
+            "ir_speedup",
         ] {
             let value = row.get(key).expect("presence checked above");
             if value.is_null() {
@@ -359,6 +365,7 @@ mod tests {
                 soak_requests_completed: None,
                 checkpoint_restore_ms: None,
                 batched_speedup: None,
+                ir_speedup: None,
             },
             BenchRecord {
                 bench: "decomposed_scaling".to_string(),
@@ -372,6 +379,7 @@ mod tests {
                 soak_requests_completed: Some(512),
                 checkpoint_restore_ms: Some(1.75),
                 batched_speedup: Some(3.5),
+                ir_speedup: Some(1.3),
             },
         ];
         let json = records_to_json(&records);
@@ -394,6 +402,8 @@ mod tests {
         assert!(json.contains("\"checkpoint_restore_ms\": null"));
         assert!(json.contains("\"batched_speedup\": 3.5"));
         assert!(json.contains("\"batched_speedup\": null"));
+        assert!(json.contains("\"ir_speedup\": 1.3"));
+        assert!(json.contains("\"ir_speedup\": null"));
         // Exactly one comma-separated row pair.
         assert_eq!(json.matches("{\"bench\"").count(), 2);
     }
@@ -412,6 +422,7 @@ mod tests {
             soak_requests_completed: Some(0),
             checkpoint_restore_ms: Some(0.5),
             batched_speedup: Some(1.0),
+            ir_speedup: Some(1.2),
         }];
         validate_bench_json(&records_to_json(&records)).expect("valid document");
     }
@@ -423,7 +434,8 @@ mod tests {
         let base = r#"[{"bench": "x", "config": "c", "wall_ms": 1.0, "steps_per_sec": null,
             "requests_per_sec": null, "speedup_vs_serial": null, "cores": null,
             "undersubscribed": null, "soak_requests_completed": null,
-            "checkpoint_restore_ms": null, "batched_speedup": null}]"#;
+            "checkpoint_restore_ms": null, "batched_speedup": null,
+            "ir_speedup": null}]"#;
         let needle = match key {
             "bench" => r#""bench": "x""#.to_string(),
             "config" => r#""config": "c""#.to_string(),
@@ -488,6 +500,10 @@ mod tests {
         assert!(validate_bench_json(&doc_with("batched_speedup", "-1.0")).is_err());
         assert!(validate_bench_json(&doc_with("batched_speedup", "\"2x\"")).is_err());
         assert!(validate_bench_json(&doc_with("batched_speedup", "3.1")).is_ok());
+        // IR speedup must be a non-negative number when present.
+        assert!(validate_bench_json(&doc_with("ir_speedup", "-0.5")).is_err());
+        assert!(validate_bench_json(&doc_with("ir_speedup", "\"fast\"")).is_err());
+        assert!(validate_bench_json(&doc_with("ir_speedup", "1.15")).is_ok());
     }
 
     #[test]

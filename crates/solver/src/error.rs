@@ -35,6 +35,16 @@ pub enum SolverError {
         /// Residual norm at the stop.
         residual: f64,
     },
+    /// A checkpoint was captured under a different plan-optimization pass
+    /// configuration than the solver restoring it: the cached optimized
+    /// plans (and their journals) would not line up, so the import is
+    /// rejected before mutating anything.
+    CheckpointMismatch {
+        /// The restoring solver's engine pass configuration.
+        chip: aa_analog::PassConfig,
+        /// The pass configuration recorded in the checkpoint.
+        checkpoint: aa_analog::PassConfig,
+    },
     /// The supervised recovery controller spent its whole retry budget (and
     /// digital fallback was disabled or also failed).
     RecoveryExhausted {
@@ -74,6 +84,10 @@ impl fmt::Display for SolverError {
             } => write!(
                 f,
                 "outer iteration did not converge after {iterations} rounds (residual {residual:.3e})"
+            ),
+            SolverError::CheckpointMismatch { chip, checkpoint } => write!(
+                f,
+                "checkpoint pass-config mismatch: solver runs {chip:?}, checkpoint was captured under {checkpoint:?}"
             ),
             SolverError::RecoveryExhausted {
                 attempts,
@@ -140,6 +154,12 @@ mod tests {
         .into();
         assert!(e.to_string().contains("accelerator failure"));
         let e = SolverError::NoSteadyState { waited_s: 1.0 };
+        assert!(e.source().is_none());
+        let e = SolverError::CheckpointMismatch {
+            chip: aa_analog::PassConfig::none(),
+            checkpoint: aa_analog::PassConfig::full(),
+        };
+        assert!(e.to_string().contains("pass-config mismatch"));
         assert!(e.source().is_none());
     }
 }

@@ -370,11 +370,14 @@ impl SupervisedSolver {
     ///
     /// # Errors
     ///
-    /// Same as [`AnalogSystemSolver::import_state`].
+    /// Same as [`AnalogSystemSolver::import_state`] — including the
+    /// [`SolverError::CheckpointMismatch`] pass-config check, which runs
+    /// before any supervisor state is touched.
     pub fn import_state(&mut self, state: &SupervisedCheckpoint) -> Result<(), SolverError> {
+        self.inner.import_state(&state.solver)?;
         self.consumed_lifetime_s = state.consumed_lifetime_s;
         self.fault_plan = state.fault_plan.clone();
-        self.inner.import_state(&state.solver)
+        Ok(())
     }
 
     /// Solves `A·u = b` under supervision.
@@ -890,5 +893,32 @@ mod tests {
             s.solve(&[1.0]),
             Err(SolverError::InvalidProblem { .. })
         ));
+    }
+
+    #[test]
+    fn mismatched_checkpoint_leaves_the_supervisor_untouched() {
+        let a = poisson_3();
+        let mut opt_cfg = test_config();
+        opt_cfg.engine.passes = aa_analog::PassConfig::full();
+        let mut original = SupervisedSolver::new(&a, &opt_cfg, &RecoveryConfig::default()).unwrap();
+        original.solve(&[1.0, 0.5, 1.0]).unwrap();
+        let snap = original.export_state();
+        assert_eq!(snap.solver.passes, aa_analog::PassConfig::full());
+
+        // Matching config restores cleanly.
+        let mut restored = SupervisedSolver::new(&a, &opt_cfg, &RecoveryConfig::default()).unwrap();
+        restored.import_state(&snap).unwrap();
+        assert_eq!(restored.export_state(), snap);
+
+        // A default-pass supervisor refuses — and stays exactly as it was,
+        // including its own lifetime bookkeeping.
+        let mut plain =
+            SupervisedSolver::new(&a, &test_config(), &RecoveryConfig::default()).unwrap();
+        let before = plain.export_state();
+        assert!(matches!(
+            plain.import_state(&snap),
+            Err(SolverError::CheckpointMismatch { .. })
+        ));
+        assert_eq!(plain.export_state(), before);
     }
 }

@@ -156,6 +156,12 @@ pub struct SolverCheckpoint {
     /// Whether the `γ` walk had settled (any accepted solve) at capture
     /// time; governs batched-solve pre-calibration after restore.
     pub calibrated: bool,
+    /// The engine pass configuration the solver ran with at capture time.
+    /// Restore rejects a checkpoint whose passes disagree with the
+    /// restoring solver's config
+    /// ([`SolverError::CheckpointMismatch`](crate::SolverError)) — the
+    /// cached plans and obs journals would not line up.
+    pub passes: aa_analog::PassConfig,
     /// The chip's mutable runtime state.
     pub chip: aa_analog::ChipCheckpoint,
 }
@@ -270,6 +276,7 @@ impl AnalogSystemSolver {
         SolverCheckpoint {
             solution_factor: self.scaled.solution_factor,
             calibrated: self.calibrated,
+            passes: self.config.engine.passes,
             chip: self.mapped.chip().export_state(),
         }
     }
@@ -279,9 +286,20 @@ impl AnalogSystemSolver {
     ///
     /// # Errors
     ///
-    /// [`SolverError::Analog`] if the chip-level import fails (checkpoint
-    /// and config disagree).
+    /// * [`SolverError::CheckpointMismatch`] if the checkpoint was captured
+    ///   under a different engine pass configuration (checked before any
+    ///   state is mutated).
+    /// * [`SolverError::Analog`] if the chip-level import fails (checkpoint
+    ///   and config disagree).
     pub fn import_state(&mut self, state: &SolverCheckpoint) -> Result<(), SolverError> {
+        // Reject before mutating: a half-imported solver would be worse
+        // than a cleanly refused restore.
+        if state.passes != self.config.engine.passes {
+            return Err(SolverError::CheckpointMismatch {
+                chip: self.config.engine.passes,
+                checkpoint: state.passes,
+            });
+        }
         self.scaled.solution_factor = state.solution_factor;
         self.calibrated = state.calibrated;
         self.mapped.chip_mut().import_state(&state.chip)?;
@@ -747,5 +765,53 @@ mod tests {
         let a = poisson_1d(3);
         let mut solver = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
         assert!(solver.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_with_matching_passes() {
+        let a = poisson_1d(4);
+        let b = vec![0.4, -0.1, 0.3, 0.2];
+        let mut cfg = SolverConfig::ideal();
+        cfg.engine.passes = aa_analog::PassConfig::full();
+        let mut original = AnalogSystemSolver::new(&a, &cfg).unwrap();
+        original.solve(&b).unwrap();
+        let snap = original.export_state();
+        assert_eq!(snap.passes, aa_analog::PassConfig::full());
+
+        let mut restored = AnalogSystemSolver::new(&a, &cfg).unwrap();
+        restored.import_state(&snap).unwrap();
+        let from_restored = restored.solve(&b).unwrap();
+        let from_original = original.solve(&b).unwrap();
+        assert_eq!(from_restored.solution, from_original.solution);
+    }
+
+    #[test]
+    fn checkpoint_with_mismatched_passes_is_rejected() {
+        let a = poisson_1d(4);
+        let mut opt_cfg = SolverConfig::ideal();
+        opt_cfg.engine.passes = aa_analog::PassConfig::full();
+        let mut original = AnalogSystemSolver::new(&a, &opt_cfg).unwrap();
+        original.solve(&[0.4, -0.1, 0.3, 0.2]).unwrap();
+        let snap = original.export_state();
+
+        // The restoring solver runs the default (no-pass) config: the
+        // import must refuse before mutating anything.
+        let mut plain = AnalogSystemSolver::new(&a, &SolverConfig::ideal()).unwrap();
+        let before = plain.export_state();
+        let err = plain.import_state(&snap).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SolverError::CheckpointMismatch { chip, checkpoint }
+                    if chip == aa_analog::PassConfig::none()
+                        && checkpoint == aa_analog::PassConfig::full()
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(
+            plain.export_state(),
+            before,
+            "refused import must not mutate"
+        );
     }
 }

@@ -286,6 +286,34 @@ fn crash_restore_mid_batched_round_is_bit_identical() {
     }
 }
 
+/// Crash-restore on a fleet whose solvers run the full optimization pass
+/// pipeline: the per-solver checkpoints carry the pass config, the restore
+/// re-lowers the optimized plans, and the drained run stays bit-identical
+/// to the uninterrupted one.
+#[test]
+fn crash_restore_on_an_optimized_plan_fleet_is_bit_identical() {
+    let optimized = |workers: usize| {
+        let mut cfg = fleet_config(workers);
+        cfg.solver.engine.passes = analog_accel::analog::PassConfig::full();
+        cfg
+    };
+    let ops = mixed_ops();
+    let (checkpoint_at, crash_at) = (5, 11);
+    let baseline = drive(&optimized(1), &ops, checkpoint_at, crash_at, false);
+    assert!(
+        baseline.completions.len() >= 12,
+        "every submitted request settled"
+    );
+    for workers in [1usize, 2] {
+        let recovered = drive(&optimized(workers), &ops, checkpoint_at, crash_at, true);
+        assert_identical(
+            &baseline,
+            &recovered,
+            &format!("optimized workers={workers}"),
+        );
+    }
+}
+
 /// A checkpoint of an idle fleet (empty queue, empty WAL) restores cleanly
 /// and the restored service serves new work identically.
 #[test]

@@ -5,7 +5,7 @@ use analog_accel::analog::host::ParallelTarget;
 use analog_accel::analog::isa::NonlinearFunction;
 use analog_accel::analog::netlist::{InputPort, OutputPort};
 use analog_accel::analog::units::UnitId;
-use analog_accel::analog::{decode_program, encode_program};
+use analog_accel::analog::{decode_program, encode_program, LaneBindings};
 use analog_accel::prelude::*;
 
 /// Executes every Table I instruction at least once and checks each
@@ -70,6 +70,18 @@ fn every_table1_instruction_executes() {
         Instruction::CfgCommit,
         Instruction::ExecStart,
         Instruction::ExecStop,
+        // Control: one batched run (two DAC drives), lane readout, close.
+        Instruction::ExecBatch {
+            lanes: vec![
+                LaneBindings {
+                    dac_values: Some(std::collections::BTreeMap::from([(0, 0.25)])),
+                    int_initial: None,
+                },
+                LaneBindings::default(),
+            ],
+        },
+        Instruction::SelectLane { lane: 1 },
+        Instruction::FinishBatch,
         // Data output + exceptions.
         Instruction::ReadSerial,
         Instruction::AnalogAvg {
@@ -84,6 +96,7 @@ fn every_table1_instruction_executes() {
 
     let mut saw_calibrated = false;
     let mut saw_ran = false;
+    let mut saw_ran_batch = false;
     let mut saw_codes = false;
     let mut saw_analog = false;
     let mut saw_exceptions = false;
@@ -97,6 +110,10 @@ fn every_table1_instruction_executes() {
                 saw_ran = true;
                 // Timeout was 5 ms; the decay settles first.
                 assert!(rep.reached_steady_state || rep.timed_out);
+            }
+            Response::RanBatch(batch) => {
+                saw_ran_batch = true;
+                assert_eq!(batch.reports.len(), 2);
             }
             Response::Codes(codes) => {
                 saw_codes = true;
@@ -114,13 +131,56 @@ fn every_table1_instruction_executes() {
             _ => {}
         }
     }
-    assert!(saw_calibrated && saw_ran && saw_codes && saw_analog && saw_exceptions);
+    assert!(
+        saw_calibrated && saw_ran && saw_ran_batch && saw_codes && saw_analog && saw_exceptions
+    );
 
-    // Each instruction has a distinct Table I mnemonic and a category.
+    // Each instruction has a distinct mnemonic and a category: the fifteen
+    // Table I rows plus the three batch-execution extensions.
     let mut mnemonics: Vec<&str> = program.iter().map(|i| i.mnemonic()).collect();
     mnemonics.sort_unstable();
     mnemonics.dedup();
-    assert_eq!(mnemonics.len(), 15, "all fifteen Table I rows covered");
+    assert_eq!(
+        mnemonics.len(),
+        18,
+        "all fifteen Table I rows plus execBatch/selectLane/finishBatch covered"
+    );
+}
+
+/// The batch-execution instructions survive the SPI wire format — encode,
+/// decode, and a malformed-frame rejection for each failure class.
+#[test]
+fn batch_instructions_round_trip_the_wire() {
+    use analog_accel::analog::decode_program_checked;
+
+    let program = vec![
+        Instruction::ExecBatch {
+            lanes: vec![
+                LaneBindings {
+                    dac_values: Some(std::collections::BTreeMap::from([(0, 0.25), (2, -0.75)])),
+                    int_initial: Some(std::collections::BTreeMap::from([(0, 0.5)])),
+                },
+                LaneBindings::default(),
+            ],
+        },
+        Instruction::SelectLane { lane: 1 },
+        Instruction::FinishBatch,
+    ];
+    let wire = encode_program(&program);
+    assert_eq!(decode_program(&wire).unwrap(), program);
+
+    // Truncating anywhere inside the execBatch frame is rejected.
+    let batch_frame_len = encode_program(&program[..1]).len();
+    for cut in 1..batch_frame_len {
+        assert!(
+            decode_program(&wire[..cut]).is_err(),
+            "cut at {cut} should be rejected"
+        );
+    }
+    // A checked stream with one corrupted lane-flag byte is rejected too.
+    let mut checked = analog_accel::analog::encode_program_checked(&program);
+    checked[3] ^= 0x80;
+    assert!(decode_program_checked(&checked).is_err());
 }
 
 /// The same program survives a round trip through the SPI bitstream.

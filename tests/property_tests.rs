@@ -188,6 +188,312 @@ fn adc_code_round_trip() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Differential fuzzing of the plan-optimization pipeline (DESIGN.md §13):
+// seeded random netlists × random process variation × random fault plans,
+// checked against the reference evaluator and the unoptimized tape.
+// ---------------------------------------------------------------------------
+
+use analog_accel::analog::netlist::{InputPort, OutputPort};
+use analog_accel::analog::units::UnitId;
+use analog_accel::analog::{
+    EvalStrategy, LaneBindings, NonIdealityConfig, PassConfig, Rail, RunReport,
+};
+
+/// What a random case needs to replay itself: the committed chip plus the
+/// indices it actually wired (for generating in-range lane bindings).
+struct RandomCircuit {
+    chip: AnalogChip,
+    n_int: usize,
+    dacs: Vec<usize>,
+}
+
+/// Builds a random committed netlist from `seed` — same seed, same chip,
+/// including the process-variation draw.
+///
+/// Every integrator's output runs through a fanout whose first branch
+/// closes a strictly negative self-feedback loop (gain magnitude ≥ 0.3,
+/// sometimes through a two-multiplier chain for the fusion pass to find);
+/// the second branch randomly taps an ADC, couples weakly (|g| ≤ 0.2,
+/// below every self gain, preserving diagonal dominance) into the next
+/// integrator, drives a dangling multiplier (DCE fodder), or floats (a
+/// sink op). DACs add constant drives. Dominance makes every draw settle,
+/// so the differential checks compare steady states, not timeouts.
+fn random_circuit(seed: u64) -> RandomCircuit {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let n_int = 1 + rng.below(3);
+    let mut config = ChipConfig::ideal();
+    config.nonideal = NonIdealityConfig {
+        offset_std: rng.range(0.0, 2e-3),
+        gain_error_std: rng.range(0.0, 5e-3),
+        readout_noise_std: 0.0,
+        seed: rng.next_u64(),
+    };
+    let mut chip = AnalogChip::new(config);
+    let mut mul = 0usize; // next free multiplier (8 on the prototype)
+    let mut adc = 0usize; // next free ADC (2)
+    let mut dacs = Vec::new();
+    for i in 0..n_int {
+        // One self-loop multiplier must stay free per pending integrator.
+        let reserved = n_int - i - 1;
+        let fan = UnitId::Fanout(i);
+        chip.set_conn(OutputPort::of(UnitId::Integrator(i)), InputPort::of(fan))
+            .unwrap();
+        // Branch 0: the stabilizing self-loop. |g| ≥ 0.5 with DAC drives
+        // ≤ 0.2 and couplings ≤ 0.1 keeps every steady state inside the
+        // ±1 rails, so no draw clips-and-spins until the τ cap.
+        let g = -rng.range(0.5, 0.95);
+        let m0 = mul;
+        mul += 1;
+        chip.set_conn(
+            OutputPort { unit: fan, port: 0 },
+            InputPort::of(UnitId::Multiplier(m0)),
+        )
+        .unwrap();
+        let loop_tail = if mul + reserved < 8 && rng.below(2) == 0 {
+            // Two-multiplier chain with the same net gain: fusion fodder.
+            // g1 ≥ |g| keeps both factors inside the ±1 gain limit.
+            let g1 = rng.range(g.abs().max(0.5), 1.0);
+            let m1 = mul;
+            mul += 1;
+            chip.set_mul_gain(m0, g1).unwrap();
+            chip.set_mul_gain(m1, g / g1).unwrap();
+            chip.set_conn(
+                OutputPort::of(UnitId::Multiplier(m0)),
+                InputPort::of(UnitId::Multiplier(m1)),
+            )
+            .unwrap();
+            m1
+        } else {
+            chip.set_mul_gain(m0, g).unwrap();
+            m0
+        };
+        chip.set_conn(
+            OutputPort::of(UnitId::Multiplier(loop_tail)),
+            InputPort::of(UnitId::Integrator(i)),
+        )
+        .unwrap();
+        // Branch 1: observation, weak coupling, dead code, or nothing.
+        let b1 = OutputPort { unit: fan, port: 1 };
+        match rng.below(4) {
+            0 if adc < 2 => {
+                chip.set_conn(b1, InputPort::of(UnitId::Adc(adc))).unwrap();
+                adc += 1;
+            }
+            1 if n_int > 1 && mul + reserved < 8 => {
+                let m = mul;
+                mul += 1;
+                let sign = if rng.below(2) == 0 { 1.0 } else { -1.0 };
+                chip.set_mul_gain(m, sign * rng.range(0.05, 0.1)).unwrap();
+                chip.set_conn(b1, InputPort::of(UnitId::Multiplier(m)))
+                    .unwrap();
+                chip.set_conn(
+                    OutputPort::of(UnitId::Multiplier(m)),
+                    InputPort::of(UnitId::Integrator((i + 1) % n_int)),
+                )
+                .unwrap();
+            }
+            2 if mul + reserved < 8 => {
+                let m = mul;
+                mul += 1;
+                chip.set_mul_gain(m, rng.range(-1.0, 1.0)).unwrap();
+                chip.set_conn(b1, InputPort::of(UnitId::Multiplier(m)))
+                    .unwrap();
+            }
+            _ => {} // floats: lowers to a sink op
+        }
+        if dacs.len() < 2 && rng.below(2) == 0 {
+            let d = dacs.len();
+            chip.set_dac_constant(d, rng.range(-0.2, 0.2)).unwrap();
+            chip.set_conn(
+                OutputPort::of(UnitId::Dac(d)),
+                InputPort::of(UnitId::Integrator(i)),
+            )
+            .unwrap();
+            dacs.push(d);
+        }
+        chip.set_int_initial(i, rng.range(-0.5, 0.5)).unwrap();
+    }
+    chip.cfg_commit().unwrap();
+    RandomCircuit { chip, n_int, dacs }
+}
+
+/// Fuzz-harness engine options: `max_tau` capped so a pathological draw
+/// times out in milliseconds instead of spinning through the default 10⁶ τ
+/// (a timed-out run still compares fine — every leg runs the same span).
+fn base() -> EngineOptions {
+    EngineOptions {
+        max_tau: 2_000.0,
+        ..EngineOptions::default()
+    }
+}
+
+fn engine(passes: PassConfig) -> EngineOptions {
+    EngineOptions { passes, ..base() }
+}
+
+/// Asserts `opt` is inside the documented tolerance contract of `reference`
+/// (`|opt − ref| ≤ 1e-5·(1 + |ref|)` on integrator values and ADC inputs).
+fn assert_within_contract(opt: &RunReport, reference: &RunReport, label: &str) {
+    for (idx, r) in &reference.integrator_values {
+        let o = opt.integrator_values[idx];
+        assert!(
+            (o - r).abs() <= 1e-5 * (1.0 + r.abs()),
+            "{label} integrator {idx}: optimized {o} vs reference {r}"
+        );
+    }
+    for (idx, r) in &reference.adc_inputs {
+        let o = opt.adc_inputs[idx];
+        assert!(
+            (o - r).abs() <= 1e-5 * (1.0 + r.abs()),
+            "{label} adc {idx}: optimized {o} vs reference {r}"
+        );
+    }
+}
+
+/// Fully-optimized plans on 64 random netlists stay inside the tolerance
+/// contract against the reference evaluator (and every case actually
+/// lowers an optimized plan). Exception-latching draws are exempt per the
+/// contract — but the generator's diagonal dominance keeps those rare.
+#[test]
+fn optimized_plans_match_reference_on_random_netlists() {
+    let mut skipped = 0usize;
+    for case in 0..64u64 {
+        let seed = 0xD1FF_0000 + case;
+        let mut reference = random_circuit(seed);
+        let reference = reference
+            .chip
+            .exec(&EngineOptions {
+                eval_strategy: EvalStrategy::Reference,
+                ..base()
+            })
+            .unwrap();
+        let mut optimized = random_circuit(seed);
+        let report = optimized.chip.exec(&engine(PassConfig::full())).unwrap();
+        assert_eq!(optimized.chip.plan_stats().optimized_lowered, 1);
+        if reference.exceptions.any() {
+            skipped += 1;
+            continue;
+        }
+        assert_within_contract(&report, &reference, &format!("case {case}"));
+    }
+    assert!(skipped <= 8, "{skipped} of 64 draws latched exceptions");
+}
+
+/// `PassConfig::none()` is bit-identical to the default options on every
+/// random netlist — whole-`RunReport` equality, sequential and through
+/// `exec_batch` lanes — and optimized batch lanes obey the same tolerance
+/// contract lane by lane.
+#[test]
+fn none_config_stays_bit_identical_on_random_netlists() {
+    for case in 0..64u64 {
+        let seed = 0xB17E_0000 + case;
+        let mut rng = Rng64::seed_from_u64(!seed);
+        let mut a = random_circuit(seed);
+        let baseline = a.chip.exec(&base()).unwrap();
+        let mut b = random_circuit(seed);
+        let via_none = b.chip.exec(&engine(PassConfig::none())).unwrap();
+        assert_eq!(baseline, via_none, "case {case}: sequential");
+
+        let shape = random_circuit(seed);
+        let lanes: Vec<LaneBindings> = (0..2 + rng.below(3))
+            .map(|_| {
+                let mut lane = LaneBindings::default();
+                if !shape.dacs.is_empty() && rng.below(2) == 0 {
+                    lane.dac_values = Some(
+                        shape
+                            .dacs
+                            .iter()
+                            .map(|&d| (d, rng.range(-0.4, 0.4)))
+                            .collect(),
+                    );
+                }
+                if rng.below(2) == 0 {
+                    lane.int_initial = Some(
+                        (0..shape.n_int)
+                            .map(|i| (i, rng.range(-0.5, 0.5)))
+                            .collect(),
+                    );
+                }
+                lane
+            })
+            .collect();
+        let mut a = random_circuit(seed);
+        let batch_default = a.chip.exec_batch(&lanes, &base()).unwrap();
+        let mut b = random_circuit(seed);
+        let batch_none = b
+            .chip
+            .exec_batch(&lanes, &engine(PassConfig::none()))
+            .unwrap();
+        assert_eq!(batch_default, batch_none, "case {case}: batched");
+
+        let mut o = random_circuit(seed);
+        let batch_opt = o
+            .chip
+            .exec_batch(&lanes, &engine(PassConfig::full()))
+            .unwrap();
+        for (lane, (ro, rr)) in batch_opt
+            .reports
+            .iter()
+            .zip(&batch_default.reports)
+            .enumerate()
+        {
+            if rr.exceptions.any() {
+                continue;
+            }
+            assert_within_contract(ro, rr, &format!("case {case} lane {lane}"));
+        }
+    }
+}
+
+/// An armed fault plan always routes through the bit-exact unoptimized
+/// tape, whatever passes were requested: whole-report equality against a
+/// `PassConfig::none()` run, and no optimized lowering, on 64 random
+/// netlist × fault-plan draws.
+#[test]
+fn fault_plans_stay_bit_exact_on_random_netlists() {
+    for case in 0..64u64 {
+        let seed = 0xFA17_0000 + case;
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x5EED_CAFE);
+        let kind = match rng.below(3) {
+            0 => FaultKind::GainDrift {
+                unit: UnitId::Multiplier(rng.below(2)),
+                magnitude: rng.range(0.01, 0.1),
+                ramp_s: 0.0,
+            },
+            1 => FaultKind::NoiseBurst {
+                unit: UnitId::Integrator(0),
+                amplitude: rng.range(0.005, 0.02),
+            },
+            _ => FaultKind::StuckAtRail {
+                integrator: 0,
+                rail: Rail::Positive,
+            },
+        };
+        let plan = FaultPlan::new(rng.next_u64()).with_event(FaultEvent {
+            kind,
+            start_s: 0.0,
+            duration_s: Some(rng.range(1e-4, 2e-3)),
+        });
+        let run = |passes: PassConfig| {
+            let mut circuit = random_circuit(seed);
+            circuit.chip.inject_fault_plan(plan.clone());
+            let report = circuit.chip.exec(&engine(passes)).unwrap();
+            (report, circuit.chip.plan_stats().optimized_lowered)
+        };
+        let (with_passes, lowered) = run(PassConfig::full());
+        let (without, _) = run(PassConfig::none());
+        assert_eq!(
+            with_passes, without,
+            "case {case}: armed faults must use the bit-exact tape"
+        );
+        assert_eq!(
+            lowered, 0,
+            "case {case}: no optimized lowering under faults"
+        );
+    }
+}
+
 /// Gershgorin bounds always enclose the power-iteration estimate.
 #[test]
 fn gershgorin_encloses_dominant_eigenvalue() {
