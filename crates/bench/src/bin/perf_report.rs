@@ -19,10 +19,15 @@
 //!    two-thread speedup below 1.0× aborts the report on multi-core
 //!    machines and prints a loud warning on single-core ones.
 //! 4. **Fleet serving throughput** — completed solve requests per
-//!    wall-clock second through [`aa_sched::FleetService`], one chip on one
-//!    worker vs. four chips on four workers. Same gating policy as the
-//!    scaling group: the 4-chip configuration must not serve slower than
-//!    the 1-chip one, enforced only when the machine has ≥2 cores.
+//!    wall-clock second through [`aa_sched::FleetService`] with one
+//!    dispatcher shard per chip: one chip on one worker vs. four chips on
+//!    four workers, plus a 1/4/16-chip `fleet_scaling` curve over a
+//!    16-structure stream (each point tagged with `fleet_chips`, the curve
+//!    also exported as `FLEET_SCALING.json`). Same gating policy as the
+//!    scaling group: the 4-chip configurations must not serve slower than
+//!    the 1-chip ones, enforced only when the machine has ≥2 cores; on
+//!    single-core runners the ratios are still recorded and a loud
+//!    NOT-GATED banner replaces the silent skip.
 //! 5. **Resilience** — wall time of one fleet checkpoint + restore cycle
 //!    (`checkpoint_restore_ms`), and a seeded chaos soak whose completed
 //!    request count rides along as `soak_requests_completed`; the soak's
@@ -197,6 +202,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         checkpoint_restore_ms: None,
         batched_speedup: None,
         ir_speedup: None,
+        fleet_chips: None,
     });
     records.push(BenchRecord {
         bench: "engine_microbench".to_string(),
@@ -211,6 +217,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         checkpoint_restore_ms: None,
         batched_speedup: None,
         ir_speedup: None,
+        fleet_chips: None,
     });
 
     // 1b. Plan-cache reuse: a long sequence of solves against one matrix
@@ -262,6 +269,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         checkpoint_restore_ms: None,
         batched_speedup: None,
         ir_speedup: None,
+        fleet_chips: None,
     });
 
     // 1c. Batched multi-RHS execution: one K-lane RK4 sweep against K
@@ -352,6 +360,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             checkpoint_restore_ms: None,
             batched_speedup: Some(ratio),
             ir_speedup: None,
+            fleet_chips: None,
         });
     }
     // The batched-execution gate: a 16-lane sweep must run at least twice
@@ -432,6 +441,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         checkpoint_restore_ms: None,
         batched_speedup: None,
         ir_speedup: None,
+        fleet_chips: None,
     });
     records.push(BenchRecord {
         bench: "engine_ir".to_string(),
@@ -446,6 +456,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         checkpoint_restore_ms: None,
         batched_speedup: None,
         ir_speedup: Some(ir_speedup),
+        fleet_chips: None,
     });
     // Non-gating pass-statistics artifact for the CI upload.
     let pass_rows: Vec<String> = pass_log
@@ -499,6 +510,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         checkpoint_restore_ms: None,
         batched_speedup: None,
         ir_speedup: None,
+        fleet_chips: None,
     });
 
     // 2b. Fig8 digital-CG baseline.
@@ -521,6 +533,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         checkpoint_restore_ms: None,
         batched_speedup: None,
         ir_speedup: None,
+        fleet_chips: None,
     });
 
     // 3. Decomposed-solver scaling across threads. Best-of-N wall time per
@@ -587,6 +600,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             checkpoint_restore_ms: None,
             batched_speedup: None,
             ir_speedup: None,
+            fleet_chips: None,
         });
     }
 
@@ -615,6 +629,12 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
     // structure, so every chip's compiled evaluation plan is lowered once
     // and then replayed from cache, and the RHS coalescer can chunk each
     // chip's round into multi-lane batched sweeps (`batch` lanes wide).
+    // The fleet runs one dispatcher shard per chip: structure-affinity
+    // routing then keeps the single-structure stream on its home shard
+    // instead of round-robining it across all chips — the round-robin
+    // duplicated each chip's one-time per-structure calibration and was
+    // the root cause of the 0.60x scaling inversion this group once
+    // recorded.
     let fleet_l = 4usize;
     let fleet_n = fleet_l * fleet_l;
     let fleet_requests = if quick { 8 } else { 24 };
@@ -630,6 +650,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         for _ in 0..fleet_reps {
             let config = FleetConfig::new(chips)
                 .with_seed(0xBE7C)
+                .with_shards(chips)
                 .with_workers(workers)
                 .with_queue_capacity(requests)
                 .with_max_batch_rhs(batch);
@@ -668,7 +689,8 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         records.push(BenchRecord {
             bench: "fleet_throughput".to_string(),
             config: format!(
-                "poisson 2d n={fleet_n}, chips={chips}, workers={workers}, batch={fleet_batch}"
+                "poisson 2d n={fleet_n}, chips={chips}, shards={chips}, workers={workers}, \
+                 batch={fleet_batch}"
             ),
             wall_ms: wall * 1e3,
             steps_per_sec: None,
@@ -680,21 +702,38 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             checkpoint_restore_ms: None,
             batched_speedup: None,
             ir_speedup: None,
+            fleet_chips: Some(chips as u64),
         });
     }
     // Same policy as the scaling gate: more chips on more workers must not
     // serve slower, but only a genuinely parallel machine can enforce it.
+    // The ratio is recorded in the report either way — a 0.60x inversion
+    // once shipped green because a quiet single-line skip on a 1-core
+    // runner was the only trace of it — so the single-core path now prints
+    // an unmissable banner instead of staying silent when the ratio is
+    // healthy.
     if cores >= 2 {
         assert!(
             fleet_speedup >= 1.0,
             "fleet_throughput regression: 4-chip speedup {fleet_speedup:.3}x < 1.0x \
              on a {cores}-core machine"
         );
-    } else if fleet_speedup < 1.0 {
+    } else {
+        let verdict = if fleet_speedup >= 1.0 {
+            "would pass"
+        } else {
+            "WOULD FAIL"
+        };
+        println!("  ==================== NOT GATED ====================");
         println!(
-            "WARNING: 4-chip speedup {fleet_speedup:.2}x < 1.0x, but only {cores} core is \
-             available (undersubscribed — not gating)"
+            "  fleet_throughput gate (4-chip speedup >= 1.0x) {verdict}: measured \
+             {fleet_speedup:.3}x"
         );
+        println!(
+            "  only {cores} core available — workers time-slice, so the ratio is \
+             recorded in BENCH_engine.json but NOT enforced here"
+        );
+        println!("  ===================================================");
     }
 
     // 4b. RHS coalescing on vs. off: the same four chips driven by ONE
@@ -736,6 +775,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             checkpoint_restore_ms: None,
             batched_speedup: speedup,
             ir_speedup: None,
+            fleet_chips: None,
         });
     }
     // Coalescing must pay for itself: a chip's round served as multi-lane
@@ -752,6 +792,132 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             "WARNING: coalescing on/off {coalesce_speedup:.2}x < 1.0x, but only {cores} core \
              is available (noisy runner — not gating)"
         );
+    }
+
+    // 4c. Fleet scaling curve: 1 / 4 / 16 chips, one dispatcher shard and
+    // one worker per chip, serving a 16-structure stream round-robined
+    // across the requests. The structures are small well-conditioned
+    // tridiagonal systems (dims 4..=7 crossed with four diagonal weights)
+    // so every request is served on the analog path — larger systems tip
+    // into the supervised-recovery ladder and the curve would measure
+    // failure handling, not dispatch. Every structure homes to exactly
+    // one shard at every fleet size, so the fleet-wide one-time
+    // calibration cost is constant along the curve and the points compare
+    // dispatch + solve scaling, not setup duplication. The curve is also
+    // written to FLEET_SCALING.json for the CI artifact upload; the
+    // 4-chip point is gated ≥1.0x on multi-core runners.
+    let scale_requests = if quick { 16 } else { 48 };
+    let scale_structures: Vec<CsrMatrix> = (0..16usize)
+        .map(|s| {
+            let dim = 4 + s % 4;
+            let diag = 2.0 + 0.25 * (s / 4) as f64;
+            CsrMatrix::tridiagonal(dim, -1.0, diag, -1.0).expect("structure")
+        })
+        .collect();
+    println!(
+        "\nfleet scaling curve ({} structures, {scale_requests} requests, best of {fleet_reps})",
+        scale_structures.len()
+    );
+    let mut scale_serial_rps = 0.0;
+    let mut scale_speedup_4 = 0.0;
+    let mut scale_rows: Vec<String> = Vec::new();
+    for chips in [1usize, 4, 16] {
+        let mut wall = f64::INFINITY;
+        for _ in 0..fleet_reps {
+            let config = FleetConfig::new(chips)
+                .with_seed(0x5CA1E)
+                .with_shards(chips)
+                .with_workers(chips)
+                .with_queue_capacity(scale_requests)
+                .with_max_batch_rhs(fleet_batch);
+            let mut fleet =
+                FleetService::new(config, scale_structures.clone()).expect("fleet builds");
+            let start = Instant::now();
+            for i in 0..scale_requests {
+                let s = i % scale_structures.len();
+                let rhs: Vec<f64> = (0..4 + s % 4)
+                    .map(|j| 0.5 + 0.01 * ((i + j) % 5) as f64)
+                    .collect();
+                fleet.submit(SolveRequest::new(s, rhs)).expect("admitted");
+            }
+            let served = fleet.run_until_idle();
+            assert_eq!(served, scale_requests, "every request must be answered");
+            wall = wall.min(start.elapsed().as_secs_f64());
+        }
+        let rps = scale_requests as f64 / wall;
+        if chips == 1 {
+            scale_serial_rps = rps;
+        }
+        let speedup = rps / scale_serial_rps;
+        if chips == 4 {
+            scale_speedup_4 = speedup;
+        }
+        let undersubscribed = chips > cores;
+        println!(
+            "  chips = {chips:2} (shards = workers = chips): {wall:9.4} s  \
+             ({rps:8.1} req/s, speedup {speedup:5.2}x{})",
+            if undersubscribed {
+                ", undersubscribed"
+            } else {
+                ""
+            }
+        );
+        scale_rows.push(format!(
+            "  {{\"chips\": {chips}, \"requests_per_sec\": {rps:.3}, \
+             \"speedup_vs_serial\": {speedup:.4}}}"
+        ));
+        records.push(BenchRecord {
+            bench: "fleet_scaling".to_string(),
+            config: format!(
+                "16 tridiagonal structures dims 4..=7, chips={chips}, shards={chips}, \
+                 workers={chips}, batch={fleet_batch}, requests={scale_requests}"
+            ),
+            wall_ms: wall * 1e3,
+            steps_per_sec: None,
+            requests_per_sec: Some(rps),
+            speedup_vs_serial: Some(speedup),
+            cores: Some(cores as u64),
+            undersubscribed: Some(undersubscribed),
+            soak_requests_completed: None,
+            checkpoint_restore_ms: None,
+            batched_speedup: None,
+            ir_speedup: None,
+            fleet_chips: Some(chips as u64),
+        });
+    }
+    std::fs::write(
+        "FLEET_SCALING.json",
+        format!("[\n{}\n]\n", scale_rows.join(",\n")),
+    )
+    .expect("write FLEET_SCALING.json");
+    println!("  wrote FLEET_SCALING.json (3 curve points)");
+    // The scaling-inversion gate: four chips on four shards and four
+    // workers must serve the mixed-structure stream at least as fast as
+    // one chip. Same policy as the throughput gate above — recorded
+    // always, enforced only where the machine can actually run the shards
+    // side by side.
+    if cores >= 2 {
+        assert!(
+            scale_speedup_4 >= 1.0,
+            "fleet_scaling regression: 4-chip speedup {scale_speedup_4:.3}x < 1.0x \
+             on a {cores}-core machine"
+        );
+    } else {
+        let verdict = if scale_speedup_4 >= 1.0 {
+            "would pass"
+        } else {
+            "WOULD FAIL"
+        };
+        println!("  ==================== NOT GATED ====================");
+        println!(
+            "  fleet_scaling gate (4-chip speedup >= 1.0x) {verdict}: measured \
+             {scale_speedup_4:.3}x"
+        );
+        println!(
+            "  only {cores} core available — the curve is recorded in \
+             BENCH_engine.json / FLEET_SCALING.json but NOT enforced here"
+        );
+        println!("  ===================================================");
     }
 
     // 5a. Checkpoint + restore latency: load a fleet mid-serve, freeze it,
@@ -795,6 +961,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         checkpoint_restore_ms: Some(ckpt_ms),
         batched_speedup: None,
         ir_speedup: None,
+        fleet_chips: None,
     });
 
     // 5b. Chaos soak: the full deterministic failure gauntlet (chip deaths,
@@ -833,6 +1000,7 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
         checkpoint_restore_ms: None,
         batched_speedup: None,
         ir_speedup: None,
+        fleet_chips: None,
     });
 
     records

@@ -142,6 +142,9 @@ pub struct BenchRecord {
     /// Sequential steps/sec ratio of the pass-optimized plan against the
     /// unoptimized tape on the same problem, where applicable.
     pub ir_speedup: Option<f64>,
+    /// Fleet size of a `fleet_scaling` curve point (chips = shards =
+    /// workers at that point), where applicable.
+    pub fleet_chips: Option<u64>,
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -180,7 +183,8 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
                 "  {{\"bench\": \"{}\", \"config\": \"{}\", \"wall_ms\": {}, \
                  \"steps_per_sec\": {}, \"requests_per_sec\": {}, \"speedup_vs_serial\": {}, \
                  \"cores\": {}, \"undersubscribed\": {}, \"soak_requests_completed\": {}, \
-                 \"checkpoint_restore_ms\": {}, \"batched_speedup\": {},                  \"ir_speedup\": {}}}",
+                 \"checkpoint_restore_ms\": {}, \"batched_speedup\": {}, \
+                 \"ir_speedup\": {}, \"fleet_chips\": {}}}",
                 json_escape(&r.bench),
                 json_escape(&r.config),
                 json_number(r.wall_ms),
@@ -196,6 +200,7 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
                     .map_or("null".to_string(), json_number),
                 r.batched_speedup.map_or("null".to_string(), json_number),
                 r.ir_speedup.map_or("null".to_string(), json_number),
+                r.fleet_chips.map_or("null".to_string(), |c| c.to_string()),
             )
         })
         .collect();
@@ -203,7 +208,7 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
 }
 
 /// The exact key set of a `BENCH_engine.json` record.
-const BENCH_KEYS: [&str; 12] = [
+const BENCH_KEYS: [&str; 13] = [
     "bench",
     "config",
     "wall_ms",
@@ -216,6 +221,7 @@ const BENCH_KEYS: [&str; 12] = [
     "checkpoint_restore_ms",
     "batched_speedup",
     "ir_speedup",
+    "fleet_chips",
 ];
 
 /// Schema check for a `BENCH_engine.json` document, run before the file is
@@ -224,7 +230,8 @@ const BENCH_KEYS: [&str; 12] = [
 /// records carrying exactly [`BENCH_KEYS`], with non-empty string `bench`,
 /// string `config`, finite non-negative `wall_ms`, `steps_per_sec` /
 /// `requests_per_sec` / `speedup_vs_serial` / `checkpoint_restore_ms` /
-/// `batched_speedup` / `ir_speedup` each `null` or a non-negative number, `cores` `null` or a positive integer,
+/// `batched_speedup` / `ir_speedup` each `null` or a non-negative number,
+/// `cores` and `fleet_chips` each `null` or a positive integer,
 /// `soak_requests_completed` `null` or a non-negative integer, and
 /// `undersubscribed` `null` or a boolean.
 pub fn validate_bench_json(text: &str) -> Result<(), String> {
@@ -286,14 +293,17 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 ));
             }
         }
-        let cores = row.get("cores").expect("presence checked above");
-        if !cores.is_null() {
-            let num = cores
+        for key in ["cores", "fleet_chips"] {
+            let value = row.get(key).expect("presence checked above");
+            if value.is_null() {
+                continue;
+            }
+            let num = value
                 .as_f64()
-                .ok_or_else(|| format!("record {i}: \"cores\" must be null or a number"))?;
+                .ok_or_else(|| format!("record {i}: {key:?} must be null or a number"))?;
             if !(num.fract() == 0.0 && num >= 1.0) {
                 return Err(format!(
-                    "record {i}: \"cores\" must be a positive integer, got {num}"
+                    "record {i}: {key:?} must be a positive integer, got {num}"
                 ));
             }
         }
@@ -366,6 +376,7 @@ mod tests {
                 checkpoint_restore_ms: None,
                 batched_speedup: None,
                 ir_speedup: None,
+                fleet_chips: None,
             },
             BenchRecord {
                 bench: "decomposed_scaling".to_string(),
@@ -380,6 +391,7 @@ mod tests {
                 checkpoint_restore_ms: Some(1.75),
                 batched_speedup: Some(3.5),
                 ir_speedup: Some(1.3),
+                fleet_chips: Some(4),
             },
         ];
         let json = records_to_json(&records);
@@ -404,6 +416,8 @@ mod tests {
         assert!(json.contains("\"batched_speedup\": null"));
         assert!(json.contains("\"ir_speedup\": 1.3"));
         assert!(json.contains("\"ir_speedup\": null"));
+        assert!(json.contains("\"fleet_chips\": 4"));
+        assert!(json.contains("\"fleet_chips\": null"));
         // Exactly one comma-separated row pair.
         assert_eq!(json.matches("{\"bench\"").count(), 2);
     }
@@ -423,6 +437,7 @@ mod tests {
             checkpoint_restore_ms: Some(0.5),
             batched_speedup: Some(1.0),
             ir_speedup: Some(1.2),
+            fleet_chips: Some(1),
         }];
         validate_bench_json(&records_to_json(&records)).expect("valid document");
     }
@@ -435,7 +450,7 @@ mod tests {
             "requests_per_sec": null, "speedup_vs_serial": null, "cores": null,
             "undersubscribed": null, "soak_requests_completed": null,
             "checkpoint_restore_ms": null, "batched_speedup": null,
-            "ir_speedup": null}]"#;
+            "ir_speedup": null, "fleet_chips": null}]"#;
         let needle = match key {
             "bench" => r#""bench": "x""#.to_string(),
             "config" => r#""config": "c""#.to_string(),
@@ -504,6 +519,11 @@ mod tests {
         assert!(validate_bench_json(&doc_with("ir_speedup", "-0.5")).is_err());
         assert!(validate_bench_json(&doc_with("ir_speedup", "\"fast\"")).is_err());
         assert!(validate_bench_json(&doc_with("ir_speedup", "1.15")).is_ok());
+        // Fleet size must be a positive integer when present.
+        assert!(validate_bench_json(&doc_with("fleet_chips", "0")).is_err());
+        assert!(validate_bench_json(&doc_with("fleet_chips", "1.5")).is_err());
+        assert!(validate_bench_json(&doc_with("fleet_chips", "\"four\"")).is_err());
+        assert!(validate_bench_json(&doc_with("fleet_chips", "16")).is_ok());
     }
 
     #[test]

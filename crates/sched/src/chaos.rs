@@ -40,6 +40,14 @@ pub struct ChaosConfig {
     pub seed: u64,
     /// Fleet size.
     pub chips: usize,
+    /// Dispatcher groups ([`FleetConfig::shards`]); `1` soaks the
+    /// unsharded dispatcher.
+    pub shards: usize,
+    /// Distinct tenant ids the workload cycles through; `0` leaves every
+    /// request on the default tenant and disables quota enforcement.
+    /// With `N > 0` tenants, tenant `t` gets weight `t + 1` so the soak
+    /// exercises both over-quota refusals and weighted headroom.
+    pub tenants: u32,
     /// Target number of *accepted* requests before the harness stops
     /// submitting and drains.
     pub requests: usize,
@@ -83,6 +91,8 @@ impl ChaosConfig {
         ChaosConfig {
             seed,
             chips: 4,
+            shards: 1,
+            tenants: 0,
             requests: 500,
             queue_capacity: 32,
             brownout_low_watermark: 24,
@@ -120,6 +130,10 @@ pub struct ChaosReport {
     pub rejected_brownout: usize,
     /// Infeasible-deadline refusals.
     pub rejected_deadline: usize,
+    /// Fair-share quota refusals.
+    pub rejected_quota: usize,
+    /// Admissions spilled off their saturated home shard.
+    pub spills: usize,
     /// Dispatch rounds run by the surviving service.
     pub rounds: u64,
     /// Crash/restore cycles executed.
@@ -162,7 +176,7 @@ impl ChaosReport {
             concat!(
                 "{{\n",
                 "  \"format\": \"aa-sched-chaos-soak\",\n",
-                "  \"version\": 1,\n",
+                "  \"version\": 2,\n",
                 "  \"seed\": {},\n",
                 "  \"passed\": {},\n",
                 "  \"ticks\": {},\n",
@@ -172,6 +186,8 @@ impl ChaosReport {
                 "  \"rejected_queue_full\": {},\n",
                 "  \"rejected_brownout\": {},\n",
                 "  \"rejected_deadline\": {},\n",
+                "  \"rejected_quota\": {},\n",
+                "  \"spills\": {},\n",
                 "  \"rounds\": {},\n",
                 "  \"crashes\": {},\n",
                 "  \"injected_deaths\": {},\n",
@@ -194,6 +210,8 @@ impl ChaosReport {
             self.rejected_queue_full,
             self.rejected_brownout,
             self.rejected_deadline,
+            self.rejected_quota,
+            self.spills,
             self.rounds,
             self.crashes,
             self.injected_deaths,
@@ -231,9 +249,13 @@ pub fn run_soak(config: &ChaosConfig) -> Result<ChaosReport, SchedError> {
     ];
     let mut fleet_cfg = FleetConfig::new(config.chips)
         .with_seed(config.seed)
+        .with_shards(config.shards.max(1))
         .with_queue_capacity(config.queue_capacity)
         .with_brownout(config.brownout_low_watermark)
         .with_max_batch_rhs(config.max_batch_rhs.max(1));
+    for tenant in 0..config.tenants {
+        fleet_cfg = fleet_cfg.with_tenant_weight(tenant, tenant + 1);
+    }
     fleet_cfg.health.retire_after_quarantines = Some(config.retire_after_quarantines);
 
     let mut service = FleetService::new(fleet_cfg.clone(), structures.clone())?;
@@ -311,6 +333,9 @@ pub fn run_soak(config: &ChaosConfig) -> Result<ChaosReport, SchedError> {
                         1 => Priority::Normal,
                         _ => Priority::Low,
                     });
+                if config.tenants > 0 {
+                    request = request.with_tenant(rng.below(config.tenants as usize) as u32);
+                }
                 if storm {
                     // Tight deadlines around the estimate: some admit and
                     // fall back at solve time, some are refused up front.
@@ -343,6 +368,9 @@ pub fn run_soak(config: &ChaosConfig) -> Result<ChaosReport, SchedError> {
                             report.rejected_queue_full += 1
                         }
                         crate::request::Rejected::Brownout { .. } => report.rejected_brownout += 1,
+                        crate::request::Rejected::QuotaExceeded { .. } => {
+                            report.rejected_quota += 1
+                        }
                         crate::request::Rejected::DeadlineInfeasible { .. } => {
                             report.rejected_deadline += 1;
                             continue; // retrying verbatim can never succeed
@@ -409,8 +437,22 @@ pub fn run_soak(config: &ChaosConfig) -> Result<ChaosReport, SchedError> {
             ScheduleEvent::Requeued { .. } => report.requeues += 1,
             ScheduleEvent::Quarantined { .. } => report.quarantines += 1,
             ScheduleEvent::Retired { .. } => report.retirements += 1,
+            ScheduleEvent::Spilled { .. } => report.spills += 1,
             _ => {}
         }
+    }
+    // Shard-log consistency: every shard-attributed event in the global
+    // log appears in exactly one shard's own log, so the per-shard
+    // completion tallies must sum to the fleet-wide count.
+    let shard_completed: usize = (0..service.shard_count())
+        .map(|s| service.shard_log(s).completed())
+        .sum();
+    if shard_completed != service.log().completed() {
+        report.violations.push(format!(
+            "shard logs tally {} completions, fleet-wide log has {}",
+            shard_completed,
+            service.log().completed()
+        ));
     }
     for (chip, _) in &config.kills {
         let state = service.health()[*chip].state;
@@ -484,6 +526,31 @@ mod tests {
         assert_eq!(a.to_json(), b.to_json(), "batched soak replays from seed");
         assert!(a.requeues > 0, "mid-batch failures bounced columns");
         assert!(a.completed >= a.accepted);
+    }
+
+    #[test]
+    fn sharded_tenant_soak_passes_with_fair_share_and_spill() {
+        // Two dispatcher groups over four chips, three weighted tenants:
+        // the soak must hold exactly-once and shard-log consistency while
+        // quota refusals, spills, kills, and crash/restore all fire.
+        let cfg = ChaosConfig {
+            requests: 40,
+            shards: 2,
+            tenants: 3,
+            queue_capacity: 8,
+            brownout_low_watermark: 6,
+            kills: vec![(0, 10), (1, 16), (2, 22), (3, 28)],
+            max_ticks: 800,
+            ..ChaosConfig::standard(37)
+        };
+        let a = run_soak(&cfg).unwrap();
+        let b = run_soak(&cfg).unwrap();
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.to_json(), b.to_json(), "sharded soak replays from seed");
+        assert!(a.accepted >= 40);
+        assert!(a.completed >= a.accepted);
+        assert!(a.rejected_quota > 0, "fair-share quotas fired");
+        assert!(a.crashes > 0, "crash/restore exercised under sharding");
     }
 
     #[test]

@@ -43,6 +43,29 @@ pub struct QueuedRequest {
     pub priority: Priority,
     /// Its analog-deadline budget, if any.
     pub deadline_s: Option<f64>,
+    /// The tenant it was admitted under (fair-share accounting).
+    pub tenant: u32,
+}
+
+/// One dispatcher group's slice of a [`FleetCheckpoint`] (format v2):
+/// its chip range, pending queue, per-shard schedule log, and round
+/// counter. Chip slot states and health records stay in the checkpoint's
+/// flat global-order vectors; a shard's slice is recovered from its
+/// `chip_offset`/`chips` range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCheckpoint {
+    /// The shard index.
+    pub shard: usize,
+    /// Global index of the shard's first chip.
+    pub chip_offset: usize,
+    /// Number of chips the shard owns.
+    pub chips: usize,
+    /// The shard's admitted requests still waiting for dispatch.
+    pub queue: Vec<QueuedRequest>,
+    /// The shard's own schedule log (its slice of the fleet-wide log).
+    pub log: ScheduleLog,
+    /// Dispatch rounds this shard has run.
+    pub round: u64,
 }
 
 /// A consistent snapshot of the whole fleet service, taken between
@@ -62,22 +85,27 @@ pub struct FleetCheckpoint {
     pub chips: Vec<SlotCheckpoint>,
     /// Dispatcher-side health records, in chip order.
     pub health: Vec<ChipHealth>,
-    /// Admitted requests still waiting for dispatch.
-    pub queue: Vec<QueuedRequest>,
+    /// Per-shard sections (format v2): each dispatcher group's queue,
+    /// log, and round counter, in shard order. An unsharded fleet has
+    /// exactly one section.
+    pub shards: Vec<ShardCheckpoint>,
     /// Every settled completion — the exactly-once record: a restored
     /// fleet never re-answers these.
     pub completions: Vec<Completion>,
-    /// The schedule log up to the snapshot point.
+    /// The fleet-wide schedule log up to the snapshot point.
     pub log: ScheduleLog,
     /// The next ticket id to issue.
     pub next_ticket: u64,
-    /// Dispatch rounds run so far.
+    /// Fleet-level dispatch rounds run so far.
     pub round: u64,
 }
 
 impl FleetCheckpoint {
-    /// Current checkpoint layout version.
-    pub const FORMAT_VERSION: u32 = 1;
+    /// Current checkpoint layout version. v2 replaced the flat fleet-wide
+    /// queue with per-shard sections ([`ShardCheckpoint`]); v1 snapshots
+    /// are refused at restore with a typed
+    /// [`CheckpointMismatch`](crate::SchedError::CheckpointMismatch).
+    pub const FORMAT_VERSION: u32 = 2;
 }
 
 /// One external input to the fleet service, as recorded in the WAL.

@@ -94,6 +94,32 @@ pub struct FleetConfig {
     /// [`reseeded`](FaultPlan::reseeded) with the chip's fleet seed so
     /// copies of one plan draw independent noise on different chips.
     pub fault_plans: Vec<(usize, FaultPlan)>,
+    /// Independent dispatcher groups. Chips are split into `shards`
+    /// contiguous disjoint ranges (the [`aa_linalg::chunk_lengths`]
+    /// split); each shard owns its own bounded priority queue, round
+    /// counter, schedule log, and worker pool, so dispatch no longer
+    /// serializes across the whole fleet. Submissions route to the
+    /// structure's home shard (`structure % shards`) while it has queue
+    /// headroom — same-structure requests keep landing where the plan
+    /// caches are warm — and spill deterministically otherwise. `1`
+    /// (the default) reproduces the unsharded service exactly.
+    pub shards: usize,
+    /// Queue depth at which a shard counts as saturated for routing: a
+    /// submission whose home shard is at or above it is placed on the
+    /// first shard below it, scanning cyclically from the home. `None`
+    /// (the default) saturates only at `queue_capacity`, i.e. requests
+    /// spill only when their home shard's queue is full.
+    pub spill_watermark: Option<usize>,
+    /// Weighted fair-share admission quotas: `(tenant, weight)`. When
+    /// non-empty, tenant `t` may occupy at most
+    /// `max(1, total_capacity · w_t / (Σ configured weights + 1))` queue
+    /// slots across all shards (`total_capacity` = `queue_capacity ×
+    /// shards`); tenants with no configured weight collectively share one
+    /// default bucket of weight 1. Admissions beyond the share are
+    /// refused with a typed
+    /// [`Rejected::QuotaExceeded`](crate::Rejected::QuotaExceeded)
+    /// verdict. Empty (the default) disables fair-share admission.
+    pub tenant_weights: Vec<(u32, u32)>,
 }
 
 impl FleetConfig {
@@ -113,6 +139,9 @@ impl FleetConfig {
             fallback_tolerance: 1e-8,
             brownout_low_watermark: None,
             fault_plans: Vec::new(),
+            shards: 1,
+            spill_watermark: None,
+            tenant_weights: Vec::new(),
         }
     }
 
@@ -155,6 +184,28 @@ impl FleetConfig {
         self
     }
 
+    /// Splits the fleet into `shards` independent dispatcher groups (must
+    /// be between 1 and the chip count).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard saturation depth at which routing spills past
+    /// the structure's home shard.
+    pub fn with_spill_watermark(mut self, watermark: usize) -> Self {
+        self.spill_watermark = Some(watermark);
+        self
+    }
+
+    /// Grants one tenant a fair-share weight (enables weighted quota
+    /// admission for every tenant; see
+    /// [`tenant_weights`](Self::tenant_weights)).
+    pub fn with_tenant_weight(mut self, tenant: u32, weight: u32) -> Self {
+        self.tenant_weights.push((tenant, weight));
+        self
+    }
+
     /// The deterministic per-chip seed: `base_seed` mixed with the index.
     pub fn chip_seed(&self, chip: usize) -> u64 {
         mix64(self.base_seed ^ mix64(chip as u64 + 1))
@@ -168,6 +219,40 @@ impl FleetConfig {
             self.workers
         };
         w.max(1)
+    }
+
+    /// The contiguous `(chip_offset, chip_count)` range each shard owns:
+    /// the [`aa_linalg::chunk_lengths`] split of the chips over the
+    /// shards, in shard order.
+    pub fn shard_chip_ranges(&self) -> Vec<(usize, usize)> {
+        let lens = aa_linalg::chunk_lengths(self.chips, self.shards.max(1));
+        let mut offset = 0;
+        lens.into_iter()
+            .map(|len| {
+                let range = (offset, len);
+                offset += len;
+                range
+            })
+            .collect()
+    }
+
+    /// Worker states per shard: the effective workers split over the
+    /// shards by the same contiguous rule as the chips, floored at one —
+    /// every shard always has at least one worker state (a one-state pool
+    /// runs on the dispatcher thread). The schedule never depends on
+    /// these counts, only wall-clock does.
+    pub fn shard_worker_counts(&self) -> Vec<usize> {
+        aa_linalg::chunk_lengths(self.effective_workers(), self.shards.max(1))
+            .into_iter()
+            .map(|w| w.max(1))
+            .collect()
+    }
+
+    /// The shard a structure's traffic homes to while it has headroom:
+    /// `structure % shards`. Stable across rounds, so one structure's
+    /// plan and γ-calibration caches warm exactly one shard's chips.
+    pub fn home_shard(&self, structure: usize) -> usize {
+        structure % self.shards.max(1)
     }
 }
 
@@ -686,20 +771,29 @@ pub(crate) struct WorkerState {
 }
 
 impl WorkerState {
-    /// Partitions `chips` slots over `workers` states, mirroring
-    /// [`aa_linalg::chunk_lengths`].
-    pub fn partition(config: &FleetConfig, structures: &Arc<Vec<CsrMatrix>>) -> Vec<WorkerState> {
-        let lens = aa_linalg::chunk_lengths(config.chips, config.effective_workers());
-        let mut offset = 0;
+    /// Partitions one shard's chip range — global chips `chip_offset ..
+    /// chip_offset + chips` — over `workers` states, mirroring
+    /// [`aa_linalg::chunk_lengths`]. The state offsets are **shard-local**
+    /// (a shard's pool is submitted one command per shard chip), while
+    /// the slots keep their global chip indices for seeding.
+    pub fn partition_range(
+        config: &FleetConfig,
+        structures: &Arc<Vec<CsrMatrix>>,
+        chip_offset: usize,
+        chips: usize,
+        workers: usize,
+    ) -> Vec<WorkerState> {
+        let lens = aa_linalg::chunk_lengths(chips, workers.max(1));
+        let mut local = 0;
         lens.iter()
             .map(|&len| {
                 let state = WorkerState {
-                    offset,
-                    slots: (offset..offset + len)
-                        .map(|i| ChipSlot::new(config, i, Arc::clone(structures)))
+                    offset: local,
+                    slots: (local..local + len)
+                        .map(|i| ChipSlot::new(config, chip_offset + i, Arc::clone(structures)))
                         .collect(),
                 };
-                offset += len;
+                local += len;
                 state
             })
             .collect()
@@ -748,7 +842,7 @@ mod tests {
         let structures = Arc::new(vec![CsrMatrix::tridiagonal(3, -1.0, 2.0, -1.0).unwrap()]);
         for workers in [1usize, 2, 3, 4, 8] {
             let cfg = FleetConfig::new(5).with_workers(workers);
-            let states = WorkerState::partition(&cfg, &structures);
+            let states = WorkerState::partition_range(&cfg, &structures, 0, cfg.chips, workers);
             assert_eq!(states.len(), workers);
             let mut next = 0;
             for state in &states {
@@ -760,6 +854,17 @@ mod tests {
             }
             assert_eq!(next, 5, "workers={workers}");
         }
+        // A sharded split: global chip indices offset by the range start,
+        // worker offsets stay shard-local.
+        let states = WorkerState::partition_range(&FleetConfig::new(6), &structures, 2, 3, 2);
+        assert_eq!(states.len(), 2);
+        assert_eq!(states[0].offset, 0);
+        assert_eq!(states[1].offset, 2);
+        let indices: Vec<usize> = states
+            .iter()
+            .flat_map(|s| s.slots.iter().map(|slot| slot.index))
+            .collect();
+        assert_eq!(indices, vec![2, 3, 4]);
     }
 
     #[test]

@@ -8,10 +8,20 @@
 //!
 //! The moving parts:
 //!
+//! * **Sharded dispatch** — the fleet splits into independent dispatcher
+//!   groups ([`FleetConfig::shards`]): each shard owns a disjoint chip
+//!   range, its own bounded queue, worker pool, round counter, and
+//!   [`ScheduleLog`], so dispatch stops serializing across the fleet.
+//!   Submissions route by structure affinity (`structure % shards`) with
+//!   a deterministic cyclic spill rule when the home shard saturates
+//!   ([`ScheduleEvent::Spilled`]).
 //! * **Admission control** — [`FleetService::submit`] validates each
 //!   [`SolveRequest`] and applies backpressure with typed [`Rejected`]
 //!   verdicts (`QueueFull`, `DeadlineInfeasible`, …) instead of panicking
-//!   or queueing unboundedly.
+//!   or queueing unboundedly. Per-tenant weighted fair-share quotas
+//!   ([`FleetConfig::tenant_weights`]) refuse a tenant over its share of
+//!   the fleet-wide capacity ([`Rejected::QuotaExceeded`]) before any
+//!   queue-occupancy check.
 //! * **Deadlines** — a request may carry a budget of *simulated analog
 //!   seconds*. Budgets below the structure's predicted solve time
 //!   ([`aa_solver::estimate`]) are refused up front; budgets exceeded at
@@ -35,7 +45,9 @@
 //!   log (the paper's Fig. 9 energy/solve metric, per class).
 
 //! * **Crash recovery** — [`FleetService::checkpoint`] freezes the whole
-//!   fleet (per-chip RNG clocks, health, queue, plan-cache state) and the
+//!   fleet (per-chip RNG clocks, health, per-shard queues / logs / round
+//!   counters, plan-cache state) into a versioned [`FleetCheckpoint`]
+//!   with per-shard sections ([`ShardCheckpoint`], format v2) and the
 //!   [`AdmissionWal`] records every external input since; restoring the
 //!   pair ([`FleetService::restore`]) drains to bit-identical logs,
 //!   solutions, and masked traces versus a fleet that never crashed.
@@ -54,7 +66,7 @@ mod log;
 mod request;
 mod service;
 
-pub use checkpoint::{AdmissionWal, FleetCheckpoint, QueuedRequest, WalOp};
+pub use checkpoint::{AdmissionWal, FleetCheckpoint, QueuedRequest, ShardCheckpoint, WalOp};
 pub use fleet::{ChipFailure, ChipHealth, ChipState, FleetConfig, HealthConfig, SlotCheckpoint};
 pub use log::{ScheduleEvent, ScheduleLog};
 pub use request::{

@@ -30,6 +30,18 @@ pub enum ScheduleEvent {
         /// Why it was refused.
         reason: &'static str,
     },
+    /// An admitted request's structure-affinity home shard was saturated,
+    /// so the router placed it on another shard (the first unsaturated
+    /// one, scanning cyclically from the home). Recorded right after the
+    /// request's `Admitted` event.
+    Spilled {
+        /// The rerouted ticket.
+        ticket: u64,
+        /// The shard the structure's affinity pointed at.
+        from_shard: usize,
+        /// The shard that actually enqueued it.
+        to_shard: usize,
+    },
     /// A batch of tickets was placed on a chip for one round.
     Dispatched {
         /// The dispatch round.
@@ -121,6 +133,11 @@ impl ScheduleEvent {
                 priority,
                 reason,
             } => format!("reject s{structure} {} {reason}", priority.label()),
+            ScheduleEvent::Spilled {
+                ticket,
+                from_shard,
+                to_shard,
+            } => format!("spill t{ticket} shard{from_shard}->shard{to_shard}"),
             ScheduleEvent::Dispatched {
                 round,
                 chip,
@@ -245,6 +262,11 @@ mod tests {
                     round: 1,
                     columns: 4,
                 },
+                ScheduleEvent::Spilled {
+                    ticket: 5,
+                    from_shard: 0,
+                    to_shard: 1,
+                },
             ],
             ..ScheduleLog::default()
         };
@@ -254,6 +276,7 @@ mod tests {
         assert_eq!(lines[2], "r1 done t0 c2 analog analog=0.125");
         assert_eq!(lines[3], "r1 quarantine c2");
         assert_eq!(lines[4], "r1 requeue t3 c2 columns=4");
+        assert_eq!(lines[5], "spill t5 shard0->shard1");
         assert_eq!(log.quarantine_events().count(), 1);
     }
 

@@ -59,16 +59,23 @@ pub struct SolveRequest {
     /// [`CompletionPath::DeadlineFallback`]); a request whose budget is
     /// below the structure's predicted solve time is rejected at admission.
     pub deadline_s: Option<f64>,
+    /// Tenant id for fair-share admission. When the fleet configures
+    /// [`tenant_weights`](crate::FleetConfig::tenant_weights), each
+    /// tenant's queued footprint is capped at its weighted share of the
+    /// fleet's total queue capacity; tenants with no configured weight
+    /// share one default-weight bucket. `0` is just another tenant id.
+    pub tenant: u32,
 }
 
 impl SolveRequest {
-    /// A normal-priority request with no deadline.
+    /// A normal-priority request with no deadline, from tenant `0`.
     pub fn new(structure: usize, rhs: Vec<f64>) -> Self {
         SolveRequest {
             structure,
             rhs,
             priority: Priority::Normal,
             deadline_s: None,
+            tenant: 0,
         }
     }
 
@@ -81,6 +88,12 @@ impl SolveRequest {
     /// Sets the analog-deadline budget, in simulated chip-lifetime seconds.
     pub fn with_deadline_s(mut self, deadline_s: f64) -> Self {
         self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// Sets the tenant id for fair-share admission.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -103,6 +116,20 @@ pub enum Rejected {
         /// Predicted seconds until the backlog drains enough to retry —
         /// the queued work's estimated solve time divided over the chips
         /// currently in rotation. A typed hint, not a guarantee.
+        retry_after_s: f64,
+    },
+    /// The tenant's weighted fair-share of the fleet's queue capacity is
+    /// already occupied by its own queued requests. Other tenants are
+    /// unaffected; retry once some of this tenant's work drains.
+    QuotaExceeded {
+        /// The tenant that hit its share.
+        tenant: u32,
+        /// The tenant's queued requests across all shards.
+        in_queue: usize,
+        /// Its weighted quota (queue slots).
+        quota: usize,
+        /// Predicted seconds until one of the tenant's queued requests
+        /// drains and frees a slot. A typed hint, not a guarantee.
         retry_after_s: f64,
     },
     /// Overload brownout: the queue crossed the configured watermark, so
@@ -141,6 +168,7 @@ impl Rejected {
     pub fn label(&self) -> &'static str {
         match self {
             Rejected::QueueFull { .. } => "queue_full",
+            Rejected::QuotaExceeded { .. } => "quota_exceeded",
             Rejected::Brownout { .. } => "brownout",
             Rejected::DeadlineInfeasible { .. } => "deadline_infeasible",
             Rejected::UnknownStructure { .. } => "unknown_structure",
@@ -154,6 +182,7 @@ impl Rejected {
     pub fn retry_after_s(&self) -> Option<f64> {
         match self {
             Rejected::QueueFull { retry_after_s, .. }
+            | Rejected::QuotaExceeded { retry_after_s, .. }
             | Rejected::Brownout { retry_after_s, .. } => Some(*retry_after_s),
             _ => None,
         }
@@ -172,6 +201,16 @@ impl std::fmt::Display for Rejected {
                     "request queue is full ({capacity} entries), retry after {retry_after_s} s"
                 )
             }
+            Rejected::QuotaExceeded {
+                tenant,
+                in_queue,
+                quota,
+                retry_after_s,
+            } => write!(
+                f,
+                "tenant {tenant} has {in_queue} queued requests, quota is {quota}, \
+                 retry after {retry_after_s} s"
+            ),
             Rejected::Brownout {
                 queue_depth,
                 retry_after_s,
@@ -335,10 +374,13 @@ mod tests {
     fn request_builder_sets_fields() {
         let r = SolveRequest::new(2, vec![1.0, 2.0])
             .with_priority(Priority::Low)
-            .with_deadline_s(0.5);
+            .with_deadline_s(0.5)
+            .with_tenant(7);
         assert_eq!(r.structure, 2);
         assert_eq!(r.priority, Priority::Low);
         assert_eq!(r.deadline_s, Some(0.5));
+        assert_eq!(r.tenant, 7);
+        assert_eq!(SolveRequest::new(0, vec![]).tenant, 0);
     }
 
     #[test]
@@ -364,6 +406,15 @@ mod tests {
         assert_eq!(d.label(), "deadline_infeasible");
         assert!(d.to_string().contains("0.2"));
         assert_eq!(d.retry_after_s(), None);
+        let q = Rejected::QuotaExceeded {
+            tenant: 3,
+            in_queue: 5,
+            quota: 4,
+            retry_after_s: 2.5,
+        };
+        assert_eq!(q.label(), "quota_exceeded");
+        assert!(q.to_string().contains("tenant 3"));
+        assert_eq!(q.retry_after_s(), Some(2.5));
     }
 
     #[test]

@@ -41,6 +41,30 @@ pub fn predicted_solve_time_s(
     Ok(precision.ln() / (design.omega() * lambda_scaled))
 }
 
+/// Predicted analog time **per request** when up to `columns` same-structure
+/// right-hand sides are coalesced into one batched sweep.
+///
+/// Batched columns advance in lockstep and complete together: one K-lane
+/// sweep settles in the same wall time as a single solve (the settle rate
+/// is a property of the matrix, not of the lane count), so a request
+/// served inside a K-wide sweep is billed `1/K` of the sweep. Judging a
+/// deadline against the sequential [`predicted_solve_time_s`] therefore
+/// over-prices a coalescing fleet by up to the batch width — this is the
+/// estimate admission control should compare deadlines against when
+/// multi-RHS coalescing is enabled. `columns` is floored at 1, which
+/// reproduces the sequential estimate exactly.
+///
+/// # Errors
+///
+/// As [`predicted_solve_time_s`].
+pub fn predicted_batch_solve_time_s(
+    a: &CsrMatrix,
+    design: &AcceleratorDesign,
+    columns: usize,
+) -> Result<f64, SolverError> {
+    Ok(predicted_solve_time_s(a, design)? / columns.max(1) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +107,22 @@ mod tests {
         assert!(
             ratio > 0.3 && ratio < 3.0,
             "measured {measured:.3e} vs predicted {predicted:.3e} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn batched_estimate_amortizes_the_shared_sweep() {
+        let a = CsrMatrix::tridiagonal(6, -1.0, 2.0, -1.0).unwrap();
+        let design = AcceleratorDesign::prototype_20khz();
+        let single = predicted_solve_time_s(&a, &design).unwrap();
+        for k in [1usize, 4, 16] {
+            let batched = predicted_batch_solve_time_s(&a, &design, k).unwrap();
+            assert_eq!(batched, single / k as f64);
+        }
+        // Degenerate width is floored at the sequential estimate.
+        assert_eq!(
+            predicted_batch_solve_time_s(&a, &design, 0).unwrap(),
+            single
         );
     }
 
