@@ -221,6 +221,14 @@ pub(crate) trait Evaluator {
         tracker: &mut Tracker,
         track: bool,
     );
+
+    /// Minimum slot-buffer length this evaluator writes. The run loop
+    /// sizes its tracker to the larger of this and the circuit's slot
+    /// count; only the pass-optimized tape ever needs more (scratch slots
+    /// appended by `normalize_gains`).
+    fn min_slots(&self) -> usize {
+        0
+    }
 }
 
 /// A K-lane circuit evaluator usable by the lockstep batched RK4 loop:
@@ -231,6 +239,12 @@ pub(crate) trait Evaluator {
 pub(crate) trait LaneEvaluator {
     /// Number of lanes bound to the batch.
     fn lanes(&self) -> usize;
+
+    /// Minimum slot-buffer length this evaluator writes per lane (see
+    /// [`Evaluator::min_slots`]).
+    fn min_slots(&self) -> usize {
+        0
+    }
 
     /// Evaluates the circuit at time `t` for all active lanes. Retired
     /// lanes are skipped entirely — their tracker entries, derivatives,
@@ -1057,7 +1071,7 @@ fn integrate_batch<B: LaneEvaluator>(
     let k = batch.lanes();
     debug_assert_eq!(k, overlays.len());
     let n = circuit.n_states();
-    let n_slots = circuit.structure.slot_index.len();
+    let n_slots = circuit.structure.slot_index.len().max(batch.min_slots());
     let fs = config.full_scale;
     let omega = config.omega();
     let dt = options.dt_tau / omega;
@@ -1386,7 +1400,11 @@ fn integrate<E: Evaluator>(
     let faults = circuit.faults;
     let t_offset = circuit.t_offset;
     let n = circuit.n_states();
-    let n_slots = circuit.structure.slot_index.len();
+    let n_slots = circuit
+        .structure
+        .slot_index
+        .len()
+        .max(evaluator.min_slots());
     let fs = config.full_scale;
     let omega = config.omega();
     let dt = options.dt_tau / omega;

@@ -75,6 +75,10 @@ pub(crate) struct IrNode {
 pub(crate) struct IrGraph {
     full_scale: f64,
     omega: f64,
+    /// Largest programmable multiplier gain magnitude
+    /// ([`crate::ChipConfig::max_gain`]) — the limit `normalize_gains`
+    /// rescales fused coefficients back inside.
+    max_gain: f64,
     n_slots: usize,
     int_sources: Vec<IntSource>,
     /// DAC sources still fetched per run (before `fold_constants`).
@@ -216,6 +220,7 @@ impl IrGraph {
         IrGraph {
             full_scale: c.config.full_scale,
             omega: c.config.omega(),
+            max_gain: c.config.max_gain,
             n_slots: c.structure.slot_index.len(),
             int_sources,
             dac_sources,
@@ -390,6 +395,75 @@ impl IrGraph {
         }
     }
 
+    /// `normalize_gains`: peels any fused multiply-accumulate whose
+    /// coefficient magnitude exceeds the hardware gain limit
+    /// ([`crate::ChipConfig::max_gain`]) into a chain of stages each
+    /// within the limit. Fusion multiplies affine coefficients through, so
+    /// a chain of individually programmable multipliers can fuse into a
+    /// coefficient no real multiplier could be set to; this pass restores
+    /// hardware realizability at the cost of one store per extra stage
+    /// (the only pass that can *raise* the op count). Each peeled prefix
+    /// stage is a pure `±max_gain` multiply into a fresh scratch slot; the
+    /// surviving node keeps the affine constant, so
+    /// `residual·(g·…·(g·x)) + b` recomposes `a·x + b` exactly when
+    /// `max_gain` is a power of two and within one rounding per stage
+    /// otherwise — inside the documented pass tolerance. Stage gains all
+    /// exceed unity (the residual lands in `(1, max_gain]`), so partial
+    /// products grow monotonically and a peeled chain never saturates at
+    /// an intermediate stage unless its fused output would have clipped
+    /// too. Skipped when `max_gain ≤ 1`: no chain of within-limit stages
+    /// can then reach a product above the limit.
+    pub(crate) fn normalize_gains(&mut self) {
+        let mg = self.max_gain;
+        if mg <= 1.0 {
+            return;
+        }
+        let mut rewritten: Vec<IrNode> = Vec::with_capacity(self.nodes.len());
+        for mut node in std::mem::take(&mut self.nodes) {
+            let split = match &node.kind {
+                IrKind::Mac { a, .. } => node.live && a.is_finite() && a.abs() > mg,
+                _ => false,
+            };
+            if !split {
+                rewritten.push(node);
+                continue;
+            }
+            let IrKind::Mac { unit, a, b } = node.kind else {
+                unreachable!("matched above");
+            };
+            // Peel `max_gain` prefix stages until the residual coefficient
+            // is programmable; each prefix writes a fresh slot the next
+            // stage reads, so topo order holds by construction.
+            let mut residual = a;
+            let mut in0 = std::mem::take(&mut node.in0);
+            while residual.abs() > mg {
+                residual /= mg;
+                let out = self.n_slots as u32;
+                self.n_slots += 1;
+                rewritten.push(IrNode {
+                    kind: IrKind::Mac {
+                        unit,
+                        a: mg,
+                        b: 0.0,
+                    },
+                    in0,
+                    in1: Vec::new(),
+                    out,
+                    live: true,
+                });
+                in0 = vec![out];
+            }
+            node.kind = IrKind::Mac {
+                unit,
+                a: residual,
+                b,
+            };
+            node.in0 = in0;
+            rewritten.push(node);
+        }
+        self.nodes = rewritten;
+    }
+
     /// `dce`: removes ops whose outputs reach neither an integrator input
     /// nor a sink (ADC / analog output). Sinks are the observables, so they
     /// always survive; sources always survive (integrator outputs carry the
@@ -552,6 +626,7 @@ impl IrGraph {
         OptimizedPlan {
             full_scale: self.full_scale,
             omega: self.omega,
+            n_slots: self.n_slots,
             driver_slots,
             int_sources: self.int_sources,
             dac_sources: self.dac_sources,
@@ -678,6 +753,10 @@ struct SinkLanes {
 pub(crate) struct OptimizedPlan {
     full_scale: f64,
     omega: f64,
+    /// Slot-buffer length the tape writes — the structure's slot count
+    /// plus any scratch slots `normalize_gains` appended for peeled
+    /// stages. The run loops size their trackers to at least this.
+    pub(crate) n_slots: usize,
     driver_slots: Vec<u32>,
     int_sources: Vec<IntSource>,
     dac_sources: Vec<DacSource>,
@@ -911,6 +990,10 @@ impl<'a> OptRun<'a> {
 }
 
 impl Evaluator for OptRun<'_> {
+    fn min_slots(&self) -> usize {
+        self.plan.n_slots
+    }
+
     fn eval_circuit(
         &self,
         t: f64,
@@ -1481,6 +1564,10 @@ impl<'a> OptBatchRun<'a> {
 impl LaneEvaluator for OptBatchRun<'_> {
     fn lanes(&self) -> usize {
         self.k
+    }
+
+    fn min_slots(&self) -> usize {
+        self.plan.n_slots
     }
 
     fn eval_lanes(

@@ -13,7 +13,12 @@
 //! 3. `fuse_gain_chains` — a gain multiplier whose only input is another
 //!    gain multiplier's only consumer fuses into one multiply-accumulate,
 //!    eliding the intermediate clip.
-//! 4. `dce` — ops whose outputs reach neither an integrator input nor a
+//! 4. `normalize_gains` — fusion multiplies coefficients through, so a
+//!    chain of within-limit multipliers can fuse into a coefficient no
+//!    real multiplier could be programmed with
+//!    (`|a| > ChipConfig::max_gain`); this pass peels such MACs back into
+//!    chained stages each inside the hardware gain limit.
+//! 5. `dce` — ops whose outputs reach neither an integrator input nor a
 //!    sink (ADC / analog output) are removed.
 //!
 //! **Tolerance contract.** `PassConfig::none()` plans are bit-identical to
@@ -43,6 +48,9 @@ pub struct PassConfig {
     pub cse: bool,
     /// Fuse gain-multiplier chains into single multiply-accumulate ops.
     pub fuse_gain_chains: bool,
+    /// Rescale fused MAC coefficients back inside the hardware gain limit
+    /// by splitting them into chained stages.
+    pub normalize_gains: bool,
 }
 
 impl PassConfig {
@@ -60,13 +68,14 @@ impl PassConfig {
             dce: true,
             cse: true,
             fuse_gain_chains: true,
+            normalize_gains: true,
         }
     }
 
     /// Whether any pass is enabled (i.e. whether an optimized plan would be
     /// lowered at all).
     pub fn any(&self) -> bool {
-        self.fold_constants || self.dce || self.cse || self.fuse_gain_chains
+        self.fold_constants || self.dce || self.cse || self.fuse_gain_chains || self.normalize_gains
     }
 }
 
@@ -75,7 +84,7 @@ impl PassConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PassStat {
     /// Pass name (`"fold_constants"`, `"cse"`, `"fuse_gain_chains"`,
-    /// `"dce"`).
+    /// `"normalize_gains"`, `"dce"`).
     pub pass: &'static str,
     /// Stores per eval before the pass ran.
     pub ops_before: u64,
@@ -96,6 +105,10 @@ pub(crate) fn pass_counter_names(pass: &str) -> (&'static str, &'static str) {
         "fuse_gain_chains" => (
             "engine.pass.fuse_gain_chains.ops_before",
             "engine.pass.fuse_gain_chains.ops_after",
+        ),
+        "normalize_gains" => (
+            "engine.pass.normalize_gains.ops_before",
+            "engine.pass.normalize_gains.ops_after",
         ),
         "dce" => ("engine.pass.dce.ops_before", "engine.pass.dce.ops_after"),
         _ => ("engine.pass.ops_before", "engine.pass.ops_after"),
@@ -124,6 +137,9 @@ pub(crate) fn run_pipeline(graph: &mut IrGraph, cfg: &PassConfig) -> Vec<PassSta
     if cfg.fuse_gain_chains {
         run(graph, "fuse_gain_chains", IrGraph::fuse_gain_chains);
     }
+    if cfg.normalize_gains {
+        run(graph, "normalize_gains", IrGraph::normalize_gains);
+    }
     if cfg.dce {
         run(graph, "dce", IrGraph::dce);
     }
@@ -148,13 +164,19 @@ mod tests {
 
     #[test]
     fn counter_names_are_static_and_distinct() {
-        let names: Vec<&str> = ["fold_constants", "cse", "fuse_gain_chains", "dce"]
-            .iter()
-            .flat_map(|p| {
-                let (b, a) = pass_counter_names(p);
-                [b, a]
-            })
-            .collect();
+        let names: Vec<&str> = [
+            "fold_constants",
+            "cse",
+            "fuse_gain_chains",
+            "normalize_gains",
+            "dce",
+        ]
+        .iter()
+        .flat_map(|p| {
+            let (b, a) = pass_counter_names(p);
+            [b, a]
+        })
+        .collect();
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -100,6 +100,7 @@ fn adc_resolution_ablation() {
                 tolerance: 1e-8,
                 max_rounds: 40,
                 min_progress: 0.95,
+                compensated: false,
             },
         )
         .expect("refines");

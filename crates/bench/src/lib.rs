@@ -145,6 +145,13 @@ pub struct BenchRecord {
     /// Fleet size of a `fleet_scaling` curve point (chips = shards =
     /// workers at that point), where applicable.
     pub fleet_chips: Option<u64>,
+    /// Iteration ratio of plain CG against analog-preconditioned flexible
+    /// CG on the same problem (`cg_iters / fcg_iters`), where applicable.
+    pub krylov_speedup: Option<f64>,
+    /// Final-residual ratio of the f64 refinement path against the
+    /// compensated extended-precision path on the same ill-conditioned
+    /// problem (`f64_residual / compensated_residual`), where applicable.
+    pub refine_ulp_gain: Option<f64>,
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -184,7 +191,8 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
                  \"steps_per_sec\": {}, \"requests_per_sec\": {}, \"speedup_vs_serial\": {}, \
                  \"cores\": {}, \"undersubscribed\": {}, \"soak_requests_completed\": {}, \
                  \"checkpoint_restore_ms\": {}, \"batched_speedup\": {}, \
-                 \"ir_speedup\": {}, \"fleet_chips\": {}}}",
+                 \"ir_speedup\": {}, \"fleet_chips\": {}, \
+                 \"krylov_speedup\": {}, \"refine_ulp_gain\": {}}}",
                 json_escape(&r.bench),
                 json_escape(&r.config),
                 json_number(r.wall_ms),
@@ -201,6 +209,8 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
                 r.batched_speedup.map_or("null".to_string(), json_number),
                 r.ir_speedup.map_or("null".to_string(), json_number),
                 r.fleet_chips.map_or("null".to_string(), |c| c.to_string()),
+                r.krylov_speedup.map_or("null".to_string(), json_number),
+                r.refine_ulp_gain.map_or("null".to_string(), json_number),
             )
         })
         .collect();
@@ -208,7 +218,7 @@ pub fn records_to_json(records: &[BenchRecord]) -> String {
 }
 
 /// The exact key set of a `BENCH_engine.json` record.
-const BENCH_KEYS: [&str; 13] = [
+const BENCH_KEYS: [&str; 15] = [
     "bench",
     "config",
     "wall_ms",
@@ -222,6 +232,8 @@ const BENCH_KEYS: [&str; 13] = [
     "batched_speedup",
     "ir_speedup",
     "fleet_chips",
+    "krylov_speedup",
+    "refine_ulp_gain",
 ];
 
 /// Schema check for a `BENCH_engine.json` document, run before the file is
@@ -230,7 +242,8 @@ const BENCH_KEYS: [&str; 13] = [
 /// records carrying exactly [`BENCH_KEYS`], with non-empty string `bench`,
 /// string `config`, finite non-negative `wall_ms`, `steps_per_sec` /
 /// `requests_per_sec` / `speedup_vs_serial` / `checkpoint_restore_ms` /
-/// `batched_speedup` / `ir_speedup` each `null` or a non-negative number,
+/// `batched_speedup` / `ir_speedup` / `krylov_speedup` /
+/// `refine_ulp_gain` each `null` or a non-negative number,
 /// `cores` and `fleet_chips` each `null` or a positive integer,
 /// `soak_requests_completed` `null` or a non-negative integer, and
 /// `undersubscribed` `null` or a boolean.
@@ -279,6 +292,8 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             "checkpoint_restore_ms",
             "batched_speedup",
             "ir_speedup",
+            "krylov_speedup",
+            "refine_ulp_gain",
         ] {
             let value = row.get(key).expect("presence checked above");
             if value.is_null() {
@@ -377,6 +392,8 @@ mod tests {
                 batched_speedup: None,
                 ir_speedup: None,
                 fleet_chips: None,
+                krylov_speedup: None,
+                refine_ulp_gain: None,
             },
             BenchRecord {
                 bench: "decomposed_scaling".to_string(),
@@ -392,6 +409,8 @@ mod tests {
                 batched_speedup: Some(3.5),
                 ir_speedup: Some(1.3),
                 fleet_chips: Some(4),
+                krylov_speedup: Some(2.5),
+                refine_ulp_gain: Some(12.0),
             },
         ];
         let json = records_to_json(&records);
@@ -438,6 +457,8 @@ mod tests {
             batched_speedup: Some(1.0),
             ir_speedup: Some(1.2),
             fleet_chips: Some(1),
+            krylov_speedup: Some(1.4),
+            refine_ulp_gain: None,
         }];
         validate_bench_json(&records_to_json(&records)).expect("valid document");
     }
@@ -450,7 +471,8 @@ mod tests {
             "requests_per_sec": null, "speedup_vs_serial": null, "cores": null,
             "undersubscribed": null, "soak_requests_completed": null,
             "checkpoint_restore_ms": null, "batched_speedup": null,
-            "ir_speedup": null, "fleet_chips": null}]"#;
+            "ir_speedup": null, "fleet_chips": null,
+            "krylov_speedup": null, "refine_ulp_gain": null}]"#;
         let needle = match key {
             "bench" => r#""bench": "x""#.to_string(),
             "config" => r#""config": "c""#.to_string(),
@@ -524,6 +546,14 @@ mod tests {
         assert!(validate_bench_json(&doc_with("fleet_chips", "1.5")).is_err());
         assert!(validate_bench_json(&doc_with("fleet_chips", "\"four\"")).is_err());
         assert!(validate_bench_json(&doc_with("fleet_chips", "16")).is_ok());
+        // Krylov speedup must be a non-negative number when present.
+        assert!(validate_bench_json(&doc_with("krylov_speedup", "-1.0")).is_err());
+        assert!(validate_bench_json(&doc_with("krylov_speedup", "\"3x\"")).is_err());
+        assert!(validate_bench_json(&doc_with("krylov_speedup", "2.4")).is_ok());
+        // Refinement precision gain must be a non-negative number when present.
+        assert!(validate_bench_json(&doc_with("refine_ulp_gain", "-2.0")).is_err());
+        assert!(validate_bench_json(&doc_with("refine_ulp_gain", "\"big\"")).is_err());
+        assert!(validate_bench_json(&doc_with("refine_ulp_gain", "64.0")).is_ok());
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //!   paper's Figure 7, each reporting a full convergence history.
 //! * [`eigen`] — eigenvalue estimation (power iteration, Gershgorin discs)
 //!   used by the analog convergence-time model.
+//! * [`compensated`] — two-float (double-double style) error-free kernels
+//!   for extended-precision residual accumulation in iterative refinement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +45,7 @@ mod dense;
 mod error;
 mod sparse;
 
+pub mod compensated;
 pub mod direct;
 pub mod eigen;
 pub mod iterative;

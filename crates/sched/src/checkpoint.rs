@@ -28,7 +28,7 @@
 
 use crate::fleet::{ChipFailure, ChipHealth, SlotCheckpoint};
 use crate::log::ScheduleLog;
-use crate::request::{Completion, Priority, SolveRequest};
+use crate::request::{Completion, Priority, SolveMode, SolveRequest};
 
 /// One admitted-but-undispatched request, as frozen in a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +45,8 @@ pub struct QueuedRequest {
     pub deadline_s: Option<f64>,
     /// The tenant it was admitted under (fair-share accounting).
     pub tenant: u32,
+    /// How it asked to be solved (direct or Krylov-preconditioned).
+    pub mode: SolveMode,
 }
 
 /// One dispatcher group's slice of a [`FleetCheckpoint`] (format v2):

@@ -18,11 +18,11 @@ use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
 use aa_linalg::rng::mix64;
 use aa_linalg::{vector, CsrMatrix, LinearOperator};
 use aa_solver::{
-    FinalPath, RecoveryConfig, SolverConfig, SupervisedCheckpoint, SupervisedSolveReport,
-    SupervisedSolver,
+    fcg_solve, AnalogPreconditioner, FinalPath, KrylovConfig, RecoveryConfig, SolverConfig,
+    SupervisedCheckpoint, SupervisedSolveReport, SupervisedSolver,
 };
 
-use crate::request::CompletionPath;
+use crate::request::{CompletionPath, SolveMode};
 
 /// Health-scoring policy: an exponentially-weighted failure score per chip
 /// with a quarantine threshold and a timed re-admission probe.
@@ -120,6 +120,13 @@ pub struct FleetConfig {
     /// [`Rejected::QuotaExceeded`](crate::Rejected::QuotaExceeded)
     /// verdict. Empty (the default) disables fair-share admission.
     pub tenant_weights: Vec<(u32, u32)>,
+    /// Expected preconditioner applications per Krylov-mode request
+    /// ([`SolveMode::KrylovPrecond`](crate::SolveMode::KrylovPrecond)):
+    /// the multiplier admission control prices such a request's deadline
+    /// against ([`aa_solver::estimate::krylov_solve_time_s`] — one
+    /// supervised analog solve per FCG preconditioner application, never
+    /// coalesced into a shared sweep).
+    pub krylov_applications: usize,
 }
 
 impl FleetConfig {
@@ -142,6 +149,7 @@ impl FleetConfig {
             shards: 1,
             spill_watermark: None,
             tenant_weights: Vec::new(),
+            krylov_applications: 8,
         }
     }
 
@@ -203,6 +211,13 @@ impl FleetConfig {
     /// [`tenant_weights`](Self::tenant_weights)).
     pub fn with_tenant_weight(mut self, tenant: u32, weight: u32) -> Self {
         self.tenant_weights.push((tenant, weight));
+        self
+    }
+
+    /// Sets the expected preconditioner applications a Krylov-mode
+    /// request is priced for (floored at 1).
+    pub fn with_krylov_applications(mut self, applications: usize) -> Self {
+        self.krylov_applications = applications.max(1);
         self
     }
 
@@ -317,8 +332,9 @@ pub(crate) fn outcome_weight(path: CompletionPath) -> f64 {
     }
 }
 
-/// One request as placed on a chip: `(ticket, structure, rhs, deadline)`.
-pub(crate) type Assignment = (u64, usize, Vec<f64>, Option<f64>);
+/// One request as placed on a chip:
+/// `(ticket, structure, rhs, deadline, mode)`.
+pub(crate) type Assignment = (u64, usize, Vec<f64>, Option<f64>, SolveMode);
 
 /// A chaos-injected failure mode for one chip (driven by
 /// [`FleetService::inject_chaos`](crate::FleetService::inject_chaos) and
@@ -429,6 +445,9 @@ pub(crate) struct ChipSlot {
     fallback_tolerance: f64,
     /// Most RHS columns served by one batched analog sweep.
     max_batch_rhs: usize,
+    /// FCG loop settings for Krylov-mode assignments (tolerance mirrors
+    /// the digital lanes', so both modes certify the same residual).
+    krylov: KrylovConfig,
     /// The chaos failure currently installed, if any.
     failure: Option<ChipFailure>,
 }
@@ -452,6 +471,10 @@ impl ChipSlot {
             solvers: BTreeMap::new(),
             fallback_tolerance: config.fallback_tolerance,
             max_batch_rhs: config.max_batch_rhs.max(1),
+            krylov: KrylovConfig {
+                tolerance: config.fallback_tolerance,
+                ..KrylovConfig::default()
+            },
             failure: None,
         }
     }
@@ -523,20 +546,26 @@ impl ChipSlot {
 
     /// Boundaries (exclusive end indices) of the multi-RHS chunks within
     /// one round's assignment list: maximal runs of consecutive
-    /// same-structure assignments, split at `max_batch_rhs` columns. With
-    /// `max_batch_rhs == 1` every index is a boundary, which reproduces
-    /// unbatched serving exactly.
+    /// same-structure **direct** assignments, split at `max_batch_rhs`
+    /// columns. A Krylov-mode assignment is always its own singleton
+    /// chunk — each FCG preconditioner application's right-hand side
+    /// depends on the previous iterate, so it can never share a sweep.
+    /// With `max_batch_rhs == 1` every index is a boundary, which
+    /// reproduces unbatched serving exactly.
     fn chunk_ends(&self, assignments: &[Assignment]) -> Vec<usize> {
         let mut ends = Vec::new();
         let mut start = 0;
         while start < assignments.len() {
             let structure = assignments[start].1;
             let mut end = start + 1;
-            while end < assignments.len()
-                && assignments[end].1 == structure
-                && end - start < self.max_batch_rhs
-            {
-                end += 1;
+            if assignments[start].4 == SolveMode::Direct {
+                while end < assignments.len()
+                    && assignments[end].1 == structure
+                    && assignments[end].4 == SolveMode::Direct
+                    && end - start < self.max_batch_rhs
+                {
+                    end += 1;
+                }
             }
             ends.push(end);
             start = end;
@@ -551,17 +580,23 @@ impl ChipSlot {
     /// [`SupervisedSolver::solve_batch`]).
     fn serve_chunk(&mut self, chunk: &[Assignment]) -> Vec<ChipOutcome> {
         if chunk.len() == 1 {
-            let (ticket, structure, rhs, deadline_s) = &chunk[0];
-            return vec![self.serve(*ticket, *structure, rhs, *deadline_s)];
+            let (ticket, structure, rhs, deadline_s, mode) = &chunk[0];
+            return vec![match mode {
+                SolveMode::Direct => self.serve(*ticket, *structure, rhs, *deadline_s),
+                SolveMode::KrylovPrecond => {
+                    self.serve_krylov(*ticket, *structure, rhs, *deadline_s)
+                }
+            }];
         }
         let structure = chunk[0].1;
         debug_assert!(chunk.iter().all(|a| a.1 == structure));
+        debug_assert!(chunk.iter().all(|a| a.4 == SolveMode::Direct));
         if !self.ensure_solver(structure) {
             // The structure cannot be mapped onto this chip at all; the
             // digital lane still owes each client an answer.
             return chunk
                 .iter()
-                .map(|(ticket, structure, rhs, _)| {
+                .map(|(ticket, structure, rhs, _, _)| {
                     self.digital(
                         *ticket,
                         *structure,
@@ -572,7 +607,7 @@ impl ChipSlot {
                 })
                 .collect();
         }
-        let bs: Vec<Vec<f64>> = chunk.iter().map(|(_, _, rhs, _)| rhs.clone()).collect();
+        let bs: Vec<Vec<f64>> = chunk.iter().map(|(_, _, rhs, _, _)| rhs.clone()).collect();
         let solver = self.solvers.get_mut(&structure).expect("ensured above");
         let results = solver.solve_batch(&bs);
         aa_obs::counter("sched.chip_batches", 1);
@@ -580,7 +615,7 @@ impl ChipSlot {
             .iter()
             .zip(results)
             .map(
-                |((ticket, structure, rhs, deadline_s), result)| match result {
+                |((ticket, structure, rhs, deadline_s, _), result)| match result {
                     Ok(report) => self.finish(*ticket, *structure, rhs, *deadline_s, report),
                     Err(_) => self.digital(
                         *ticket,
@@ -671,6 +706,68 @@ impl ChipSlot {
         let solver = self.solvers.get_mut(&structure).expect("ensured above");
         match solver.solve(rhs) {
             Ok(report) => self.finish(ticket, structure, rhs, deadline_s, report),
+            Err(_) => self.digital(ticket, structure, rhs, CompletionPath::DigitalFallback, 0.0),
+        }
+    }
+
+    /// Serves one Krylov-mode assignment: flexible CG around the chip's
+    /// persistent supervised solver as analog preconditioner. The
+    /// completion path comes from the preconditioner's own accounting
+    /// ([`aa_solver::PrecondStats::final_path`]) — a demoted
+    /// preconditioner reports `DigitalFallback` even though the FCG
+    /// iterate itself is still served. A loop that fails outright (or
+    /// never reaches tolerance) falls back to the digital lane, exactly
+    /// like a failed direct solve.
+    fn serve_krylov(
+        &mut self,
+        ticket: u64,
+        structure: usize,
+        rhs: &[f64],
+        deadline_s: Option<f64>,
+    ) -> ChipOutcome {
+        if !self.ensure_solver(structure) {
+            return self.digital(ticket, structure, rhs, CompletionPath::DigitalFallback, 0.0);
+        }
+        let solver = self.solvers.get_mut(&structure).expect("ensured above");
+        let mut precond = AnalogPreconditioner::new(solver);
+        let outcome = fcg_solve(&mut precond, rhs, &self.krylov);
+        match outcome {
+            Ok(report) if report.converged => {
+                let stats = report.precond;
+                let analog_time_s = stats.analog_time_s;
+                let path = match stats.final_path() {
+                    FinalPath::Analog => CompletionPath::Analog,
+                    FinalPath::AnalogAfterRecovery => CompletionPath::AnalogAfterRecovery,
+                    FinalPath::DigitalFallback => CompletionPath::DigitalFallback,
+                };
+                if path.is_analog() {
+                    if let Some(deadline) = deadline_s {
+                        if analog_time_s > deadline {
+                            return self.digital(
+                                ticket,
+                                structure,
+                                rhs,
+                                CompletionPath::DeadlineFallback,
+                                analog_time_s,
+                            );
+                        }
+                    }
+                }
+                ChipOutcome {
+                    ticket,
+                    solution: report.solution,
+                    path,
+                    residual: report.residual_history.last().copied().unwrap_or(0.0),
+                    analog_time_s,
+                }
+            }
+            Ok(report) => self.digital(
+                ticket,
+                structure,
+                rhs,
+                CompletionPath::DigitalFallback,
+                report.precond.analog_time_s,
+            ),
             Err(_) => self.digital(ticket, structure, rhs, CompletionPath::DigitalFallback, 0.0),
         }
     }
@@ -873,7 +970,8 @@ mod tests {
             CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap(),
             CsrMatrix::tridiagonal(5, -1.0, 2.0, -1.0).unwrap(),
         ]);
-        let a = |t: u64, s: usize| (t, s, vec![1.0; 4 + s], None);
+        let a = |t: u64, s: usize| (t, s, vec![1.0; 4 + s], None, SolveMode::Direct);
+        let k = |t: u64, s: usize| (t, s, vec![1.0; 4 + s], None, SolveMode::KrylovPrecond);
         let slot = ChipSlot::new(
             &FleetConfig::new(1).with_max_batch_rhs(3),
             0,
@@ -884,6 +982,12 @@ mod tests {
         assert_eq!(
             slot.chunk_ends(&[a(0, 0), a(1, 0), a(2, 0), a(3, 0), a(4, 1), a(5, 0)]),
             vec![3, 4, 5, 6]
+        );
+        // A Krylov assignment is a singleton chunk even mid-run of its own
+        // structure: its RHS sequence cannot share a sweep.
+        assert_eq!(
+            slot.chunk_ends(&[a(0, 0), k(1, 0), a(2, 0), a(3, 0)]),
+            vec![1, 2, 4]
         );
         // max_batch_rhs = 1 (the default): every index is a boundary.
         let scalar = ChipSlot::new(&FleetConfig::new(1), 0, structures);
@@ -902,7 +1006,9 @@ mod tests {
             Arc::clone(&structures),
         );
         slot.failure = Some(ChipFailure::HangAfter { served: 2 });
-        let assignments: Vec<Assignment> = (0..4).map(|t| (t, 0, vec![1.0; 4], None)).collect();
+        let assignments: Vec<Assignment> = (0..4)
+            .map(|t| (t, 0, vec![1.0; 4], None, SolveMode::Direct))
+            .collect();
         let ChipReply::Ran {
             outcomes,
             unserved,

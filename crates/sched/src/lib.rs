@@ -28,6 +28,14 @@
 //!   solve time are answered by the digital (CG) lane instead
 //!   ([`CompletionPath::DeadlineFallback`]) — the paper's hybrid story at
 //!   the fleet level.
+//! * **Krylov mode** — a request may ask for an analog-preconditioned
+//!   flexible-CG solve instead of a direct one
+//!   ([`SolveMode::KrylovPrecond`]): the placed chip runs
+//!   [`aa_solver::fcg_solve`] around its persistent supervised solver,
+//!   the deadline is priced against the request's own profile
+//!   ([`aa_solver::estimate::krylov_solve_time_s`] — one analog solve per
+//!   preconditioner application), and the assignment is never coalesced
+//!   into a shared multi-RHS sweep.
 //! * **Health-aware placement** — each chip's supervised recovery
 //!   outcomes feed an EWMA failure score; chips crossing the quarantine
 //!   threshold leave rotation, sit out, then earn re-admission through a
@@ -70,7 +78,7 @@ pub use checkpoint::{AdmissionWal, FleetCheckpoint, QueuedRequest, ShardCheckpoi
 pub use fleet::{ChipFailure, ChipHealth, ChipState, FleetConfig, HealthConfig, SlotCheckpoint};
 pub use log::{ScheduleEvent, ScheduleLog};
 pub use request::{
-    Backoff, Completion, CompletionPath, Priority, Rejected, SolveRequest, SolveTicket,
+    Backoff, Completion, CompletionPath, Priority, Rejected, SolveMode, SolveRequest, SolveTicket,
     PRIORITY_CLASSES,
 };
 pub use service::{FleetService, SchedError};

@@ -40,6 +40,32 @@ impl Priority {
     }
 }
 
+/// How a [`SolveRequest`] wants its answer produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SolveMode {
+    /// One supervised analog solve (possibly coalesced into a multi-RHS
+    /// sweep with same-structure neighbours). The default.
+    #[default]
+    Direct,
+    /// Analog-preconditioned flexible CG ([`aa_solver::fcg_solve`]): the
+    /// chip runs one supervised analog solve *per preconditioner
+    /// application*, so the request is priced against
+    /// [`aa_solver::estimate::krylov_solve_time_s`] — its own deadline
+    /// profile — and is never coalesced into a shared sweep (each
+    /// application's right-hand side depends on the previous iterate).
+    KrylovPrecond,
+}
+
+impl SolveMode {
+    /// Short stable label used in telemetry and the schedule log.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveMode::Direct => "direct",
+            SolveMode::KrylovPrecond => "krylov_precond",
+        }
+    }
+}
+
 /// One `A·u = b` instance submitted to the fleet. The matrix is referenced
 /// by the index it was registered under at
 /// [`FleetService::new`](crate::FleetService::new) — a chip's compiled-plan
@@ -65,6 +91,9 @@ pub struct SolveRequest {
     /// fleet's total queue capacity; tenants with no configured weight
     /// share one default-weight bucket. `0` is just another tenant id.
     pub tenant: u32,
+    /// How the answer should be produced (direct analog solve or
+    /// Krylov-preconditioned FCG).
+    pub mode: SolveMode,
 }
 
 impl SolveRequest {
@@ -76,6 +105,7 @@ impl SolveRequest {
             priority: Priority::Normal,
             deadline_s: None,
             tenant: 0,
+            mode: SolveMode::Direct,
         }
     }
 
@@ -94,6 +124,13 @@ impl SolveRequest {
     /// Sets the tenant id for fair-share admission.
     pub fn with_tenant(mut self, tenant: u32) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// Asks for an analog-preconditioned Krylov (FCG) solve instead of a
+    /// direct supervised solve.
+    pub fn with_krylov(mut self) -> Self {
+        self.mode = SolveMode::KrylovPrecond;
         self
     }
 }
@@ -375,12 +412,18 @@ mod tests {
         let r = SolveRequest::new(2, vec![1.0, 2.0])
             .with_priority(Priority::Low)
             .with_deadline_s(0.5)
-            .with_tenant(7);
+            .with_tenant(7)
+            .with_krylov();
         assert_eq!(r.structure, 2);
         assert_eq!(r.priority, Priority::Low);
         assert_eq!(r.deadline_s, Some(0.5));
         assert_eq!(r.tenant, 7);
-        assert_eq!(SolveRequest::new(0, vec![]).tenant, 0);
+        assert_eq!(r.mode, SolveMode::KrylovPrecond);
+        assert_eq!(r.mode.label(), "krylov_precond");
+        let plain = SolveRequest::new(0, vec![]);
+        assert_eq!(plain.tenant, 0);
+        assert_eq!(plain.mode, SolveMode::Direct);
+        assert_eq!(plain.mode.label(), "direct");
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use aa_linalg::{CsrMatrix, LinearOperator, WorkerPool};
-use aa_solver::estimate::predicted_solve_time_s;
+use aa_solver::estimate::{amortized_solve_time_s, krylov_solve_time_s, predicted_solve_time_s};
 
 use crate::checkpoint::{AdmissionWal, FleetCheckpoint, QueuedRequest, ShardCheckpoint, WalOp};
 use crate::fleet::{
@@ -38,7 +38,9 @@ use crate::fleet::{
     ChipState, FleetConfig, SlotCheckpoint, WorkerState,
 };
 use crate::log::{ScheduleEvent, ScheduleLog};
-use crate::request::{Completion, CompletionPath, Priority, Rejected, SolveRequest, SolveTicket};
+use crate::request::{
+    Completion, CompletionPath, Priority, Rejected, SolveMode, SolveRequest, SolveTicket,
+};
 
 /// A fleet construction or recovery error.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +81,7 @@ struct Queued {
     priority: Priority,
     deadline_s: Option<f64>,
     tenant: u32,
+    mode: SolveMode,
 }
 
 /// One dispatcher group: a disjoint chip range with its own pool, queue,
@@ -409,6 +412,7 @@ impl FleetService {
             priority: request.priority,
             deadline_s: request.deadline_s,
             tenant: request.tenant,
+            mode: request.mode,
         });
         Ok(SolveTicket(ticket))
     }
@@ -446,19 +450,38 @@ impl FleetService {
         if let (Some(deadline), Some(estimate)) =
             (request.deadline_s, self.estimates[request.structure])
         {
-            // Coalesced columns settle together in one sweep, so the
-            // deadline is judged against the amortized per-request time,
-            // not the sequential estimate (which over-prices a coalescing
-            // fleet by up to the batch width).
-            let amortized = estimate / self.coalesce_width() as f64;
-            if deadline < amortized {
+            let priced = self.priced_estimate_s(estimate, request.mode);
+            if deadline < priced {
                 return Err(Rejected::DeadlineInfeasible {
                     deadline_s: deadline,
-                    estimate_s: amortized,
+                    estimate_s: priced,
                 });
             }
         }
         Ok(shard)
+    }
+
+    /// The single per-request deadline price, per mode, from one
+    /// sequential estimate — both profiles route through
+    /// [`aa_solver::estimate`] so the fleet's arithmetic can never drift
+    /// from the estimator's:
+    ///
+    /// * `Direct` — coalesced columns settle together in one sweep, so
+    ///   the deadline is judged against the amortized per-request time
+    ///   ([`amortized_solve_time_s`] over the coalescing width), not the
+    ///   sequential estimate (which over-prices a coalescing fleet by up
+    ///   to the batch width).
+    /// * `KrylovPrecond` — one supervised analog solve per FCG
+    ///   preconditioner application, never coalesced, so the sequential
+    ///   estimate is *scaled* by the configured application count
+    ///   ([`krylov_solve_time_s`]).
+    fn priced_estimate_s(&self, estimate_s: f64, mode: SolveMode) -> f64 {
+        match mode {
+            SolveMode::Direct => amortized_solve_time_s(estimate_s, self.coalesce_width()),
+            SolveMode::KrylovPrecond => {
+                krylov_solve_time_s(estimate_s, self.config.krylov_applications)
+            }
+        }
     }
 
     /// How many same-structure RHS columns one dispatch actually serves
@@ -538,25 +561,23 @@ impl FleetService {
     }
 
     /// The typed retry hint for one shard: the queued work's predicted
-    /// analog seconds (amortized over the coalescing width per structure)
-    /// spread over the shard's *effective* serving lanes. Probation chips
-    /// count as a fractional lane (one probe per round versus a full
-    /// batch); quarantined and retired chips count as zero — a degraded
-    /// shard quotes an honestly longer drain instead of pricing dead
-    /// silicon as capacity. A shard with no chip in rotation quotes `0.0`:
-    /// the dispatcher's digital lane clears its whole queue next round.
+    /// analog seconds — each queued request priced by the same per-mode
+    /// rule as deadline admission ([`Self::priced_estimate_s`], which
+    /// smooths partial sweeps) — spread over the shard's *effective*
+    /// serving lanes. Probation chips count as a fractional lane (one
+    /// probe per round versus a full batch); quarantined and retired
+    /// chips count as zero — a degraded shard quotes an honestly longer
+    /// drain instead of pricing dead silicon as capacity. A shard with no
+    /// chip in rotation quotes `0.0`: the dispatcher's digital lane
+    /// clears its whole queue next round.
     fn shard_drain_s(&self, shard: usize) -> f64 {
         let s = &self.shards[shard];
-        let width = self.coalesce_width();
-        let mut by_structure: BTreeMap<usize, usize> = BTreeMap::new();
-        for q in &s.queue {
-            *by_structure.entry(q.structure).or_insert(0) += 1;
-        }
-        let work_s: f64 = by_structure
+        let work_s: f64 = s
+            .queue
             .iter()
-            .map(|(&structure, &count)| {
-                let sweeps = count.div_ceil(width);
-                sweeps as f64 * self.estimates[structure].unwrap_or(0.0)
+            .map(|q| {
+                let estimate = self.estimates[q.structure].unwrap_or(0.0);
+                self.priced_estimate_s(estimate, q.mode)
             })
             .sum();
         let lanes: f64 = s
@@ -707,7 +728,7 @@ impl FleetService {
             *job = ChipCommand::Run(
                 batch
                     .into_iter()
-                    .map(|q| (q.ticket, q.structure, q.rhs, q.deadline_s))
+                    .map(|q| (q.ticket, q.structure, q.rhs, q.deadline_s, q.mode))
                     .collect(),
             );
         }
@@ -818,7 +839,7 @@ impl FleetService {
         let columns = unserved.len();
         let chip = self.shards[shard].chip_offset + local;
         let round = self.shards[shard].round;
-        for (ticket, structure, rhs, deadline_s) in unserved {
+        for (ticket, structure, rhs, deadline_s, mode) in unserved {
             let (priority, tenant) = self
                 .inflight
                 .get(&ticket)
@@ -846,6 +867,7 @@ impl FleetService {
                 priority,
                 deadline_s,
                 tenant,
+                mode,
             });
         }
     }
@@ -952,6 +974,7 @@ impl FleetService {
                             priority: q.priority,
                             deadline_s: q.deadline_s,
                             tenant: q.tenant,
+                            mode: q.mode,
                         })
                         .collect(),
                     log: s.log.clone(),
@@ -1093,6 +1116,7 @@ impl FleetService {
                     priority: q.priority,
                     deadline_s: q.deadline_s,
                     tenant: q.tenant,
+                    mode: q.mode,
                 })
                 .collect();
             service.shards[index].log = section.log.clone();
@@ -1463,6 +1487,94 @@ mod tests {
         assert!(capped
             .submit(SolveRequest::new(0, vec![1.0; 4]).with_deadline_s(estimate / 2.0))
             .is_err());
+    }
+
+    #[test]
+    fn krylov_requests_serve_preconditioned_fcg_on_the_analog_path() {
+        let mut fleet = FleetService::new(FleetConfig::new(1), vec![tri(8)]).unwrap();
+        let krylov = fleet
+            .submit(SolveRequest::new(0, vec![1.0; 8]).with_krylov())
+            .unwrap();
+        let direct = fleet.submit(SolveRequest::new(0, vec![1.0; 8])).unwrap();
+        fleet.run_until_idle();
+        let done = fleet.completion(krylov).expect("served").clone();
+        assert!(done.path.is_analog(), "path={:?}", done.path);
+        assert!(done.analog_time_s > 0.0, "FCG burned analog seconds");
+        // The FCG loop certifies the digital-lane tolerance — tighter
+        // than a raw 12-bit analog readout.
+        assert!(done.residual <= 1e-8, "residual={}", done.residual);
+        // Both modes agree on the answer (the direct path to readout
+        // precision).
+        let plain = fleet.completion(direct).unwrap();
+        for (a, b) in done.solution.iter().zip(&plain.solution) {
+            assert!((a - b).abs() < 5e-2, "{a} vs {b}");
+        }
+        assert!(done.energy_j > 0.0);
+    }
+
+    #[test]
+    fn krylov_deadlines_price_the_full_application_loop() {
+        // 4-wide coalescing: a direct request is billed a quarter of the
+        // sequential estimate, a Krylov request the full estimate times
+        // the configured application count — same sequential estimate,
+        // two profiles.
+        let cfg = FleetConfig::new(1)
+            .with_max_batch_rhs(4)
+            .with_krylov_applications(8);
+        let mut fleet = FleetService::new(cfg, vec![tri(4)]).unwrap();
+        let estimate = fleet.estimate_s(0).unwrap();
+        let verdict = fleet.submit(
+            SolveRequest::new(0, vec![1.0; 4])
+                .with_krylov()
+                .with_deadline_s(estimate),
+        );
+        assert_eq!(
+            verdict,
+            Err(Rejected::DeadlineInfeasible {
+                deadline_s: estimate,
+                estimate_s: estimate * 8.0
+            })
+        );
+        // The same deadline admits in direct mode (amortized to a quarter).
+        assert!(fleet
+            .submit(SolveRequest::new(0, vec![1.0; 4]).with_deadline_s(estimate))
+            .is_ok());
+        // A Krylov deadline above the scaled profile admits; whether the
+        // loop's actual analog seconds fit decides the served path.
+        let generous = fleet
+            .submit(
+                SolveRequest::new(0, vec![1.0; 4])
+                    .with_krylov()
+                    .with_deadline_s(estimate * 1e4),
+            )
+            .unwrap();
+        fleet.run_until_idle();
+        assert!(fleet.completion(generous).is_some());
+    }
+
+    #[test]
+    fn krylov_queue_pressure_prices_drain_hints_by_mode() {
+        // Two queued Krylov requests cost 2·k·estimate of drain, not
+        // 2·estimate: the hint and admission share one pricing rule.
+        let cfg = FleetConfig::new(1)
+            .with_queue_capacity(2)
+            .with_krylov_applications(6);
+        let mut fleet = FleetService::new(cfg, vec![tri(4)]).unwrap();
+        let estimate = fleet.estimate_s(0).unwrap();
+        for _ in 0..2 {
+            fleet
+                .submit(SolveRequest::new(0, vec![1.0; 4]).with_krylov())
+                .unwrap();
+        }
+        match fleet.submit(SolveRequest::new(0, vec![1.0; 4])) {
+            Err(Rejected::QueueFull { retry_after_s, .. }) => {
+                assert!(
+                    (retry_after_s - 2.0 * 6.0 * estimate).abs() < 1e-12,
+                    "retry_after_s={retry_after_s}, estimate={estimate}"
+                );
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
     }
 
     #[test]

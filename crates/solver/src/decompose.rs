@@ -100,6 +100,7 @@ impl Default for DecomposeConfig {
                 tolerance: 1e-8,
                 max_rounds: 8,
                 min_progress: 0.9,
+                compensated: false,
             },
             parallel: ParallelConfig::serial(),
         }

@@ -62,7 +62,33 @@ pub fn predicted_batch_solve_time_s(
     design: &AcceleratorDesign,
     columns: usize,
 ) -> Result<f64, SolverError> {
-    Ok(predicted_solve_time_s(a, design)? / columns.max(1) as f64)
+    Ok(amortized_solve_time_s(
+        predicted_solve_time_s(a, design)?,
+        columns,
+    ))
+}
+
+/// Amortizes a sequential settle-time estimate over a `columns`-wide
+/// coalesced sweep: `estimate / max(columns, 1)`.
+///
+/// This is the **single** batch-amortization rule — admission control,
+/// drain hints, and [`predicted_batch_solve_time_s`] all route through it,
+/// so the fleet's deadline arithmetic can never drift from the estimator's.
+pub fn amortized_solve_time_s(estimate_s: f64, columns: usize) -> f64 {
+    estimate_s / columns.max(1) as f64
+}
+
+/// Predicted analog time for a Krylov-preconditioned request: one
+/// supervised analog solve per preconditioner application, `applications`
+/// applications per FCG solve, never coalesced (each application's
+/// right-hand side depends on the previous iteration's residual, so
+/// Krylov requests cannot share a multi-RHS sweep).
+///
+/// This is the deadline profile the fleet prices `SolveMode::KrylovPrecond`
+/// requests against (aa-sched) — deliberately the same code path as the
+/// direct estimate, scaled instead of amortized.
+pub fn krylov_solve_time_s(estimate_s: f64, applications: usize) -> f64 {
+    estimate_s * applications.max(1) as f64
 }
 
 #[cfg(test)]
@@ -124,6 +150,16 @@ mod tests {
             predicted_batch_solve_time_s(&a, &design, 0).unwrap(),
             single
         );
+    }
+
+    #[test]
+    fn amortization_and_krylov_profiles_share_the_estimate() {
+        // One sequential estimate; both deadline profiles are pure scalings
+        // of it (floored widths/counts reproduce it exactly).
+        assert_eq!(amortized_solve_time_s(8.0, 4), 2.0);
+        assert_eq!(amortized_solve_time_s(8.0, 0), 8.0);
+        assert_eq!(krylov_solve_time_s(8.0, 6), 48.0);
+        assert_eq!(krylov_solve_time_s(8.0, 0), 8.0);
     }
 
     #[test]

@@ -1,0 +1,491 @@
+//! Analog-preconditioned flexible conjugate gradients (ROADMAP item 3).
+//!
+//! The paper uses the accelerator as the *primary* solver and cleans its
+//! output up digitally. Shah et al. invert that relationship: the noisy
+//! 8-bit analog solve becomes a *preconditioner application* `z ≈ M⁻¹·r`
+//! inside digital Krylov iteration, where M is whatever operator the analog
+//! hardware actually realizes — the programmed matrix as distorted by gain
+//! errors, quantization, and runtime faults. One analog settle time replaces
+//! the O(n·nnz) work of a strong digital preconditioner, and the
+//! [`SupervisedSolver`] residual check already supplies the accept/reject
+//! hook the hybrid scheme needs.
+//!
+//! Because every application of the analog preconditioner is a *different*
+//! operator (noise, faults, and the recovery ladder vary per call), the
+//! outer loop must be **flexible** CG: standard PCG's
+//! `β = (r⁺,z⁺)/(r,z)` assumes a fixed SPD `M` and loses conjugacy —
+//! and with it convergence — under an iteration-varying preconditioner.
+//! FCG uses the Polak–Ribière form `β = (z⁺, r⁺ − r)/(z, r)`
+//! (Notay's flexible variant), which only requires the *current*
+//! application to be roughly symmetric positive definite.
+//!
+//! When the recovery ladder exhausts (the chip cannot produce a validated
+//! analog answer), the preconditioner demotes itself permanently to a
+//! digital Jacobi application — or identity if the diagonal is unusable —
+//! rather than borrowing the supervisor's digital-CG fallback answer:
+//! an exact inner solve would hide the hardware failure behind a digital
+//! solver and report misleading iteration counts. The demoted loop is plain
+//! (Jacobi-)CG, so convergence degrades to the unpreconditioned rate but
+//! never diverges.
+
+use aa_linalg::compensated;
+use aa_linalg::op::RowAccess;
+use aa_linalg::{vector, CsrMatrix, LinearOperator};
+
+use crate::recover::{FinalPath, SupervisedSolver};
+use crate::SolverError;
+
+/// Options for the flexible-CG loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KrylovConfig {
+    /// Stop when `‖b − A·x‖₂ ≤ tolerance·‖b‖₂`.
+    pub tolerance: f64,
+    /// Maximum FCG iterations.
+    pub max_iterations: usize,
+    /// Accumulate the loop's dot products with two-float compensated
+    /// arithmetic ([`aa_linalg::compensated::dot2`]), removing the f64
+    /// summation error from the α/β coefficients at tight tolerances.
+    pub compensated: bool,
+}
+
+impl Default for KrylovConfig {
+    fn default() -> Self {
+        KrylovConfig {
+            tolerance: 1e-8,
+            max_iterations: 1000,
+            compensated: false,
+        }
+    }
+}
+
+/// Which operator the preconditioner is currently applying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecondKind {
+    /// Supervised analog solve (the intended path).
+    Analog,
+    /// Digital Jacobi application after the recovery ladder exhausted.
+    Jacobi,
+    /// Identity application (unusable diagonal after demotion).
+    Identity,
+}
+
+impl PrecondKind {
+    /// Short stable label used in telemetry events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrecondKind::Analog => "analog",
+            PrecondKind::Jacobi => "jacobi",
+            PrecondKind::Identity => "identity",
+        }
+    }
+}
+
+/// Per-solve accounting of the preconditioner's behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PrecondStats {
+    /// Total applications `z ← M⁻¹·r`.
+    pub applications: usize,
+    /// Applications served by a validated analog solve.
+    pub analog_applications: usize,
+    /// Analog applications that needed at least one recovery action.
+    pub recovered_applications: usize,
+    /// Applications served by the digital Jacobi/identity fallback.
+    pub fallback_applications: usize,
+    /// Simulated analog seconds across every application (including
+    /// rejected attempts inside the recovery ladder).
+    pub analog_time_s: f64,
+}
+
+impl PrecondStats {
+    /// True when every application came from a validated analog solve.
+    pub fn retained_analog(&self) -> bool {
+        self.fallback_applications == 0 && self.applications > 0
+    }
+
+    /// The [`FinalPath`]-equivalent summary for fleet completion reporting.
+    pub fn final_path(&self) -> FinalPath {
+        if self.fallback_applications > 0 {
+            FinalPath::DigitalFallback
+        } else if self.recovered_applications > 0 {
+            FinalPath::AnalogAfterRecovery
+        } else {
+            FinalPath::Analog
+        }
+    }
+}
+
+/// Applies `z ≈ M⁻¹·r` through the supervised analog solve.
+///
+/// Each application normalizes the residual into the hardware's dynamic
+/// range (exactly like one round of [`refine`](crate::refine)), runs the
+/// supervised solve on the *committed* structure — reusing the chip's plan
+/// cache and one-off γ calibration across applications — and rescales the
+/// validated answer back. See the module docs for the demotion contract.
+#[derive(Debug)]
+pub struct AnalogPreconditioner<'a> {
+    solver: &'a mut SupervisedSolver,
+    /// Jacobi coefficients for the demoted path; `None` when the committed
+    /// matrix's diagonal is unusable (demotion falls through to identity).
+    inv_diag: Option<Vec<f64>>,
+    kind: PrecondKind,
+    stats: PrecondStats,
+}
+
+impl<'a> AnalogPreconditioner<'a> {
+    /// Wraps a supervised solver whose committed structure is the system
+    /// matrix (or a preconditioning approximation of it).
+    pub fn new(solver: &'a mut SupervisedSolver) -> Self {
+        let a = solver.inner().matrix();
+        let n = a.dim();
+        let mut inv = Vec::with_capacity(n);
+        for i in 0..n {
+            let d = a.diagonal(i);
+            if d <= 0.0 || !d.is_finite() {
+                inv.clear();
+                break;
+            }
+            inv.push(1.0 / d);
+        }
+        AnalogPreconditioner {
+            solver,
+            inv_diag: (!inv.is_empty()).then_some(inv),
+            kind: PrecondKind::Analog,
+            stats: PrecondStats::default(),
+        }
+    }
+
+    /// The committed system matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        self.solver.inner().matrix()
+    }
+
+    /// The operator currently being applied.
+    pub fn kind(&self) -> PrecondKind {
+        self.kind
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> PrecondStats {
+        self.stats
+    }
+
+    /// Permanently demotes to the digital fallback application.
+    fn demote(&mut self, reason: &'static str) {
+        self.kind = if self.inv_diag.is_some() {
+            PrecondKind::Jacobi
+        } else {
+            PrecondKind::Identity
+        };
+        aa_obs::counter("solver.krylov.precond_demotions", 1);
+        aa_obs::event(
+            aa_obs::Event::new("solver.krylov.precond_demoted")
+                .with("to", self.kind.label())
+                .with("reason", reason),
+        );
+    }
+
+    /// Applies the digital fallback `z ← diag(A)⁻¹·r` (or identity).
+    fn apply_fallback(&mut self, r: &[f64], z: &mut [f64]) {
+        match (&self.inv_diag, self.kind) {
+            (Some(inv), PrecondKind::Jacobi) => {
+                for (zi, (ri, d)) in z.iter_mut().zip(r.iter().zip(inv)) {
+                    *zi = ri * d;
+                }
+            }
+            _ => z.copy_from_slice(r),
+        }
+        self.stats.fallback_applications += 1;
+    }
+
+    /// Applies `z ≈ M⁻¹·r`, choosing the analog or demoted path.
+    pub fn apply(&mut self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), z.len(), "precondition: length mismatch");
+        self.stats.applications += 1;
+        if self.kind != PrecondKind::Analog {
+            return self.apply_fallback(r, z);
+        }
+        let r_peak = vector::norm_inf(r);
+        if r_peak == 0.0 || !r_peak.is_finite() {
+            z.fill(0.0);
+            // Count it as analog: nothing failed, there was nothing to do.
+            self.stats.analog_applications += 1;
+            return;
+        }
+        let r_unit: Vec<f64> = r.iter().map(|v| v / r_peak).collect();
+        match self.solver.solve(&r_unit) {
+            Ok(report) => {
+                self.stats.analog_time_s += report.recovery.analog_time_s();
+                match report.recovery.final_path {
+                    FinalPath::Analog | FinalPath::AnalogAfterRecovery => {
+                        for (zi, si) in z.iter_mut().zip(&report.solution) {
+                            *zi = r_peak * si;
+                        }
+                        self.stats.analog_applications += 1;
+                        if report.recovery.final_path == FinalPath::AnalogAfterRecovery {
+                            self.stats.recovered_applications += 1;
+                        }
+                    }
+                    FinalPath::DigitalFallback => {
+                        // The ladder exhausted. Do NOT use the supervisor's
+                        // digital-CG answer — an exact inner solve would turn
+                        // the iteration count into a digital artifact.
+                        self.demote("recovery_exhausted");
+                        self.apply_fallback(r, z);
+                    }
+                }
+            }
+            Err(_) => {
+                self.demote("solve_error");
+                self.apply_fallback(r, z);
+            }
+        }
+    }
+}
+
+/// The outcome of an analog-preconditioned flexible-CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrylovReport {
+    /// The converged (or best-effort) iterate.
+    pub solution: Vec<f64>,
+    /// FCG iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+    /// Relative residual `‖r‖₂/‖b‖₂` after each iteration.
+    pub residual_history: Vec<f64>,
+    /// Preconditioner accounting (applications, fallbacks, analog seconds).
+    pub precond: PrecondStats,
+}
+
+/// Solves `A·x = b` by flexible CG with the analog preconditioner.
+///
+/// `A` is the preconditioner's committed matrix — the preconditioner *is*
+/// the (noisy) inverse of the operator being solved, which is the
+/// approximate-inverse setting of Shah et al.
+///
+/// # Errors
+///
+/// * [`SolverError::InvalidProblem`] on a wrong-length `b`.
+/// * [`SolverError::Linalg`] wrapping `NotPositiveDefinite` if a curvature
+///   `pᵀAp ≤ 0` shows the committed matrix is not SPD.
+pub fn fcg_solve(
+    precond: &mut AnalogPreconditioner<'_>,
+    b: &[f64],
+    config: &KrylovConfig,
+) -> Result<KrylovReport, SolverError> {
+    let a = precond.matrix().clone();
+    let n = a.dim();
+    if b.len() != n {
+        return Err(SolverError::invalid(format!(
+            "rhs has {} entries, system has {n}",
+            b.len()
+        )));
+    }
+    let _span = aa_obs::span("solver.krylov.fcg");
+    let dot = |x: &[f64], y: &[f64]| -> f64 {
+        if config.compensated {
+            compensated::dot2(x, y).value()
+        } else {
+            vector::dot(x, y)
+        }
+    };
+    let norm = |x: &[f64]| -> f64 {
+        if config.compensated {
+            compensated::norm2_comp(x)
+        } else {
+            vector::norm2(x)
+        }
+    };
+
+    let b_norm = norm(b);
+    if b_norm == 0.0 {
+        return Ok(KrylovReport {
+            solution: vec![0.0; n],
+            iterations: 0,
+            converged: true,
+            residual_history: vec![0.0],
+            precond: precond.stats(),
+        });
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = vec![0.0; n];
+    precond.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut ap = vec![0.0; n];
+    let mut rz = dot(&r, &z);
+    let mut history = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for k in 1..=config.max_iterations {
+        iterations = k;
+        if rz == 0.0 || !rz.is_finite() {
+            // The preconditioned residual vanished (or went non-finite,
+            // which the flexible restart below cannot fix): stop on the
+            // digitally measured residual.
+            converged = norm(&r) / b_norm <= config.tolerance;
+            break;
+        }
+        a.apply(&p, &mut ap);
+        let curvature = dot(&p, &ap);
+        if curvature <= 0.0 {
+            return Err(aa_linalg::LinalgError::NotPositiveDefinite { pivot: k }.into());
+        }
+        let alpha = rz / curvature;
+        vector::axpy(alpha, &p, &mut x);
+        let r_old = r.clone();
+        vector::axpy(-alpha, &ap, &mut r);
+        let rel = norm(&r) / b_norm;
+        history.push(rel);
+        aa_obs::counter("solver.krylov.iterations", 1);
+        aa_obs::histogram("solver.krylov.rel_residual", rel);
+        aa_obs::event(
+            aa_obs::Event::new("solver.krylov.iter")
+                .with("iter", k)
+                .with("rel_residual", rel)
+                .with("precond", precond.kind().label()),
+        );
+        if rel <= config.tolerance {
+            converged = true;
+            break;
+        }
+
+        precond.apply(&r, &mut z);
+        // Flexible (Polak–Ribière / Notay) β: project against the residual
+        // *change* so conjugacy survives the iteration-varying M⁻¹.
+        let dr: Vec<f64> = r.iter().zip(&r_old).map(|(a, b)| a - b).collect();
+        let mut beta = dot(&z, &dr) / rz;
+        if !beta.is_finite() || beta < 0.0 {
+            // Restart: a noisy application broke the direction recurrence.
+            beta = 0.0;
+        }
+        rz = dot(&r, &z);
+        vector::xpby(&z, beta, &mut p);
+    }
+
+    aa_obs::event(
+        aa_obs::Event::new("solver.krylov.done")
+            .with("iterations", iterations)
+            .with("converged", converged)
+            .with("precond", precond.kind().label())
+            .with(
+                "fallback_applications",
+                precond.stats().fallback_applications,
+            ),
+    );
+    Ok(KrylovReport {
+        solution: x,
+        iterations,
+        converged,
+        residual_history: history,
+        precond: precond.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover::RecoveryConfig;
+    use crate::solve::SolverConfig;
+    use aa_linalg::iterative::{cg, IterativeConfig, StoppingCriterion};
+    use aa_linalg::stencil::PoissonStencil;
+
+    fn poisson_2d(side: usize) -> CsrMatrix {
+        CsrMatrix::from_row_access(&PoissonStencil::new_2d(side).unwrap())
+    }
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 0.5 + ((i % 7) as f64) * 0.25).collect()
+    }
+
+    #[test]
+    fn fcg_converges_and_matches_cg_solution() {
+        let a = poisson_2d(8);
+        let b = rhs(a.dim());
+        let mut sup =
+            SupervisedSolver::new(&a, &SolverConfig::ideal(), &RecoveryConfig::default()).unwrap();
+        let mut precond = AnalogPreconditioner::new(&mut sup);
+        let report = fcg_solve(&mut precond, &b, &KrylovConfig::default()).unwrap();
+        assert!(report.converged, "history: {:?}", report.residual_history);
+        assert!(report.precond.retained_analog());
+        assert_eq!(report.precond.final_path(), FinalPath::Analog);
+        let rel = a.residual_norm(&report.solution, &b) / vector::norm2(&b);
+        assert!(rel <= 1e-8, "residual {rel:.3e}");
+    }
+
+    #[test]
+    fn analog_preconditioning_beats_plain_cg_iterations() {
+        // The acceptance gate's core claim at unit-test scale: one noisy
+        // analog application removes enough low-frequency error that FCG
+        // needs well under 0.7x the iterations of unpreconditioned CG.
+        let a = poisson_2d(8);
+        let b = rhs(a.dim());
+        let plain = cg(
+            &a,
+            &b,
+            &IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(1e-8)),
+        )
+        .unwrap();
+        let mut sup =
+            SupervisedSolver::new(&a, &SolverConfig::ideal(), &RecoveryConfig::default()).unwrap();
+        let mut precond = AnalogPreconditioner::new(&mut sup);
+        let fcg = fcg_solve(&mut precond, &b, &KrylovConfig::default()).unwrap();
+        assert!(fcg.converged && plain.converged);
+        assert!(
+            (fcg.iterations as f64) <= 0.7 * plain.iterations as f64,
+            "fcg {} !<= 0.7 x cg {}",
+            fcg.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = poisson_2d(3);
+        let mut sup =
+            SupervisedSolver::new(&a, &SolverConfig::ideal(), &RecoveryConfig::default()).unwrap();
+        let mut precond = AnalogPreconditioner::new(&mut sup);
+        let report =
+            fcg_solve(&mut precond, &vec![0.0; a.dim()], &KrylovConfig::default()).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.iterations, 0);
+        assert_eq!(report.solution, vec![0.0; a.dim()]);
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = poisson_2d(3);
+        let mut sup =
+            SupervisedSolver::new(&a, &SolverConfig::ideal(), &RecoveryConfig::default()).unwrap();
+        let mut precond = AnalogPreconditioner::new(&mut sup);
+        assert!(fcg_solve(&mut precond, &[1.0], &KrylovConfig::default()).is_err());
+    }
+
+    #[test]
+    fn compensated_dots_change_nothing_on_easy_problems() {
+        let a = poisson_2d(6);
+        let b = rhs(a.dim());
+        let run = |comp: bool| {
+            let mut sup =
+                SupervisedSolver::new(&a, &SolverConfig::ideal(), &RecoveryConfig::default())
+                    .unwrap();
+            let mut precond = AnalogPreconditioner::new(&mut sup);
+            fcg_solve(
+                &mut precond,
+                &b,
+                &KrylovConfig {
+                    compensated: comp,
+                    ..KrylovConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let plain = run(false);
+        let comp = run(true);
+        assert!(plain.converged && comp.converged);
+        // Well-conditioned: both land within a couple of iterations.
+        assert!((plain.iterations as i64 - comp.iterations as i64).abs() <= 2);
+    }
+}

@@ -18,7 +18,12 @@
 //!   overflow exceptions, rescale-and-retry, read out with `analogAvg`.
 //! * [`refine`] — the paper's Algorithm 2: build arbitrary precision from a
 //!   low-precision accelerator by repeatedly solving for the residual and
-//!   rescaling it into the hardware's dynamic range.
+//!   rescaling it into the hardware's dynamic range — optionally with
+//!   two-float compensated residual accumulation to push past the f64
+//!   accuracy ceiling.
+//! * [`krylov`] — the inverted hybrid: the noisy analog solve as a
+//!   *preconditioner application* inside digital flexible CG, demoting to
+//!   Jacobi/identity when the recovery ladder exhausts.
 //! * [`decompose`] — §IV-B block domain decomposition: problems larger than
 //!   the integrator array are split into blocks solved per-run, iterated to
 //!   global convergence with block-Jacobi or block-Gauss–Seidel sweeps.
@@ -67,6 +72,7 @@ mod error;
 pub mod decompose;
 pub mod estimate;
 pub mod hybrid;
+pub mod krylov;
 pub mod lstsq;
 pub mod mapping;
 pub mod nonlinear;
@@ -79,6 +85,9 @@ pub use aa_linalg::parallel::ParallelConfig;
 pub use decompose::{solve_decomposed, DecomposeConfig, DecomposedReport, OuterMethod};
 pub use error::SolverError;
 pub use hybrid::AnalogCoarseSolver;
+pub use krylov::{
+    fcg_solve, AnalogPreconditioner, KrylovConfig, KrylovReport, PrecondKind, PrecondStats,
+};
 pub use lstsq::{solve_least_squares_analog, LeastSquaresReport};
 pub use mapping::{MappedSystem, MappingStrategy};
 pub use nonlinear::{

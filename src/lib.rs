@@ -66,11 +66,12 @@ pub mod prelude {
     pub use aa_pde::{CgCoarseSolver, MultigridSolver};
     pub use aa_sched::{
         AdmissionWal, Backoff, ChipFailure, CompletionPath, FleetCheckpoint, FleetConfig,
-        FleetService, Priority, Rejected, ScheduleLog, SolveRequest, SolveTicket,
+        FleetService, Priority, Rejected, ScheduleLog, SolveMode, SolveRequest, SolveTicket,
     };
     pub use aa_solver::refine::solve_refined;
     pub use aa_solver::{
-        solve_decomposed, AnalogCoarseSolver, AnalogSystemSolver, DecomposeConfig, FailureClass,
-        FinalPath, RecoveryConfig, RefineConfig, SolverConfig, SupervisedSolver,
+        fcg_solve, solve_decomposed, AnalogCoarseSolver, AnalogPreconditioner, AnalogSystemSolver,
+        DecomposeConfig, FailureClass, FinalPath, KrylovConfig, KrylovReport, RecoveryConfig,
+        RefineConfig, SolverConfig, SupervisedSolver,
     };
 }

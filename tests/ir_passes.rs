@@ -206,6 +206,101 @@ fn fuse_gain_chains_snapshot() {
     );
 }
 
+/// A gain chain `int0 → mul0(×1.8) → mul1(×-1.5) → int0` on a chip whose
+/// hardware gain limit is 2: both stages are individually programmable,
+/// but fusion multiplies them into an unrealizable `a = -2.7`.
+fn hot_chain_chip() -> AnalogChip {
+    let mut chip = AnalogChip::new(ChipConfig {
+        max_gain: 2.0,
+        ..ChipConfig::ideal()
+    });
+    let (int0, mul0, mul1) = (
+        UnitId::Integrator(0),
+        UnitId::Multiplier(0),
+        UnitId::Multiplier(1),
+    );
+    conn(&mut chip, OutputPort::of(int0), InputPort::of(mul0));
+    conn(&mut chip, OutputPort::of(mul0), InputPort::of(mul1));
+    conn(&mut chip, OutputPort::of(mul1), InputPort::of(int0));
+    chip.set_mul_gain(0, 1.8).unwrap();
+    chip.set_mul_gain(1, -1.5).unwrap();
+    // Small enough that no multiplier output (peak |-1.5·1.8·u| = 0.675)
+    // reaches full scale: the tolerance contract only binds clip-free runs.
+    chip.set_int_initial(0, 0.25).unwrap();
+    chip.cfg_commit().unwrap();
+    chip
+}
+
+/// `normalize_gains` peels a fused MAC whose coefficient exceeds the
+/// hardware gain limit back into chained stages inside the limit: fusion
+/// alone leaves the unrealizable `a = -2.7` on a `max_gain = 2` chip;
+/// normalization splits it into a `×2` prefix stage (fresh scratch slot
+/// `s3`) and a programmable `×-1.35` residual — the one pass that raises
+/// the op count (`2 -> 3`).
+#[test]
+fn normalize_gains_snapshot() {
+    let chip = hot_chain_chip();
+    assert_eq!(
+        chip.dump_plan(&PassConfig {
+            fuse_gain_chains: true,
+            ..PassConfig::none()
+        })
+        .unwrap(),
+        "plan fs=1 states=1 stores=2\n\
+         src int u=int0 -> s0\n\
+         seg mac (1)\n\
+         op mac u=mul1 a=-2.7 b=0 in=[s0] -> s2\n\
+         deriv state0 in=[s2]\n\
+         pass fuse_gain_chains: 3 -> 2\n"
+    );
+    assert_eq!(
+        chip.dump_plan(&PassConfig {
+            fuse_gain_chains: true,
+            normalize_gains: true,
+            ..PassConfig::none()
+        })
+        .unwrap(),
+        "plan fs=1 states=1 stores=3\n\
+         src int u=int0 -> s0\n\
+         seg mac (2)\n\
+         op mac u=mul1 a=2 b=0 in=[s0] -> s3\n\
+         op mac u=mul1 a=-1.35 b=0 in=[s3] -> s2\n\
+         deriv state0 in=[s2]\n\
+         pass fuse_gain_chains: 3 -> 2\n\
+         pass normalize_gains: 2 -> 3\n"
+    );
+}
+
+/// The peeled chain computes the same dynamics as the reference evaluator
+/// (`du/dt = -2.7·u` decaying from 0.25) within the documented pass
+/// tolerance, even though its tape writes a scratch slot beyond the
+/// structure's slot count.
+#[test]
+fn normalized_exec_matches_reference() {
+    let mut chip = hot_chain_chip();
+    let reference = chip
+        .exec(&EngineOptions {
+            eval_strategy: EvalStrategy::Reference,
+            ..EngineOptions::default()
+        })
+        .unwrap();
+    let optimized = chip.exec(&opts(PassConfig::full())).unwrap();
+    assert!(!reference.exceptions.any());
+    for (idx, r) in &reference.integrator_values {
+        let o = optimized.integrator_values[idx];
+        assert!(
+            (o - r).abs() <= 1e-5 * (1.0 + r.abs()),
+            "integrator {idx}: optimized {o} vs reference {r}"
+        );
+    }
+    let log = chip.pass_stats();
+    let norm = log
+        .iter()
+        .find(|s| s.pass == "normalize_gains")
+        .expect("normalize_gains ran");
+    assert_eq!((norm.ops_before, norm.ops_after), (2, 3), "{log:?}");
+}
+
 /// `dce` removes the dangling multiplier (its output reaches neither an
 /// integrator nor a sink); the now-unread DAC source survives as a source
 /// line but feeds nothing.
@@ -255,6 +350,7 @@ fn full_pipeline_snapshot() {
          pass fold_constants: 8 -> 6\n\
          pass cse: 6 -> 5\n\
          pass fuse_gain_chains: 5 -> 5\n\
+         pass normalize_gains: 5 -> 5\n\
          pass dce: 5 -> 4\n"
     );
 }
@@ -295,7 +391,16 @@ fn optimized_exec_matches_reference_and_reports_stats() {
     assert_eq!(stats.ops_after, 4, "{stats:?}");
     let log = chip.pass_stats();
     let names: Vec<&str> = log.iter().map(|s| s.pass).collect();
-    assert_eq!(names, ["fold_constants", "cse", "fuse_gain_chains", "dce"]);
+    assert_eq!(
+        names,
+        [
+            "fold_constants",
+            "cse",
+            "fuse_gain_chains",
+            "normalize_gains",
+            "dce"
+        ]
+    );
     assert!(log.iter().all(|s| s.ops_after <= s.ops_before), "{log:?}");
 
     // Re-running with the same config is a cache hit, not a re-lowering;

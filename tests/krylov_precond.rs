@@ -1,0 +1,354 @@
+//! Integration tests for the analog-preconditioned Krylov subsystem: the
+//! compensated kernels against a wide-integer oracle, the flexible-CG loop
+//! under every runtime fault kind, and replay determinism of the FCG path
+//! through the fleet at any worker count.
+
+use analog_accel::analog::units::UnitId;
+use analog_accel::linalg::compensated::{self, TwoFloat};
+use analog_accel::linalg::rng::mix64;
+use analog_accel::linalg::vector;
+use analog_accel::obs;
+use analog_accel::prelude::*;
+use analog_accel::solver::PrecondKind;
+
+/// A deterministic dyadic value in `[-2^10, 2^10)` on the `2^-10` grid:
+/// exactly representable in f64 AND as an i128 scaled by `2^10`, so products
+/// and sums of pairs are exact in i128 fixed point scaled by `2^20`.
+fn dyadic(seed: u64, i: u64) -> f64 {
+    let bits = mix64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ i);
+    // 21-bit signed integer / 2^10.
+    let q = (bits % (1 << 21)) as i64 - (1 << 20);
+    q as f64 / 1024.0
+}
+
+/// The same value as its exact scaled-integer representation (`value·2^10`).
+fn dyadic_scaled(v: f64) -> i128 {
+    let scaled = v * 1024.0;
+    assert_eq!(scaled, scaled.trunc(), "value is off the dyadic grid");
+    scaled as i128
+}
+
+/// `dot2` against an exact 128-bit fixed-point oracle on seeded random
+/// vectors, differentially with the plain f64 dot: the compensated result
+/// must match the oracle to a few roundings and never be further from it
+/// than the naive accumulation.
+#[test]
+fn compensated_dot_matches_wide_integer_oracle() {
+    let n = 4096;
+    let mut comp_strictly_better = 0;
+    for seed in 1u64..=8 {
+        let x: Vec<f64> = (0..n).map(|i| dyadic(seed, i)).collect();
+        // An exponent ladder spreads the product magnitudes over ~24 binary
+        // orders: partial sums then need more than 53 mantissa bits, which
+        // is exactly where naive f64 accumulation starts rounding. Each
+        // value keeps its 21-bit mantissa, so products stay exact in i128.
+        let y: Vec<f64> = (0..n)
+            .map(|i| dyadic(seed ^ 0xabcd, i) * f64::powi(2.0, (i % 24) as i32))
+            .collect();
+        // Exact: products are multiples of 2^-20 with |p| ≤ 2^64, so the
+        // sum of 4096 of them fits an i128 scaled by 2^20 with room to spare.
+        let exact_scaled: i128 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| dyadic_scaled(*a) * dyadic_scaled(*b))
+            .sum();
+        let exact = exact_scaled as f64 / (1u64 << 20) as f64;
+
+        let comp = compensated::dot2(&x, &y).value();
+        let naive = vector::dot(&x, &y);
+        let comp_err = (comp - exact).abs();
+        let naive_err = (naive - exact).abs();
+        // Dot2 is as accurate as twice the working precision rounded once;
+        // the oracle's own i128→f64 conversion costs up to half an ulp, so
+        // allow a few ulp of the result.
+        let ulp = exact.abs().max(1.0) * f64::EPSILON;
+        assert!(
+            comp_err <= 4.0 * ulp,
+            "seed {seed}: dot2 off by {comp_err:.3e} (> {:.3e})",
+            4.0 * ulp
+        );
+        assert!(
+            comp_err <= naive_err,
+            "seed {seed}: dot2 err {comp_err:.3e} worse than naive {naive_err:.3e}"
+        );
+        if comp_err < naive_err {
+            comp_strictly_better += 1;
+        }
+    }
+    assert!(
+        comp_strictly_better >= 6,
+        "wide-range dots must actually exercise the compensation \
+         (only {comp_strictly_better}/8 seeds showed a naive error)"
+    );
+}
+
+/// `axpy2` against the same oracle: repeatedly adding increments far below
+/// one ulp of the accumulator must survive exactly in the two-float pair,
+/// while the plain f64 loop provably drops them.
+#[test]
+fn compensated_axpy_matches_wide_integer_oracle() {
+    let n = 64usize;
+    let steps = 500;
+    // Increments on the 2^-60 grid, |a·x| < 2^-38: the running total
+    // `1 + k·a·x` needs 61 mantissa bits, so the plain f64 loop must round
+    // while the two-float pair carries it exactly — checkable bit for bit
+    // in i128 fixed point scaled by 2^60 (both pair members land on the
+    // same grid).
+    let a = 3.0 / (1u128 << 50) as f64;
+    let to_scaled = |v: f64| -> i128 {
+        let s = v * (1u128 << 60) as f64;
+        assert_eq!(s, s.trunc(), "value off the 2^-60 grid");
+        s as i128
+    };
+    for seed in 1u64..=4 {
+        let x: Vec<f64> = (0..n)
+            .map(|i| (mix64(seed ^ i as u64) % 1024) as f64 / (1u64 << 10) as f64)
+            .collect();
+        let mut y = vec![TwoFloat::new(1.0); n];
+        let mut y_naive = vec![1.0f64; n];
+        for _ in 0..steps {
+            compensated::axpy2(a, &x, &mut y);
+            vector::axpy(a, &x, &mut y_naive);
+        }
+        let mut naive_rounded = 0;
+        for (i, xi) in x.iter().enumerate() {
+            // Exact in i128 scaled by 2^60: 1 + steps·a·x_i, where
+            // a·x_i·2^60 = 3·(x_i·2^10).
+            let exact_scaled = (1i128 << 60) + steps as i128 * 3 * dyadic_scaled(*xi);
+            let pair_scaled = to_scaled(y[i].hi) + to_scaled(y[i].lo);
+            assert_eq!(
+                pair_scaled, exact_scaled,
+                "seed {seed} i={i}: two-float accumulator must be bit-exact"
+            );
+            let naive_err = (to_scaled(y_naive[i]) - exact_scaled).unsigned_abs();
+            if naive_err > 0 {
+                naive_rounded += 1;
+            }
+        }
+        // The increments are real: most lanes must show the plain f64 loop
+        // actually losing bits the pair kept.
+        assert!(
+            naive_rounded > n / 2,
+            "seed {seed}: naive loop rounded in only {naive_rounded}/{n} lanes"
+        );
+    }
+}
+
+/// A solver config whose settle cap is short enough that faulted runs fail
+/// fast instead of integrating for hundreds of thousands of time constants.
+fn faultable_config() -> SolverConfig {
+    SolverConfig {
+        engine: EngineOptions {
+            stop_on_exception: true,
+            max_tau: 300.0,
+            ..EngineOptions::default()
+        },
+        ..SolverConfig::ideal()
+    }
+}
+
+/// The tentpole's robustness acceptance: under every injectable fault kind,
+/// the flexible-CG loop still converges to tolerance — at worst degrading
+/// to the demoted (Jacobi) preconditioner's plain-CG-like iteration count —
+/// and never diverges or panics.
+#[test]
+fn fcg_converges_under_every_fault_kind() {
+    let a = CsrMatrix::from_row_access(&PoissonStencil::new_2d(4).unwrap());
+    let n = a.dim();
+    let b: Vec<f64> = (0..n).map(|i| 0.5 + ((i % 7) as f64) * 0.25).collect();
+    let b_norm = vector::norm2(&b);
+    let config = KrylovConfig::default();
+    let plain = cg(
+        &a,
+        &b,
+        &IterativeConfig::with_stopping(StoppingCriterion::RelativeResidual(config.tolerance)),
+    )
+    .unwrap();
+    assert!(plain.converged);
+
+    let events = vec![
+        FaultEvent::transient(
+            FaultKind::OffsetDrift {
+                unit: UnitId::Integrator(1),
+                magnitude: 0.05,
+                ramp_s: 1e-4,
+            },
+            0.0,
+            5e-3,
+        ),
+        FaultEvent::transient(
+            FaultKind::GainDrift {
+                unit: UnitId::Multiplier(0),
+                magnitude: 0.1,
+                ramp_s: 1e-4,
+            },
+            0.0,
+            5e-3,
+        ),
+        FaultEvent::transient(
+            FaultKind::NoiseBurst {
+                unit: UnitId::Integrator(0),
+                amplitude: 0.05,
+            },
+            0.0,
+            2.5e-3,
+        ),
+        FaultEvent::persistent(
+            FaultKind::StuckAtRail {
+                integrator: 0,
+                rail: Rail::Positive,
+            },
+            0.0,
+        ),
+        FaultEvent::transient(FaultKind::AdcBitFlip { adc: 0, bit: 11 }, 0.0, 4e-3),
+        FaultEvent::persistent(FaultKind::SpiBitFlip { byte: 2, bit: 5 }, 0.0),
+        FaultEvent::persistent(
+            FaultKind::LutCorruption {
+                lut: 0,
+                entry: 10,
+                value: 0.9,
+            },
+            0.0,
+        ),
+    ];
+    for event in events {
+        let label = format!("{event:?}");
+        let mut sup =
+            SupervisedSolver::new(&a, &faultable_config(), &RecoveryConfig::default()).unwrap();
+        sup.inject_faults(FaultPlan::new(5).with_event(event));
+        let mut precond = AnalogPreconditioner::new(&mut sup);
+        let report = fcg_solve(&mut precond, &b, &config)
+            .unwrap_or_else(|e| panic!("{label}: fcg errored: {e:?}"));
+        assert!(
+            report.converged,
+            "{label}: did not converge, history {:?}",
+            report.residual_history
+        );
+        // Never diverges: every recorded residual is finite, and the
+        // independent digital check agrees the answer is good.
+        assert!(report.residual_history.iter().all(|r| r.is_finite()));
+        let rel = a.residual_norm(&report.solution, &b) / b_norm;
+        assert!(
+            rel <= config.tolerance * 10.0,
+            "{label}: residual {rel:.3e}"
+        );
+        // Worst case is demotion to the digital Jacobi application, whose
+        // iteration count is plain-CG-like on this constant-diagonal system
+        // — a hard fault must not inflate the count beyond that.
+        assert!(
+            report.iterations <= plain.iterations + 2,
+            "{label}: {} iters exceeds plain CG {} + slack",
+            report.iterations,
+            plain.iterations
+        );
+        // Accounting stays coherent whichever path served the requests.
+        let stats = report.precond;
+        assert_eq!(
+            stats.applications,
+            stats.analog_applications + stats.fallback_applications,
+            "{label}"
+        );
+        if stats.fallback_applications > 0 {
+            assert_ne!(precond.kind(), PrecondKind::Analog, "{label}");
+            assert_eq!(stats.final_path(), FinalPath::DigitalFallback, "{label}");
+        }
+    }
+}
+
+/// Same-seed FCG replays are bit-identical — solutions, iteration counts,
+/// and the full obs event journal (wall-clock fields masked).
+#[test]
+fn fcg_journal_replays_bit_identically() {
+    let a = CsrMatrix::from_row_access(&PoissonStencil::new_2d(4).unwrap());
+    let b: Vec<f64> = (0..a.dim()).map(|i| 1.0 - 0.1 * (i % 3) as f64).collect();
+    let run = || {
+        let rec = MemoryRecorder::shared();
+        let report = obs::with_recorder(rec.clone(), || {
+            let mut sup =
+                SupervisedSolver::new(&a, &faultable_config(), &RecoveryConfig::default()).unwrap();
+            sup.inject_faults(FaultPlan::new(7).with_event(FaultEvent::transient(
+                FaultKind::NoiseBurst {
+                    unit: UnitId::Integrator(2),
+                    amplitude: 0.04,
+                },
+                0.0,
+                2.5e-3,
+            )));
+            let mut precond = AnalogPreconditioner::new(&mut sup);
+            fcg_solve(&mut precond, &b, &KrylovConfig::default()).unwrap()
+        });
+        (report, rec.snapshot())
+    };
+    let (first, snap1) = run();
+    let (second, snap2) = run();
+    assert_eq!(first.solution, second.solution);
+    assert_eq!(first.iterations, second.iterations);
+    assert_eq!(first.precond, second.precond);
+    if obs::ENABLED {
+        assert!(snap1
+            .deterministic_lines()
+            .iter()
+            .any(|l| l.contains("solver.krylov.iter")));
+        assert_eq!(snap1.deterministic_lines(), snap2.deterministic_lines());
+        assert_eq!(snap1.to_json_masked(), snap2.to_json_masked());
+    }
+}
+
+/// Krylov-mode fleet requests replay bit-identically across 1/2/4 worker
+/// threads: the schedule log, solutions, and masked obs journal are all
+/// invariant, exactly like the direct-solve path.
+#[test]
+fn krylov_fleet_replay_is_worker_count_invariant() {
+    let run = |workers: usize| {
+        let a4 = CsrMatrix::tridiagonal(4, -1.0, 2.0, -1.0).unwrap();
+        let a5 = CsrMatrix::tridiagonal(5, -1.0, 2.0, -1.0).unwrap();
+        let rec = MemoryRecorder::shared();
+        let (log, solutions) = obs::with_recorder(rec.clone(), || {
+            let config = FleetConfig::new(3).with_seed(42).with_workers(workers);
+            let mut fleet = FleetService::new(config, vec![a4, a5]).unwrap();
+            let mut tickets = Vec::new();
+            for i in 0..8 {
+                let s = i % 2;
+                let rhs = vec![1.0 + i as f64 * 0.25; 4 + s];
+                let mut req = SolveRequest::new(s, rhs);
+                if i % 2 == 0 {
+                    req = req.with_krylov();
+                }
+                tickets.push(fleet.submit(req).unwrap());
+            }
+            fleet.run_until_idle();
+            let solutions: Vec<Vec<f64>> = tickets
+                .iter()
+                .map(|t| fleet.completion(*t).unwrap().solution.clone())
+                .collect();
+            (fleet.into_log(), solutions)
+        });
+        (log, solutions, rec.snapshot())
+    };
+    let (log1, sols1, snap1) = run(1);
+    assert_eq!(log1.completed(), 8);
+    if obs::ENABLED {
+        assert!(
+            snap1.counter("solver.krylov.iterations") > 0,
+            "krylov requests actually took the FCG path"
+        );
+    }
+    for workers in [2usize, 4] {
+        let (log, sols, snap) = run(workers);
+        assert_eq!(log1, log, "workers={workers}");
+        assert_eq!(sols1, sols, "workers={workers}");
+        if obs::ENABLED {
+            assert_eq!(
+                snap1.deterministic_lines(),
+                snap.deterministic_lines(),
+                "workers={workers}"
+            );
+            assert_eq!(snap1.counters, snap.counters, "workers={workers}");
+            assert_eq!(
+                snap1.to_json_masked(),
+                snap.to_json_masked(),
+                "workers={workers}"
+            );
+        }
+    }
+}

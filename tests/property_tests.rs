@@ -106,6 +106,7 @@ fn refinement_never_regresses() {
                 tolerance: 1e-9,
                 max_rounds: 10,
                 min_progress: 1.0,
+                compensated: false,
             },
         )
         .unwrap();
